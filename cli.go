@@ -1,0 +1,199 @@
+package cpdb
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/figures"
+	"repro/internal/provstore"
+	"repro/internal/tree"
+)
+
+// StringList is a repeatable command-line flag value.
+type StringList []string
+
+// String implements flag.Value.
+func (l *StringList) String() string { return strings.Join(*l, ",") }
+
+// Set implements flag.Value.
+func (l *StringList) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
+
+// CLIConfig is the configuration of the cpdb command-line shell.
+type CLIConfig struct {
+	// Demo loads the paper's Figure 3/4 fixture databases (T, S1, S2).
+	Demo bool
+	// TargetSpec is "NAME=file.xml" for the target database.
+	TargetSpec string
+	// SourceSpecs are "NAME=file.xml" entries for source databases.
+	SourceSpecs StringList
+	// Script is an update-script file path, "-" for stdin, or "" for none.
+	Script string
+	// Method is the provenance method abbreviation (N, H, T, HT).
+	Method string
+	// CommitEvery auto-commits every N operations (0 = one commit at end).
+	CommitEvery int
+	// Queries are provenance queries: "src|hist|mod|trace PATH".
+	Queries StringList
+	// Dump prints the provenance table and final target tree.
+	Dump bool
+}
+
+func loadSpec(spec string) (name string, root *tree.Node, err error) {
+	name, file, ok := strings.Cut(spec, "=")
+	if !ok {
+		return "", nil, fmt.Errorf("cpdb: spec %q is not NAME=file.xml", spec)
+	}
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return "", nil, err
+	}
+	_, root, err = tree.UnmarshalXML(data)
+	if err != nil {
+		return "", nil, fmt.Errorf("cpdb: loading %s: %w", file, err)
+	}
+	return name, root, nil
+}
+
+// RunCLI executes one command-line session, writing results to w.
+func RunCLI(cfg CLIConfig, w io.Writer) error {
+	method, err := ParseMethod(cfg.Method)
+	if err != nil {
+		return err
+	}
+
+	var target Target
+	var sources []Source
+	switch {
+	case cfg.Demo:
+		target = NewMemTarget("T", figures.T0())
+		sources = []Source{
+			NewMemSource("S1", figures.S1()),
+			NewMemSource("S2", figures.S2()),
+		}
+	case cfg.TargetSpec != "":
+		name, root, err := loadSpec(cfg.TargetSpec)
+		if err != nil {
+			return err
+		}
+		target = wrapStore(name, root)
+		for _, spec := range cfg.SourceSpecs {
+			sname, sroot, err := loadSpec(spec)
+			if err != nil {
+				return err
+			}
+			sources = append(sources, wrapStore(sname, sroot))
+		}
+	default:
+		return fmt.Errorf("cpdb: need -demo or -target NAME=file.xml")
+	}
+
+	s, err := New(Config{
+		Target:          target,
+		Sources:         sources,
+		Method:          method,
+		AutoCommitEvery: cfg.CommitEvery,
+	})
+	if err != nil {
+		return err
+	}
+
+	if cfg.Script != "" {
+		var script []byte
+		if cfg.Script == "-" {
+			script, err = io.ReadAll(os.Stdin)
+		} else {
+			script, err = os.ReadFile(cfg.Script)
+		}
+		if err != nil {
+			return err
+		}
+		if err := s.Run(string(script)); err != nil {
+			return err
+		}
+		// Flush a partially filled final transaction, if any.
+		if _, err := s.Commit(); err != nil && !errors.Is(err, provstore.ErrNoTxn) {
+			return err
+		}
+		fmt.Fprintf(w, "applied %d operations under method %s\n", s.TotalOps(), method)
+	}
+
+	for _, q := range cfg.Queries {
+		if err := runQuery(s, q, w); err != nil {
+			return err
+		}
+	}
+
+	if cfg.Dump {
+		fmt.Fprintf(w, "-- provenance table (%s) --\n", method)
+		recs, err := s.Records()
+		if err != nil {
+			return err
+		}
+		for _, r := range recs {
+			fmt.Fprintln(w, r)
+		}
+		fmt.Fprintf(w, "-- target %s --\n%s\n", s.TargetName(), s.View())
+	}
+	return nil
+}
+
+func runQuery(s *Session, q string, w io.Writer) error {
+	kind, rest, ok := strings.Cut(strings.TrimSpace(q), " ")
+	if !ok {
+		return fmt.Errorf("cpdb: query %q is not 'src|hist|mod|trace PATH'", q)
+	}
+	p, err := ParsePath(strings.TrimSpace(rest))
+	if err != nil {
+		return err
+	}
+	switch strings.ToLower(kind) {
+	case "src":
+		tid, found, err := s.Src(p)
+		if err != nil {
+			return err
+		}
+		if found {
+			fmt.Fprintf(w, "src %s: inserted by txn %d\n", p, tid)
+		} else {
+			fmt.Fprintf(w, "src %s: unknown (external or pre-existing)\n", p)
+		}
+	case "hist":
+		tids, err := s.Hist(p)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "hist %s: copied by txns %v\n", p, tids)
+	case "mod":
+		tids, err := s.Mod(p)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "mod %s: modified by txns %v\n", p, tids)
+	case "trace":
+		tr, err := s.Trace(p)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "trace %s (%s):\n", p, tr.Origin)
+		for _, ev := range tr.Events {
+			fmt.Fprintf(w, "  %s\n", ev)
+		}
+		if tr.Origin == OriginExternal {
+			fmt.Fprintf(w, "  chain leaves the database at %s\n", tr.External)
+		}
+	default:
+		return fmt.Errorf("cpdb: unknown query kind %q", kind)
+	}
+	return nil
+}
+
+// wrapStore builds an in-memory editable store from a loaded tree.
+func wrapStore(name string, root *tree.Node) Target {
+	return NewMemTarget(name, root)
+}

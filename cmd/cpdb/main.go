@@ -1,0 +1,44 @@
+// Command cpdb is a small shell around one CPDB curation session: it loads
+// tree databases from XML files (or demo fixtures), applies an update
+// script through the provenance-aware editor, and answers provenance
+// queries — the command-line analogue of the paper's Web interface.
+//
+// Usage:
+//
+//	cpdb -demo -script script.cpdb -query "hist T/c2/y"
+//	cpdb -target T=target.xml -source S1=s1.xml -script updates.cpdb -dump
+//
+// Script syntax is the paper's Figure 3 form:
+//
+//	insert {c2 : {}} into T;
+//	copy S1/a2 into T/c2;
+//	delete c5 from T;
+//
+// Queries: "src PATH", "hist PATH", "mod PATH", "trace PATH".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	cpdb "repro"
+)
+
+func main() {
+	var cfg cpdb.CLIConfig
+	flag.BoolVar(&cfg.Demo, "demo", false, "use the paper's Figure 3/4 demo databases")
+	flag.StringVar(&cfg.TargetSpec, "target", "", "target database as NAME=file.xml")
+	flag.Var(&cfg.SourceSpecs, "source", "source database as NAME=file.xml (repeatable)")
+	flag.StringVar(&cfg.Script, "script", "", "update script file ('-' for stdin)")
+	flag.StringVar(&cfg.Method, "method", "HT", "provenance method: N, H, T, HT")
+	flag.IntVar(&cfg.CommitEvery, "commit-every", 5, "auto-commit every N operations (0 = manual)")
+	flag.Var(&cfg.Queries, "query", `provenance query, e.g. "hist T/c2/y" (repeatable)`)
+	flag.BoolVar(&cfg.Dump, "dump", false, "dump the provenance table and final target")
+	flag.Parse()
+
+	if err := cpdb.RunCLI(cfg, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cpdb:", err)
+		os.Exit(1)
+	}
+}

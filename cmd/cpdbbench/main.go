@@ -1,0 +1,87 @@
+// Command cpdbbench reruns the evaluation of Buneman, Chapman & Cheney
+// (SIGMOD 2006): every table and figure of §4, plus the design-choice
+// ablations, printing the rows/series behind each artifact.
+//
+// Usage:
+//
+//	cpdbbench                  # run everything at paper scale
+//	cpdbbench -exp fig7        # one experiment
+//	cpdbbench -quick           # scaled-down sizes (seconds, for smoke runs)
+//	cpdbbench -list            # list experiment ids
+//	cpdbbench -steps-long 7000 # override the 14000-step runs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "", "experiment id to run (default: all)")
+		quickFlag = flag.Bool("quick", false, "run at scaled-down sizes")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		short     = flag.Int("steps-short", 0, "override the 3500-step runs")
+		long      = flag.Int("steps-long", 0, "override the 14000-step runs")
+		seed      = flag.Int64("seed", 0, "override the workload seed")
+		dir       = flag.String("dir", "", "scratch directory for store files")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	rc := bench.Full()
+	if *quickFlag {
+		rc = bench.Quick()
+	}
+	if *short > 0 {
+		rc.StepsShort = *short
+	}
+	if *long > 0 {
+		rc.StepsLong = *long
+	}
+	if *seed != 0 {
+		rc.Seed = *seed
+	}
+	rc.Dir = *dir
+	if rc.Dir == "" {
+		tmp, err := os.MkdirTemp("", "cpdbbench-")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(tmp)
+		rc.Dir = tmp
+	}
+
+	experiments := bench.All()
+	if *exp != "" {
+		e, ok := bench.Find(*exp)
+		if !ok {
+			fatal(fmt.Errorf("unknown experiment %q (try -list)", *exp))
+		}
+		experiments = []bench.Experiment{e}
+	}
+	for _, e := range experiments {
+		fmt.Printf("### %s — %s\n\n", e.ID, e.Title)
+		tabs, err := e.Run(rc)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		for _, tb := range tabs {
+			fmt.Println(tb)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cpdbbench:", err)
+	os.Exit(1)
+}

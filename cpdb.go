@@ -1,0 +1,141 @@
+package cpdb
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/path"
+	"repro/internal/provquery"
+	"repro/internal/provstore"
+	"repro/internal/relprov"
+	"repro/internal/relstore"
+	"repro/internal/tree"
+	"repro/internal/update"
+	"repro/internal/wrapper"
+	"repro/internal/xmlstore"
+)
+
+// Re-exported core types. The implementation lives under internal/; these
+// aliases are the public surface.
+type (
+	// Path addresses one node in a forest of databases ("T/c1/y").
+	Path = path.Path
+	// Node is one node of the unordered edge-labelled tree data model.
+	Node = tree.Node
+	// M is a literal tree description for building fixtures.
+	M = tree.M
+	// Method selects a provenance storage strategy.
+	Method = provstore.Method
+	// Record is one row of the Prov relation.
+	Record = provstore.Record
+	// Backend persists provenance records.
+	Backend = provstore.Backend
+	// Source is a wrapped, browsable database (Figure 6 SourceDB).
+	Source = wrapper.Source
+	// Target is a wrapped, editable database (Figure 6 TargetDB).
+	Target = wrapper.Target
+	// TraceResult is the backward history of one location.
+	TraceResult = provquery.TraceResult
+	// Event is one step of a trace.
+	Event = provquery.Event
+	// Origin classifies how a trace ended.
+	Origin = provquery.Origin
+	// Federation joins several databases' provenance stores.
+	Federation = provquery.Federation
+	// Meter accumulates virtual time per operation category.
+	Meter = netsim.Meter
+)
+
+// The four storage methods, in the paper's order.
+const (
+	Naive         = provstore.Naive
+	Hierarchical  = provstore.Hierarchical
+	Transactional = provstore.Transactional
+	HierTrans     = provstore.HierTrans
+)
+
+// Trace origins.
+const (
+	OriginInserted    = provquery.OriginInserted
+	OriginExternal    = provquery.OriginExternal
+	OriginPreexisting = provquery.OriginPreexisting
+)
+
+// ParsePath parses the textual form of a path.
+func ParsePath(s string) (Path, error) { return path.Parse(s) }
+
+// MustParsePath is ParsePath for known-good literals; it panics on error.
+func MustParsePath(s string) Path { return path.MustParse(s) }
+
+// ParseMethod parses "N", "T", "H" or "HT".
+func ParseMethod(s string) (Method, error) { return provstore.ParseMethod(s) }
+
+// BuildTree constructs a tree from a literal description (see M).
+func BuildTree(m M) *Node { return tree.Build(m) }
+
+// NewLeaf returns a leaf node carrying a data value.
+func NewLeaf(v string) *Node { return tree.NewLeaf(v) }
+
+// NewTree returns the empty tree {}.
+func NewTree() *Node { return tree.NewTree() }
+
+// NewMemTarget returns an in-memory tree-database target (an xmlstore, the
+// package's Timber stand-in) wrapped for editing. initial may be nil.
+func NewMemTarget(name string, initial *Node) Target {
+	return wrapper.NewXMLTarget(xmlstore.NewMem(name, initial))
+}
+
+// NewMemSource returns an in-memory tree-database source.
+func NewMemSource(name string, initial *Node) Source {
+	return wrapper.NewXMLTarget(xmlstore.NewMem(name, initial))
+}
+
+// OpenFileTarget opens (or creates) a file-persisted tree-database target.
+func OpenFileTarget(name, file string, initial *Node) (Target, error) {
+	s, err := xmlstore.Open(name, file)
+	if err != nil {
+		s, err = xmlstore.Create(name, file, initial)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return wrapper.NewXMLTarget(s), nil
+}
+
+// NewRelSource wraps a relational database (the package's MySQL stand-in)
+// as a read-only source presenting the four-level DB/R/tid/F view.
+func NewRelSource(name string, db *relstore.DB, tables ...string) Source {
+	return wrapper.NewRelSource(name, db, tables...)
+}
+
+// NewMemBackend returns an in-memory provenance store backend.
+func NewMemBackend() Backend { return provstore.NewMemBackend() }
+
+// CreateRelBackend creates a relational provenance store in a new database
+// file, as the paper stored its Prov table in MySQL.
+func CreateRelBackend(file string) (Backend, error) {
+	db, err := relstore.Create(file)
+	if err != nil {
+		return nil, err
+	}
+	return relprov.Create(db)
+}
+
+// OpenRelBackend opens an existing relational provenance store.
+func OpenRelBackend(file string) (Backend, error) {
+	db, err := relstore.Open(file)
+	if err != nil {
+		return nil, err
+	}
+	return relprov.Open(db)
+}
+
+// NewFederation returns an empty provenance federation for Own queries.
+func NewFederation() *Federation { return provquery.NewFederation() }
+
+// RegisterProvenance attaches a session's provenance store to a federation
+// under the session's target database name.
+func RegisterProvenance(f *Federation, s *Session) {
+	f.Register(s.TargetName(), provquery.New(s.BackendStore()))
+}
+
+// ParseScript parses an update script in the paper's Figure 3 syntax.
+func ParseScript(src string) (update.Sequence, error) { return update.ParseScript(src) }

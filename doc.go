@@ -1,0 +1,36 @@
+// Package cpdb is a Go implementation of the copy-paste provenance system
+// of Buneman, Chapman & Cheney, "Provenance Management in Curated
+// Databases" (SIGMOD 2006).
+//
+// CPDB tracks fine-grained "dataflow" provenance for curated databases:
+// databases built by hand, largely by copying data from other databases.
+// Every user action — insert, delete, copy-paste — on the target database
+// is intercepted by a provenance-aware editor and recorded in an auxiliary
+// provenance store, as links Prov(Tid, Op, Loc, Src) relating locations in
+// the target to locations in earlier versions or in external sources.
+//
+// The package implements all four storage strategies the paper evaluates —
+// naïve, transactional, hierarchical, and hierarchical-transactional — and
+// the provenance queries Src, Hist, Mod (and the federated Own), over
+// either an in-memory store or a from-scratch relational storage engine.
+//
+// # Quick start
+//
+//	target := cpdb.NewMemTarget("MyDB", nil)
+//	source := cpdb.NewMemSource("SwissProt", swissprotTree)
+//	s, err := cpdb.New(cpdb.Config{
+//		Target:  target,
+//		Sources: []cpdb.Source{source},
+//	})
+//	...
+//	err = s.Run(`
+//		insert {ABC1 : {}} into MyDB;
+//		copy SwissProt/O95477 into MyDB/ABC1/entry;
+//	`)
+//	tid, err := s.Commit()
+//	hist, err := s.Hist(cpdb.MustParsePath("MyDB/ABC1/entry"))
+//
+// See the examples/ directory for complete programs, DESIGN.md for the
+// system inventory, and EXPERIMENTS.md for the reproduction of the paper's
+// evaluation.
+package cpdb

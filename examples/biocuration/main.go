@@ -1,0 +1,154 @@
+// Biocuration: the molecular biologist scenario of the paper's
+// introduction (§1.1.1, Figure 1).
+//
+// A researcher keeps a personal protein database MyDB while studying how
+// age and cholesterol efflux affect coronary artery disease. She
+//
+//	(a) copies protein records for ABC1 and CRP from SwissProt,
+//	(b) renames the SwissProt PTM so it is not confused with PTMs from
+//	    other sites,
+//	(c) copies publication details from OMIM and related data from NCBI,
+//	(d) fixes a wrong PubMed id by copying the correct one.
+//
+// One year later she finds a discrepancy between two PTMs. Without
+// provenance she "cannot remember where the anomalous data came from"; with
+// CPDB the Trace/Hist queries answer it directly.
+//
+// Run with: go run ./examples/biocuration
+package main
+
+import (
+	"fmt"
+	"log"
+
+	cpdb "repro"
+)
+
+func main() {
+	// Public source databases (as browsed that day).
+	swissprot := cpdb.BuildTree(cpdb.M{
+		"O95477": cpdb.M{ // ABC1
+			"name":     "ATP-binding cassette transporter 1",
+			"organism": "H.sapiens",
+			"PTM":      cpdb.M{"kind": "phosphorylation", "site": "S1042"},
+		},
+		"P02741": cpdb.M{ // CRP
+			"name":     "C-reactive protein",
+			"organism": "H.sapiens",
+			"PTM":      cpdb.M{"kind": "glycosylation", "site": "N145"},
+		},
+	})
+	omim := cpdb.BuildTree(cpdb.M{
+		"600046": cpdb.M{
+			"title":   "ATP-BINDING CASSETTE, SUBFAMILY A, MEMBER 1",
+			"pubmed":  "123 6512", // note: a transcription error lives here
+			"created": "1994-07-27",
+		},
+	})
+	ncbi := cpdb.BuildTree(cpdb.M{
+		"NP_005493": cpdb.M{"gi": "4557321", "len": "2261"},
+	})
+	pubmed := cpdb.BuildTree(cpdb.M{
+		"12504680": cpdb.M{"journal": "Curr Opin Lipidol", "year": "2002"},
+	})
+
+	session, err := cpdb.New(cpdb.Config{
+		Target: cpdb.NewMemTarget("MyDB", nil),
+		Sources: []cpdb.Source{
+			cpdb.NewMemSource("SwissProt", swissprot),
+			cpdb.NewMemSource("OMIM", omim),
+			cpdb.NewMemSource("NCBI", ncbi),
+			cpdb.NewMemSource("PubMed", pubmed),
+		},
+		Method: cpdb.HierTrans,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// (a) Copy the interesting proteins from SwissProt; one commit per
+	// curation session keeps the provenance readable.
+	must(session.Run(`
+		insert {ABC1 : {}} into MyDB;
+		copy SwissProt/O95477 into MyDB/ABC1/entry;
+		insert {CRP : {}} into MyDB;
+		copy SwissProt/P02741 into MyDB/CRP/entry;
+	`))
+	commit(session, "(a) copied ABC1 and CRP from SwissProt")
+
+	// (b) Rename the SwissProt PTM so it is not confused with PTMs found
+	// at other sites: copy it under a new name, then delete the original.
+	must(session.Run(`
+		copy MyDB/ABC1/entry/PTM into MyDB/ABC1/entry/SwissProt-PTM;
+		delete PTM from MyDB/ABC1/entry;
+	`))
+	commit(session, "(b) renamed PTM to SwissProt-PTM")
+
+	// (c) Publication details from OMIM, related data from NCBI.
+	must(session.Run(`
+		insert {Publications : {}} into MyDB/ABC1;
+		copy OMIM/600046 into MyDB/ABC1/Publications/600046;
+		copy NCBI/NP_005493 into MyDB/ABC1/refseq;
+	`))
+	commit(session, "(c) copied publication details from OMIM and NCBI")
+
+	// (d) She notices the PubMed number is wrong and fixes it with the
+	// correct record.
+	must(session.Run(`
+		copy PubMed/12504680 into MyDB/ABC1/Publications/600046/pubmed;
+	`))
+	commit(session, "(d) corrected the PubMed reference")
+
+	fmt.Println()
+	fmt.Println("MyDB after curation:")
+	fmt.Printf("  %s\n\n", session.View())
+
+	// One year later: where did this anomalous PTM come from?
+	fmt.Println("One year later — tracing the anomalous PTM:")
+	ptm := cpdb.MustParsePath("MyDB/ABC1/entry/SwissProt-PTM/site")
+	tr, err := session.Trace(ptm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ev := range tr.Events {
+		fmt.Printf("  %s\n", ev)
+	}
+	if tr.Origin == cpdb.OriginExternal {
+		fmt.Printf("  ⇒ the data was copied from %s — check that database for the conflict\n", tr.External)
+	}
+
+	// And the corrected publication number: which transactions touched it?
+	fmt.Println()
+	fmt.Println("Audit of the publication record:")
+	mod, err := session.Mod(cpdb.MustParsePath("MyDB/ABC1/Publications"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  transactions that modified MyDB/ABC1/Publications: %v\n", mod)
+	hist, err := session.Hist(cpdb.MustParsePath("MyDB/ABC1/Publications/600046/pubmed"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  copy history of the corrected pubmed field: txns %v\n", hist)
+	src, ok, err := session.Src(cpdb.MustParsePath("MyDB/ABC1/Publications"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if ok {
+		fmt.Printf("  the Publications folder itself was created locally in txn %d\n", src)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func commit(s *cpdb.Session, what string) {
+	tid, err := s.Commit()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("txn %d: %s\n", tid, what)
+}

@@ -1,0 +1,249 @@
+package archive_test
+
+import (
+	"testing"
+
+	"repro/internal/archive"
+	"repro/internal/figures"
+	"repro/internal/path"
+	"repro/internal/provstore"
+	"repro/internal/provtest"
+	"repro/internal/tree"
+	"repro/internal/update"
+)
+
+func TestArchiveVersions(t *testing.T) {
+	a := archive.New("T", figures.T0())
+	if a.DB() != "T" {
+		t.Error("DB wrong")
+	}
+	v1 := figures.T0()
+	v1.RemoveChild("c5")
+	if err := a.Record(10, v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Record(10, v1); err == nil {
+		t.Error("duplicate version accepted")
+	}
+	if err := a.Record(5, v1); err == nil {
+		t.Error("out-of-order version accepted")
+	}
+	if got := a.Versions(); len(got) != 2 || got[0] != 0 || got[1] != 10 {
+		t.Errorf("Versions = %v", got)
+	}
+	got, ok := a.At(10)
+	if !ok || !got.Equal(v1) {
+		t.Error("At(10) wrong")
+	}
+	if _, ok := a.At(99); ok {
+		t.Error("phantom version")
+	}
+	// AsOf finds the newest version ≤ tid.
+	st, v, ok := a.AsOf(7)
+	if !ok || v != 0 || !st.Equal(figures.T0()) {
+		t.Errorf("AsOf(7) = v%d, %v", v, ok)
+	}
+	st, v, ok = a.AsOf(10)
+	if !ok || v != 10 || !st.Equal(v1) {
+		t.Errorf("AsOf(10) = v%d", v)
+	}
+	if _, _, ok := a.AsOf(-1); ok {
+		t.Error("AsOf before first version should miss")
+	}
+	// Archived versions are isolated from later mutation.
+	st.RemoveChild("c1")
+	again, _, _ := a.AsOf(10)
+	if !again.HasChild("c1") {
+		t.Error("archive aliased returned version")
+	}
+}
+
+func TestArchiveDiff(t *testing.T) {
+	a := archive.New("T", figures.T0())
+	a.Record(1, figures.TPrime())
+	d, err := a.DiffVersions(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasPath := func(ps []path.Path, s string) bool {
+		for _, p := range ps {
+			if p.String() == s {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasPath(d.OnlyA, "c5") || !hasPath(d.OnlyA, "c5/x") {
+		t.Errorf("OnlyA = %v", d.OnlyA)
+	}
+	if !hasPath(d.OnlyB, "c2") || !hasPath(d.OnlyB, "c4/y") {
+		t.Errorf("OnlyB = %v", d.OnlyB)
+	}
+	if !hasPath(d.Changed, "c1/y") {
+		t.Errorf("Changed = %v", d.Changed)
+	}
+	if hasPath(d.Changed, "c1/x") {
+		t.Error("unchanged leaf flagged")
+	}
+	if _, err := a.DiffVersions(0, 99); err == nil {
+		t.Error("diff of missing version should error")
+	}
+}
+
+// TestReconstructLostSource is the paper's §5 scenario: T1 and T2 copied
+// from S; S disappears; its content is partially rebuilt from their
+// provenance stores.
+func TestReconstructLostSource(t *testing.T) {
+	sTree := tree.Build(tree.M{
+		"itemA": tree.M{"v": 1, "w": 2},
+		"itemB": tree.M{"v": 3},
+		"itemC": tree.M{"v": 4}, // never copied: unrecoverable
+	})
+
+	runWitness := func(name, script string) archive.Witness {
+		tr := provstore.MustNew(provstore.Naive, provstore.Config{Backend: provstore.NewMemBackend()})
+		f := tree.NewForest()
+		f.AddDB("S", sTree.Clone())
+		f.AddDB(name, tree.NewTree())
+		if _, err := provtest.RunPerOp(tr, f, update.MustParseScript(script)); err != nil {
+			t.Fatal(err)
+		}
+		return archive.Witness{DB: name, Backend: tr.Backend(), State: f.DB(name)}
+	}
+
+	w1 := runWitness("T1", `
+		copy S/itemA into T1/a;
+		copy S/itemB into T1/b;
+	`)
+	w2 := runWitness("T2", `
+		copy S/itemA/v into T2/justV;
+	`)
+
+	res, err := archive.Reconstruct("S", []archive.Witness{w1, w2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// itemA and itemB recovered; itemC not.
+	wantA := tree.Build(tree.M{"v": 1, "w": 2})
+	gotA, err := res.Tree.Get(path.MustParse("itemA"))
+	if err != nil || !gotA.Equal(wantA) {
+		t.Errorf("itemA = %v, %v", gotA, err)
+	}
+	if !res.Tree.HasChild("itemB") {
+		t.Error("itemB missing")
+	}
+	if res.Tree.HasChild("itemC") {
+		t.Error("itemC should be unrecoverable")
+	}
+	// Both witnesses vouch for itemA/v.
+	if ev := res.Evidence["itemA/v"]; len(ev) != 1 || ev[0] != "T2" {
+		// T1's evidence is at itemA (the subtree root); T2's at itemA/v.
+		if len(res.Evidence["itemA"]) != 1 {
+			t.Errorf("evidence wrong: %v", res.Evidence)
+		}
+	}
+	if len(res.Conflicts) != 0 {
+		t.Errorf("unexpected conflicts: %v", res.Conflicts)
+	}
+}
+
+// TestReconstructConflict: a witness whose copy was later edited disagrees
+// with a faithful witness — the location is flagged.
+func TestReconstructConflict(t *testing.T) {
+	sTree := tree.Build(tree.M{"item": tree.M{"v": 1}})
+
+	mk := func(name string, mutate bool) archive.Witness {
+		tr := provstore.MustNew(provstore.Naive, provstore.Config{Backend: provstore.NewMemBackend()})
+		f := tree.NewForest()
+		f.AddDB("S", sTree.Clone())
+		f.AddDB(name, tree.NewTree())
+		script := "copy S/item into " + name + "/item"
+		if _, err := provtest.RunPerOp(tr, f, update.MustParseScript(script)); err != nil {
+			t.Fatal(err)
+		}
+		if mutate {
+			n, _ := f.Get(path.MustParse(name + "/item/v"))
+			n.SetValue("999")
+		}
+		return archive.Witness{DB: name, Backend: tr.Backend(), State: f.DB(name)}
+	}
+
+	res, err := archive.Reconstruct("S", []archive.Witness{mk("T1", false), mk("T2", true)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The naive store has per-node copy rows, so both the subtree root
+	// and the edited leaf are flagged.
+	found := false
+	for _, c := range res.Conflicts {
+		if c.String() == "item" {
+			found = true
+		}
+	}
+	if !found || len(res.Conflicts) == 0 {
+		t.Errorf("Conflicts = %v, want item flagged", res.Conflicts)
+	}
+	// First witness wins: the original value survives.
+	v, err := res.Tree.Get(path.MustParse("item/v"))
+	if err != nil || v.Value() != "1" {
+		t.Errorf("item/v = %v, %v", v, err)
+	}
+}
+
+// TestReconstructSkipsDeleted: data the witness itself deleted cannot
+// testify.
+func TestReconstructSkipsDeleted(t *testing.T) {
+	sTree := tree.Build(tree.M{"item": tree.M{"v": 1}})
+	tr := provstore.MustNew(provstore.Naive, provstore.Config{Backend: provstore.NewMemBackend()})
+	f := tree.NewForest()
+	f.AddDB("S", sTree)
+	f.AddDB("T1", tree.NewTree())
+	script := `
+		copy S/item into T1/item;
+		delete item from T1;
+	`
+	if _, err := provtest.RunPerOp(tr, f, update.MustParseScript(script)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := archive.Reconstruct("S", []archive.Witness{
+		{DB: "T1", Backend: tr.Backend(), State: f.DB("T1")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tree.NumChildren() != 0 {
+		t.Errorf("deleted data reconstructed: %s", res.Tree)
+	}
+}
+
+// TestSubsumingWitnesses: a witness with a larger subtree upgrades a
+// partial reconstruction without conflict, in either arrival order.
+func TestSubsumingWitnesses(t *testing.T) {
+	sTree := tree.Build(tree.M{"item": tree.M{"v": 1, "w": 2}})
+	mk := func(name, script string) archive.Witness {
+		tr := provstore.MustNew(provstore.Naive, provstore.Config{Backend: provstore.NewMemBackend()})
+		f := tree.NewForest()
+		f.AddDB("S", sTree.Clone())
+		f.AddDB(name, tree.NewTree())
+		if _, err := provtest.RunPerOp(tr, f, update.MustParseScript(script)); err != nil {
+			t.Fatal(err)
+		}
+		return archive.Witness{DB: name, Backend: tr.Backend(), State: f.DB(name)}
+	}
+	full := mk("T1", `copy S/item into T1/item`)
+	partial := mk("T2", `copy S/item/v into T2/v`)
+
+	for _, order := range [][]archive.Witness{{full, partial}, {partial, full}} {
+		res, err := archive.Reconstruct("S", order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Conflicts) != 0 {
+			t.Errorf("order %v: conflicts %v", order[0].DB, res.Conflicts)
+		}
+		w, err := res.Tree.Get(path.MustParse("item/w"))
+		if err != nil || w.Value() != "2" {
+			t.Errorf("order %v: item/w = %v, %v", order[0].DB, w, err)
+		}
+	}
+}

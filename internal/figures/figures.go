@@ -1,0 +1,158 @@
+// Package figures contains the worked example of Buneman, Chapman & Cheney
+// (SIGMOD 2006), Figures 3–5, as executable fixtures. Multiple packages'
+// golden tests, the examples, and `cpdbbench -exp fig5` reproduce the
+// paper's provenance tables from these fixtures.
+//
+// The paper's Figure 4 gives the shapes of S1, S2 and T and the provenance
+// links; the concrete leaf values below are chosen consistently with the
+// figure (the published rendering of the leaf values is partly ambiguous,
+// but no experiment or provenance table depends on them).
+package figures
+
+import (
+	"repro/internal/tree"
+	"repro/internal/update"
+)
+
+// Script is the update operation of Figure 3, verbatim.
+const Script = `
+(1) delete c5 from T;
+(2) copy S1/a1/y into T/c1/y;
+(3) insert {c2 : {}} into T;
+(4) copy S1/a2 into T/c2;
+(5) insert {y : {}} into T/c2;
+(6) copy S2/b3/y into T/c2/y;
+(7) copy S1/a3 into T/c3;
+(8) insert {c4 : {}} into T;
+(9) copy S2/b2 into T/c4;
+(10) insert {y : 12} into T/c4;
+`
+
+// Sequence returns the parsed Figure 3 update sequence.
+func Sequence() update.Sequence {
+	return update.MustParseScript(Script)
+}
+
+// S1 returns source database S1 of Figure 4.
+func S1() *tree.Node {
+	return tree.Build(tree.M{
+		"a1": tree.M{"x": 1, "y": 2},
+		"a2": tree.M{"x": 3},
+		"a3": tree.M{"x": 7, "y": 6},
+	})
+}
+
+// S2 returns source database S2 of Figure 4.
+func S2() *tree.Node {
+	return tree.Build(tree.M{
+		"b1": tree.M{"x": 2, "y": 5},
+		"b2": tree.M{"x": 4},
+		"b3": tree.M{"x": 7, "y": 6},
+	})
+}
+
+// T0 returns the initial version of the target database T of Figure 4.
+func T0() *tree.Node {
+	return tree.Build(tree.M{
+		"c1": tree.M{"x": 1, "y": 3},
+		"c5": tree.M{"x": 9, "y": 7},
+	})
+}
+
+// TPrime returns the expected final version T' of Figure 4 — the result of
+// applying the Figure 3 script to T0 with sources S1 and S2.
+func TPrime() *tree.Node {
+	return tree.Build(tree.M{
+		"c1": tree.M{"x": 1, "y": 2},
+		"c2": tree.M{"x": 3, "y": 6},
+		"c3": tree.M{"x": 7, "y": 6},
+		"c4": tree.M{"x": 4, "y": 12},
+	})
+}
+
+// Forest returns a fresh forest {S1, S2, T=T0}.
+func Forest() *tree.Forest {
+	f := tree.NewForest()
+	f.AddDB("S1", S1())
+	f.AddDB("S2", S2())
+	f.AddDB("T", T0())
+	return f
+}
+
+// FirstTid is the transaction number of the first operation in Figure 5
+// (121), used by the golden tests so the reproduced tables match the paper
+// row for row.
+const FirstTid = 121
+
+// A Row is one line of a provenance table in Figure 5, in display form.
+type Row struct {
+	Tid int64
+	Op  string // "I", "C", "D"
+	Loc string
+	Src string // "" renders as ⊥
+}
+
+// Fig5a is Figure 5(a): naïve provenance, one transaction per operation.
+var Fig5a = []Row{
+	{121, "D", "T/c5", ""},
+	{121, "D", "T/c5/x", ""},
+	{121, "D", "T/c5/y", ""},
+	{122, "C", "T/c1/y", "S1/a1/y"},
+	{123, "I", "T/c2", ""},
+	{124, "C", "T/c2", "S1/a2"},
+	{124, "C", "T/c2/x", "S1/a2/x"},
+	{125, "I", "T/c2/y", ""},
+	{126, "C", "T/c2/y", "S2/b3/y"},
+	{127, "C", "T/c3", "S1/a3"},
+	{127, "C", "T/c3/x", "S1/a3/x"},
+	{127, "C", "T/c3/y", "S1/a3/y"},
+	{128, "I", "T/c4", ""},
+	{129, "C", "T/c4", "S2/b2"},
+	{129, "C", "T/c4/x", "S2/b2/x"},
+	{130, "I", "T/c4/y", ""},
+}
+
+// Fig5b is Figure 5(b): the entire update as one transaction (transactional
+// provenance).
+var Fig5b = []Row{
+	{121, "D", "T/c5", ""},
+	{121, "D", "T/c5/x", ""},
+	{121, "D", "T/c5/y", ""},
+	{121, "C", "T/c1/y", "S1/a1/y"},
+	{121, "C", "T/c2", "S1/a2"},
+	{121, "C", "T/c2/x", "S1/a2/x"},
+	{121, "C", "T/c2/y", "S2/b3/y"},
+	{121, "C", "T/c3", "S1/a3"},
+	{121, "C", "T/c3/x", "S1/a3/x"},
+	{121, "C", "T/c3/y", "S1/a3/y"},
+	{121, "C", "T/c4", "S2/b2"},
+	{121, "C", "T/c4/x", "S2/b2/x"},
+	{121, "I", "T/c4/y", ""},
+}
+
+// Fig5c is Figure 5(c): hierarchical provenance, one transaction per
+// operation.
+var Fig5c = []Row{
+	{121, "D", "T/c5", ""},
+	{122, "C", "T/c1/y", "S1/a1/y"},
+	{123, "I", "T/c2", ""},
+	{124, "C", "T/c2", "S1/a2"},
+	{125, "I", "T/c2/y", ""},
+	{126, "C", "T/c2/y", "S2/b3/y"},
+	{127, "C", "T/c3", "S1/a3"},
+	{128, "I", "T/c4", ""},
+	{129, "C", "T/c4", "S2/b2"},
+	{130, "I", "T/c4/y", ""},
+}
+
+// Fig5d is Figure 5(d): hierarchical-transactional provenance, the entire
+// update as one transaction.
+var Fig5d = []Row{
+	{121, "D", "T/c5", ""},
+	{121, "C", "T/c1/y", "S1/a1/y"},
+	{121, "C", "T/c2", "S1/a2"},
+	{121, "C", "T/c2/y", "S2/b3/y"},
+	{121, "C", "T/c3", "S1/a3"},
+	{121, "C", "T/c4", "S2/b2"},
+	{121, "I", "T/c4/y", ""},
+}

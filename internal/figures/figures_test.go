@@ -1,0 +1,112 @@
+package figures_test
+
+import (
+	"testing"
+
+	"repro/internal/figures"
+	"repro/internal/path"
+	"repro/internal/provstore"
+	"repro/internal/update"
+)
+
+func TestScriptParses(t *testing.T) {
+	seq := figures.Sequence()
+	if len(seq) != 10 {
+		t.Fatalf("script parses to %d ops, want 10", len(seq))
+	}
+	// The op kinds match Figure 3 exactly.
+	kinds := "DCICICCICI" // delete, copy, insert, copy, insert, copy, copy, insert, copy, insert
+	for i, op := range seq {
+		var k byte
+		switch op.(type) {
+		case update.Delete:
+			k = 'D'
+		case update.Copy:
+			k = 'C'
+		case update.Insert:
+			k = 'I'
+		}
+		if k != kinds[i] {
+			t.Errorf("op %d is %c, want %c", i+1, k, kinds[i])
+		}
+	}
+}
+
+func TestFixtureTreesAreFresh(t *testing.T) {
+	// Each call returns an independent tree.
+	a, b := figures.T0(), figures.T0()
+	a.RemoveChild("c5")
+	if !b.HasChild("c5") {
+		t.Error("fixtures alias each other")
+	}
+	f1, f2 := figures.Forest(), figures.Forest()
+	f1.DB("T").RemoveChild("c1")
+	if !f2.DB("T").HasChild("c1") {
+		t.Error("forests alias each other")
+	}
+}
+
+func TestExpectedTablesAreConsistent(t *testing.T) {
+	// Row counts per Figure 5.
+	if len(figures.Fig5a) != 16 || len(figures.Fig5b) != 13 ||
+		len(figures.Fig5c) != 10 || len(figures.Fig5d) != 7 {
+		t.Error("fixture table sizes wrong")
+	}
+	// Every row is structurally valid: op in {I,C,D}, copy iff src set.
+	for name, rows := range map[string][]figures.Row{
+		"a": figures.Fig5a, "b": figures.Fig5b, "c": figures.Fig5c, "d": figures.Fig5d,
+	} {
+		for i, r := range rows {
+			if r.Op != "I" && r.Op != "C" && r.Op != "D" {
+				t.Errorf("table %s row %d: bad op %q", name, i, r.Op)
+			}
+			if (r.Op == "C") != (r.Src != "") {
+				t.Errorf("table %s row %d: src/op mismatch", name, i)
+			}
+			if _, err := path.Parse(r.Loc); err != nil {
+				t.Errorf("table %s row %d: bad loc %q", name, i, r.Loc)
+			}
+			// All locations are in T; all sources in S1/S2.
+			if r.Loc[:2] != "T/" {
+				t.Errorf("table %s row %d: loc outside T", name, i)
+			}
+		}
+	}
+	// The hierarchical tables are subsets of their full counterparts
+	// (same (op, loc, src) triples, ignoring tids).
+	sub := func(small, big []figures.Row) bool {
+		in := map[string]bool{}
+		for _, r := range big {
+			in[r.Op+r.Loc+r.Src] = true
+		}
+		for _, r := range small {
+			if !in[r.Op+r.Loc+r.Src] {
+				return false
+			}
+		}
+		return true
+	}
+	if !sub(figures.Fig5c, figures.Fig5a) {
+		t.Error("Fig5c ⊄ Fig5a")
+	}
+	if !sub(figures.Fig5d, figures.Fig5b) {
+		t.Error("Fig5d ⊄ Fig5b")
+	}
+	// Transactional tables use one tid (FirstTid); naive per-op ones span
+	// FirstTid..FirstTid+9.
+	for _, r := range figures.Fig5b {
+		if r.Tid != figures.FirstTid {
+			t.Errorf("Fig5b row with tid %d", r.Tid)
+		}
+	}
+	maxTid := int64(0)
+	for _, r := range figures.Fig5a {
+		if r.Tid > maxTid {
+			maxTid = r.Tid
+		}
+	}
+	if maxTid != figures.FirstTid+9 {
+		t.Errorf("Fig5a max tid = %d", maxTid)
+	}
+	_ = provstore.OpInsert // keep the import for the op-kind domain
+}

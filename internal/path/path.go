@@ -1,0 +1,371 @@
+// Package path implements the path addressing scheme used throughout CPDB.
+//
+// Following Buneman, Chapman & Cheney (SIGMOD 2006, §2), every database is
+// viewed as an unordered edge-labelled tree whose edges can be labelled so
+// that a given sequence of labels occurs on at most one path from the root.
+// A Path is such a sequence of labels; its string form joins the labels with
+// '/', e.g. "T/c1/y" or "SwissProt/Release{20}/Q01780/Citation{3}/Title".
+//
+// The first component of a path conventionally names the database (the tree
+// root), so "T/c1/y" addresses node c1/y inside database T. The empty path
+// addresses the forest root and is never stored.
+package path
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Separator is the label separator in the textual form of a path.
+const Separator = '/'
+
+// Errors returned by path parsing and manipulation.
+var (
+	ErrEmpty      = errors.New("path: empty path")
+	ErrBadLabel   = errors.New("path: label must be non-empty and must not contain '/'")
+	ErrNotPrefix  = errors.New("path: not a prefix")
+	ErrNoParent   = errors.New("path: root path has no parent")
+	ErrBadPattern = errors.New("path: malformed pattern")
+)
+
+// A Path is an immutable sequence of edge labels addressing at most one node
+// in a forest of databases. The zero value is the (empty) forest root.
+//
+// Paths are values; all methods return new Paths and never alias the
+// receiver's backing storage in a way that permits mutation through shared
+// slices (Child copies).
+type Path struct {
+	elems []string
+}
+
+// Root is the empty path addressing the forest root.
+var Root = Path{}
+
+// New builds a path from the given labels. It panics if any label is invalid;
+// use TryNew for error returns. New is intended for literals in code and
+// tests where the labels are known to be valid.
+func New(labels ...string) Path {
+	p, err := TryNew(labels...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// TryNew builds a path from the given labels, validating each one.
+func TryNew(labels ...string) (Path, error) {
+	if len(labels) == 0 {
+		return Root, nil
+	}
+	elems := make([]string, len(labels))
+	for i, l := range labels {
+		if !ValidLabel(l) {
+			return Root, fmt.Errorf("%w: %q", ErrBadLabel, l)
+		}
+		elems[i] = l
+	}
+	return Path{elems: elems}, nil
+}
+
+// ValidLabel reports whether l can be used as an edge label: it must be
+// non-empty and must not contain the separator.
+func ValidLabel(l string) bool {
+	return l != "" && !strings.ContainsRune(l, Separator)
+}
+
+// Parse parses the textual form of a path ("T/c1/y"). An empty string parses
+// to the forest root. Leading and trailing separators and empty components
+// are rejected: path strings are canonical.
+func Parse(s string) (Path, error) {
+	if s == "" {
+		return Root, nil
+	}
+	parts := strings.Split(s, string(Separator))
+	return TryNew(parts...)
+}
+
+// MustParse is Parse for known-good literals; it panics on error.
+func MustParse(s string) Path {
+	p, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// String returns the canonical textual form. The forest root renders as "".
+func (p Path) String() string {
+	return strings.Join(p.elems, string(Separator))
+}
+
+// Len returns the number of labels in the path. The forest root has length 0.
+func (p Path) Len() int { return len(p.elems) }
+
+// IsRoot reports whether p is the forest root (length 0).
+func (p Path) IsRoot() bool { return len(p.elems) == 0 }
+
+// At returns the i-th label (0-based). It panics if i is out of range, like a
+// slice index.
+func (p Path) At(i int) string { return p.elems[i] }
+
+// Labels returns a copy of the labels of p.
+func (p Path) Labels() []string {
+	out := make([]string, len(p.elems))
+	copy(out, p.elems)
+	return out
+}
+
+// Base returns the final label of p, or "" for the forest root.
+func (p Path) Base() string {
+	if len(p.elems) == 0 {
+		return ""
+	}
+	return p.elems[len(p.elems)-1]
+}
+
+// DB returns the first label of p — by convention the database name — or ""
+// for the forest root.
+func (p Path) DB() string {
+	if len(p.elems) == 0 {
+		return ""
+	}
+	return p.elems[0]
+}
+
+// Parent returns the path with the final label removed. It returns ErrNoParent
+// for the forest root.
+func (p Path) Parent() (Path, error) {
+	if len(p.elems) == 0 {
+		return Root, ErrNoParent
+	}
+	return Path{elems: p.elems[:len(p.elems)-1]}, nil
+}
+
+// MustParent is Parent for paths known not to be the root; it panics on the
+// root path.
+func (p Path) MustParent() Path {
+	q, err := p.Parent()
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Child returns p extended with one more label. It panics on an invalid
+// label; use TryChild for an error return.
+func (p Path) Child(label string) Path {
+	q, err := p.TryChild(label)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// TryChild returns p extended with one more label, validating it.
+func (p Path) TryChild(label string) (Path, error) {
+	if !ValidLabel(label) {
+		return Root, fmt.Errorf("%w: %q", ErrBadLabel, label)
+	}
+	elems := make([]string, len(p.elems)+1)
+	copy(elems, p.elems)
+	elems[len(p.elems)] = label
+	return Path{elems: elems}, nil
+}
+
+// Join returns p extended by all labels of q.
+func (p Path) Join(q Path) Path {
+	if q.IsRoot() {
+		return p
+	}
+	elems := make([]string, len(p.elems)+len(q.elems))
+	copy(elems, p.elems)
+	copy(elems[len(p.elems):], q.elems)
+	return Path{elems: elems}
+}
+
+// Equal reports whether p and q address the same node.
+func (p Path) Equal(q Path) bool {
+	if len(p.elems) != len(q.elems) {
+		return false
+	}
+	for i := range p.elems {
+		if p.elems[i] != q.elems[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare orders paths first lexicographically component-wise, then by
+// length, so that a path always sorts immediately before its descendants'
+// region. It returns -1, 0, or +1. This is the sort order used by the
+// provenance store's (Tid, Loc) index.
+func (p Path) Compare(q Path) int {
+	n := min(len(p.elems), len(q.elems))
+	for i := 0; i < n; i++ {
+		if c := strings.Compare(p.elems[i], q.elems[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(p.elems) < len(q.elems):
+		return -1
+	case len(p.elems) > len(q.elems):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// IsPrefixOf reports whether p is a (non-strict) prefix of q; that is, the
+// node at q lies in the subtree rooted at p. Written p ≤ q in the paper.
+func (p Path) IsPrefixOf(q Path) bool {
+	if len(p.elems) > len(q.elems) {
+		return false
+	}
+	for i := range p.elems {
+		if p.elems[i] != q.elems[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsStrictPrefixOf reports whether p is a proper prefix of q.
+func (p Path) IsStrictPrefixOf(q Path) bool {
+	return len(p.elems) < len(q.elems) && p.IsPrefixOf(q)
+}
+
+// TrimPrefix returns the remainder of p after removing the prefix q, so that
+// q.Join(rest) == p. It returns ErrNotPrefix if q is not a prefix of p.
+func (p Path) TrimPrefix(q Path) (Path, error) {
+	if !q.IsPrefixOf(p) {
+		return Root, fmt.Errorf("%w: %q is not a prefix of %q", ErrNotPrefix, q, p)
+	}
+	rest := p.elems[len(q.elems):]
+	if len(rest) == 0 {
+		return Root, nil
+	}
+	elems := make([]string, len(rest))
+	copy(elems, rest)
+	return Path{elems: elems}, nil
+}
+
+// Rebase rewrites p from the subtree rooted at from into the subtree rooted
+// at to: Rebase(from→to) of from.Join(rest) is to.Join(rest). This is the
+// core operation of hierarchical provenance inference (if p was copied from
+// q, then p/a came from q/a). It returns ErrNotPrefix if p is not under from.
+func (p Path) Rebase(from, to Path) (Path, error) {
+	rest, err := p.TrimPrefix(from)
+	if err != nil {
+		return Root, err
+	}
+	return to.Join(rest), nil
+}
+
+// Ancestors returns all strict ancestors of p from the root database
+// downwards, excluding p itself and excluding the forest root. For "T/a/b"
+// it returns ["T", "T/a"].
+func (p Path) Ancestors() []Path {
+	if len(p.elems) <= 1 {
+		return nil
+	}
+	out := make([]Path, 0, len(p.elems)-1)
+	for i := 1; i < len(p.elems); i++ {
+		out = append(out, Path{elems: p.elems[:i]})
+	}
+	return out
+}
+
+// Prefix returns the first n labels of p as a path. It panics if n is out of
+// range.
+func (p Path) Prefix(n int) Path {
+	if n < 0 || n > len(p.elems) {
+		panic(fmt.Sprintf("path: prefix length %d out of range for %q", n, p))
+	}
+	return Path{elems: p.elems[:n]}
+}
+
+// AppendBinary appends a self-delimiting binary encoding of p to buf and
+// returns the result. The encoding preserves Compare order under bytes.Compare
+// for paths (each label is terminated by 0x00, which is less than any label
+// byte we admit; labels containing NUL are rejected by construction since
+// they come from parsed text, but we escape defensively).
+//
+// Encoding: for each label, the label bytes with 0x00 escaped as 0x01 0x02
+// and 0x01 escaped as 0x01 0x03, then a 0x00 terminator.
+func (p Path) AppendBinary(buf []byte) []byte {
+	for _, l := range p.elems {
+		for i := 0; i < len(l); i++ {
+			switch l[i] {
+			case 0x00:
+				buf = append(buf, 0x01, 0x02)
+			case 0x01:
+				buf = append(buf, 0x01, 0x03)
+			default:
+				buf = append(buf, l[i])
+			}
+		}
+		buf = append(buf, 0x00)
+	}
+	return buf
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler using AppendBinary.
+func (p Path) MarshalBinary() ([]byte, error) {
+	return p.AppendBinary(nil), nil
+}
+
+// DecodeBinary decodes a path encoded by AppendBinary from the front of buf,
+// returning the path and the number of bytes consumed. A path encoding ends
+// at the end of buf.
+func DecodeBinary(buf []byte) (Path, int, error) {
+	var elems []string
+	var cur []byte
+	i := 0
+	for i < len(buf) {
+		switch buf[i] {
+		case 0x00:
+			elems = append(elems, string(cur))
+			cur = cur[:0]
+			i++
+		case 0x01:
+			if i+1 >= len(buf) {
+				return Root, 0, fmt.Errorf("path: truncated escape in binary path")
+			}
+			switch buf[i+1] {
+			case 0x02:
+				cur = append(cur, 0x00)
+			case 0x03:
+				cur = append(cur, 0x01)
+			default:
+				return Root, 0, fmt.Errorf("path: bad escape 0x%02x in binary path", buf[i+1])
+			}
+			i += 2
+		default:
+			cur = append(cur, buf[i])
+			i++
+		}
+	}
+	if len(cur) != 0 {
+		return Root, 0, fmt.Errorf("path: unterminated label in binary path")
+	}
+	if len(elems) == 0 {
+		return Root, i, nil
+	}
+	return Path{elems: elems}, i, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (p *Path) UnmarshalBinary(data []byte) error {
+	q, n, err := DecodeBinary(data)
+	if err != nil {
+		return err
+	}
+	if n != len(data) {
+		return fmt.Errorf("path: %d trailing bytes after binary path", len(data)-n)
+	}
+	*p = q
+	return nil
+}

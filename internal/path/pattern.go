@@ -1,0 +1,172 @@
+package path
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Wildcard is the pattern component that matches exactly one label,
+// corresponding to the XPath-style '*' used by the paper's approximate
+// provenance records, e.g. Prov(t, C, T/a/*/b, S/a/*/b).
+const Wildcard = "*"
+
+// A Pattern is a path in which some components may be the single-label
+// wildcard '*'. Patterns over-approximate sets of paths: a pattern matches a
+// path when they have the same length and every non-wildcard component is
+// equal. Patterns are used by the approximate provenance extension (§6 of
+// the paper) to describe the effect of bulk updates compactly.
+type Pattern struct {
+	elems []string // each either a valid label or Wildcard
+}
+
+// ParsePattern parses the textual form of a pattern ("T/a/*/b"). The empty
+// string parses to the empty pattern, which matches only the forest root.
+func ParsePattern(s string) (Pattern, error) {
+	if s == "" {
+		return Pattern{}, nil
+	}
+	parts := strings.Split(s, string(Separator))
+	elems := make([]string, len(parts))
+	for i, part := range parts {
+		if part != Wildcard && !ValidLabel(part) {
+			return Pattern{}, fmt.Errorf("%w: component %q", ErrBadPattern, part)
+		}
+		elems[i] = part
+	}
+	return Pattern{elems: elems}, nil
+}
+
+// MustParsePattern is ParsePattern for known-good literals; it panics on
+// error.
+func MustParsePattern(s string) Pattern {
+	pat, err := ParsePattern(s)
+	if err != nil {
+		panic(err)
+	}
+	return pat
+}
+
+// PatternFromPath returns the exact pattern matching only p.
+func PatternFromPath(p Path) Pattern {
+	return Pattern{elems: p.Labels()}
+}
+
+// String returns the canonical textual form of the pattern.
+func (pat Pattern) String() string {
+	return strings.Join(pat.elems, string(Separator))
+}
+
+// Len returns the number of components.
+func (pat Pattern) Len() int { return len(pat.elems) }
+
+// IsExact reports whether the pattern contains no wildcards, in which case it
+// matches exactly one path (see AsPath).
+func (pat Pattern) IsExact() bool {
+	for _, e := range pat.elems {
+		if e == Wildcard {
+			return false
+		}
+	}
+	return true
+}
+
+// AsPath converts an exact pattern to the unique path it matches. It returns
+// false if the pattern contains a wildcard.
+func (pat Pattern) AsPath() (Path, bool) {
+	if !pat.IsExact() {
+		return Root, false
+	}
+	elems := make([]string, len(pat.elems))
+	copy(elems, pat.elems)
+	return Path{elems: elems}, true
+}
+
+// Matches reports whether the pattern matches the path exactly (same length,
+// each non-wildcard component equal).
+func (pat Pattern) Matches(p Path) bool {
+	if len(pat.elems) != len(p.elems) {
+		return false
+	}
+	for i, e := range pat.elems {
+		if e != Wildcard && e != p.elems[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MatchesPrefixOf reports whether the pattern matches some prefix of p; that
+// is, whether p lies in the subtree of a node matched by the pattern. This is
+// the test used when deciding whether an approximate provenance record *may*
+// cover a given location.
+func (pat Pattern) MatchesPrefixOf(p Path) bool {
+	if len(pat.elems) > len(p.elems) {
+		return false
+	}
+	for i, e := range pat.elems {
+		if e != Wildcard && e != p.elems[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Rebase rewrites a path p matched-by-prefix by this (source-side) pattern
+// into the corresponding path pattern on the destination side: component i of
+// the result is dst.elems[i] when it is concrete, otherwise the concrete
+// label from p. Components beyond the pattern length are copied from p
+// verbatim. It returns false when pat does not prefix-match p or the two
+// patterns have different lengths.
+//
+// Rebase is the approximate analogue of Path.Rebase, used to push a location
+// through an approximate copy record.
+func (pat Pattern) Rebase(p Path, dst Pattern) (Pattern, bool) {
+	if len(pat.elems) != len(dst.elems) || !pat.MatchesPrefixOf(p) {
+		return Pattern{}, false
+	}
+	out := make([]string, len(p.elems))
+	for i := range pat.elems {
+		if dst.elems[i] == Wildcard {
+			out[i] = p.elems[i]
+		} else {
+			out[i] = dst.elems[i]
+		}
+	}
+	copy(out[len(pat.elems):], p.elems[len(pat.elems):])
+	return Pattern{elems: out}, true
+}
+
+// Overlaps reports whether the two patterns can match a common path. Two
+// patterns overlap iff they have equal length and at every position at least
+// one side is a wildcard or the labels agree.
+func (pat Pattern) Overlaps(other Pattern) bool {
+	if len(pat.elems) != len(other.elems) {
+		return false
+	}
+	for i := range pat.elems {
+		a, b := pat.elems[i], other.elems[i]
+		if a != Wildcard && b != Wildcard && a != b {
+			return false
+		}
+	}
+	return true
+}
+
+// Generalize returns the most specific pattern (of the same length) matching
+// every path matched by either input, replacing disagreeing components with
+// wildcards. It returns false when the lengths differ — such patterns have
+// no common-length generalization.
+func (pat Pattern) Generalize(other Pattern) (Pattern, bool) {
+	if len(pat.elems) != len(other.elems) {
+		return Pattern{}, false
+	}
+	out := make([]string, len(pat.elems))
+	for i := range pat.elems {
+		if pat.elems[i] == other.elems[i] {
+			out[i] = pat.elems[i]
+		} else {
+			out[i] = Wildcard
+		}
+	}
+	return Pattern{elems: out}, true
+}

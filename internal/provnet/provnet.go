@@ -1,0 +1,157 @@
+// Package provnet connects the provenance store to the simulated network:
+// it wraps a provstore.Backend so that every backend method — one logical
+// round trip to the provenance database, per the paper's architecture —
+// charges a netsim connection. Writes and reads can be priced separately
+// (an INSERT round trip through JDBC costs more than a point SELECT).
+package provnet
+
+import (
+	"repro/internal/path"
+	"repro/internal/provstore"
+)
+
+// A Caller is the slice of netsim.Conn this package needs; it is satisfied
+// by *netsim.Conn.
+type Caller interface {
+	Call(records, bytes int) error
+}
+
+// ChargedBackend wraps a backend, charging write round trips to Write and
+// read round trips to Read. A failed (fault-injected) round trip aborts the
+// operation before it reaches the wrapped backend, as a dropped network
+// call would.
+type ChargedBackend struct {
+	inner provstore.Backend
+	write Caller
+	read  Caller
+}
+
+var _ provstore.Backend = (*ChargedBackend)(nil)
+
+// New wraps inner with the given write and read connections.
+func New(inner provstore.Backend, write, read Caller) *ChargedBackend {
+	return &ChargedBackend{inner: inner, write: write, read: read}
+}
+
+// Inner returns the wrapped backend.
+func (b *ChargedBackend) Inner() provstore.Backend { return b.inner }
+
+func recordsBytes(recs []provstore.Record) int {
+	n := 0
+	for _, r := range recs {
+		n += r.EncodedSize()
+	}
+	return n
+}
+
+// Append implements provstore.Backend: one write round trip carrying the
+// whole batch.
+func (b *ChargedBackend) Append(recs []provstore.Record) error {
+	if err := b.write.Call(len(recs), recordsBytes(recs)); err != nil {
+		return err
+	}
+	return b.inner.Append(recs)
+}
+
+// Lookup implements provstore.Backend: one read round trip.
+func (b *ChargedBackend) Lookup(tid int64, loc path.Path) (provstore.Record, bool, error) {
+	if err := b.read.Call(1, 0); err != nil {
+		return provstore.Record{}, false, err
+	}
+	return b.inner.Lookup(tid, loc)
+}
+
+// NearestAncestor implements provstore.Backend: one read round trip (the
+// ancestor probing happens server-side, as in the paper's stored
+// procedures).
+func (b *ChargedBackend) NearestAncestor(tid int64, loc path.Path) (provstore.Record, bool, error) {
+	if err := b.read.Call(1, 0); err != nil {
+		return provstore.Record{}, false, err
+	}
+	return b.inner.NearestAncestor(tid, loc)
+}
+
+// ScanTid implements provstore.Backend: one read round trip shipping the
+// result set back.
+func (b *ChargedBackend) ScanTid(tid int64) ([]provstore.Record, error) {
+	recs, err := b.inner.ScanTid(tid)
+	if err != nil {
+		return nil, err
+	}
+	if err := b.read.Call(len(recs), recordsBytes(recs)); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// ScanLoc implements provstore.Backend.
+func (b *ChargedBackend) ScanLoc(loc path.Path) ([]provstore.Record, error) {
+	recs, err := b.inner.ScanLoc(loc)
+	if err != nil {
+		return nil, err
+	}
+	if err := b.read.Call(len(recs), recordsBytes(recs)); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// ScanLocPrefix implements provstore.Backend.
+func (b *ChargedBackend) ScanLocPrefix(prefix path.Path) ([]provstore.Record, error) {
+	recs, err := b.inner.ScanLocPrefix(prefix)
+	if err != nil {
+		return nil, err
+	}
+	if err := b.read.Call(len(recs), recordsBytes(recs)); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// ScanLocWithAncestors implements provstore.Backend: one read round trip.
+func (b *ChargedBackend) ScanLocWithAncestors(loc path.Path) ([]provstore.Record, error) {
+	recs, err := b.inner.ScanLocWithAncestors(loc)
+	if err != nil {
+		return nil, err
+	}
+	if err := b.read.Call(len(recs), recordsBytes(recs)); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// Tids implements provstore.Backend.
+func (b *ChargedBackend) Tids() ([]int64, error) {
+	tids, err := b.inner.Tids()
+	if err != nil {
+		return nil, err
+	}
+	if err := b.read.Call(len(tids), 8*len(tids)); err != nil {
+		return nil, err
+	}
+	return tids, nil
+}
+
+// MaxTid implements provstore.Backend.
+func (b *ChargedBackend) MaxTid() (int64, error) {
+	if err := b.read.Call(1, 8); err != nil {
+		return 0, err
+	}
+	return b.inner.MaxTid()
+}
+
+// Count implements provstore.Backend.
+func (b *ChargedBackend) Count() (int, error) {
+	if err := b.read.Call(1, 8); err != nil {
+		return 0, err
+	}
+	return b.inner.Count()
+}
+
+// Bytes implements provstore.Backend.
+func (b *ChargedBackend) Bytes() (int64, error) {
+	if err := b.read.Call(1, 8); err != nil {
+		return 0, err
+	}
+	return b.inner.Bytes()
+}

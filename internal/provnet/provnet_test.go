@@ -1,0 +1,171 @@
+package provnet_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/path"
+	"repro/internal/provnet"
+	"repro/internal/provstore"
+	"repro/internal/update"
+)
+
+func charged(t *testing.T) (*provnet.ChargedBackend, *netsim.Conn, *netsim.Conn, *netsim.Clock) {
+	t.Helper()
+	clock := netsim.NewClock()
+	write := netsim.NewConn("prov-write", clock, netsim.CostModel{RTT: 50 * time.Millisecond, PerRecord: 10 * time.Millisecond})
+	read := netsim.NewConn("prov-read", clock, netsim.CostModel{RTT: 30 * time.Millisecond, PerRecord: time.Millisecond})
+	return provnet.New(provstore.NewMemBackend(), write, read), write, read, clock
+}
+
+func rec(tid int64, loc string) provstore.Record {
+	return provstore.Record{Tid: tid, Op: provstore.OpInsert, Loc: path.MustParse(loc)}
+}
+
+func TestChargesWritePerBatch(t *testing.T) {
+	b, write, _, clock := charged(t)
+	if err := b.Append([]provstore.Record{rec(1, "T/a"), rec(1, "T/b"), rec(1, "T/c")}); err != nil {
+		t.Fatal(err)
+	}
+	st := write.Stats()
+	if st.Calls != 1 || st.Records != 3 {
+		t.Errorf("write stats = %+v", st)
+	}
+	// 50ms RTT + 3×10ms records (+ byte cost 0).
+	if clock.Now() < 80*time.Millisecond {
+		t.Errorf("clock = %v", clock.Now())
+	}
+	n, _ := b.Inner().Count()
+	if n != 3 {
+		t.Errorf("inner count = %d", n)
+	}
+}
+
+func TestChargesReads(t *testing.T) {
+	b, _, read, _ := charged(t)
+	b.Append([]provstore.Record{rec(1, "T/a"), rec(2, "T/a")})
+	before := read.Stats().Calls
+	if _, _, err := b.Lookup(1, path.MustParse("T/a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := b.NearestAncestor(1, path.MustParse("T/a/b")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.ScanTid(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.ScanLoc(path.MustParse("T/a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.ScanLocPrefix(path.MustParse("T")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Tids(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.MaxTid(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Count(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Bytes(); err != nil {
+		t.Fatal(err)
+	}
+	if got := read.Stats().Calls - before; got != 9 {
+		t.Errorf("read calls = %d, want 9", got)
+	}
+}
+
+// TestFaultAbortsBeforeWrite: a dropped round trip must leave the
+// provenance store untouched — the consistency property §1.3 demands of
+// high-level interfaces.
+func TestFaultAbortsBeforeWrite(t *testing.T) {
+	clock := netsim.NewClock()
+	write := netsim.NewConn("w", clock, netsim.CostModel{RTT: time.Millisecond})
+	read := netsim.NewConn("r", clock, netsim.CostModel{RTT: time.Millisecond})
+	b := provnet.New(provstore.NewMemBackend(), write, read)
+	write.InjectFaults(1.0, 7)
+	err := b.Append([]provstore.Record{rec(1, "T/a")})
+	if !errors.Is(err, netsim.ErrNetwork) {
+		t.Fatalf("want ErrNetwork, got %v", err)
+	}
+	n, _ := b.Inner().Count()
+	if n != 0 {
+		t.Error("failed round trip reached the store")
+	}
+	// Read faults propagate on every read surface.
+	read.InjectFaults(1.0, 7)
+	if _, _, err := b.Lookup(1, path.MustParse("T/a")); !errors.Is(err, netsim.ErrNetwork) {
+		t.Errorf("read fault: %v", err)
+	}
+	if _, _, err := b.NearestAncestor(1, path.MustParse("T/a/b")); !errors.Is(err, netsim.ErrNetwork) {
+		t.Errorf("ancestor fault: %v", err)
+	}
+	if _, err := b.ScanTid(1); !errors.Is(err, netsim.ErrNetwork) {
+		t.Errorf("scan fault: %v", err)
+	}
+	if _, err := b.ScanLoc(path.MustParse("T/a")); !errors.Is(err, netsim.ErrNetwork) {
+		t.Errorf("scanloc fault: %v", err)
+	}
+	if _, err := b.ScanLocPrefix(path.MustParse("T")); !errors.Is(err, netsim.ErrNetwork) {
+		t.Errorf("scanprefix fault: %v", err)
+	}
+	if _, err := b.ScanLocWithAncestors(path.MustParse("T/a")); !errors.Is(err, netsim.ErrNetwork) {
+		t.Errorf("scanancestors fault: %v", err)
+	}
+	if _, err := b.Tids(); !errors.Is(err, netsim.ErrNetwork) {
+		t.Errorf("tids fault: %v", err)
+	}
+	if _, err := b.MaxTid(); !errors.Is(err, netsim.ErrNetwork) {
+		t.Errorf("maxtid fault: %v", err)
+	}
+	if _, err := b.Count(); !errors.Is(err, netsim.ErrNetwork) {
+		t.Errorf("count fault: %v", err)
+	}
+	if _, err := b.Bytes(); !errors.Is(err, netsim.ErrNetwork) {
+		t.Errorf("bytes fault: %v", err)
+	}
+}
+
+// TestChargedScanWithAncestors covers the combined scan's charging.
+func TestChargedScanWithAncestors(t *testing.T) {
+	b, _, read, _ := charged(t)
+	b.Append([]provstore.Record{rec(1, "T/a"), rec(2, "T/a")})
+	before := read.Stats()
+	recs, err := b.ScanLocWithAncestors(path.MustParse("T/a/deep"))
+	if err != nil || len(recs) != 2 {
+		t.Fatalf("ScanLocWithAncestors = %v, %v", recs, err)
+	}
+	after := read.Stats()
+	if after.Calls != before.Calls+1 || after.Records != before.Records+2 {
+		t.Errorf("charging wrong: %+v -> %+v", before, after)
+	}
+}
+
+// TestTrackerOverCharged runs trackers over the charged backend and checks
+// the round-trip profile the paper describes: deferred methods touch the
+// network only at commit.
+func TestTrackerOverCharged(t *testing.T) {
+	b, write, read, _ := charged(t)
+	tr := provstore.MustNew(provstore.HierTrans, provstore.Config{Backend: b})
+	tr.Begin()
+	tr.OnInsert(insEff("T/x"))
+	tr.OnInsert(insEff("T/y"))
+	if write.Stats().Calls != 0 || read.Stats().Calls != 0 {
+		t.Error("deferred ops must not touch the network")
+	}
+	if _, err := tr.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if write.Stats().Calls != 1 {
+		t.Errorf("commit should be one round trip, got %d", write.Stats().Calls)
+	}
+}
+
+func insEff(loc string) (e update.Effect) {
+	e.Inserted = []path.Path{path.MustParse(loc)}
+	return e
+}

@@ -1,0 +1,317 @@
+// Package provquery implements the provenance queries of §2.2 and §3.3:
+//
+//	Src(p)  — which transaction first created the data now at p
+//	Hist(p) — every transaction that copied the data now at p
+//	Mod(p)  — every transaction that created or modified the subtree at p
+//	Trace   — the underlying backward chain through the From relation
+//	Own     — the cross-database ownership history (with a Federation)
+//
+// Queries work over any provstore.Backend and any of the four storage
+// methods: hierarchical inference is resolved on the fly, as in the paper's
+// implementation ("we query the provenance store directly and compute the
+// appropriate provenance links on-the-fly").
+package provquery
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/path"
+	"repro/internal/provstore"
+)
+
+// ErrBadTrace reports an inconsistent provenance store (a trace reached a
+// location a transaction deleted).
+var ErrBadTrace = errors.New("provquery: trace reached deleted data; provenance store is inconsistent")
+
+// An Engine answers provenance queries against one provenance store.
+type Engine struct {
+	backend provstore.Backend
+}
+
+// New returns an engine over the backend.
+func New(b provstore.Backend) *Engine { return &Engine{backend: b} }
+
+// Backend returns the engine's backend.
+func (e *Engine) Backend() provstore.Backend { return e.backend }
+
+// An Event is one step of a data item's history, in reverse chronological
+// order: at the end of transaction Tid the data was at Loc; if Op is OpCopy
+// it had just been copied from Src, if OpInsert it had just been created.
+type Event struct {
+	Tid int64
+	Op  provstore.OpKind
+	Loc path.Path
+	Src path.Path // for copies
+}
+
+// String renders the event for human consumption.
+func (ev Event) String() string {
+	switch ev.Op {
+	case provstore.OpCopy:
+		return fmt.Sprintf("txn %d: copied %s ← %s", ev.Tid, ev.Loc, ev.Src)
+	case provstore.OpInsert:
+		return fmt.Sprintf("txn %d: inserted %s", ev.Tid, ev.Loc)
+	default:
+		return fmt.Sprintf("txn %d: %s %s", ev.Tid, ev.Op, ev.Loc)
+	}
+}
+
+// A TraceResult is the full backward history of one location.
+type TraceResult struct {
+	// Events lists copy/insert steps, most recent first.
+	Events []Event
+	// Origin is how the chain ended.
+	Origin Origin
+	// External is the first location outside the traced database the
+	// chain reached (set when Origin == OriginExternal).
+	External path.Path
+}
+
+// Origin classifies how a trace ended.
+type Origin int
+
+// Trace chain endings.
+const (
+	// OriginInserted: the chain reached the transaction that inserted
+	// the data.
+	OriginInserted Origin = iota
+	// OriginExternal: the chain left the traced database (the data was
+	// copied from an external source whose provenance this store cannot
+	// see — the paper's "partial answer").
+	OriginExternal
+	// OriginPreexisting: the chain ran past the oldest recorded
+	// transaction; the data predates provenance tracking.
+	OriginPreexisting
+)
+
+// String names the origin.
+func (o Origin) String() string {
+	switch o {
+	case OriginInserted:
+		return "inserted"
+	case OriginExternal:
+		return "external"
+	case OriginPreexisting:
+		return "preexisting"
+	default:
+		return fmt.Sprintf("Origin(%d)", int(o))
+	}
+}
+
+// effectiveAt resolves the effective record for loc in every transaction,
+// client-side, from one ScanLocWithAncestors round trip: for each
+// transaction the record with the longest Loc (nearest ancestor-or-self)
+// governs.
+func (e *Engine) effectiveAt(loc path.Path) (map[int64]provstore.Record, error) {
+	recs, err := e.backend.ScanLocWithAncestors(loc)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int64]provstore.Record)
+	for _, r := range recs {
+		if prev, ok := out[r.Tid]; ok && prev.Loc.Len() >= r.Loc.Len() {
+			continue
+		}
+		out[r.Tid] = r
+	}
+	// Materialize inference: rebase copies, retarget inserts/deletes.
+	for tid, r := range out {
+		if r.Loc.Equal(loc) {
+			continue
+		}
+		inf := provstore.Record{Tid: tid, Op: r.Op, Loc: loc}
+		if r.Op == provstore.OpCopy {
+			src, err := loc.Rebase(r.Loc, r.Src)
+			if err != nil {
+				return nil, err
+			}
+			inf.Src = src
+		}
+		out[tid] = inf
+	}
+	return out, nil
+}
+
+// Trace computes the backward history of the data at location p as of the
+// end of transaction tnow (pass the store's MaxTid for "now").
+func (e *Engine) Trace(p path.Path, tnow int64) (TraceResult, error) {
+	var res TraceResult
+	cur := p
+	eff, err := e.effectiveAt(cur)
+	if err != nil {
+		return res, err
+	}
+	for t := tnow; t >= 1; t-- {
+		rec, ok := eff[t]
+		if !ok {
+			continue // Unch(t, cur)
+		}
+		switch rec.Op {
+		case provstore.OpInsert:
+			res.Events = append(res.Events, Event{Tid: t, Op: provstore.OpInsert, Loc: cur})
+			res.Origin = OriginInserted
+			return res, nil
+		case provstore.OpCopy:
+			res.Events = append(res.Events, Event{Tid: t, Op: provstore.OpCopy, Loc: cur, Src: rec.Src})
+			cur = rec.Src
+			if cur.DB() != p.DB() {
+				// The chain leaves this database; without the source's
+				// own provenance store the answer is necessarily
+				// partial (§2.2).
+				res.Origin = OriginExternal
+				res.External = cur
+				return res, nil
+			}
+			if eff, err = e.effectiveAt(cur); err != nil {
+				return res, err
+			}
+		case provstore.OpDelete:
+			// Live data cannot trace through its own deletion.
+			return res, fmt.Errorf("%w: %s deleted in txn %d", ErrBadTrace, cur, t)
+		}
+	}
+	res.Origin = OriginPreexisting
+	return res, nil
+}
+
+// Src answers: which transaction first created (inserted) the data now at
+// p? ok is false when the origin is external or pre-existing — the partial
+// answers the paper discusses.
+func (e *Engine) Src(p path.Path, tnow int64) (int64, bool, error) {
+	tr, err := e.Trace(p, tnow)
+	if err != nil {
+		return 0, false, err
+	}
+	if tr.Origin != OriginInserted {
+		return 0, false, nil
+	}
+	last := tr.Events[len(tr.Events)-1]
+	// Verify the insertion row against the store, as the paper's getSrc
+	// stored procedure does (this extra probe is why getSrc runs a bit
+	// slower than getHist in Figure 13). Hierarchical stores may record
+	// the insert at an ancestor, so absence of an exact row is fine as
+	// long as the effective record agrees.
+	rec, ok, err := provstore.Effective(e.backend, last.Tid, last.Loc)
+	if err != nil {
+		return 0, false, err
+	}
+	if !ok || rec.Op != provstore.OpInsert {
+		return 0, false, fmt.Errorf("provquery: Src verification failed for %s at txn %d", last.Loc, last.Tid)
+	}
+	return last.Tid, true, nil
+}
+
+// Hist answers: the sequence of all transactions that copied the data now
+// at p to its current position, most recent first.
+func (e *Engine) Hist(p path.Path, tnow int64) ([]int64, error) {
+	tr, err := e.Trace(p, tnow)
+	if err != nil {
+		return nil, err
+	}
+	var out []int64
+	for _, ev := range tr.Events {
+		if ev.Op == provstore.OpCopy {
+			out = append(out, ev.Tid)
+		}
+	}
+	return out, nil
+}
+
+// region is a traced subtree with an upper transaction bound: records in
+// the region count toward Mod only up to Bound (data copied into the main
+// region at transaction t came from the source region as of t-1; later
+// changes to the source are irrelevant).
+type region struct {
+	prefix path.Path
+	bound  int64
+}
+
+// Mod answers: every transaction that created, modified or deleted data in
+// the subtree under p (inclusive), as of transaction tnow. Per §2.2, the
+// answer is computed from the provenance store alone, without inspecting
+// the target database, and is finite even though infinitely many paths
+// extend p.
+//
+// The implementation walks records backwards per traced region with
+// per-location shadowing: the newest record at a location breaks the Unch
+// chain through it, making older records at the same location unreachable
+// (so, e.g., a placeholder inserted and immediately overwritten by a copy
+// does not appear in Mod — matching the formal Trace semantics). Copies
+// whose destination intersects the region spawn source regions bounded by
+// the copying transaction. Inserts at strict ancestors create only empty
+// nodes and contribute no rows at paths extending p, so they do not count.
+func (e *Engine) Mod(p path.Path, tnow int64) ([]int64, error) {
+	result := make(map[int64]struct{})
+	seen := make(map[string]int64) // region prefix -> highest bound processed
+	queue := []region{{prefix: p, bound: tnow}}
+	for len(queue) > 0 {
+		g := queue[0]
+		queue = queue[1:]
+		k := string(g.prefix.AppendBinary(nil))
+		if prev, ok := seen[k]; ok && prev >= g.bound {
+			continue
+		}
+		seen[k] = g.bound
+
+		inside, err := e.backend.ScanLocPrefix(g.prefix)
+		if err != nil {
+			return nil, err
+		}
+		above, err := e.backend.ScanLocWithAncestors(g.prefix)
+		if err != nil {
+			return nil, err
+		}
+		recs := make([]provstore.Record, 0, len(inside)+len(above))
+		recs = append(recs, inside...)
+		for _, r := range above {
+			if !r.Loc.Equal(g.prefix) { // exact-loc records are in `inside`
+				recs = append(recs, r)
+			}
+		}
+		// Newest first; shadowed locations drop older records.
+		sort.Slice(recs, func(i, j int) bool { return recs[i].Tid > recs[j].Tid })
+		shadow := make(map[string]struct{})
+		for _, r := range recs {
+			if r.Tid > g.bound {
+				continue
+			}
+			lk := string(r.Loc.AppendBinary(nil))
+			if _, dead := shadow[lk]; dead {
+				continue
+			}
+			shadow[lk] = struct{}{}
+			ancestor := r.Loc.IsStrictPrefixOf(g.prefix)
+			if ancestor && r.Op == provstore.OpInsert {
+				// An insert at an ancestor creates an empty node: no
+				// data at paths extending the region's prefix.
+				continue
+			}
+			result[r.Tid] = struct{}{}
+			if r.Op != provstore.OpCopy {
+				continue
+			}
+			if ancestor {
+				src, rerr := g.prefix.Rebase(r.Loc, r.Src)
+				if rerr != nil {
+					return nil, rerr
+				}
+				queue = append(queue, region{prefix: src, bound: r.Tid - 1})
+			} else {
+				queue = append(queue, region{prefix: r.Src, bound: r.Tid - 1})
+			}
+		}
+	}
+	out := make([]int64, 0, len(result))
+	for t := range result {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// MaxTid returns the newest transaction id in the store (the paper's tnow).
+func (e *Engine) MaxTid() (int64, error) {
+	return e.backend.MaxTid()
+}

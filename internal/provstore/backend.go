@@ -1,0 +1,274 @@
+package provstore
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/path"
+)
+
+// A Backend persists provenance records — it plays the role of the
+// provenance database P in the paper's architecture (Figure 2). Each method
+// call corresponds to one logical round trip to the provenance database;
+// wrappers (see Instrument) charge simulated network cost per call.
+//
+// {Tid, Loc} is a key; Append rejects duplicates within a batch or against
+// stored rows, enforcing the paper's constraint that "for each transaction,
+// each location has either been inserted, deleted, or copied".
+type Backend interface {
+	// Append stores a batch of records in one round trip.
+	Append(recs []Record) error
+	// Lookup returns the record with exactly this (tid, loc) key, if any.
+	Lookup(tid int64, loc path.Path) (Record, bool, error)
+	// NearestAncestor returns the record of transaction tid whose Loc is
+	// the longest strict prefix of loc, if any. This single-round-trip
+	// query is what the hierarchical tracker issues before storing an
+	// insert record (paper §4.2: hierarchical inserts are slower because
+	// "we must first query the provenance database").
+	NearestAncestor(tid int64, loc path.Path) (Record, bool, error)
+	// ScanTid returns all records of a transaction, ordered by Loc.
+	ScanTid(tid int64) ([]Record, error)
+	// ScanLoc returns all records (any transaction) whose Loc equals loc,
+	// ordered by Tid.
+	ScanLoc(loc path.Path) ([]Record, error)
+	// ScanLocPrefix returns all records whose Loc has the given prefix,
+	// ordered by (Loc, Tid). Used by the Mod query.
+	ScanLocPrefix(prefix path.Path) ([]Record, error)
+	// ScanLocWithAncestors returns all records (any transaction) whose
+	// Loc equals loc or is a strict prefix of it, ordered by (Tid, Loc).
+	// This single round trip gives a query everything needed to resolve
+	// the effective provenance of loc in every transaction, including
+	// hierarchical inference.
+	ScanLocWithAncestors(loc path.Path) ([]Record, error)
+	// Tids returns all transaction identifiers in ascending order.
+	Tids() ([]int64, error)
+	// MaxTid returns the largest transaction identifier stored, or 0.
+	MaxTid() (int64, error)
+	// Count returns the total number of stored records.
+	Count() (int, error)
+	// Bytes returns the physical size of the stored records.
+	Bytes() (int64, error)
+}
+
+// MemBackend is an in-memory Backend, used for tests, examples and as the
+// reference implementation the relational backend is cross-checked against.
+// It is safe for concurrent use.
+type MemBackend struct {
+	mu    sync.RWMutex
+	recs  []Record        // insertion order
+	byTid map[int64][]int // tid -> indexes into recs
+	byKey map[string]int  // tid|loc key -> index
+	bytes int64
+	maxT  int64
+}
+
+// NewMemBackend returns an empty in-memory backend.
+func NewMemBackend() *MemBackend {
+	return &MemBackend{
+		byTid: make(map[int64][]int),
+		byKey: make(map[string]int),
+	}
+}
+
+func memKey(tid int64, loc path.Path) string {
+	buf := make([]byte, 0, 16+loc.Len()*8)
+	for i := 0; i < 8; i++ {
+		buf = append(buf, byte(tid>>(56-8*i)))
+	}
+	return string(loc.AppendBinary(buf))
+}
+
+// Append implements Backend.
+func (b *MemBackend) Append(recs []Record) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	// Validate the whole batch first so a failed Append stores nothing.
+	seen := make(map[string]struct{}, len(recs))
+	for _, r := range recs {
+		if err := r.Validate(); err != nil {
+			return err
+		}
+		k := memKey(r.Tid, r.Loc)
+		if _, dup := seen[k]; dup {
+			return &DupKeyError{Tid: r.Tid, Loc: r.Loc}
+		}
+		if _, dup := b.byKey[k]; dup {
+			return &DupKeyError{Tid: r.Tid, Loc: r.Loc}
+		}
+		seen[k] = struct{}{}
+	}
+	for _, r := range recs {
+		idx := len(b.recs)
+		b.recs = append(b.recs, r)
+		b.byTid[r.Tid] = append(b.byTid[r.Tid], idx)
+		b.byKey[memKey(r.Tid, r.Loc)] = idx
+		b.bytes += int64(r.EncodedSize())
+		if r.Tid > b.maxT {
+			b.maxT = r.Tid
+		}
+	}
+	return nil
+}
+
+// Lookup implements Backend.
+func (b *MemBackend) Lookup(tid int64, loc path.Path) (Record, bool, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if idx, ok := b.byKey[memKey(tid, loc)]; ok {
+		return b.recs[idx], true, nil
+	}
+	return Record{}, false, nil
+}
+
+// NearestAncestor implements Backend.
+func (b *MemBackend) NearestAncestor(tid int64, loc path.Path) (Record, bool, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	anc := loc.Ancestors()
+	for i := len(anc) - 1; i >= 0; i-- {
+		if idx, ok := b.byKey[memKey(tid, anc[i])]; ok {
+			return b.recs[idx], true, nil
+		}
+	}
+	return Record{}, false, nil
+}
+
+// ScanTid implements Backend.
+func (b *MemBackend) ScanTid(tid int64) ([]Record, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	idxs := b.byTid[tid]
+	out := make([]Record, 0, len(idxs))
+	for _, i := range idxs {
+		out = append(out, b.recs[i])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Loc.Compare(out[j].Loc) < 0 })
+	return out, nil
+}
+
+// ScanLoc implements Backend.
+func (b *MemBackend) ScanLoc(loc path.Path) ([]Record, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	var out []Record
+	for _, r := range b.recs {
+		if r.Loc.Equal(loc) {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tid < out[j].Tid })
+	return out, nil
+}
+
+// ScanLocPrefix implements Backend.
+func (b *MemBackend) ScanLocPrefix(prefix path.Path) ([]Record, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	var out []Record
+	for _, r := range b.recs {
+		if prefix.IsPrefixOf(r.Loc) {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if c := out[i].Loc.Compare(out[j].Loc); c != 0 {
+			return c < 0
+		}
+		return out[i].Tid < out[j].Tid
+	})
+	return out, nil
+}
+
+// ScanLocWithAncestors implements Backend.
+func (b *MemBackend) ScanLocWithAncestors(loc path.Path) ([]Record, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	var out []Record
+	for _, r := range b.recs {
+		if r.Loc.IsPrefixOf(loc) {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Tid != out[j].Tid {
+			return out[i].Tid < out[j].Tid
+		}
+		return out[i].Loc.Compare(out[j].Loc) < 0
+	})
+	return out, nil
+}
+
+// Tids implements Backend.
+func (b *MemBackend) Tids() ([]int64, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]int64, 0, len(b.byTid))
+	for t := range b.byTid {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// MaxTid implements Backend.
+func (b *MemBackend) MaxTid() (int64, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.maxT, nil
+}
+
+// Count implements Backend.
+func (b *MemBackend) Count() (int, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.recs), nil
+}
+
+// Bytes implements Backend.
+func (b *MemBackend) Bytes() (int64, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.bytes, nil
+}
+
+// All returns every stored record in insertion order (a test/debug helper,
+// not part of the Backend interface).
+func (b *MemBackend) All() []Record {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]Record, len(b.recs))
+	copy(out, b.recs)
+	return out
+}
+
+// DupKeyError reports a violation of the {Tid, Loc} key constraint.
+type DupKeyError struct {
+	Tid int64
+	Loc path.Path
+}
+
+func (e *DupKeyError) Error() string {
+	return "provstore: duplicate (tid, loc) key: (" + itoa(e.Tid) + ", " + e.Loc.String() + ")"
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,59 @@
+package provstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/path"
+)
+
+// TestMemBackendConcurrent exercises the backend under parallel writers and
+// readers (run with -race).
+func TestMemBackendConcurrent(t *testing.T) {
+	b := NewMemBackend()
+	const writers = 8
+	const perWriter = 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				tid := int64(w*perWriter + i + 1)
+				recs := []Record{
+					{Tid: tid, Op: OpInsert, Loc: path.New("T", fmt.Sprintf("w%d", w), fmt.Sprintf("n%d", i))},
+				}
+				if err := b.Append(recs); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Concurrent readers on all surfaces.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				loc := path.New("T", fmt.Sprintf("w%d", r), fmt.Sprintf("n%d", i%perWriter))
+				b.Lookup(int64(i+1), loc)
+				b.NearestAncestor(int64(i+1), loc.Child("deep"))
+				b.ScanTid(int64(i + 1))
+				b.ScanLocWithAncestors(loc)
+				b.Count()
+				b.MaxTid()
+			}
+		}(r)
+	}
+	wg.Wait()
+	n, err := b.Count()
+	if err != nil || n != writers*perWriter {
+		t.Fatalf("Count = %d, %v; want %d", n, err, writers*perWriter)
+	}
+	tids, _ := b.Tids()
+	if len(tids) != writers*perWriter {
+		t.Errorf("Tids = %d", len(tids))
+	}
+}

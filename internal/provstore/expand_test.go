@@ -1,0 +1,120 @@
+package provstore_test
+
+import (
+	"testing"
+
+	"repro/internal/figures"
+	"repro/internal/path"
+	"repro/internal/provstore"
+	"repro/internal/tree"
+)
+
+func TestExpandTxnStateRelative(t *testing.T) {
+	// A hierarchical copy record expands against the post-state: children
+	// present in the post-state inherit rebased sources; absent ones
+	// produce no rows.
+	pre := tree.NewForest()
+	pre.AddDB("T", tree.Build(tree.M{"x": tree.M{"old": 1}}))
+	post := tree.NewForest()
+	post.AddDB("T", tree.Build(tree.M{"x": tree.M{"a": 1, "b": tree.M{"c": 2}}}))
+	recs := []provstore.Record{
+		{Tid: 9, Op: provstore.OpCopy, Loc: path.MustParse("T/x"), Src: path.MustParse("S/src")},
+	}
+	full, err := provstore.ExpandTxn(recs, pre, post)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"T/x":     "S/src",
+		"T/x/a":   "S/src/a",
+		"T/x/b":   "S/src/b",
+		"T/x/b/c": "S/src/b/c",
+	}
+	if len(full) != len(want) {
+		t.Fatalf("expanded %d rows: %v", len(full), full)
+	}
+	for _, r := range full {
+		if r.Op != provstore.OpCopy || want[r.Loc.String()] != r.Src.String() {
+			t.Errorf("row %v unexpected", r)
+		}
+	}
+	// "old" (pre-state only) must not appear: the copy replaced it.
+	for _, r := range full {
+		if r.Loc.String() == "T/x/old" {
+			t.Error("pre-state child leaked into copy expansion")
+		}
+	}
+}
+
+func TestExpandTxnDeleteUsesPre(t *testing.T) {
+	pre := tree.NewForest()
+	pre.AddDB("T", tree.Build(tree.M{"x": tree.M{"a": 1, "b": 2}}))
+	post := tree.NewForest()
+	post.AddDB("T", tree.NewTree())
+	recs := []provstore.Record{
+		{Tid: 3, Op: provstore.OpDelete, Loc: path.MustParse("T/x")},
+	}
+	full, err := provstore.ExpandTxn(recs, pre, post)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) != 3 {
+		t.Fatalf("delete expansion = %v", full)
+	}
+	for _, r := range full {
+		if r.Op != provstore.OpDelete {
+			t.Errorf("row %v should be a delete", r)
+		}
+	}
+}
+
+func TestExpandTxnStopsAtExplicit(t *testing.T) {
+	// An explicit record at a descendant owns its subtree: the ancestor's
+	// expansion must not descend into it.
+	pre := tree.NewForest()
+	pre.AddDB("T", tree.NewTree())
+	post := tree.NewForest()
+	post.AddDB("T", tree.Build(tree.M{"x": tree.M{"a": 1, "special": tree.M{"deep": 2}}}))
+	recs := []provstore.Record{
+		{Tid: 5, Op: provstore.OpCopy, Loc: path.MustParse("T/x"), Src: path.MustParse("S/p")},
+		{Tid: 5, Op: provstore.OpCopy, Loc: path.MustParse("T/x/special"), Src: path.MustParse("Q/other")},
+	}
+	full, err := provstore.ExpandTxn(recs, pre, post)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := map[string]string{}
+	for _, r := range full {
+		srcs[r.Loc.String()] = r.Src.String()
+	}
+	if srcs["T/x/special"] != "Q/other" || srcs["T/x/special/deep"] != "Q/other/deep" {
+		t.Errorf("nested explicit record not honored: %v", srcs)
+	}
+	if srcs["T/x/a"] != "S/p/a" {
+		t.Errorf("sibling inference wrong: %v", srcs)
+	}
+}
+
+func TestExpandTxnMissingStateErrors(t *testing.T) {
+	pre := figures.Forest()
+	post := figures.Forest()
+	recs := []provstore.Record{
+		{Tid: 1, Op: provstore.OpCopy, Loc: path.MustParse("T/nothere"), Src: path.MustParse("S1/a1")},
+	}
+	if _, err := provstore.ExpandTxn(recs, pre, post); err == nil {
+		t.Error("expansion against a missing node should error")
+	}
+	del := []provstore.Record{
+		{Tid: 1, Op: provstore.OpDelete, Loc: path.MustParse("T/nothere")},
+	}
+	if _, err := provstore.ExpandTxn(del, pre, post); err == nil {
+		t.Error("delete expansion against a missing pre-node should error")
+	}
+}
+
+func TestExpandTxnEmpty(t *testing.T) {
+	full, err := provstore.ExpandTxn(nil, figures.Forest(), figures.Forest())
+	if err != nil || len(full) != 0 {
+		t.Errorf("empty expansion = %v, %v", full, err)
+	}
+}

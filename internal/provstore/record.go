@@ -1,0 +1,219 @@
+// Package provstore implements the provenance store of Buneman, Chapman &
+// Cheney (SIGMOD 2006): the Prov(Tid, Op, Loc, Src) relation and the four
+// storage strategies evaluated in the paper — naïve (N), transactional (T),
+// hierarchical (H), and hierarchical-transactional (HT).
+//
+// A Tracker intercepts the effects of insert/delete/copy operations on the
+// target database and persists provenance records through a Backend (the
+// "provenance database" P of the paper's Figure 2). The Backend interface is
+// implemented in-memory (MemBackend) and on the relational storage engine
+// (see package relprov), and may be wrapped to charge simulated network
+// round trips.
+package provstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/path"
+)
+
+// OpKind is the Op column of the Prov relation: I (insert), C (copy), or
+// D (delete).
+type OpKind byte
+
+// The three record kinds.
+const (
+	OpInsert OpKind = 'I'
+	OpCopy   OpKind = 'C'
+	OpDelete OpKind = 'D'
+)
+
+// String returns "I", "C" or "D".
+func (k OpKind) String() string {
+	switch k {
+	case OpInsert, OpCopy, OpDelete:
+		return string(rune(k))
+	default:
+		return fmt.Sprintf("OpKind(0x%02x)", byte(k))
+	}
+}
+
+// Valid reports whether k is one of the three record kinds.
+func (k OpKind) Valid() bool {
+	return k == OpInsert || k == OpCopy || k == OpDelete
+}
+
+// A Record is one row of the Prov (or HProv) relation:
+// Prov(Tid, Op, Loc, Src). Src is meaningful only for copies; it is the
+// paper's ⊥ otherwise and renders as such. {Tid, Loc} is a key: within one
+// transaction each location is inserted, deleted, or copied at most once.
+type Record struct {
+	Tid int64
+	Op  OpKind
+	Loc path.Path
+	Src path.Path // zero Path (⊥) unless Op == OpCopy
+}
+
+// String renders the record as a Figure 5 table row.
+func (r Record) String() string {
+	src := "⊥"
+	if r.Op == OpCopy {
+		src = r.Src.String()
+	}
+	return fmt.Sprintf("%d %s %s %s", r.Tid, r.Op, r.Loc, src)
+}
+
+// Validate checks the structural invariants of a record.
+func (r Record) Validate() error {
+	if !r.Op.Valid() {
+		return fmt.Errorf("provstore: invalid op %v", r.Op)
+	}
+	if r.Loc.IsRoot() {
+		return errors.New("provstore: record location must not be the forest root")
+	}
+	if r.Op == OpCopy && r.Src.IsRoot() {
+		return errors.New("provstore: copy record requires a source")
+	}
+	if r.Op != OpCopy && !r.Src.IsRoot() {
+		return fmt.Errorf("provstore: %s record must have ⊥ source", r.Op)
+	}
+	return nil
+}
+
+// AppendBinary appends a self-contained binary encoding of the record:
+// tid uvarint, op byte, loc (length-prefixed), src (length-prefixed).
+func (r Record) AppendBinary(buf []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(r.Tid))
+	buf = append(buf, byte(r.Op))
+	loc := r.Loc.AppendBinary(nil)
+	buf = binary.AppendUvarint(buf, uint64(len(loc)))
+	buf = append(buf, loc...)
+	src := r.Src.AppendBinary(nil)
+	buf = binary.AppendUvarint(buf, uint64(len(src)))
+	buf = append(buf, src...)
+	return buf
+}
+
+// DecodeRecord decodes a record encoded by AppendBinary from the front of
+// buf, returning the record and bytes consumed.
+func DecodeRecord(buf []byte) (Record, int, error) {
+	var r Record
+	tid, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return r, 0, errors.New("provstore: bad tid varint")
+	}
+	off := n
+	if off >= len(buf) {
+		return r, 0, errors.New("provstore: truncated record")
+	}
+	r.Tid = int64(tid)
+	r.Op = OpKind(buf[off])
+	off++
+	for i := 0; i < 2; i++ {
+		l, n := binary.Uvarint(buf[off:])
+		if n <= 0 {
+			return r, 0, errors.New("provstore: bad path length varint")
+		}
+		off += n
+		if uint64(len(buf)-off) < l {
+			return r, 0, errors.New("provstore: truncated path")
+		}
+		p, used, err := path.DecodeBinary(buf[off : off+int(l)])
+		if err != nil {
+			return r, 0, err
+		}
+		if used != int(l) {
+			return r, 0, errors.New("provstore: path length mismatch")
+		}
+		off += int(l)
+		if i == 0 {
+			r.Loc = p
+		} else {
+			r.Src = p
+		}
+	}
+	if err := r.Validate(); err != nil {
+		return r, 0, err
+	}
+	return r, off, nil
+}
+
+// EncodedSize returns the size in bytes of the binary encoding of r, which
+// the storage-size experiments report alongside row counts.
+func (r Record) EncodedSize() int {
+	return len(r.AppendBinary(nil))
+}
+
+// Method identifies one of the four provenance storage strategies.
+type Method int
+
+// The four methods, in the paper's presentation order.
+const (
+	Naive         Method = iota // N: one record per touched node, immediate
+	Hierarchical                // H: one record per operation, immediate
+	Transactional               // T: net per-node records buffered until commit
+	HierTrans                   // HT: net per-operation records buffered until commit
+)
+
+// AllMethods lists the four methods in the order the paper's figures use
+// (N, H, T, HT).
+var AllMethods = []Method{Naive, Hierarchical, Transactional, HierTrans}
+
+// String returns the paper's abbreviation: N, H, T, or HT.
+func (m Method) String() string {
+	switch m {
+	case Naive:
+		return "N"
+	case Hierarchical:
+		return "H"
+	case Transactional:
+		return "T"
+	case HierTrans:
+		return "HT"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// LongName returns the method's full name as used in the paper's prose.
+func (m Method) LongName() string {
+	switch m {
+	case Naive:
+		return "naive"
+	case Hierarchical:
+		return "hierarchical"
+	case Transactional:
+		return "transactional"
+	case HierTrans:
+		return "hierarchical-transactional"
+	default:
+		return m.String()
+	}
+}
+
+// Hierarchic reports whether the method stores hierarchical (per-operation)
+// records whose descendants are inferred, i.e. H or HT.
+func (m Method) Hierarchic() bool { return m == Hierarchical || m == HierTrans }
+
+// Deferred reports whether the method buffers records until commit, i.e.
+// T or HT.
+func (m Method) Deferred() bool { return m == Transactional || m == HierTrans }
+
+// ParseMethod parses "N", "T", "H", "HT" (case-insensitive, also accepting
+// the long names).
+func ParseMethod(s string) (Method, error) {
+	switch s {
+	case "N", "n", "naive":
+		return Naive, nil
+	case "H", "h", "hierarchical":
+		return Hierarchical, nil
+	case "T", "t", "transactional":
+		return Transactional, nil
+	case "HT", "ht", "Ht", "hierarchical-transactional":
+		return HierTrans, nil
+	default:
+		return 0, fmt.Errorf("provstore: unknown method %q", s)
+	}
+}

@@ -1,0 +1,155 @@
+package provstore
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/path"
+)
+
+func TestOpKind(t *testing.T) {
+	if OpInsert.String() != "I" || OpCopy.String() != "C" || OpDelete.String() != "D" {
+		t.Error("OpKind strings wrong")
+	}
+	if !OpInsert.Valid() || OpKind('X').Valid() {
+		t.Error("OpKind validity wrong")
+	}
+	if OpKind(0x7).String() == "" {
+		t.Error("invalid kind should still render")
+	}
+}
+
+func TestMethodStrings(t *testing.T) {
+	cases := []struct {
+		m     Method
+		short string
+		long  string
+	}{
+		{Naive, "N", "naive"},
+		{Hierarchical, "H", "hierarchical"},
+		{Transactional, "T", "transactional"},
+		{HierTrans, "HT", "hierarchical-transactional"},
+	}
+	for _, c := range cases {
+		if c.m.String() != c.short || c.m.LongName() != c.long {
+			t.Errorf("%v strings wrong: %q %q", c.m, c.m.String(), c.m.LongName())
+		}
+		for _, s := range []string{c.short, c.long} {
+			m, err := ParseMethod(s)
+			if err != nil || m != c.m {
+				t.Errorf("ParseMethod(%q) = %v, %v", s, m, err)
+			}
+		}
+	}
+	if _, err := ParseMethod("bogus"); err == nil {
+		t.Error("bogus method should error")
+	}
+	if Method(99).String() == "" || Method(99).LongName() == "" {
+		t.Error("unknown method should still render")
+	}
+	if !Hierarchical.Hierarchic() || !HierTrans.Hierarchic() || Naive.Hierarchic() || Transactional.Hierarchic() {
+		t.Error("Hierarchic wrong")
+	}
+	if !Transactional.Deferred() || !HierTrans.Deferred() || Naive.Deferred() || Hierarchical.Deferred() {
+		t.Error("Deferred wrong")
+	}
+}
+
+func TestRecordString(t *testing.T) {
+	r := Record{Tid: 121, Op: OpCopy, Loc: path.MustParse("T/c1/y"), Src: path.MustParse("S1/a1/y")}
+	if r.String() != "121 C T/c1/y S1/a1/y" {
+		t.Errorf("String = %q", r)
+	}
+	d := Record{Tid: 121, Op: OpDelete, Loc: path.MustParse("T/c5")}
+	if d.String() != "121 D T/c5 ⊥" {
+		t.Errorf("String = %q", d)
+	}
+}
+
+func TestRecordValidate(t *testing.T) {
+	good := Record{Tid: 1, Op: OpInsert, Loc: path.MustParse("T/a")}
+	if err := good.Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := []Record{
+		{Tid: 1, Op: OpKind('?'), Loc: path.MustParse("T/a")},
+		{Tid: 1, Op: OpInsert},                                                       // root loc
+		{Tid: 1, Op: OpCopy, Loc: path.MustParse("T/a")},                             // copy without src
+		{Tid: 1, Op: OpInsert, Loc: path.MustParse("T/a"), Src: path.MustParse("S")}, // insert with src
+		{Tid: 1, Op: OpDelete, Loc: path.MustParse("T/a"), Src: path.MustParse("S")}, // delete with src
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("bad record %d validated: %v", i, r)
+		}
+	}
+}
+
+func randomRecord(r *rand.Rand) Record {
+	locs := []string{"T/a", "T/a/b", "T/c/d/e", "T/x{1}/y"}
+	srcs := []string{"S1/p", "S2/q/r", "S1/deep/er/path"}
+	rec := Record{Tid: r.Int63n(1 << 40), Loc: path.MustParse(locs[r.Intn(len(locs))])}
+	switch r.Intn(3) {
+	case 0:
+		rec.Op = OpInsert
+	case 1:
+		rec.Op = OpDelete
+	default:
+		rec.Op = OpCopy
+		rec.Src = path.MustParse(srcs[r.Intn(len(srcs))])
+	}
+	return rec
+}
+
+func TestQuickRecordCodec(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rec := randomRecord(r)
+		enc := rec.AppendBinary(nil)
+		if len(enc) != rec.EncodedSize() {
+			return false
+		}
+		dec, used, err := DecodeRecord(enc)
+		if err != nil || used != len(enc) {
+			return false
+		}
+		return dec.Tid == rec.Tid && dec.Op == rec.Op &&
+			dec.Loc.Equal(rec.Loc) && dec.Src.Equal(rec.Src)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRecordErrors(t *testing.T) {
+	rec := Record{Tid: 9, Op: OpCopy, Loc: path.MustParse("T/a"), Src: path.MustParse("S/b")}
+	enc := rec.AppendBinary(nil)
+	for cut := 0; cut < len(enc); cut++ {
+		if _, _, err := DecodeRecord(enc[:cut]); err == nil {
+			t.Errorf("truncated record at %d decoded", cut)
+		}
+	}
+	if _, _, err := DecodeRecord(nil); err == nil {
+		t.Error("empty buffer should error")
+	}
+}
+
+func TestDupKeyError(t *testing.T) {
+	e := &DupKeyError{Tid: 42, Loc: path.MustParse("T/a")}
+	if e.Error() != "provstore: duplicate (tid, loc) key: (42, T/a)" {
+		t.Errorf("error text = %q", e.Error())
+	}
+	var err error = e
+	var dke *DupKeyError
+	if !errors.As(err, &dke) {
+		t.Error("errors.As should find DupKeyError")
+	}
+	if (&DupKeyError{Tid: -5, Loc: path.MustParse("T")}).Error() == "" {
+		t.Error("negative tid render")
+	}
+	if (&DupKeyError{Tid: 0, Loc: path.MustParse("T")}).Error() == "" {
+		t.Error("zero tid render")
+	}
+}

@@ -1,0 +1,306 @@
+// Package relprov implements the provenance store backend on the relational
+// engine, as the paper's CPDB stored its Prov table in MySQL: a table
+// Prov(Tid, Op, Loc, Src) with primary key {Tid, Loc} (the paper notes "Tid
+// and Loc are natural candidates for indexing") and a secondary index on Loc
+// for location-oriented queries.
+package relprov
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/path"
+	"repro/internal/provstore"
+	"repro/internal/relstore"
+)
+
+// TableName is the name of the provenance relation.
+const TableName = "prov"
+
+// Backend is a provstore.Backend persisted in a relstore database.
+type Backend struct {
+	db  *relstore.DB
+	tbl *relstore.Table
+}
+
+var _ provstore.Backend = (*Backend)(nil)
+
+// Schema returns the provenance table schema.
+func Schema() relstore.TableSchema {
+	return relstore.TableSchema{
+		Name: TableName,
+		Columns: []relstore.Column{
+			{Name: "tid", Type: relstore.TInt},
+			{Name: "loc", Type: relstore.TBytes},
+			{Name: "op", Type: relstore.TStr},
+			{Name: "src", Type: relstore.TBytes},
+		},
+		Key: []string{"tid", "loc"},
+		Indexes: []relstore.IndexDef{
+			{Name: "by_loc", Columns: []string{"loc"}},
+		},
+	}
+}
+
+// Create creates the provenance table in the database and returns the
+// backend.
+func Create(db *relstore.DB) (*Backend, error) {
+	tbl, err := db.CreateTable(Schema())
+	if err != nil {
+		return nil, err
+	}
+	return &Backend{db: db, tbl: tbl}, nil
+}
+
+// Open attaches to an existing provenance table.
+func Open(db *relstore.DB) (*Backend, error) {
+	tbl, err := db.Table(TableName)
+	if err != nil {
+		return nil, err
+	}
+	return &Backend{db: db, tbl: tbl}, nil
+}
+
+// DB exposes the underlying database (for size accounting).
+func (b *Backend) DB() *relstore.DB { return b.db }
+
+func toRow(r provstore.Record) (relstore.Row, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return relstore.Row{
+		r.Tid,
+		r.Loc.AppendBinary(nil),
+		r.Op.String(),
+		r.Src.AppendBinary(nil),
+	}, nil
+}
+
+func fromRow(row relstore.Row) (provstore.Record, error) {
+	var rec provstore.Record
+	tid, ok := row[0].(int64)
+	if !ok {
+		return rec, fmt.Errorf("relprov: bad tid column %T", row[0])
+	}
+	rec.Tid = tid
+	loc, _, err := path.DecodeBinary(row[1].([]byte))
+	if err != nil {
+		return rec, fmt.Errorf("relprov: bad loc: %w", err)
+	}
+	rec.Loc = loc
+	ops := row[2].(string)
+	if len(ops) != 1 {
+		return rec, fmt.Errorf("relprov: bad op %q", ops)
+	}
+	rec.Op = provstore.OpKind(ops[0])
+	src, _, err := path.DecodeBinary(row[3].([]byte))
+	if err != nil {
+		return rec, fmt.Errorf("relprov: bad src: %w", err)
+	}
+	rec.Src = src
+	return rec, rec.Validate()
+}
+
+// Append implements provstore.Backend. The batch maps to one logical round
+// trip; a duplicate {Tid, Loc} anywhere in the batch aborts it wholesale
+// (the table's primary key enforces the constraint).
+func (b *Backend) Append(recs []provstore.Record) error {
+	// Validate the whole batch before touching the table so a failed
+	// append stores nothing (matching MemBackend).
+	rows := make([]relstore.Row, 0, len(recs))
+	seen := make(map[string]struct{}, len(recs))
+	for _, r := range recs {
+		row, err := toRow(r)
+		if err != nil {
+			return err
+		}
+		k := fmt.Sprintf("%d|%x", r.Tid, row[1])
+		if _, dup := seen[k]; dup {
+			return &provstore.DupKeyError{Tid: r.Tid, Loc: r.Loc}
+		}
+		seen[k] = struct{}{}
+		if _, err := b.tbl.Get(r.Tid, row[1]); err == nil {
+			return &provstore.DupKeyError{Tid: r.Tid, Loc: r.Loc}
+		}
+		rows = append(rows, row)
+	}
+	for i, row := range rows {
+		if err := b.tbl.Insert(row); err != nil {
+			// Should be unreachable after pre-validation; surface with
+			// context if the store disagrees.
+			return fmt.Errorf("relprov: appending record %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Lookup implements provstore.Backend.
+func (b *Backend) Lookup(tid int64, loc path.Path) (provstore.Record, bool, error) {
+	row, err := b.tbl.Get(tid, loc.AppendBinary(nil))
+	if err != nil {
+		if isNotFound(err) {
+			return provstore.Record{}, false, nil
+		}
+		return provstore.Record{}, false, err
+	}
+	rec, err := fromRow(row)
+	if err != nil {
+		return provstore.Record{}, false, err
+	}
+	return rec, true, nil
+}
+
+func isNotFound(err error) bool {
+	return errors.Is(err, relstore.ErrRowNotFound) || errors.Is(err, relstore.ErrKeyNotFound)
+}
+
+// NearestAncestor implements provstore.Backend: it probes the ancestors of
+// loc from deepest to shallowest within transaction tid. Like the stored
+// procedure of the paper's implementation, this is one logical round trip.
+func (b *Backend) NearestAncestor(tid int64, loc path.Path) (provstore.Record, bool, error) {
+	anc := loc.Ancestors()
+	for i := len(anc) - 1; i >= 0; i-- {
+		rec, ok, err := b.Lookup(tid, anc[i])
+		if err != nil || ok {
+			return rec, ok, err
+		}
+	}
+	return provstore.Record{}, false, nil
+}
+
+// ScanTid implements provstore.Backend.
+func (b *Backend) ScanTid(tid int64) ([]provstore.Record, error) {
+	prefix, err := b.tbl.KeyPrefix(tid)
+	if err != nil {
+		return nil, err
+	}
+	var out []provstore.Record
+	var derr error
+	err = b.tbl.ScanKeyPrefix(prefix, func(row relstore.Row) bool {
+		rec, err := fromRow(row)
+		if err != nil {
+			derr = err
+			return false
+		}
+		out = append(out, rec)
+		return true
+	})
+	if derr != nil {
+		return nil, derr
+	}
+	return out, err
+}
+
+// ScanLoc implements provstore.Backend.
+func (b *Backend) ScanLoc(loc path.Path) ([]provstore.Record, error) {
+	prefix, err := b.tbl.IndexPrefix("by_loc", loc.AppendBinary(nil))
+	if err != nil {
+		return nil, err
+	}
+	return b.scanIndex(prefix, func(r provstore.Record) bool { return r.Loc.Equal(loc) })
+}
+
+// ScanLocPrefix implements provstore.Backend: records whose Loc lies at or
+// under prefix, in (Loc, Tid) order. The path binary encoding is
+// prefix-preserving, so a label-wise path prefix is a byte prefix of the
+// index key.
+func (b *Backend) ScanLocPrefix(prefix path.Path) ([]provstore.Record, error) {
+	// Escape the loc bytes exactly as the index key codec does, but
+	// without the terminator, so descendants (longer keys) match too.
+	full, err := b.tbl.IndexPrefix("by_loc", prefix.AppendBinary(nil))
+	if err != nil {
+		return nil, err
+	}
+	raw := full[:len(full)-1] // strip the 0x00 terminator
+	return b.scanIndex(raw, func(r provstore.Record) bool { return prefix.IsPrefixOf(r.Loc) })
+}
+
+func (b *Backend) scanIndex(prefix []byte, keep func(provstore.Record) bool) ([]provstore.Record, error) {
+	var out []provstore.Record
+	var derr error
+	err := b.tbl.ScanIndexPrefix("by_loc", prefix, func(row relstore.Row) bool {
+		rec, err := fromRow(row)
+		if err != nil {
+			derr = err
+			return false
+		}
+		if keep(rec) {
+			out = append(out, rec)
+		}
+		return true
+	})
+	if derr != nil {
+		return nil, derr
+	}
+	return out, err
+}
+
+// ScanLocWithAncestors implements provstore.Backend: records at loc or any
+// strict ancestor of it, across all transactions, via the location index
+// (server-side this is one pass, i.e. one logical round trip).
+func (b *Backend) ScanLocWithAncestors(loc path.Path) ([]provstore.Record, error) {
+	var out []provstore.Record
+	probe := func(p path.Path) error {
+		recs, err := b.ScanLoc(p)
+		if err != nil {
+			return err
+		}
+		out = append(out, recs...)
+		return nil
+	}
+	for _, anc := range loc.Ancestors() {
+		if err := probe(anc); err != nil {
+			return nil, err
+		}
+	}
+	if err := probe(loc); err != nil {
+		return nil, err
+	}
+	sortRecs(out)
+	return out, nil
+}
+
+func sortRecs(recs []provstore.Record) {
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].Tid != recs[j].Tid {
+			return recs[i].Tid < recs[j].Tid
+		}
+		return recs[i].Loc.Compare(recs[j].Loc) < 0
+	})
+}
+
+// Tids implements provstore.Backend (a full scan; rarely used online).
+func (b *Backend) Tids() ([]int64, error) {
+	var out []int64
+	var last int64
+	first := true
+	err := b.tbl.Scan(func(row relstore.Row) bool {
+		tid := row[0].(int64)
+		if first || tid != last {
+			out = append(out, tid)
+			last, first = tid, false
+		}
+		return true
+	})
+	return out, err
+}
+
+// MaxTid implements provstore.Backend.
+func (b *Backend) MaxTid() (int64, error) {
+	tids, err := b.Tids()
+	if err != nil || len(tids) == 0 {
+		return 0, err
+	}
+	return tids[len(tids)-1], nil
+}
+
+// Count implements provstore.Backend.
+func (b *Backend) Count() (int, error) {
+	return int(b.tbl.RowCount()), nil
+}
+
+// Bytes implements provstore.Backend.
+func (b *Backend) Bytes() (int64, error) {
+	return b.tbl.ByteSize(), nil
+}

@@ -1,0 +1,299 @@
+package relprov_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/figures"
+	"repro/internal/path"
+	"repro/internal/provstore"
+	"repro/internal/provtest"
+	"repro/internal/relprov"
+	"repro/internal/relstore"
+)
+
+func newBackend(t *testing.T) *relprov.Backend {
+	t.Helper()
+	db, err := relstore.Create(filepath.Join(t.TempDir(), "prov.rel"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	b, err := relprov.Create(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func rec(tid int64, op provstore.OpKind, loc, src string) provstore.Record {
+	r := provstore.Record{Tid: tid, Op: op, Loc: path.MustParse(loc)}
+	if src != "" {
+		r.Src = path.MustParse(src)
+	}
+	return r
+}
+
+func TestRelProvBasics(t *testing.T) {
+	b := newBackend(t)
+	if err := b.Append([]provstore.Record{
+		rec(1, provstore.OpCopy, "T/a", "S/x"),
+		rec(1, provstore.OpInsert, "T/a/b/c", ""),
+		rec(2, provstore.OpDelete, "T/a", ""),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r, ok, err := b.Lookup(1, path.MustParse("T/a"))
+	if err != nil || !ok || r.Src.String() != "S/x" {
+		t.Fatalf("Lookup = %v %v %v", r, ok, err)
+	}
+	if _, ok, _ := b.Lookup(9, path.MustParse("T/a")); ok {
+		t.Error("phantom lookup")
+	}
+	anc, ok, err := b.NearestAncestor(1, path.MustParse("T/a/b/c/d"))
+	if err != nil || !ok || anc.Loc.String() != "T/a/b/c" {
+		t.Fatalf("NearestAncestor = %v %v %v", anc, ok, err)
+	}
+	if _, ok, _ := b.NearestAncestor(1, path.MustParse("T/a")); ok {
+		t.Error("self must not be its own ancestor")
+	}
+	recs, err := b.ScanTid(1)
+	if err != nil || len(recs) != 2 {
+		t.Fatalf("ScanTid = %v %v", recs, err)
+	}
+	byLoc, err := b.ScanLoc(path.MustParse("T/a"))
+	if err != nil || len(byLoc) != 2 || byLoc[0].Tid != 1 || byLoc[1].Tid != 2 {
+		t.Fatalf("ScanLoc = %v %v", byLoc, err)
+	}
+	pre, err := b.ScanLocPrefix(path.MustParse("T/a"))
+	if err != nil || len(pre) != 3 {
+		t.Fatalf("ScanLocPrefix = %v %v", pre, err)
+	}
+	tids, _ := b.Tids()
+	if len(tids) != 2 || tids[0] != 1 || tids[1] != 2 {
+		t.Errorf("Tids = %v", tids)
+	}
+	maxT, _ := b.MaxTid()
+	if maxT != 2 {
+		t.Errorf("MaxTid = %d", maxT)
+	}
+	n, _ := b.Count()
+	if n != 3 {
+		t.Errorf("Count = %d", n)
+	}
+	bytes, _ := b.Bytes()
+	if bytes <= 0 {
+		t.Error("Bytes should be positive")
+	}
+}
+
+func TestRelProvDupKey(t *testing.T) {
+	b := newBackend(t)
+	if err := b.Append([]provstore.Record{rec(1, provstore.OpInsert, "T/a", "")}); err != nil {
+		t.Fatal(err)
+	}
+	var dke *provstore.DupKeyError
+	if err := b.Append([]provstore.Record{rec(1, provstore.OpDelete, "T/a", "")}); !errors.As(err, &dke) {
+		t.Errorf("stored dup: %v", err)
+	}
+	// In-batch duplicate aborts the whole batch.
+	err := b.Append([]provstore.Record{
+		rec(3, provstore.OpInsert, "T/x", ""),
+		rec(3, provstore.OpDelete, "T/x", ""),
+	})
+	if !errors.As(err, &dke) {
+		t.Errorf("in-batch dup: %v", err)
+	}
+	if _, ok, _ := b.Lookup(3, path.MustParse("T/x")); ok {
+		t.Error("aborted batch leaked")
+	}
+	// Invalid record rejected.
+	if err := b.Append([]provstore.Record{{Tid: 1, Op: provstore.OpKind('?'), Loc: path.MustParse("T/q")}}); err == nil {
+		t.Error("invalid record accepted")
+	}
+}
+
+func TestRelProvLabelwisePrefix(t *testing.T) {
+	b := newBackend(t)
+	b.Append([]provstore.Record{
+		rec(1, provstore.OpInsert, "T/a", ""),
+		rec(1, provstore.OpInsert, "T/a/x", ""),
+		rec(1, provstore.OpInsert, "T/ab", ""),
+	})
+	got, err := b.ScanLocPrefix(path.MustParse("T/a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("ScanLocPrefix = %v", got)
+	}
+	for _, r := range got {
+		if r.Loc.String() == "T/ab" {
+			t.Error("string-wise prefix leak: T/ab under T/a")
+		}
+	}
+}
+
+func TestRelProvPersistence(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "prov.rel")
+	db, err := relstore.Create(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := relprov.Create(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if err := b.Append([]provstore.Record{
+			rec(int64(i), provstore.OpCopy, fmt.Sprintf("T/c%d", i), "S/a"),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := relstore.Open(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	b2, err := relprov.Open(db2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := b2.Count()
+	if n != 500 {
+		t.Errorf("Count after reopen = %d", n)
+	}
+	r, ok, err := b2.Lookup(250, path.MustParse("T/c250"))
+	if err != nil || !ok || r.Op != provstore.OpCopy {
+		t.Errorf("Lookup after reopen = %v %v %v", r, ok, err)
+	}
+	if b2.DB() != db2 {
+		t.Error("DB accessor wrong")
+	}
+	// Open on a database without the table errors.
+	db3, _ := relstore.Create(filepath.Join(dir, "empty.rel"))
+	defer db3.Close()
+	if _, err := relprov.Open(db3); err == nil {
+		t.Error("Open without table should error")
+	}
+}
+
+// TestRelProvMatchesMemBackend runs identical random record streams into the
+// relational and in-memory backends and compares every read API.
+func TestRelProvMatchesMemBackend(t *testing.T) {
+	rb := newBackend(t)
+	mb := provstore.NewMemBackend()
+	r := rand.New(rand.NewSource(2006))
+	locs := []string{"T/a", "T/a/b", "T/a/b/c", "T/ab", "T/c1", "T/c1/x", "T/c2/y/z"}
+	for tid := int64(1); tid <= 40; tid++ {
+		perm := r.Perm(len(locs))
+		n := 1 + r.Intn(4)
+		var batch []provstore.Record
+		for i := 0; i < n; i++ {
+			loc := locs[perm[i]]
+			var rc provstore.Record
+			switch r.Intn(3) {
+			case 0:
+				rc = rec(tid, provstore.OpInsert, loc, "")
+			case 1:
+				rc = rec(tid, provstore.OpDelete, loc, "")
+			default:
+				rc = rec(tid, provstore.OpCopy, loc, "S/src")
+			}
+			batch = append(batch, rc)
+		}
+		if err := rb.Append(batch); err != nil {
+			t.Fatal(err)
+		}
+		if err := mb.Append(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Compare every read surface.
+	for tid := int64(0); tid <= 41; tid++ {
+		rr, _ := rb.ScanTid(tid)
+		mr, _ := mb.ScanTid(tid)
+		if fmt.Sprint(rr) != fmt.Sprint(mr) {
+			t.Errorf("ScanTid(%d): rel=%v mem=%v", tid, rr, mr)
+		}
+		for _, loc := range locs {
+			p := path.MustParse(loc)
+			r1, ok1, _ := rb.Lookup(tid, p)
+			r2, ok2, _ := mb.Lookup(tid, p)
+			if ok1 != ok2 || (ok1 && r1.String() != r2.String()) {
+				t.Errorf("Lookup(%d,%s): rel=%v/%v mem=%v/%v", tid, loc, r1, ok1, r2, ok2)
+			}
+			a1, k1, _ := rb.NearestAncestor(tid, p)
+			a2, k2, _ := mb.NearestAncestor(tid, p)
+			if k1 != k2 || (k1 && a1.String() != a2.String()) {
+				t.Errorf("NearestAncestor(%d,%s): rel=%v/%v mem=%v/%v", tid, loc, a1, k1, a2, k2)
+			}
+		}
+	}
+	for _, loc := range append(locs, "T", "T/zz") {
+		p := path.MustParse(loc)
+		r1, _ := rb.ScanLoc(p)
+		r2, _ := mb.ScanLoc(p)
+		if fmt.Sprint(r1) != fmt.Sprint(r2) {
+			t.Errorf("ScanLoc(%s): rel=%v mem=%v", loc, r1, r2)
+		}
+		p1, _ := rb.ScanLocPrefix(p)
+		p2, _ := mb.ScanLocPrefix(p)
+		if fmt.Sprint(p1) != fmt.Sprint(p2) {
+			t.Errorf("ScanLocPrefix(%s):\nrel=%v\nmem=%v", loc, p1, p2)
+		}
+	}
+	t1, _ := rb.Tids()
+	t2, _ := mb.Tids()
+	if fmt.Sprint(t1) != fmt.Sprint(t2) {
+		t.Errorf("Tids: rel=%v mem=%v", t1, t2)
+	}
+	c1, _ := rb.Count()
+	c2, _ := mb.Count()
+	if c1 != c2 {
+		t.Errorf("Count: rel=%d mem=%d", c1, c2)
+	}
+}
+
+// TestRelProvFigure5 re-runs the Figure 5(d) golden fixture against the
+// relational backend end to end.
+func TestRelProvFigure5(t *testing.T) {
+	b := newBackend(t)
+	tr := provstore.MustNew(provstore.HierTrans, provstore.Config{
+		Backend:  b,
+		StartTid: figures.FirstTid,
+	})
+	f := figures.Forest()
+	if _, err := provtest.Run(tr, f, figures.Sequence(), 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := provtest.AllSorted(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(figures.Fig5d) {
+		t.Fatalf("got %d rows, want %d: %v", len(got), len(figures.Fig5d), got)
+	}
+	want := map[string]bool{}
+	for _, w := range figures.Fig5d {
+		src := w.Src
+		if src == "" {
+			src = "⊥"
+		}
+		want[fmt.Sprintf("%d %s %s %s", w.Tid, w.Op, w.Loc, src)] = true
+	}
+	for _, g := range got {
+		if !want[g.String()] {
+			t.Errorf("unexpected row %v", g)
+		}
+	}
+}

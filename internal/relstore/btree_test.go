@@ -1,0 +1,328 @@
+package relstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func testPool(t *testing.T, cachePages int) *BufferPool {
+	t.Helper()
+	pager, err := CreatePager(tempStore(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp := NewBufferPool(pager, cachePages)
+	t.Cleanup(func() { bp.Close() })
+	return bp
+}
+
+func TestBTreeBasic(t *testing.T) {
+	bp := testPool(t, 64)
+	bt, err := NewBTree(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bt.Insert([]byte("b"), []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := bt.Insert([]byte("a"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := bt.Insert([]byte("a"), []byte("x")); !errors.Is(err, ErrDupKey) {
+		t.Errorf("duplicate insert: %v", err)
+	}
+	v, err := bt.Get([]byte("a"))
+	if err != nil || string(v) != "1" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+	if _, err := bt.Get([]byte("zz")); !errors.Is(err, ErrKeyNotFound) {
+		t.Errorf("missing key: %v", err)
+	}
+	ok, err := bt.Has([]byte("b"))
+	if err != nil || !ok {
+		t.Error("Has(b) should be true")
+	}
+	if err := bt.Put([]byte("a"), []byte("overwritten")); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = bt.Get([]byte("a"))
+	if string(v) != "overwritten" {
+		t.Error("Put did not overwrite")
+	}
+	if err := bt.Delete([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := bt.Delete([]byte("a")); !errors.Is(err, ErrKeyNotFound) {
+		t.Errorf("double delete: %v", err)
+	}
+	n, err := bt.Len()
+	if err != nil || n != 1 {
+		t.Errorf("Len = %d, %v", n, err)
+	}
+}
+
+func TestBTreeKeyTooBig(t *testing.T) {
+	bp := testPool(t, 64)
+	bt, _ := NewBTree(bp)
+	if err := bt.Put(make([]byte, MaxCellSize), []byte("v")); !errors.Is(err, ErrKeyTooBig) {
+		t.Errorf("huge key: %v", err)
+	}
+}
+
+// TestBTreeManyKeysOrdered inserts enough entries to force multi-level
+// splits and verifies full ordered iteration and point lookups.
+func TestBTreeManyKeysOrdered(t *testing.T) {
+	bp := testPool(t, 128)
+	bt, _ := NewBTree(bp)
+	const n = 5000
+	perm := rand.New(rand.NewSource(7)).Perm(n)
+	for _, i := range perm {
+		key := []byte(fmt.Sprintf("key-%06d", i))
+		val := []byte(fmt.Sprintf("val-%d", i))
+		if err := bt.Insert(key, val); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	// Point lookups.
+	for i := 0; i < n; i += 97 {
+		v, err := bt.Get([]byte(fmt.Sprintf("key-%06d", i)))
+		if err != nil || string(v) != fmt.Sprintf("val-%d", i) {
+			t.Fatalf("get %d: %q, %v", i, v, err)
+		}
+	}
+	// Ordered iteration sees every key exactly once, in order.
+	var prev []byte
+	count := 0
+	it := bt.First()
+	for ; it.Valid(); it.Next() {
+		if prev != nil && bytes.Compare(prev, it.Key()) >= 0 {
+			t.Fatalf("iteration out of order at %q", it.Key())
+		}
+		prev = append(prev[:0], it.Key()...)
+		count++
+	}
+	if it.Err() != nil {
+		t.Fatal(it.Err())
+	}
+	if count != n {
+		t.Fatalf("iterated %d of %d", count, n)
+	}
+}
+
+func TestBTreeSeekAndRange(t *testing.T) {
+	bp := testPool(t, 64)
+	bt, _ := NewBTree(bp)
+	for _, k := range []string{"apple", "banana", "cherry", "damson", "elder"} {
+		bt.Insert([]byte(k), []byte("v"))
+	}
+	it := bt.Seek([]byte("c"))
+	if !it.Valid() || string(it.Key()) != "cherry" {
+		t.Fatalf("Seek(c) = %q", it.Key())
+	}
+	var got []string
+	bt.ScanRange([]byte("banana"), []byte("elder"), func(k, _ []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	want := []string{"banana", "cherry", "damson"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("ScanRange = %v, want %v", got, want)
+	}
+	// Early stop.
+	calls := 0
+	bt.ScanRange(nil, nil, func(_, _ []byte) bool { calls++; return false })
+	if calls != 1 {
+		t.Errorf("early stop did not stop: %d calls", calls)
+	}
+}
+
+func TestBTreeScanPrefix(t *testing.T) {
+	bp := testPool(t, 64)
+	bt, _ := NewBTree(bp)
+	keys := []string{"prov/1/a", "prov/1/b", "prov/2/a", "other/1", "prov/1/a/x"}
+	for _, k := range keys {
+		bt.Insert([]byte(k), []byte("v"))
+	}
+	var got []string
+	bt.ScanPrefix([]byte("prov/1/"), func(k, _ []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	sort.Strings(got)
+	want := []string{"prov/1/a", "prov/1/a/x", "prov/1/b"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("ScanPrefix = %v, want %v", got, want)
+	}
+}
+
+// TestBTreeAgainstMap runs a randomized workload mirrored in a Go map and
+// compares the full contents afterwards, including across reopen.
+func TestBTreeAgainstMap(t *testing.T) {
+	path := tempStore(t)
+	pager, err := CreatePager(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp := NewBufferPool(pager, 64)
+	bt, _ := NewBTree(bp)
+	model := map[string]string{}
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 8000; i++ {
+		k := fmt.Sprintf("k%04d", r.Intn(2000))
+		switch r.Intn(3) {
+		case 0, 1:
+			v := fmt.Sprintf("v%d", i)
+			if err := bt.Put([]byte(k), []byte(v)); err != nil {
+				t.Fatal(err)
+			}
+			model[k] = v
+		case 2:
+			err := bt.Delete([]byte(k))
+			if _, ok := model[k]; ok {
+				if err != nil {
+					t.Fatalf("delete existing %q: %v", k, err)
+				}
+				delete(model, k)
+			} else if !errors.Is(err, ErrKeyNotFound) {
+				t.Fatalf("delete missing %q: %v", k, err)
+			}
+		}
+	}
+	checkMatchesModel := func(bt *BTree) {
+		t.Helper()
+		got := map[string]string{}
+		it := bt.First()
+		for ; it.Valid(); it.Next() {
+			got[string(it.Key())] = string(it.Value())
+		}
+		if it.Err() != nil {
+			t.Fatal(it.Err())
+		}
+		if len(got) != len(model) {
+			t.Fatalf("tree has %d keys, model %d", len(got), len(model))
+		}
+		for k, v := range model {
+			if got[k] != v {
+				t.Fatalf("key %q: tree %q model %q", k, got[k], v)
+			}
+		}
+	}
+	checkMatchesModel(bt)
+
+	// Persist, reopen, re-verify.
+	root := bt.Root()
+	if err := bp.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := bp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	pager2, err := OpenPager(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp2 := NewBufferPool(pager2, 64)
+	defer bp2.Close()
+	checkMatchesModel(OpenBTree(bp2, root))
+}
+
+// TestBTreeTinyCache exercises eviction pressure: the pool holds far fewer
+// pages than the tree, so every operation faults pages in and out.
+func TestBTreeTinyCache(t *testing.T) {
+	bp := testPool(t, 8)
+	bt, _ := NewBTree(bp)
+	const n = 3000
+	for i := 0; i < n; i++ {
+		if err := bt.Insert([]byte(fmt.Sprintf("%06d", i)), []byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cnt, err := bt.Len()
+	if err != nil || cnt != n {
+		t.Fatalf("Len = %d, %v", cnt, err)
+	}
+	hits, misses := bp.Stats()
+	if misses == 0 {
+		t.Error("tiny cache should miss")
+	}
+	_ = hits
+}
+
+func TestHeapBasic(t *testing.T) {
+	bp := testPool(t, 64)
+	h, err := NewHeap(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rid, err := h.Insert([]byte("record"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := h.Get(rid)
+	if err != nil || string(got) != "record" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	if err := h.Delete(rid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Get(rid); err == nil {
+		t.Error("deleted record readable")
+	}
+	if _, err := h.Insert(make([]byte, MaxCellSize+1)); !errors.Is(err, ErrCellTooBig) {
+		t.Errorf("oversized record: %v", err)
+	}
+}
+
+func TestHeapGrowsAndScans(t *testing.T) {
+	bp := testPool(t, 32)
+	h, _ := NewHeap(bp)
+	const n = 500
+	payload := bytes.Repeat([]byte("z"), 100)
+	rids := make([]RID, n)
+	for i := range rids {
+		rid, err := h.Insert(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids[i] = rid
+	}
+	cnt, err := h.Len()
+	if err != nil || cnt != n {
+		t.Fatalf("Len = %d, %v", cnt, err)
+	}
+	// Records span multiple pages.
+	if rids[0].Page == rids[n-1].Page {
+		t.Error("heap did not grow")
+	}
+	// Reopen and rescan.
+	h2, err := OpenHeap(bp, h.First())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnt2, _ := h2.Len()
+	if cnt2 != n {
+		t.Errorf("reopened Len = %d", cnt2)
+	}
+	// Insert after reopen lands on the last page.
+	if _, err := h2.Insert([]byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRIDCodec(t *testing.T) {
+	rid := RID{Page: 77, Slot: 12}
+	got, err := DecodeRID(EncodeRID(rid))
+	if err != nil || got != rid {
+		t.Fatalf("RID codec: %v, %v", got, err)
+	}
+	if _, err := DecodeRID([]byte{1, 2}); err == nil {
+		t.Error("short RID should error")
+	}
+	if rid.String() != "77:12" {
+		t.Errorf("RID.String = %q", rid.String())
+	}
+}

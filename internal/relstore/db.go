@@ -1,0 +1,244 @@
+package relstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// A DB is a collection of tables in one store file, with a JSON catalog
+// persisted in a heap whose first page is recorded in the store header.
+// Catalog changes (new tables, moved index roots, row counters) are kept in
+// memory and written back by Flush/Close.
+type DB struct {
+	mu      sync.Mutex
+	bp      *BufferPool
+	catalog *Heap
+	tables  map[string]*Table
+	dirty   bool
+}
+
+// DefaultCachePages is the default buffer-pool capacity.
+const DefaultCachePages = 256
+
+// Create creates a new database file, truncating any existing file.
+func Create(path string) (*DB, error) {
+	return CreateWithCache(path, DefaultCachePages)
+}
+
+// CreateWithCache creates a new database with an explicit buffer-pool size.
+func CreateWithCache(path string, cachePages int) (*DB, error) {
+	pager, err := CreatePager(path)
+	if err != nil {
+		return nil, err
+	}
+	bp := NewBufferPool(pager, cachePages)
+	cat, err := NewHeap(bp)
+	if err != nil {
+		bp.Close()
+		return nil, err
+	}
+	if err := pager.SetCatalog(cat.First()); err != nil {
+		bp.Close()
+		return nil, err
+	}
+	return &DB{bp: bp, catalog: cat, tables: make(map[string]*Table)}, nil
+}
+
+// Open opens an existing database file.
+func Open(path string) (*DB, error) {
+	return OpenWithCache(path, DefaultCachePages)
+}
+
+// OpenWithCache opens an existing database with an explicit buffer-pool
+// size.
+func OpenWithCache(path string, cachePages int) (*DB, error) {
+	pager, err := OpenPager(path, false)
+	if err != nil {
+		return nil, err
+	}
+	bp := NewBufferPool(pager, cachePages)
+	cat, err := OpenHeap(bp, pager.Catalog())
+	if err != nil {
+		bp.Close()
+		return nil, err
+	}
+	db := &DB{bp: bp, catalog: cat, tables: make(map[string]*Table)}
+	if err := db.loadCatalog(); err != nil {
+		bp.Close()
+		return nil, err
+	}
+	return db, nil
+}
+
+func (db *DB) loadCatalog() error {
+	var metas []tableMeta
+	err := db.catalog.Scan(func(_ RID, data []byte) bool {
+		var m tableMeta
+		if jerr := json.Unmarshal(data, &m); jerr == nil {
+			metas = append(metas, m)
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	for _, m := range metas {
+		t, err := newTable(db, m)
+		if err != nil {
+			return fmt.Errorf("relstore: loading table %q: %w", m.Schema.Name, err)
+		}
+		db.tables[m.Schema.Name] = t
+	}
+	return nil
+}
+
+// CreateTable creates a new table from the schema, allocating its primary
+// and secondary index trees.
+func (db *DB) CreateTable(schema TableSchema) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[schema.Name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrTableExists, schema.Name)
+	}
+	primary, err := NewBTree(db.bp)
+	if err != nil {
+		return nil, err
+	}
+	meta := tableMeta{Schema: schema, Root: primary.Root()}
+	for i := range meta.Schema.Indexes {
+		ix, err := NewBTree(db.bp)
+		if err != nil {
+			return nil, err
+		}
+		meta.Schema.Indexes[i].Root = ix.Root()
+	}
+	t, err := newTable(db, meta)
+	if err != nil {
+		return nil, err
+	}
+	db.tables[schema.Name] = t
+	db.dirty = true
+	return t, db.flushCatalogLocked()
+}
+
+// Table returns an open table by name.
+func (db *DB) Table(name string) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, name)
+	}
+	return t, nil
+}
+
+// TableNames returns the names of all tables, sorted.
+func (db *DB) TableNames() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// persistTable records that a table's metadata (root pages, counters)
+// changed; the catalog is written back on Flush/Close.
+func (db *DB) persistTable(t *Table) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	// Index roots move on splits; refresh them in the metadata.
+	t.meta.Root = t.primary.Root()
+	for i := range t.meta.Schema.Indexes {
+		t.meta.Schema.Indexes[i].Root = t.seconds[i].Root()
+	}
+	db.dirty = true
+	return nil
+}
+
+// flushCatalogLocked rewrites the catalog heap from current table metadata.
+// Caller holds db.mu.
+func (db *DB) flushCatalogLocked() error {
+	if !db.dirty {
+		return nil
+	}
+	// Rewrite wholesale: delete all catalog records, re-insert.
+	var rids []RID
+	if err := db.catalog.Scan(func(rid RID, _ []byte) bool {
+		rids = append(rids, rid)
+		return true
+	}); err != nil {
+		return err
+	}
+	for _, rid := range rids {
+		if err := db.catalog.Delete(rid); err != nil {
+			return err
+		}
+	}
+	for _, name := range db.tableNamesLocked() {
+		t := db.tables[name]
+		t.meta.Root = t.primary.Root()
+		for i := range t.meta.Schema.Indexes {
+			t.meta.Schema.Indexes[i].Root = t.seconds[i].Root()
+		}
+		data, err := json.Marshal(t.meta)
+		if err != nil {
+			return err
+		}
+		if _, err := db.catalog.Insert(data); err != nil {
+			return err
+		}
+	}
+	db.dirty = false
+	return nil
+}
+
+func (db *DB) tableNamesLocked() []string {
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Flush persists the catalog and all dirty pages.
+func (db *DB) Flush() error {
+	db.mu.Lock()
+	if err := db.flushCatalogLocked(); err != nil {
+		db.mu.Unlock()
+		return err
+	}
+	db.mu.Unlock()
+	return db.bp.FlushAll()
+}
+
+// Size returns the store file size in bytes after flushing, the "physical
+// size" the paper reports at the top of Figure 8's bars.
+func (db *DB) Size() (int64, error) {
+	if err := db.Flush(); err != nil {
+		return 0, err
+	}
+	return db.bp.Pager().FileSize()
+}
+
+// CacheStats exposes buffer-pool hit/miss counters.
+func (db *DB) CacheStats() (hits, misses int64) {
+	return db.bp.Stats()
+}
+
+// Close flushes and closes the database.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	if err := db.flushCatalogLocked(); err != nil {
+		db.mu.Unlock()
+		db.bp.Close()
+		return err
+	}
+	db.mu.Unlock()
+	return db.bp.Close()
+}

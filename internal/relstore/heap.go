@@ -1,0 +1,174 @@
+package relstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// A Heap is an unordered file of variable-length records chained across
+// pages. Records are addressed by RID (page, slot). The heap remembers its
+// last page for O(1) appends; full scans follow the page chain.
+type Heap struct {
+	bp    *BufferPool
+	first PageID
+	last  PageID
+}
+
+// An RID addresses one heap record.
+type RID struct {
+	Page PageID
+	Slot uint16
+}
+
+// String renders the RID as "page:slot".
+func (r RID) String() string { return fmt.Sprintf("%d:%d", r.Page, r.Slot) }
+
+// EncodeRID returns the 6-byte encoding of the RID.
+func EncodeRID(r RID) []byte {
+	var b [6]byte
+	binary.BigEndian.PutUint32(b[0:], uint32(r.Page))
+	binary.BigEndian.PutUint16(b[4:], r.Slot)
+	return b[:]
+}
+
+// DecodeRID parses a 6-byte RID.
+func DecodeRID(b []byte) (RID, error) {
+	if len(b) != 6 {
+		return RID{}, errors.New("relstore: bad RID encoding")
+	}
+	return RID{
+		Page: PageID(binary.BigEndian.Uint32(b[0:])),
+		Slot: binary.BigEndian.Uint16(b[4:]),
+	}, nil
+}
+
+// NewHeap creates an empty heap, allocating its first page.
+func NewHeap(bp *BufferPool) (*Heap, error) {
+	pg, err := bp.Alloc(KindHeap)
+	if err != nil {
+		return nil, err
+	}
+	bp.Unpin(pg.ID, true)
+	return &Heap{bp: bp, first: pg.ID, last: pg.ID}, nil
+}
+
+// OpenHeap attaches to an existing heap by its first page id, walking the
+// chain to find the last page.
+func OpenHeap(bp *BufferPool, first PageID) (*Heap, error) {
+	h := &Heap{bp: bp, first: first, last: first}
+	for {
+		pg, err := bp.Fetch(h.last)
+		if err != nil {
+			return nil, err
+		}
+		next := pg.Next()
+		bp.Unpin(h.last, false)
+		if next == InvalidPage {
+			return h, nil
+		}
+		h.last = next
+	}
+}
+
+// First returns the first page id (the heap's persistent identity).
+func (h *Heap) First() PageID { return h.first }
+
+// Insert appends a record and returns its RID.
+func (h *Heap) Insert(data []byte) (RID, error) {
+	if len(data) > MaxCellSize {
+		return RID{}, fmt.Errorf("%w: %d bytes", ErrCellTooBig, len(data))
+	}
+	pg, err := h.bp.Fetch(h.last)
+	if err != nil {
+		return RID{}, err
+	}
+	slot, err := pg.InsertCell(data)
+	if err == nil {
+		h.bp.Unpin(pg.ID, true)
+		return RID{Page: pg.ID, Slot: uint16(slot)}, nil
+	}
+	if !errors.Is(err, ErrPageFull) {
+		h.bp.Unpin(pg.ID, false)
+		return RID{}, err
+	}
+	// Grow the chain.
+	npg, aerr := h.bp.Alloc(KindHeap)
+	if aerr != nil {
+		h.bp.Unpin(pg.ID, false)
+		return RID{}, aerr
+	}
+	pg.SetNext(npg.ID)
+	h.bp.Unpin(pg.ID, true)
+	h.last = npg.ID
+	slot, err = npg.InsertCell(data)
+	if err != nil {
+		h.bp.Unpin(npg.ID, true)
+		return RID{}, err
+	}
+	h.bp.Unpin(npg.ID, true)
+	return RID{Page: npg.ID, Slot: uint16(slot)}, nil
+}
+
+// Get returns a copy of the record at rid.
+func (h *Heap) Get(rid RID) ([]byte, error) {
+	pg, err := h.bp.Fetch(rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	defer h.bp.Unpin(rid.Page, false)
+	cell, err := pg.Cell(int(rid.Slot))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(cell))
+	copy(out, cell)
+	return out, nil
+}
+
+// Delete removes the record at rid.
+func (h *Heap) Delete(rid RID) error {
+	pg, err := h.bp.Fetch(rid.Page)
+	if err != nil {
+		return err
+	}
+	err = pg.DeleteCell(int(rid.Slot))
+	h.bp.Unpin(rid.Page, err == nil)
+	return err
+}
+
+// Scan calls fn for every live record in the heap, in chain order, stopping
+// early if fn returns false.
+func (h *Heap) Scan(fn func(rid RID, data []byte) bool) error {
+	id := h.first
+	for id != InvalidPage {
+		pg, err := h.bp.Fetch(id)
+		if err != nil {
+			return err
+		}
+		n := pg.NumSlots()
+		for i := 0; i < n; i++ {
+			cell, err := pg.Cell(i)
+			if err != nil {
+				continue // deleted slot
+			}
+			data := make([]byte, len(cell))
+			copy(data, cell)
+			if !fn(RID{Page: id, Slot: uint16(i)}, data) {
+				h.bp.Unpin(id, false)
+				return nil
+			}
+		}
+		next := pg.Next()
+		h.bp.Unpin(id, false)
+		id = next
+	}
+	return nil
+}
+
+// Len counts live records (a full scan).
+func (h *Heap) Len() (int, error) {
+	n := 0
+	err := h.Scan(func(RID, []byte) bool { n++; return true })
+	return n, err
+}

@@ -1,0 +1,279 @@
+// Package relstore is a from-scratch relational storage engine playing the
+// role MySQL 4.1 plays in the paper's CPDB deployment: it hosts the
+// provenance store and the wrapped relational source database.
+//
+// The engine provides slotted pages with checksums, a buffer pool, heap
+// files, B+tree indexes, and typed tables with primary and secondary
+// indexes. It is deliberately conventional: the paper's results depend on
+// row counts, physical bytes and round-trip counts, all of which this
+// engine reproduces faithfully.
+package relstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// PageSize is the fixed size of every page, a conventional 4 KiB.
+const PageSize = 4096
+
+// PageID identifies a page within a store file. Page 0 is the store header
+// and is never handed out.
+type PageID uint32
+
+// InvalidPage is the zero PageID, used as a nil link.
+const InvalidPage PageID = 0
+
+// Page kinds.
+const (
+	KindFree       byte = 0
+	KindHeap       byte = 1
+	KindBTreeLeaf  byte = 2
+	KindBTreeInner byte = 3
+	KindMeta       byte = 4
+)
+
+// Page header layout (bytes):
+//
+//	0..3   checksum (crc32 of bytes 4..PageSize)
+//	4      kind
+//	5..6   slot count (uint16)
+//	7..8   free-space offset (uint16): start of the cell area, grows down
+//	9..12  next page link (uint32), meaning depends on kind
+//	13..15 reserved
+//
+// Slot directory entries of 4 bytes each ((offset uint16, length uint16))
+// grow up from headerSize; cells grow down from PageSize. A deleted slot has
+// offset 0 (cells never start at 0, which is inside the header).
+const (
+	headerSize   = 16
+	slotSize     = 4
+	offChecksum  = 0
+	offKind      = 4
+	offSlotCount = 5
+	offFreeOff   = 7
+	offNext      = 9
+)
+
+// Errors returned by page operations.
+var (
+	ErrPageFull   = errors.New("relstore: page full")
+	ErrBadSlot    = errors.New("relstore: bad slot")
+	ErrCorrupt    = errors.New("relstore: page checksum mismatch")
+	ErrCellTooBig = errors.New("relstore: cell exceeds maximum size")
+)
+
+// MaxCellSize is the largest cell a page accepts, chosen so a page always
+// fits at least four cells.
+const MaxCellSize = (PageSize - headerSize - 4*slotSize) / 4
+
+// A Page is one fixed-size block. Methods operate on the raw buffer; the
+// checksum is computed at write-out and verified at read-in by the Pager.
+type Page struct {
+	ID  PageID
+	buf [PageSize]byte
+}
+
+// NewPage returns an initialized in-memory page of the given kind.
+func NewPage(id PageID, kind byte) *Page {
+	p := &Page{ID: id}
+	p.Init(kind)
+	return p
+}
+
+// Init resets the page to an empty page of the given kind.
+func (p *Page) Init(kind byte) {
+	for i := range p.buf {
+		p.buf[i] = 0
+	}
+	p.buf[offKind] = kind
+	p.setSlotCount(0)
+	p.setFreeOff(PageSize)
+}
+
+// Kind returns the page kind byte.
+func (p *Page) Kind() byte { return p.buf[offKind] }
+
+// Next returns the page's link field.
+func (p *Page) Next() PageID {
+	return PageID(binary.BigEndian.Uint32(p.buf[offNext:]))
+}
+
+// SetNext sets the page's link field.
+func (p *Page) SetNext(id PageID) {
+	binary.BigEndian.PutUint32(p.buf[offNext:], uint32(id))
+}
+
+// NumSlots returns the number of slots, including deleted ones.
+func (p *Page) NumSlots() int {
+	return int(binary.BigEndian.Uint16(p.buf[offSlotCount:]))
+}
+
+func (p *Page) setSlotCount(n int) {
+	binary.BigEndian.PutUint16(p.buf[offSlotCount:], uint16(n))
+}
+
+func (p *Page) freeOff() int {
+	return int(binary.BigEndian.Uint16(p.buf[offFreeOff:]))
+}
+
+func (p *Page) setFreeOff(off int) {
+	if off == PageSize {
+		// PageSize does not fit in uint16; store 0xFFFF sentinel.
+		binary.BigEndian.PutUint16(p.buf[offFreeOff:], 0xFFFF)
+		return
+	}
+	binary.BigEndian.PutUint16(p.buf[offFreeOff:], uint16(off))
+}
+
+func (p *Page) freeOffVal() int {
+	v := int(binary.BigEndian.Uint16(p.buf[offFreeOff:]))
+	if v == 0xFFFF {
+		return PageSize
+	}
+	return v
+}
+
+func (p *Page) slotPos(i int) int { return headerSize + i*slotSize }
+
+func (p *Page) slot(i int) (off, length int) {
+	pos := p.slotPos(i)
+	return int(binary.BigEndian.Uint16(p.buf[pos:])), int(binary.BigEndian.Uint16(p.buf[pos+2:]))
+}
+
+func (p *Page) setSlot(i, off, length int) {
+	pos := p.slotPos(i)
+	binary.BigEndian.PutUint16(p.buf[pos:], uint16(off))
+	binary.BigEndian.PutUint16(p.buf[pos+2:], uint16(length))
+}
+
+// FreeSpace returns the bytes available for one more cell (including its
+// slot directory entry).
+func (p *Page) FreeSpace() int {
+	return p.freeOffVal() - (headerSize + p.NumSlots()*slotSize) - slotSize
+}
+
+// InsertCell appends a cell and returns its slot number. It reuses a deleted
+// slot entry if one exists (the cell space itself is reclaimed only by
+// Compact).
+func (p *Page) InsertCell(data []byte) (int, error) {
+	if len(data) > MaxCellSize {
+		return 0, fmt.Errorf("%w: %d > %d", ErrCellTooBig, len(data), MaxCellSize)
+	}
+	n := p.NumSlots()
+	// Reuse a dead slot if available.
+	slot := -1
+	for i := 0; i < n; i++ {
+		if off, _ := p.slot(i); off == 0 {
+			slot = i
+			break
+		}
+	}
+	need := len(data)
+	if slot < 0 {
+		need += slotSize
+	}
+	if p.freeOffVal()-(headerSize+n*slotSize)-need < 0 {
+		return 0, ErrPageFull
+	}
+	newOff := p.freeOffVal() - len(data)
+	copy(p.buf[newOff:], data)
+	p.setFreeOff(newOff)
+	if slot < 0 {
+		slot = n
+		p.setSlotCount(n + 1)
+	}
+	p.setSlot(slot, newOff, len(data))
+	return slot, nil
+}
+
+// Cell returns the cell stored in the given slot. The returned slice aliases
+// the page buffer; callers must copy before the page is modified or evicted.
+func (p *Page) Cell(i int) ([]byte, error) {
+	if i < 0 || i >= p.NumSlots() {
+		return nil, fmt.Errorf("%w: %d of %d", ErrBadSlot, i, p.NumSlots())
+	}
+	off, length := p.slot(i)
+	if off == 0 {
+		return nil, fmt.Errorf("%w: slot %d deleted", ErrBadSlot, i)
+	}
+	return p.buf[off : off+length], nil
+}
+
+// DeleteCell marks the slot deleted. Space is reclaimed by Compact.
+func (p *Page) DeleteCell(i int) error {
+	if i < 0 || i >= p.NumSlots() {
+		return fmt.Errorf("%w: %d of %d", ErrBadSlot, i, p.NumSlots())
+	}
+	if off, _ := p.slot(i); off == 0 {
+		return fmt.Errorf("%w: slot %d already deleted", ErrBadSlot, i)
+	}
+	p.setSlot(i, 0, 0)
+	return nil
+}
+
+// Live returns the number of live (non-deleted) cells.
+func (p *Page) Live() int {
+	live := 0
+	for i := 0; i < p.NumSlots(); i++ {
+		if off, _ := p.slot(i); off != 0 {
+			live++
+		}
+	}
+	return live
+}
+
+// Compact rewrites all live cells contiguously at the end of the page,
+// dropping trailing dead slots, and returns the bytes reclaimed.
+func (p *Page) Compact() int {
+	before := p.FreeSpace()
+	type cell struct {
+		slot int
+		data []byte
+	}
+	var cells []cell
+	for i := 0; i < p.NumSlots(); i++ {
+		if off, length := p.slot(i); off != 0 {
+			d := make([]byte, length)
+			copy(d, p.buf[off:off+length])
+			cells = append(cells, cell{i, d})
+		}
+	}
+	// Zero the cell area, rewrite.
+	p.setFreeOff(PageSize)
+	off := PageSize
+	for _, c := range cells {
+		off -= len(c.data)
+		copy(p.buf[off:], c.data)
+		p.setSlot(c.slot, off, len(c.data))
+	}
+	p.setFreeOff(off)
+	// Drop trailing dead slots.
+	n := p.NumSlots()
+	for n > 0 {
+		if o, _ := p.slot(n - 1); o == 0 {
+			n--
+		} else {
+			break
+		}
+	}
+	p.setSlotCount(n)
+	return p.FreeSpace() - before
+}
+
+// seal computes and stores the checksum prior to write-out.
+func (p *Page) seal() {
+	sum := crc32.ChecksumIEEE(p.buf[4:])
+	binary.BigEndian.PutUint32(p.buf[offChecksum:], sum)
+}
+
+// verify checks the stored checksum after read-in.
+func (p *Page) verify() error {
+	want := binary.BigEndian.Uint32(p.buf[offChecksum:])
+	if got := crc32.ChecksumIEEE(p.buf[4:]); got != want {
+		return fmt.Errorf("%w: page %d", ErrCorrupt, p.ID)
+	}
+	return nil
+}

@@ -1,0 +1,137 @@
+package relstore
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestPageInsertGetDelete(t *testing.T) {
+	p := NewPage(1, KindHeap)
+	s1, err := p.InsertCell([]byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := p.InsertCell([]byte("world!"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 == s2 {
+		t.Fatal("slots must differ")
+	}
+	c, err := p.Cell(s1)
+	if err != nil || string(c) != "hello" {
+		t.Fatalf("Cell = %q, %v", c, err)
+	}
+	if err := p.DeleteCell(s1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Cell(s1); !errors.Is(err, ErrBadSlot) {
+		t.Errorf("deleted cell read: %v", err)
+	}
+	if err := p.DeleteCell(s1); !errors.Is(err, ErrBadSlot) {
+		t.Errorf("double delete: %v", err)
+	}
+	if _, err := p.Cell(99); !errors.Is(err, ErrBadSlot) {
+		t.Errorf("out of range cell: %v", err)
+	}
+	if err := p.DeleteCell(-1); !errors.Is(err, ErrBadSlot) {
+		t.Errorf("negative slot: %v", err)
+	}
+	if p.Live() != 1 {
+		t.Errorf("Live = %d", p.Live())
+	}
+	// Deleted slot is reused.
+	s3, err := p.InsertCell([]byte("again"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3 != s1 {
+		t.Errorf("slot not reused: %d vs %d", s3, s1)
+	}
+}
+
+func TestPageFullAndCompact(t *testing.T) {
+	p := NewPage(1, KindHeap)
+	payload := bytes.Repeat([]byte("x"), 100)
+	var slots []int
+	for {
+		s, err := p.InsertCell(payload)
+		if errors.Is(err, ErrPageFull) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		slots = append(slots, s)
+	}
+	if len(slots) < 30 {
+		t.Fatalf("only %d cells fit in a page", len(slots))
+	}
+	// Delete every other cell; compaction reclaims their space.
+	for i := 0; i < len(slots); i += 2 {
+		if err := p.DeleteCell(slots[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reclaimed := p.Compact()
+	if reclaimed <= 0 {
+		t.Errorf("Compact reclaimed %d", reclaimed)
+	}
+	// Surviving cells still readable.
+	for i := 1; i < len(slots); i += 2 {
+		c, err := p.Cell(slots[i])
+		if err != nil || !bytes.Equal(c, payload) {
+			t.Fatalf("cell %d after compact: %v", slots[i], err)
+		}
+	}
+	// New inserts fit again.
+	if _, err := p.InsertCell(payload); err != nil {
+		t.Errorf("insert after compact: %v", err)
+	}
+}
+
+func TestPageCellTooBig(t *testing.T) {
+	p := NewPage(1, KindHeap)
+	if _, err := p.InsertCell(make([]byte, MaxCellSize+1)); !errors.Is(err, ErrCellTooBig) {
+		t.Errorf("oversized cell: %v", err)
+	}
+	if _, err := p.InsertCell(make([]byte, MaxCellSize)); err != nil {
+		t.Errorf("max-size cell rejected: %v", err)
+	}
+}
+
+func TestPageChecksum(t *testing.T) {
+	p := NewPage(1, KindHeap)
+	p.InsertCell([]byte("data"))
+	p.seal()
+	if err := p.verify(); err != nil {
+		t.Fatal(err)
+	}
+	p.buf[2000] ^= 0xFF
+	if err := p.verify(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("corrupted page verified: %v", err)
+	}
+}
+
+func TestPageNextLink(t *testing.T) {
+	p := NewPage(1, KindHeap)
+	p.SetNext(42)
+	if p.Next() != 42 {
+		t.Error("Next link lost")
+	}
+	p.Init(KindHeap)
+	if p.Next() != InvalidPage {
+		t.Error("Init must clear link")
+	}
+}
+
+func TestPageFreeSpaceAccounting(t *testing.T) {
+	p := NewPage(1, KindHeap)
+	before := p.FreeSpace()
+	p.InsertCell(make([]byte, 64))
+	after := p.FreeSpace()
+	if before-after != 64+slotSize {
+		t.Errorf("free space delta = %d, want %d", before-after, 64+slotSize)
+	}
+}

@@ -1,0 +1,234 @@
+package relstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// storeMagic identifies a relstore file.
+const storeMagic uint32 = 0xC9DB2006 // "curated databases, 2006"
+
+// A Pager reads and writes fixed-size pages of a store file and manages the
+// free list. Page 0 holds the store header: magic, page count, free-list
+// head, and the catalog root page id.
+//
+// The Pager is safe for concurrent use; callers serialize logical operations
+// above it (the engine uses a single-writer model, as the paper's CPDB did).
+type Pager struct {
+	mu       sync.Mutex
+	f        *os.File
+	pages    PageID // total pages allocated, including page 0
+	freeHead PageID
+	catalog  PageID
+	readOnly bool
+	wal      *WAL // optional write-ahead log (see AttachWAL)
+}
+
+// Errors returned by the pager.
+var (
+	ErrBadMagic   = errors.New("relstore: not a relstore file")
+	ErrOutOfRange = errors.New("relstore: page id out of range")
+	ErrReadOnly   = errors.New("relstore: store is read-only")
+)
+
+// CreatePager creates a new store file (truncating any existing one).
+func CreatePager(path string) (*Pager, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	p := &Pager{f: f, pages: 1}
+	if err := p.writeHeader(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return p, nil
+}
+
+// OpenPager opens an existing store file.
+func OpenPager(path string, readOnly bool) (*Pager, error) {
+	flags := os.O_RDWR
+	if readOnly {
+		flags = os.O_RDONLY
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	p := &Pager{f: f, readOnly: readOnly}
+	if err := p.readHeader(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *Pager) writeHeader() error {
+	var buf [PageSize]byte
+	binary.BigEndian.PutUint32(buf[0:], storeMagic)
+	binary.BigEndian.PutUint32(buf[4:], uint32(p.pages))
+	binary.BigEndian.PutUint32(buf[8:], uint32(p.freeHead))
+	binary.BigEndian.PutUint32(buf[12:], uint32(p.catalog))
+	_, err := p.f.WriteAt(buf[:], 0)
+	return err
+}
+
+func (p *Pager) readHeader() error {
+	var buf [PageSize]byte
+	if _, err := io.ReadFull(io.NewSectionReader(p.f, 0, PageSize), buf[:]); err != nil {
+		return fmt.Errorf("relstore: reading header: %w", err)
+	}
+	if binary.BigEndian.Uint32(buf[0:]) != storeMagic {
+		return ErrBadMagic
+	}
+	p.pages = PageID(binary.BigEndian.Uint32(buf[4:]))
+	p.freeHead = PageID(binary.BigEndian.Uint32(buf[8:]))
+	p.catalog = PageID(binary.BigEndian.Uint32(buf[12:]))
+	return nil
+}
+
+// Catalog returns the catalog root page id (0 if not yet set).
+func (p *Pager) Catalog() PageID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.catalog
+}
+
+// SetCatalog records the catalog root page id in the header.
+func (p *Pager) SetCatalog(id PageID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.readOnly {
+		return ErrReadOnly
+	}
+	p.catalog = id
+	return p.writeHeader()
+}
+
+// NumPages returns the total number of pages, including the header page.
+func (p *Pager) NumPages() PageID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pages
+}
+
+// Alloc allocates a page, reusing the free list when possible. The returned
+// page is initialized to the given kind and exists only in memory until
+// Write.
+func (p *Pager) Alloc(kind byte) (*Page, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.readOnly {
+		return nil, ErrReadOnly
+	}
+	if p.freeHead != InvalidPage {
+		id := p.freeHead
+		pg, err := p.readLocked(id)
+		if err != nil {
+			return nil, err
+		}
+		p.freeHead = pg.Next()
+		if err := p.writeHeader(); err != nil {
+			return nil, err
+		}
+		pg.Init(kind)
+		return pg, nil
+	}
+	id := p.pages
+	p.pages++
+	if err := p.writeHeader(); err != nil {
+		return nil, err
+	}
+	return NewPage(id, kind), nil
+}
+
+// Free returns a page to the free list.
+func (p *Pager) Free(pg *Page) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.readOnly {
+		return ErrReadOnly
+	}
+	pg.Init(KindFree)
+	pg.SetNext(p.freeHead)
+	p.freeHead = pg.ID
+	if err := p.writeLocked(pg); err != nil {
+		return err
+	}
+	return p.writeHeader()
+}
+
+// Read fetches a page from disk, verifying its checksum.
+func (p *Pager) Read(id PageID) (*Page, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.readLocked(id)
+}
+
+func (p *Pager) readLocked(id PageID) (*Page, error) {
+	if id == InvalidPage || id >= p.pages {
+		return nil, fmt.Errorf("%w: %d (have %d)", ErrOutOfRange, id, p.pages)
+	}
+	pg := &Page{ID: id}
+	if _, err := p.f.ReadAt(pg.buf[:], int64(id)*PageSize); err != nil {
+		return nil, fmt.Errorf("relstore: reading page %d: %w", id, err)
+	}
+	if err := pg.verify(); err != nil {
+		return nil, err
+	}
+	return pg, nil
+}
+
+// Write seals (checksums) and persists a page.
+func (p *Pager) Write(pg *Page) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.writeLocked(pg)
+}
+
+func (p *Pager) writeLocked(pg *Page) error {
+	if p.readOnly {
+		return ErrReadOnly
+	}
+	if pg.ID == InvalidPage || pg.ID >= p.pages {
+		return fmt.Errorf("%w: %d (have %d)", ErrOutOfRange, pg.ID, p.pages)
+	}
+	if p.wal != nil {
+		// Write-ahead: the image reaches the log before the data file.
+		if err := p.wal.Append(pg); err != nil {
+			return fmt.Errorf("relstore: logging page %d: %w", pg.ID, err)
+		}
+	}
+	pg.seal()
+	if _, err := p.f.WriteAt(pg.buf[:], int64(pg.ID)*PageSize); err != nil {
+		return fmt.Errorf("relstore: writing page %d: %w", pg.ID, err)
+	}
+	return nil
+}
+
+// Sync flushes the underlying file.
+func (p *Pager) Sync() error {
+	return p.f.Sync()
+}
+
+// Close syncs and closes the store file.
+func (p *Pager) Close() error {
+	if err := p.f.Sync(); err != nil {
+		p.f.Close()
+		return err
+	}
+	return p.f.Close()
+}
+
+// FileSize returns the current size of the store file in bytes.
+func (p *Pager) FileSize() (int64, error) {
+	fi, err := p.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}

@@ -1,0 +1,392 @@
+package relstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func provSchema() TableSchema {
+	return TableSchema{
+		Name: "prov",
+		Columns: []Column{
+			{Name: "tid", Type: TInt},
+			{Name: "loc", Type: TBytes},
+			{Name: "op", Type: TStr},
+			{Name: "src", Type: TBytes},
+		},
+		Key: []string{"tid", "loc"},
+		Indexes: []IndexDef{
+			{Name: "by_loc", Columns: []string{"loc"}},
+		},
+	}
+}
+
+func testDB(t *testing.T) *DB {
+	t.Helper()
+	db, err := Create(filepath.Join(t.TempDir(), "db.rel"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestKeyCodecOrderPreserving(t *testing.T) {
+	f := func(a, b int64) bool {
+		ka := AppendKeyInt(nil, a)
+		kb := AppendKeyInt(nil, b)
+		switch {
+		case a < b:
+			return bytes.Compare(ka, kb) < 0
+		case a > b:
+			return bytes.Compare(ka, kb) > 0
+		default:
+			return bytes.Equal(ka, kb)
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(a, b string) bool {
+		ka := AppendKeyBytes(nil, []byte(a))
+		kb := AppendKeyBytes(nil, []byte(b))
+		switch {
+		case a < b:
+			return bytes.Compare(ka, kb) < 0
+		case a > b:
+			return bytes.Compare(ka, kb) > 0
+		default:
+			return bytes.Equal(ka, kb)
+		}
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyCodecRoundTrip(t *testing.T) {
+	f := func(v int64, s string) bool {
+		buf := AppendKeyInt(nil, v)
+		buf = AppendKeyBytes(buf, []byte(s))
+		got, rest, err := DecodeKeyInt(buf)
+		if err != nil || got != v {
+			return false
+		}
+		bs, rest2, err := DecodeKeyBytes(rest)
+		return err == nil && string(bs) == s && len(rest2) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyCodecErrors(t *testing.T) {
+	if _, _, err := DecodeKeyInt([]byte{1, 2}); err == nil {
+		t.Error("short int key should error")
+	}
+	if _, _, err := DecodeKeyBytes([]byte{'a'}); err == nil {
+		t.Error("unterminated string key should error")
+	}
+	if _, _, err := DecodeKeyBytes([]byte{0x01}); err == nil {
+		t.Error("truncated escape should error")
+	}
+	if _, _, err := DecodeKeyBytes([]byte{0x01, 0x7F, 0x00}); err == nil {
+		t.Error("bad escape should error")
+	}
+	if _, err := EncodeKey([]ColType{TInt}, []Value{"notint"}); err == nil {
+		t.Error("type mismatch should error")
+	}
+	if _, err := EncodeKey([]ColType{TInt}, []Value{int64(1), int64(2)}); err == nil {
+		t.Error("too many values should error")
+	}
+}
+
+func TestRowCodec(t *testing.T) {
+	types := []ColType{TInt, TStr, TBytes}
+	row := Row{int64(-42), "hello", []byte{0, 1, 2}}
+	enc, err := EncodeRow(types, row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeRow(types, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec[0].(int64) != -42 || dec[1].(string) != "hello" || !bytes.Equal(dec[2].([]byte), []byte{0, 1, 2}) {
+		t.Errorf("row round trip: %v", dec)
+	}
+	if _, err := EncodeRow(types, Row{int64(1)}); err == nil {
+		t.Error("short row should error")
+	}
+	if _, err := EncodeRow(types, Row{"x", "y", []byte{}}); err == nil {
+		t.Error("type mismatch should error")
+	}
+	if _, err := DecodeRow(types, append(enc, 0xFF)); err == nil {
+		t.Error("trailing bytes should error")
+	}
+	if _, err := DecodeRow(types, enc[:3]); err == nil {
+		t.Error("truncated row should error")
+	}
+}
+
+func TestTableCRUD(t *testing.T) {
+	db := testDB(t)
+	tbl, err := db.CreateTable(provSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable(provSchema()); !errors.Is(err, ErrTableExists) {
+		t.Errorf("duplicate table: %v", err)
+	}
+	row := Row{int64(121), []byte("T/c5"), "D", []byte{}}
+	if err := tbl.Insert(row); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert(row); !errors.Is(err, ErrDupKey) {
+		t.Errorf("duplicate pk: %v", err)
+	}
+	got, err := tbl.Get(int64(121), []byte("T/c5"))
+	if err != nil || got[2].(string) != "D" {
+		t.Fatalf("Get = %v, %v", got, err)
+	}
+	if _, err := tbl.Get(int64(999), []byte("T/c5")); !errors.Is(err, ErrRowNotFound) {
+		t.Errorf("missing row: %v", err)
+	}
+	if _, err := tbl.Get(int64(1)); err == nil {
+		t.Error("wrong key arity should error")
+	}
+	if tbl.RowCount() != 1 || tbl.ByteSize() <= 0 {
+		t.Errorf("counters: rows=%d bytes=%d", tbl.RowCount(), tbl.ByteSize())
+	}
+	// Put overwrites and fixes indexes.
+	row2 := Row{int64(121), []byte("T/c5"), "C", []byte("S1/a1")}
+	if err := tbl.Put(row2); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = tbl.Get(int64(121), []byte("T/c5"))
+	if got[2].(string) != "C" {
+		t.Error("Put did not replace")
+	}
+	if tbl.RowCount() != 1 {
+		t.Errorf("RowCount after Put = %d", tbl.RowCount())
+	}
+	if err := tbl.Delete(int64(121), []byte("T/c5")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Delete(int64(121), []byte("T/c5")); !errors.Is(err, ErrRowNotFound) {
+		t.Errorf("double delete: %v", err)
+	}
+	if tbl.RowCount() != 0 || tbl.ByteSize() != 0 {
+		t.Errorf("counters after delete: rows=%d bytes=%d", tbl.RowCount(), tbl.ByteSize())
+	}
+}
+
+func TestTableScans(t *testing.T) {
+	db := testDB(t)
+	tbl, _ := db.CreateTable(provSchema())
+	for tid := int64(1); tid <= 3; tid++ {
+		for j := 0; j < 4; j++ {
+			loc := []byte(fmt.Sprintf("T/c%d", j))
+			if err := tbl.Insert(Row{tid, loc, "I", []byte{}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Primary prefix scan: all rows of tid 2.
+	prefix, err := tbl.KeyPrefix(int64(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	tbl.ScanKeyPrefix(prefix, func(r Row) bool {
+		if r[0].(int64) != 2 {
+			t.Errorf("wrong tid in scan: %v", r)
+		}
+		count++
+		return true
+	})
+	if count != 4 {
+		t.Errorf("prefix scan saw %d rows", count)
+	}
+	// Secondary index scan: all tids touching T/c1.
+	iprefix, err := tbl.IndexPrefix("by_loc", []byte("T/c1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tids []int64
+	tbl.ScanIndexPrefix("by_loc", iprefix, func(r Row) bool {
+		tids = append(tids, r[0].(int64))
+		return true
+	})
+	if len(tids) != 3 {
+		t.Errorf("index scan saw %v", tids)
+	}
+	// Full scan.
+	total := 0
+	tbl.Scan(func(Row) bool { total++; return true })
+	if total != 12 {
+		t.Errorf("full scan saw %d", total)
+	}
+	// Unknown index errors.
+	if _, err := tbl.IndexPrefix("nope"); !errors.Is(err, ErrNoSuchIndex) {
+		t.Errorf("unknown index: %v", err)
+	}
+	if err := tbl.ScanIndexPrefix("nope", nil, func(Row) bool { return true }); !errors.Is(err, ErrNoSuchIndex) {
+		t.Errorf("unknown index scan: %v", err)
+	}
+}
+
+func TestSchemaValidation(t *testing.T) {
+	db := testDB(t)
+	bad := []TableSchema{
+		{},
+		{Name: "t"},
+		{Name: "t", Columns: []Column{{Name: "a", Type: TInt}}},
+		{Name: "t", Columns: []Column{{Name: "a", Type: TInt}, {Name: "a", Type: TStr}}, Key: []string{"a"}},
+		{Name: "t", Columns: []Column{{Name: "a", Type: ColType('?')}}, Key: []string{"a"}},
+		{Name: "t", Columns: []Column{{Name: "a", Type: TInt}}, Key: []string{"zz"}},
+		{Name: "t", Columns: []Column{{Name: "a", Type: TInt}}, Key: []string{"a"},
+			Indexes: []IndexDef{{Name: "", Columns: []string{"a"}}}},
+		{Name: "t", Columns: []Column{{Name: "a", Type: TInt}}, Key: []string{"a"},
+			Indexes: []IndexDef{{Name: "ix", Columns: []string{"zz"}}}},
+	}
+	for i, s := range bad {
+		if _, err := db.CreateTable(s); !errors.Is(err, ErrBadSchema) {
+			t.Errorf("schema %d: %v", i, err)
+		}
+	}
+}
+
+// TestDBPersistence creates a database with data, closes it, reopens it and
+// verifies the catalog, rows, indexes and counters all survive.
+func TestDBPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "persist.rel")
+	db, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := db.CreateTable(provSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 2000
+	for i := 0; i < n; i++ {
+		row := Row{int64(i / 5), []byte(fmt.Sprintf("T/c%d/x%d", i%5, i)), "C", []byte("S/a")}
+		if err := tbl.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantBytes := tbl.ByteSize()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	names := db2.TableNames()
+	if len(names) != 1 || names[0] != "prov" {
+		t.Fatalf("TableNames = %v", names)
+	}
+	tbl2, err := db2.Table("prov")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl2.RowCount() != n || tbl2.ByteSize() != wantBytes {
+		t.Errorf("counters after reopen: rows=%d bytes=%d", tbl2.RowCount(), tbl2.ByteSize())
+	}
+	got, err := tbl2.Get(int64(7), []byte("T/c0/x35"))
+	if err != nil || got[2].(string) != "C" {
+		t.Fatalf("row after reopen: %v, %v", got, err)
+	}
+	// Secondary index still works.
+	iprefix, _ := tbl2.IndexPrefix("by_loc", []byte("T/c0/x35"))
+	found := 0
+	tbl2.ScanIndexPrefix("by_loc", iprefix, func(Row) bool { found++; return true })
+	if found != 1 {
+		t.Errorf("index after reopen found %d", found)
+	}
+	if _, err := db2.Table("missing"); !errors.Is(err, ErrNoSuchTable) {
+		t.Errorf("missing table: %v", err)
+	}
+}
+
+func TestDBSizeGrows(t *testing.T) {
+	db := testDB(t)
+	tbl, _ := db.CreateTable(provSchema())
+	s0, err := db.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		tbl.Insert(Row{int64(i), []byte(fmt.Sprintf("T/n%d", i)), "I", []byte{}})
+	}
+	s1, err := db.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 <= s0 {
+		t.Errorf("file did not grow: %d -> %d", s0, s1)
+	}
+}
+
+// TestTableRandomizedAgainstModel mirrors a randomized workload in a map
+// keyed by the primary key and verifies contents and secondary consistency.
+func TestTableRandomizedAgainstModel(t *testing.T) {
+	db := testDB(t)
+	tbl, _ := db.CreateTable(provSchema())
+	type pk struct {
+		tid int64
+		loc string
+	}
+	model := map[pk]Row{}
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 3000; i++ {
+		k := pk{int64(r.Intn(40)), fmt.Sprintf("T/c%d", r.Intn(60))}
+		switch r.Intn(3) {
+		case 0, 1:
+			row := Row{k.tid, []byte(k.loc), "C", []byte(fmt.Sprintf("S/%d", i))}
+			if err := tbl.Put(row); err != nil {
+				t.Fatal(err)
+			}
+			model[k] = row
+		case 2:
+			err := tbl.Delete(k.tid, []byte(k.loc))
+			if _, ok := model[k]; ok {
+				if err != nil {
+					t.Fatalf("delete: %v", err)
+				}
+				delete(model, k)
+			} else if !errors.Is(err, ErrRowNotFound) {
+				t.Fatalf("phantom delete: %v", err)
+			}
+		}
+	}
+	if int(tbl.RowCount()) != len(model) {
+		t.Fatalf("RowCount = %d, model %d", tbl.RowCount(), len(model))
+	}
+	seen := 0
+	tbl.Scan(func(row Row) bool {
+		seen++
+		k := pk{row[0].(int64), string(row[1].([]byte))}
+		want, ok := model[k]
+		if !ok {
+			t.Errorf("phantom row %v", row)
+			return true
+		}
+		if string(row[3].([]byte)) != string(want[3].([]byte)) {
+			t.Errorf("row %v: src %q, want %q", k, row[3], want[3])
+		}
+		return true
+	})
+	if seen != len(model) {
+		t.Errorf("scan saw %d, model %d", seen, len(model))
+	}
+}

@@ -1,0 +1,284 @@
+package tree
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/path"
+)
+
+// figure4S1 builds source database S1 from Figure 4 of the paper.
+func figure4S1() *Node {
+	return Build(M{
+		"a1": M{"x": 1, "y": 2},
+		"a2": M{"x": 3},
+		"a3": M{"x": 7, "y": 6},
+	})
+}
+
+func TestBuildAndAccess(t *testing.T) {
+	s1 := figure4S1()
+	n, err := s1.Get(path.MustParse("a1/y"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !n.IsLeaf() || n.Value() != "2" {
+		t.Errorf("a1/y = %v, want leaf 2", n)
+	}
+	if s1.Size() != 9 { // root + 3 entries + 5 leaves
+		t.Errorf("Size = %d, want 9", s1.Size())
+	}
+	if _, err := s1.Get(path.MustParse("a9")); !errors.Is(err, ErrNoSuchPath) {
+		t.Errorf("missing path: got %v", err)
+	}
+}
+
+func TestAddRemoveChild(t *testing.T) {
+	n := NewTree()
+	if err := n.AddChild("c1", NewTree()); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddChild("c1", NewTree()); !errors.Is(err, ErrDupEdge) {
+		t.Errorf("duplicate add: got %v", err)
+	}
+	if err := n.RemoveChild("c1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.RemoveChild("c1"); !errors.Is(err, ErrNoSuchEdge) {
+		t.Errorf("remove missing: got %v", err)
+	}
+	leaf := NewLeaf("7")
+	if err := leaf.AddChild("x", NewTree()); !errors.Is(err, ErrLeafChild) {
+		t.Errorf("add to leaf: got %v", err)
+	}
+	if err := n.AddChild("bad/label", NewTree()); err == nil {
+		t.Error("invalid label should error")
+	}
+}
+
+func TestSetChildOverwrites(t *testing.T) {
+	n := NewTree()
+	if err := n.SetChild("a", NewLeaf("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetChild("a", NewLeaf("2")); err != nil {
+		t.Fatal(err)
+	}
+	if n.Child("a").Value() != "2" {
+		t.Error("SetChild must overwrite")
+	}
+}
+
+func TestSetValue(t *testing.T) {
+	n := NewTree()
+	if err := n.SetValue("42"); err != nil {
+		t.Fatal(err)
+	}
+	if !n.IsLeaf() || n.Value() != "42" {
+		t.Error("SetValue on empty tree should make a leaf")
+	}
+	m := Build(M{"a": 1})
+	if err := m.SetValue("x"); !errors.Is(err, ErrValueOnInner) {
+		t.Errorf("SetValue on interior: got %v", err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s1 := figure4S1()
+	c := s1.Clone()
+	if !c.Equal(s1) {
+		t.Fatal("clone not equal")
+	}
+	// Mutate the clone; the original must not change.
+	if err := c.Child("a1").RemoveChild("y"); err != nil {
+		t.Fatal(err)
+	}
+	if !s1.Child("a1").HasChild("y") {
+		t.Error("mutating clone affected original")
+	}
+}
+
+func TestEqualDistinguishesLeafKinds(t *testing.T) {
+	if NewTree().Equal(NewLeaf("")) {
+		t.Error("empty tree must differ from empty-string leaf")
+	}
+	if !NewLeaf("a").Equal(NewLeaf("a")) || NewLeaf("a").Equal(NewLeaf("b")) {
+		t.Error("leaf equality wrong")
+	}
+	var nilNode *Node
+	if nilNode.Equal(NewTree()) || !nilNode.Equal(nil) {
+		t.Error("nil handling wrong")
+	}
+}
+
+func TestWalkOrderAndPaths(t *testing.T) {
+	s1 := figure4S1()
+	var seen []string
+	s1.Walk(func(rel path.Path, _ *Node) error {
+		seen = append(seen, rel.String())
+		return nil
+	})
+	want := []string{"", "a1", "a1/x", "a1/y", "a2", "a2/x", "a3", "a3/x", "a3/y"}
+	if len(seen) != len(want) {
+		t.Fatalf("walk visited %v", seen)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Errorf("walk[%d] = %q, want %q", i, seen[i], want[i])
+		}
+	}
+	if got := len(s1.Paths()); got != 9 {
+		t.Errorf("Paths len = %d", got)
+	}
+}
+
+func TestWalkAbort(t *testing.T) {
+	s1 := figure4S1()
+	errStop := errors.New("stop")
+	count := 0
+	err := s1.Walk(func(path.Path, *Node) error {
+		count++
+		if count == 3 {
+			return errStop
+		}
+		return nil
+	})
+	if !errors.Is(err, errStop) || count != 3 {
+		t.Errorf("walk abort: count=%d err=%v", count, err)
+	}
+}
+
+func TestLeaves(t *testing.T) {
+	ls := figure4S1().Leaves()
+	if len(ls) != 5 || ls["a1/y"] != "2" || ls["a3/x"] != "7" {
+		t.Errorf("Leaves = %v", ls)
+	}
+}
+
+func TestString(t *testing.T) {
+	n := Build(M{"b": M{"x": 1}, "a": 2})
+	if got := n.String(); got != "{a: 2, b: {x: 1}}" {
+		t.Errorf("String = %q", got)
+	}
+	if NewTree().String() != "{}" {
+		t.Error("empty tree should render as {}")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := Build(M{"x": 1})
+	b := Build(M{"y": 2})
+	if err := a.Union(b); err != nil {
+		t.Fatal(err)
+	}
+	if !a.HasChild("x") || !a.HasChild("y") {
+		t.Error("union missing edges")
+	}
+	if err := a.Union(Build(M{"y": 3})); !errors.Is(err, ErrDupEdge) {
+		t.Errorf("union with shared label: got %v", err)
+	}
+	if err := a.Union(NewLeaf("v")); !errors.Is(err, ErrLeafChild) {
+		t.Errorf("union with leaf: got %v", err)
+	}
+	// Union must clone: mutating b afterwards must not affect a.
+	c := Build(M{"z": M{"w": 1}})
+	d := NewTree()
+	if err := d.Union(c); err != nil {
+		t.Fatal(err)
+	}
+	c.Child("z").RemoveChild("w")
+	if !d.Child("z").HasChild("w") {
+		t.Error("union aliased subtree")
+	}
+}
+
+// randomTree generates a bounded random tree for property tests.
+func randomTree(r *rand.Rand, depth int) *Node {
+	if depth == 0 || r.Intn(3) == 0 {
+		if r.Intn(4) == 0 {
+			return NewTree() // empty interior
+		}
+		return NewLeaf(string(rune('0' + r.Intn(10))))
+	}
+	n := NewTree()
+	labels := []string{"a", "b", "c", "d", "e"}
+	for i, cnt := 0, r.Intn(4); i < cnt; i++ {
+		l := labels[r.Intn(len(labels))]
+		if !n.HasChild(l) {
+			n.AddChild(l, randomTree(r, depth-1))
+		}
+	}
+	return n
+}
+
+func TestQuickCloneEqual(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := randomTree(r, 4)
+		return n.Clone().Equal(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSizeMatchesPaths(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := randomTree(r, 4)
+		return n.Size() == len(n.Paths())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForest(t *testing.T) {
+	f := NewForest()
+	if err := f.AddDB("S1", figure4S1()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddDB("S1", NewTree()); err == nil {
+		t.Error("duplicate DB should error")
+	}
+	if err := f.AddDB("bad/name", NewTree()); err == nil {
+		t.Error("invalid DB name should error")
+	}
+	n, err := f.Get(path.MustParse("S1/a1/y"))
+	if err != nil || n.Value() != "2" {
+		t.Fatalf("forest Get: %v, %v", n, err)
+	}
+	if _, err := f.Get(path.MustParse("S9/a")); err == nil {
+		t.Error("unknown DB should error")
+	}
+	if _, err := f.Get(path.Root); err == nil {
+		t.Error("forest root is not addressable")
+	}
+	if !f.Has(path.MustParse("S1/a2")) || f.Has(path.MustParse("S1/zz")) {
+		t.Error("Has wrong")
+	}
+	if got := f.Names(); len(got) != 1 || got[0] != "S1" {
+		t.Errorf("Names = %v", got)
+	}
+}
+
+func TestForestCloneEqual(t *testing.T) {
+	f := NewForest()
+	f.AddDB("S1", figure4S1())
+	f.AddDB("T", Build(M{"c1": M{"x": 1, "y": 3}}))
+	g := f.Clone()
+	if !f.Equal(g) {
+		t.Fatal("clone not equal")
+	}
+	g.DB("T").RemoveChild("c1")
+	if f.Equal(g) {
+		t.Error("deep clone violated")
+	}
+	h := NewForest()
+	h.AddDB("S1", figure4S1())
+	if f.Equal(h) {
+		t.Error("different db sets must not be equal")
+	}
+}

@@ -1,0 +1,201 @@
+package update
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/path"
+	"repro/internal/tree"
+)
+
+// ParseScript parses a multi-line update script in the paper's Figure 3
+// syntax. Statements are separated by semicolons and/or newlines; an
+// optional leading "(n)" step number and trailing comments beginning with
+// "--" or "#" are ignored, so the figure can be pasted verbatim:
+//
+//	(1) delete c5 from T;
+//	(2) copy S1/a1/y into T/c1/y;
+//	(3) insert {c2 : {}} into T;
+//	(10) insert {y : 12} into T/c4;
+func ParseScript(script string) (Sequence, error) {
+	var seq Sequence
+	for lineNo, raw := range strings.Split(script, "\n") {
+		for _, stmt := range strings.Split(raw, ";") {
+			stmt = stripComment(stmt)
+			stmt = strings.TrimSpace(stmt)
+			if stmt == "" {
+				continue
+			}
+			op, err := ParseOp(stmt)
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: %v", ErrParse, lineNo+1, err)
+			}
+			seq = append(seq, op)
+		}
+	}
+	return seq, nil
+}
+
+// MustParseScript is ParseScript for known-good fixtures; it panics on error.
+func MustParseScript(script string) Sequence {
+	s, err := ParseScript(script)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// ParseOp parses a single statement (without trailing semicolon).
+func ParseOp(stmt string) (Op, error) {
+	stmt = strings.TrimSpace(stripStepNumber(stmt))
+	switch {
+	case strings.HasPrefix(stmt, "insert"), strings.HasPrefix(stmt, "ins "):
+		return parseInsert(stmt)
+	case strings.HasPrefix(stmt, "delete"), strings.HasPrefix(stmt, "del "):
+		return parseDelete(stmt)
+	case strings.HasPrefix(stmt, "copy"):
+		return parseCopy(stmt)
+	default:
+		return nil, fmt.Errorf("unrecognized statement %q", stmt)
+	}
+}
+
+func stripStepNumber(s string) string {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "(") {
+		return s
+	}
+	end := strings.IndexByte(s, ')')
+	if end < 0 {
+		return s
+	}
+	if _, err := strconv.Atoi(strings.TrimSpace(s[1:end])); err != nil {
+		return s
+	}
+	return s[end+1:]
+}
+
+func stripComment(s string) string {
+	if i := strings.Index(s, "--"); i >= 0 {
+		s = s[:i]
+	}
+	if i := strings.IndexByte(s, '#'); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}
+
+// parseInsert parses `insert {LABEL : VALUE} into PATH` where VALUE is `{}`,
+// a bare token, or a double-quoted Go string.
+func parseInsert(stmt string) (Op, error) {
+	rest, ok := cutKeyword(stmt, "insert")
+	if !ok {
+		rest, _ = cutKeyword(stmt, "ins")
+	}
+	body, intoPath, err := splitOn(rest, "into")
+	if err != nil {
+		return nil, err
+	}
+	body = strings.TrimSpace(body)
+	if !strings.HasPrefix(body, "{") || !strings.HasSuffix(body, "}") {
+		return nil, fmt.Errorf("insert body must be {label : value}, got %q", body)
+	}
+	inner := body[1 : len(body)-1]
+	colon := strings.IndexByte(inner, ':')
+	if colon < 0 {
+		return nil, fmt.Errorf("insert body missing ':' in %q", body)
+	}
+	label := strings.TrimSpace(inner[:colon])
+	valTok := strings.TrimSpace(inner[colon+1:])
+	if !path.ValidLabel(label) {
+		return nil, fmt.Errorf("invalid label %q", label)
+	}
+	var value *tree.Node
+	switch {
+	case valTok == "{}" || valTok == "":
+		value = nil // empty tree
+	case strings.HasPrefix(valTok, "\""):
+		unq, err := strconv.Unquote(valTok)
+		if err != nil {
+			return nil, fmt.Errorf("bad quoted value %q: %v", valTok, err)
+		}
+		value = tree.NewLeaf(unq)
+	default:
+		value = tree.NewLeaf(valTok)
+	}
+	into, err := path.Parse(strings.TrimSpace(intoPath))
+	if err != nil {
+		return nil, err
+	}
+	return Insert{Into: into, Label: label, Value: value}, nil
+}
+
+// parseDelete parses `delete LABEL from PATH`. For convenience it also
+// accepts `delete PATH` (a full path whose final component is the label).
+func parseDelete(stmt string) (Op, error) {
+	rest, ok := cutKeyword(stmt, "delete")
+	if !ok {
+		rest, _ = cutKeyword(stmt, "del")
+	}
+	labelPart, fromPart, err := splitOn(rest, "from")
+	if err != nil {
+		// `delete T/c5` form: final component is the deleted label.
+		p, perr := path.Parse(strings.TrimSpace(rest))
+		if perr != nil || p.Len() < 2 {
+			return nil, err
+		}
+		return Delete{From: p.MustParent(), Label: p.Base()}, nil
+	}
+	label := strings.TrimSpace(labelPart)
+	if !path.ValidLabel(label) {
+		return nil, fmt.Errorf("invalid label %q", label)
+	}
+	from, perr := path.Parse(strings.TrimSpace(fromPart))
+	if perr != nil {
+		return nil, perr
+	}
+	return Delete{From: from, Label: label}, nil
+}
+
+// parseCopy parses `copy SRC into DST`.
+func parseCopy(stmt string) (Op, error) {
+	rest, _ := cutKeyword(stmt, "copy")
+	srcPart, dstPart, err := splitOn(rest, "into")
+	if err != nil {
+		return nil, err
+	}
+	src, err := path.Parse(strings.TrimSpace(srcPart))
+	if err != nil {
+		return nil, err
+	}
+	dst, err := path.Parse(strings.TrimSpace(dstPart))
+	if err != nil {
+		return nil, err
+	}
+	return Copy{Src: src, Dst: dst}, nil
+}
+
+// cutKeyword strips a leading keyword followed by whitespace or '{'.
+func cutKeyword(s, kw string) (string, bool) {
+	if !strings.HasPrefix(s, kw) {
+		return s, false
+	}
+	rest := s[len(kw):]
+	if rest == "" || rest[0] == ' ' || rest[0] == '\t' || rest[0] == '{' {
+		return strings.TrimSpace(rest), true
+	}
+	return s, false
+}
+
+// splitOn splits s at the last occurrence of the standalone keyword kw
+// ("into"/"from"), so that labels containing the keyword as a substring
+// still parse.
+func splitOn(s, kw string) (before, after string, err error) {
+	needle := " " + kw + " "
+	i := strings.LastIndex(s, needle)
+	if i < 0 {
+		return "", "", fmt.Errorf("missing %q in %q", kw, s)
+	}
+	return s[:i], s[i+len(needle):], nil
+}

@@ -1,0 +1,79 @@
+package update_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/path"
+	"repro/internal/tree"
+	"repro/internal/update"
+)
+
+// randomOpForParse builds a random operation with labels drawn from a pool
+// that includes awkward-but-legal characters.
+func randomOpForParse(r *rand.Rand) update.Op {
+	labels := []string{"a", "b{1}", "into", "from", "copy", "x-y", "Release{20}", "c.d"}
+	lbl := func() string { return labels[r.Intn(len(labels))] }
+	randPath := func() path.Path {
+		n := 1 + r.Intn(3)
+		p := path.New("T")
+		for i := 0; i < n; i++ {
+			p = p.Child(lbl())
+		}
+		return p
+	}
+	switch r.Intn(4) {
+	case 0:
+		return update.Insert{Into: randPath(), Label: lbl()}
+	case 1:
+		vals := []string{"12", "a b", `quo"te`, "", "plain"}
+		return update.Insert{Into: randPath(), Label: lbl(), Value: tree.NewLeaf(vals[r.Intn(len(vals))])}
+	case 2:
+		return update.Delete{From: randPath(), Label: lbl()}
+	default:
+		src := path.New("S1")
+		for i := 0; i <= r.Intn(3); i++ {
+			src = src.Child(lbl())
+		}
+		return update.Copy{Src: src, Dst: randPath()}
+	}
+}
+
+// TestQuickParseRenderRoundTrip: rendering any operation and parsing it
+// back yields the same operation — even with labels that collide with the
+// grammar's keywords ("into", "from", "copy") or contain spaces in values.
+func TestQuickParseRenderRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		op := randomOpForParse(r)
+		parsed, err := update.ParseOp(op.String())
+		if err != nil {
+			t.Logf("seed %d: %q: %v", seed, op, err)
+			return false
+		}
+		return parsed.String() == op.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickScriptRoundTrip: sequences survive render→parse as scripts.
+func TestQuickScriptRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var seq update.Sequence
+		for i, n := 0, 1+r.Intn(6); i < n; i++ {
+			seq = append(seq, randomOpForParse(r))
+		}
+		parsed, err := update.ParseScript(seq.String())
+		if err != nil {
+			return false
+		}
+		return parsed.String() == seq.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

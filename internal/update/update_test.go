@@ -1,0 +1,305 @@
+package update_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/figures"
+	"repro/internal/path"
+	"repro/internal/tree"
+	"repro/internal/update"
+)
+
+// TestFigure3Script is the paper's worked example: applying the Figure 3
+// update sequence to the Figure 4 initial state must yield T'.
+func TestFigure3Script(t *testing.T) {
+	f := figures.Forest()
+	seq := figures.Sequence()
+	if len(seq) != 10 {
+		t.Fatalf("parsed %d ops, want 10", len(seq))
+	}
+	n, err := seq.Apply(f)
+	if err != nil {
+		t.Fatalf("apply stopped at op %d: %v", n, err)
+	}
+	if got, want := f.DB("T"), figures.TPrime(); !got.Equal(want) {
+		t.Errorf("T' mismatch:\n got %s\nwant %s", got, want)
+	}
+	// Sources must be untouched.
+	if !f.DB("S1").Equal(figures.S1()) || !f.DB("S2").Equal(figures.S2()) {
+		t.Error("source databases were mutated")
+	}
+}
+
+func TestParseOpForms(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"insert {c2 : {}} into T", "insert {c2 : {}} into T"},
+		{"ins {c2:{}} into T", "insert {c2 : {}} into T"},
+		{"insert {y : 12} into T/c4", "insert {y : 12} into T/c4"},
+		{`insert {y : "a b"} into T/c4`, `insert {y : "a b"} into T/c4`},
+		{"delete c5 from T", "delete c5 from T"},
+		{"del c5 from T", "delete c5 from T"},
+		{"delete T/c5", "delete c5 from T"},
+		{"copy S1/a1/y into T/c1/y", "copy S1/a1/y into T/c1/y"},
+		{"  (7)  copy S1/a3 into T/c3  ", "copy S1/a3 into T/c3"},
+	}
+	for _, c := range cases {
+		op, err := update.ParseOp(c.in)
+		if err != nil {
+			t.Errorf("ParseOp(%q): %v", c.in, err)
+			continue
+		}
+		if op.String() != c.want {
+			t.Errorf("ParseOp(%q).String() = %q, want %q", c.in, op, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"frobnicate T/x",
+		"insert {a} into T",
+		"insert {a : 1} T",
+		"insert {bad/label : 1} into T",
+		"delete from T",
+		"delete x",
+		"copy S1/a into",
+		"copy into T/x",
+		`insert {y : "unterminated} into T`,
+	}
+	for _, s := range bad {
+		if _, err := update.ParseOp(s); err == nil {
+			t.Errorf("ParseOp(%q): expected error", s)
+		}
+	}
+	if _, err := update.ParseScript("copy A into B\nnonsense here"); err == nil {
+		t.Error("script with bad line should error")
+	} else if !errors.Is(err, update.ErrParse) {
+		t.Errorf("want ErrParse, got %v", err)
+	}
+}
+
+func TestScriptCommentsAndNumbers(t *testing.T) {
+	script := `
+	-- initial cleanup
+	(1) delete c5 from T;  -- drop the stale record
+	# a comment line
+	(2) copy S1/a1/y into T/c1/y
+	`
+	seq, err := update.ParseScript(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != 2 {
+		t.Fatalf("got %d ops, want 2: %v", len(seq), seq)
+	}
+}
+
+func TestSequenceString(t *testing.T) {
+	seq := figures.Sequence()
+	s := seq.String()
+	if !strings.Contains(s, "(1) delete c5 from T;") ||
+		!strings.Contains(s, "(10) insert {y : 12} into T/c4;") {
+		t.Errorf("Sequence.String missing expected lines:\n%s", s)
+	}
+	// Round trip: parsing the rendered script yields the same script.
+	again := update.MustParseScript(s)
+	if again.String() != s {
+		t.Error("script render/parse not idempotent")
+	}
+}
+
+func TestInsertSemantics(t *testing.T) {
+	f := figures.Forest()
+	// Duplicate label fails (t ⊎ {a:v} with shared edge).
+	op := update.Insert{Into: path.MustParse("T"), Label: "c1"}
+	if err := op.Apply(f); !errors.Is(err, tree.ErrDupEdge) {
+		t.Errorf("duplicate insert: got %v", err)
+	}
+	// Missing parent fails.
+	op = update.Insert{Into: path.MustParse("T/zzz"), Label: "a"}
+	if err := op.Apply(f); !errors.Is(err, tree.ErrNoSuchPath) {
+		t.Errorf("insert into missing path: got %v", err)
+	}
+	// Interior value with children is rejected.
+	op = update.Insert{Into: path.MustParse("T"), Label: "c9", Value: tree.Build(tree.M{"x": 1})}
+	if err := op.Apply(f); err == nil {
+		t.Error("insert of non-atomic value should fail")
+	}
+	// Insert into forest root fails.
+	op = update.Insert{Into: path.Root, Label: "x"}
+	if _, err := op.Effect(f); !errors.Is(err, update.ErrRootTarget) {
+		t.Errorf("insert into root: got %v", err)
+	}
+}
+
+func TestDeleteSemantics(t *testing.T) {
+	f := figures.Forest()
+	op := update.Delete{From: path.MustParse("T"), Label: "nope"}
+	if err := op.Apply(f); !errors.Is(err, tree.ErrNoSuchEdge) {
+		t.Errorf("delete missing edge: got %v", err)
+	}
+	if err := (update.Delete{From: path.Root, Label: "T"}).Apply(f); !errors.Is(err, update.ErrRootTarget) {
+		t.Error("delete from forest root should fail")
+	}
+}
+
+func TestCopySemantics(t *testing.T) {
+	f := figures.Forest()
+	// Copy to a fresh label under an existing parent works (Fig 3 op 7).
+	op := update.Copy{Src: path.MustParse("S1/a3"), Dst: path.MustParse("T/c3")}
+	if err := op.Apply(f); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := f.Get(path.MustParse("T/c3/y"))
+	if got.Value() != "6" {
+		t.Errorf("copied value = %v", got)
+	}
+	// Copy clones: mutating the target must not affect the source.
+	n, _ := f.Get(path.MustParse("T/c3"))
+	n.RemoveChild("y")
+	if !f.Has(path.MustParse("S1/a3/y")) {
+		t.Error("copy aliased the source subtree")
+	}
+	// Copy overwrites an existing destination.
+	op = update.Copy{Src: path.MustParse("S1/a1/y"), Dst: path.MustParse("T/c1/y")}
+	if err := op.Apply(f); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = f.Get(path.MustParse("T/c1/y"))
+	if got.Value() != "2" {
+		t.Errorf("overwrite copy = %v", got)
+	}
+	// Missing source fails.
+	op = update.Copy{Src: path.MustParse("S1/zzz"), Dst: path.MustParse("T/c9")}
+	if err := op.Apply(f); !errors.Is(err, tree.ErrNoSuchPath) {
+		t.Errorf("copy from missing source: got %v", err)
+	}
+	// Missing destination parent fails.
+	op = update.Copy{Src: path.MustParse("S1/a1"), Dst: path.MustParse("T/no/such")}
+	if err := op.Apply(f); !errors.Is(err, update.ErrCopyMissing) {
+		t.Errorf("copy into missing parent: got %v", err)
+	}
+	// Destination must be inside a database.
+	op = update.Copy{Src: path.MustParse("S1/a1"), Dst: path.MustParse("T")}
+	if err := op.Apply(f); !errors.Is(err, update.ErrRootTarget) {
+		t.Errorf("copy onto database root: got %v", err)
+	}
+}
+
+func TestInsertEffect(t *testing.T) {
+	f := figures.Forest()
+	op := update.Insert{Into: path.MustParse("T"), Label: "c9"}
+	eff, err := op.Effect(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eff.Inserted) != 1 || eff.Inserted[0].String() != "T/c9" {
+		t.Errorf("insert effect = %+v", eff)
+	}
+	// Effect against a duplicate label errors.
+	dup := update.Insert{Into: path.MustParse("T"), Label: "c1"}
+	if _, err := dup.Effect(f); err == nil {
+		t.Error("duplicate insert effect should error")
+	}
+}
+
+func TestDeleteEffect(t *testing.T) {
+	f := figures.Forest()
+	op := update.Delete{From: path.MustParse("T"), Label: "c5"}
+	eff, err := op.Effect(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"T/c5", "T/c5/x", "T/c5/y"}
+	if len(eff.Deleted) != len(want) {
+		t.Fatalf("delete effect = %+v", eff)
+	}
+	for i, w := range want {
+		if eff.Deleted[i].String() != w {
+			t.Errorf("Deleted[%d] = %q, want %q", i, eff.Deleted[i], w)
+		}
+	}
+}
+
+func TestCopyEffect(t *testing.T) {
+	f := figures.Forest()
+	op := update.Copy{Src: path.MustParse("S1/a2"), Dst: path.MustParse("T/c2")}
+	eff, err := op.Effect(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eff.Copied) != 2 || eff.Overwritten {
+		t.Fatalf("copy effect = %+v", eff)
+	}
+	if eff.Copied[0].Dst.String() != "T/c2" || eff.Copied[0].Src.String() != "S1/a2" {
+		t.Errorf("root pair = %+v", eff.Copied[0])
+	}
+	if eff.Copied[1].Dst.String() != "T/c2/x" || eff.Copied[1].Src.String() != "S1/a2/x" {
+		t.Errorf("child pair = %+v", eff.Copied[1])
+	}
+	// Overwriting copy reports the overwritten nodes.
+	ow := update.Copy{Src: path.MustParse("S1/a1/y"), Dst: path.MustParse("T/c1/y")}
+	eff, err = ow.Effect(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eff.Overwritten || len(eff.Deleted) != 1 || eff.Deleted[0].String() != "T/c1/y" {
+		t.Errorf("overwrite effect = %+v", eff)
+	}
+}
+
+// TestEffectMatchesApply checks, over the whole Figure 3 script, that each
+// op's pre-computed effect is consistent with what Apply actually does.
+func TestEffectMatchesApply(t *testing.T) {
+	f := figures.Forest()
+	for i, op := range figures.Sequence() {
+		eff, err := op.Effect(f)
+		if err != nil {
+			t.Fatalf("op %d effect: %v", i+1, err)
+		}
+		if err := op.Apply(f); err != nil {
+			t.Fatalf("op %d apply: %v", i+1, err)
+		}
+		for _, p := range eff.Inserted {
+			if !f.Has(p) {
+				t.Errorf("op %d: inserted %q missing after apply", i+1, p)
+			}
+		}
+		for _, pr := range eff.Copied {
+			if !f.Has(pr.Dst) {
+				t.Errorf("op %d: copied %q missing after apply", i+1, pr.Dst)
+			}
+		}
+		for _, p := range eff.Deleted {
+			// Deleted nodes disappear unless a copy immediately rewrote
+			// the same location (overwrite).
+			if f.Has(p) && !eff.Overwritten {
+				t.Errorf("op %d: deleted %q still present", i+1, p)
+			}
+		}
+	}
+}
+
+func TestApplyStopsAtFirstError(t *testing.T) {
+	f := figures.Forest()
+	seq := update.Sequence{
+		update.Insert{Into: path.MustParse("T"), Label: "ok"},
+		update.Delete{From: path.MustParse("T"), Label: "missing"},
+		update.Insert{Into: path.MustParse("T"), Label: "never"},
+	}
+	n, err := seq.Apply(f)
+	if err == nil || n != 1 {
+		t.Fatalf("Apply = %d, %v; want stop at index 1", n, err)
+	}
+	if f.Has(path.MustParse("T/never")) {
+		t.Error("ops after failure must not run")
+	}
+	if !f.Has(path.MustParse("T/ok")) {
+		t.Error("ops before failure must persist")
+	}
+}

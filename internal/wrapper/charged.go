@@ -1,0 +1,100 @@
+package wrapper
+
+import (
+	"repro/internal/path"
+	"repro/internal/tree"
+)
+
+// A Caller is the slice of netsim.Conn this package needs; it is satisfied
+// by *netsim.Conn. Each wrapper method is one logical round trip to the
+// wrapped database (SOAP to Timber, JDBC to MySQL in the paper's setup).
+type Caller interface {
+	Call(records, bytes int) error
+}
+
+// ChargedSource wraps a Source so every call pays a simulated round trip
+// priced by the subtree size it ships.
+type ChargedSource struct {
+	inner Source
+	conn  Caller
+}
+
+var _ Source = (*ChargedSource)(nil)
+
+// ChargeSource wraps src, billing conn.
+func ChargeSource(src Source, conn Caller) *ChargedSource {
+	return &ChargedSource{inner: src, conn: conn}
+}
+
+// Name implements Source.
+func (w *ChargedSource) Name() string { return w.inner.Name() }
+
+// Tree implements Source.
+func (w *ChargedSource) Tree() (*tree.Node, error) {
+	t, err := w.inner.Tree()
+	if err != nil {
+		return nil, err
+	}
+	if err := w.conn.Call(t.Size(), t.EncodedSize()); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// CopyNode implements Source.
+func (w *ChargedSource) CopyNode(p path.Path) (*tree.Node, error) {
+	n, err := w.inner.CopyNode(p)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.conn.Call(n.Size(), n.EncodedSize()); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// Has implements Source.
+func (w *ChargedSource) Has(p path.Path) bool {
+	if err := w.conn.Call(1, 0); err != nil {
+		return false
+	}
+	return w.inner.Has(p)
+}
+
+// ChargedTarget wraps a Target, billing each read and update round trip.
+// Its costs are the "Dataset Update" bar of the paper's Figure 9.
+type ChargedTarget struct {
+	ChargedSource
+	inner Target
+}
+
+var _ Target = (*ChargedTarget)(nil)
+
+// ChargeTarget wraps tgt, billing conn.
+func ChargeTarget(tgt Target, conn Caller) *ChargedTarget {
+	return &ChargedTarget{ChargedSource: ChargedSource{inner: tgt, conn: conn}, inner: tgt}
+}
+
+// AddNode implements Target: a failed round trip never reaches the store.
+func (w *ChargedTarget) AddNode(parent path.Path, name string, value *tree.Node) error {
+	if err := w.conn.Call(1, 16+len(name)); err != nil {
+		return err
+	}
+	return w.inner.AddNode(parent, name, value)
+}
+
+// DeleteNode implements Target.
+func (w *ChargedTarget) DeleteNode(p path.Path) error {
+	if err := w.conn.Call(1, 16); err != nil {
+		return err
+	}
+	return w.inner.DeleteNode(p)
+}
+
+// PasteNode implements Target: the round trip ships the subtree.
+func (w *ChargedTarget) PasteNode(p path.Path, n *tree.Node) error {
+	if err := w.conn.Call(n.Size(), n.EncodedSize()); err != nil {
+		return err
+	}
+	return w.inner.PasteNode(p, n)
+}

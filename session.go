@@ -1,0 +1,196 @@
+package cpdb
+
+import (
+	"errors"
+
+	"repro/internal/core"
+	"repro/internal/provquery"
+	"repro/internal/provstore"
+	"repro/internal/update"
+)
+
+// Config configures a curation Session.
+type Config struct {
+	// Target is the curated database being edited. Required.
+	Target Target
+	// Sources are the external databases data may be copied from.
+	Sources []Source
+	// Method selects the provenance storage strategy; the default is
+	// HierTrans, the paper's best performer.
+	Method Method
+	// Backend persists provenance records; the default is an in-memory
+	// store. Use CreateRelBackend for the relational store.
+	Backend Backend
+	// StartTid numbers the first transaction (default 1).
+	StartTid int64
+	// AutoCommitEvery, when positive, commits after every N operations
+	// (the experiments use 5).
+	AutoCommitEvery int
+	// EliminateRedundant enables §3.2.4's redundant-link elimination at
+	// HT commit.
+	EliminateRedundant bool
+	// Meter, when set, attributes simulated time per operation category.
+	Meter *Meter
+}
+
+// A Session is one provenance-tracked editing session: the paper's
+// provenance-aware editor plus its query interface.
+type Session struct {
+	editor  *core.Editor
+	engine  *provquery.Engine
+	backend Backend
+	method  Method
+}
+
+// New opens a session over the target and sources.
+func New(cfg Config) (*Session, error) {
+	if cfg.Target == nil {
+		return nil, errors.New("cpdb: Config.Target is required")
+	}
+	backend := cfg.Backend
+	if backend == nil {
+		backend = provstore.NewMemBackend()
+	}
+	tracker, err := provstore.New(cfg.Method, provstore.Config{
+		Backend:            backend,
+		StartTid:           cfg.StartTid,
+		EliminateRedundant: cfg.EliminateRedundant,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ed, err := core.NewEditor(core.Config{
+		Target:          cfg.Target,
+		Sources:         cfg.Sources,
+		Tracker:         tracker,
+		Meter:           cfg.Meter,
+		AutoCommitEvery: cfg.AutoCommitEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Session{
+		editor:  ed,
+		engine:  provquery.New(backend),
+		backend: backend,
+		method:  cfg.Method,
+	}, nil
+}
+
+// Method returns the session's storage method.
+func (s *Session) Method() Method { return s.method }
+
+// TargetName returns the target database's name.
+func (s *Session) TargetName() string { return s.editor.TargetName() }
+
+// BackendStore exposes the provenance backend (for federation and size
+// accounting).
+func (s *Session) BackendStore() Backend { return s.backend }
+
+// View returns a deep copy of the editor's current view of the target.
+func (s *Session) View() *Node { return s.editor.TargetView() }
+
+// --- editing ---------------------------------------------------------------
+
+// Begin opens a provenance transaction explicitly (operations auto-begin).
+func (s *Session) Begin() error { return s.editor.Begin() }
+
+// Commit commits the open provenance transaction and returns its id.
+func (s *Session) Commit() (int64, error) { return s.editor.Commit() }
+
+// Insert performs `ins {label : value} into parent`; value nil means the
+// empty tree.
+func (s *Session) Insert(parent Path, label string, value *Node) error {
+	return s.editor.Insert(parent, label, value)
+}
+
+// Delete removes the node at p and its subtree.
+func (s *Session) Delete(p Path) error { return s.editor.Delete(p) }
+
+// CopyPaste copies the subtree at src (in any connected database) over dst
+// in the target.
+func (s *Session) CopyPaste(src, dst Path) error { return s.editor.CopyPaste(src, dst) }
+
+// Run parses and applies an update script in the paper's Figure 3 syntax.
+func (s *Session) Run(script string) error {
+	seq, err := update.ParseScript(script)
+	if err != nil {
+		return err
+	}
+	_, err = s.editor.ApplySequence(seq)
+	return err
+}
+
+// Apply applies one parsed update operation.
+func (s *Session) Apply(op update.Op) error { return s.editor.Apply(op) }
+
+// TotalOps reports the number of operations applied in this session.
+func (s *Session) TotalOps() int { return s.editor.TotalOps() }
+
+// --- provenance queries ------------------------------------------------------
+
+// now returns the last committed transaction id.
+func (s *Session) now() (int64, error) { return s.backend.MaxTid() }
+
+// Trace returns the backward history of the data currently at p.
+func (s *Session) Trace(p Path) (TraceResult, error) {
+	tnow, err := s.now()
+	if err != nil {
+		return TraceResult{}, err
+	}
+	return s.engine.Trace(p, tnow)
+}
+
+// Src answers which transaction first created the data now at p; ok is
+// false when the data pre-exists tracking or came from an external source.
+func (s *Session) Src(p Path) (tid int64, ok bool, err error) {
+	tnow, err := s.now()
+	if err != nil {
+		return 0, false, err
+	}
+	return s.engine.Src(p, tnow)
+}
+
+// Hist returns every transaction that copied the data now at p, most
+// recent first.
+func (s *Session) Hist(p Path) ([]int64, error) {
+	tnow, err := s.now()
+	if err != nil {
+		return nil, err
+	}
+	return s.engine.Hist(p, tnow)
+}
+
+// Mod returns every transaction that created, modified or deleted data in
+// the subtree at p.
+func (s *Session) Mod(p Path) ([]int64, error) {
+	tnow, err := s.now()
+	if err != nil {
+		return nil, err
+	}
+	return s.engine.Mod(p, tnow)
+}
+
+// Records returns every stored provenance record ordered by (Tid, Loc) —
+// the session's Figure 5 table.
+func (s *Session) Records() ([]Record, error) {
+	tids, err := s.backend.Tids()
+	if err != nil {
+		return nil, err
+	}
+	var out []Record
+	for _, t := range tids {
+		recs, err := s.backend.ScanTid(t)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, recs...)
+	}
+	return out, nil
+}
+
+// RecordCount returns the number of stored provenance records.
+func (s *Session) RecordCount() (int, error) { return s.backend.Count() }
+
+// RecordBytes returns the physical size of the stored provenance records.
+func (s *Session) RecordBytes() (int64, error) { return s.backend.Bytes() }

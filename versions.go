@@ -1,0 +1,91 @@
+package cpdb
+
+import (
+	"errors"
+
+	"repro/internal/archive"
+	"repro/internal/provstore"
+)
+
+// Versioning glue: provenance links relate locations in the current target
+// to locations "in previous versions of T or in external source databases"
+// (§1.3), and the paper argues archiving and provenance are both necessary
+// to preserve the scientific record (§5). A VersionedSession archives a
+// snapshot of the target at every commit, keyed by the transaction id the
+// provenance records carry, so every Src field of every record can be
+// dereferenced against the exact version it cites.
+
+// A VersionedSession wraps a Session with per-commit archiving.
+type VersionedSession struct {
+	*Session
+	arch *archive.Archive
+}
+
+// NewVersioned opens a session that archives the target at every commit.
+func NewVersioned(cfg Config) (*VersionedSession, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &VersionedSession{
+		Session: s,
+		arch:    archive.New(cfg.Target.Name(), s.View()),
+	}, nil
+}
+
+// Commit commits the provenance transaction and archives the resulting
+// version under its transaction id.
+func (v *VersionedSession) Commit() (int64, error) {
+	tid, err := v.Session.Commit()
+	if err != nil {
+		return 0, err
+	}
+	if err := v.arch.Record(tid, v.View()); err != nil {
+		return tid, err
+	}
+	return tid, nil
+}
+
+// Versions lists the archived transaction ids (0 is the initial state).
+func (v *VersionedSession) Versions() []int64 { return v.arch.Versions() }
+
+// VersionAt returns the archived target as of the end of transaction tid.
+func (v *VersionedSession) VersionAt(tid int64) (*Node, error) {
+	st, _, ok := v.arch.AsOf(tid)
+	if !ok {
+		return nil, errors.New("cpdb: no version at or before that transaction")
+	}
+	return st, nil
+}
+
+// DiffVersions summarizes the changes between two archived versions.
+func (v *VersionedSession) DiffVersions(ta, tb int64) (archive.Diff, error) {
+	return v.arch.DiffVersions(ta, tb)
+}
+
+// ResolveSource dereferences one trace event against the archive: for a
+// copy within the target, it returns the cited source subtree exactly as it
+// was in the version the provenance record refers to (the end of
+// transaction Tid−1). For events citing external databases it returns
+// ErrExternalSource — resolve those through a Federation.
+func (v *VersionedSession) ResolveSource(ev Event) (*Node, error) {
+	if ev.Op != provstore.OpCopy {
+		return nil, errors.New("cpdb: only copy events cite a source")
+	}
+	if ev.Src.DB() != v.TargetName() {
+		return nil, ErrExternalSource
+	}
+	st, _, ok := v.arch.AsOf(ev.Tid - 1)
+	if !ok {
+		return nil, errors.New("cpdb: no archived version precedes the copy")
+	}
+	rel, err := ev.Src.TrimPrefix(MustParsePath(v.TargetName()))
+	if err != nil {
+		return nil, err
+	}
+	return st.Get(rel)
+}
+
+// ErrExternalSource reports that a cited source lies outside the archived
+// target database.
+var ErrExternalSource = errors.New("cpdb: source is in an external database")

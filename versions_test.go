@@ -1,0 +1,134 @@
+package cpdb_test
+
+import (
+	"errors"
+	"testing"
+
+	cpdb "repro"
+
+	"repro/internal/figures"
+)
+
+func versionedSession(t *testing.T) *cpdb.VersionedSession {
+	t.Helper()
+	v, err := cpdb.NewVersioned(cpdb.Config{
+		Target: cpdb.NewMemTarget("T", figures.T0()),
+		Sources: []cpdb.Source{
+			cpdb.NewMemSource("S1", figures.S1()),
+			cpdb.NewMemSource("S2", figures.S2()),
+		},
+		Method: cpdb.Naive,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestVersionedCommitArchives(t *testing.T) {
+	v := versionedSession(t)
+	if err := v.Run(`delete c5 from T`); err != nil {
+		t.Fatal(err)
+	}
+	tid1, err := v.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Run(`copy S1/a3 into T/c3`); err != nil {
+		t.Fatal(err)
+	}
+	tid2, err := v.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := v.Versions()
+	if len(vs) != 3 || vs[0] != 0 || vs[1] != tid1 || vs[2] != tid2 {
+		t.Fatalf("Versions = %v", vs)
+	}
+	// Version 0 is the initial state; tid1 lacks c5; tid2 adds c3.
+	v0, err := v.VersionAt(0)
+	if err != nil || !v0.Equal(figures.T0()) {
+		t.Errorf("version 0 wrong: %v", err)
+	}
+	v1, err := v.VersionAt(tid1)
+	if err != nil || v1.HasChild("c5") || v1.HasChild("c3") {
+		t.Errorf("version %d wrong: %s", tid1, v1)
+	}
+	v2, err := v.VersionAt(tid2)
+	if err != nil || !v2.HasChild("c3") {
+		t.Errorf("version %d wrong: %s", tid2, v2)
+	}
+	if _, err := v.VersionAt(-1); err == nil {
+		t.Error("version before history should error")
+	}
+	// Diff between the two committed versions.
+	d, err := v.DiffVersions(tid1, tid2)
+	if err != nil || len(d.OnlyB) == 0 {
+		t.Errorf("Diff = %+v, %v", d, err)
+	}
+}
+
+// TestResolveSource: a copy within the target dereferences against the
+// exact archived version its provenance record cites, even after the
+// source location is later changed.
+func TestResolveSource(t *testing.T) {
+	v := versionedSession(t)
+	// Commit 1: establish c1's value. Commit 2: copy c1 to c9.
+	// Commit 3: destroy c1.
+	if err := v.Run(`insert {marker : before} into T/c1`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Run(`copy T/c1 into T/c9`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Run(`delete c1 from T`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	tr, err := v.Trace(cpdb.MustParsePath("T/c9"))
+	if err != nil || len(tr.Events) == 0 {
+		t.Fatalf("Trace = %+v, %v", tr, err)
+	}
+	copyEv := tr.Events[0]
+	src, err := v.ResolveSource(copyEv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !src.HasChild("marker") {
+		t.Errorf("resolved source = %s, want the pre-copy c1", src)
+	}
+	// The source is gone from the live target but the citation resolves.
+	if v.View().HasChild("c1") {
+		t.Error("c1 should be deleted in the live view")
+	}
+	// Insert events cite nothing.
+	if _, err := v.ResolveSource(cpdb.Event{}); err == nil {
+		t.Error("non-copy event should error")
+	}
+}
+
+func TestResolveExternalSource(t *testing.T) {
+	v := versionedSession(t)
+	if err := v.Run(`copy S1/a1 into T/got`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := v.Trace(cpdb.MustParsePath("T/got"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.ResolveSource(tr.Events[0]); !errors.Is(err, cpdb.ErrExternalSource) {
+		t.Errorf("external source: %v", err)
+	}
+}
