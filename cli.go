@@ -38,6 +38,10 @@ type CLIConfig struct {
 	Method string
 	// CommitEvery auto-commits every N operations (0 = one commit at end).
 	CommitEvery int
+	// Shards partitions the provenance store (see Config.Shards).
+	Shards int
+	// BatchSize groups provenance appends (see Config.BatchSize).
+	BatchSize int
 	// Queries are provenance queries: "src|hist|mod|trace PATH".
 	Queries StringList
 	// Dump prints the provenance table and final target tree.
@@ -98,10 +102,14 @@ func RunCLI(cfg CLIConfig, w io.Writer) error {
 		Sources:         sources,
 		Method:          method,
 		AutoCommitEvery: cfg.CommitEvery,
+		Shards:          cfg.Shards,
+		BatchSize:       cfg.BatchSize,
 	})
 	if err != nil {
 		return err
 	}
+	// Whatever the batching layer still buffers at exit is pushed down.
+	defer s.Flush()
 
 	if cfg.Script != "" {
 		var script []byte

@@ -33,6 +33,8 @@ func main() {
 	flag.StringVar(&cfg.Script, "script", "", "update script file ('-' for stdin)")
 	flag.StringVar(&cfg.Method, "method", "HT", "provenance method: N, H, T, HT")
 	flag.IntVar(&cfg.CommitEvery, "commit-every", 5, "auto-commit every N operations (0 = manual)")
+	flag.IntVar(&cfg.Shards, "shards", 1, "partition the provenance store across N shards")
+	flag.IntVar(&cfg.BatchSize, "batch", 1, "group-commit provenance appends in batches of N records")
 	flag.Var(&cfg.Queries, "query", `provenance query, e.g. "hist T/c2/y" (repeatable)`)
 	flag.BoolVar(&cfg.Dump, "dump", false, "dump the provenance table and final target")
 	flag.Parse()

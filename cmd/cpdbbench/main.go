@@ -1,11 +1,14 @@
 // Command cpdbbench reruns the evaluation of Buneman, Chapman & Cheney
 // (SIGMOD 2006): every table and figure of §4, plus the design-choice
-// ablations, printing the rows/series behind each artifact.
+// ablations and the sharded-ingest/group-commit sweep that goes beyond the
+// paper, printing the rows/series behind each artifact. See EXPERIMENTS.md
+// for the experiment ↔ figure mapping and how to read the output.
 //
 // Usage:
 //
 //	cpdbbench                  # run everything at paper scale
 //	cpdbbench -exp fig7        # one experiment
+//	cpdbbench -exp shard       # sharding × batching ingest throughput
 //	cpdbbench -quick           # scaled-down sizes (seconds, for smoke runs)
 //	cpdbbench -list            # list experiment ids
 //	cpdbbench -steps-long 7000 # override the 14000-step runs

@@ -109,6 +109,21 @@ func NewRelSource(name string, db *relstore.DB, tables ...string) Source {
 // NewMemBackend returns an in-memory provenance store backend.
 func NewMemBackend() Backend { return provstore.NewMemBackend() }
 
+// NewShardedMemBackend returns a provenance backend partitioned across n
+// independently locked in-memory shards by hash of each record's
+// root-relative location. Appends touching different shards proceed in
+// parallel and queries scatter-gather. Sessions sharing one backend must
+// partition the transaction-id space via Config.StartTid — each session
+// numbers its own transactions, and colliding {Tid, Loc} keys are rejected
+// as duplicates.
+func NewShardedMemBackend(n int) Backend { return provstore.NewShardedMem(n) }
+
+// NewShardedBackend partitions provenance records across the given shard
+// stores (e.g. one relational store per shard). See NewShardedMemBackend.
+func NewShardedBackend(shards ...Backend) (Backend, error) {
+	return provstore.NewSharded(shards...)
+}
+
 // CreateRelBackend creates a relational provenance store in a new database
 // file, as the paper stored its Prov table in MySQL.
 func CreateRelBackend(file string) (Backend, error) {
@@ -119,6 +134,32 @@ func CreateRelBackend(file string) (Backend, error) {
 	return relprov.Create(db)
 }
 
+// CreateDurableRelBackend creates a relational provenance store with a
+// write-ahead log (file + ".wal") and group commit: every append batch is
+// durable before it returns, at a constant fsync cost per batch — pair
+// with Config.BatchSize to amortize it over many transactions. Reopen with
+// OpenDurableRelBackend (which also repairs torn pages after a crash), and
+// release the files by type-asserting the backend to io.Closer.
+func CreateDurableRelBackend(file string) (Backend, error) {
+	db, err := relstore.Create(file)
+	if err != nil {
+		return nil, err
+	}
+	w, err := relstore.CreateWAL(file + ".wal")
+	if err != nil {
+		db.Close()
+		return nil, err
+	}
+	b, err := relprov.Create(db)
+	if err != nil {
+		w.Close()
+		db.Close()
+		return nil, err
+	}
+	b.EnableGroupCommit(w)
+	return b, nil
+}
+
 // OpenRelBackend opens an existing relational provenance store.
 func OpenRelBackend(file string) (Backend, error) {
 	db, err := relstore.Open(file)
@@ -126,6 +167,33 @@ func OpenRelBackend(file string) (Backend, error) {
 		return nil, err
 	}
 	return relprov.Open(db)
+}
+
+// OpenDurableRelBackend reopens a store created by CreateDurableRelBackend:
+// it first replays the write-ahead log over the store file, repairing any
+// torn pages a crash left behind, then resumes group-commit operation on
+// the same log.
+func OpenDurableRelBackend(file string) (Backend, error) {
+	if _, err := relstore.RecoverPager(file, file+".wal"); err != nil {
+		return nil, err
+	}
+	db, err := relstore.Open(file)
+	if err != nil {
+		return nil, err
+	}
+	w, err := relstore.OpenWAL(file + ".wal")
+	if err != nil {
+		db.Close()
+		return nil, err
+	}
+	b, err := relprov.Open(db)
+	if err != nil {
+		w.Close()
+		db.Close()
+		return nil, err
+	}
+	b.EnableGroupCommit(w)
+	return b, nil
 }
 
 // NewFederation returns an empty provenance federation for Own queries.

@@ -3,6 +3,7 @@ package cpdb_test
 import (
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -78,6 +79,127 @@ func TestSessionEndToEnd(t *testing.T) {
 		if s.TotalOps() != 10 {
 			t.Errorf("%v: TotalOps = %d", m, s.TotalOps())
 		}
+	}
+}
+
+// TestShardedSessionEquivalence: any Shards/BatchSize configuration stores
+// exactly the provenance table of the default single-store write-through
+// session — the paper's semantics are invariant under the scaling knobs.
+func TestShardedSessionEquivalence(t *testing.T) {
+	table := func(cfgTweak func(*cpdb.Config)) []string {
+		t.Helper()
+		cfg := cpdb.Config{
+			Target: cpdb.NewMemTarget("T", figures.T0()),
+			Sources: []cpdb.Source{
+				cpdb.NewMemSource("S1", figures.S1()),
+				cpdb.NewMemSource("S2", figures.S2()),
+			},
+			Method:          cpdb.HierTrans,
+			StartTid:        figures.FirstTid,
+			AutoCommitEvery: 3,
+		}
+		cfgTweak(&cfg)
+		s, err := cpdb.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Run(figures.Script); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		recs, err := s.Records()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]string, len(recs))
+		for i, r := range recs {
+			out[i] = r.String()
+		}
+		return out
+	}
+	want := table(func(*cpdb.Config) {})
+	cases := map[string]func(*cpdb.Config){
+		"explicit-1-1":    func(c *cpdb.Config) { c.Shards, c.BatchSize = 1, 1 },
+		"sharded":         func(c *cpdb.Config) { c.Shards = 4 },
+		"batched":         func(c *cpdb.Config) { c.BatchSize = 16 },
+		"sharded-batched": func(c *cpdb.Config) { c.Shards, c.BatchSize = 4, 16 },
+		"sharded-backend": func(c *cpdb.Config) {
+			c.Shards = 3
+			c.Backend = cpdb.NewShardedMemBackend(3)
+		},
+	}
+	for name, tweak := range cases {
+		got := table(tweak)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("%s: records diverge:\n got %v\nwant %v", name, got, want)
+		}
+	}
+	// Shards > 1 with a non-sharded explicit backend is a config error.
+	_, err := cpdb.New(cpdb.Config{
+		Target:  cpdb.NewMemTarget("T", figures.T0()),
+		Shards:  2,
+		Backend: cpdb.NewMemBackend(),
+	})
+	if err == nil {
+		t.Error("Shards>1 over a plain backend should error")
+	}
+}
+
+// TestDurableRelBackend: the group-committing relational backend persists
+// and reopens.
+func TestDurableRelBackend(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "p.rel")
+	b, err := cpdb.CreateDurableRelBackend(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := cpdb.New(cpdb.Config{
+		Target:    cpdb.NewMemTarget("T", figures.T0()),
+		Sources:   []cpdb.Source{cpdb.NewMemSource("S1", figures.S1()), cpdb.NewMemSource("S2", figures.S2())},
+		Method:    cpdb.HierTrans,
+		Backend:   b,
+		BatchSize: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(figures.Script); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.RecordCount()
+	if err != nil || n == 0 {
+		t.Fatalf("records = %d, %v", n, err)
+	}
+	if _, err := os.Stat(file + ".wal"); err != nil {
+		t.Errorf("missing WAL file: %v", err)
+	}
+	// Reopen through the recovery path and keep working durably.
+	if closer, ok := b.(io.Closer); ok {
+		if err := closer.Close(); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		t.Fatal("durable backend should be closeable")
+	}
+	b2, err := cpdb.OpenDurableRelBackend(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.(io.Closer).Close()
+	n2, err := b2.Count()
+	if err != nil || n2 != n {
+		t.Fatalf("reopened count = %d, %v; want %d", n2, err, n)
 	}
 }
 

@@ -14,6 +14,13 @@
 // the provenance queries Src, Hist, Mod (and the federated Own), over
 // either an in-memory store or a from-scratch relational storage engine.
 //
+// Beyond the paper, the store scales out: Config.Shards partitions the
+// provenance store across independently locked shards (queries
+// scatter-gather and merge), and Config.BatchSize group-commits appends —
+// one store round trip, and for the WAL-backed relational store a constant
+// fsync cost, per batch instead of per record. The defaults reproduce the
+// paper's single-store behavior exactly.
+//
 // # Quick start
 //
 //	target := cpdb.NewMemTarget("MyDB", nil)

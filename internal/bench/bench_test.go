@@ -370,6 +370,53 @@ func TestAblations(t *testing.T) {
 	}
 }
 
+// TestShardSweepShape: the sweep runs end to end; sharded cells never lose
+// records, and every cell stores exactly workers × ops records.
+func TestShardSweepShape(t *testing.T) {
+	rc := quick(t)
+	tabs, err := ShardSweep(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 2 {
+		t.Fatalf("want 2 tables, got %d", len(tabs))
+	}
+	mem := tabs[0]
+	if len(mem.Rows) == 0 || len(mem.Rows[0]) < 3 {
+		t.Fatalf("mem sweep malformed:\n%s", mem)
+	}
+	for r := range mem.Rows {
+		for c := 1; c < len(mem.Rows[r])-1; c++ {
+			if numCell(t, mem, r, c) <= 0 {
+				t.Errorf("cell (%d,%d) not positive:\n%s", r, c, mem)
+			}
+		}
+	}
+	wal := tabs[1]
+	for r := range wal.Rows {
+		if numCell(t, wal, r, 2) <= 0 {
+			t.Errorf("wal row %d not positive:\n%s", r, wal)
+		}
+	}
+}
+
+// TestIngestThroughputCounts: concurrent sharded+batched ingest stores the
+// exact record count (no loss, no duplication).
+func TestIngestThroughputCounts(t *testing.T) {
+	backend := provstore.NewBatching(provstore.NewShardedMem(4), 32)
+	const workers, ops = 4, 500
+	if _, err := IngestThroughput(backend, provstore.Naive, workers, ops, 5); err != nil {
+		t.Fatal(err)
+	}
+	n, err := backend.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != workers*ops {
+		t.Errorf("stored %d records, want %d", n, workers*ops)
+	}
+}
+
 // TestMakeSequenceDeterministic: same config, same sequence.
 func TestMakeSequenceDeterministic(t *testing.T) {
 	rc := Quick()

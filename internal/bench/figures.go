@@ -94,6 +94,7 @@ func All() []Experiment {
 		{"fig12", "Transaction length vs processing time (Figure 12)", Fig12},
 		{"fig13", "Provenance query times (Figure 13)", Fig13},
 		{"ablation", "Design-choice ablations (A1–A4)", Ablations},
+		{"shard", "Sharded concurrent ingest and group-commit sweep (beyond the paper)", ShardSweep},
 	}
 }
 

@@ -226,6 +226,12 @@ func (e *Engine) Hist(p path.Path, tnow int64) ([]int64, error) {
 type region struct {
 	prefix path.Path
 	bound  int64
+	key    string // binary encoding of prefix, computed once on enqueue
+}
+
+// newRegion builds a region, stamping its dedup key.
+func newRegion(prefix path.Path, bound int64) region {
+	return region{prefix: prefix, bound: bound, key: string(prefix.AppendBinary(nil))}
 }
 
 // Mod answers: every transaction that created, modified or deleted data in
@@ -242,64 +248,95 @@ type region struct {
 // whose destination intersects the region spawn source regions bounded by
 // the copying transaction. Inserts at strict ancestors create only empty
 // nodes and contribute no rows at paths extending p, so they do not count.
+//
+// Regions are processed in BFS waves: every region of the current wave runs
+// its two backend scans concurrently (an errgroup-style scatter), then the
+// wave's results merge sequentially in queue order, so the answer is
+// identical to the sequential walk while a store sharded across N shards
+// sees wave-regions × 2 scans × N shard scans in flight at once.
 func (e *Engine) Mod(p path.Path, tnow int64) ([]int64, error) {
 	result := make(map[int64]struct{})
 	seen := make(map[string]int64) // region prefix -> highest bound processed
-	queue := []region{{prefix: p, bound: tnow}}
+	queue := []region{newRegion(p, tnow)}
 	for len(queue) > 0 {
-		g := queue[0]
-		queue = queue[1:]
-		k := string(g.prefix.AppendBinary(nil))
-		if prev, ok := seen[k]; ok && prev >= g.bound {
-			continue
+		// Drop regions an earlier wave already covered with a bound at
+		// least as high (seen bounds only ever grow, so this pre-filter
+		// agrees with the authoritative gather-time check below), then
+		// collect the unique prefixes — a prefix re-enqueued with several
+		// bounds needs only one pair of scans.
+		wave := queue[:0:0]
+		for _, g := range queue {
+			if prev, ok := seen[g.key]; ok && prev >= g.bound {
+				continue
+			}
+			wave = append(wave, g)
 		}
-		seen[k] = g.bound
+		queue = nil
+		prefixes := make([]path.Path, 0, len(wave))
+		scanIdx := make(map[string]int, len(wave))
+		for _, g := range wave {
+			if _, ok := scanIdx[g.key]; !ok {
+				scanIdx[g.key] = len(prefixes)
+				prefixes = append(prefixes, g.prefix)
+			}
+		}
 
-		inside, err := e.backend.ScanLocPrefix(g.prefix)
+		// Scatter: prefetch both scans of every unique prefix in the wave.
+		scans := make([]regionScan, len(prefixes))
+		err := fanout(len(prefixes), func(i int) error {
+			return scans[i].run(e.backend, prefixes[i])
+		})
 		if err != nil {
 			return nil, err
 		}
-		above, err := e.backend.ScanLocWithAncestors(g.prefix)
-		if err != nil {
-			return nil, err
-		}
-		recs := make([]provstore.Record, 0, len(inside)+len(above))
-		recs = append(recs, inside...)
-		for _, r := range above {
-			if !r.Loc.Equal(g.prefix) { // exact-loc records are in `inside`
-				recs = append(recs, r)
-			}
-		}
-		// Newest first; shadowed locations drop older records.
-		sort.Slice(recs, func(i, j int) bool { return recs[i].Tid > recs[j].Tid })
-		shadow := make(map[string]struct{})
-		for _, r := range recs {
-			if r.Tid > g.bound {
+
+		// Gather: merge sequentially in queue order (the shadow and seen
+		// bookkeeping is order-sensitive).
+		for _, g := range wave {
+			if prev, ok := seen[g.key]; ok && prev >= g.bound {
 				continue
 			}
-			lk := string(r.Loc.AppendBinary(nil))
-			if _, dead := shadow[lk]; dead {
-				continue
-			}
-			shadow[lk] = struct{}{}
-			ancestor := r.Loc.IsStrictPrefixOf(g.prefix)
-			if ancestor && r.Op == provstore.OpInsert {
-				// An insert at an ancestor creates an empty node: no
-				// data at paths extending the region's prefix.
-				continue
-			}
-			result[r.Tid] = struct{}{}
-			if r.Op != provstore.OpCopy {
-				continue
-			}
-			if ancestor {
-				src, rerr := g.prefix.Rebase(r.Loc, r.Src)
-				if rerr != nil {
-					return nil, rerr
+			seen[g.key] = g.bound
+
+			sc := scans[scanIdx[g.key]]
+			recs := make([]provstore.Record, 0, len(sc.inside)+len(sc.above))
+			recs = append(recs, sc.inside...)
+			for _, r := range sc.above {
+				if !r.Loc.Equal(g.prefix) { // exact-loc records are in `inside`
+					recs = append(recs, r)
 				}
-				queue = append(queue, region{prefix: src, bound: r.Tid - 1})
-			} else {
-				queue = append(queue, region{prefix: r.Src, bound: r.Tid - 1})
+			}
+			// Newest first; shadowed locations drop older records.
+			sort.Slice(recs, func(i, j int) bool { return recs[i].Tid > recs[j].Tid })
+			shadow := make(map[string]struct{})
+			for _, r := range recs {
+				if r.Tid > g.bound {
+					continue
+				}
+				lk := string(r.Loc.AppendBinary(nil))
+				if _, dead := shadow[lk]; dead {
+					continue
+				}
+				shadow[lk] = struct{}{}
+				ancestor := r.Loc.IsStrictPrefixOf(g.prefix)
+				if ancestor && r.Op == provstore.OpInsert {
+					// An insert at an ancestor creates an empty node: no
+					// data at paths extending the region's prefix.
+					continue
+				}
+				result[r.Tid] = struct{}{}
+				if r.Op != provstore.OpCopy {
+					continue
+				}
+				if ancestor {
+					src, rerr := g.prefix.Rebase(r.Loc, r.Src)
+					if rerr != nil {
+						return nil, rerr
+					}
+					queue = append(queue, newRegion(src, r.Tid-1))
+				} else {
+					queue = append(queue, newRegion(r.Src, r.Tid-1))
+				}
 			}
 		}
 	}
@@ -310,6 +347,30 @@ func (e *Engine) Mod(p path.Path, tnow int64) ([]int64, error) {
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out, nil
 }
+
+// regionScan holds the two prefetched scans of one region: records inside
+// the region and records at or above its prefix.
+type regionScan struct {
+	inside []provstore.Record
+	above  []provstore.Record
+}
+
+// run issues the region's two scans concurrently.
+func (s *regionScan) run(b provstore.Backend, prefix path.Path) error {
+	return fanout(2, func(j int) error {
+		var err error
+		if j == 0 {
+			s.inside, err = b.ScanLocPrefix(prefix)
+		} else {
+			s.above, err = b.ScanLocWithAncestors(prefix)
+		}
+		return err
+	})
+}
+
+// fanout is provstore.Fanout under a local name: run f(0..n-1) concurrently
+// and join the errors.
+func fanout(n int, f func(int) error) error { return provstore.Fanout(n, f) }
 
 // MaxTid returns the newest transaction id in the store (the paper's tnow).
 func (e *Engine) MaxTid() (int64, error) {

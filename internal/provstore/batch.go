@@ -1,0 +1,241 @@
+package provstore
+
+import (
+	"sync"
+
+	"repro/internal/path"
+)
+
+// This file implements the group-commit batching layer of the ingest
+// pipeline: appends from any number of writers are buffered and flushed to
+// the underlying store in multi-batch groups, so a store that pays a
+// durability round trip per append (an fsync, a network round trip) pays it
+// once per group instead — the classic group-commit trade of tail latency
+// for throughput.
+
+// A Flusher is a backend (or backend wrapper) holding buffered writes that
+// can be pushed down on demand.
+type Flusher interface {
+	Flush() error
+}
+
+// A GroupCommitter persists several append batches with a single durability
+// round trip. Each batch keeps its own all-or-nothing validation; the group
+// shares one commit. Implemented by relprov.Backend (one WAL fsync per
+// group) and ShardedBackend (per-shard groups in parallel).
+type GroupCommitter interface {
+	AppendBatch(batches ...[]Record) error
+}
+
+// Flush pushes buffered writes down if b buffers any; it is a no-op for
+// write-through backends.
+func Flush(b Backend) error {
+	if f, ok := b.(Flusher); ok {
+		return f.Flush()
+	}
+	return nil
+}
+
+// A BatchingBackend wraps a Backend and buffers appended batches until
+// BatchSize records accumulate, then flushes them as one group commit. Any
+// read flushes first (read-through), so queries always see every
+// acknowledged append; what batching defers is only the store round trip
+// and its durability cost.
+//
+// Records are validated when enqueued — structural checks plus the
+// {Tid, Loc} key constraint against both the pending buffer and the store —
+// so a rejected Append buffers nothing and flush errors are exceptional.
+// It is safe for concurrent use; writers briefly serialize on the buffer
+// lock, and the flusher holds it for the duration of the group commit (the
+// group-commit leader pattern: followers queue behind the leader's fsync).
+type BatchingBackend struct {
+	mu      sync.Mutex
+	inner   Backend
+	size    int
+	batches [][]Record
+	pending int
+	keys    map[string]struct{} // {Tid, Loc} keys buffered and not yet flushed
+}
+
+var (
+	_ Backend = (*BatchingBackend)(nil)
+	_ Flusher = (*BatchingBackend)(nil)
+)
+
+// NewBatching wraps inner with a group-commit buffer of the given batch
+// size (records). size < 2 returns a write-through wrapper that never
+// buffers.
+func NewBatching(inner Backend, size int) *BatchingBackend {
+	if size < 1 {
+		size = 1
+	}
+	return &BatchingBackend{
+		inner: inner,
+		size:  size,
+		keys:  make(map[string]struct{}),
+	}
+}
+
+// BatchSize returns the configured flush threshold.
+func (b *BatchingBackend) BatchSize() int { return b.size }
+
+// Inner returns the wrapped store.
+func (b *BatchingBackend) Inner() Backend { return b.inner }
+
+// Append implements Backend: the batch is validated and enqueued, and the
+// buffer is flushed once it holds at least BatchSize records.
+func (b *BatchingBackend) Append(recs []Record) error {
+	if b.size <= 1 {
+		return b.inner.Append(recs)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	// Validate against the batch itself, the pending buffer, and the store
+	// before enqueueing anything.
+	seen := make(map[string]struct{}, len(recs))
+	for _, r := range recs {
+		if err := r.Validate(); err != nil {
+			return err
+		}
+		k := memKey(r.Tid, r.Loc)
+		if _, dup := seen[k]; dup {
+			return &DupKeyError{Tid: r.Tid, Loc: r.Loc}
+		}
+		if _, dup := b.keys[k]; dup {
+			return &DupKeyError{Tid: r.Tid, Loc: r.Loc}
+		}
+		if _, ok, err := b.inner.Lookup(r.Tid, r.Loc); err != nil {
+			return err
+		} else if ok {
+			return &DupKeyError{Tid: r.Tid, Loc: r.Loc}
+		}
+		seen[k] = struct{}{}
+	}
+	batch := make([]Record, len(recs))
+	copy(batch, recs)
+	b.batches = append(b.batches, batch)
+	b.pending += len(batch)
+	for k := range seen {
+		b.keys[k] = struct{}{}
+	}
+	if b.pending >= b.size {
+		return b.flushLocked()
+	}
+	return nil
+}
+
+// Pending returns the number of buffered, unflushed records.
+func (b *BatchingBackend) Pending() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.pending
+}
+
+// Flush pushes every buffered batch down as one group commit.
+func (b *BatchingBackend) Flush() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.flushLocked()
+}
+
+// flushLocked drains the buffer. On error the buffered batches are KEPT so
+// the acknowledged records are not lost and a later Flush (or read) can
+// retry; eager validation at enqueue time makes this path exceptional (a
+// racing writer on the same key, or a failing store). If the store applied
+// part of the group before failing, a retry reports DupKeyError for the
+// already-applied batches — loud, and recoverable by inspection, where
+// silently dropping acknowledged provenance would not be.
+func (b *BatchingBackend) flushLocked() error {
+	if b.pending == 0 {
+		return nil
+	}
+	if err := appendBatches(b.inner, b.batches); err != nil {
+		return err
+	}
+	b.batches = nil
+	b.pending = 0
+	b.keys = make(map[string]struct{})
+	return nil
+}
+
+// --- read-through: every read flushes, then delegates ----------------------
+
+// Lookup implements Backend.
+func (b *BatchingBackend) Lookup(tid int64, loc path.Path) (Record, bool, error) {
+	if err := b.Flush(); err != nil {
+		return Record{}, false, err
+	}
+	return b.inner.Lookup(tid, loc)
+}
+
+// NearestAncestor implements Backend.
+func (b *BatchingBackend) NearestAncestor(tid int64, loc path.Path) (Record, bool, error) {
+	if err := b.Flush(); err != nil {
+		return Record{}, false, err
+	}
+	return b.inner.NearestAncestor(tid, loc)
+}
+
+// ScanTid implements Backend.
+func (b *BatchingBackend) ScanTid(tid int64) ([]Record, error) {
+	if err := b.Flush(); err != nil {
+		return nil, err
+	}
+	return b.inner.ScanTid(tid)
+}
+
+// ScanLoc implements Backend.
+func (b *BatchingBackend) ScanLoc(loc path.Path) ([]Record, error) {
+	if err := b.Flush(); err != nil {
+		return nil, err
+	}
+	return b.inner.ScanLoc(loc)
+}
+
+// ScanLocPrefix implements Backend.
+func (b *BatchingBackend) ScanLocPrefix(prefix path.Path) ([]Record, error) {
+	if err := b.Flush(); err != nil {
+		return nil, err
+	}
+	return b.inner.ScanLocPrefix(prefix)
+}
+
+// ScanLocWithAncestors implements Backend.
+func (b *BatchingBackend) ScanLocWithAncestors(loc path.Path) ([]Record, error) {
+	if err := b.Flush(); err != nil {
+		return nil, err
+	}
+	return b.inner.ScanLocWithAncestors(loc)
+}
+
+// Tids implements Backend.
+func (b *BatchingBackend) Tids() ([]int64, error) {
+	if err := b.Flush(); err != nil {
+		return nil, err
+	}
+	return b.inner.Tids()
+}
+
+// MaxTid implements Backend.
+func (b *BatchingBackend) MaxTid() (int64, error) {
+	if err := b.Flush(); err != nil {
+		return 0, err
+	}
+	return b.inner.MaxTid()
+}
+
+// Count implements Backend.
+func (b *BatchingBackend) Count() (int, error) {
+	if err := b.Flush(); err != nil {
+		return 0, err
+	}
+	return b.inner.Count()
+}
+
+// Bytes implements Backend.
+func (b *BatchingBackend) Bytes() (int64, error) {
+	if err := b.Flush(); err != nil {
+		return 0, err
+	}
+	return b.inner.Bytes()
+}

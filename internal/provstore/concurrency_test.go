@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/path"
+	"repro/internal/update"
 )
 
 // TestMemBackendConcurrent exercises the backend under parallel writers and
@@ -55,5 +56,158 @@ func TestMemBackendConcurrent(t *testing.T) {
 	tids, _ := b.Tids()
 	if len(tids) != writers*perWriter {
 		t.Errorf("Tids = %d", len(tids))
+	}
+}
+
+// TestShardedBackendConcurrent exercises the sharded backend under parallel
+// writers and scatter-gather readers (run with -race): appends race across
+// shards while readers exercise every fan-out query surface.
+func TestShardedBackendConcurrent(t *testing.T) {
+	b := NewShardedMem(4)
+	const writers = 8
+	const perWriter = 150
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				tid := int64(w*perWriter + i + 1)
+				recs := []Record{
+					{Tid: tid, Op: OpInsert, Loc: path.New("T", fmt.Sprintf("w%d", w), fmt.Sprintf("n%d", i))},
+					{Tid: tid, Op: OpCopy, Loc: path.New("T", fmt.Sprintf("w%d", w), fmt.Sprintf("c%d", i)), Src: path.New("S", "x")},
+				}
+				if err := b.Append(recs); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				loc := path.New("T", fmt.Sprintf("w%d", r), fmt.Sprintf("n%d", i%perWriter))
+				b.Lookup(int64(i+1), loc)
+				b.NearestAncestor(int64(i+1), loc.Child("deep"))
+				b.ScanTid(int64(i + 1))
+				b.ScanLoc(loc)
+				b.ScanLocPrefix(path.New("T", fmt.Sprintf("w%d", r)))
+				b.ScanLocWithAncestors(loc)
+				b.Tids()
+				b.Count()
+				b.MaxTid()
+				b.Bytes()
+			}
+		}(r)
+	}
+	wg.Wait()
+	n, err := b.Count()
+	if err != nil || n != 2*writers*perWriter {
+		t.Fatalf("Count = %d, %v; want %d", n, err, 2*writers*perWriter)
+	}
+}
+
+// TestShardedIngestConcurrent drives the full concurrent ingest pipeline
+// under -race: worker goroutines share one ShardedTracker over a batched,
+// sharded backend, each stream editing its own top-level subtree and
+// committing its lane periodically, with readers querying mid-flight.
+func TestShardedIngestConcurrent(t *testing.T) {
+	for _, m := range []Method{Naive, HierTrans} {
+		t.Run(m.String(), func(t *testing.T) {
+			backend := NewBatching(NewShardedMem(4), 16)
+			tr, err := NewShardedTracker(m, Config{Backend: backend}, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tr.Begin(); err != nil {
+				t.Fatal(err)
+			}
+			const workers = 8
+			const perWorker = 200
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					root := path.New("T", fmt.Sprintf("w%d", w))
+					for i := 0; i < perWorker; i++ {
+						eff := update.Effect{Inserted: []path.Path{root.Child(fmt.Sprintf("n%d", i))}}
+						if err := tr.OnInsert(eff); err != nil {
+							t.Errorf("worker %d: %v", w, err)
+							return
+						}
+						if (i+1)%5 == 0 {
+							if _, err := tr.CommitSubtree(root); err != nil {
+								t.Errorf("worker %d commit: %v", w, err)
+								return
+							}
+						}
+					}
+				}(w)
+			}
+			// Readers race the ingest across the read-through flush path.
+			for r := 0; r < 2; r++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < 100; i++ {
+						backend.MaxTid()
+						backend.Count()
+						backend.ScanLocPrefix(path.New("T"))
+					}
+				}()
+			}
+			wg.Wait()
+			if _, err := tr.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			if err := Flush(backend); err != nil {
+				t.Fatal(err)
+			}
+			n, err := backend.Count()
+			if err != nil || n != workers*perWorker {
+				t.Fatalf("Count = %d, %v; want %d", n, err, workers*perWorker)
+			}
+			// Every record must be findable at its own location.
+			for w := 0; w < workers; w++ {
+				recs, err := backend.ScanLocPrefix(path.New("T", fmt.Sprintf("w%d", w)))
+				if err != nil || len(recs) != perWorker {
+					t.Fatalf("worker %d subtree has %d records, %v; want %d", w, len(recs), err, perWorker)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchingBackendConcurrent races writers against the group-commit
+// flush path (run with -race).
+func TestBatchingBackendConcurrent(t *testing.T) {
+	b := NewBatching(NewMemBackend(), 7)
+	const writers = 6
+	const perWriter = 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				tid := int64(w*perWriter + i + 1)
+				rec := Record{Tid: tid, Op: OpInsert, Loc: path.New("T", fmt.Sprintf("w%d", w), fmt.Sprintf("n%d", i))}
+				if err := b.Append([]Record{rec}); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := b.Count(); err != nil || n != writers*perWriter {
+		t.Fatalf("Count = %d, %v; want %d", n, err, writers*perWriter)
 	}
 }

@@ -1,0 +1,625 @@
+package provstore
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"repro/internal/path"
+	"repro/internal/update"
+)
+
+// This file implements the sharded, concurrent provenance store: records
+// are partitioned across N independently locked shards by hash of their
+// location, so ingest from many concurrent curators (the paper's fig. 2
+// shows exactly one) can use more than one core, and queries fan out across
+// the shards with a parallel scatter-gather and merge.
+//
+// Sharding is pure partitioning: for any fixed record set, a sharded store
+// answers every Backend query with exactly the rows and ordering a single
+// MemBackend would produce (cross-checked by the equivalence tests).
+
+// ShardFor returns the shard index in [0, n) for a record location: the
+// FNV-1a hash of the location's root-relative path (the path with the
+// database label stripped), so routing does not depend on what the curated
+// database happens to be called. All records at one location land on one
+// shard, which is what lets Lookup and ScanLoc stay single-shard.
+func ShardFor(loc path.Path, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	// Hash labels 1..len-1 (label 0 names the database), each terminated so
+	// ["ab","c"] and ["a","bc"] hash differently.
+	for i := 1; i < loc.Len(); i++ {
+		h.Write([]byte(loc.At(i)))
+		h.Write([]byte{0})
+	}
+	return int(h.Sum32() % uint32(n))
+}
+
+// Fanout runs f(0), …, f(n-1) concurrently — an errgroup-style helper — and
+// returns the combined error of all calls (nil if all succeed). For n == 1
+// it calls f inline.
+func Fanout(n int, f func(int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if n == 1 {
+		return f(0)
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = f(i)
+		}(i)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// A ShardedBackend partitions provenance records across several underlying
+// backends by ShardFor of each record's location. Writes touching different
+// shards proceed in parallel (each shard has its own locking); reads that
+// cannot be routed to a single shard scatter across all shards concurrently
+// and merge the results into the documented Backend ordering.
+//
+// Atomicity of Append is per shard: the whole batch is validated up front
+// (so the single-writer paths used by sessions never observe a partial
+// batch), but two writers racing on the same {Tid, Loc} key may leave a
+// cross-shard batch partially applied — the same contract a distributed
+// store offers without two-phase commit.
+type ShardedBackend struct {
+	shards []Backend
+}
+
+var _ Backend = (*ShardedBackend)(nil)
+
+// NewSharded builds a sharded backend over the given shard stores. At least
+// one shard is required.
+func NewSharded(shards ...Backend) (*ShardedBackend, error) {
+	if len(shards) == 0 {
+		return nil, errors.New("provstore: NewSharded requires at least one shard")
+	}
+	for i, s := range shards {
+		if s == nil {
+			return nil, fmt.Errorf("provstore: NewSharded shard %d is nil", i)
+		}
+	}
+	return &ShardedBackend{shards: shards}, nil
+}
+
+// NewShardedMem returns a sharded backend over n fresh in-memory shards.
+// n < 1 is treated as 1.
+func NewShardedMem(n int) *ShardedBackend {
+	if n < 1 {
+		n = 1
+	}
+	shards := make([]Backend, n)
+	for i := range shards {
+		shards[i] = NewMemBackend()
+	}
+	sb, _ := NewSharded(shards...)
+	return sb
+}
+
+// NumShards returns the number of shards.
+func (b *ShardedBackend) NumShards() int { return len(b.shards) }
+
+// Shard exposes one underlying shard store (for tests and size accounting).
+func (b *ShardedBackend) Shard(i int) Backend { return b.shards[i] }
+
+// shardFor routes one location.
+func (b *ShardedBackend) shardFor(loc path.Path) Backend {
+	return b.shards[ShardFor(loc, len(b.shards))]
+}
+
+// partition splits a batch into per-shard sub-batches, preserving the
+// relative order of records within each shard.
+func (b *ShardedBackend) partition(recs []Record) [][]Record {
+	parts := make([][]Record, len(b.shards))
+	for _, r := range recs {
+		i := ShardFor(r.Loc, len(b.shards))
+		parts[i] = append(parts[i], r)
+	}
+	return parts
+}
+
+// Append implements Backend: the batch is validated wholesale — structural
+// checks and intra-batch duplicates inline, then per-shard store probes in
+// parallel — so the common single-writer case stores nothing on failure
+// (matching MemBackend). Only then do the per-shard sub-batches append, in
+// parallel.
+func (b *ShardedBackend) Append(recs []Record) error {
+	if len(b.shards) == 1 {
+		return b.shards[0].Append(recs)
+	}
+	seen := make(map[string]struct{}, len(recs))
+	for _, r := range recs {
+		if err := r.Validate(); err != nil {
+			return err
+		}
+		k := memKey(r.Tid, r.Loc)
+		if _, dup := seen[k]; dup {
+			return &DupKeyError{Tid: r.Tid, Loc: r.Loc}
+		}
+		seen[k] = struct{}{}
+	}
+	parts := b.partition(recs)
+	err := b.fanParts(parts, func(i int) error {
+		for _, r := range parts[i] {
+			if _, ok, lerr := b.shards[i].Lookup(r.Tid, r.Loc); lerr != nil {
+				return lerr
+			} else if ok {
+				return &DupKeyError{Tid: r.Tid, Loc: r.Loc}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return b.fanParts(parts, func(i int) error { return b.shards[i].Append(parts[i]) })
+}
+
+// fanParts runs f for every shard with a non-empty part, inline when only
+// one shard is touched (the common case for small batches) and in parallel
+// otherwise.
+func (b *ShardedBackend) fanParts(parts [][]Record, f func(int) error) error {
+	touched := make([]int, 0, len(parts))
+	for i, p := range parts {
+		if len(p) > 0 {
+			touched = append(touched, i)
+		}
+	}
+	if len(touched) == 0 {
+		return nil
+	}
+	if len(touched) == 1 {
+		return f(touched[0])
+	}
+	return Fanout(len(touched), func(j int) error { return f(touched[j]) })
+}
+
+// AppendBatch implements GroupCommitter: every batch is partitioned, and
+// each shard persists its share of all batches with a single group commit
+// when the shard store supports it.
+func (b *ShardedBackend) AppendBatch(batches ...[]Record) error {
+	if len(b.shards) == 1 {
+		return appendBatches(b.shards[0], batches)
+	}
+	parts := make([][][]Record, len(b.shards))
+	touched := make([]int, 0, len(b.shards))
+	for _, batch := range batches {
+		split := b.partition(batch)
+		for i, p := range split {
+			if len(p) > 0 {
+				if len(parts[i]) == 0 {
+					touched = append(touched, i)
+				}
+				parts[i] = append(parts[i], p)
+			}
+		}
+	}
+	if len(touched) == 1 {
+		return appendBatches(b.shards[touched[0]], parts[touched[0]])
+	}
+	return Fanout(len(touched), func(j int) error {
+		return appendBatches(b.shards[touched[j]], parts[touched[j]])
+	})
+}
+
+// appendBatches hands a group of batches to a store in one group commit if
+// it supports that, falling back to sequential appends.
+func appendBatches(s Backend, batches [][]Record) error {
+	if gc, ok := s.(GroupCommitter); ok {
+		return gc.AppendBatch(batches...)
+	}
+	for _, batch := range batches {
+		if err := s.Append(batch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Lookup implements Backend: a single-shard read.
+func (b *ShardedBackend) Lookup(tid int64, loc path.Path) (Record, bool, error) {
+	return b.shardFor(loc).Lookup(tid, loc)
+}
+
+// NearestAncestor implements Backend: each ancestor lives on its own shard,
+// so the probes scatter, deepest ancestor winning.
+func (b *ShardedBackend) NearestAncestor(tid int64, loc path.Path) (Record, bool, error) {
+	anc := loc.Ancestors()
+	for i := len(anc) - 1; i >= 0; i-- {
+		rec, ok, err := b.shardFor(anc[i]).Lookup(tid, anc[i])
+		if err != nil || ok {
+			return rec, ok, err
+		}
+	}
+	return Record{}, false, nil
+}
+
+// scatter runs one scan against every shard in parallel and returns the
+// per-shard results.
+func (b *ShardedBackend) scatter(scan func(Backend) ([]Record, error)) ([]Record, error) {
+	if len(b.shards) == 1 {
+		return scan(b.shards[0])
+	}
+	parts := make([][]Record, len(b.shards))
+	err := Fanout(len(b.shards), func(i int) error {
+		recs, serr := scan(b.shards[i])
+		parts[i] = recs
+		return serr
+	})
+	if err != nil {
+		return nil, err
+	}
+	var n int
+	for _, p := range parts {
+		n += len(p)
+	}
+	out := make([]Record, 0, n)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out, nil
+}
+
+// ScanTid implements Backend: scatter-gather with a merge by Loc.
+func (b *ShardedBackend) ScanTid(tid int64) ([]Record, error) {
+	out, err := b.scatter(func(s Backend) ([]Record, error) { return s.ScanTid(tid) })
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Loc.Compare(out[j].Loc) < 0 })
+	return out, nil
+}
+
+// ScanLoc implements Backend: a single-shard read (one location, one shard).
+func (b *ShardedBackend) ScanLoc(loc path.Path) ([]Record, error) {
+	return b.shardFor(loc).ScanLoc(loc)
+}
+
+// ScanLocPrefix implements Backend: descendants of prefix hash anywhere, so
+// the scan scatters and the merge restores (Loc, Tid) order.
+func (b *ShardedBackend) ScanLocPrefix(prefix path.Path) ([]Record, error) {
+	out, err := b.scatter(func(s Backend) ([]Record, error) { return s.ScanLocPrefix(prefix) })
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if c := out[i].Loc.Compare(out[j].Loc); c != 0 {
+			return c < 0
+		}
+		return out[i].Tid < out[j].Tid
+	})
+	return out, nil
+}
+
+// ScanLocWithAncestors implements Backend: loc and each of its ancestors
+// route to single shards, so the probes fan out one per ancestor and the
+// merge restores (Tid, Loc) order.
+func (b *ShardedBackend) ScanLocWithAncestors(loc path.Path) ([]Record, error) {
+	probes := append(loc.Ancestors(), loc)
+	parts := make([][]Record, len(probes))
+	err := Fanout(len(probes), func(i int) error {
+		recs, serr := b.shardFor(probes[i]).ScanLoc(probes[i])
+		parts[i] = recs
+		return serr
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []Record
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Tid != out[j].Tid {
+			return out[i].Tid < out[j].Tid
+		}
+		return out[i].Loc.Compare(out[j].Loc) < 0
+	})
+	return out, nil
+}
+
+// Tids implements Backend: the sorted union of all shards' transactions.
+func (b *ShardedBackend) Tids() ([]int64, error) {
+	parts := make([][]int64, len(b.shards))
+	err := Fanout(len(b.shards), func(i int) error {
+		tids, serr := b.shards[i].Tids()
+		parts[i] = tids
+		return serr
+	})
+	if err != nil {
+		return nil, err
+	}
+	set := make(map[int64]struct{})
+	for _, p := range parts {
+		for _, t := range p {
+			set[t] = struct{}{}
+		}
+	}
+	out := make([]int64, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// MaxTid implements Backend.
+func (b *ShardedBackend) MaxTid() (int64, error) {
+	var mu sync.Mutex
+	var maxT int64
+	err := Fanout(len(b.shards), func(i int) error {
+		t, serr := b.shards[i].MaxTid()
+		if serr != nil {
+			return serr
+		}
+		mu.Lock()
+		if t > maxT {
+			maxT = t
+		}
+		mu.Unlock()
+		return nil
+	})
+	return maxT, err
+}
+
+// Count implements Backend.
+func (b *ShardedBackend) Count() (int, error) {
+	counts := make([]int, len(b.shards))
+	err := Fanout(len(b.shards), func(i int) error {
+		n, serr := b.shards[i].Count()
+		counts[i] = n
+		return serr
+	})
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	return total, err
+}
+
+// Bytes implements Backend.
+func (b *ShardedBackend) Bytes() (int64, error) {
+	sizes := make([]int64, len(b.shards))
+	err := Fanout(len(b.shards), func(i int) error {
+		n, serr := b.shards[i].Bytes()
+		sizes[i] = n
+		return serr
+	})
+	var total int64
+	for _, n := range sizes {
+		total += n
+	}
+	return total, err
+}
+
+// Flush implements Flusher by flushing every shard that supports it.
+func (b *ShardedBackend) Flush() error {
+	return Fanout(len(b.shards), func(i int) error {
+		if f, ok := b.shards[i].(Flusher); ok {
+			return f.Flush()
+		}
+		return nil
+	})
+}
+
+// --- sharded tracker --------------------------------------------------------
+
+// A ShardedTracker fans concurrent provenance ingest across per-lane
+// trackers: each lane wraps one of the existing immediate/deferred trackers
+// behind its own lock, so operations routed to different lanes are tracked
+// in parallel while the provlist semantics of the deferred methods hold
+// lane-locally. All lanes share one atomic transaction-id source and write
+// through one (normally sharded) backend.
+//
+// Operations route to lanes by the top-level label of the affected subtree
+// (the first root-relative label of the operation's root location), which
+// keeps every operation's whole effect region inside a single lane: nested
+// copy/delete interactions within one top-level subtree are seen by one
+// provlist, exactly as in the single-tracker store. Concurrent streams that
+// edit the *same* top-level subtree serialize on that lane's lock — the
+// same behavior a per-curator session gives today. Operations at the
+// database root itself (whole-database pastes) funnel to lane 0.
+//
+// With one lane and the same backend, a ShardedTracker is behaviorally
+// identical to the tracker it wraps.
+type ShardedTracker struct {
+	method  Method
+	backend Backend
+	lanes   []*trackerLane
+
+	mu   sync.Mutex
+	open bool
+}
+
+type trackerLane struct {
+	mu    sync.Mutex
+	tr    Tracker
+	began bool
+}
+
+var _ Tracker = (*ShardedTracker)(nil)
+
+// NewShardedTracker returns a thread-safe tracker for method m with n
+// concurrent lanes over cfg.Backend (normally a ShardedBackend). All lanes
+// allocate transaction ids from one shared source, so ids are unique but
+// interleave across lanes.
+func NewShardedTracker(m Method, cfg Config, n int) (*ShardedTracker, error) {
+	if n < 1 {
+		n = 1
+	}
+	if cfg.Backend == nil {
+		return nil, errors.New("provstore: Config.Backend is required")
+	}
+	shared := newTidSource(cfg.StartTid)
+	lanes := make([]*trackerLane, n)
+	for i := range lanes {
+		laneCfg := cfg
+		laneCfg.tids = shared
+		tr, err := New(m, laneCfg)
+		if err != nil {
+			return nil, err
+		}
+		lanes[i] = &trackerLane{tr: tr}
+	}
+	return &ShardedTracker{method: m, backend: cfg.Backend, lanes: lanes}, nil
+}
+
+// Method implements Tracker.
+func (t *ShardedTracker) Method() Method { return t.method }
+
+// Backend implements Tracker.
+func (t *ShardedTracker) Backend() Backend { return t.backend }
+
+// Lanes returns the number of concurrent lanes.
+func (t *ShardedTracker) Lanes() int { return len(t.lanes) }
+
+// Begin implements Tracker: it opens the logical user transaction; lanes
+// begin lazily when the first operation routes to them.
+func (t *ShardedTracker) Begin() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.open {
+		return ErrOpenTxn
+	}
+	t.open = true
+	return nil
+}
+
+// Commit implements Tracker: every lane that saw operations commits (in
+// parallel — for deferred methods this is the per-shard batch flush), and
+// the largest committed transaction id is returned.
+func (t *ShardedTracker) Commit() (int64, error) {
+	t.mu.Lock()
+	if !t.open {
+		t.mu.Unlock()
+		return 0, ErrNoTxn
+	}
+	t.open = false
+	t.mu.Unlock()
+
+	var tmu sync.Mutex
+	var maxTid int64
+	err := Fanout(len(t.lanes), func(i int) error {
+		l := t.lanes[i]
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		if !l.began {
+			return nil
+		}
+		l.began = false
+		tid, cerr := l.tr.Commit()
+		if cerr != nil {
+			return cerr
+		}
+		tmu.Lock()
+		if tid > maxTid {
+			maxTid = tid
+		}
+		tmu.Unlock()
+		return nil
+	})
+	return maxTid, err
+}
+
+// CommitSubtree commits only the lane owning the top-level subtree of root
+// — the per-stream transaction boundary of concurrent bulk ingest: each
+// worker stream commits its own subtree's lane without disturbing the open
+// transactions of other lanes. Streams whose subtrees share a lane share
+// its transaction. The session-level transaction stays open; the returned
+// id is the lane's committed transaction (0 if the lane had no operations).
+func (t *ShardedTracker) CommitSubtree(root path.Path) (int64, error) {
+	t.mu.Lock()
+	open := t.open
+	t.mu.Unlock()
+	if !open {
+		return 0, ErrNoTxn
+	}
+	l := t.laneFor(root)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.began {
+		return 0, nil
+	}
+	l.began = false
+	return l.tr.Commit()
+}
+
+// Pending implements Tracker: the total number of buffered records across
+// all lanes.
+func (t *ShardedTracker) Pending() int {
+	total := 0
+	for _, l := range t.lanes {
+		l.mu.Lock()
+		total += l.tr.Pending()
+		l.mu.Unlock()
+	}
+	return total
+}
+
+// laneFor routes an operation's root location to a lane by its first
+// root-relative label.
+func (t *ShardedTracker) laneFor(root path.Path) *trackerLane {
+	if len(t.lanes) == 1 || root.Len() < 2 {
+		return t.lanes[0]
+	}
+	h := fnv.New32a()
+	h.Write([]byte(root.At(1)))
+	return t.lanes[h.Sum32()%uint32(len(t.lanes))]
+}
+
+// onLane runs fn against the lane for root, lazily beginning the lane's
+// inner transaction.
+func (t *ShardedTracker) onLane(root path.Path, fn func(Tracker) error) error {
+	t.mu.Lock()
+	open := t.open
+	t.mu.Unlock()
+	if !open {
+		return ErrNoTxn
+	}
+	l := t.laneFor(root)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.began {
+		if err := l.tr.Begin(); err != nil {
+			return err
+		}
+		l.began = true
+	}
+	return fn(l.tr)
+}
+
+// OnInsert implements Tracker.
+func (t *ShardedTracker) OnInsert(eff update.Effect) error {
+	if len(eff.Inserted) == 0 {
+		return fmt.Errorf("provstore: insert effect lists no nodes")
+	}
+	return t.onLane(eff.Inserted[0], func(tr Tracker) error { return tr.OnInsert(eff) })
+}
+
+// OnDelete implements Tracker.
+func (t *ShardedTracker) OnDelete(eff update.Effect) error {
+	if len(eff.Deleted) == 0 {
+		return fmt.Errorf("provstore: delete effect lists no nodes")
+	}
+	return t.onLane(eff.Deleted[0], func(tr Tracker) error { return tr.OnDelete(eff) })
+}
+
+// OnCopy implements Tracker.
+func (t *ShardedTracker) OnCopy(eff update.Effect) error {
+	if len(eff.Copied) == 0 {
+		return fmt.Errorf("provstore: copy effect lists no nodes")
+	}
+	return t.onLane(eff.Copied[0].Dst, func(tr Tracker) error { return tr.OnCopy(eff) })
+}

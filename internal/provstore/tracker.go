@@ -3,6 +3,7 @@ package provstore
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/update"
 )
@@ -62,6 +63,10 @@ type Config struct {
 	// the check "not worthwhile"; it is off by default and measured by
 	// the A4 ablation benchmark.
 	EliminateRedundant bool
+
+	// tids, when set, is a shared transaction-id source — used by
+	// ShardedTracker so all its lanes draw unique ids from one sequence.
+	tids *tidSource
 }
 
 // New returns a tracker for the given method.
@@ -69,9 +74,9 @@ func New(m Method, cfg Config) (Tracker, error) {
 	if cfg.Backend == nil {
 		return nil, errors.New("provstore: Config.Backend is required")
 	}
-	tids := &tidSource{next: cfg.StartTid}
-	if cfg.StartTid == 0 {
-		tids.next = 1
+	tids := cfg.tids
+	if tids == nil {
+		tids = newTidSource(cfg.StartTid)
 	}
 	switch m {
 	case Naive, Hierarchical:
@@ -102,13 +107,24 @@ func MustNew(m Method, cfg Config) Tracker {
 	return tr
 }
 
-// tidSource allocates monotonically increasing transaction identifiers.
+// tidSource allocates monotonically increasing transaction identifiers. It
+// is safe for concurrent use, so one source can be shared by the lanes of a
+// ShardedTracker.
 type tidSource struct {
-	next int64
+	next atomic.Int64
+}
+
+// newTidSource returns a source whose first id is startTid (or 1 when
+// startTid is 0).
+func newTidSource(startTid int64) *tidSource {
+	if startTid == 0 {
+		startTid = 1
+	}
+	s := &tidSource{}
+	s.next.Store(startTid)
+	return s
 }
 
 func (s *tidSource) alloc() int64 {
-	t := s.next
-	s.next++
-	return t
+	return s.next.Add(1) - 1
 }

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/path"
 	"repro/internal/provstore"
@@ -18,13 +19,25 @@ import (
 // TableName is the name of the provenance relation.
 const TableName = "prov"
 
-// Backend is a provstore.Backend persisted in a relstore database.
+// Backend is a provstore.Backend persisted in a relstore database. The
+// relational engine below it follows a single-writer model, so the backend
+// carries its own reader/writer lock: one sharded provenance store built
+// from relprov shards gets exactly the paper's "one lock per shard"
+// concurrency, with parallel readers within a shard.
 type Backend struct {
+	mu  sync.RWMutex
 	db  *relstore.DB
 	tbl *relstore.Table
+	wal *relstore.WAL // non-nil after EnableGroupCommit; closed by Close
+	// durable makes every Append/AppendBatch end in one GroupCommit,
+	// instead of durability only at Flush/Close. See EnableGroupCommit.
+	durable bool
 }
 
-var _ provstore.Backend = (*Backend)(nil)
+var (
+	_ provstore.Backend        = (*Backend)(nil)
+	_ provstore.GroupCommitter = (*Backend)(nil)
+)
 
 // Schema returns the provenance table schema.
 func Schema() relstore.TableSchema {
@@ -64,6 +77,42 @@ func Open(db *relstore.DB) (*Backend, error) {
 
 // DB exposes the underlying database (for size accounting).
 func (b *Backend) DB() *relstore.DB { return b.db }
+
+// EnableGroupCommit attaches a write-ahead log to the underlying database
+// and makes every Append and AppendBatch durable before returning — at a
+// constant fsync cost per call (one log sync plus one data sync), however
+// many records (Append) or whole batches (AppendBatch) it carries. This is
+// the group-commit write path of the sharded ingest pipeline; without it
+// the store is durable only at Flush/Close, as the paper's MySQL
+// deployment was at transaction boundaries. The log is checkpointed
+// (truncated) automatically as it grows, and closed by Close. After a
+// crash, repair torn pages with relstore.RecoverPager before reopening.
+func (b *Backend) EnableGroupCommit(w *relstore.WAL) {
+	// Log appends from buffer-pool evictions between commits stay
+	// unsynced — otherwise every eviction beyond the cache size would pay
+	// a per-page fsync, collapsing group commit back to per-record cost.
+	// GroupCommit's AppendGroup syncs the whole log (including those
+	// earlier appends) before the data-file sync, so every acknowledged
+	// group is still crash-safe.
+	w.SetSyncEvery(1 << 30)
+	b.db.AttachWAL(w)
+	b.wal = w
+	b.durable = true
+}
+
+// Close releases the underlying database and, if group commit was enabled,
+// its write-ahead log.
+func (b *Backend) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	err := b.db.Close()
+	if b.wal != nil {
+		if werr := b.wal.Close(); err == nil {
+			err = werr
+		}
+	}
+	return err
+}
 
 func toRow(r provstore.Record) (relstore.Row, error) {
 	if err := r.Validate(); err != nil {
@@ -106,24 +155,45 @@ func fromRow(row relstore.Row) (provstore.Record, error) {
 // trip; a duplicate {Tid, Loc} anywhere in the batch aborts it wholesale
 // (the table's primary key enforces the constraint).
 func (b *Backend) Append(recs []provstore.Record) error {
-	// Validate the whole batch before touching the table so a failed
-	// append stores nothing (matching MemBackend).
-	rows := make([]relstore.Row, 0, len(recs))
-	seen := make(map[string]struct{}, len(recs))
-	for _, r := range recs {
-		row, err := toRow(r)
-		if err != nil {
-			return err
+	return b.AppendBatch(recs)
+}
+
+// AppendBatch implements provstore.GroupCommitter: several record batches
+// — typically several committed transactions accumulated by the batching
+// ingest layer — are inserted and then made durable together with a single
+// GroupCommit (one WAL fsync), instead of one durability round trip per
+// batch. The whole group is validated before any row is inserted, so a
+// duplicate {Tid, Loc} anywhere across the group aborts it wholesale.
+func (b *Backend) AppendBatch(batches ...[]provstore.Record) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	total := 0
+	for _, recs := range batches {
+		total += len(recs)
+	}
+	if total == 0 {
+		return nil
+	}
+	// Validate every batch of the group before touching the table so a
+	// failed append stores nothing (matching MemBackend).
+	rows := make([]relstore.Row, 0, total)
+	seen := make(map[string]struct{}, total)
+	for _, recs := range batches {
+		for _, r := range recs {
+			row, err := toRow(r)
+			if err != nil {
+				return err
+			}
+			k := fmt.Sprintf("%d|%x", r.Tid, row[1])
+			if _, dup := seen[k]; dup {
+				return &provstore.DupKeyError{Tid: r.Tid, Loc: r.Loc}
+			}
+			seen[k] = struct{}{}
+			if _, err := b.tbl.Get(r.Tid, row[1]); err == nil {
+				return &provstore.DupKeyError{Tid: r.Tid, Loc: r.Loc}
+			}
+			rows = append(rows, row)
 		}
-		k := fmt.Sprintf("%d|%x", r.Tid, row[1])
-		if _, dup := seen[k]; dup {
-			return &provstore.DupKeyError{Tid: r.Tid, Loc: r.Loc}
-		}
-		seen[k] = struct{}{}
-		if _, err := b.tbl.Get(r.Tid, row[1]); err == nil {
-			return &provstore.DupKeyError{Tid: r.Tid, Loc: r.Loc}
-		}
-		rows = append(rows, row)
 	}
 	for i, row := range rows {
 		if err := b.tbl.Insert(row); err != nil {
@@ -132,11 +202,20 @@ func (b *Backend) Append(recs []provstore.Record) error {
 			return fmt.Errorf("relprov: appending record %d: %w", i, err)
 		}
 	}
+	if b.durable {
+		return b.db.GroupCommit()
+	}
 	return nil
 }
 
 // Lookup implements provstore.Backend.
 func (b *Backend) Lookup(tid int64, loc path.Path) (provstore.Record, bool, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.lookupLocked(tid, loc)
+}
+
+func (b *Backend) lookupLocked(tid int64, loc path.Path) (provstore.Record, bool, error) {
 	row, err := b.tbl.Get(tid, loc.AppendBinary(nil))
 	if err != nil {
 		if isNotFound(err) {
@@ -159,9 +238,11 @@ func isNotFound(err error) bool {
 // loc from deepest to shallowest within transaction tid. Like the stored
 // procedure of the paper's implementation, this is one logical round trip.
 func (b *Backend) NearestAncestor(tid int64, loc path.Path) (provstore.Record, bool, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	anc := loc.Ancestors()
 	for i := len(anc) - 1; i >= 0; i-- {
-		rec, ok, err := b.Lookup(tid, anc[i])
+		rec, ok, err := b.lookupLocked(tid, anc[i])
 		if err != nil || ok {
 			return rec, ok, err
 		}
@@ -171,6 +252,8 @@ func (b *Backend) NearestAncestor(tid int64, loc path.Path) (provstore.Record, b
 
 // ScanTid implements provstore.Backend.
 func (b *Backend) ScanTid(tid int64) ([]provstore.Record, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	prefix, err := b.tbl.KeyPrefix(tid)
 	if err != nil {
 		return nil, err
@@ -194,6 +277,12 @@ func (b *Backend) ScanTid(tid int64) ([]provstore.Record, error) {
 
 // ScanLoc implements provstore.Backend.
 func (b *Backend) ScanLoc(loc path.Path) ([]provstore.Record, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.scanLocLocked(loc)
+}
+
+func (b *Backend) scanLocLocked(loc path.Path) ([]provstore.Record, error) {
 	prefix, err := b.tbl.IndexPrefix("by_loc", loc.AppendBinary(nil))
 	if err != nil {
 		return nil, err
@@ -206,6 +295,8 @@ func (b *Backend) ScanLoc(loc path.Path) ([]provstore.Record, error) {
 // prefix-preserving, so a label-wise path prefix is a byte prefix of the
 // index key.
 func (b *Backend) ScanLocPrefix(prefix path.Path) ([]provstore.Record, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	// Escape the loc bytes exactly as the index key codec does, but
 	// without the terminator, so descendants (longer keys) match too.
 	full, err := b.tbl.IndexPrefix("by_loc", prefix.AppendBinary(nil))
@@ -240,9 +331,11 @@ func (b *Backend) scanIndex(prefix []byte, keep func(provstore.Record) bool) ([]
 // strict ancestor of it, across all transactions, via the location index
 // (server-side this is one pass, i.e. one logical round trip).
 func (b *Backend) ScanLocWithAncestors(loc path.Path) ([]provstore.Record, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	var out []provstore.Record
 	probe := func(p path.Path) error {
-		recs, err := b.ScanLoc(p)
+		recs, err := b.scanLocLocked(p)
 		if err != nil {
 			return err
 		}
@@ -272,6 +365,12 @@ func sortRecs(recs []provstore.Record) {
 
 // Tids implements provstore.Backend (a full scan; rarely used online).
 func (b *Backend) Tids() ([]int64, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.tidsLocked()
+}
+
+func (b *Backend) tidsLocked() ([]int64, error) {
 	var out []int64
 	var last int64
 	first := true
@@ -288,7 +387,9 @@ func (b *Backend) Tids() ([]int64, error) {
 
 // MaxTid implements provstore.Backend.
 func (b *Backend) MaxTid() (int64, error) {
-	tids, err := b.Tids()
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	tids, err := b.tidsLocked()
 	if err != nil || len(tids) == 0 {
 		return 0, err
 	}
@@ -297,10 +398,14 @@ func (b *Backend) MaxTid() (int64, error) {
 
 // Count implements provstore.Backend.
 func (b *Backend) Count() (int, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	return int(b.tbl.RowCount()), nil
 }
 
 // Bytes implements provstore.Backend.
 func (b *Backend) Bytes() (int64, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	return b.tbl.ByteSize(), nil
 }

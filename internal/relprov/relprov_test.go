@@ -90,6 +90,86 @@ func TestRelProvBasics(t *testing.T) {
 	}
 }
 
+// TestRelProvAppendBatch: a group of batches lands atomically per batch,
+// duplicate keys anywhere across the group abort it before insertion, and
+// with group commit enabled the rows survive reopening after an unclean
+// stop (durability came from the WAL, not Close).
+func TestRelProvAppendBatch(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "prov.rel")
+	db, err := relstore.Create(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := relprov.Create(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := relstore.CreateWAL(file + ".wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.EnableGroupCommit(w)
+
+	if err := b.AppendBatch(); err != nil {
+		t.Fatalf("empty group: %v", err)
+	}
+	batches := [][]provstore.Record{
+		{rec(1, provstore.OpInsert, "T/a", ""), rec(1, provstore.OpCopy, "T/b", "S/x")},
+		{rec(2, provstore.OpDelete, "T/a", "")},
+		{rec(3, provstore.OpInsert, "T/c", "")},
+	}
+	if err := b.AppendBatch(batches...); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := b.Count(); err != nil || n != 4 {
+		t.Fatalf("Count = %d, %v", n, err)
+	}
+	// Cross-batch duplicate within one group.
+	var dup *provstore.DupKeyError
+	err = b.AppendBatch(
+		[]provstore.Record{rec(9, provstore.OpInsert, "T/x", "")},
+		[]provstore.Record{rec(9, provstore.OpInsert, "T/x", "")},
+	)
+	if !errors.As(err, &dup) {
+		t.Fatalf("cross-batch dup: %v", err)
+	}
+	// The failed group inserted nothing: no partial batches.
+	if n, err := b.Count(); err != nil || n != 4 {
+		t.Fatalf("failed group left partial rows: Count = %d, %v", n, err)
+	}
+	if _, ok, _ := b.Lookup(9, path.MustParse("T/x")); ok {
+		t.Fatal("failed group's first batch was stored")
+	}
+	// Duplicate against stored rows.
+	if err := b.AppendBatch([]provstore.Record{rec(1, provstore.OpInsert, "T/a", "")}); !errors.As(err, &dup) {
+		t.Fatalf("stored dup: %v", err)
+	}
+
+	// The group commit made rows durable without Flush/Close: recover the
+	// store file from the WAL and reopen.
+	w.Close()
+	if _, err := relstore.RecoverPager(file, file+".wal"); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := relstore.Open(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	b2, err := relprov.Open(db2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := b2.Count(); err != nil || n != 4 {
+		t.Fatalf("reopened Count = %d, %v", n, err)
+	}
+	if r, ok, err := b2.Lookup(3, path.MustParse("T/c")); err != nil || !ok || r.Op != provstore.OpInsert {
+		t.Fatalf("reopened Lookup = %v/%v/%v", r, ok, err)
+	}
+	db.Close()
+}
+
 func TestRelProvDupKey(t *testing.T) {
 	b := newBackend(t)
 	if err := b.Append([]provstore.Record{rec(1, provstore.OpInsert, "T/a", "")}); err != nil {

@@ -147,6 +147,42 @@ func (bp *BufferPool) Free(id PageID) error {
 	return bp.pager.Free(pg)
 }
 
+// FlushGroup writes back every dirty page as one group commit: the pages
+// reach the write-ahead log with a single fsync (Pager.WriteGroup), then
+// the data file — including the pager header, whose writes bypass the log —
+// is synced once. A constant number of fsyncs per group, however many
+// records dirtied the pages: the log fsync guards against torn data-file
+// writes, the data fsync makes the group (and the header) durable. After
+// the data sync every logged image is redundant, so the log is truncated
+// once it grows past a threshold (checkpoint).
+func (bp *BufferPool) FlushGroup() error {
+	bp.mu.Lock()
+	var dirty []*Page
+	var frames []*frame
+	for _, f := range bp.frames {
+		if f.dirty {
+			dirty = append(dirty, f.page)
+			frames = append(frames, f)
+		}
+	}
+	if len(dirty) == 0 {
+		bp.mu.Unlock()
+		return nil
+	}
+	if err := bp.pager.WriteGroup(dirty); err != nil {
+		bp.mu.Unlock()
+		return err
+	}
+	for _, f := range frames {
+		f.dirty = false
+	}
+	bp.mu.Unlock()
+	if err := bp.pager.Sync(); err != nil {
+		return err
+	}
+	return bp.pager.checkpointIfLarge()
+}
+
 // FlushAll writes back every dirty page and syncs the file.
 func (bp *BufferPool) FlushAll() error {
 	bp.mu.Lock()

@@ -206,6 +206,31 @@ func (db *DB) tableNamesLocked() []string {
 	return out
 }
 
+// AttachWAL write-ahead-logs every subsequent page write of this database.
+// With a log attached, GroupCommit makes a batch of logical writes durable
+// with a single fsync.
+func (db *DB) AttachWAL(w *WAL) {
+	db.bp.Pager().AttachWAL(w)
+}
+
+// GroupCommit makes everything written so far durable at a constant number
+// of fsyncs: the catalog is refreshed and every dirty page flushes as one
+// page group — one log fsync (torn-write protection) plus one data-file
+// sync (durability, covering the header), however many records the group
+// carries. This is the commit primitive behind relprov's AppendBatch; when
+// it returns, the committed state survives a crash (an in-flight group
+// that never returned may be lost, and torn pages it left behind are
+// repaired from the log on reopen).
+func (db *DB) GroupCommit() error {
+	db.mu.Lock()
+	if err := db.flushCatalogLocked(); err != nil {
+		db.mu.Unlock()
+		return err
+	}
+	db.mu.Unlock()
+	return db.bp.FlushGroup()
+}
+
 // Flush persists the catalog and all dirty pages.
 func (db *DB) Flush() error {
 	db.mu.Lock()

@@ -97,6 +97,38 @@ func (w *WAL) SetSyncEvery(n int) {
 func (w *WAL) Append(pg *Page) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if err := w.appendLocked(pg); err != nil {
+		return err
+	}
+	w.sinceSync++
+	if w.sinceSync >= w.syncEvery {
+		w.sinceSync = 0
+		return w.f.Sync()
+	}
+	return nil
+}
+
+// AppendGroup logs a batch of page images with a single sync at the end —
+// the group commit of the ingest pipeline: however many records (or whole
+// transactions) dirtied these pages, the log pays one fsync for all of
+// them, not one per record.
+func (w *WAL) AppendGroup(pgs []*Page) error {
+	if len(pgs) == 0 {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, pg := range pgs {
+		if err := w.appendLocked(pg); err != nil {
+			return err
+		}
+	}
+	w.sinceSync = 0
+	return w.f.Sync()
+}
+
+// appendLocked writes one log record without syncing. Caller holds mu.
+func (w *WAL) appendLocked(pg *Page) error {
 	w.lsn++
 	var hdr [walHeaderSize]byte
 	binary.BigEndian.PutUint32(hdr[0:], walMagic)
@@ -107,15 +139,8 @@ func (w *WAL) Append(pg *Page) error {
 	if _, err := w.f.Write(hdr[:]); err != nil {
 		return err
 	}
-	if _, err := w.f.Write(pg.buf[:]); err != nil {
-		return err
-	}
-	w.sinceSync++
-	if w.sinceSync >= w.syncEvery {
-		w.sinceSync = 0
-		return w.f.Sync()
-	}
-	return nil
+	_, err := w.f.Write(pg.buf[:])
+	return err
 }
 
 // scan reads the log from the start, calling apply (if non-nil) for every
@@ -220,6 +245,69 @@ func (p *Pager) AttachWAL(w *WAL) {
 	p.mu.Lock()
 	p.wal = w
 	p.mu.Unlock()
+}
+
+// HasWAL reports whether a write-ahead log is attached.
+func (p *Pager) HasWAL() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.wal != nil
+}
+
+// walCheckpointBytes bounds the attached log's growth: once the data file
+// has been synced (so every logged image is redundant) and the log exceeds
+// this size, it is truncated.
+const walCheckpointBytes = 4 << 20
+
+// checkpointIfLarge truncates the attached log if it has grown past the
+// checkpoint threshold. Call only after a data-file sync.
+func (p *Pager) checkpointIfLarge() error {
+	p.mu.Lock()
+	w := p.wal
+	p.mu.Unlock()
+	if w == nil {
+		return nil
+	}
+	size, err := w.Size()
+	if err != nil {
+		return err
+	}
+	if size < walCheckpointBytes {
+		return nil
+	}
+	return w.Truncate()
+}
+
+// WriteGroup seals and persists a batch of pages as one group commit: all
+// images reach the attached log first with a single fsync (AppendGroup),
+// then the data file. With no log attached it degrades to plain writes; the
+// caller is then responsible for syncing the data file.
+func (p *Pager) WriteGroup(pgs []*Page) error {
+	if len(pgs) == 0 {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.readOnly {
+		return ErrReadOnly
+	}
+	for _, pg := range pgs {
+		if pg.ID == InvalidPage || pg.ID >= p.pages {
+			return fmt.Errorf("%w: %d (have %d)", ErrOutOfRange, pg.ID, p.pages)
+		}
+	}
+	if p.wal != nil {
+		if err := p.wal.AppendGroup(pgs); err != nil {
+			return fmt.Errorf("relstore: logging page group: %w", err)
+		}
+	}
+	for _, pg := range pgs {
+		pg.seal()
+		if _, err := p.f.WriteAt(pg.buf[:], int64(pg.ID)*PageSize); err != nil {
+			return fmt.Errorf("relstore: writing page %d: %w", pg.ID, err)
+		}
+	}
+	return nil
 }
 
 // Checkpoint syncs the data file and truncates the attached log.

@@ -21,6 +21,22 @@ type Config struct {
 	// Backend persists provenance records; the default is an in-memory
 	// store. Use CreateRelBackend for the relational store.
 	Backend Backend
+	// Shards partitions the provenance store across N independently
+	// locked shards by hash of each record's root-relative location, so
+	// concurrent ingest and queries against the store use more than one
+	// core. The default (0 or 1) is today's single store. With a nil
+	// Backend, N in-memory shards are created; a non-nil Backend must
+	// already be sharded (NewShardedMemBackend or NewShardedBackend) when
+	// Shards > 1. Sessions sharing one backend must partition the
+	// transaction-id space via StartTid.
+	Shards int
+	// BatchSize groups provenance appends into batches of at least N
+	// records flushed together as one group commit — one store round trip
+	// (and, for a WAL-backed store, a constant fsync cost) per batch
+	// instead of per append. Queries read through the buffer, so results
+	// never lag. The default (0 or 1) writes through, exactly today's
+	// behavior.
+	BatchSize int
 	// StartTid numbers the first transaction (default 1).
 	StartTid int64
 	// AutoCommitEvery, when positive, commits after every N operations
@@ -48,8 +64,18 @@ func New(cfg Config) (*Session, error) {
 		return nil, errors.New("cpdb: Config.Target is required")
 	}
 	backend := cfg.Backend
-	if backend == nil {
+	switch {
+	case backend == nil && cfg.Shards > 1:
+		backend = provstore.NewShardedMem(cfg.Shards)
+	case backend == nil:
 		backend = provstore.NewMemBackend()
+	case cfg.Shards > 1:
+		if _, ok := backend.(*provstore.ShardedBackend); !ok {
+			return nil, errors.New("cpdb: Config.Shards > 1 needs a sharded backend (NewShardedMemBackend / NewShardedBackend) or a nil Backend")
+		}
+	}
+	if cfg.BatchSize > 1 {
+		backend = provstore.NewBatching(backend, cfg.BatchSize)
 	}
 	tracker, err := provstore.New(cfg.Method, provstore.Config{
 		Backend:            backend,
@@ -91,6 +117,12 @@ func (s *Session) BackendStore() Backend { return s.backend }
 func (s *Session) View() *Node { return s.editor.TargetView() }
 
 // --- editing ---------------------------------------------------------------
+
+// Flush pushes any provenance appends buffered by Config.BatchSize down to
+// the store as one group commit. Queries flush implicitly; call Flush to
+// bound the un-persisted tail explicitly (e.g. before process exit). It is
+// a no-op for write-through configurations.
+func (s *Session) Flush() error { return provstore.Flush(s.backend) }
 
 // Begin opens a provenance transaction explicitly (operations auto-begin).
 func (s *Session) Begin() error { return s.editor.Begin() }
