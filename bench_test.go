@@ -11,6 +11,7 @@ package cpdb_test
 // DESIGN.md §4 (A1–A4).
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -177,7 +178,7 @@ func BenchmarkAblation_InferOnTheFly(b *testing.B) {
 	loc := path.MustParse("T/c3/y") // inferred from the copy at T/c3
 	b.Run("on-the-fly", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, ok, err := provstore.Effective(tr.Backend(), figures.FirstTid, loc); err != nil || !ok {
+			if _, ok, err := provstore.Effective(context.Background(), tr.Backend(), figures.FirstTid, loc); err != nil || !ok {
 				b.Fatal(err)
 			}
 		}
@@ -299,7 +300,7 @@ func BenchmarkAblation_RedundantLinks(b *testing.B) {
 				if _, err := provtest.Run(tr, f, seq, 0); err != nil {
 					b.Fatal(err)
 				}
-				rows, _ = tr.Backend().Count()
+				rows, _ = tr.Backend().Count(context.Background())
 			}
 			b.ReportMetric(float64(rows), "rows")
 		})
@@ -358,7 +359,7 @@ func BenchmarkShardedIngest(b *testing.B) {
 					b.Fatal(err)
 				}
 				b.StopTimer()
-				n, err := backend.Count()
+				n, err := backend.Count(context.Background())
 				if err != nil || n != workers*c.opsPerW {
 					b.Fatalf("stored %d records (err=%v), want %d", n, err, workers*c.opsPerW)
 				}
@@ -410,7 +411,7 @@ func BenchmarkQueries(b *testing.B) {
 		b.Fatal(err)
 	}
 	eng := provquery.New(tr.Backend())
-	tnow, _ := eng.MaxTid()
+	tnow, _ := eng.MaxTid(context.Background())
 	var locs []path.Path
 	// Collect probe locations from stored records (guaranteed touched).
 	recs, _ := provtest.AllSorted(tr.Backend())
@@ -422,19 +423,19 @@ func BenchmarkQueries(b *testing.B) {
 	}
 	b.Run("src", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			eng.Src(locs[i%len(locs)], tnow)
+			eng.Src(context.Background(), locs[i%len(locs)], tnow)
 		}
 	})
 	b.Run("hist", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := eng.Hist(locs[i%len(locs)], tnow); err != nil {
+			if _, err := eng.Hist(context.Background(), locs[i%len(locs)], tnow); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("mod", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := eng.Mod(locs[i%len(locs)], tnow); err != nil {
+			if _, err := eng.Mod(context.Background(), locs[i%len(locs)], tnow); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -38,6 +38,10 @@ type CLIConfig struct {
 	Method string
 	// CommitEvery auto-commits every N operations (0 = one commit at end).
 	CommitEvery int
+	// Backend is a provenance-store DSN for OpenBackend ("mem://?shards=8",
+	// "rel://prov.db?create=1&durable=1", "sharded://?…"); empty means the
+	// in-memory default.
+	Backend string
 	// Shards partitions the provenance store (see Config.Shards).
 	Shards int
 	// BatchSize groups provenance appends (see Config.BatchSize).
@@ -97,19 +101,31 @@ func RunCLI(cfg CLIConfig, w io.Writer) error {
 		return fmt.Errorf("cpdb: need -demo or -target NAME=file.xml")
 	}
 
+	var backend Backend
+	if cfg.Backend != "" {
+		backend, err = OpenBackend(cfg.Backend)
+		if err != nil {
+			return err
+		}
+	}
 	s, err := New(Config{
 		Target:          target,
 		Sources:         sources,
 		Method:          method,
+		Backend:         backend,
 		AutoCommitEvery: cfg.CommitEvery,
 		Shards:          cfg.Shards,
 		BatchSize:       cfg.BatchSize,
 	})
 	if err != nil {
+		if backend != nil {
+			provstore.Close(backend)
+		}
 		return err
 	}
-	// Whatever the batching layer still buffers at exit is pushed down.
-	defer s.Flush()
+	// Whatever the batching layer still buffers at exit is pushed down, and
+	// file-backed stores opened from the DSN release their files.
+	defer s.Close()
 
 	if cfg.Script != "" {
 		var script []byte

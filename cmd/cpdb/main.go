@@ -32,6 +32,7 @@ func main() {
 	flag.Var(&cfg.SourceSpecs, "source", "source database as NAME=file.xml (repeatable)")
 	flag.StringVar(&cfg.Script, "script", "", "update script file ('-' for stdin)")
 	flag.StringVar(&cfg.Method, "method", "HT", "provenance method: N, H, T, HT")
+	flag.StringVar(&cfg.Backend, "backend", "", `provenance store DSN, e.g. "mem://?shards=8" or "rel://prov.db?create=1&durable=1"`)
 	flag.IntVar(&cfg.CommitEvery, "commit-every", 5, "auto-commit every N operations (0 = manual)")
 	flag.IntVar(&cfg.Shards, "shards", 1, "partition the provenance store across N shards")
 	flag.IntVar(&cfg.BatchSize, "batch", 1, "group-commit provenance appends in batches of N records")

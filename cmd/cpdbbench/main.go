@@ -31,6 +31,7 @@ func main() {
 		long      = flag.Int("steps-long", 0, "override the 14000-step runs")
 		seed      = flag.Int64("seed", 0, "override the workload seed")
 		dir       = flag.String("dir", "", "scratch directory for store files")
+		backend   = flag.String("backend", "", `provenance-store DSN template for -exp shard, e.g. "mem://?shards=4" or "rel://{dir}/p{batch}.db?create=1&durable=1"`)
 	)
 	flag.Parse()
 
@@ -55,6 +56,7 @@ func main() {
 		rc.Seed = *seed
 	}
 	rc.Dir = *dir
+	rc.BackendDSN = *backend
 	if rc.Dir == "" {
 		tmp, err := os.MkdirTemp("", "cpdbbench-")
 		if err != nil {

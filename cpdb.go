@@ -1,11 +1,15 @@
 package cpdb
 
 import (
+	"errors"
+	"fmt"
+	"io/fs"
+
 	"repro/internal/netsim"
 	"repro/internal/path"
 	"repro/internal/provquery"
 	"repro/internal/provstore"
-	"repro/internal/relprov"
+	_ "repro/internal/relprov" // registers the rel:// backend driver
 	"repro/internal/relstore"
 	"repro/internal/tree"
 	"repro/internal/update"
@@ -28,6 +32,12 @@ type (
 	Record = provstore.Record
 	// Backend persists provenance records.
 	Backend = provstore.Backend
+	// DSN is a parsed backend data source name (see OpenBackend).
+	DSN = provstore.DSN
+	// Driver opens backends for one DSN scheme (see RegisterDriver).
+	Driver = provstore.Driver
+	// DriverFunc adapts a function to the Driver interface.
+	DriverFunc = provstore.DriverFunc
 	// Source is a wrapped, browsable database (Figure 6 SourceDB).
 	Source = wrapper.Source
 	// Target is a wrapped, editable database (Figure 6 TargetDB).
@@ -88,14 +98,17 @@ func NewMemSource(name string, initial *Node) Source {
 	return wrapper.NewXMLTarget(xmlstore.NewMem(name, initial))
 }
 
-// OpenFileTarget opens (or creates) a file-persisted tree-database target.
+// OpenFileTarget opens a file-persisted tree-database target, creating the
+// file (with the given initial tree) only when it does not exist yet. An
+// existing but unreadable or corrupt file is an error — re-initializing it
+// would silently discard the curated database.
 func OpenFileTarget(name, file string, initial *Node) (Target, error) {
 	s, err := xmlstore.Open(name, file)
-	if err != nil {
+	if errors.Is(err, fs.ErrNotExist) {
 		s, err = xmlstore.Create(name, file, initial)
-		if err != nil {
-			return nil, err
-		}
+	}
+	if err != nil {
+		return nil, err
 	}
 	return wrapper.NewXMLTarget(s), nil
 }
@@ -106,8 +119,56 @@ func NewRelSource(name string, db *relstore.DB, tables ...string) Source {
 	return wrapper.NewRelSource(name, db, tables...)
 }
 
+// --- provenance store openers ----------------------------------------------
+
+// OpenBackend opens a provenance store from a data source name, dispatching
+// on its URI scheme through the backend driver registry (see
+// RegisterDriver). Built-in schemes:
+//
+//	mem://                              in-memory store
+//	mem://?shards=8                     8 hash-partitioned in-memory shards
+//	rel://prov.db?create=1              relational store in prov.db
+//	rel://prov.db?create=1&durable=1    … with WAL-backed group commit
+//	rel://prov.db?durable=1             reopen after a crash (log replay)
+//	sharded://?shards=4&each=rel%3A%2F%2Fs%25d.db%3Fcreate%3D1
+//	                                    4 relational shards s0.db … s3.db
+//	                                    (each is a URL-escaped DSN template,
+//	                                    %d = shard index)
+//	sharded://?shard=mem://&shard=mem://
+//	                                    explicit per-shard DSNs
+//
+// Backends holding files (rel, sharded-over-rel) are released by
+// Session.Close, or directly by type-asserting to io.Closer.
+func OpenBackend(dsn string) (Backend, error) {
+	return provstore.OpenDSN(dsn)
+}
+
+// ParseDSN parses a backend data source name without opening it.
+func ParseDSN(dsn string) (DSN, error) { return provstore.ParseDSN(dsn) }
+
+// RegisterDriver makes a backend driver available to OpenBackend under the
+// given DSN scheme, as database/sql.Register does for SQL drivers. It
+// panics on a duplicate scheme, so third-party drivers register from an
+// init function.
+func RegisterDriver(scheme string, d Driver) { provstore.RegisterDriver(scheme, d) }
+
+// BackendSchemes returns the registered DSN schemes, sorted.
+func BackendSchemes() []string { return provstore.Drivers() }
+
+// mustOpen opens a DSN that cannot fail (the constructor wrappers below
+// build them from validated inputs).
+func mustOpen(dsn string) Backend {
+	b, err := provstore.OpenDSN(dsn)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
 // NewMemBackend returns an in-memory provenance store backend.
-func NewMemBackend() Backend { return provstore.NewMemBackend() }
+//
+// Equivalent to OpenBackend("mem://"), kept stable for existing callers.
+func NewMemBackend() Backend { return mustOpen("mem://") }
 
 // NewShardedMemBackend returns a provenance backend partitioned across n
 // independently locked in-memory shards by hash of each record's
@@ -116,22 +177,35 @@ func NewMemBackend() Backend { return provstore.NewMemBackend() }
 // partition the transaction-id space via Config.StartTid — each session
 // numbers its own transactions, and colliding {Tid, Loc} keys are rejected
 // as duplicates.
-func NewShardedMemBackend(n int) Backend { return provstore.NewShardedMem(n) }
+//
+// Equivalent to OpenBackend("mem://?shards=N"), kept stable for existing
+// callers.
+func NewShardedMemBackend(n int) Backend {
+	if n < 1 {
+		n = 1
+	}
+	return mustOpen(fmt.Sprintf("mem://?shards=%d", n))
+}
 
 // NewShardedBackend partitions provenance records across the given shard
-// stores (e.g. one relational store per shard). See NewShardedMemBackend.
+// stores (e.g. one relational store per shard). See NewShardedMemBackend;
+// for stores expressible as DSNs, prefer OpenBackend("sharded://?…").
 func NewShardedBackend(shards ...Backend) (Backend, error) {
 	return provstore.NewSharded(shards...)
 }
 
+// relDSN builds the rel:// DSN for a store file, escaping the path.
+func relDSN(file, params string) string {
+	return "rel://" + provstore.EscapeDSNPath(file) + params
+}
+
 // CreateRelBackend creates a relational provenance store in a new database
 // file, as the paper stored its Prov table in MySQL.
+//
+// Equivalent to OpenBackend("rel://FILE?create=1"), kept stable for
+// existing callers.
 func CreateRelBackend(file string) (Backend, error) {
-	db, err := relstore.Create(file)
-	if err != nil {
-		return nil, err
-	}
-	return relprov.Create(db)
+	return OpenBackend(relDSN(file, "?create=1"))
 }
 
 // CreateDurableRelBackend creates a relational provenance store with a
@@ -139,62 +213,37 @@ func CreateRelBackend(file string) (Backend, error) {
 // durable before it returns, at a constant fsync cost per batch — pair
 // with Config.BatchSize to amortize it over many transactions. Reopen with
 // OpenDurableRelBackend (which also repairs torn pages after a crash), and
-// release the files by type-asserting the backend to io.Closer.
+// release the files with Session.Close (or by closing the backend).
+//
+// Equivalent to OpenBackend("rel://FILE?create=1&durable=1"), kept stable
+// for existing callers.
 func CreateDurableRelBackend(file string) (Backend, error) {
-	db, err := relstore.Create(file)
-	if err != nil {
-		return nil, err
-	}
-	w, err := relstore.CreateWAL(file + ".wal")
-	if err != nil {
-		db.Close()
-		return nil, err
-	}
-	b, err := relprov.Create(db)
-	if err != nil {
-		w.Close()
-		db.Close()
-		return nil, err
-	}
-	b.EnableGroupCommit(w)
-	return b, nil
+	return OpenBackend(relDSN(file, "?create=1&durable=1"))
 }
 
 // OpenRelBackend opens an existing relational provenance store.
+//
+// Equivalent to OpenBackend("rel://FILE"), kept stable for existing
+// callers.
 func OpenRelBackend(file string) (Backend, error) {
-	db, err := relstore.Open(file)
-	if err != nil {
-		return nil, err
-	}
-	return relprov.Open(db)
+	return OpenBackend(relDSN(file, ""))
 }
 
 // OpenDurableRelBackend reopens a store created by CreateDurableRelBackend:
 // it first replays the write-ahead log over the store file, repairing any
 // torn pages a crash left behind, then resumes group-commit operation on
 // the same log.
+//
+// Equivalent to OpenBackend("rel://FILE?durable=1"), kept stable for
+// existing callers.
 func OpenDurableRelBackend(file string) (Backend, error) {
-	if _, err := relstore.RecoverPager(file, file+".wal"); err != nil {
-		return nil, err
-	}
-	db, err := relstore.Open(file)
-	if err != nil {
-		return nil, err
-	}
-	w, err := relstore.OpenWAL(file + ".wal")
-	if err != nil {
-		db.Close()
-		return nil, err
-	}
-	b, err := relprov.Open(db)
-	if err != nil {
-		w.Close()
-		db.Close()
-		return nil, err
-	}
-	b.EnableGroupCommit(w)
-	return b, nil
+	return OpenBackend(relDSN(file, "?durable=1"))
 }
+
+// CloseBackend flushes and closes a backend opened with OpenBackend (or any
+// constructor) without going through a Session — sessions normally release
+// their backend via Session.Close.
+func CloseBackend(b Backend) error { return provstore.Close(b) }
 
 // NewFederation returns an empty provenance federation for Own queries.
 func NewFederation() *Federation { return provquery.NewFederation() }

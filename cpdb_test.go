@@ -1,6 +1,7 @@
 package cpdb_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -197,7 +198,7 @@ func TestDurableRelBackend(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer b2.(io.Closer).Close()
-	n2, err := b2.Count()
+	n2, err := b2.Count(context.Background())
 	if err != nil || n2 != n {
 		t.Fatalf("reopened count = %d, %v; want %d", n2, err, n)
 	}
@@ -331,7 +332,7 @@ func TestFederationAPI(t *testing.T) {
 	a.Commit()
 	fed := cpdb.NewFederation()
 	cpdb.RegisterProvenance(fed, a)
-	steps, err := fed.Own(cpdb.MustParsePath("T/x/y"))
+	steps, err := fed.Own(context.Background(), cpdb.MustParsePath("T/x/y"))
 	if err != nil || len(steps) != 2 {
 		t.Fatalf("Own = %+v, %v", steps, err)
 	}

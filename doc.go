@@ -23,13 +23,18 @@
 //
 // # Quick start
 //
-//	target := cpdb.NewMemTarget("MyDB", nil)
-//	source := cpdb.NewMemSource("SwissProt", swissprotTree)
+// The provenance database is picked by configuration: OpenBackend resolves
+// a DSN ("mem://", "mem://?shards=8", "rel://prov.db?create=1&durable=1",
+// "sharded://?…") through a driver registry modeled on database/sql, and
+// RegisterDriver adds third-party schemes.
+//
+//	backend, err := cpdb.OpenBackend("rel://prov.db?create=1&durable=1")
 //	s, err := cpdb.New(cpdb.Config{
-//		Target:  target,
-//		Sources: []cpdb.Source{source},
+//		Target:  cpdb.NewMemTarget("MyDB", nil),
+//		Sources: []cpdb.Source{cpdb.NewMemSource("SwissProt", swissprotTree)},
+//		Backend: backend,
 //	})
-//	...
+//	defer s.Close() // flush buffered appends, release the store's files
 //	err = s.Run(`
 //		insert {ABC1 : {}} into MyDB;
 //		copy SwissProt/O95477 into MyDB/ABC1/entry;
@@ -37,7 +42,24 @@
 //	tid, err := s.Commit()
 //	hist, err := s.Hist(cpdb.MustParsePath("MyDB/ABC1/entry"))
 //
+// Queries come in two forms: the plain Session methods above, and the
+// Query handle, which adds time travel, cancellation and streaming:
+//
+//	then, err := s.Query(cpdb.AsOf(tid)).Trace(p)       // answers as of txn tid
+//	mods, err := s.Query(cpdb.WithContext(ctx)).Mod(p)  // cancellable scatter-gather
+//	for rec, err := range s.Query().Records(ctx) { … }  // streamed Figure 5 table
+//
+// # Deprecated-but-stable constructors
+//
+// The original backend constructors — NewMemBackend, NewShardedMemBackend,
+// CreateRelBackend, OpenRelBackend, CreateDurableRelBackend,
+// OpenDurableRelBackend — predate the DSN opener. They remain supported
+// and are now thin wrappers over OpenBackend; new code should prefer
+// OpenBackend (each constructor's doc comment names its DSN equivalent).
+// NewShardedBackend stays primitive: it composes already-opened stores
+// that need not be DSN-expressible.
+//
 // See the examples/ directory for complete programs, DESIGN.md for the
-// system inventory, and EXPERIMENTS.md for the reproduction of the paper's
-// evaluation.
+// system inventory (§2a covers the DSN grammar and query handle), and
+// EXPERIMENTS.md for the reproduction of the paper's evaluation.
 package cpdb

@@ -20,6 +20,8 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 
 	cpdb "repro"
 )
@@ -52,6 +54,18 @@ func main() {
 		"12504680": cpdb.M{"journal": "Curr Opin Lipidol", "year": "2002"},
 	})
 
+	// The provenance store outlives the session: a durable relational
+	// store (WAL-backed group commit), opened by DSN.
+	dir, err := os.MkdirTemp("", "biocuration-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	backend, err := cpdb.OpenBackend("rel://" + filepath.Join(dir, "prov.db") + "?create=1&durable=1")
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	session, err := cpdb.New(cpdb.Config{
 		Target: cpdb.NewMemTarget("MyDB", nil),
 		Sources: []cpdb.Source{
@@ -60,11 +74,14 @@ func main() {
 			cpdb.NewMemSource("NCBI", ncbi),
 			cpdb.NewMemSource("PubMed", pubmed),
 		},
-		Method: cpdb.HierTrans,
+		Method:  cpdb.HierTrans,
+		Backend: backend,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Close flushes buffered appends and releases the store's files.
+	defer session.Close()
 
 	// (a) Copy the interesting proteins from SwissProt; one commit per
 	// curation session keeps the provenance readable.
@@ -136,6 +153,23 @@ func main() {
 	}
 	if ok {
 		fmt.Printf("  the Publications folder itself was created locally in txn %d\n", src)
+	}
+
+	// Time travel: what did the pubmed field's history look like before the
+	// correction? AsOf(3) answers every query as of the end of txn 3 —
+	// before txn 4 overwrote the field — so the audit can compare the story
+	// then with the story now.
+	fmt.Println()
+	fmt.Println("Time travel — the same trace as of txn 3 (before the fix):")
+	then, err := session.Query(cpdb.AsOf(3)).Trace(cpdb.MustParsePath("MyDB/ABC1/Publications/600046/pubmed"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ev := range then.Events {
+		fmt.Printf("  as of txn 3: %s\n", ev)
+	}
+	if then.Origin == cpdb.OriginExternal {
+		fmt.Printf("  ⇒ as of txn 3 the field still carried the value copied from %s\n", then.External)
 	}
 }
 

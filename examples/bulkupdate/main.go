@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -84,7 +85,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	exactRows, _ := exact.Backend().Count()
+	exactRows, _ := exact.Backend().Count(context.Background())
 	fmt.Printf("exact transactional provenance: %d records\n", exactRows)
 	fmt.Printf("approximate provenance:         %d record (%s)\n\n",
 		astore.Count(), astore.All()[0])
@@ -98,7 +99,7 @@ func main() {
 		astore.CannotComeFrom(tid, loc, cpdb.MustParsePath("Bib/ref{42}/title")))
 
 	// Soundness check against the exact store, record by record.
-	recs, _ := exact.Backend().ScanTid(tid)
+	recs, _ := exact.Backend().ScanTid(context.Background(), tid)
 	excluded := 0
 	for _, r := range recs {
 		if astore.CannotComeFrom(tid, r.Loc, r.Src) {

@@ -14,8 +14,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 
 	cpdb "repro"
 
@@ -29,15 +32,33 @@ func main() {
 		"AF00003": cpdb.M{"gene": "LDLR", "organism": "H.sapiens", "len": "5173"},
 	})
 
+	// Both curated databases keep their provenance in durable relational
+	// stores (WAL-backed), opened by DSN — a federation normally spans
+	// stores that outlive any one session.
+	dir, err := os.MkdirTemp("", "federation-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	openDurable := func(name string) cpdb.Backend {
+		b, err := cpdb.OpenBackend("rel://" + filepath.Join(dir, name) + "?create=1&durable=1")
+		if err != nil {
+			log.Fatal(err)
+		}
+		return b
+	}
+
 	// Curator A copies two records from GenBankish into CuratedA.
 	sessA, err := cpdb.New(cpdb.Config{
 		Target:  cpdb.NewMemTarget("CuratedA", nil),
 		Sources: []cpdb.Source{cpdb.NewMemSource("GenBankish", genbank)},
 		Method:  cpdb.Naive,
+		Backend: openDurable("curated-a.db"),
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer sessA.Close()
 	must(sessA.Run(`
 		copy GenBankish/AF00001 into CuratedA/abca1;
 		copy GenBankish/AF00002 into CuratedA/apoe;
@@ -51,11 +72,13 @@ func main() {
 			cpdb.NewMemSource("CuratedA", sessA.View()),
 			cpdb.NewMemSource("GenBankish", genbank),
 		},
-		Method: cpdb.Naive,
+		Method:  cpdb.Naive,
+		Backend: openDurable("curated-b.db"),
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer sessB.Close()
 	must(sessB.Run(`
 		copy CuratedA/abca1 into CuratedB/cholesterol-gene;
 		copy GenBankish/AF00003 into CuratedB/ldlr;
@@ -68,7 +91,7 @@ func main() {
 	cpdb.RegisterProvenance(fed, sessB)
 
 	fmt.Println("Ownership history of CuratedB/cholesterol-gene/gene:")
-	steps, err := fed.Own(cpdb.MustParsePath("CuratedB/cholesterol-gene/gene"))
+	steps, err := fed.Own(context.Background(), cpdb.MustParsePath("CuratedB/cholesterol-gene/gene"))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -82,7 +105,7 @@ func main() {
 	// --- Reconstruction: GenBankish disappears --------------------------
 	fmt.Println()
 	fmt.Println("GenBankish has disappeared. Reconstructing it from the curated databases:")
-	res, err := archive.Reconstruct("GenBankish", []archive.Witness{
+	res, err := archive.Reconstruct(context.Background(), "GenBankish", []archive.Witness{
 		{DB: "CuratedA", Backend: sessA.BackendStore(), State: stripDB(sessA)},
 		{DB: "CuratedB", Backend: sessB.BackendStore(), State: stripDB(sessB)},
 	})

@@ -1,6 +1,7 @@
 package approx_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -163,7 +164,7 @@ func TestApproxIsSound(t *testing.T) {
 
 	// Approximate record: one row total.
 	as := approx.NewStore()
-	tids, _ := exact.Backend().Tids()
+	tids, _ := exact.Backend().Tids(context.Background())
 	for _, tid := range tids {
 		if err := as.Append(bulk.Record(tid)); err != nil {
 			t.Fatal(err)
@@ -175,7 +176,7 @@ func TestApproxIsSound(t *testing.T) {
 
 	// Soundness: every exact copy link is admitted by the approximation.
 	for _, tid := range tids {
-		recs, _ := exact.Backend().ScanTid(tid)
+		recs, _ := exact.Backend().ScanTid(context.Background(), tid)
 		for _, r := range recs {
 			if r.Op != provstore.OpCopy {
 				continue
@@ -189,7 +190,7 @@ func TestApproxIsSound(t *testing.T) {
 		}
 	}
 	// Storage: 1 approximate record vs 6 exact rows (3 copies × size 2).
-	n, _ := exact.Backend().Count()
+	n, _ := exact.Backend().Count(context.Background())
 	if n <= as.Count() {
 		t.Errorf("exact rows %d should exceed approximate %d", n, as.Count())
 	}

@@ -14,6 +14,7 @@
 package archive
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -188,19 +189,19 @@ type Reconstructed struct {
 // nothing", §5): data never copied is unrecoverable, and data modified in
 // the witness after copying reconstructs to the modified value, flagged as
 // a conflict when two witnesses disagree.
-func Reconstruct(lost string, witnesses []Witness) (*Reconstructed, error) {
+func Reconstruct(ctx context.Context, lost string, witnesses []Witness) (*Reconstructed, error) {
 	res := &Reconstructed{
 		Tree:     tree.NewTree(),
 		Evidence: make(map[string][]string),
 	}
 	conflict := make(map[string]bool)
 	for _, w := range witnesses {
-		tids, err := w.Backend.Tids()
+		tids, err := w.Backend.Tids(ctx)
 		if err != nil {
 			return nil, err
 		}
 		for _, tid := range tids {
-			recs, err := w.Backend.ScanTid(tid)
+			recs, err := w.Backend.ScanTid(ctx, tid)
 			if err != nil {
 				return nil, err
 			}

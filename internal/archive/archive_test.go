@@ -1,6 +1,7 @@
 package archive_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/archive"
@@ -119,7 +120,7 @@ func TestReconstructLostSource(t *testing.T) {
 		copy S/itemA/v into T2/justV;
 	`)
 
-	res, err := archive.Reconstruct("S", []archive.Witness{w1, w2})
+	res, err := archive.Reconstruct(context.Background(), "S", []archive.Witness{w1, w2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +169,7 @@ func TestReconstructConflict(t *testing.T) {
 		return archive.Witness{DB: name, Backend: tr.Backend(), State: f.DB(name)}
 	}
 
-	res, err := archive.Reconstruct("S", []archive.Witness{mk("T1", false), mk("T2", true)})
+	res, err := archive.Reconstruct(context.Background(), "S", []archive.Witness{mk("T1", false), mk("T2", true)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +206,7 @@ func TestReconstructSkipsDeleted(t *testing.T) {
 	if _, err := provtest.RunPerOp(tr, f, update.MustParseScript(script)); err != nil {
 		t.Fatal(err)
 	}
-	res, err := archive.Reconstruct("S", []archive.Witness{
+	res, err := archive.Reconstruct(context.Background(), "S", []archive.Witness{
 		{DB: "T1", Backend: tr.Backend(), State: f.DB("T1")},
 	})
 	if err != nil {
@@ -234,7 +235,7 @@ func TestSubsumingWitnesses(t *testing.T) {
 	partial := mk("T2", `copy S/item/v into T2/v`)
 
 	for _, order := range [][]archive.Witness{{full, partial}, {partial, full}} {
-		res, err := archive.Reconstruct("S", order)
+		res, err := archive.Reconstruct(context.Background(), "S", order)
 		if err != nil {
 			t.Fatal(err)
 		}

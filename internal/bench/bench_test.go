@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -408,7 +409,7 @@ func TestIngestThroughputCounts(t *testing.T) {
 	if _, err := IngestThroughput(backend, provstore.Naive, workers, ops, 5); err != nil {
 		t.Fatal(err)
 	}
-	n, err := backend.Count()
+	n, err := backend.Count(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

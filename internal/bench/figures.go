@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -27,6 +28,7 @@ type RunConfig struct {
 	Seed        int64
 	Costs       Costs
 	Dir         string // scratch directory ("" = temp)
+	BackendDSN  string // provenance-store DSN template for the shard sweep
 	Target      dataset.MiMIConfig
 	Source      dataset.OrganelleConfig
 	QueryProbes int // random locations per query benchmark
@@ -134,7 +136,7 @@ func Fig7(rc RunConfig) ([]*Table, error) {
 				env.Close()
 				return nil, err
 			}
-			n, err := env.Inner.Count()
+			n, err := env.Inner.Count(context.Background())
 			env.Close()
 			if err != nil {
 				return nil, err
@@ -171,7 +173,7 @@ func Fig8(rc RunConfig) ([]*Table, error) {
 				env.Close()
 				return nil, err
 			}
-			n, err := env.Inner.Count()
+			n, err := env.Inner.Count(context.Background())
 			if err != nil {
 				env.Close()
 				return nil, err
@@ -344,7 +346,7 @@ func Fig11(rc RunConfig) ([]*Table, error) {
 					env.Close()
 					return nil, err
 				}
-				n, err := env.Inner.Count()
+				n, err := env.Inner.Count(context.Background())
 				env.Close()
 				if err != nil {
 					return nil, err
@@ -412,34 +414,34 @@ type queryPriced struct {
 
 func (q *queryPriced) charge() { q.conn.Call(q.rows, 0) }
 
-func (q *queryPriced) Lookup(tid int64, loc path.Path) (provstore.Record, bool, error) {
+func (q *queryPriced) Lookup(ctx context.Context, tid int64, loc path.Path) (provstore.Record, bool, error) {
 	q.charge()
-	return q.Backend.Lookup(tid, loc)
+	return q.Backend.Lookup(ctx, tid, loc)
 }
 
-func (q *queryPriced) NearestAncestor(tid int64, loc path.Path) (provstore.Record, bool, error) {
+func (q *queryPriced) NearestAncestor(ctx context.Context, tid int64, loc path.Path) (provstore.Record, bool, error) {
 	q.charge()
-	return q.Backend.NearestAncestor(tid, loc)
+	return q.Backend.NearestAncestor(ctx, tid, loc)
 }
 
-func (q *queryPriced) ScanTid(tid int64) ([]provstore.Record, error) {
+func (q *queryPriced) ScanTid(ctx context.Context, tid int64) ([]provstore.Record, error) {
 	q.charge()
-	return q.Backend.ScanTid(tid)
+	return q.Backend.ScanTid(ctx, tid)
 }
 
-func (q *queryPriced) ScanLoc(loc path.Path) ([]provstore.Record, error) {
+func (q *queryPriced) ScanLoc(ctx context.Context, loc path.Path) ([]provstore.Record, error) {
 	q.charge()
-	return q.Backend.ScanLoc(loc)
+	return q.Backend.ScanLoc(ctx, loc)
 }
 
-func (q *queryPriced) ScanLocPrefix(prefix path.Path) ([]provstore.Record, error) {
+func (q *queryPriced) ScanLocPrefix(ctx context.Context, prefix path.Path) ([]provstore.Record, error) {
 	q.charge()
-	return q.Backend.ScanLocPrefix(prefix)
+	return q.Backend.ScanLocPrefix(ctx, prefix)
 }
 
-func (q *queryPriced) ScanLocWithAncestors(loc path.Path) ([]provstore.Record, error) {
+func (q *queryPriced) ScanLocWithAncestors(ctx context.Context, loc path.Path) ([]provstore.Record, error) {
 	q.charge()
-	return q.Backend.ScanLocWithAncestors(loc)
+	return q.Backend.ScanLocWithAncestors(ctx, loc)
 }
 
 // Fig13 reruns the query experiment: average getSrc/getMod/getHist times on
@@ -474,7 +476,7 @@ func fig13Row(rc RunConfig, txnLen int, t *Table) error {
 			env.Close()
 			return err
 		}
-		rows, err := env.Inner.Count()
+		rows, err := env.Inner.Count(context.Background())
 		if err != nil {
 			env.Close()
 			return err
@@ -484,7 +486,7 @@ func fig13Row(rc RunConfig, txnLen int, t *Table) error {
 			PerRecord: rc.Costs.QueryPerRow,
 		})
 		engine := provquery.New(&queryPriced{Backend: env.Inner, conn: qconn, rows: rows})
-		tnow, err := env.Inner.MaxTid()
+		tnow, err := env.Inner.MaxTid(context.Background())
 		if err != nil {
 			env.Close()
 			return err
@@ -509,15 +511,15 @@ func fig13Row(rc RunConfig, txnLen int, t *Table) error {
 		for i := 0; i < probes; i++ {
 			loc := locs[rng.Intn(len(locs))]
 			meter.Measure("getSrc", func() error {
-				_, _, err := engine.Src(loc, tnow)
+				_, _, err := engine.Src(context.Background(), loc, tnow)
 				return err
 			})
 			meter.Measure("getMod", func() error {
-				_, err := engine.Mod(loc, tnow)
+				_, err := engine.Mod(context.Background(), loc, tnow)
 				return err
 			})
 			meter.Measure("getHist", func() error {
-				_, err := engine.Hist(loc, tnow)
+				_, err := engine.Hist(context.Background(), loc, tnow)
 				return err
 			})
 		}

@@ -1,9 +1,12 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -90,7 +93,7 @@ func IngestThroughput(backend provstore.Backend, method provstore.Method, w, ops
 		return 0, err
 	}
 	elapsed := time.Since(start).Seconds()
-	n, err := backend.Count()
+	n, err := backend.Count(context.Background())
 	if err != nil {
 		return 0, err
 	}
@@ -130,13 +133,59 @@ func shardsOf(b provstore.Backend) int {
 	return 1
 }
 
-// buildSweepBackend assembles the backend of one in-memory sweep cell.
-func buildSweepBackend(shards, batch int) provstore.Backend {
-	var b provstore.Backend = provstore.NewShardedMem(shards)
+// buildSweepBackend assembles the backend of one in-memory sweep cell,
+// through the DSN opener — the sweep exercises the same path a
+// DSN-configured deployment uses.
+func buildSweepBackend(shards, batch int) (provstore.Backend, error) {
+	b, err := provstore.OpenDSN(fmt.Sprintf("mem://?shards=%d", shards))
+	if err != nil {
+		return nil, err
+	}
 	if batch > 1 {
 		b = provstore.NewBatching(b, batch)
 	}
-	return b
+	return b, nil
+}
+
+// DSNSweep measures ingest throughput through a caller-supplied backend
+// DSN (cpdbbench -backend): for each batch size a fresh store is opened
+// from the template, driven by the standard worker load, and closed. The
+// template may contain {dir} (the scratch directory) and {batch} (the
+// cell's batch size) so file-backed stores get one file set per cell, e.g.
+//
+//	-backend 'rel://{dir}/prov-{batch}.db?create=1&durable=1'
+func DSNSweep(rc RunConfig, cfg ShardSweepConfig) (*Table, error) {
+	t := &Table{
+		ID:    "shard-dsn",
+		Title: fmt.Sprintf("Concurrent ingest via OpenDSN(%s) (%d workers × %d ops)", rc.BackendDSN, cfg.Workers, cfg.OpsPerW),
+	}
+	t.Header = []string{"batch", "records/sec", "speedup"}
+	var baseline float64
+	for _, batch := range cfg.Batches {
+		dsn := strings.ReplaceAll(rc.BackendDSN, "{dir}", rc.Dir)
+		dsn = strings.ReplaceAll(dsn, "{batch}", strconv.Itoa(batch))
+		backend, err := provstore.OpenDSN(dsn)
+		if err != nil {
+			return nil, err
+		}
+		if batch > 1 {
+			backend = provstore.NewBatching(backend, batch)
+		}
+		rps, err := IngestThroughput(backend, provstore.Naive, cfg.Workers, cfg.OpsPerW, cfg.TxnLen)
+		cerr := provstore.Close(backend)
+		if err != nil {
+			return nil, err
+		}
+		if cerr != nil {
+			return nil, cerr
+		}
+		if baseline == 0 {
+			baseline = rps
+		}
+		t.AddRow(strconv.Itoa(batch), fmt.Sprintf("%.0f", rps), fmt.Sprintf("%.1fx", rps/baseline))
+	}
+	t.Note("store template: %s (lanes follow the opened store's shard count)", rc.BackendDSN)
+	return t, nil
 }
 
 // ShardSweep measures concurrent ingest throughput across shard counts and
@@ -147,6 +196,13 @@ func ShardSweep(rc RunConfig) ([]*Table, error) {
 	cfg := DefaultShardSweep()
 	if rc.StepsShort < 3500 { // Quick() and test configs run a small sweep
 		cfg = quickShardSweep()
+	}
+	if rc.BackendDSN != "" {
+		t, err := DSNSweep(rc, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{t}, nil
 	}
 
 	mem := &Table{
@@ -164,7 +220,11 @@ func ShardSweep(rc RunConfig) ([]*Table, error) {
 		row := []string{fmt.Sprint(shards)}
 		var best float64
 		for _, batch := range cfg.Batches {
-			rps, err := IngestThroughput(buildSweepBackend(shards, batch), provstore.Naive, cfg.Workers, cfg.OpsPerW, cfg.TxnLen)
+			cell, err := buildSweepBackend(shards, batch)
+			if err != nil {
+				return nil, err
+			}
+			rps, err := IngestThroughput(cell, provstore.Naive, cfg.Workers, cfg.OpsPerW, cfg.TxnLen)
 			if err != nil {
 				return nil, err
 			}

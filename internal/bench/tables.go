@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -202,7 +203,7 @@ func Ablations(rc RunConfig) ([]*Table, error) {
 		}); err != nil {
 			return nil, err
 		}
-		rows, _ := backend.Inner().Count()
+		rows, _ := backend.Inner().Count(context.Background())
 		a4.AddRow(fmt.Sprint(elim), fmt.Sprint(rows), ms(meter.Bucket("commit").Avg()))
 	}
 	a4.Note("elimination trades client CPU for smaller commits; on realistic workloads redundancy is rare (paper §3.2.4)")
@@ -222,7 +223,7 @@ func Ablations(rc RunConfig) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	hrows, _ := tr.Backend().Count()
+	hrows, _ := tr.Backend().Count(context.Background())
 	recs, _ := provtest.AllSorted(tr.Backend())
 	full, err := provstore.ExpandTxn(recs, vs[0].Forest, vs[1].Forest)
 	if err != nil {
@@ -248,14 +249,14 @@ func Ablations(rc RunConfig) ([]*Table, error) {
 	if _, err := provtest.Run(trP, workForest(), seq, rc.TxnLen); err != nil {
 		return nil, err
 	}
-	prunedRows, _ := trP.Backend().Count()
+	prunedRows, _ := trP.Backend().Count(context.Background())
 	// Append-only baseline: deferring naive per-node records without
 	// pruning commits exactly the naive row count.
 	trN := provstore.MustNew(provstore.Naive, provstore.Config{Backend: provstore.NewMemBackend()})
 	if _, err := provtest.Run(trN, workForest(), seq, 1); err != nil {
 		return nil, err
 	}
-	naiveRows, _ := trN.Backend().Count()
+	naiveRows, _ := trN.Backend().Count(context.Background())
 	a2.AddRow("provlist pruning (T)", fmt.Sprint(prunedRows))
 	a2.AddRow("append-only deferral (≈ N rows)", fmt.Sprint(naiveRows))
 	out = append(out, a2)

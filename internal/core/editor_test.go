@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -81,7 +82,7 @@ func TestEditorRunsFigure3(t *testing.T) {
 		t.Error("mirror diverged from store")
 	}
 	// Provenance matches Figure 5(d): 7 rows.
-	cnt, _ := ed.Tracker().Backend().Count()
+	cnt, _ := ed.Tracker().Backend().Count(context.Background())
 	if cnt != len(figures.Fig5d) {
 		t.Errorf("stored %d rows, want %d", cnt, len(figures.Fig5d))
 	}
@@ -144,7 +145,7 @@ func TestEditorValidation(t *testing.T) {
 	if err := ed.Delete(path.MustParse("T/nothing")); err == nil {
 		t.Error("delete of missing node should fail")
 	}
-	cnt, _ := ed.Tracker().Backend().Count()
+	cnt, _ := ed.Tracker().Backend().Count(context.Background())
 	if cnt != 0 {
 		t.Errorf("failed ops stored %d records", cnt)
 	}
@@ -158,7 +159,7 @@ func TestEditorCopyWithinTarget(t *testing.T) {
 	if !target.Has(path.MustParse("T/c9/x")) {
 		t.Error("intra-target copy missing")
 	}
-	recs, _ := ed.Tracker().Backend().ScanTid(figures.FirstTid)
+	recs, _ := ed.Tracker().Backend().ScanTid(context.Background(), figures.FirstTid)
 	if len(recs) != 3 || recs[0].Src.DB() != "T" {
 		t.Errorf("intra-target provenance: %v", recs)
 	}
@@ -173,7 +174,7 @@ func TestAutoCommit(t *testing.T) {
 		}
 	}
 	// 5 ops with auto-commit every 2 → 2 commits done, 1 op pending.
-	tids, _ := ed.Tracker().Backend().Tids()
+	tids, _ := ed.Tracker().Backend().Tids(context.Background())
 	if len(tids) != 2 {
 		t.Errorf("auto-commits = %v", tids)
 	}
@@ -183,7 +184,7 @@ func TestAutoCommit(t *testing.T) {
 	if _, err := ed.Commit(); err != nil {
 		t.Fatal(err)
 	}
-	tids, _ = ed.Tracker().Backend().Tids()
+	tids, _ = ed.Tracker().Backend().Tids(context.Background())
 	if len(tids) != 3 {
 		t.Errorf("after final commit: %v", tids)
 	}
@@ -281,7 +282,7 @@ func TestConsistencyUnderFaults(t *testing.T) {
 	if !store.Snapshot().Equal(before) {
 		t.Error("target not compensated after failed copy")
 	}
-	cnt, _ := backend.Inner().Count()
+	cnt, _ := backend.Inner().Count(context.Background())
 	if cnt != 0 {
 		t.Errorf("provenance store has %d rows after failures", cnt)
 	}

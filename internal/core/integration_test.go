@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"errors"
 	"path/filepath"
 	"testing"
@@ -90,7 +91,7 @@ func TestFullStackDiskBacked(t *testing.T) {
 	if !gen.TargetMirror().Equal(targetStore.Snapshot()) {
 		t.Fatal("generator mirror diverged from the store")
 	}
-	rows, _ := backend.Count()
+	rows, _ := backend.Count(context.Background())
 	if rows == 0 {
 		t.Fatal("no provenance stored")
 	}
@@ -116,7 +117,7 @@ func TestFullStackDiskBacked(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rows2, _ := backend2.Count()
+	rows2, _ := backend2.Count(context.Background())
 	if rows2 != rows {
 		t.Fatalf("rows after reopen: %d vs %d", rows2, rows)
 	}
@@ -127,16 +128,16 @@ func TestFullStackDiskBacked(t *testing.T) {
 	defer target2.Close()
 
 	eng := provquery.New(backend2)
-	tnow, err := eng.MaxTid()
+	tnow, err := eng.MaxTid(context.Background())
 	if err != nil || tnow == 0 {
 		t.Fatalf("MaxTid = %d, %v", tnow, err)
 	}
 	// Every copied location present in the final target must trace to the
 	// source database.
-	tids, _ := backend2.Tids()
+	tids, _ := backend2.Tids(context.Background())
 	traced := 0
 	for _, tid := range tids {
-		recs, _ := backend2.ScanTid(tid)
+		recs, _ := backend2.ScanTid(context.Background(), tid)
 		for _, r := range recs {
 			if r.Op != provstore.OpCopy || !r.Src.IsRoot() && r.Src.DB() != "OrganelleDB" {
 				continue
@@ -145,7 +146,7 @@ func TestFullStackDiskBacked(t *testing.T) {
 			if err != nil || !target2.Snapshot().Has(rel) {
 				continue // since deleted or overwritten
 			}
-			tr, err := eng.Trace(r.Loc, tnow)
+			tr, err := eng.Trace(context.Background(), r.Loc, tnow)
 			if err != nil {
 				t.Fatalf("trace %v: %v", r.Loc, err)
 			}

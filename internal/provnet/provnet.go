@@ -6,6 +6,8 @@
 package provnet
 
 import (
+	"context"
+
 	"repro/internal/path"
 	"repro/internal/provstore"
 )
@@ -19,7 +21,8 @@ type Caller interface {
 // ChargedBackend wraps a backend, charging write round trips to Write and
 // read round trips to Read. A failed (fault-injected) round trip aborts the
 // operation before it reaches the wrapped backend, as a dropped network
-// call would.
+// call would. A cancelled context aborts before the round trip is even
+// charged — the caller hung up before dialing.
 type ChargedBackend struct {
 	inner provstore.Backend
 	write Caller
@@ -46,35 +49,44 @@ func recordsBytes(recs []provstore.Record) int {
 
 // Append implements provstore.Backend: one write round trip carrying the
 // whole batch.
-func (b *ChargedBackend) Append(recs []provstore.Record) error {
+func (b *ChargedBackend) Append(ctx context.Context, recs []provstore.Record) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if err := b.write.Call(len(recs), recordsBytes(recs)); err != nil {
 		return err
 	}
-	return b.inner.Append(recs)
+	return b.inner.Append(ctx, recs)
 }
 
 // Lookup implements provstore.Backend: one read round trip.
-func (b *ChargedBackend) Lookup(tid int64, loc path.Path) (provstore.Record, bool, error) {
+func (b *ChargedBackend) Lookup(ctx context.Context, tid int64, loc path.Path) (provstore.Record, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return provstore.Record{}, false, err
+	}
 	if err := b.read.Call(1, 0); err != nil {
 		return provstore.Record{}, false, err
 	}
-	return b.inner.Lookup(tid, loc)
+	return b.inner.Lookup(ctx, tid, loc)
 }
 
 // NearestAncestor implements provstore.Backend: one read round trip (the
 // ancestor probing happens server-side, as in the paper's stored
 // procedures).
-func (b *ChargedBackend) NearestAncestor(tid int64, loc path.Path) (provstore.Record, bool, error) {
+func (b *ChargedBackend) NearestAncestor(ctx context.Context, tid int64, loc path.Path) (provstore.Record, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return provstore.Record{}, false, err
+	}
 	if err := b.read.Call(1, 0); err != nil {
 		return provstore.Record{}, false, err
 	}
-	return b.inner.NearestAncestor(tid, loc)
+	return b.inner.NearestAncestor(ctx, tid, loc)
 }
 
 // ScanTid implements provstore.Backend: one read round trip shipping the
 // result set back.
-func (b *ChargedBackend) ScanTid(tid int64) ([]provstore.Record, error) {
-	recs, err := b.inner.ScanTid(tid)
+func (b *ChargedBackend) ScanTid(ctx context.Context, tid int64) ([]provstore.Record, error) {
+	recs, err := b.inner.ScanTid(ctx, tid)
 	if err != nil {
 		return nil, err
 	}
@@ -85,8 +97,8 @@ func (b *ChargedBackend) ScanTid(tid int64) ([]provstore.Record, error) {
 }
 
 // ScanLoc implements provstore.Backend.
-func (b *ChargedBackend) ScanLoc(loc path.Path) ([]provstore.Record, error) {
-	recs, err := b.inner.ScanLoc(loc)
+func (b *ChargedBackend) ScanLoc(ctx context.Context, loc path.Path) ([]provstore.Record, error) {
+	recs, err := b.inner.ScanLoc(ctx, loc)
 	if err != nil {
 		return nil, err
 	}
@@ -97,8 +109,8 @@ func (b *ChargedBackend) ScanLoc(loc path.Path) ([]provstore.Record, error) {
 }
 
 // ScanLocPrefix implements provstore.Backend.
-func (b *ChargedBackend) ScanLocPrefix(prefix path.Path) ([]provstore.Record, error) {
-	recs, err := b.inner.ScanLocPrefix(prefix)
+func (b *ChargedBackend) ScanLocPrefix(ctx context.Context, prefix path.Path) ([]provstore.Record, error) {
+	recs, err := b.inner.ScanLocPrefix(ctx, prefix)
 	if err != nil {
 		return nil, err
 	}
@@ -109,8 +121,8 @@ func (b *ChargedBackend) ScanLocPrefix(prefix path.Path) ([]provstore.Record, er
 }
 
 // ScanLocWithAncestors implements provstore.Backend: one read round trip.
-func (b *ChargedBackend) ScanLocWithAncestors(loc path.Path) ([]provstore.Record, error) {
-	recs, err := b.inner.ScanLocWithAncestors(loc)
+func (b *ChargedBackend) ScanLocWithAncestors(ctx context.Context, loc path.Path) ([]provstore.Record, error) {
+	recs, err := b.inner.ScanLocWithAncestors(ctx, loc)
 	if err != nil {
 		return nil, err
 	}
@@ -121,8 +133,8 @@ func (b *ChargedBackend) ScanLocWithAncestors(loc path.Path) ([]provstore.Record
 }
 
 // Tids implements provstore.Backend.
-func (b *ChargedBackend) Tids() ([]int64, error) {
-	tids, err := b.inner.Tids()
+func (b *ChargedBackend) Tids(ctx context.Context) ([]int64, error) {
+	tids, err := b.inner.Tids(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -133,25 +145,25 @@ func (b *ChargedBackend) Tids() ([]int64, error) {
 }
 
 // MaxTid implements provstore.Backend.
-func (b *ChargedBackend) MaxTid() (int64, error) {
+func (b *ChargedBackend) MaxTid(ctx context.Context) (int64, error) {
 	if err := b.read.Call(1, 8); err != nil {
 		return 0, err
 	}
-	return b.inner.MaxTid()
+	return b.inner.MaxTid(ctx)
 }
 
 // Count implements provstore.Backend.
-func (b *ChargedBackend) Count() (int, error) {
+func (b *ChargedBackend) Count(ctx context.Context) (int, error) {
 	if err := b.read.Call(1, 8); err != nil {
 		return 0, err
 	}
-	return b.inner.Count()
+	return b.inner.Count(ctx)
 }
 
 // Bytes implements provstore.Backend.
-func (b *ChargedBackend) Bytes() (int64, error) {
+func (b *ChargedBackend) Bytes(ctx context.Context) (int64, error) {
 	if err := b.read.Call(1, 8); err != nil {
 		return 0, err
 	}
-	return b.inner.Bytes()
+	return b.inner.Bytes(ctx)
 }

@@ -1,6 +1,7 @@
 package provnet_test
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -26,7 +27,7 @@ func rec(tid int64, loc string) provstore.Record {
 
 func TestChargesWritePerBatch(t *testing.T) {
 	b, write, _, clock := charged(t)
-	if err := b.Append([]provstore.Record{rec(1, "T/a"), rec(1, "T/b"), rec(1, "T/c")}); err != nil {
+	if err := b.Append(context.Background(), []provstore.Record{rec(1, "T/a"), rec(1, "T/b"), rec(1, "T/c")}); err != nil {
 		t.Fatal(err)
 	}
 	st := write.Stats()
@@ -37,7 +38,7 @@ func TestChargesWritePerBatch(t *testing.T) {
 	if clock.Now() < 80*time.Millisecond {
 		t.Errorf("clock = %v", clock.Now())
 	}
-	n, _ := b.Inner().Count()
+	n, _ := b.Inner().Count(context.Background())
 	if n != 3 {
 		t.Errorf("inner count = %d", n)
 	}
@@ -45,33 +46,33 @@ func TestChargesWritePerBatch(t *testing.T) {
 
 func TestChargesReads(t *testing.T) {
 	b, _, read, _ := charged(t)
-	b.Append([]provstore.Record{rec(1, "T/a"), rec(2, "T/a")})
+	b.Append(context.Background(), []provstore.Record{rec(1, "T/a"), rec(2, "T/a")})
 	before := read.Stats().Calls
-	if _, _, err := b.Lookup(1, path.MustParse("T/a")); err != nil {
+	if _, _, err := b.Lookup(context.Background(), 1, path.MustParse("T/a")); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := b.NearestAncestor(1, path.MustParse("T/a/b")); err != nil {
+	if _, _, err := b.NearestAncestor(context.Background(), 1, path.MustParse("T/a/b")); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := b.ScanTid(1); err != nil {
+	if _, err := b.ScanTid(context.Background(), 1); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := b.ScanLoc(path.MustParse("T/a")); err != nil {
+	if _, err := b.ScanLoc(context.Background(), path.MustParse("T/a")); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := b.ScanLocPrefix(path.MustParse("T")); err != nil {
+	if _, err := b.ScanLocPrefix(context.Background(), path.MustParse("T")); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := b.Tids(); err != nil {
+	if _, err := b.Tids(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := b.MaxTid(); err != nil {
+	if _, err := b.MaxTid(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := b.Count(); err != nil {
+	if _, err := b.Count(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := b.Bytes(); err != nil {
+	if _, err := b.Bytes(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if got := read.Stats().Calls - before; got != 9 {
@@ -88,44 +89,44 @@ func TestFaultAbortsBeforeWrite(t *testing.T) {
 	read := netsim.NewConn("r", clock, netsim.CostModel{RTT: time.Millisecond})
 	b := provnet.New(provstore.NewMemBackend(), write, read)
 	write.InjectFaults(1.0, 7)
-	err := b.Append([]provstore.Record{rec(1, "T/a")})
+	err := b.Append(context.Background(), []provstore.Record{rec(1, "T/a")})
 	if !errors.Is(err, netsim.ErrNetwork) {
 		t.Fatalf("want ErrNetwork, got %v", err)
 	}
-	n, _ := b.Inner().Count()
+	n, _ := b.Inner().Count(context.Background())
 	if n != 0 {
 		t.Error("failed round trip reached the store")
 	}
 	// Read faults propagate on every read surface.
 	read.InjectFaults(1.0, 7)
-	if _, _, err := b.Lookup(1, path.MustParse("T/a")); !errors.Is(err, netsim.ErrNetwork) {
+	if _, _, err := b.Lookup(context.Background(), 1, path.MustParse("T/a")); !errors.Is(err, netsim.ErrNetwork) {
 		t.Errorf("read fault: %v", err)
 	}
-	if _, _, err := b.NearestAncestor(1, path.MustParse("T/a/b")); !errors.Is(err, netsim.ErrNetwork) {
+	if _, _, err := b.NearestAncestor(context.Background(), 1, path.MustParse("T/a/b")); !errors.Is(err, netsim.ErrNetwork) {
 		t.Errorf("ancestor fault: %v", err)
 	}
-	if _, err := b.ScanTid(1); !errors.Is(err, netsim.ErrNetwork) {
+	if _, err := b.ScanTid(context.Background(), 1); !errors.Is(err, netsim.ErrNetwork) {
 		t.Errorf("scan fault: %v", err)
 	}
-	if _, err := b.ScanLoc(path.MustParse("T/a")); !errors.Is(err, netsim.ErrNetwork) {
+	if _, err := b.ScanLoc(context.Background(), path.MustParse("T/a")); !errors.Is(err, netsim.ErrNetwork) {
 		t.Errorf("scanloc fault: %v", err)
 	}
-	if _, err := b.ScanLocPrefix(path.MustParse("T")); !errors.Is(err, netsim.ErrNetwork) {
+	if _, err := b.ScanLocPrefix(context.Background(), path.MustParse("T")); !errors.Is(err, netsim.ErrNetwork) {
 		t.Errorf("scanprefix fault: %v", err)
 	}
-	if _, err := b.ScanLocWithAncestors(path.MustParse("T/a")); !errors.Is(err, netsim.ErrNetwork) {
+	if _, err := b.ScanLocWithAncestors(context.Background(), path.MustParse("T/a")); !errors.Is(err, netsim.ErrNetwork) {
 		t.Errorf("scanancestors fault: %v", err)
 	}
-	if _, err := b.Tids(); !errors.Is(err, netsim.ErrNetwork) {
+	if _, err := b.Tids(context.Background()); !errors.Is(err, netsim.ErrNetwork) {
 		t.Errorf("tids fault: %v", err)
 	}
-	if _, err := b.MaxTid(); !errors.Is(err, netsim.ErrNetwork) {
+	if _, err := b.MaxTid(context.Background()); !errors.Is(err, netsim.ErrNetwork) {
 		t.Errorf("maxtid fault: %v", err)
 	}
-	if _, err := b.Count(); !errors.Is(err, netsim.ErrNetwork) {
+	if _, err := b.Count(context.Background()); !errors.Is(err, netsim.ErrNetwork) {
 		t.Errorf("count fault: %v", err)
 	}
-	if _, err := b.Bytes(); !errors.Is(err, netsim.ErrNetwork) {
+	if _, err := b.Bytes(context.Background()); !errors.Is(err, netsim.ErrNetwork) {
 		t.Errorf("bytes fault: %v", err)
 	}
 }
@@ -133,9 +134,9 @@ func TestFaultAbortsBeforeWrite(t *testing.T) {
 // TestChargedScanWithAncestors covers the combined scan's charging.
 func TestChargedScanWithAncestors(t *testing.T) {
 	b, _, read, _ := charged(t)
-	b.Append([]provstore.Record{rec(1, "T/a"), rec(2, "T/a")})
+	b.Append(context.Background(), []provstore.Record{rec(1, "T/a"), rec(2, "T/a")})
 	before := read.Stats()
-	recs, err := b.ScanLocWithAncestors(path.MustParse("T/a/deep"))
+	recs, err := b.ScanLocWithAncestors(context.Background(), path.MustParse("T/a/deep"))
 	if err != nil || len(recs) != 2 {
 		t.Fatalf("ScanLocWithAncestors = %v, %v", recs, err)
 	}

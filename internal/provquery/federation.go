@@ -1,6 +1,7 @@
 package provquery
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/path"
@@ -43,7 +44,7 @@ type OwnershipStep struct {
 // database and follows copies across every federated store; it ends at an
 // insertion, at the edge of recorded history, or at a database with no
 // registered provenance store (a partial answer).
-func (f *Federation) Own(p path.Path) ([]OwnershipStep, error) {
+func (f *Federation) Own(ctx context.Context, p path.Path) ([]OwnershipStep, error) {
 	var steps []OwnershipStep
 	cur := p
 	const maxHops = 64 // defensive bound against cyclic provenance
@@ -55,11 +56,11 @@ func (f *Federation) Own(p path.Path) ([]OwnershipStep, error) {
 			steps = append(steps, OwnershipStep{DB: cur.DB(), Loc: cur, Origin: OriginExternal})
 			return steps, nil
 		}
-		tnow, err := eng.MaxTid()
+		tnow, err := eng.MaxTid(ctx)
 		if err != nil {
 			return nil, err
 		}
-		tr, err := eng.Trace(cur, tnow)
+		tr, err := eng.Trace(ctx, cur, tnow)
 		if err != nil {
 			return nil, err
 		}

@@ -13,6 +13,7 @@
 package provquery
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -104,8 +105,8 @@ func (o Origin) String() string {
 // client-side, from one ScanLocWithAncestors round trip: for each
 // transaction the record with the longest Loc (nearest ancestor-or-self)
 // governs.
-func (e *Engine) effectiveAt(loc path.Path) (map[int64]provstore.Record, error) {
-	recs, err := e.backend.ScanLocWithAncestors(loc)
+func (e *Engine) effectiveAt(ctx context.Context, loc path.Path) (map[int64]provstore.Record, error) {
+	recs, err := e.backend.ScanLocWithAncestors(ctx, loc)
 	if err != nil {
 		return nil, err
 	}
@@ -135,11 +136,13 @@ func (e *Engine) effectiveAt(loc path.Path) (map[int64]provstore.Record, error) 
 }
 
 // Trace computes the backward history of the data at location p as of the
-// end of transaction tnow (pass the store's MaxTid for "now").
-func (e *Engine) Trace(p path.Path, tnow int64) (TraceResult, error) {
+// end of transaction tnow (pass the store's MaxTid for "now"). The context
+// is observed between chain steps, so a trace over a slow or remote store
+// can be cancelled.
+func (e *Engine) Trace(ctx context.Context, p path.Path, tnow int64) (TraceResult, error) {
 	var res TraceResult
 	cur := p
-	eff, err := e.effectiveAt(cur)
+	eff, err := e.effectiveAt(ctx, cur)
 	if err != nil {
 		return res, err
 	}
@@ -164,7 +167,7 @@ func (e *Engine) Trace(p path.Path, tnow int64) (TraceResult, error) {
 				res.External = cur
 				return res, nil
 			}
-			if eff, err = e.effectiveAt(cur); err != nil {
+			if eff, err = e.effectiveAt(ctx, cur); err != nil {
 				return res, err
 			}
 		case provstore.OpDelete:
@@ -179,8 +182,8 @@ func (e *Engine) Trace(p path.Path, tnow int64) (TraceResult, error) {
 // Src answers: which transaction first created (inserted) the data now at
 // p? ok is false when the origin is external or pre-existing — the partial
 // answers the paper discusses.
-func (e *Engine) Src(p path.Path, tnow int64) (int64, bool, error) {
-	tr, err := e.Trace(p, tnow)
+func (e *Engine) Src(ctx context.Context, p path.Path, tnow int64) (int64, bool, error) {
+	tr, err := e.Trace(ctx, p, tnow)
 	if err != nil {
 		return 0, false, err
 	}
@@ -193,7 +196,7 @@ func (e *Engine) Src(p path.Path, tnow int64) (int64, bool, error) {
 	// slower than getHist in Figure 13). Hierarchical stores may record
 	// the insert at an ancestor, so absence of an exact row is fine as
 	// long as the effective record agrees.
-	rec, ok, err := provstore.Effective(e.backend, last.Tid, last.Loc)
+	rec, ok, err := provstore.Effective(ctx, e.backend, last.Tid, last.Loc)
 	if err != nil {
 		return 0, false, err
 	}
@@ -205,8 +208,8 @@ func (e *Engine) Src(p path.Path, tnow int64) (int64, bool, error) {
 
 // Hist answers: the sequence of all transactions that copied the data now
 // at p to its current position, most recent first.
-func (e *Engine) Hist(p path.Path, tnow int64) ([]int64, error) {
-	tr, err := e.Trace(p, tnow)
+func (e *Engine) Hist(ctx context.Context, p path.Path, tnow int64) ([]int64, error) {
+	tr, err := e.Trace(ctx, p, tnow)
 	if err != nil {
 		return nil, err
 	}
@@ -254,11 +257,17 @@ func newRegion(prefix path.Path, bound int64) region {
 // wave's results merge sequentially in queue order, so the answer is
 // identical to the sequential walk while a store sharded across N shards
 // sees wave-regions × 2 scans × N shard scans in flight at once.
-func (e *Engine) Mod(p path.Path, tnow int64) ([]int64, error) {
+func (e *Engine) Mod(ctx context.Context, p path.Path, tnow int64) ([]int64, error) {
 	result := make(map[int64]struct{})
 	seen := make(map[string]int64) // region prefix -> highest bound processed
 	queue := []region{newRegion(p, tnow)}
 	for len(queue) > 0 {
+		// Cancellation is observed between BFS waves: an in-flight wave
+		// completes (its goroutines are joined by the scatter), then the
+		// walk stops before the next one launches.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Drop regions an earlier wave already covered with a bound at
 		// least as high (seen bounds only ever grow, so this pre-filter
 		// agrees with the authoritative gather-time check below), then
@@ -283,8 +292,8 @@ func (e *Engine) Mod(p path.Path, tnow int64) ([]int64, error) {
 
 		// Scatter: prefetch both scans of every unique prefix in the wave.
 		scans := make([]regionScan, len(prefixes))
-		err := fanout(len(prefixes), func(i int) error {
-			return scans[i].run(e.backend, prefixes[i])
+		err := fanout(ctx, len(prefixes), func(i int) error {
+			return scans[i].run(ctx, e.backend, prefixes[i])
 		})
 		if err != nil {
 			return nil, err
@@ -356,13 +365,13 @@ type regionScan struct {
 }
 
 // run issues the region's two scans concurrently.
-func (s *regionScan) run(b provstore.Backend, prefix path.Path) error {
-	return fanout(2, func(j int) error {
+func (s *regionScan) run(ctx context.Context, b provstore.Backend, prefix path.Path) error {
+	return fanout(ctx, 2, func(j int) error {
 		var err error
 		if j == 0 {
-			s.inside, err = b.ScanLocPrefix(prefix)
+			s.inside, err = b.ScanLocPrefix(ctx, prefix)
 		} else {
-			s.above, err = b.ScanLocWithAncestors(prefix)
+			s.above, err = b.ScanLocWithAncestors(ctx, prefix)
 		}
 		return err
 	})
@@ -370,9 +379,11 @@ func (s *regionScan) run(b provstore.Backend, prefix path.Path) error {
 
 // fanout is provstore.Fanout under a local name: run f(0..n-1) concurrently
 // and join the errors.
-func fanout(n int, f func(int) error) error { return provstore.Fanout(n, f) }
+func fanout(ctx context.Context, n int, f func(int) error) error {
+	return provstore.Fanout(ctx, n, f)
+}
 
 // MaxTid returns the newest transaction id in the store (the paper's tnow).
-func (e *Engine) MaxTid() (int64, error) {
-	return e.backend.MaxTid()
+func (e *Engine) MaxTid(ctx context.Context) (int64, error) {
+	return e.backend.MaxTid(ctx)
 }

@@ -1,6 +1,7 @@
 package provquery_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -35,7 +36,7 @@ func figureEngine(t *testing.T, m provstore.Method) (*provquery.Engine, int64) {
 		t.Fatal(err)
 	}
 	eng := provquery.New(tr.Backend())
-	tnow, err := eng.MaxTid()
+	tnow, err := eng.MaxTid(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,17 +48,17 @@ func figureEngine(t *testing.T, m provstore.Method) (*provquery.Engine, int64) {
 func TestSrcFigure3(t *testing.T) {
 	for _, m := range []provstore.Method{provstore.Naive, provstore.Hierarchical} {
 		eng, tnow := figureEngine(t, m)
-		tid, ok, err := eng.Src(path.MustParse("T/c4/y"), tnow)
+		tid, ok, err := eng.Src(context.Background(), path.MustParse("T/c4/y"), tnow)
 		if err != nil || !ok || tid != 130 {
 			t.Errorf("%v: Src(T/c4/y) = %d, %v, %v; want 130", m, tid, ok, err)
 		}
 		// Copied data: origin is external, no Src answer (the paper's
 		// "partial answer" case).
-		if _, ok, _ := eng.Src(path.MustParse("T/c2/y"), tnow); ok {
+		if _, ok, _ := eng.Src(context.Background(), path.MustParse("T/c2/y"), tnow); ok {
 			t.Errorf("%v: Src of externally copied data should be unknown", m)
 		}
 		// Pre-existing data: also no answer.
-		if _, ok, _ := eng.Src(path.MustParse("T/c1/x"), tnow); ok {
+		if _, ok, _ := eng.Src(context.Background(), path.MustParse("T/c1/x"), tnow); ok {
 			t.Errorf("%v: Src of pre-existing data should be unknown", m)
 		}
 	}
@@ -82,7 +83,7 @@ func TestHistFigure3(t *testing.T) {
 	for _, m := range []provstore.Method{provstore.Naive, provstore.Hierarchical} {
 		eng, tnow := figureEngine(t, m)
 		for _, c := range cases {
-			got, err := eng.Hist(path.MustParse(c.loc), tnow)
+			got, err := eng.Hist(context.Background(), path.MustParse(c.loc), tnow)
 			if err != nil {
 				t.Fatalf("%v: Hist(%s): %v", m, c.loc, err)
 			}
@@ -96,15 +97,15 @@ func TestHistFigure3(t *testing.T) {
 // TestTraceOrigins distinguishes the three chain endings.
 func TestTraceOrigins(t *testing.T) {
 	eng, tnow := figureEngine(t, provstore.Naive)
-	tr, err := eng.Trace(path.MustParse("T/c4/y"), tnow)
+	tr, err := eng.Trace(context.Background(), path.MustParse("T/c4/y"), tnow)
 	if err != nil || tr.Origin != provquery.OriginInserted {
 		t.Errorf("inserted origin: %+v, %v", tr, err)
 	}
-	tr, err = eng.Trace(path.MustParse("T/c2/x"), tnow)
+	tr, err = eng.Trace(context.Background(), path.MustParse("T/c2/x"), tnow)
 	if err != nil || tr.Origin != provquery.OriginExternal || tr.External.String() != "S1/a2/x" {
 		t.Errorf("external origin: %+v, %v", tr, err)
 	}
-	tr, err = eng.Trace(path.MustParse("T/c1/x"), tnow)
+	tr, err = eng.Trace(context.Background(), path.MustParse("T/c1/x"), tnow)
 	if err != nil || tr.Origin != provquery.OriginPreexisting {
 		t.Errorf("preexisting origin: %+v, %v", tr, err)
 	}
@@ -124,7 +125,7 @@ func TestTraceOrigins(t *testing.T) {
 func TestModFigure3(t *testing.T) {
 	for _, m := range []provstore.Method{provstore.Naive, provstore.Hierarchical} {
 		eng, tnow := figureEngine(t, m)
-		got, err := eng.Mod(path.MustParse("T"), tnow)
+		got, err := eng.Mod(context.Background(), path.MustParse("T"), tnow)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -132,19 +133,19 @@ func TestModFigure3(t *testing.T) {
 		if fmt.Sprint(got) != fmt.Sprint(want) {
 			t.Errorf("%v: Mod(T) = %v, want %v", m, got, want)
 		}
-		got, _ = eng.Mod(path.MustParse("T/c2"), tnow)
+		got, _ = eng.Mod(context.Background(), path.MustParse("T/c2"), tnow)
 		if fmt.Sprint(got) != fmt.Sprint([]int64{124, 126}) {
 			t.Errorf("%v: Mod(T/c2) = %v", m, got)
 		}
-		got, _ = eng.Mod(path.MustParse("T/c4/x"), tnow)
+		got, _ = eng.Mod(context.Background(), path.MustParse("T/c4/x"), tnow)
 		if fmt.Sprint(got) != fmt.Sprint([]int64{129}) {
 			t.Errorf("%v: Mod(T/c4/x) = %v", m, got)
 		}
-		got, _ = eng.Mod(path.MustParse("T/c5"), tnow)
+		got, _ = eng.Mod(context.Background(), path.MustParse("T/c5"), tnow)
 		if fmt.Sprint(got) != fmt.Sprint([]int64{121}) {
 			t.Errorf("%v: Mod(T/c5) = %v (the delete)", m, got)
 		}
-		got, _ = eng.Mod(path.MustParse("T/untouched"), tnow)
+		got, _ = eng.Mod(context.Background(), path.MustParse("T/untouched"), tnow)
 		if len(got) != 0 {
 			t.Errorf("%v: Mod of untouched = %v", m, got)
 		}
@@ -165,8 +166,8 @@ func TestModCountsDeletes(t *testing.T) {
 			t.Fatal(err)
 		}
 		eng := provquery.New(tr.Backend())
-		tnow, _ := eng.MaxTid()
-		got, err := eng.Mod(path.MustParse("T/c1"), tnow)
+		tnow, _ := eng.MaxTid(context.Background())
+		got, err := eng.Mod(context.Background(), path.MustParse("T/c1"), tnow)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -195,12 +196,12 @@ func TestChainThroughTargetCopies(t *testing.T) {
 			t.Fatal(err)
 		}
 		eng := provquery.New(tr.Backend())
-		tnow, _ := eng.MaxTid()
-		tid, ok, err := eng.Src(path.MustParse("T/c5/hop2"), tnow)
+		tnow, _ := eng.MaxTid(context.Background())
+		tid, ok, err := eng.Src(context.Background(), path.MustParse("T/c5/hop2"), tnow)
 		if err != nil || !ok || tid != 1 {
 			t.Errorf("%v: Src through hops = %d, %v, %v", m, tid, ok, err)
 		}
-		hist, _ := eng.Hist(path.MustParse("T/c5/hop2"), tnow)
+		hist, _ := eng.Hist(context.Background(), path.MustParse("T/c5/hop2"), tnow)
 		if fmt.Sprint(hist) != fmt.Sprint([]int64{3, 2}) {
 			t.Errorf("%v: Hist through hops = %v, want [3 2]", m, hist)
 		}
@@ -228,7 +229,7 @@ func TestCrossMethodAgreement(t *testing.T) {
 				t.Fatal(err)
 			}
 			engines[m] = provquery.New(tr.Backend())
-			tnow, _ = engines[m].MaxTid()
+			tnow, _ = engines[m].MaxTid(context.Background())
 			if locs == nil {
 				f.DB("T").Walk(func(rel path.Path, _ *tree.Node) error {
 					if !rel.IsRoot() {
@@ -256,21 +257,21 @@ func TestCrossMethodAgreement(t *testing.T) {
 		for _, loc := range locs {
 			for _, pair := range pairs {
 				a, b := engines[pair.a], engines[pair.b]
-				sa, oka, erra := a.Src(loc, tnow)
-				sb, okb, errb := b.Src(loc, tnow)
+				sa, oka, erra := a.Src(context.Background(), loc, tnow)
+				sb, okb, errb := b.Src(context.Background(), loc, tnow)
 				if erra != nil || errb != nil || oka != okb || sa != sb {
 					t.Errorf("seed %d: Src(%s) %v=%d/%v vs %v=%d/%v", seed, loc, pair.a, sa, oka, pair.b, sb, okb)
 				}
-				ha, _ := a.Hist(loc, tnow)
-				hb, _ := b.Hist(loc, tnow)
+				ha, _ := a.Hist(context.Background(), loc, tnow)
+				hb, _ := b.Hist(context.Background(), loc, tnow)
 				if fmt.Sprint(ha) != fmt.Sprint(hb) {
 					t.Errorf("seed %d: Hist(%s) %v=%v vs %v=%v", seed, loc, pair.a, ha, pair.b, hb)
 				}
 				if !pair.mod {
 					continue
 				}
-				ma, _ := a.Mod(loc, tnow)
-				mb, _ := b.Mod(loc, tnow)
+				ma, _ := a.Mod(context.Background(), loc, tnow)
+				mb, _ := b.Mod(context.Background(), loc, tnow)
 				if fmt.Sprint(ma) != fmt.Sprint(mb) {
 					t.Errorf("seed %d: Mod(%s) %v=%v vs %v=%v", seed, loc, pair.a, ma, pair.b, mb)
 				}
@@ -374,7 +375,7 @@ func TestFederationOwn(t *testing.T) {
 	}
 	fed.Register("T2", provquery.New(tr2.Backend()))
 
-	steps, err := fed.Own(path.MustParse("T2/got/v"))
+	steps, err := fed.Own(context.Background(), path.MustParse("T2/got/v"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -388,7 +389,7 @@ func TestFederationOwn(t *testing.T) {
 		t.Errorf("chain should end partial at S (no store): %v", steps[2].Origin)
 	}
 	// Unknown starting database is immediately partial.
-	steps, err = fed.Own(path.MustParse("Nowhere/x"))
+	steps, err = fed.Own(context.Background(), path.MustParse("Nowhere/x"))
 	if err != nil || len(steps) != 1 || steps[0].Origin != provquery.OriginExternal {
 		t.Errorf("unknown db: %+v, %v", steps, err)
 	}
@@ -406,7 +407,7 @@ func TestBadTrace(t *testing.T) {
 		t.Fatal(err)
 	}
 	eng := provquery.New(tr.Backend())
-	_, err := eng.Trace(path.MustParse("T/c5"), 1)
+	_, err := eng.Trace(context.Background(), path.MustParse("T/c5"), 1)
 	if !errors.Is(err, provquery.ErrBadTrace) {
 		t.Errorf("trace through deletion: %v", err)
 	}

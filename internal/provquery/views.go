@@ -1,6 +1,8 @@
 package provquery
 
 import (
+	"context"
+
 	"repro/internal/path"
 	"repro/internal/provstore"
 )
@@ -18,27 +20,27 @@ import (
 // Trace/Src/Hist/Mod batch the same resolutions for efficiency.
 
 // Unch reports that location p was untouched by transaction t.
-func (e *Engine) Unch(t int64, p path.Path) (bool, error) {
-	_, ok, err := provstore.Effective(e.backend, t, p)
+func (e *Engine) Unch(ctx context.Context, t int64, p path.Path) (bool, error) {
+	_, ok, err := provstore.Effective(ctx, e.backend, t, p)
 	return !ok && err == nil, err
 }
 
 // Ins reports that location p was inserted by transaction t.
-func (e *Engine) Ins(t int64, p path.Path) (bool, error) {
-	rec, ok, err := provstore.Effective(e.backend, t, p)
+func (e *Engine) Ins(ctx context.Context, t int64, p path.Path) (bool, error) {
+	rec, ok, err := provstore.Effective(ctx, e.backend, t, p)
 	return ok && rec.Op == provstore.OpInsert, err
 }
 
 // Del reports that location p was deleted by transaction t.
-func (e *Engine) Del(t int64, p path.Path) (bool, error) {
-	rec, ok, err := provstore.Effective(e.backend, t, p)
+func (e *Engine) Del(ctx context.Context, t int64, p path.Path) (bool, error) {
+	rec, ok, err := provstore.Effective(ctx, e.backend, t, p)
 	return ok && rec.Op == provstore.OpDelete, err
 }
 
 // Copy returns the source location p was copied from in transaction t, if
 // it was copied.
-func (e *Engine) Copy(t int64, p path.Path) (path.Path, bool, error) {
-	rec, ok, err := provstore.Effective(e.backend, t, p)
+func (e *Engine) Copy(ctx context.Context, t int64, p path.Path) (path.Path, bool, error) {
+	rec, ok, err := provstore.Effective(ctx, e.backend, t, p)
 	if err != nil || !ok || rec.Op != provstore.OpCopy {
 		return path.Root, false, err
 	}
@@ -49,8 +51,8 @@ func (e *Engine) Copy(t int64, p path.Path) (path.Path, bool, error) {
 // at the end of transaction t−1: the copy source if p was copied, p itself
 // if p was unchanged, and ok=false if p was created or deleted by t (no
 // predecessor).
-func (e *Engine) From(t int64, p path.Path) (path.Path, bool, error) {
-	rec, ok, err := provstore.Effective(e.backend, t, p)
+func (e *Engine) From(ctx context.Context, t int64, p path.Path) (path.Path, bool, error) {
+	rec, ok, err := provstore.Effective(ctx, e.backend, t, p)
 	if err != nil {
 		return path.Root, false, err
 	}

@@ -1,6 +1,7 @@
 package provquery_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/path"
@@ -11,7 +12,7 @@ import (
 func viewEngine(t *testing.T) *provquery.Engine {
 	t.Helper()
 	b := provstore.NewMemBackend()
-	err := b.Append([]provstore.Record{
+	err := b.Append(context.Background(), []provstore.Record{
 		{Tid: 1, Op: provstore.OpInsert, Loc: path.MustParse("T/a")},
 		{Tid: 2, Op: provstore.OpCopy, Loc: path.MustParse("T/b"), Src: path.MustParse("S/x")},
 		{Tid: 3, Op: provstore.OpDelete, Loc: path.MustParse("T/a")},
@@ -26,35 +27,35 @@ func TestViewPredicates(t *testing.T) {
 	e := viewEngine(t)
 	p := path.MustParse
 
-	if ok, _ := e.Ins(1, p("T/a")); !ok {
+	if ok, _ := e.Ins(context.Background(), 1, p("T/a")); !ok {
 		t.Error("Ins(1, T/a)")
 	}
-	if ok, _ := e.Ins(2, p("T/a")); ok {
+	if ok, _ := e.Ins(context.Background(), 2, p("T/a")); ok {
 		t.Error("¬Ins(2, T/a)")
 	}
-	if ok, _ := e.Del(3, p("T/a")); !ok {
+	if ok, _ := e.Del(context.Background(), 3, p("T/a")); !ok {
 		t.Error("Del(3, T/a)")
 	}
-	if ok, _ := e.Unch(2, p("T/a")); !ok {
+	if ok, _ := e.Unch(context.Background(), 2, p("T/a")); !ok {
 		t.Error("Unch(2, T/a)")
 	}
-	if ok, _ := e.Unch(2, p("T/b")); ok {
+	if ok, _ := e.Unch(context.Background(), 2, p("T/b")); ok {
 		t.Error("¬Unch(2, T/b)")
 	}
-	src, ok, _ := e.Copy(2, p("T/b"))
+	src, ok, _ := e.Copy(context.Background(), 2, p("T/b"))
 	if !ok || src.String() != "S/x" {
 		t.Errorf("Copy(2, T/b) = %v, %v", src, ok)
 	}
-	if _, ok, _ := e.Copy(1, p("T/a")); ok {
+	if _, ok, _ := e.Copy(context.Background(), 1, p("T/a")); ok {
 		t.Error("¬Copy(1, T/a)")
 	}
 	// Hierarchical inference flows through the views: children of the
 	// copied node are copied from rebased sources.
-	src, ok, _ = e.Copy(2, p("T/b/k"))
+	src, ok, _ = e.Copy(context.Background(), 2, p("T/b/k"))
 	if !ok || src.String() != "S/x/k" {
 		t.Errorf("inferred Copy(2, T/b/k) = %v, %v", src, ok)
 	}
-	if ok, _ := e.Ins(1, p("T/a/child")); !ok {
+	if ok, _ := e.Ins(context.Background(), 1, p("T/a/child")); !ok {
 		t.Error("children of inserted nodes are inserted")
 	}
 }
@@ -64,21 +65,21 @@ func TestFromPredicate(t *testing.T) {
 	p := path.MustParse
 
 	// Unchanged: comes from itself.
-	q, ok, err := e.From(2, p("T/other"))
+	q, ok, err := e.From(context.Background(), 2, p("T/other"))
 	if err != nil || !ok || !q.Equal(p("T/other")) {
 		t.Errorf("From(unch) = %v, %v, %v", q, ok, err)
 	}
 	// Copied: comes from the source.
-	q, ok, _ = e.From(2, p("T/b"))
+	q, ok, _ = e.From(context.Background(), 2, p("T/b"))
 	if !ok || q.String() != "S/x" {
 		t.Errorf("From(copy) = %v, %v", q, ok)
 	}
 	// Inserted: no predecessor.
-	if _, ok, _ := e.From(1, p("T/a")); ok {
+	if _, ok, _ := e.From(context.Background(), 1, p("T/a")); ok {
 		t.Error("From(inserted) should have no predecessor")
 	}
 	// Deleted: no predecessor either.
-	if _, ok, _ := e.From(3, p("T/a")); ok {
+	if _, ok, _ := e.From(context.Background(), 3, p("T/a")); ok {
 		t.Error("From(deleted) should have no predecessor")
 	}
 }

@@ -1,6 +1,7 @@
 package provstore
 
 import (
+	"context"
 	"sort"
 	"sync"
 
@@ -10,44 +11,51 @@ import (
 // A Backend persists provenance records — it plays the role of the
 // provenance database P in the paper's architecture (Figure 2). Each method
 // call corresponds to one logical round trip to the provenance database;
-// wrappers (see Instrument) charge simulated network cost per call.
+// wrappers (see provnet.ChargedBackend) charge simulated network cost per
+// call.
+//
+// Every method takes a context.Context as its first parameter, and a backend
+// must return promptly with ctx.Err() once the context is cancelled — a
+// long-running provenance query over a remote or sharded store needs a
+// cancellation path, exactly as a database/sql driver does. Implementations
+// that never block may simply check the context on entry.
 //
 // {Tid, Loc} is a key; Append rejects duplicates within a batch or against
 // stored rows, enforcing the paper's constraint that "for each transaction,
 // each location has either been inserted, deleted, or copied".
 type Backend interface {
 	// Append stores a batch of records in one round trip.
-	Append(recs []Record) error
+	Append(ctx context.Context, recs []Record) error
 	// Lookup returns the record with exactly this (tid, loc) key, if any.
-	Lookup(tid int64, loc path.Path) (Record, bool, error)
+	Lookup(ctx context.Context, tid int64, loc path.Path) (Record, bool, error)
 	// NearestAncestor returns the record of transaction tid whose Loc is
 	// the longest strict prefix of loc, if any. This single-round-trip
 	// query is what the hierarchical tracker issues before storing an
 	// insert record (paper §4.2: hierarchical inserts are slower because
 	// "we must first query the provenance database").
-	NearestAncestor(tid int64, loc path.Path) (Record, bool, error)
+	NearestAncestor(ctx context.Context, tid int64, loc path.Path) (Record, bool, error)
 	// ScanTid returns all records of a transaction, ordered by Loc.
-	ScanTid(tid int64) ([]Record, error)
+	ScanTid(ctx context.Context, tid int64) ([]Record, error)
 	// ScanLoc returns all records (any transaction) whose Loc equals loc,
 	// ordered by Tid.
-	ScanLoc(loc path.Path) ([]Record, error)
+	ScanLoc(ctx context.Context, loc path.Path) ([]Record, error)
 	// ScanLocPrefix returns all records whose Loc has the given prefix,
 	// ordered by (Loc, Tid). Used by the Mod query.
-	ScanLocPrefix(prefix path.Path) ([]Record, error)
+	ScanLocPrefix(ctx context.Context, prefix path.Path) ([]Record, error)
 	// ScanLocWithAncestors returns all records (any transaction) whose
 	// Loc equals loc or is a strict prefix of it, ordered by (Tid, Loc).
 	// This single round trip gives a query everything needed to resolve
 	// the effective provenance of loc in every transaction, including
 	// hierarchical inference.
-	ScanLocWithAncestors(loc path.Path) ([]Record, error)
+	ScanLocWithAncestors(ctx context.Context, loc path.Path) ([]Record, error)
 	// Tids returns all transaction identifiers in ascending order.
-	Tids() ([]int64, error)
+	Tids(ctx context.Context) ([]int64, error)
 	// MaxTid returns the largest transaction identifier stored, or 0.
-	MaxTid() (int64, error)
+	MaxTid(ctx context.Context) (int64, error)
 	// Count returns the total number of stored records.
-	Count() (int, error)
+	Count(ctx context.Context) (int, error)
 	// Bytes returns the physical size of the stored records.
-	Bytes() (int64, error)
+	Bytes(ctx context.Context) (int64, error)
 }
 
 // MemBackend is an in-memory Backend, used for tests, examples and as the
@@ -79,7 +87,10 @@ func memKey(tid int64, loc path.Path) string {
 }
 
 // Append implements Backend.
-func (b *MemBackend) Append(recs []Record) error {
+func (b *MemBackend) Append(ctx context.Context, recs []Record) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	// Validate the whole batch first so a failed Append stores nothing.
@@ -111,7 +122,10 @@ func (b *MemBackend) Append(recs []Record) error {
 }
 
 // Lookup implements Backend.
-func (b *MemBackend) Lookup(tid int64, loc path.Path) (Record, bool, error) {
+func (b *MemBackend) Lookup(ctx context.Context, tid int64, loc path.Path) (Record, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return Record{}, false, err
+	}
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	if idx, ok := b.byKey[memKey(tid, loc)]; ok {
@@ -121,7 +135,10 @@ func (b *MemBackend) Lookup(tid int64, loc path.Path) (Record, bool, error) {
 }
 
 // NearestAncestor implements Backend.
-func (b *MemBackend) NearestAncestor(tid int64, loc path.Path) (Record, bool, error) {
+func (b *MemBackend) NearestAncestor(ctx context.Context, tid int64, loc path.Path) (Record, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return Record{}, false, err
+	}
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	anc := loc.Ancestors()
@@ -134,7 +151,10 @@ func (b *MemBackend) NearestAncestor(tid int64, loc path.Path) (Record, bool, er
 }
 
 // ScanTid implements Backend.
-func (b *MemBackend) ScanTid(tid int64) ([]Record, error) {
+func (b *MemBackend) ScanTid(ctx context.Context, tid int64) ([]Record, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	idxs := b.byTid[tid]
@@ -147,7 +167,10 @@ func (b *MemBackend) ScanTid(tid int64) ([]Record, error) {
 }
 
 // ScanLoc implements Backend.
-func (b *MemBackend) ScanLoc(loc path.Path) ([]Record, error) {
+func (b *MemBackend) ScanLoc(ctx context.Context, loc path.Path) ([]Record, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	var out []Record
@@ -161,7 +184,10 @@ func (b *MemBackend) ScanLoc(loc path.Path) ([]Record, error) {
 }
 
 // ScanLocPrefix implements Backend.
-func (b *MemBackend) ScanLocPrefix(prefix path.Path) ([]Record, error) {
+func (b *MemBackend) ScanLocPrefix(ctx context.Context, prefix path.Path) ([]Record, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	var out []Record
@@ -180,7 +206,10 @@ func (b *MemBackend) ScanLocPrefix(prefix path.Path) ([]Record, error) {
 }
 
 // ScanLocWithAncestors implements Backend.
-func (b *MemBackend) ScanLocWithAncestors(loc path.Path) ([]Record, error) {
+func (b *MemBackend) ScanLocWithAncestors(ctx context.Context, loc path.Path) ([]Record, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	var out []Record
@@ -199,7 +228,10 @@ func (b *MemBackend) ScanLocWithAncestors(loc path.Path) ([]Record, error) {
 }
 
 // Tids implements Backend.
-func (b *MemBackend) Tids() ([]int64, error) {
+func (b *MemBackend) Tids(ctx context.Context) ([]int64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	out := make([]int64, 0, len(b.byTid))
@@ -211,21 +243,30 @@ func (b *MemBackend) Tids() ([]int64, error) {
 }
 
 // MaxTid implements Backend.
-func (b *MemBackend) MaxTid() (int64, error) {
+func (b *MemBackend) MaxTid(ctx context.Context) (int64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	return b.maxT, nil
 }
 
 // Count implements Backend.
-func (b *MemBackend) Count() (int, error) {
+func (b *MemBackend) Count(ctx context.Context) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	return len(b.recs), nil
 }
 
 // Bytes implements Backend.
-func (b *MemBackend) Bytes() (int64, error) {
+func (b *MemBackend) Bytes(ctx context.Context) (int64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	return b.bytes, nil

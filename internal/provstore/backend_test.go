@@ -1,6 +1,7 @@
 package provstore
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -17,92 +18,92 @@ func rec(tid int64, op OpKind, loc, src string) Record {
 
 func TestMemBackendAppendAndLookup(t *testing.T) {
 	b := NewMemBackend()
-	if err := b.Append([]Record{
+	if err := b.Append(context.Background(), []Record{
 		rec(1, OpInsert, "T/a", ""),
 		rec(1, OpCopy, "T/b", "S/x"),
 		rec(2, OpDelete, "T/a", ""),
 	}); err != nil {
 		t.Fatal(err)
 	}
-	r, ok, err := b.Lookup(1, path.MustParse("T/b"))
+	r, ok, err := b.Lookup(context.Background(), 1, path.MustParse("T/b"))
 	if err != nil || !ok || r.Src.String() != "S/x" {
 		t.Fatalf("Lookup = %v, %v, %v", r, ok, err)
 	}
-	if _, ok, _ := b.Lookup(3, path.MustParse("T/a")); ok {
+	if _, ok, _ := b.Lookup(context.Background(), 3, path.MustParse("T/a")); ok {
 		t.Error("lookup of absent key should miss")
 	}
-	if n, _ := b.Count(); n != 3 {
+	if n, _ := b.Count(context.Background()); n != 3 {
 		t.Errorf("Count = %d", n)
 	}
-	if bts, _ := b.Bytes(); bts <= 0 {
+	if bts, _ := b.Bytes(context.Background()); bts <= 0 {
 		t.Error("Bytes should be positive")
 	}
-	if mt, _ := b.MaxTid(); mt != 2 {
+	if mt, _ := b.MaxTid(context.Background()); mt != 2 {
 		t.Errorf("MaxTid = %d", mt)
 	}
 }
 
 func TestMemBackendDupKey(t *testing.T) {
 	b := NewMemBackend()
-	if err := b.Append([]Record{rec(1, OpInsert, "T/a", "")}); err != nil {
+	if err := b.Append(context.Background(), []Record{rec(1, OpInsert, "T/a", "")}); err != nil {
 		t.Fatal(err)
 	}
-	err := b.Append([]Record{rec(1, OpDelete, "T/a", "")})
+	err := b.Append(context.Background(), []Record{rec(1, OpDelete, "T/a", "")})
 	var dke *DupKeyError
 	if !errors.As(err, &dke) {
 		t.Fatalf("want DupKeyError, got %v", err)
 	}
 	// Duplicate within one batch.
-	err = b.Append([]Record{rec(5, OpInsert, "T/z", ""), rec(5, OpDelete, "T/z", "")})
+	err = b.Append(context.Background(), []Record{rec(5, OpInsert, "T/z", ""), rec(5, OpDelete, "T/z", "")})
 	if !errors.As(err, &dke) {
 		t.Fatalf("want DupKeyError for in-batch dup, got %v", err)
 	}
 	// A failed batch must store nothing.
-	if _, ok, _ := b.Lookup(5, path.MustParse("T/z")); ok {
+	if _, ok, _ := b.Lookup(context.Background(), 5, path.MustParse("T/z")); ok {
 		t.Error("failed batch leaked records")
 	}
 	// Invalid record rejected.
-	if err := b.Append([]Record{{Tid: 1, Op: OpKind('?'), Loc: path.MustParse("T/q")}}); err == nil {
+	if err := b.Append(context.Background(), []Record{{Tid: 1, Op: OpKind('?'), Loc: path.MustParse("T/q")}}); err == nil {
 		t.Error("invalid record should be rejected")
 	}
 }
 
 func TestMemBackendNearestAncestor(t *testing.T) {
 	b := NewMemBackend()
-	b.Append([]Record{
+	b.Append(context.Background(), []Record{
 		rec(7, OpCopy, "T/a", "S/p"),
 		rec(7, OpInsert, "T/a/b/c", ""),
 	})
 	// Nearest ancestor of T/a/b/c/d/e within tid 7 is the insert at T/a/b/c.
-	r, ok, err := b.NearestAncestor(7, path.MustParse("T/a/b/c/d/e"))
+	r, ok, err := b.NearestAncestor(context.Background(), 7, path.MustParse("T/a/b/c/d/e"))
 	if err != nil || !ok || r.Loc.String() != "T/a/b/c" {
 		t.Fatalf("NearestAncestor = %v, %v, %v", r, ok, err)
 	}
 	// Nearest ancestor of T/a/b is the copy at T/a.
-	r, ok, _ = b.NearestAncestor(7, path.MustParse("T/a/b"))
+	r, ok, _ = b.NearestAncestor(context.Background(), 7, path.MustParse("T/a/b"))
 	if !ok || r.Loc.String() != "T/a" {
 		t.Fatalf("NearestAncestor = %v, %v", r, ok)
 	}
 	// Self never matches (strict ancestors only).
-	if _, ok, _ := b.NearestAncestor(7, path.MustParse("T/a")); ok {
+	if _, ok, _ := b.NearestAncestor(context.Background(), 7, path.MustParse("T/a")); ok {
 		t.Error("NearestAncestor must exclude self")
 	}
 	// Different transaction sees nothing.
-	if _, ok, _ := b.NearestAncestor(8, path.MustParse("T/a/b")); ok {
+	if _, ok, _ := b.NearestAncestor(context.Background(), 8, path.MustParse("T/a/b")); ok {
 		t.Error("other tid should miss")
 	}
 }
 
 func TestMemBackendScans(t *testing.T) {
 	b := NewMemBackend()
-	b.Append([]Record{
+	b.Append(context.Background(), []Record{
 		rec(2, OpInsert, "T/b", ""),
 		rec(1, OpInsert, "T/b", ""),
 		rec(1, OpCopy, "T/a/x", "S/p"),
 		rec(3, OpDelete, "T/a/x/y", ""),
 		rec(1, OpInsert, "T/ab", ""),
 	})
-	recs, err := b.ScanTid(1)
+	recs, err := b.ScanTid(context.Background(), 1)
 	if err != nil || len(recs) != 3 {
 		t.Fatalf("ScanTid(1) = %v, %v", recs, err)
 	}
@@ -110,11 +111,11 @@ func TestMemBackendScans(t *testing.T) {
 	if recs[0].Loc.String() != "T/a/x" || recs[1].Loc.String() != "T/ab" || recs[2].Loc.String() != "T/b" {
 		t.Errorf("ScanTid order: %v", recs)
 	}
-	byLoc, err := b.ScanLoc(path.MustParse("T/b"))
+	byLoc, err := b.ScanLoc(context.Background(), path.MustParse("T/b"))
 	if err != nil || len(byLoc) != 2 || byLoc[0].Tid != 1 || byLoc[1].Tid != 2 {
 		t.Fatalf("ScanLoc = %v, %v", byLoc, err)
 	}
-	pre, err := b.ScanLocPrefix(path.MustParse("T/a"))
+	pre, err := b.ScanLocPrefix(context.Background(), path.MustParse("T/a"))
 	if err != nil || len(pre) != 2 {
 		t.Fatalf("ScanLocPrefix = %v, %v", pre, err)
 	}
@@ -124,7 +125,7 @@ func TestMemBackendScans(t *testing.T) {
 			t.Error("T/ab wrongly included under prefix T/a")
 		}
 	}
-	tids, _ := b.Tids()
+	tids, _ := b.Tids(context.Background())
 	if len(tids) != 3 || tids[0] != 1 || tids[2] != 3 {
 		t.Errorf("Tids = %v", tids)
 	}
@@ -136,38 +137,38 @@ func TestMemBackendScans(t *testing.T) {
 
 func TestEffectiveInference(t *testing.T) {
 	b := NewMemBackend()
-	b.Append([]Record{
+	b.Append(context.Background(), []Record{
 		rec(5, OpCopy, "T/x", "S/a"),
 		rec(5, OpInsert, "T/x/new", ""),
 		rec(6, OpInsert, "T/y", ""),
 		rec(7, OpDelete, "T/z", ""),
 	})
 	// Explicit record wins.
-	r, ok, err := Effective(b, 5, path.MustParse("T/x/new"))
+	r, ok, err := Effective(context.Background(), b, 5, path.MustParse("T/x/new"))
 	if err != nil || !ok || r.Op != OpInsert {
 		t.Fatalf("explicit: %v %v %v", r, ok, err)
 	}
 	// Inferred copy with rebased source.
-	r, ok, _ = Effective(b, 5, path.MustParse("T/x/b/c"))
+	r, ok, _ = Effective(context.Background(), b, 5, path.MustParse("T/x/b/c"))
 	if !ok || r.Op != OpCopy || r.Src.String() != "S/a/b/c" {
 		t.Fatalf("inferred copy: %v %v", r, ok)
 	}
 	// Inferred insert under inserted ancestor.
-	r, ok, _ = Effective(b, 6, path.MustParse("T/y/k"))
+	r, ok, _ = Effective(context.Background(), b, 6, path.MustParse("T/y/k"))
 	if !ok || r.Op != OpInsert {
 		t.Fatalf("inferred insert: %v %v", r, ok)
 	}
 	// Inferred delete under deleted ancestor.
-	r, ok, _ = Effective(b, 7, path.MustParse("T/z/w"))
+	r, ok, _ = Effective(context.Background(), b, 7, path.MustParse("T/z/w"))
 	if !ok || r.Op != OpDelete {
 		t.Fatalf("inferred delete: %v %v", r, ok)
 	}
 	// Unchanged: no record, no ancestor.
-	if _, ok, _ := Effective(b, 5, path.MustParse("T/other")); ok {
+	if _, ok, _ := Effective(context.Background(), b, 5, path.MustParse("T/other")); ok {
 		t.Error("unchanged location must report Unch")
 	}
 	// Different transaction: unchanged.
-	if _, ok, _ := Effective(b, 6, path.MustParse("T/x/b")); ok {
+	if _, ok, _ := Effective(context.Background(), b, 6, path.MustParse("T/x/b")); ok {
 		t.Error("tid mismatch must report Unch")
 	}
 }

@@ -1,6 +1,8 @@
 package provstore
 
 import (
+	"context"
+	"io"
 	"sync"
 
 	"repro/internal/path"
@@ -24,7 +26,7 @@ type Flusher interface {
 // shares one commit. Implemented by relprov.Backend (one WAL fsync per
 // group) and ShardedBackend (per-shard groups in parallel).
 type GroupCommitter interface {
-	AppendBatch(batches ...[]Record) error
+	AppendBatch(ctx context.Context, batches ...[]Record) error
 }
 
 // Flush pushes buffered writes down if b buffers any; it is a no-op for
@@ -34,6 +36,20 @@ func Flush(b Backend) error {
 		return f.Flush()
 	}
 	return nil
+}
+
+// Close flushes b if it buffers writes and closes it if it holds external
+// resources; both are optional capabilities, so Close is safe on any
+// backend. The flush error wins over the close error (acknowledged records
+// that could not be persisted matter more than a failed file release).
+func Close(b Backend) error {
+	err := Flush(b)
+	if c, ok := b.(io.Closer); ok {
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // A BatchingBackend wraps a Backend and buffers appended batches until
@@ -84,9 +100,12 @@ func (b *BatchingBackend) Inner() Backend { return b.inner }
 
 // Append implements Backend: the batch is validated and enqueued, and the
 // buffer is flushed once it holds at least BatchSize records.
-func (b *BatchingBackend) Append(recs []Record) error {
+func (b *BatchingBackend) Append(ctx context.Context, recs []Record) error {
 	if b.size <= 1 {
-		return b.inner.Append(recs)
+		return b.inner.Append(ctx, recs)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -104,7 +123,7 @@ func (b *BatchingBackend) Append(recs []Record) error {
 		if _, dup := b.keys[k]; dup {
 			return &DupKeyError{Tid: r.Tid, Loc: r.Loc}
 		}
-		if _, ok, err := b.inner.Lookup(r.Tid, r.Loc); err != nil {
+		if _, ok, err := b.inner.Lookup(ctx, r.Tid, r.Loc); err != nil {
 			return err
 		} else if ok {
 			return &DupKeyError{Tid: r.Tid, Loc: r.Loc}
@@ -138,6 +157,18 @@ func (b *BatchingBackend) Flush() error {
 	return b.flushLocked()
 }
 
+// Close flushes the buffer and closes the wrapped store if it holds
+// external resources; the flush error wins.
+func (b *BatchingBackend) Close() error {
+	err := b.Flush()
+	if c, ok := b.inner.(io.Closer); ok {
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
 // flushLocked drains the buffer. On error the buffered batches are KEPT so
 // the acknowledged records are not lost and a later Flush (or read) can
 // retry; eager validation at enqueue time makes this path exceptional (a
@@ -145,11 +176,15 @@ func (b *BatchingBackend) Flush() error {
 // part of the group before failing, a retry reports DupKeyError for the
 // already-applied batches — loud, and recoverable by inspection, where
 // silently dropping acknowledged provenance would not be.
+//
+// The flush deliberately runs under context.Background(): the records were
+// acknowledged under the context of the Append that buffered them, so a
+// later caller's cancellation must not be able to strand them.
 func (b *BatchingBackend) flushLocked() error {
 	if b.pending == 0 {
 		return nil
 	}
-	if err := appendBatches(b.inner, b.batches); err != nil {
+	if err := appendBatches(context.Background(), b.inner, b.batches); err != nil {
 		return err
 	}
 	b.batches = nil
@@ -161,81 +196,81 @@ func (b *BatchingBackend) flushLocked() error {
 // --- read-through: every read flushes, then delegates ----------------------
 
 // Lookup implements Backend.
-func (b *BatchingBackend) Lookup(tid int64, loc path.Path) (Record, bool, error) {
+func (b *BatchingBackend) Lookup(ctx context.Context, tid int64, loc path.Path) (Record, bool, error) {
 	if err := b.Flush(); err != nil {
 		return Record{}, false, err
 	}
-	return b.inner.Lookup(tid, loc)
+	return b.inner.Lookup(ctx, tid, loc)
 }
 
 // NearestAncestor implements Backend.
-func (b *BatchingBackend) NearestAncestor(tid int64, loc path.Path) (Record, bool, error) {
+func (b *BatchingBackend) NearestAncestor(ctx context.Context, tid int64, loc path.Path) (Record, bool, error) {
 	if err := b.Flush(); err != nil {
 		return Record{}, false, err
 	}
-	return b.inner.NearestAncestor(tid, loc)
+	return b.inner.NearestAncestor(ctx, tid, loc)
 }
 
 // ScanTid implements Backend.
-func (b *BatchingBackend) ScanTid(tid int64) ([]Record, error) {
+func (b *BatchingBackend) ScanTid(ctx context.Context, tid int64) ([]Record, error) {
 	if err := b.Flush(); err != nil {
 		return nil, err
 	}
-	return b.inner.ScanTid(tid)
+	return b.inner.ScanTid(ctx, tid)
 }
 
 // ScanLoc implements Backend.
-func (b *BatchingBackend) ScanLoc(loc path.Path) ([]Record, error) {
+func (b *BatchingBackend) ScanLoc(ctx context.Context, loc path.Path) ([]Record, error) {
 	if err := b.Flush(); err != nil {
 		return nil, err
 	}
-	return b.inner.ScanLoc(loc)
+	return b.inner.ScanLoc(ctx, loc)
 }
 
 // ScanLocPrefix implements Backend.
-func (b *BatchingBackend) ScanLocPrefix(prefix path.Path) ([]Record, error) {
+func (b *BatchingBackend) ScanLocPrefix(ctx context.Context, prefix path.Path) ([]Record, error) {
 	if err := b.Flush(); err != nil {
 		return nil, err
 	}
-	return b.inner.ScanLocPrefix(prefix)
+	return b.inner.ScanLocPrefix(ctx, prefix)
 }
 
 // ScanLocWithAncestors implements Backend.
-func (b *BatchingBackend) ScanLocWithAncestors(loc path.Path) ([]Record, error) {
+func (b *BatchingBackend) ScanLocWithAncestors(ctx context.Context, loc path.Path) ([]Record, error) {
 	if err := b.Flush(); err != nil {
 		return nil, err
 	}
-	return b.inner.ScanLocWithAncestors(loc)
+	return b.inner.ScanLocWithAncestors(ctx, loc)
 }
 
 // Tids implements Backend.
-func (b *BatchingBackend) Tids() ([]int64, error) {
+func (b *BatchingBackend) Tids(ctx context.Context) ([]int64, error) {
 	if err := b.Flush(); err != nil {
 		return nil, err
 	}
-	return b.inner.Tids()
+	return b.inner.Tids(ctx)
 }
 
 // MaxTid implements Backend.
-func (b *BatchingBackend) MaxTid() (int64, error) {
+func (b *BatchingBackend) MaxTid(ctx context.Context) (int64, error) {
 	if err := b.Flush(); err != nil {
 		return 0, err
 	}
-	return b.inner.MaxTid()
+	return b.inner.MaxTid(ctx)
 }
 
 // Count implements Backend.
-func (b *BatchingBackend) Count() (int, error) {
+func (b *BatchingBackend) Count(ctx context.Context) (int, error) {
 	if err := b.Flush(); err != nil {
 		return 0, err
 	}
-	return b.inner.Count()
+	return b.inner.Count(ctx)
 }
 
 // Bytes implements Backend.
-func (b *BatchingBackend) Bytes() (int64, error) {
+func (b *BatchingBackend) Bytes(ctx context.Context) (int64, error) {
 	if err := b.Flush(); err != nil {
 		return 0, err
 	}
-	return b.inner.Bytes()
+	return b.inner.Bytes(ctx)
 }

@@ -1,6 +1,7 @@
 package provstore
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -25,7 +26,7 @@ func TestMemBackendConcurrent(t *testing.T) {
 				recs := []Record{
 					{Tid: tid, Op: OpInsert, Loc: path.New("T", fmt.Sprintf("w%d", w), fmt.Sprintf("n%d", i))},
 				}
-				if err := b.Append(recs); err != nil {
+				if err := b.Append(context.Background(), recs); err != nil {
 					t.Errorf("writer %d: %v", w, err)
 					return
 				}
@@ -39,21 +40,21 @@ func TestMemBackendConcurrent(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 300; i++ {
 				loc := path.New("T", fmt.Sprintf("w%d", r), fmt.Sprintf("n%d", i%perWriter))
-				b.Lookup(int64(i+1), loc)
-				b.NearestAncestor(int64(i+1), loc.Child("deep"))
-				b.ScanTid(int64(i + 1))
-				b.ScanLocWithAncestors(loc)
-				b.Count()
-				b.MaxTid()
+				b.Lookup(context.Background(), int64(i+1), loc)
+				b.NearestAncestor(context.Background(), int64(i+1), loc.Child("deep"))
+				b.ScanTid(context.Background(), int64(i+1))
+				b.ScanLocWithAncestors(context.Background(), loc)
+				b.Count(context.Background())
+				b.MaxTid(context.Background())
 			}
 		}(r)
 	}
 	wg.Wait()
-	n, err := b.Count()
+	n, err := b.Count(context.Background())
 	if err != nil || n != writers*perWriter {
 		t.Fatalf("Count = %d, %v; want %d", n, err, writers*perWriter)
 	}
-	tids, _ := b.Tids()
+	tids, _ := b.Tids(context.Background())
 	if len(tids) != writers*perWriter {
 		t.Errorf("Tids = %d", len(tids))
 	}
@@ -77,7 +78,7 @@ func TestShardedBackendConcurrent(t *testing.T) {
 					{Tid: tid, Op: OpInsert, Loc: path.New("T", fmt.Sprintf("w%d", w), fmt.Sprintf("n%d", i))},
 					{Tid: tid, Op: OpCopy, Loc: path.New("T", fmt.Sprintf("w%d", w), fmt.Sprintf("c%d", i)), Src: path.New("S", "x")},
 				}
-				if err := b.Append(recs); err != nil {
+				if err := b.Append(context.Background(), recs); err != nil {
 					t.Errorf("writer %d: %v", w, err)
 					return
 				}
@@ -90,21 +91,21 @@ func TestShardedBackendConcurrent(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
 				loc := path.New("T", fmt.Sprintf("w%d", r), fmt.Sprintf("n%d", i%perWriter))
-				b.Lookup(int64(i+1), loc)
-				b.NearestAncestor(int64(i+1), loc.Child("deep"))
-				b.ScanTid(int64(i + 1))
-				b.ScanLoc(loc)
-				b.ScanLocPrefix(path.New("T", fmt.Sprintf("w%d", r)))
-				b.ScanLocWithAncestors(loc)
-				b.Tids()
-				b.Count()
-				b.MaxTid()
-				b.Bytes()
+				b.Lookup(context.Background(), int64(i+1), loc)
+				b.NearestAncestor(context.Background(), int64(i+1), loc.Child("deep"))
+				b.ScanTid(context.Background(), int64(i+1))
+				b.ScanLoc(context.Background(), loc)
+				b.ScanLocPrefix(context.Background(), path.New("T", fmt.Sprintf("w%d", r)))
+				b.ScanLocWithAncestors(context.Background(), loc)
+				b.Tids(context.Background())
+				b.Count(context.Background())
+				b.MaxTid(context.Background())
+				b.Bytes(context.Background())
 			}
 		}(r)
 	}
 	wg.Wait()
-	n, err := b.Count()
+	n, err := b.Count(context.Background())
 	if err != nil || n != 2*writers*perWriter {
 		t.Fatalf("Count = %d, %v; want %d", n, err, 2*writers*perWriter)
 	}
@@ -154,9 +155,9 @@ func TestShardedIngestConcurrent(t *testing.T) {
 				go func() {
 					defer wg.Done()
 					for i := 0; i < 100; i++ {
-						backend.MaxTid()
-						backend.Count()
-						backend.ScanLocPrefix(path.New("T"))
+						backend.MaxTid(context.Background())
+						backend.Count(context.Background())
+						backend.ScanLocPrefix(context.Background(), path.New("T"))
 					}
 				}()
 			}
@@ -167,13 +168,13 @@ func TestShardedIngestConcurrent(t *testing.T) {
 			if err := Flush(backend); err != nil {
 				t.Fatal(err)
 			}
-			n, err := backend.Count()
+			n, err := backend.Count(context.Background())
 			if err != nil || n != workers*perWorker {
 				t.Fatalf("Count = %d, %v; want %d", n, err, workers*perWorker)
 			}
 			// Every record must be findable at its own location.
 			for w := 0; w < workers; w++ {
-				recs, err := backend.ScanLocPrefix(path.New("T", fmt.Sprintf("w%d", w)))
+				recs, err := backend.ScanLocPrefix(context.Background(), path.New("T", fmt.Sprintf("w%d", w)))
 				if err != nil || len(recs) != perWorker {
 					t.Fatalf("worker %d subtree has %d records, %v; want %d", w, len(recs), err, perWorker)
 				}
@@ -196,7 +197,7 @@ func TestBatchingBackendConcurrent(t *testing.T) {
 			for i := 0; i < perWriter; i++ {
 				tid := int64(w*perWriter + i + 1)
 				rec := Record{Tid: tid, Op: OpInsert, Loc: path.New("T", fmt.Sprintf("w%d", w), fmt.Sprintf("n%d", i))}
-				if err := b.Append([]Record{rec}); err != nil {
+				if err := b.Append(context.Background(), []Record{rec}); err != nil {
 					t.Errorf("writer %d: %v", w, err)
 					return
 				}
@@ -207,7 +208,7 @@ func TestBatchingBackendConcurrent(t *testing.T) {
 	if err := b.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	if n, err := b.Count(); err != nil || n != writers*perWriter {
+	if n, err := b.Count(context.Background()); err != nil || n != writers*perWriter {
 		t.Fatalf("Count = %d, %v; want %d", n, err, writers*perWriter)
 	}
 }

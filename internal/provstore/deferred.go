@@ -1,6 +1,7 @@
 package provstore
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/path"
@@ -52,7 +53,7 @@ func (t *deferredTracker) Commit() (int64, error) {
 	if len(recs) == 0 {
 		return tid, nil
 	}
-	if err := t.backend.Append(recs); err != nil {
+	if err := t.backend.Append(context.Background(), recs); err != nil {
 		return 0, err
 	}
 	return tid, nil

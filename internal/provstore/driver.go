@@ -1,0 +1,321 @@
+package provstore
+
+import (
+	"errors"
+	"fmt"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// This file implements the backend driver registry, modeled on database/sql:
+// backends register an opener under a URI scheme, and OpenDSN("mem://…",
+// "rel://…", "sharded://…") resolves a data source name to a live Backend.
+// The paper's architecture treats the provenance database P as a pluggable
+// service behind the editor (Figure 2); the registry is what makes it
+// pluggable by configuration rather than by constructor choice.
+//
+// DSN grammar:
+//
+//	dsn    = scheme "://" [path] ["?" params]
+//	scheme = ALPHA *(ALPHA / DIGIT / "+" / "-" / ".")
+//	path   = any characters except "?" (URL-percent-escapes are decoded)
+//	params = standard URL query syntax; interpretation is per driver
+//
+// Built-in schemes:
+//
+//	mem://                      in-memory store
+//	mem://?shards=8             in-memory store over 8 hash-partitioned shards
+//	rel://file.db?create=1      relational store in file.db (create it)
+//	rel://file.db?durable=1     … with a WAL and group commit (file.db.wal)
+//	sharded://?shard=DSN&shard=DSN   sharded store over explicit shard DSNs
+//	sharded://?shards=N&each=DSN     … over N shards opened from a template
+//	                                 ("%d" in the template becomes the index)
+//
+// (The rel driver registers itself from internal/relprov, so importing the
+// root cpdb package makes all built-in schemes available.)
+
+// A DSN is a parsed backend data source name.
+type DSN struct {
+	// Scheme selects the driver ("mem", "rel", …).
+	Scheme string
+	// Path is the location part between "://" and "?", percent-decoded
+	// ("" for stores with no location, like mem).
+	Path string
+	// Params are the query parameters after "?" (never nil).
+	Params url.Values
+
+	raw string
+}
+
+// String returns the DSN as it was parsed.
+func (d DSN) String() string { return d.raw }
+
+// Param returns the first value of the named parameter, or "" when absent.
+func (d DSN) Param(key string) string { return d.Params.Get(key) }
+
+// BoolParam interprets the named parameter as a flag: absent and "0"/
+// "false"/"no" are false; "1"/"true"/"yes" (and a bare "?durable" with an
+// empty value) are true. Anything else is an error.
+func (d DSN) BoolParam(key string) (bool, error) {
+	if _, ok := d.Params[key]; !ok {
+		return false, nil
+	}
+	switch strings.ToLower(d.Params.Get(key)) {
+	case "", "1", "true", "yes":
+		return true, nil
+	case "0", "false", "no":
+		return false, nil
+	default:
+		return false, fmt.Errorf("provstore: dsn %s: parameter %s=%q is not a boolean", d.raw, key, d.Params.Get(key))
+	}
+}
+
+// IntParam returns the named parameter as an int, or def when absent.
+func (d DSN) IntParam(key string, def int) (int, error) {
+	v := d.Params.Get(key)
+	if v == "" {
+		if _, ok := d.Params[key]; !ok {
+			return def, nil
+		}
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("provstore: dsn %s: parameter %s=%q is not an integer", d.raw, key, v)
+	}
+	return n, nil
+}
+
+// RejectUnknownParams errors on any parameter outside the allowed set, so a
+// typo ("durible=1") fails loudly instead of being ignored. Drivers are
+// expected to call it after reading their parameters.
+func (d DSN) RejectUnknownParams(allowed ...string) error {
+	for k := range d.Params {
+		ok := false
+		for _, a := range allowed {
+			if k == a {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("provstore: dsn %s: unknown parameter %q (%s driver accepts %s)",
+				d.raw, k, d.Scheme, strings.Join(allowed, ", "))
+		}
+	}
+	return nil
+}
+
+// ParseDSN parses a data source name. It validates only the shared grammar;
+// parameter names and the meaning of the path belong to the driver.
+func ParseDSN(s string) (DSN, error) {
+	scheme, rest, ok := strings.Cut(s, "://")
+	if !ok {
+		return DSN{}, fmt.Errorf("provstore: dsn %q has no scheme (want scheme://…)", s)
+	}
+	if !validScheme(scheme) {
+		return DSN{}, fmt.Errorf("provstore: dsn %q has an invalid scheme %q", s, scheme)
+	}
+	pathPart, query, _ := strings.Cut(rest, "?")
+	decoded, err := url.PathUnescape(pathPart)
+	if err != nil {
+		return DSN{}, fmt.Errorf("provstore: dsn %q: bad path escaping: %v", s, err)
+	}
+	params, err := url.ParseQuery(query)
+	if err != nil {
+		return DSN{}, fmt.Errorf("provstore: dsn %q: bad parameters: %v", s, err)
+	}
+	return DSN{Scheme: scheme, Path: decoded, Params: params, raw: s}, nil
+}
+
+func validScheme(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z':
+		case i > 0 && (c >= '0' && c <= '9' || c == '+' || c == '-' || c == '.'):
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// EscapeDSNPath escapes a file path for embedding in a DSN, so paths
+// containing "?", "%" or "#" round-trip through ParseDSN.
+func EscapeDSNPath(p string) string {
+	// PathEscape escapes "/" too; restore it for readability — ParseDSN
+	// splits on "?" only, so literal slashes are safe.
+	return strings.ReplaceAll(url.PathEscape(p), "%2F", "/")
+}
+
+// A Driver opens backends for one DSN scheme.
+type Driver interface {
+	Open(dsn DSN) (Backend, error)
+}
+
+// DriverFunc adapts a function to the Driver interface.
+type DriverFunc func(dsn DSN) (Backend, error)
+
+// Open implements Driver.
+func (f DriverFunc) Open(dsn DSN) (Backend, error) { return f(dsn) }
+
+var (
+	driversMu sync.RWMutex
+	drivers   = make(map[string]Driver)
+)
+
+// RegisterDriver makes a backend driver available under the given DSN
+// scheme. Like database/sql.Register it is intended to run from a driver
+// package's init function, and panics on a nil driver or a duplicate scheme.
+func RegisterDriver(scheme string, d Driver) {
+	driversMu.Lock()
+	defer driversMu.Unlock()
+	if d == nil {
+		panic("provstore: RegisterDriver driver is nil")
+	}
+	if !validScheme(scheme) {
+		panic(fmt.Sprintf("provstore: RegisterDriver scheme %q is invalid", scheme))
+	}
+	if _, dup := drivers[scheme]; dup {
+		panic(fmt.Sprintf("provstore: RegisterDriver called twice for scheme %q", scheme))
+	}
+	drivers[scheme] = d
+}
+
+// Drivers returns the registered scheme names, sorted.
+func Drivers() []string {
+	driversMu.RLock()
+	defer driversMu.RUnlock()
+	out := make([]string, 0, len(drivers))
+	for s := range drivers {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// OpenDSN parses a data source name and opens a backend with the driver
+// registered for its scheme.
+func OpenDSN(s string) (Backend, error) {
+	dsn, err := ParseDSN(s)
+	if err != nil {
+		return nil, err
+	}
+	driversMu.RLock()
+	d, ok := drivers[dsn.Scheme]
+	driversMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("provstore: dsn %q: unknown scheme %q (registered: %s)",
+			s, dsn.Scheme, strings.Join(Drivers(), ", "))
+	}
+	return d.Open(dsn)
+}
+
+// --- built-in drivers -------------------------------------------------------
+
+func init() {
+	RegisterDriver("mem", DriverFunc(openMem))
+	RegisterDriver("sharded", DriverFunc(openComposite))
+}
+
+// openMem opens mem:// (a single in-memory store) and mem://?shards=N (N
+// hash-partitioned in-memory shards).
+func openMem(dsn DSN) (Backend, error) {
+	if dsn.Path != "" {
+		return nil, fmt.Errorf("provstore: dsn %s: mem stores have no path", dsn)
+	}
+	if err := dsn.RejectUnknownParams("shards"); err != nil {
+		return nil, err
+	}
+	if _, sharded := dsn.Params["shards"]; sharded {
+		n, err := dsn.IntParam("shards", 1)
+		if err != nil {
+			return nil, err
+		}
+		if n < 1 {
+			return nil, fmt.Errorf("provstore: dsn %s: shards must be >= 1", dsn)
+		}
+		return NewShardedMem(n), nil
+	}
+	return NewMemBackend(), nil
+}
+
+// openComposite opens sharded://, composing per-shard DSNs: either explicit
+// repeated shard=DSN parameters, or shards=N with an each=DSN template in
+// which "%d" (if present) is replaced by the shard index. With no
+// parameters at all it composes nothing and errors — a sharded store needs
+// its shards named.
+func openComposite(dsn DSN) (Backend, error) {
+	if dsn.Path != "" {
+		return nil, fmt.Errorf("provstore: dsn %s: sharded stores have no path; name shards via ?shard=… or ?shards=N&each=…", dsn)
+	}
+	if err := dsn.RejectUnknownParams("shard", "shards", "each"); err != nil {
+		return nil, err
+	}
+	explicit := dsn.Params["shard"]
+	_, hasCount := dsn.Params["shards"]
+	if len(explicit) > 0 && hasCount {
+		return nil, fmt.Errorf("provstore: dsn %s: use either shard=… or shards=N&each=…, not both", dsn)
+	}
+	var shardDSNs []string
+	switch {
+	case len(explicit) > 0:
+		shardDSNs = explicit
+	case hasCount:
+		n, err := dsn.IntParam("shards", 0)
+		if err != nil {
+			return nil, err
+		}
+		if n < 1 {
+			return nil, fmt.Errorf("provstore: dsn %s: shards must be >= 1", dsn)
+		}
+		each := dsn.Param("each")
+		if each == "" {
+			each = "mem://"
+		}
+		if n > 1 && !strings.Contains(each, "%d") {
+			// Expanding one fixed DSN N times is only safe when opening it
+			// repeatedly yields independent stores. That is guaranteed for
+			// the built-in mem scheme; for anything else (file- or
+			// network-backed), N handles onto one store would silently
+			// corrupt the partitioning, so demand an index placeholder or
+			// explicit shard= parameters.
+			tmpl, terr := ParseDSN(each)
+			if terr != nil {
+				return nil, fmt.Errorf("provstore: dsn %s: bad each template: %w", dsn, terr)
+			}
+			if tmpl.Scheme != "mem" {
+				return nil, fmt.Errorf("provstore: dsn %s: %d shards would share one %s store %q; put %%d in the each template or list explicit shard= DSNs", dsn, n, tmpl.Scheme, each)
+			}
+		}
+		for i := 0; i < n; i++ {
+			shardDSNs = append(shardDSNs, strings.ReplaceAll(each, "%d", strconv.Itoa(i)))
+		}
+	default:
+		return nil, errors.New("provstore: sharded:// needs ?shard=… parameters or ?shards=N&each=…")
+	}
+	shards := make([]Backend, 0, len(shardDSNs))
+	fail := func(err error) (Backend, error) {
+		for _, s := range shards {
+			Close(s) //nolint:errcheck // already failing; release what opened
+		}
+		return nil, err
+	}
+	for i, sd := range shardDSNs {
+		b, err := OpenDSN(sd)
+		if err != nil {
+			return fail(fmt.Errorf("provstore: dsn %s: shard %d: %w", dsn, i, err))
+		}
+		shards = append(shards, b)
+	}
+	sb, err := NewSharded(shards...)
+	if err != nil {
+		return fail(err)
+	}
+	return sb, nil
+}

@@ -1,0 +1,237 @@
+package provstore
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/path"
+)
+
+func TestParseDSNTable(t *testing.T) {
+	cases := []struct {
+		in     string
+		scheme string
+		path   string
+		params map[string]string
+		bad    bool
+	}{
+		{in: "mem://", scheme: "mem", path: ""},
+		{in: "mem://?shards=8", scheme: "mem", params: map[string]string{"shards": "8"}},
+		{in: "rel://prov.db", scheme: "rel", path: "prov.db"},
+		{in: "rel:///abs/path/prov.db?create=1&durable=1", scheme: "rel", path: "/abs/path/prov.db",
+			params: map[string]string{"create": "1", "durable": "1"}},
+		{in: "rel://dir%3Fodd/p.db", scheme: "rel", path: "dir?odd/p.db"},
+		{in: "sharded://?shards=4&each=mem://", scheme: "sharded",
+			params: map[string]string{"shards": "4", "each": "mem://"}},
+		{in: "x-test+v1.0://anything", scheme: "x-test+v1.0", path: "anything"},
+		// Bad inputs.
+		{in: "", bad: true},
+		{in: "mem", bad: true},            // no ://
+		{in: "://path", bad: true},        // empty scheme
+		{in: "1mem://", bad: true},        // scheme starts with a digit
+		{in: "me m://", bad: true},        // space in scheme
+		{in: "mem://?a=%zz", bad: true},   // bad query escaping
+		{in: "rel://p%zz.db", bad: true},  // bad path escaping
+		{in: "mem:/not-a-dsn", bad: true}, // single slash
+		{in: "mem//missing-colon", bad: true},
+	}
+	for _, c := range cases {
+		dsn, err := ParseDSN(c.in)
+		if c.bad {
+			if err == nil {
+				t.Errorf("ParseDSN(%q): want error, got %+v", c.in, dsn)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseDSN(%q): %v", c.in, err)
+			continue
+		}
+		if dsn.Scheme != c.scheme {
+			t.Errorf("ParseDSN(%q).Scheme = %q, want %q", c.in, dsn.Scheme, c.scheme)
+		}
+		if dsn.Path != c.path {
+			t.Errorf("ParseDSN(%q).Path = %q, want %q", c.in, dsn.Path, c.path)
+		}
+		for k, v := range c.params {
+			if got := dsn.Param(k); got != v {
+				t.Errorf("ParseDSN(%q).Param(%q) = %q, want %q", c.in, k, got, v)
+			}
+		}
+		if dsn.String() != c.in {
+			t.Errorf("ParseDSN(%q).String() = %q", c.in, dsn.String())
+		}
+	}
+}
+
+func TestEscapeDSNPathRoundTrip(t *testing.T) {
+	for _, p := range []string{
+		"/plain/path.db",
+		"relative/p.db",
+		"with space.db",
+		"odd?query.db",
+		"percent%sign.db",
+		"hash#mark.db",
+	} {
+		dsn, err := ParseDSN("rel://" + EscapeDSNPath(p) + "?create=1")
+		if err != nil {
+			t.Fatalf("round trip %q: %v", p, err)
+		}
+		if dsn.Path != p {
+			t.Errorf("round trip %q: got path %q", p, dsn.Path)
+		}
+		if dsn.Param("create") != "1" {
+			t.Errorf("round trip %q: lost params", p)
+		}
+	}
+}
+
+func TestDSNParamHelpers(t *testing.T) {
+	dsn, err := ParseDSN("mem://?flag&on=1&off=0&n=7&junk=maybe&notnum=x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b, err := dsn.BoolParam("flag"); err != nil || !b {
+		t.Errorf("bare flag: %v %v", b, err)
+	}
+	if b, err := dsn.BoolParam("on"); err != nil || !b {
+		t.Errorf("on: %v %v", b, err)
+	}
+	if b, err := dsn.BoolParam("off"); err != nil || b {
+		t.Errorf("off: %v %v", b, err)
+	}
+	if b, err := dsn.BoolParam("absent"); err != nil || b {
+		t.Errorf("absent: %v %v", b, err)
+	}
+	if _, err := dsn.BoolParam("junk"); err == nil {
+		t.Error("junk boolean accepted")
+	}
+	if n, err := dsn.IntParam("n", 3); err != nil || n != 7 {
+		t.Errorf("n: %v %v", n, err)
+	}
+	if n, err := dsn.IntParam("absent", 3); err != nil || n != 3 {
+		t.Errorf("absent int: %v %v", n, err)
+	}
+	if _, err := dsn.IntParam("notnum", 0); err == nil {
+		t.Error("notnum accepted")
+	}
+}
+
+func TestOpenDSNMem(t *testing.T) {
+	b, err := OpenDSN("mem://")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.(*MemBackend); !ok {
+		t.Fatalf("mem:// opened %T", b)
+	}
+
+	sb, err := OpenDSN("mem://?shards=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, ok := sb.(*ShardedBackend)
+	if !ok {
+		t.Fatalf("mem://?shards=4 opened %T", sb)
+	}
+	if sharded.NumShards() != 4 {
+		t.Fatalf("got %d shards", sharded.NumShards())
+	}
+
+	for _, bad := range []string{
+		"mem://somewhere",   // mem has no path
+		"mem://?shards=0",   // shard count must be >= 1
+		"mem://?shards=two", // not an integer
+		"mem://?sharrds=4",  // typo'd parameter
+		"nosuch://",         // unregistered scheme
+		"mem",               // unparseable
+	} {
+		if _, err := OpenDSN(bad); err == nil {
+			t.Errorf("OpenDSN(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestOpenDSNShardedComposite(t *testing.T) {
+	ctx := context.Background()
+	b, err := OpenDSN("sharded://?shards=3&each=mem://")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb := b.(*ShardedBackend)
+	if sb.NumShards() != 3 {
+		t.Fatalf("got %d shards", sb.NumShards())
+	}
+	// The composed store works like any other backend.
+	if err := b.Append(ctx, []Record{
+		{Tid: 1, Op: OpInsert, Loc: path.MustParse("T/a")},
+		{Tid: 1, Op: OpInsert, Loc: path.MustParse("T/b")},
+		{Tid: 1, Op: OpInsert, Loc: path.MustParse("T/c")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := b.Count(ctx); n != 3 {
+		t.Fatalf("count = %d", n)
+	}
+
+	// Explicit per-shard DSNs.
+	b2, err := OpenDSN("sharded://?shard=mem://&shard=mem://")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2.(*ShardedBackend).NumShards() != 2 {
+		t.Fatal("explicit shard list miscounted")
+	}
+
+	for _, bad := range []string{
+		"sharded://",                            // no shards named
+		"sharded://p",                           // no path allowed
+		"sharded://?shards=2&shard=mem://",      // both forms at once
+		"sharded://?shards=0&each=mem://",       // bad count
+		"sharded://?shard=nosuch://",            // unknown inner scheme
+		"sharded://?shards=2&each=nosuch://",    // unknown template scheme
+		"sharded://?shards=2&each=rel://one.db", // shards sharing one file
+	} {
+		if _, err := OpenDSN(bad); err == nil {
+			t.Errorf("OpenDSN(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestRegisterDriverThirdParty(t *testing.T) {
+	opened := 0
+	RegisterDriver("drvtest", DriverFunc(func(dsn DSN) (Backend, error) {
+		opened++
+		if dsn.Param("fail") == "1" {
+			return nil, errors.New("drvtest: asked to fail")
+		}
+		return NewMemBackend(), nil
+	}))
+	found := false
+	for _, s := range Drivers() {
+		if s == "drvtest" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("drvtest not listed in %v", Drivers())
+	}
+	if _, err := OpenDSN("drvtest://"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDSN("drvtest://?fail=1"); err == nil || !strings.Contains(err.Error(), "asked to fail") {
+		t.Fatalf("driver error not surfaced: %v", err)
+	}
+	if opened != 2 {
+		t.Fatalf("driver opened %d times", opened)
+	}
+	// Duplicate registration panics, like database/sql.
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate RegisterDriver did not panic")
+		}
+	}()
+	RegisterDriver("drvtest", DriverFunc(func(DSN) (Backend, error) { return nil, nil }))
+}

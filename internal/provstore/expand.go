@@ -1,6 +1,7 @@
 package provstore
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -99,11 +100,11 @@ func sortRecords(recs []Record) {
 // backward tracing from a location that exists at the end of transaction
 // tid: for the non-hierarchical methods every touched node has an explicit
 // row, so the inference never fires spuriously.
-func Effective(b Backend, tid int64, loc path.Path) (Record, bool, error) {
-	if r, ok, err := b.Lookup(tid, loc); err != nil || ok {
+func Effective(ctx context.Context, b Backend, tid int64, loc path.Path) (Record, bool, error) {
+	if r, ok, err := b.Lookup(ctx, tid, loc); err != nil || ok {
 		return r, ok, err
 	}
-	anc, ok, err := b.NearestAncestor(tid, loc)
+	anc, ok, err := b.NearestAncestor(ctx, tid, loc)
 	if err != nil || !ok {
 		return Record{}, false, err
 	}

@@ -1,6 +1,7 @@
 package provstore_test
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"testing"
@@ -146,7 +147,7 @@ func TestFigure5cExpandsTo5a(t *testing.T) {
 	tr, vs := runFigure3(t, provstore.Hierarchical, true)
 	var full []provstore.Record
 	for i := 1; i < len(vs); i++ {
-		recs, err := tr.Backend().ScanTid(vs[i].Tid)
+		recs, err := tr.Backend().ScanTid(context.Background(), vs[i].Tid)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -166,7 +167,7 @@ func TestFigure5RowCounts(t *testing.T) {
 	counts := map[provstore.Method]int{}
 	for _, m := range provstore.AllMethods {
 		tr, _ := runFigure3(t, m, !m.Deferred())
-		n, err := tr.Backend().Count()
+		n, err := tr.Backend().Count(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}

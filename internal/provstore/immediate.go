@@ -1,6 +1,7 @@
 package provstore
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/update"
@@ -69,7 +70,7 @@ func (t *immediateTracker) OnInsert(eff update.Effect) error {
 		// One round trip to check whether the insert is inferable: if
 		// the nearest ancestor record of this transaction is an insert,
 		// this node is assumed inserted and needs no explicit record.
-		anc, ok, err := t.backend.NearestAncestor(tid, loc)
+		anc, ok, err := t.backend.NearestAncestor(context.Background(), tid, loc)
 		if err != nil {
 			return err
 		}
@@ -77,7 +78,7 @@ func (t *immediateTracker) OnInsert(eff update.Effect) error {
 			return nil
 		}
 	}
-	return t.backend.Append([]Record{{Tid: tid, Op: OpInsert, Loc: loc}})
+	return t.backend.Append(context.Background(), []Record{{Tid: tid, Op: OpInsert, Loc: loc}})
 }
 
 func (t *immediateTracker) OnDelete(eff update.Effect) error {
@@ -92,13 +93,13 @@ func (t *immediateTracker) OnDelete(eff update.Effect) error {
 		// Hierarchical: a single record at the subtree root; children of
 		// deleted nodes are assumed deleted. Effect.Deleted is listed
 		// pre-order, so element 0 is the root.
-		return t.backend.Append([]Record{{Tid: tid, Op: OpDelete, Loc: eff.Deleted[0]}})
+		return t.backend.Append(context.Background(), []Record{{Tid: tid, Op: OpDelete, Loc: eff.Deleted[0]}})
 	}
 	recs := make([]Record, 0, len(eff.Deleted))
 	for _, loc := range eff.Deleted {
 		recs = append(recs, Record{Tid: tid, Op: OpDelete, Loc: loc})
 	}
-	return t.backend.Append(recs)
+	return t.backend.Append(context.Background(), recs)
 }
 
 func (t *immediateTracker) OnCopy(eff update.Effect) error {
@@ -113,11 +114,11 @@ func (t *immediateTracker) OnCopy(eff update.Effect) error {
 		// One record connecting the root of the pasted subtree to the
 		// root of the source (§3.2.3).
 		root := eff.Copied[0]
-		return t.backend.Append([]Record{{Tid: tid, Op: OpCopy, Loc: root.Dst, Src: root.Src}})
+		return t.backend.Append(context.Background(), []Record{{Tid: tid, Op: OpCopy, Loc: root.Dst, Src: root.Src}})
 	}
 	recs := make([]Record, 0, len(eff.Copied))
 	for _, pr := range eff.Copied {
 		recs = append(recs, Record{Tid: tid, Op: OpCopy, Loc: pr.Dst, Src: pr.Src})
 	}
-	return t.backend.Append(recs)
+	return t.backend.Append(context.Background(), recs)
 }

@@ -1,9 +1,11 @@
 package provstore
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"sort"
 	"sync"
 
@@ -42,8 +44,13 @@ func ShardFor(loc path.Path, n int) int {
 
 // Fanout runs f(0), …, f(n-1) concurrently — an errgroup-style helper — and
 // returns the combined error of all calls (nil if all succeed). For n == 1
-// it calls f inline.
-func Fanout(n int, f func(int) error) error {
+// it calls f inline. When ctx is already cancelled nothing is launched and
+// ctx.Err() is returned; once launched, every call runs to completion (each
+// f is expected to observe ctx itself), so Fanout never leaks a goroutine.
+func Fanout(ctx context.Context, n int, f func(int) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if n <= 0 {
 		return nil
 	}
@@ -68,6 +75,10 @@ func Fanout(n int, f func(int) error) error {
 // shards proceed in parallel (each shard has its own locking); reads that
 // cannot be routed to a single shard scatter across all shards concurrently
 // and merge the results into the documented Backend ordering.
+//
+// Cancellation: every scatter checks its context before launching a wave,
+// and each per-shard call re-checks it, so a cancelled query returns
+// ctx.Err() within one wave without leaking goroutines.
 //
 // Atomicity of Append is per shard: the whole batch is validated up front
 // (so the single-writer paths used by sessions never observe a partial
@@ -135,9 +146,9 @@ func (b *ShardedBackend) partition(recs []Record) [][]Record {
 // parallel — so the common single-writer case stores nothing on failure
 // (matching MemBackend). Only then do the per-shard sub-batches append, in
 // parallel.
-func (b *ShardedBackend) Append(recs []Record) error {
+func (b *ShardedBackend) Append(ctx context.Context, recs []Record) error {
 	if len(b.shards) == 1 {
-		return b.shards[0].Append(recs)
+		return b.shards[0].Append(ctx, recs)
 	}
 	seen := make(map[string]struct{}, len(recs))
 	for _, r := range recs {
@@ -151,9 +162,9 @@ func (b *ShardedBackend) Append(recs []Record) error {
 		seen[k] = struct{}{}
 	}
 	parts := b.partition(recs)
-	err := b.fanParts(parts, func(i int) error {
+	err := b.fanParts(ctx, parts, func(i int) error {
 		for _, r := range parts[i] {
-			if _, ok, lerr := b.shards[i].Lookup(r.Tid, r.Loc); lerr != nil {
+			if _, ok, lerr := b.shards[i].Lookup(ctx, r.Tid, r.Loc); lerr != nil {
 				return lerr
 			} else if ok {
 				return &DupKeyError{Tid: r.Tid, Loc: r.Loc}
@@ -164,13 +175,13 @@ func (b *ShardedBackend) Append(recs []Record) error {
 	if err != nil {
 		return err
 	}
-	return b.fanParts(parts, func(i int) error { return b.shards[i].Append(parts[i]) })
+	return b.fanParts(ctx, parts, func(i int) error { return b.shards[i].Append(ctx, parts[i]) })
 }
 
 // fanParts runs f for every shard with a non-empty part, inline when only
 // one shard is touched (the common case for small batches) and in parallel
 // otherwise.
-func (b *ShardedBackend) fanParts(parts [][]Record, f func(int) error) error {
+func (b *ShardedBackend) fanParts(ctx context.Context, parts [][]Record, f func(int) error) error {
 	touched := make([]int, 0, len(parts))
 	for i, p := range parts {
 		if len(p) > 0 {
@@ -183,15 +194,15 @@ func (b *ShardedBackend) fanParts(parts [][]Record, f func(int) error) error {
 	if len(touched) == 1 {
 		return f(touched[0])
 	}
-	return Fanout(len(touched), func(j int) error { return f(touched[j]) })
+	return Fanout(ctx, len(touched), func(j int) error { return f(touched[j]) })
 }
 
 // AppendBatch implements GroupCommitter: every batch is partitioned, and
 // each shard persists its share of all batches with a single group commit
 // when the shard store supports it.
-func (b *ShardedBackend) AppendBatch(batches ...[]Record) error {
+func (b *ShardedBackend) AppendBatch(ctx context.Context, batches ...[]Record) error {
 	if len(b.shards) == 1 {
-		return appendBatches(b.shards[0], batches)
+		return appendBatches(ctx, b.shards[0], batches)
 	}
 	parts := make([][][]Record, len(b.shards))
 	touched := make([]int, 0, len(b.shards))
@@ -206,22 +217,25 @@ func (b *ShardedBackend) AppendBatch(batches ...[]Record) error {
 			}
 		}
 	}
-	if len(touched) == 1 {
-		return appendBatches(b.shards[touched[0]], parts[touched[0]])
+	if len(touched) == 0 {
+		return nil
 	}
-	return Fanout(len(touched), func(j int) error {
-		return appendBatches(b.shards[touched[j]], parts[touched[j]])
+	if len(touched) == 1 {
+		return appendBatches(ctx, b.shards[touched[0]], parts[touched[0]])
+	}
+	return Fanout(ctx, len(touched), func(j int) error {
+		return appendBatches(ctx, b.shards[touched[j]], parts[touched[j]])
 	})
 }
 
 // appendBatches hands a group of batches to a store in one group commit if
 // it supports that, falling back to sequential appends.
-func appendBatches(s Backend, batches [][]Record) error {
+func appendBatches(ctx context.Context, s Backend, batches [][]Record) error {
 	if gc, ok := s.(GroupCommitter); ok {
-		return gc.AppendBatch(batches...)
+		return gc.AppendBatch(ctx, batches...)
 	}
 	for _, batch := range batches {
-		if err := s.Append(batch); err != nil {
+		if err := s.Append(ctx, batch); err != nil {
 			return err
 		}
 	}
@@ -229,16 +243,16 @@ func appendBatches(s Backend, batches [][]Record) error {
 }
 
 // Lookup implements Backend: a single-shard read.
-func (b *ShardedBackend) Lookup(tid int64, loc path.Path) (Record, bool, error) {
-	return b.shardFor(loc).Lookup(tid, loc)
+func (b *ShardedBackend) Lookup(ctx context.Context, tid int64, loc path.Path) (Record, bool, error) {
+	return b.shardFor(loc).Lookup(ctx, tid, loc)
 }
 
 // NearestAncestor implements Backend: each ancestor lives on its own shard,
 // so the probes scatter, deepest ancestor winning.
-func (b *ShardedBackend) NearestAncestor(tid int64, loc path.Path) (Record, bool, error) {
+func (b *ShardedBackend) NearestAncestor(ctx context.Context, tid int64, loc path.Path) (Record, bool, error) {
 	anc := loc.Ancestors()
 	for i := len(anc) - 1; i >= 0; i-- {
-		rec, ok, err := b.shardFor(anc[i]).Lookup(tid, anc[i])
+		rec, ok, err := b.shardFor(anc[i]).Lookup(ctx, tid, anc[i])
 		if err != nil || ok {
 			return rec, ok, err
 		}
@@ -248,12 +262,12 @@ func (b *ShardedBackend) NearestAncestor(tid int64, loc path.Path) (Record, bool
 
 // scatter runs one scan against every shard in parallel and returns the
 // per-shard results.
-func (b *ShardedBackend) scatter(scan func(Backend) ([]Record, error)) ([]Record, error) {
+func (b *ShardedBackend) scatter(ctx context.Context, scan func(Backend) ([]Record, error)) ([]Record, error) {
 	if len(b.shards) == 1 {
 		return scan(b.shards[0])
 	}
 	parts := make([][]Record, len(b.shards))
-	err := Fanout(len(b.shards), func(i int) error {
+	err := Fanout(ctx, len(b.shards), func(i int) error {
 		recs, serr := scan(b.shards[i])
 		parts[i] = recs
 		return serr
@@ -273,8 +287,8 @@ func (b *ShardedBackend) scatter(scan func(Backend) ([]Record, error)) ([]Record
 }
 
 // ScanTid implements Backend: scatter-gather with a merge by Loc.
-func (b *ShardedBackend) ScanTid(tid int64) ([]Record, error) {
-	out, err := b.scatter(func(s Backend) ([]Record, error) { return s.ScanTid(tid) })
+func (b *ShardedBackend) ScanTid(ctx context.Context, tid int64) ([]Record, error) {
+	out, err := b.scatter(ctx, func(s Backend) ([]Record, error) { return s.ScanTid(ctx, tid) })
 	if err != nil {
 		return nil, err
 	}
@@ -283,14 +297,14 @@ func (b *ShardedBackend) ScanTid(tid int64) ([]Record, error) {
 }
 
 // ScanLoc implements Backend: a single-shard read (one location, one shard).
-func (b *ShardedBackend) ScanLoc(loc path.Path) ([]Record, error) {
-	return b.shardFor(loc).ScanLoc(loc)
+func (b *ShardedBackend) ScanLoc(ctx context.Context, loc path.Path) ([]Record, error) {
+	return b.shardFor(loc).ScanLoc(ctx, loc)
 }
 
 // ScanLocPrefix implements Backend: descendants of prefix hash anywhere, so
 // the scan scatters and the merge restores (Loc, Tid) order.
-func (b *ShardedBackend) ScanLocPrefix(prefix path.Path) ([]Record, error) {
-	out, err := b.scatter(func(s Backend) ([]Record, error) { return s.ScanLocPrefix(prefix) })
+func (b *ShardedBackend) ScanLocPrefix(ctx context.Context, prefix path.Path) ([]Record, error) {
+	out, err := b.scatter(ctx, func(s Backend) ([]Record, error) { return s.ScanLocPrefix(ctx, prefix) })
 	if err != nil {
 		return nil, err
 	}
@@ -306,11 +320,11 @@ func (b *ShardedBackend) ScanLocPrefix(prefix path.Path) ([]Record, error) {
 // ScanLocWithAncestors implements Backend: loc and each of its ancestors
 // route to single shards, so the probes fan out one per ancestor and the
 // merge restores (Tid, Loc) order.
-func (b *ShardedBackend) ScanLocWithAncestors(loc path.Path) ([]Record, error) {
+func (b *ShardedBackend) ScanLocWithAncestors(ctx context.Context, loc path.Path) ([]Record, error) {
 	probes := append(loc.Ancestors(), loc)
 	parts := make([][]Record, len(probes))
-	err := Fanout(len(probes), func(i int) error {
-		recs, serr := b.shardFor(probes[i]).ScanLoc(probes[i])
+	err := Fanout(ctx, len(probes), func(i int) error {
+		recs, serr := b.shardFor(probes[i]).ScanLoc(ctx, probes[i])
 		parts[i] = recs
 		return serr
 	})
@@ -331,10 +345,10 @@ func (b *ShardedBackend) ScanLocWithAncestors(loc path.Path) ([]Record, error) {
 }
 
 // Tids implements Backend: the sorted union of all shards' transactions.
-func (b *ShardedBackend) Tids() ([]int64, error) {
+func (b *ShardedBackend) Tids(ctx context.Context) ([]int64, error) {
 	parts := make([][]int64, len(b.shards))
-	err := Fanout(len(b.shards), func(i int) error {
-		tids, serr := b.shards[i].Tids()
+	err := Fanout(ctx, len(b.shards), func(i int) error {
+		tids, serr := b.shards[i].Tids(ctx)
 		parts[i] = tids
 		return serr
 	})
@@ -356,11 +370,11 @@ func (b *ShardedBackend) Tids() ([]int64, error) {
 }
 
 // MaxTid implements Backend.
-func (b *ShardedBackend) MaxTid() (int64, error) {
+func (b *ShardedBackend) MaxTid(ctx context.Context) (int64, error) {
 	var mu sync.Mutex
 	var maxT int64
-	err := Fanout(len(b.shards), func(i int) error {
-		t, serr := b.shards[i].MaxTid()
+	err := Fanout(ctx, len(b.shards), func(i int) error {
+		t, serr := b.shards[i].MaxTid(ctx)
 		if serr != nil {
 			return serr
 		}
@@ -375,10 +389,10 @@ func (b *ShardedBackend) MaxTid() (int64, error) {
 }
 
 // Count implements Backend.
-func (b *ShardedBackend) Count() (int, error) {
+func (b *ShardedBackend) Count(ctx context.Context) (int, error) {
 	counts := make([]int, len(b.shards))
-	err := Fanout(len(b.shards), func(i int) error {
-		n, serr := b.shards[i].Count()
+	err := Fanout(ctx, len(b.shards), func(i int) error {
+		n, serr := b.shards[i].Count(ctx)
 		counts[i] = n
 		return serr
 	})
@@ -390,10 +404,10 @@ func (b *ShardedBackend) Count() (int, error) {
 }
 
 // Bytes implements Backend.
-func (b *ShardedBackend) Bytes() (int64, error) {
+func (b *ShardedBackend) Bytes(ctx context.Context) (int64, error) {
 	sizes := make([]int64, len(b.shards))
-	err := Fanout(len(b.shards), func(i int) error {
-		n, serr := b.shards[i].Bytes()
+	err := Fanout(ctx, len(b.shards), func(i int) error {
+		n, serr := b.shards[i].Bytes(ctx)
 		sizes[i] = n
 		return serr
 	})
@@ -406,9 +420,21 @@ func (b *ShardedBackend) Bytes() (int64, error) {
 
 // Flush implements Flusher by flushing every shard that supports it.
 func (b *ShardedBackend) Flush() error {
-	return Fanout(len(b.shards), func(i int) error {
+	return Fanout(context.Background(), len(b.shards), func(i int) error {
 		if f, ok := b.shards[i].(Flusher); ok {
 			return f.Flush()
+		}
+		return nil
+	})
+}
+
+// Close closes every shard store that holds external resources (WAL-backed
+// relational shards, for instance), combining their errors. Shards that are
+// not io.Closers are skipped.
+func (b *ShardedBackend) Close() error {
+	return Fanout(context.Background(), len(b.shards), func(i int) error {
+		if c, ok := b.shards[i].(io.Closer); ok {
+			return c.Close()
 		}
 		return nil
 	})
@@ -511,7 +537,7 @@ func (t *ShardedTracker) Commit() (int64, error) {
 
 	var tmu sync.Mutex
 	var maxTid int64
-	err := Fanout(len(t.lanes), func(i int) error {
+	err := Fanout(context.Background(), len(t.lanes), func(i int) error {
 		l := t.lanes[i]
 		l.mu.Lock()
 		defer l.mu.Unlock()

@@ -1,6 +1,7 @@
 package provstore_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -121,55 +122,55 @@ func TestShardedBackendQueryEquivalence(t *testing.T) {
 			}
 		}
 	}
-	tids, _ := mem.Tids()
-	stids, err := sh.Tids()
+	tids, _ := mem.Tids(context.Background())
+	stids, err := sh.Tids(context.Background())
 	if err != nil || len(stids) != len(tids) {
 		t.Fatalf("Tids = %v (err %v), want %v", stids, err, tids)
 	}
 	for _, tid := range tids {
-		got, err1 := sh.ScanTid(tid)
-		want, err2 := mem.ScanTid(tid)
+		got, err1 := sh.ScanTid(context.Background(), tid)
+		want, err2 := mem.ScanTid(context.Background(), tid)
 		check(fmt.Sprintf("ScanTid(%d)", tid), got, want, err1, err2)
 	}
 	for _, r := range recs {
-		got, err1 := sh.ScanLoc(r.Loc)
-		want, err2 := mem.ScanLoc(r.Loc)
+		got, err1 := sh.ScanLoc(context.Background(), r.Loc)
+		want, err2 := mem.ScanLoc(context.Background(), r.Loc)
 		check("ScanLoc "+r.Loc.String(), got, want, err1, err2)
 
-		got, err1 = sh.ScanLocWithAncestors(r.Loc)
-		want, err2 = mem.ScanLocWithAncestors(r.Loc)
+		got, err1 = sh.ScanLocWithAncestors(context.Background(), r.Loc)
+		want, err2 = mem.ScanLocWithAncestors(context.Background(), r.Loc)
 		check("ScanLocWithAncestors "+r.Loc.String(), got, want, err1, err2)
 
-		grec, gok, err1 := sh.Lookup(r.Tid, r.Loc)
-		wrec, wok, err2 := mem.Lookup(r.Tid, r.Loc)
+		grec, gok, err1 := sh.Lookup(context.Background(), r.Tid, r.Loc)
+		wrec, wok, err2 := mem.Lookup(context.Background(), r.Tid, r.Loc)
 		if err1 != nil || err2 != nil || gok != wok || grec.String() != wrec.String() {
 			t.Errorf("Lookup(%d, %s) = %v/%v, want %v/%v", r.Tid, r.Loc, grec, gok, wrec, wok)
 		}
 
 		deep := r.Loc.Child("deep").Child("deeper")
-		grec, gok, err1 = sh.NearestAncestor(r.Tid, deep)
-		wrec, wok, err2 = mem.NearestAncestor(r.Tid, deep)
+		grec, gok, err1 = sh.NearestAncestor(context.Background(), r.Tid, deep)
+		wrec, wok, err2 = mem.NearestAncestor(context.Background(), r.Tid, deep)
 		if err1 != nil || err2 != nil || gok != wok || grec.String() != wrec.String() {
 			t.Errorf("NearestAncestor(%d, %s) mismatch", r.Tid, deep)
 		}
 	}
 	for _, prefix := range []path.Path{path.New("T"), path.New("T", "c2")} {
-		got, err1 := sh.ScanLocPrefix(prefix)
-		want, err2 := mem.ScanLocPrefix(prefix)
+		got, err1 := sh.ScanLocPrefix(context.Background(), prefix)
+		want, err2 := mem.ScanLocPrefix(context.Background(), prefix)
 		check("ScanLocPrefix "+prefix.String(), got, want, err1, err2)
 	}
-	gc, err1 := sh.Count()
-	wc, err2 := mem.Count()
+	gc, err1 := sh.Count(context.Background())
+	wc, err2 := mem.Count(context.Background())
 	if err1 != nil || err2 != nil || gc != wc {
 		t.Errorf("Count = %d, want %d", gc, wc)
 	}
-	gb, _ := sh.Bytes()
-	wb, _ := mem.Bytes()
+	gb, _ := sh.Bytes(context.Background())
+	wb, _ := mem.Bytes(context.Background())
 	if gb != wb {
 		t.Errorf("Bytes = %d, want %d", gb, wb)
 	}
-	gm, _ := sh.MaxTid()
-	wm, _ := mem.MaxTid()
+	gm, _ := sh.MaxTid(context.Background())
+	wm, _ := mem.MaxTid(context.Background())
 	if gm != wm {
 		t.Errorf("MaxTid = %d, want %d", gm, wm)
 	}
@@ -197,12 +198,12 @@ func TestCrossShardHistMergeOrdering(t *testing.T) {
 		t.Fatalf("chain locations all hash to one shard; pick different labels")
 	}
 	for _, b := range []provstore.Backend{mem, sh} {
-		if err := b.Append([]provstore.Record{{Tid: 1, Op: provstore.OpInsert, Loc: locs[0]}}); err != nil {
+		if err := b.Append(context.Background(), []provstore.Record{{Tid: 1, Op: provstore.OpInsert, Loc: locs[0]}}); err != nil {
 			t.Fatal(err)
 		}
 		for k := 2; k <= hops+1; k++ {
 			rec := provstore.Record{Tid: int64(k), Op: provstore.OpCopy, Loc: locs[k-1], Src: locs[k-2]}
-			if err := b.Append([]provstore.Record{rec}); err != nil {
+			if err := b.Append(context.Background(), []provstore.Record{rec}); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -213,19 +214,19 @@ func TestCrossShardHistMergeOrdering(t *testing.T) {
 	}
 	for name, b := range map[string]provstore.Backend{"mem": mem, "sharded": sh} {
 		eng := provquery.New(b)
-		tnow, _ := eng.MaxTid()
-		hist, err := eng.Hist(locs[hops], tnow)
+		tnow, _ := eng.MaxTid(context.Background())
+		hist, err := eng.Hist(context.Background(), locs[hops], tnow)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if fmt.Sprint(hist) != fmt.Sprint(wantHist) {
 			t.Errorf("%s: Hist = %v, want %v (most recent first)", name, hist, wantHist)
 		}
-		tid, ok, err := eng.Src(locs[hops], tnow)
+		tid, ok, err := eng.Src(context.Background(), locs[hops], tnow)
 		if err != nil || !ok || tid != 1 {
 			t.Errorf("%s: Src = %d/%v/%v, want 1", name, tid, ok, err)
 		}
-		mod, err := eng.Mod(path.New("T"), tnow)
+		mod, err := eng.Mod(context.Background(), path.New("T"), tnow)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -275,7 +276,7 @@ func TestShardedTrackerSemantics(t *testing.T) {
 	if err != nil || tidA == 0 {
 		t.Fatalf("CommitSubtree = %d, %v", tidA, err)
 	}
-	n, _ := backend.Count()
+	n, _ := backend.Count(context.Background())
 	if n == 0 {
 		t.Error("CommitSubtree stored nothing")
 	}
@@ -285,7 +286,7 @@ func TestShardedTrackerSemantics(t *testing.T) {
 	if tr.Pending() != 0 {
 		t.Errorf("Pending after Commit = %d", tr.Pending())
 	}
-	n, _ = backend.Count()
+	n, _ = backend.Count(context.Background())
 	if n != 2 {
 		t.Errorf("stored %d records, want 2", n)
 	}
@@ -305,10 +306,10 @@ func TestBatchingBackend(t *testing.T) {
 	rec := func(tid int64, label string) provstore.Record {
 		return provstore.Record{Tid: tid, Op: provstore.OpInsert, Loc: path.New("T", label)}
 	}
-	if err := b.Append([]provstore.Record{rec(1, "a")}); err != nil {
+	if err := b.Append(context.Background(), []provstore.Record{rec(1, "a")}); err != nil {
 		t.Fatal(err)
 	}
-	if n, _ := inner.Count(); n != 0 {
+	if n, _ := inner.Count(context.Background()); n != 0 {
 		t.Fatalf("flushed too early: inner has %d", n)
 	}
 	if b.Pending() != 1 {
@@ -316,39 +317,39 @@ func TestBatchingBackend(t *testing.T) {
 	}
 	// Duplicate against the buffer.
 	var dup *provstore.DupKeyError
-	if err := b.Append([]provstore.Record{rec(1, "a")}); !errors.As(err, &dup) {
+	if err := b.Append(context.Background(), []provstore.Record{rec(1, "a")}); !errors.As(err, &dup) {
 		t.Fatalf("buffer dup: %v", err)
 	}
 	// Read-through: a query sees the buffered record.
-	if n, err := b.Count(); err != nil || n != 1 {
+	if n, err := b.Count(context.Background()); err != nil || n != 1 {
 		t.Fatalf("read-through Count = %d, %v", n, err)
 	}
 	if b.Pending() != 0 {
 		t.Fatalf("read did not flush: Pending = %d", b.Pending())
 	}
 	// Duplicate against the store after flush.
-	if err := b.Append([]provstore.Record{rec(1, "a")}); !errors.As(err, &dup) {
+	if err := b.Append(context.Background(), []provstore.Record{rec(1, "a")}); !errors.As(err, &dup) {
 		t.Fatalf("store dup: %v", err)
 	}
 	// Batch threshold flush.
-	if err := b.Append([]provstore.Record{rec(2, "a"), rec(2, "b"), rec(2, "c")}); err != nil {
+	if err := b.Append(context.Background(), []provstore.Record{rec(2, "a"), rec(2, "b"), rec(2, "c")}); err != nil {
 		t.Fatal(err)
 	}
-	if n, _ := inner.Count(); n != 4 {
+	if n, _ := inner.Count(context.Background()); n != 4 {
 		t.Fatalf("threshold flush missing: inner has %d", n)
 	}
 	// Explicit flush of a partial batch.
-	if err := b.Append([]provstore.Record{rec(3, "a")}); err != nil {
+	if err := b.Append(context.Background(), []provstore.Record{rec(3, "a")}); err != nil {
 		t.Fatal(err)
 	}
 	if err := b.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	if n, _ := inner.Count(); n != 5 {
+	if n, _ := inner.Count(context.Background()); n != 5 {
 		t.Fatalf("explicit flush missing: inner has %d", n)
 	}
 	// A rejected batch buffers nothing.
-	if err := b.Append([]provstore.Record{rec(4, "x"), rec(4, "x")}); !errors.As(err, &dup) {
+	if err := b.Append(context.Background(), []provstore.Record{rec(4, "x"), rec(4, "x")}); !errors.As(err, &dup) {
 		t.Fatal("intra-batch dup accepted")
 	}
 	if b.Pending() != 0 {

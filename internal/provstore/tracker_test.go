@@ -1,6 +1,7 @@
 package provstore_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -91,7 +92,7 @@ func TestPendingCounts(t *testing.T) {
 	if tr.Pending() != 0 {
 		t.Error("Pending must reset after commit")
 	}
-	n, _ := tr.Backend().Count()
+	n, _ := tr.Backend().Count(context.Background())
 	if n != 2 {
 		t.Errorf("stored %d records", n)
 	}
@@ -111,7 +112,7 @@ func TestEmptyCommit(t *testing.T) {
 	if err != nil || tid == 0 {
 		t.Fatalf("empty commit = %d, %v", tid, err)
 	}
-	if n, _ := tr.Backend().Count(); n != 0 {
+	if n, _ := tr.Backend().Count(context.Background()); n != 0 {
 		t.Error("empty commit must store nothing")
 	}
 }
@@ -267,7 +268,7 @@ func TestHierarchicalImmediateCounts(t *testing.T) {
 	if _, err := provtest.RunPerOp(tr, f, seq); err != nil {
 		t.Fatal(err)
 	}
-	n, _ := tr.Backend().Count()
+	n, _ := tr.Backend().Count(context.Background())
 	if n > len(seq) {
 		t.Errorf("|HProv| = %d > |U| = %d", n, len(seq))
 	}
@@ -426,7 +427,7 @@ func TestNetEffectInvariants(t *testing.T) {
 			}
 			for i := 1; i < len(vs); i++ {
 				pre, post := locSet(vs[i-1].Forest), locSet(vs[i].Forest)
-				recs, err := tr.Backend().ScanTid(vs[i].Tid)
+				recs, err := tr.Backend().ScanTid(context.Background(), vs[i].Tid)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -519,12 +520,12 @@ func TestHTExpandsToT(t *testing.T) {
 			t.Fatalf("seed %d: version count mismatch", seed)
 		}
 		for i := 1; i < len(vsH); i++ {
-			hrecs, _ := trH.Backend().ScanTid(vsH[i].Tid)
+			hrecs, _ := trH.Backend().ScanTid(context.Background(), vsH[i].Tid)
 			expanded, err := provstore.ExpandTxn(hrecs, vsH[i-1].Forest, vsH[i].Forest)
 			if err != nil {
 				t.Fatalf("seed %d txn %d: %v", seed, i, err)
 			}
-			trecs, _ := trT.Backend().ScanTid(vsT[i].Tid)
+			trecs, _ := trT.Backend().ScanTid(context.Background(), vsT[i].Tid)
 			if got, want := renderSet(expanded), renderSet(trecs); got != want {
 				t.Errorf("seed %d txn %d:\nHT expanded:\n%s\nT stored:\n%s", seed, i, got, want)
 			}
@@ -570,7 +571,7 @@ func TestHExpandsToN(t *testing.T) {
 		}
 		var expanded []provstore.Record
 		for i := 1; i < len(vsH); i++ {
-			hrecs, _ := trH.Backend().ScanTid(vsH[i].Tid)
+			hrecs, _ := trH.Backend().ScanTid(context.Background(), vsH[i].Tid)
 			ex, err := provstore.ExpandTxn(hrecs, vsH[i-1].Forest, vsH[i].Forest)
 			if err != nil {
 				t.Fatalf("seed %d op %d: %v", seed, i, err)
@@ -607,8 +608,8 @@ func TestStorageBoundHT(t *testing.T) {
 			t.Fatal(err)
 		}
 		for i := 1; i < len(vsHT); i++ {
-			ht, _ := trHT.Backend().ScanTid(vsHT[i].Tid)
-			tt, _ := trT.Backend().ScanTid(vsT[i].Tid)
+			ht, _ := trHT.Backend().ScanTid(context.Background(), vsHT[i].Tid)
+			tt, _ := trT.Backend().ScanTid(context.Background(), vsT[i].Tid)
 			opsInTxn := 5
 			if len(ht) > opsInTxn {
 				t.Errorf("seed %d txn %d: |HT|=%d > |U|=%d", seed, i, len(ht), opsInTxn)

@@ -5,6 +5,7 @@
 package provtest
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/provstore"
@@ -110,13 +111,14 @@ func applyOne(tr provstore.Tracker, f *tree.Forest, op update.Op) error {
 // AllSorted returns every record in the backend ordered by (Tid, Loc), the
 // display order of the paper's Figure 5.
 func AllSorted(b provstore.Backend) ([]provstore.Record, error) {
-	tids, err := b.Tids()
+	ctx := context.Background()
+	tids, err := b.Tids(ctx)
 	if err != nil {
 		return nil, err
 	}
 	var out []provstore.Record
 	for _, t := range tids {
-		recs, err := b.ScanTid(t)
+		recs, err := b.ScanTid(ctx, t)
 		if err != nil {
 			return nil, err
 		}

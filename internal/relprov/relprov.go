@@ -6,6 +6,7 @@
 package relprov
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -154,8 +155,8 @@ func fromRow(row relstore.Row) (provstore.Record, error) {
 // Append implements provstore.Backend. The batch maps to one logical round
 // trip; a duplicate {Tid, Loc} anywhere in the batch aborts it wholesale
 // (the table's primary key enforces the constraint).
-func (b *Backend) Append(recs []provstore.Record) error {
-	return b.AppendBatch(recs)
+func (b *Backend) Append(ctx context.Context, recs []provstore.Record) error {
+	return b.AppendBatch(ctx, recs)
 }
 
 // AppendBatch implements provstore.GroupCommitter: several record batches
@@ -164,7 +165,10 @@ func (b *Backend) Append(recs []provstore.Record) error {
 // GroupCommit (one WAL fsync), instead of one durability round trip per
 // batch. The whole group is validated before any row is inserted, so a
 // duplicate {Tid, Loc} anywhere across the group aborts it wholesale.
-func (b *Backend) AppendBatch(batches ...[]provstore.Record) error {
+func (b *Backend) AppendBatch(ctx context.Context, batches ...[]provstore.Record) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	total := 0
@@ -209,7 +213,10 @@ func (b *Backend) AppendBatch(batches ...[]provstore.Record) error {
 }
 
 // Lookup implements provstore.Backend.
-func (b *Backend) Lookup(tid int64, loc path.Path) (provstore.Record, bool, error) {
+func (b *Backend) Lookup(ctx context.Context, tid int64, loc path.Path) (provstore.Record, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return provstore.Record{}, false, err
+	}
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	return b.lookupLocked(tid, loc)
@@ -237,7 +244,10 @@ func isNotFound(err error) bool {
 // NearestAncestor implements provstore.Backend: it probes the ancestors of
 // loc from deepest to shallowest within transaction tid. Like the stored
 // procedure of the paper's implementation, this is one logical round trip.
-func (b *Backend) NearestAncestor(tid int64, loc path.Path) (provstore.Record, bool, error) {
+func (b *Backend) NearestAncestor(ctx context.Context, tid int64, loc path.Path) (provstore.Record, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return provstore.Record{}, false, err
+	}
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	anc := loc.Ancestors()
@@ -251,7 +261,10 @@ func (b *Backend) NearestAncestor(tid int64, loc path.Path) (provstore.Record, b
 }
 
 // ScanTid implements provstore.Backend.
-func (b *Backend) ScanTid(tid int64) ([]provstore.Record, error) {
+func (b *Backend) ScanTid(ctx context.Context, tid int64) ([]provstore.Record, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	prefix, err := b.tbl.KeyPrefix(tid)
@@ -276,7 +289,10 @@ func (b *Backend) ScanTid(tid int64) ([]provstore.Record, error) {
 }
 
 // ScanLoc implements provstore.Backend.
-func (b *Backend) ScanLoc(loc path.Path) ([]provstore.Record, error) {
+func (b *Backend) ScanLoc(ctx context.Context, loc path.Path) ([]provstore.Record, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	return b.scanLocLocked(loc)
@@ -294,7 +310,10 @@ func (b *Backend) scanLocLocked(loc path.Path) ([]provstore.Record, error) {
 // under prefix, in (Loc, Tid) order. The path binary encoding is
 // prefix-preserving, so a label-wise path prefix is a byte prefix of the
 // index key.
-func (b *Backend) ScanLocPrefix(prefix path.Path) ([]provstore.Record, error) {
+func (b *Backend) ScanLocPrefix(ctx context.Context, prefix path.Path) ([]provstore.Record, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	// Escape the loc bytes exactly as the index key codec does, but
@@ -330,7 +349,10 @@ func (b *Backend) scanIndex(prefix []byte, keep func(provstore.Record) bool) ([]
 // ScanLocWithAncestors implements provstore.Backend: records at loc or any
 // strict ancestor of it, across all transactions, via the location index
 // (server-side this is one pass, i.e. one logical round trip).
-func (b *Backend) ScanLocWithAncestors(loc path.Path) ([]provstore.Record, error) {
+func (b *Backend) ScanLocWithAncestors(ctx context.Context, loc path.Path) ([]provstore.Record, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	var out []provstore.Record
@@ -364,7 +386,10 @@ func sortRecs(recs []provstore.Record) {
 }
 
 // Tids implements provstore.Backend (a full scan; rarely used online).
-func (b *Backend) Tids() ([]int64, error) {
+func (b *Backend) Tids(ctx context.Context) ([]int64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	return b.tidsLocked()
@@ -386,7 +411,10 @@ func (b *Backend) tidsLocked() ([]int64, error) {
 }
 
 // MaxTid implements provstore.Backend.
-func (b *Backend) MaxTid() (int64, error) {
+func (b *Backend) MaxTid(ctx context.Context) (int64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	tids, err := b.tidsLocked()
@@ -397,14 +425,20 @@ func (b *Backend) MaxTid() (int64, error) {
 }
 
 // Count implements provstore.Backend.
-func (b *Backend) Count() (int, error) {
+func (b *Backend) Count(ctx context.Context) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	return int(b.tbl.RowCount()), nil
 }
 
 // Bytes implements provstore.Backend.
-func (b *Backend) Bytes() (int64, error) {
+func (b *Backend) Bytes(ctx context.Context) (int64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	return b.tbl.ByteSize(), nil

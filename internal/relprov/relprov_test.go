@@ -1,6 +1,7 @@
 package relprov_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -39,52 +40,52 @@ func rec(tid int64, op provstore.OpKind, loc, src string) provstore.Record {
 
 func TestRelProvBasics(t *testing.T) {
 	b := newBackend(t)
-	if err := b.Append([]provstore.Record{
+	if err := b.Append(context.Background(), []provstore.Record{
 		rec(1, provstore.OpCopy, "T/a", "S/x"),
 		rec(1, provstore.OpInsert, "T/a/b/c", ""),
 		rec(2, provstore.OpDelete, "T/a", ""),
 	}); err != nil {
 		t.Fatal(err)
 	}
-	r, ok, err := b.Lookup(1, path.MustParse("T/a"))
+	r, ok, err := b.Lookup(context.Background(), 1, path.MustParse("T/a"))
 	if err != nil || !ok || r.Src.String() != "S/x" {
 		t.Fatalf("Lookup = %v %v %v", r, ok, err)
 	}
-	if _, ok, _ := b.Lookup(9, path.MustParse("T/a")); ok {
+	if _, ok, _ := b.Lookup(context.Background(), 9, path.MustParse("T/a")); ok {
 		t.Error("phantom lookup")
 	}
-	anc, ok, err := b.NearestAncestor(1, path.MustParse("T/a/b/c/d"))
+	anc, ok, err := b.NearestAncestor(context.Background(), 1, path.MustParse("T/a/b/c/d"))
 	if err != nil || !ok || anc.Loc.String() != "T/a/b/c" {
 		t.Fatalf("NearestAncestor = %v %v %v", anc, ok, err)
 	}
-	if _, ok, _ := b.NearestAncestor(1, path.MustParse("T/a")); ok {
+	if _, ok, _ := b.NearestAncestor(context.Background(), 1, path.MustParse("T/a")); ok {
 		t.Error("self must not be its own ancestor")
 	}
-	recs, err := b.ScanTid(1)
+	recs, err := b.ScanTid(context.Background(), 1)
 	if err != nil || len(recs) != 2 {
 		t.Fatalf("ScanTid = %v %v", recs, err)
 	}
-	byLoc, err := b.ScanLoc(path.MustParse("T/a"))
+	byLoc, err := b.ScanLoc(context.Background(), path.MustParse("T/a"))
 	if err != nil || len(byLoc) != 2 || byLoc[0].Tid != 1 || byLoc[1].Tid != 2 {
 		t.Fatalf("ScanLoc = %v %v", byLoc, err)
 	}
-	pre, err := b.ScanLocPrefix(path.MustParse("T/a"))
+	pre, err := b.ScanLocPrefix(context.Background(), path.MustParse("T/a"))
 	if err != nil || len(pre) != 3 {
 		t.Fatalf("ScanLocPrefix = %v %v", pre, err)
 	}
-	tids, _ := b.Tids()
+	tids, _ := b.Tids(context.Background())
 	if len(tids) != 2 || tids[0] != 1 || tids[1] != 2 {
 		t.Errorf("Tids = %v", tids)
 	}
-	maxT, _ := b.MaxTid()
+	maxT, _ := b.MaxTid(context.Background())
 	if maxT != 2 {
 		t.Errorf("MaxTid = %d", maxT)
 	}
-	n, _ := b.Count()
+	n, _ := b.Count(context.Background())
 	if n != 3 {
 		t.Errorf("Count = %d", n)
 	}
-	bytes, _ := b.Bytes()
+	bytes, _ := b.Bytes(context.Background())
 	if bytes <= 0 {
 		t.Error("Bytes should be positive")
 	}
@@ -111,7 +112,7 @@ func TestRelProvAppendBatch(t *testing.T) {
 	}
 	b.EnableGroupCommit(w)
 
-	if err := b.AppendBatch(); err != nil {
+	if err := b.AppendBatch(context.Background()); err != nil {
 		t.Fatalf("empty group: %v", err)
 	}
 	batches := [][]provstore.Record{
@@ -119,15 +120,15 @@ func TestRelProvAppendBatch(t *testing.T) {
 		{rec(2, provstore.OpDelete, "T/a", "")},
 		{rec(3, provstore.OpInsert, "T/c", "")},
 	}
-	if err := b.AppendBatch(batches...); err != nil {
+	if err := b.AppendBatch(context.Background(), batches...); err != nil {
 		t.Fatal(err)
 	}
-	if n, err := b.Count(); err != nil || n != 4 {
+	if n, err := b.Count(context.Background()); err != nil || n != 4 {
 		t.Fatalf("Count = %d, %v", n, err)
 	}
 	// Cross-batch duplicate within one group.
 	var dup *provstore.DupKeyError
-	err = b.AppendBatch(
+	err = b.AppendBatch(context.Background(),
 		[]provstore.Record{rec(9, provstore.OpInsert, "T/x", "")},
 		[]provstore.Record{rec(9, provstore.OpInsert, "T/x", "")},
 	)
@@ -135,14 +136,14 @@ func TestRelProvAppendBatch(t *testing.T) {
 		t.Fatalf("cross-batch dup: %v", err)
 	}
 	// The failed group inserted nothing: no partial batches.
-	if n, err := b.Count(); err != nil || n != 4 {
+	if n, err := b.Count(context.Background()); err != nil || n != 4 {
 		t.Fatalf("failed group left partial rows: Count = %d, %v", n, err)
 	}
-	if _, ok, _ := b.Lookup(9, path.MustParse("T/x")); ok {
+	if _, ok, _ := b.Lookup(context.Background(), 9, path.MustParse("T/x")); ok {
 		t.Fatal("failed group's first batch was stored")
 	}
 	// Duplicate against stored rows.
-	if err := b.AppendBatch([]provstore.Record{rec(1, provstore.OpInsert, "T/a", "")}); !errors.As(err, &dup) {
+	if err := b.AppendBatch(context.Background(), []provstore.Record{rec(1, provstore.OpInsert, "T/a", "")}); !errors.As(err, &dup) {
 		t.Fatalf("stored dup: %v", err)
 	}
 
@@ -161,10 +162,10 @@ func TestRelProvAppendBatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n, err := b2.Count(); err != nil || n != 4 {
+	if n, err := b2.Count(context.Background()); err != nil || n != 4 {
 		t.Fatalf("reopened Count = %d, %v", n, err)
 	}
-	if r, ok, err := b2.Lookup(3, path.MustParse("T/c")); err != nil || !ok || r.Op != provstore.OpInsert {
+	if r, ok, err := b2.Lookup(context.Background(), 3, path.MustParse("T/c")); err != nil || !ok || r.Op != provstore.OpInsert {
 		t.Fatalf("reopened Lookup = %v/%v/%v", r, ok, err)
 	}
 	db.Close()
@@ -172,38 +173,38 @@ func TestRelProvAppendBatch(t *testing.T) {
 
 func TestRelProvDupKey(t *testing.T) {
 	b := newBackend(t)
-	if err := b.Append([]provstore.Record{rec(1, provstore.OpInsert, "T/a", "")}); err != nil {
+	if err := b.Append(context.Background(), []provstore.Record{rec(1, provstore.OpInsert, "T/a", "")}); err != nil {
 		t.Fatal(err)
 	}
 	var dke *provstore.DupKeyError
-	if err := b.Append([]provstore.Record{rec(1, provstore.OpDelete, "T/a", "")}); !errors.As(err, &dke) {
+	if err := b.Append(context.Background(), []provstore.Record{rec(1, provstore.OpDelete, "T/a", "")}); !errors.As(err, &dke) {
 		t.Errorf("stored dup: %v", err)
 	}
 	// In-batch duplicate aborts the whole batch.
-	err := b.Append([]provstore.Record{
+	err := b.Append(context.Background(), []provstore.Record{
 		rec(3, provstore.OpInsert, "T/x", ""),
 		rec(3, provstore.OpDelete, "T/x", ""),
 	})
 	if !errors.As(err, &dke) {
 		t.Errorf("in-batch dup: %v", err)
 	}
-	if _, ok, _ := b.Lookup(3, path.MustParse("T/x")); ok {
+	if _, ok, _ := b.Lookup(context.Background(), 3, path.MustParse("T/x")); ok {
 		t.Error("aborted batch leaked")
 	}
 	// Invalid record rejected.
-	if err := b.Append([]provstore.Record{{Tid: 1, Op: provstore.OpKind('?'), Loc: path.MustParse("T/q")}}); err == nil {
+	if err := b.Append(context.Background(), []provstore.Record{{Tid: 1, Op: provstore.OpKind('?'), Loc: path.MustParse("T/q")}}); err == nil {
 		t.Error("invalid record accepted")
 	}
 }
 
 func TestRelProvLabelwisePrefix(t *testing.T) {
 	b := newBackend(t)
-	b.Append([]provstore.Record{
+	b.Append(context.Background(), []provstore.Record{
 		rec(1, provstore.OpInsert, "T/a", ""),
 		rec(1, provstore.OpInsert, "T/a/x", ""),
 		rec(1, provstore.OpInsert, "T/ab", ""),
 	})
-	got, err := b.ScanLocPrefix(path.MustParse("T/a"))
+	got, err := b.ScanLocPrefix(context.Background(), path.MustParse("T/a"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +230,7 @@ func TestRelProvPersistence(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 500; i++ {
-		if err := b.Append([]provstore.Record{
+		if err := b.Append(context.Background(), []provstore.Record{
 			rec(int64(i), provstore.OpCopy, fmt.Sprintf("T/c%d", i), "S/a"),
 		}); err != nil {
 			t.Fatal(err)
@@ -248,11 +249,11 @@ func TestRelProvPersistence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	n, _ := b2.Count()
+	n, _ := b2.Count(context.Background())
 	if n != 500 {
 		t.Errorf("Count after reopen = %d", n)
 	}
-	r, ok, err := b2.Lookup(250, path.MustParse("T/c250"))
+	r, ok, err := b2.Lookup(context.Background(), 250, path.MustParse("T/c250"))
 	if err != nil || !ok || r.Op != provstore.OpCopy {
 		t.Errorf("Lookup after reopen = %v %v %v", r, ok, err)
 	}
@@ -291,29 +292,29 @@ func TestRelProvMatchesMemBackend(t *testing.T) {
 			}
 			batch = append(batch, rc)
 		}
-		if err := rb.Append(batch); err != nil {
+		if err := rb.Append(context.Background(), batch); err != nil {
 			t.Fatal(err)
 		}
-		if err := mb.Append(batch); err != nil {
+		if err := mb.Append(context.Background(), batch); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// Compare every read surface.
 	for tid := int64(0); tid <= 41; tid++ {
-		rr, _ := rb.ScanTid(tid)
-		mr, _ := mb.ScanTid(tid)
+		rr, _ := rb.ScanTid(context.Background(), tid)
+		mr, _ := mb.ScanTid(context.Background(), tid)
 		if fmt.Sprint(rr) != fmt.Sprint(mr) {
 			t.Errorf("ScanTid(%d): rel=%v mem=%v", tid, rr, mr)
 		}
 		for _, loc := range locs {
 			p := path.MustParse(loc)
-			r1, ok1, _ := rb.Lookup(tid, p)
-			r2, ok2, _ := mb.Lookup(tid, p)
+			r1, ok1, _ := rb.Lookup(context.Background(), tid, p)
+			r2, ok2, _ := mb.Lookup(context.Background(), tid, p)
 			if ok1 != ok2 || (ok1 && r1.String() != r2.String()) {
 				t.Errorf("Lookup(%d,%s): rel=%v/%v mem=%v/%v", tid, loc, r1, ok1, r2, ok2)
 			}
-			a1, k1, _ := rb.NearestAncestor(tid, p)
-			a2, k2, _ := mb.NearestAncestor(tid, p)
+			a1, k1, _ := rb.NearestAncestor(context.Background(), tid, p)
+			a2, k2, _ := mb.NearestAncestor(context.Background(), tid, p)
 			if k1 != k2 || (k1 && a1.String() != a2.String()) {
 				t.Errorf("NearestAncestor(%d,%s): rel=%v/%v mem=%v/%v", tid, loc, a1, k1, a2, k2)
 			}
@@ -321,24 +322,24 @@ func TestRelProvMatchesMemBackend(t *testing.T) {
 	}
 	for _, loc := range append(locs, "T", "T/zz") {
 		p := path.MustParse(loc)
-		r1, _ := rb.ScanLoc(p)
-		r2, _ := mb.ScanLoc(p)
+		r1, _ := rb.ScanLoc(context.Background(), p)
+		r2, _ := mb.ScanLoc(context.Background(), p)
 		if fmt.Sprint(r1) != fmt.Sprint(r2) {
 			t.Errorf("ScanLoc(%s): rel=%v mem=%v", loc, r1, r2)
 		}
-		p1, _ := rb.ScanLocPrefix(p)
-		p2, _ := mb.ScanLocPrefix(p)
+		p1, _ := rb.ScanLocPrefix(context.Background(), p)
+		p2, _ := mb.ScanLocPrefix(context.Background(), p)
 		if fmt.Sprint(p1) != fmt.Sprint(p2) {
 			t.Errorf("ScanLocPrefix(%s):\nrel=%v\nmem=%v", loc, p1, p2)
 		}
 	}
-	t1, _ := rb.Tids()
-	t2, _ := mb.Tids()
+	t1, _ := rb.Tids(context.Background())
+	t2, _ := mb.Tids(context.Background())
 	if fmt.Sprint(t1) != fmt.Sprint(t2) {
 		t.Errorf("Tids: rel=%v mem=%v", t1, t2)
 	}
-	c1, _ := rb.Count()
-	c2, _ := mb.Count()
+	c1, _ := rb.Count(context.Background())
+	c2, _ := mb.Count(context.Background())
 	if c1 != c2 {
 		t.Errorf("Count: rel=%d mem=%d", c1, c2)
 	}

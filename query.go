@@ -1,0 +1,170 @@
+package cpdb
+
+import (
+	"context"
+	"iter"
+)
+
+// A Query is a configured handle onto a session's provenance store: the
+// paper's query interface (Src, Hist, Mod, Trace) plus record streaming,
+// with two knobs the plain Session methods pin — the context under which
+// backend round trips run, and the transaction horizon tnow the engine
+// evaluates against.
+//
+// The zero configuration (s.Query()) behaves exactly like the legacy
+// Session methods: background context, horizon = the store's newest
+// transaction. AsOf rewinds the horizon for time travel; WithContext makes
+// long scatter-gather queries cancellable.
+//
+// A Query is immutable after construction and safe for concurrent use.
+type Query struct {
+	s    *Session
+	ctx  context.Context
+	asOf int64 // 0 = the store's MaxTid at call time
+}
+
+// A QueryOption configures a Query.
+type QueryOption func(*Query)
+
+// AsOf pins the query's transaction horizon: every answer is computed as of
+// the end of transaction tid, ignoring records of later transactions — the
+// engine's time-travel capability, finally exposed. Historical answers
+// equal what the same query returned when tid was the newest transaction
+// (provenance records are immutable, so the prefix of the store up to tid
+// is exactly the store as it was then). Pair with
+// VersionedSession.VersionAt (or QueryAt) to line provenance-as-of up with
+// data-as-of. tid <= 0 means "now".
+func AsOf(tid int64) QueryOption {
+	return func(q *Query) {
+		if tid > 0 {
+			q.asOf = tid
+		} else {
+			q.asOf = 0
+		}
+	}
+}
+
+// WithContext runs the query's backend round trips under ctx: cancelling it
+// stops a sharded scatter-gather between waves and surfaces
+// context.Canceled (via errors.Is) from the query method. A nil ctx means
+// context.Background().
+func WithContext(ctx context.Context) QueryOption {
+	return func(q *Query) {
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		q.ctx = ctx
+	}
+}
+
+// Query returns a query handle over the session's provenance store. With no
+// options it answers exactly like the legacy Session.Trace/Src/Hist/Mod;
+// see AsOf and WithContext.
+func (s *Session) Query(opts ...QueryOption) *Query {
+	q := &Query{s: s, ctx: context.Background()}
+	for _, o := range opts {
+		o(q)
+	}
+	return q
+}
+
+// horizon resolves the query's tnow: the pinned AsOf transaction, or the
+// store's newest transaction.
+func (q *Query) horizon(ctx context.Context) (int64, error) {
+	if q.asOf > 0 {
+		return q.asOf, nil
+	}
+	return q.s.backend.MaxTid(ctx)
+}
+
+// Trace returns the backward history of the data at p as of the query's
+// horizon.
+func (q *Query) Trace(p Path) (TraceResult, error) {
+	tnow, err := q.horizon(q.ctx)
+	if err != nil {
+		return TraceResult{}, err
+	}
+	return q.s.engine.Trace(q.ctx, p, tnow)
+}
+
+// Src answers which transaction first created the data at p as of the
+// query's horizon; ok is false when the data pre-exists tracking or came
+// from an external source.
+func (q *Query) Src(p Path) (tid int64, ok bool, err error) {
+	tnow, err := q.horizon(q.ctx)
+	if err != nil {
+		return 0, false, err
+	}
+	return q.s.engine.Src(q.ctx, p, tnow)
+}
+
+// Hist returns every transaction that copied the data at p as of the
+// query's horizon, most recent first.
+func (q *Query) Hist(p Path) ([]int64, error) {
+	tnow, err := q.horizon(q.ctx)
+	if err != nil {
+		return nil, err
+	}
+	return q.s.engine.Hist(q.ctx, p, tnow)
+}
+
+// Mod returns every transaction up to the query's horizon that created,
+// modified or deleted data in the subtree at p.
+func (q *Query) Mod(p Path) ([]int64, error) {
+	tnow, err := q.horizon(q.ctx)
+	if err != nil {
+		return nil, err
+	}
+	return q.s.engine.Mod(q.ctx, p, tnow)
+}
+
+// Records streams every stored provenance record up to the query's horizon,
+// ordered by (Tid, Loc) — the session's Figure 5 table — one transaction's
+// batch at a time, so a large store is never materialized wholesale. The
+// context is taken per call (not from WithContext) because iteration can
+// long outlive the Query's construction; it is observed between
+// transactions, and cancellation (or any store error) is yielded as the
+// final pair's error, after which iteration stops.
+//
+//	for rec, err := range s.Query().Records(ctx) {
+//		if err != nil {
+//			return err
+//		}
+//		...
+//	}
+func (q *Query) Records(ctx context.Context) iter.Seq2[Record, error] {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return func(yield func(Record, error) bool) {
+		tnow, err := q.horizon(ctx)
+		if err != nil {
+			yield(Record{}, err)
+			return
+		}
+		tids, err := q.s.backend.Tids(ctx)
+		if err != nil {
+			yield(Record{}, err)
+			return
+		}
+		for _, t := range tids {
+			if t > tnow {
+				return // Tids is ascending: everything after is newer
+			}
+			if err := ctx.Err(); err != nil {
+				yield(Record{}, err)
+				return
+			}
+			recs, err := q.s.backend.ScanTid(ctx, t)
+			if err != nil {
+				yield(Record{}, err)
+				return
+			}
+			for _, r := range recs {
+				if !yield(r, nil) {
+					return
+				}
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package cpdb
 
 import (
+	"context"
 	"errors"
 
 	"repro/internal/core"
@@ -19,7 +20,9 @@ type Config struct {
 	// HierTrans, the paper's best performer.
 	Method Method
 	// Backend persists provenance records; the default is an in-memory
-	// store. Use CreateRelBackend for the relational store.
+	// store. Use OpenBackend with a DSN ("mem://?shards=8",
+	// "rel://prov.db?create=1&durable=1") to pick a store by
+	// configuration.
 	Backend Backend
 	// Shards partitions the provenance store across N independently
 	// locked shards by hash of each record's root-relative location, so
@@ -159,70 +162,61 @@ func (s *Session) Apply(op update.Op) error { return s.editor.Apply(op) }
 // TotalOps reports the number of operations applied in this session.
 func (s *Session) TotalOps() int { return s.editor.TotalOps() }
 
-// --- provenance queries ------------------------------------------------------
+// Close flushes any provenance appends still buffered by Config.BatchSize
+// and releases the backend's external resources (the database and
+// write-ahead-log files of a durable relational store, for every shard of a
+// sharded store). The session must not be used afterwards. Sessions over
+// purely in-memory backends may skip Close; calling it is still harmless.
+func (s *Session) Close() error {
+	return provstore.Close(s.backend)
+}
 
-// now returns the last committed transaction id.
-func (s *Session) now() (int64, error) { return s.backend.MaxTid() }
+// --- provenance queries ------------------------------------------------------
+//
+// The methods below are the zero-configuration form of the Query handle:
+// s.Trace(p) ≡ s.Query().Trace(p), and likewise for Src, Hist, Mod and
+// Records. Use Query directly for time travel (AsOf), cancellation
+// (WithContext) or record streaming (Query.Records).
 
 // Trace returns the backward history of the data currently at p.
 func (s *Session) Trace(p Path) (TraceResult, error) {
-	tnow, err := s.now()
-	if err != nil {
-		return TraceResult{}, err
-	}
-	return s.engine.Trace(p, tnow)
+	return s.Query().Trace(p)
 }
 
 // Src answers which transaction first created the data now at p; ok is
 // false when the data pre-exists tracking or came from an external source.
 func (s *Session) Src(p Path) (tid int64, ok bool, err error) {
-	tnow, err := s.now()
-	if err != nil {
-		return 0, false, err
-	}
-	return s.engine.Src(p, tnow)
+	return s.Query().Src(p)
 }
 
 // Hist returns every transaction that copied the data now at p, most
 // recent first.
 func (s *Session) Hist(p Path) ([]int64, error) {
-	tnow, err := s.now()
-	if err != nil {
-		return nil, err
-	}
-	return s.engine.Hist(p, tnow)
+	return s.Query().Hist(p)
 }
 
 // Mod returns every transaction that created, modified or deleted data in
 // the subtree at p.
 func (s *Session) Mod(p Path) ([]int64, error) {
-	tnow, err := s.now()
-	if err != nil {
-		return nil, err
-	}
-	return s.engine.Mod(p, tnow)
+	return s.Query().Mod(p)
 }
 
 // Records returns every stored provenance record ordered by (Tid, Loc) —
-// the session's Figure 5 table.
+// the session's Figure 5 table, materialized. On large stores prefer the
+// streaming Query.Records, which this method drains.
 func (s *Session) Records() ([]Record, error) {
-	tids, err := s.backend.Tids()
-	if err != nil {
-		return nil, err
-	}
 	var out []Record
-	for _, t := range tids {
-		recs, err := s.backend.ScanTid(t)
+	for rec, err := range s.Query().Records(context.Background()) {
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, recs...)
+		out = append(out, rec)
 	}
 	return out, nil
 }
 
 // RecordCount returns the number of stored provenance records.
-func (s *Session) RecordCount() (int, error) { return s.backend.Count() }
+func (s *Session) RecordCount() (int, error) { return s.backend.Count(context.Background()) }
 
 // RecordBytes returns the physical size of the stored provenance records.
-func (s *Session) RecordBytes() (int64, error) { return s.backend.Bytes() }
+func (s *Session) RecordBytes() (int64, error) { return s.backend.Bytes(context.Background()) }

@@ -58,6 +58,25 @@ func (v *VersionedSession) VersionAt(tid int64) (*Node, error) {
 	return st, nil
 }
 
+// QueryAt aligns provenance-as-of with data-as-of: it returns a Query
+// pinned at transaction tid (see AsOf) together with the archived target
+// version the same transaction produced, so a historical trace can be read
+// against exactly the tree it describes. Extra options (e.g. WithContext)
+// apply on top of the pinned horizon.
+func (v *VersionedSession) QueryAt(tid int64, opts ...QueryOption) (*Query, *Node, error) {
+	if tid < 1 {
+		// Version 0 is the pre-history initial state; AsOf(0) would mean
+		// "now", silently pairing present provenance with the initial tree.
+		return nil, nil, errors.New("cpdb: QueryAt needs a committed transaction id (>= 1); use View or VersionAt for the initial state")
+	}
+	node, err := v.VersionAt(tid)
+	if err != nil {
+		return nil, nil, err
+	}
+	q := v.Query(append(append([]QueryOption{}, opts...), AsOf(tid))...)
+	return q, node, nil
+}
+
 // DiffVersions summarizes the changes between two archived versions.
 func (v *VersionedSession) DiffVersions(ta, tb int64) (archive.Diff, error) {
 	return v.arch.DiffVersions(ta, tb)
