@@ -1,26 +1,53 @@
 // Command cpdbbench reruns the evaluation of Buneman, Chapman & Cheney
 // (SIGMOD 2006): every table and figure of §4, plus the design-choice
-// ablations and the sharded-ingest/group-commit sweep that goes beyond the
-// paper, printing the rows/series behind each artifact. See EXPERIMENTS.md
-// for the experiment ↔ figure mapping and how to read the output.
+// ablations, the sharded-ingest/group-commit sweep, and the loopback
+// network-service sweep that go beyond the paper, printing the rows/series
+// behind each artifact. See EXPERIMENTS.md for the experiment ↔ figure
+// mapping and how to read the output.
 //
 // Usage:
 //
 //	cpdbbench                  # run everything at paper scale
 //	cpdbbench -exp fig7        # one experiment
 //	cpdbbench -exp shard       # sharding × batching ingest throughput
+//	cpdbbench -exp net         # loopback cpdb:// vs in-process mem://
 //	cpdbbench -quick           # scaled-down sizes (seconds, for smoke runs)
+//	cpdbbench -json out.json   # also write machine-readable results
 //	cpdbbench -list            # list experiment ids
 //	cpdbbench -steps-long 7000 # override the 14000-step runs
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"repro/internal/bench"
 )
+
+// jsonResult is one experiment's machine-readable output.
+type jsonResult struct {
+	Experiment string         `json:"experiment"`
+	Title      string         `json:"title"`
+	Seconds    float64        `json:"seconds"`
+	Tables     []*bench.Table `json:"tables"`
+}
+
+// jsonReport is the -json FILE payload: run metadata plus every table's id,
+// header and rows, so perf trajectories can be tracked across commits
+// without scraping the text output.
+type jsonReport struct {
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Quick      bool         `json:"quick"`
+	Seed       int64        `json:"seed"`
+	StepsShort int          `json:"stepsShort"`
+	StepsLong  int          `json:"stepsLong"`
+	BackendDSN string       `json:"backendDSN,omitempty"`
+	Results    []jsonResult `json:"results"`
+}
 
 func main() {
 	var (
@@ -32,6 +59,7 @@ func main() {
 		seed      = flag.Int64("seed", 0, "override the workload seed")
 		dir       = flag.String("dir", "", "scratch directory for store files")
 		backend   = flag.String("backend", "", `provenance-store DSN template for -exp shard, e.g. "mem://?shards=4" or "rel://{dir}/p{batch}.db?create=1&durable=1"`)
+		jsonOut   = flag.String("json", "", "write machine-readable results (JSON) to FILE")
 	)
 	flag.Parse()
 
@@ -74,8 +102,17 @@ func main() {
 		}
 		experiments = []bench.Experiment{e}
 	}
+	report := jsonReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      *quickFlag,
+		Seed:       rc.Seed,
+		StepsShort: rc.StepsShort,
+		StepsLong:  rc.StepsLong,
+		BackendDSN: rc.BackendDSN,
+	}
 	for _, e := range experiments {
 		fmt.Printf("### %s — %s\n\n", e.ID, e.Title)
+		start := time.Now()
 		tabs, err := e.Run(rc)
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", e.ID, err))
@@ -83,6 +120,23 @@ func main() {
 		for _, tb := range tabs {
 			fmt.Println(tb)
 		}
+		report.Results = append(report.Results, jsonResult{
+			Experiment: e.ID,
+			Title:      e.Title,
+			Seconds:    time.Since(start).Seconds(),
+			Tables:     tabs,
+		})
+	}
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "cpdbbench: wrote %s\n", *jsonOut)
 	}
 }
 

@@ -1,0 +1,122 @@
+// Command cpdbd is the CPDB provenance daemon: it opens a provenance store
+// by DSN and serves it over HTTP to any number of cpdb:// clients — the
+// deployable form of the provenance database P in the paper's architecture
+// (Figure 2), where the curation tools reached P over the network (JDBC to
+// MySQL, SOAP to Timber).
+//
+// Usage:
+//
+//	cpdbd -addr 127.0.0.1:7070 -backend "mem://?shards=8"
+//	cpdbd -addr :7070 -backend "rel://prov.db?create=1&durable=1"
+//
+// Sessions then reach the store by DSN from any process:
+//
+//	cpdb -demo -backend cpdb://127.0.0.1:7070 -query "hist T/c2/y"
+//
+// The daemon answers one HTTP round trip per Backend method (see
+// internal/provhttp for the wire contract), exposes expvar-style counters at
+// /v1/stats and a readiness probe at /v1/ping, and shuts down gracefully on
+// SIGINT/SIGTERM: the listener stops accepting, in-flight requests drain
+// (bounded by -shutdown-timeout), and the store's group-commit buffers are
+// flushed and its files released before exit.
+//
+// Because the cpdb:// driver itself is linked in, -backend may name another
+// daemon (cpdb://other:7070), chaining services — useful for fronting a
+// remote store with a local batching tier.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"syscall"
+	"time"
+
+	"repro/internal/provhttp"
+	"repro/internal/provstore"
+	_ "repro/internal/relprov" // registers the rel:// backend driver
+)
+
+func main() {
+	var (
+		addr            = flag.String("addr", "127.0.0.1:7070", "listen address (host:port)")
+		backendDSN      = flag.String("backend", "mem://", `provenance store DSN to serve, e.g. "mem://?shards=8" or "rel://prov.db?create=1&durable=1"`)
+		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "how long to drain in-flight requests at shutdown")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *backendDSN, *shutdownTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "cpdbd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, backendDSN string, shutdownTimeout time.Duration) error {
+	backend, err := provstore.OpenDSN(backendDSN)
+	if err != nil {
+		return err
+	}
+	srv := provhttp.NewServer(backend)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		provstore.Close(backend) //nolint:errcheck // open files released on the way out
+		return err
+	}
+	log.Printf("cpdbd: serving %s at cpdb://%s", backendDSN, ln.Addr())
+
+	hs := &http.Server{Handler: srv}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		provstore.Close(backend) //nolint:errcheck // serve already failed
+		return err
+	case sig := <-sigc:
+		log.Printf("cpdbd: %v: draining (up to %s)", sig, shutdownTimeout)
+	}
+
+	// Graceful shutdown: stop accepting, drain in-flight requests, then
+	// flush the store's group-commit buffers and release its files. A drain
+	// overrunning the timeout is cut off so a stuck client cannot block the
+	// flush that makes acknowledged records durable.
+	ctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Printf("cpdbd: drain incomplete (%v), closing connections", err)
+		hs.Close() //nolint:errcheck // forced close after failed drain
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("cpdbd: serve: %v", err)
+	}
+	if err := provstore.Close(backend); err != nil {
+		return fmt.Errorf("flushing store at shutdown: %w", err)
+	}
+	logStats(srv.Stats())
+	log.Printf("cpdbd: store flushed and closed")
+	return nil
+}
+
+// logStats prints the final counter snapshot in a stable order.
+func logStats(stats map[string]int64) {
+	keys := make([]string, 0, len(stats))
+	for k := range stats {
+		if stats[k] != 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		log.Printf("cpdbd: stat %s=%d", k, stats[k])
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/netsim"
 	"repro/internal/path"
+	_ "repro/internal/provhttp" // registers the cpdb:// network driver
 	"repro/internal/provquery"
 	"repro/internal/provstore"
 	_ "repro/internal/relprov" // registers the rel:// backend driver
@@ -136,9 +137,15 @@ func NewRelSource(name string, db *relstore.DB, tables ...string) Source {
 //	                                    %d = shard index)
 //	sharded://?shard=mem://&shard=mem://
 //	                                    explicit per-shard DSNs
+//	cpdb://10.0.0.5:7070                a cpdbd provenance service over the
+//	                                    network (one HTTP round trip per
+//	                                    store call; see cmd/cpdbd)
+//	cpdb://[::1]:7070?timeout=5s        IPv6 authority, bounded round trips
 //
 // Backends holding files (rel, sharded-over-rel) are released by
-// Session.Close, or directly by type-asserting to io.Closer.
+// Session.Close, or directly by type-asserting to io.Closer. For cpdb://
+// backends, Session.Close flushes the *service's* group-commit buffers and
+// releases the client's connections; the daemon owns its store's lifecycle.
 func OpenBackend(dsn string) (Backend, error) {
 	return provstore.OpenDSN(dsn)
 }

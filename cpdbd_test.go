@@ -1,0 +1,121 @@
+package cpdb_test
+
+// End-to-end equivalence of the networked deployment tier: a full CLI
+// session over a live loopback cpdb:// service must be byte-identical to the
+// same session over the in-process store — the acceptance bar mirrored by
+// the CI integration step that boots cmd/cpdbd and diffs the outputs.
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	cpdb "repro"
+	"repro/internal/figures"
+	"repro/internal/provhttp"
+)
+
+// startService serves a fresh mem:// store on a loopback port and returns
+// its cpdb:// DSN.
+func startService(t *testing.T) string {
+	t.Helper()
+	inner, err := cpdb.OpenBackend("mem://")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: provhttp.NewServer(inner)}
+	go hs.Serve(ln) //nolint:errcheck // reports ErrServerClosed at teardown
+	t.Cleanup(func() { hs.Close() })
+	return "cpdb://" + ln.Addr().String()
+}
+
+// TestCLIEquivalenceOverNetwork runs the paper's Figure 3 script with
+// queries and a full provenance dump through RunCLI three ways — in-process
+// mem://, over a loopback cpdb:// service, and over the service with
+// client-side group-commit batching — and requires byte-identical output.
+func TestCLIEquivalenceOverNetwork(t *testing.T) {
+	script := filepath.Join(t.TempDir(), "fig3.cpdb")
+	if err := os.WriteFile(script, []byte(figures.Script), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	run := func(backendDSN string, batch int) string {
+		var out bytes.Buffer
+		cfg := cpdb.CLIConfig{
+			Demo:        true,
+			Script:      script,
+			Method:      "HT",
+			CommitEvery: 5,
+			Backend:     backendDSN,
+			BatchSize:   batch,
+			Queries:     cpdb.StringList{"hist T/c2/y", "src T/c4/y", "mod T", "trace T/c1/y"},
+			Dump:        true,
+		}
+		if err := cpdb.RunCLI(cfg, &out); err != nil {
+			t.Fatalf("RunCLI(%s): %v", backendDSN, err)
+		}
+		return out.String()
+	}
+
+	viaMem := run("mem://", 1)
+	viaNet := run(startService(t), 1)
+	if viaMem != viaNet {
+		t.Errorf("cpdb:// session output differs from mem://\n--- mem ---\n%s--- cpdb ---\n%s", viaMem, viaNet)
+	}
+	// Client-side batching over the network: queries read through the
+	// buffer, so the observable output must not change.
+	viaBatched := run(startService(t), 8)
+	if viaMem != viaBatched {
+		t.Errorf("batched cpdb:// session output differs\n--- mem ---\n%s--- batched ---\n%s", viaMem, viaBatched)
+	}
+}
+
+// TestSessionCloseFlushesOverNetwork: a Session over cpdb:// with client-side
+// batching must push everything to the service by Close, so a second session
+// (a different curator) sees the records.
+func TestSessionCloseFlushesOverNetwork(t *testing.T) {
+	dsn := startService(t)
+	backend, err := cpdb.OpenBackend(dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := cpdb.New(cpdb.Config{
+		Target:    cpdb.NewMemTarget("T", figures.T0()),
+		Sources:   []cpdb.Source{cpdb.NewMemSource("S1", figures.S1()), cpdb.NewMemSource("S2", figures.S2())},
+		Method:    cpdb.HierTrans,
+		Backend:   backend,
+		BatchSize: 64, // larger than the record count: nothing flushes on its own
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(figures.Script); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	second, err := cpdb.OpenBackend(dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cpdb.CloseBackend(second) //nolint:errcheck // loopback teardown
+	n, err := second.Count(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(figures.Fig5d) {
+		t.Fatalf("after Close, service holds %d records, want %d", n, len(figures.Fig5d))
+	}
+}

@@ -11,8 +11,9 @@
 //
 // The package implements all four storage strategies the paper evaluates —
 // naïve, transactional, hierarchical, and hierarchical-transactional — and
-// the provenance queries Src, Hist, Mod (and the federated Own), over
-// either an in-memory store or a from-scratch relational storage engine.
+// the provenance queries Src, Hist, Mod (and the federated Own), over an
+// in-memory store, a from-scratch relational storage engine, or a networked
+// provenance service (cmd/cpdbd) reached through the cpdb:// scheme.
 //
 // Beyond the paper, the store scales out: Config.Shards partitions the
 // provenance store across independently locked shards (queries
@@ -25,8 +26,11 @@
 //
 // The provenance database is picked by configuration: OpenBackend resolves
 // a DSN ("mem://", "mem://?shards=8", "rel://prov.db?create=1&durable=1",
-// "sharded://?…") through a driver registry modeled on database/sql, and
-// RegisterDriver adds third-party schemes.
+// "sharded://?…", "cpdb://host:7070") through a driver registry modeled on
+// database/sql, and RegisterDriver adds third-party schemes. The cpdb://
+// scheme speaks to a cpdbd daemon: the same sessions, queries and
+// equivalence guarantees, with the provenance database running as a shared
+// network service (one HTTP round trip per store call).
 //
 //	backend, err := cpdb.OpenBackend("rel://prov.db?create=1&durable=1")
 //	s, err := cpdb.New(cpdb.Config{

@@ -64,6 +64,15 @@ func TestExampleBulkupdate(t *testing.T) {
 	)
 }
 
+func TestExampleNetservice(t *testing.T) {
+	runExample(t, "netservice",
+		"provenance stored remotely over HTTP",
+		"hist T/c2/y = [121]",
+		"remote store holds 7 records",
+		"server drained and closed",
+	)
+}
+
 func TestCmdCpdbDemo(t *testing.T) {
 	if testing.Short() {
 		t.Skip("cmd smoke skipped in -short mode")

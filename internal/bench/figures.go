@@ -97,6 +97,7 @@ func All() []Experiment {
 		{"fig13", "Provenance query times (Figure 13)", Fig13},
 		{"ablation", "Design-choice ablations (A1–A4)", Ablations},
 		{"shard", "Sharded concurrent ingest and group-commit sweep (beyond the paper)", ShardSweep},
+		{"net", "Loopback cpdb:// vs in-process mem:// per-operation latency (beyond the paper)", NetSweep},
 	}
 }
 

@@ -1,0 +1,167 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/path"
+	"repro/internal/provhttp"
+	"repro/internal/provstore"
+)
+
+// This file is the networked-deployment sweep: per-operation latency of the
+// same provenance store reached in-process (mem://) versus over a real
+// loopback HTTP service (cpdb://, the cmd/cpdbd wire). It is the deployed,
+// wall-clock counterpart of the virtual-time Figure 9/10 tables — netsim
+// *prices* provenance round trips; this experiment *measures* them, one
+// round trip per Backend method, exactly the contract the paper's cost
+// model assumes.
+
+// NetSweepConfig sizes the sweep.
+type NetSweepConfig struct {
+	Tids   int // preloaded transactions
+	PerTid int // records per preloaded transaction
+	Iters  int // timed iterations per operation
+}
+
+// DefaultNetSweep returns the standard sizes.
+func DefaultNetSweep() NetSweepConfig {
+	return NetSweepConfig{Tids: 40, PerTid: 50, Iters: 200}
+}
+
+// quickNetSweep shrinks the sweep for tests.
+func quickNetSweep() NetSweepConfig {
+	return NetSweepConfig{Tids: 10, PerTid: 20, Iters: 40}
+}
+
+// NetSweep measures per-operation latency against an in-process mem://
+// store and an identically loaded store behind a loopback cpdb:// service.
+func NetSweep(rc RunConfig) ([]*Table, error) {
+	cfg := DefaultNetSweep()
+	if rc.StepsShort < 3500 { // Quick() and test configs run a small sweep
+		cfg = quickNetSweep()
+	}
+	ctx := context.Background()
+
+	preload := func(b provstore.Backend) error {
+		for t := 1; t <= cfg.Tids; t++ {
+			recs := make([]provstore.Record, 0, cfg.PerTid)
+			for i := 0; i < cfg.PerTid; i++ {
+				recs = append(recs, provstore.Record{
+					Tid: int64(t),
+					Op:  provstore.OpInsert,
+					Loc: path.New("MiMI", fmt.Sprintf("p%d", t), fmt.Sprintf("n%d", i)),
+				})
+			}
+			if err := b.Append(ctx, recs); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	mem := provstore.NewMemBackend()
+	if err := preload(mem); err != nil {
+		return nil, err
+	}
+
+	// The same store content behind a real loopback HTTP service, reached
+	// through the cpdb:// driver — the full production path.
+	remoteInner := provstore.NewMemBackend()
+	if err := preload(remoteInner); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: provhttp.NewServer(remoteInner)}
+	go hs.Serve(ln) //nolint:errcheck // reports ErrServerClosed at teardown
+	defer hs.Close()
+	remote, err := provstore.OpenDSN("cpdb://" + ln.Addr().String())
+	if err != nil {
+		return nil, err
+	}
+	defer provstore.Close(remote) //nolint:errcheck // loopback teardown
+
+	probeTid := int64(cfg.Tids/2 + 1)
+	probePrefix := path.New("MiMI", fmt.Sprintf("p%d", probeTid))
+	probeLoc := probePrefix.Child("n0")
+	deepLoc := probeLoc.Child("site").Child("pos")
+
+	ops := []struct {
+		name string
+		rows int
+		run  func(b provstore.Backend, i int) error
+	}{
+		{"Append (1 record)", 1, func(b provstore.Backend, i int) error {
+			return b.Append(ctx, []provstore.Record{{
+				Tid: int64(100000 + i),
+				Op:  provstore.OpInsert,
+				Loc: path.New("MiMI", "bench", fmt.Sprintf("a%d", i)),
+			}})
+		}},
+		{"Lookup (hit)", 1, func(b provstore.Backend, _ int) error {
+			_, _, err := b.Lookup(ctx, probeTid, probeLoc)
+			return err
+		}},
+		{"NearestAncestor", 1, func(b provstore.Backend, _ int) error {
+			_, _, err := b.NearestAncestor(ctx, probeTid, deepLoc)
+			return err
+		}},
+		{fmt.Sprintf("ScanTid (%d rows)", cfg.PerTid), cfg.PerTid, func(b provstore.Backend, _ int) error {
+			_, err := b.ScanTid(ctx, probeTid)
+			return err
+		}},
+		{fmt.Sprintf("ScanLocPrefix (%d rows)", cfg.PerTid), cfg.PerTid, func(b provstore.Backend, _ int) error {
+			_, err := b.ScanLocPrefix(ctx, probePrefix)
+			return err
+		}},
+		{"MaxTid", 0, func(b provstore.Backend, _ int) error {
+			_, err := b.MaxTid(ctx)
+			return err
+		}},
+	}
+
+	measure := func(b provstore.Backend, run func(provstore.Backend, int) error) (time.Duration, error) {
+		start := time.Now()
+		for i := 0; i < cfg.Iters; i++ {
+			if err := run(b, i); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start) / time.Duration(cfg.Iters), nil
+	}
+
+	t := &Table{
+		ID:    "net",
+		Title: fmt.Sprintf("Per-operation latency, in-process mem:// vs loopback cpdb:// (%d iterations)", cfg.Iters),
+	}
+	t.Header = []string{"operation", "rows/op", "mem µs/op", "cpdb µs/op", "network multiple"}
+	for _, op := range ops {
+		dm, err := measure(mem, op.run)
+		if err != nil {
+			return nil, fmt.Errorf("bench: net %s (mem): %w", op.name, err)
+		}
+		dn, err := measure(remote, op.run)
+		if err != nil {
+			return nil, fmt.Errorf("bench: net %s (cpdb): %w", op.name, err)
+		}
+		if dm <= 0 {
+			dm = time.Nanosecond
+		}
+		t.AddRow(op.name, fmt.Sprint(op.rows), us(dm), us(dn),
+			fmt.Sprintf("%.0fx", float64(dn)/float64(dm)))
+	}
+	t.Note("real wall-clock loopback HTTP round trips — the deployed counterpart of the virtual-time Figure 9/10 cost model (netsim prices round trips; this measures them)")
+	t.Note("one round trip per Backend method: Append ships its batch in one POST, scans stream back as NDJSON")
+	return []*Table{t}, nil
+}
+
+// us formats a duration in microseconds for the net table.
+func us(d time.Duration) string {
+	return fmt.Sprintf("%.1f", float64(d)/float64(time.Microsecond))
+}

@@ -1,0 +1,338 @@
+package provhttp
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"repro/internal/path"
+	"repro/internal/provstore"
+)
+
+// A Client implements provstore.Backend against a provhttp.Server — the
+// driver side of the cpdb:// scheme. Each Backend method is exactly one HTTP
+// round trip (Append ships its whole batch in one POST; scans stream back as
+// NDJSON), so the paper's one-round-trip-per-call cost model survives the
+// move from simulated to real networking, and provnet can wrap a Client to
+// meter it like any other backend.
+//
+// The Client owns its transport and reuses connections across calls. It is
+// safe for concurrent use.
+//
+// Lifecycle: Flush asks the *server* to push its buffered group commits down
+// (the durability half of Session.Close, across the network); Close flushes,
+// then releases the client's idle connections. Close never closes the
+// server's store — the daemon owns that, and other clients may be writing.
+type Client struct {
+	base string // "http://host:port"
+	hc   *http.Client
+}
+
+// flushTimeout bounds the Flush/Close round trips, which take no caller
+// context (they implement the context-free Flusher/Closer interfaces):
+// a shutdown path must not hang forever on a dead or black-holed service.
+const flushTimeout = 30 * time.Second
+
+var (
+	_ provstore.Backend = (*Client)(nil)
+	_ provstore.Flusher = (*Client)(nil)
+	_ io.Closer         = (*Client)(nil)
+)
+
+// A ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithTimeout bounds every round trip (including reading a scan stream to
+// its end). The default is no timeout: per-call contexts are the intended
+// cancellation mechanism.
+func WithTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.hc.Timeout = d }
+}
+
+// NewClient returns a Backend speaking to the provenance service at
+// hostport ("10.0.0.5:7070", "[::1]:7070"). It does not dial: like a
+// database/sql driver, connection errors surface on first use.
+func NewClient(hostport string, opts ...ClientOption) *Client {
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConnsPerHost = 16 // scatter-gather queries reuse a warm pool
+	c := &Client{
+		base: "http://" + hostport,
+		hc:   &http.Client{Transport: tr},
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Addr returns the service authority the client was opened against.
+func (c *Client) Addr() string { return c.base[len("http://"):] }
+
+// --- one round trip per Backend method --------------------------------------
+
+// do issues one request and fails on any non-expected status, restoring
+// typed store errors from the response body.
+func (c *Client) do(ctx context.Context, method, p string, q url.Values, body io.Reader, want int) (*http.Response, error) {
+	u := c.base + p
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u, body)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/x-ndjson")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		return nil, fmt.Errorf("provhttp: %s %s: %w", method, p, err)
+	}
+	if resp.StatusCode != want {
+		defer resp.Body.Close()
+		return nil, decodeError(resp)
+	}
+	return resp, nil
+}
+
+// getJSON issues a GET and decodes the JSON body into out.
+func (c *Client) getJSON(ctx context.Context, p string, q url.Values, out any) error {
+	resp, err := c.do(ctx, http.MethodGet, p, q, nil, http.StatusOK)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		return fmt.Errorf("provhttp: decoding %s response: %w", p, err)
+	}
+	return nil
+}
+
+// Append implements Backend: the whole batch travels as one NDJSON POST.
+func (c *Client) Append(ctx context.Context, recs []provstore.Record) error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for i := range recs {
+		if err := enc.Encode(toWire(recs[i])); err != nil {
+			return err
+		}
+	}
+	resp, err := c.do(ctx, http.MethodPost, "/v1/append", nil, &buf, http.StatusNoContent)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// point issues a Lookup/NearestAncestor round trip.
+func (c *Client) point(ctx context.Context, p string, tid int64, loc path.Path) (provstore.Record, bool, error) {
+	q := url.Values{"tid": {strconv.FormatInt(tid, 10)}, "loc": {loc.String()}}
+	var fr foundResponse
+	if err := c.getJSON(ctx, p, q, &fr); err != nil {
+		return provstore.Record{}, false, err
+	}
+	if !fr.Found {
+		return provstore.Record{}, false, nil
+	}
+	if fr.R == nil {
+		return provstore.Record{}, false, fmt.Errorf("provhttp: %s: found without record", p)
+	}
+	rec, err := fr.R.record()
+	if err != nil {
+		return provstore.Record{}, false, err
+	}
+	return rec, true, nil
+}
+
+// Lookup implements Backend.
+func (c *Client) Lookup(ctx context.Context, tid int64, loc path.Path) (provstore.Record, bool, error) {
+	return c.point(ctx, "/v1/lookup", tid, loc)
+}
+
+// NearestAncestor implements Backend.
+func (c *Client) NearestAncestor(ctx context.Context, tid int64, loc path.Path) (provstore.Record, bool, error) {
+	return c.point(ctx, "/v1/ancestor", tid, loc)
+}
+
+// scan issues one streaming scan round trip and decodes the NDJSON stream
+// incrementally, so cancellation takes effect mid-stream and a truncated
+// stream (server died, connection cut) is detected by the missing eof
+// terminator rather than silently read as a short result.
+func (c *Client) scan(ctx context.Context, p string, q url.Values) ([]provstore.Record, error) {
+	resp, err := c.do(ctx, http.MethodGet, p, q, nil, http.StatusOK)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	dec := json.NewDecoder(resp.Body)
+	var out []provstore.Record
+	for {
+		var line scanLine
+		if err := dec.Decode(&line); err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, cerr
+			}
+			if err == io.EOF {
+				return nil, fmt.Errorf("provhttp: scan %s: stream truncated after %d records (missing eof terminator)", p, len(out))
+			}
+			return nil, fmt.Errorf("provhttp: scan %s: %w", p, err)
+		}
+		if line.EOF {
+			if line.N != len(out) {
+				return nil, fmt.Errorf("provhttp: scan %s: stream carried %d records, terminator says %d", p, len(out), line.N)
+			}
+			return out, nil
+		}
+		if line.R == nil {
+			return nil, fmt.Errorf("provhttp: scan %s: blank stream line", p)
+		}
+		rec, err := line.R.record()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// ScanTid implements Backend.
+func (c *Client) ScanTid(ctx context.Context, tid int64) ([]provstore.Record, error) {
+	return c.scan(ctx, "/v1/scan/tid", url.Values{"tid": {strconv.FormatInt(tid, 10)}})
+}
+
+// ScanLoc implements Backend.
+func (c *Client) ScanLoc(ctx context.Context, loc path.Path) ([]provstore.Record, error) {
+	return c.scan(ctx, "/v1/scan/loc", url.Values{"loc": {loc.String()}})
+}
+
+// ScanLocPrefix implements Backend.
+func (c *Client) ScanLocPrefix(ctx context.Context, prefix path.Path) ([]provstore.Record, error) {
+	return c.scan(ctx, "/v1/scan/prefix", url.Values{"prefix": {prefix.String()}})
+}
+
+// ScanLocWithAncestors implements Backend.
+func (c *Client) ScanLocWithAncestors(ctx context.Context, loc path.Path) ([]provstore.Record, error) {
+	return c.scan(ctx, "/v1/scan/ancestors", url.Values{"loc": {loc.String()}})
+}
+
+// Tids implements Backend.
+func (c *Client) Tids(ctx context.Context) ([]int64, error) {
+	var resp struct {
+		Tids []int64 `json:"tids"`
+	}
+	if err := c.getJSON(ctx, "/v1/tids", nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Tids, nil
+}
+
+// MaxTid implements Backend.
+func (c *Client) MaxTid(ctx context.Context) (int64, error) {
+	var resp struct {
+		MaxTid int64 `json:"maxTid"`
+	}
+	if err := c.getJSON(ctx, "/v1/maxtid", nil, &resp); err != nil {
+		return 0, err
+	}
+	return resp.MaxTid, nil
+}
+
+// Count implements Backend.
+func (c *Client) Count(ctx context.Context) (int, error) {
+	var resp struct {
+		Count int `json:"count"`
+	}
+	if err := c.getJSON(ctx, "/v1/count", nil, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Count, nil
+}
+
+// Bytes implements Backend.
+func (c *Client) Bytes(ctx context.Context) (int64, error) {
+	var resp struct {
+		Bytes int64 `json:"bytes"`
+	}
+	if err := c.getJSON(ctx, "/v1/bytes", nil, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Bytes, nil
+}
+
+// Ping reports whether the service answers — used by daemons and tests to
+// wait for readiness.
+func (c *Client) Ping(ctx context.Context) error {
+	var resp struct {
+		OK bool `json:"ok"`
+	}
+	if err := c.getJSON(ctx, "/v1/ping", nil, &resp); err != nil {
+		return err
+	}
+	if !resp.OK {
+		return fmt.Errorf("provhttp: %s did not acknowledge ping", c.Addr())
+	}
+	return nil
+}
+
+// Flush implements provstore.Flusher across the network: one round trip that
+// pushes the server backend's buffered group commits down to its store. The
+// interface takes no context, so the round trip is bounded by an internal
+// deadline instead of hanging a shutdown on an unreachable service.
+func (c *Client) Flush() error {
+	ctx, cancel := context.WithTimeout(context.Background(), flushTimeout)
+	defer cancel()
+	resp, err := c.do(ctx, http.MethodPost, "/v1/flush", nil, nil, http.StatusNoContent)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// Close implements io.Closer: it flushes the server's buffers (so
+// Session.Close keeps its durability promise over the network) and releases
+// the client's pooled connections. The server's store stays open — the
+// daemon owns its lifecycle.
+func (c *Client) Close() error {
+	err := c.Flush()
+	c.hc.CloseIdleConnections()
+	return err
+}
+
+// --- the cpdb:// driver ------------------------------------------------------
+
+func init() {
+	provstore.RegisterDriver("cpdb", provstore.DriverFunc(openDSN))
+}
+
+// openDSN opens cpdb://host:port[?timeout=5s]: a client backend speaking to
+// the cpdbd provenance service at that authority.
+func openDSN(dsn provstore.DSN) (provstore.Backend, error) {
+	if err := dsn.RejectUnknownParams("timeout"); err != nil {
+		return nil, err
+	}
+	host, port, err := dsn.HostPort()
+	if err != nil {
+		return nil, err
+	}
+	var opts []ClientOption
+	if v := dsn.Param("timeout"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			return nil, fmt.Errorf("provstore: dsn %s: timeout %q is not a positive duration", dsn, v)
+		}
+		opts = append(opts, WithTimeout(d))
+	}
+	return NewClient(net.JoinHostPort(host, port), opts...), nil
+}

@@ -1,0 +1,458 @@
+package provhttp_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/figures"
+	"repro/internal/path"
+	"repro/internal/provhttp"
+	"repro/internal/provstore"
+	"repro/internal/provtest"
+)
+
+// serve mounts a Server over inner on a loopback listener and returns a
+// Client opened through the cpdb:// driver — the full production path.
+func serve(t *testing.T, inner provstore.Backend) (*provhttp.Client, *provhttp.Server) {
+	t.Helper()
+	srv := provhttp.NewServer(inner)
+	hs := httptest.NewServer(srv)
+	t.Cleanup(hs.Close)
+	b, err := provstore.OpenDSN("cpdb://" + hs.Listener.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, ok := b.(*provhttp.Client)
+	if !ok {
+		t.Fatalf("cpdb:// opened %T", b)
+	}
+	t.Cleanup(func() { cli.Close() })
+	return cli, srv
+}
+
+func rec(tid int64, op provstore.OpKind, loc, src string) provstore.Record {
+	r := provstore.Record{Tid: tid, Op: op, Loc: path.MustParse(loc)}
+	if src != "" {
+		r.Src = path.MustParse(src)
+	}
+	return r
+}
+
+// TestClientBackendRoundTrip drives every Backend method through a loopback
+// server and checks the answers against the same calls on the inner store.
+func TestClientBackendRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	inner := provstore.NewMemBackend()
+	cli, _ := serve(t, inner)
+
+	recs := []provstore.Record{
+		rec(1, provstore.OpDelete, "T/c5", ""),
+		rec(1, provstore.OpCopy, "T/c1/y", "S1/a1/y"),
+		rec(2, provstore.OpInsert, "T/c2", ""),
+		rec(2, provstore.OpCopy, "T/c2/x", "S1/a2/x"),
+		rec(3, provstore.OpInsert, "T/c2/x/deep", ""),
+	}
+	if err := cli.Append(ctx, recs); err != nil {
+		t.Fatal(err)
+	}
+
+	if n, err := cli.Count(ctx); err != nil || n != len(recs) {
+		t.Fatalf("Count = %d, %v; want %d", n, err, len(recs))
+	}
+	wantBytes, _ := inner.Bytes(ctx)
+	if n, err := cli.Bytes(ctx); err != nil || n != wantBytes {
+		t.Fatalf("Bytes = %d, %v; want %d", n, err, wantBytes)
+	}
+	if m, err := cli.MaxTid(ctx); err != nil || m != 3 {
+		t.Fatalf("MaxTid = %d, %v", m, err)
+	}
+	tids, err := cli.Tids(ctx)
+	if err != nil || fmt.Sprint(tids) != "[1 2 3]" {
+		t.Fatalf("Tids = %v, %v", tids, err)
+	}
+
+	// Point queries: hit, miss, and hierarchical ancestor.
+	got, ok, err := cli.Lookup(ctx, 1, path.MustParse("T/c1/y"))
+	if err != nil || !ok || got.String() != recs[1].String() {
+		t.Fatalf("Lookup hit = %v %v %v", got, ok, err)
+	}
+	if _, ok, err := cli.Lookup(ctx, 9, path.MustParse("T/c1/y")); err != nil || ok {
+		t.Fatalf("Lookup miss: found=%v err=%v", ok, err)
+	}
+	anc, ok, err := cli.NearestAncestor(ctx, 2, path.MustParse("T/c2/x/deep/leaf"))
+	if err != nil || !ok || anc.Loc.String() != "T/c2/x" {
+		t.Fatalf("NearestAncestor = %v %v %v", anc, ok, err)
+	}
+
+	// Scans, each against the inner store's answer.
+	scans := []struct {
+		name     string
+		viaCli   func() ([]provstore.Record, error)
+		viaInner func() ([]provstore.Record, error)
+	}{
+		{"ScanTid", func() ([]provstore.Record, error) { return cli.ScanTid(ctx, 2) },
+			func() ([]provstore.Record, error) { return inner.ScanTid(ctx, 2) }},
+		{"ScanLoc", func() ([]provstore.Record, error) { return cli.ScanLoc(ctx, path.MustParse("T/c2/x")) },
+			func() ([]provstore.Record, error) { return inner.ScanLoc(ctx, path.MustParse("T/c2/x")) }},
+		{"ScanLocPrefix", func() ([]provstore.Record, error) { return cli.ScanLocPrefix(ctx, path.MustParse("T/c2")) },
+			func() ([]provstore.Record, error) { return inner.ScanLocPrefix(ctx, path.MustParse("T/c2")) }},
+		{"ScanLocWithAncestors", func() ([]provstore.Record, error) {
+			return cli.ScanLocWithAncestors(ctx, path.MustParse("T/c2/x/deep"))
+		}, func() ([]provstore.Record, error) {
+			return inner.ScanLocWithAncestors(ctx, path.MustParse("T/c2/x/deep"))
+		}},
+	}
+	for _, sc := range scans {
+		gotRecs, err := sc.viaCli()
+		if err != nil {
+			t.Fatalf("%s via client: %v", sc.name, err)
+		}
+		wantRecs, err := sc.viaInner()
+		if err != nil {
+			t.Fatalf("%s via inner: %v", sc.name, err)
+		}
+		if fmt.Sprint(gotRecs) != fmt.Sprint(wantRecs) {
+			t.Errorf("%s mismatch:\n via cpdb://: %v\n in-process:  %v", sc.name, gotRecs, wantRecs)
+		}
+	}
+
+	if err := cli.Ping(ctx); err != nil {
+		t.Fatalf("Ping: %v", err)
+	}
+}
+
+// TestDupKeyErrorRoundTrips: the typed {Tid, Loc} key violation must survive
+// the wire, because the batching layer and callers match on *DupKeyError.
+func TestDupKeyErrorRoundTrips(t *testing.T) {
+	ctx := context.Background()
+	cli, _ := serve(t, provstore.NewMemBackend())
+	r := rec(7, provstore.OpInsert, "T/dup", "")
+	if err := cli.Append(ctx, []provstore.Record{r}); err != nil {
+		t.Fatal(err)
+	}
+	err := cli.Append(ctx, []provstore.Record{r})
+	var dup *provstore.DupKeyError
+	if !errors.As(err, &dup) {
+		t.Fatalf("duplicate append returned %T (%v), want *DupKeyError", err, err)
+	}
+	if dup.Tid != 7 || dup.Loc.String() != "T/dup" {
+		t.Fatalf("DupKeyError carried (%d, %s)", dup.Tid, dup.Loc)
+	}
+}
+
+// TestFig5Equivalence runs the paper's worked example through a tracker
+// writing over cpdb:// and requires the stored tables to be byte-identical
+// to an in-process mem:// run, for all four methods — the end-to-end
+// equivalence bar of the subsystem.
+func TestFig5Equivalence(t *testing.T) {
+	for _, m := range provstore.AllMethods {
+		t.Run(m.String(), func(t *testing.T) {
+			runOne := func(b provstore.Backend) []provstore.Record {
+				tr := provstore.MustNew(m, provstore.Config{Backend: b, StartTid: figures.FirstTid})
+				f := figures.Forest()
+				var err error
+				if m.Deferred() {
+					_, err = provtest.Run(tr, f, figures.Sequence(), 0)
+				} else {
+					_, err = provtest.RunPerOp(tr, f, figures.Sequence())
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				recs, err := provtest.AllSorted(b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return recs
+			}
+
+			cli, _ := serve(t, provstore.NewMemBackend())
+			viaNet := runOne(cli)
+			viaMem := runOne(provstore.NewMemBackend())
+
+			render := func(recs []provstore.Record) string {
+				var b strings.Builder
+				for _, r := range recs {
+					fmt.Fprintln(&b, r)
+				}
+				return b.String()
+			}
+			if render(viaNet) != render(viaMem) {
+				t.Errorf("method %s: cpdb:// table differs from mem://\nnet:\n%smem:\n%s",
+					m, render(viaNet), render(viaMem))
+			}
+		})
+	}
+}
+
+// blockingBackend parks scans until their context is cancelled — a stand-in
+// for a slow store behind the server, to prove client hang-up propagates.
+type blockingBackend struct {
+	provstore.Backend
+	entered chan struct{}
+	exited  chan struct{}
+}
+
+func (b *blockingBackend) ScanLocPrefix(ctx context.Context, prefix path.Path) ([]provstore.Record, error) {
+	b.entered <- struct{}{}
+	<-ctx.Done()
+	b.exited <- struct{}{}
+	return nil, ctx.Err()
+}
+
+// TestCancelMidScanAbortsServerWork cancels a client context while the
+// server-side ScanLocPrefix is parked: the client must surface
+// context.Canceled, the server-side backend call must observe cancellation
+// (client hang-up reaches the store), and no goroutines may leak.
+func TestCancelMidScanAbortsServerWork(t *testing.T) {
+	bb := &blockingBackend{
+		Backend: provstore.NewMemBackend(),
+		entered: make(chan struct{}, 1),
+		exited:  make(chan struct{}, 1),
+	}
+	cli, _ := serve(t, bb)
+
+	// Warm the connection pool so the leak baseline includes it.
+	if err := cli.Ping(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	base := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := cli.ScanLocPrefix(ctx, path.MustParse("T"))
+		done <- err
+	}()
+
+	select {
+	case <-bb.entered: // server-side scan is parked on our context
+	case <-time.After(3 * time.Second):
+		t.Fatal("server never entered ScanLocPrefix")
+	}
+	cancel()
+
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled scan returned %v, want context.Canceled", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("cancelled scan never returned to the client")
+	}
+	select {
+	case <-bb.exited: // the server-side work was aborted, not abandoned
+	case <-time.After(3 * time.Second):
+		t.Fatal("server-side scan never observed the cancellation")
+	}
+	waitGoroutines(t, base)
+}
+
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d now vs %d before cancellation", runtime.NumGoroutine(), base)
+}
+
+// TestTruncatedStreamDetected: a scan stream that dies before the eof
+// terminator must be reported as an error, not returned as a short result.
+func TestTruncatedStreamDetected(t *testing.T) {
+	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		// Two records, then silence — no terminator line.
+		fmt.Fprintln(w, `{"r":{"tid":1,"op":"I","loc":"T/a"}}`)
+		fmt.Fprintln(w, `{"r":{"tid":1,"op":"I","loc":"T/b"}}`)
+	}))
+	defer fake.Close()
+	cli := provhttp.NewClient(fake.Listener.Addr().String())
+	defer cli.Close()
+	_, err := cli.ScanTid(context.Background(), 1)
+	if err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("truncated stream returned %v, want truncation error", err)
+	}
+}
+
+// TestRemoteFlushSemantics: Flush (and therefore a remote Session.Close)
+// must push the *server's* group-commit buffer down to its store, and Close
+// must not close the server's backend — the daemon owns it.
+func TestRemoteFlushSemantics(t *testing.T) {
+	ctx := context.Background()
+	mem := provstore.NewMemBackend()
+	buffered := provstore.NewBatching(mem, 100) // holds appends until flushed
+	cli, _ := serve(t, buffered)
+
+	if err := cli.Append(ctx, []provstore.Record{rec(1, provstore.OpInsert, "T/a", "")}); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := mem.Count(ctx); n != 0 {
+		t.Fatalf("append reached the store before flush (count=%d)", n)
+	}
+	if err := cli.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := mem.Count(ctx); n != 1 {
+		t.Fatalf("flush did not reach the store (count=%d)", n)
+	}
+
+	// Close flushes too, and leaves the server's store open for others.
+	if err := cli.Append(ctx, []provstore.Record{rec(2, provstore.OpInsert, "T/b", "")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := mem.Count(ctx); n != 2 {
+		t.Fatalf("close did not flush (count=%d)", n)
+	}
+	if err := buffered.Append(ctx, []provstore.Record{rec(3, provstore.OpInsert, "T/c", "")}); err != nil {
+		t.Fatalf("server store unusable after client close: %v", err)
+	}
+}
+
+// TestConcurrentClients hammers one server with concurrent writers and
+// readers through independent connections (run under -race in CI).
+func TestConcurrentClients(t *testing.T) {
+	ctx := context.Background()
+	cli, _ := serve(t, provstore.NewShardedMem(4))
+	const writers, perW = 4, 25
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < perW; j++ {
+				r := rec(int64(i+1), provstore.OpInsert, fmt.Sprintf("T/w%d/n%d", i, j), "")
+				if err := cli.Append(ctx, []provstore.Record{r}); err != nil {
+					errs[i] = err
+					return
+				}
+				if _, err := cli.ScanLocPrefix(ctx, path.MustParse(fmt.Sprintf("T/w%d", i))); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, err := cli.Count(ctx); err != nil || n != writers*perW {
+		t.Fatalf("Count = %d, %v; want %d", n, err, writers*perW)
+	}
+}
+
+// TestServerStats checks the expvar-style counters move and are served.
+func TestServerStats(t *testing.T) {
+	ctx := context.Background()
+	cli, srv := serve(t, provstore.NewMemBackend())
+	if err := cli.Append(ctx, []provstore.Record{rec(1, provstore.OpInsert, "T/a", "")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.ScanTid(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	st := srv.Stats()
+	if st["endpoint.append"] != 1 || st["records_appended"] != 1 {
+		t.Errorf("append counters: %v", st)
+	}
+	if st["endpoint.scan/tid"] != 1 || st["records_streamed"] != 1 {
+		t.Errorf("scan counters: %v", st)
+	}
+	if st["requests"] < 2 {
+		t.Errorf("requests = %d", st["requests"])
+	}
+
+	// The counters are also an endpoint.
+	resp, err := http.Get("http://" + cli.Addr() + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var served map[string]int64
+	if err := json.NewDecoder(resp.Body).Decode(&served); err != nil {
+		t.Fatal(err)
+	}
+	if served["endpoint.append"] != 1 {
+		t.Errorf("served stats: %v", served)
+	}
+}
+
+// TestRemoteErrors: unknown endpoints and malformed parameters come back as
+// typed RemoteErrors carrying the HTTP status.
+func TestRemoteErrors(t *testing.T) {
+	ctx := context.Background()
+	cli, _ := serve(t, provstore.NewMemBackend())
+
+	// Bad tid parameter → 400.
+	_, err := cli.ScanTid(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + cli.Addr() + "/v1/lookup?tid=notanumber&loc=T/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad tid: HTTP %d, want 400", resp.StatusCode)
+	}
+
+	// A server that isn't there: connection errors surface on first use.
+	dead, err := provstore.OpenDSN("cpdb://127.0.0.1:1")
+	if err != nil {
+		t.Fatalf("opening a DSN must not dial: %v", err)
+	}
+	if _, err := dead.Count(ctx); err == nil {
+		t.Error("Count against a dead server succeeded")
+	}
+}
+
+// TestDriverDSNForms exercises the cpdb:// driver's DSN validation.
+func TestDriverDSNForms(t *testing.T) {
+	for _, bad := range []string{
+		"cpdb://",                       // no authority
+		"cpdb://hostonly",               // missing port
+		"cpdb://host:7070?timout=5s",    // typo'd parameter
+		"cpdb://host:7070?timeout=fast", // malformed duration
+		"cpdb://host:7070?timeout=-1s",  // non-positive duration
+		"cpdb://host:7070/extra?x",      // SplitHostPort rejects the path
+	} {
+		if _, err := provstore.OpenDSN(bad); err == nil {
+			t.Errorf("OpenDSN(%q) succeeded", bad)
+		}
+	}
+	b, err := provstore.OpenDSN("cpdb://127.0.0.1:7070?timeout=30s")
+	if err != nil {
+		t.Fatalf("cpdb:// with timeout: %v", err)
+	}
+	b.(*provhttp.Client).Close() //nolint:errcheck // no server; close releases conns
+
+	found := false
+	for _, s := range provstore.Drivers() {
+		if s == "cpdb" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("cpdb scheme not registered: %v", provstore.Drivers())
+	}
+}

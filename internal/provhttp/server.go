@@ -1,0 +1,323 @@
+package provhttp
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+
+	"repro/internal/path"
+	"repro/internal/provstore"
+)
+
+// streamFlushEvery is the record interval at which scan streams flush the
+// response writer, so large results leave the server as chunks the client
+// can start decoding (and cancelling) before the stream ends.
+const streamFlushEvery = 256
+
+// A Server publishes a provstore.Backend over HTTP — the daemon side of the
+// cpdb:// scheme. It is an http.Handler; cmd/cpdbd mounts one on a listener,
+// and tests mount one on a loopback httptest server.
+//
+// Every handler runs its backend calls under the request context, so a
+// client hanging up (or cancelling its context) cancels the backend work it
+// triggered — a sharded scatter-gather stops between waves, exactly as it
+// would for an in-process caller.
+//
+// The Server does not own the inner backend's lifecycle: Flush is exposed as
+// an endpoint (a remote Session.Close flushes through it), but closing the
+// store belongs to the daemon's shutdown step, after the listener has
+// drained — other clients may still be writing.
+type Server struct {
+	inner provstore.Backend
+	mux   *http.ServeMux
+	stats serverStats
+}
+
+// serverStats holds expvar-style monotonic counters.
+type serverStats struct {
+	requests        atomic.Int64
+	errors          atomic.Int64
+	recordsAppended atomic.Int64
+	recordsStreamed atomic.Int64
+	byEndpoint      map[string]*atomic.Int64 // fixed key set, values atomic
+}
+
+// endpoints is the fixed counter key set (one per Backend method + control).
+var endpoints = []string{
+	"append", "lookup", "ancestor",
+	"scan/tid", "scan/loc", "scan/prefix", "scan/ancestors",
+	"tids", "maxtid", "count", "bytes",
+	"flush", "ping", "stats",
+}
+
+// NewServer returns a handler publishing inner. Compose the inner backend
+// however the deployment needs it — provstore.OpenDSN("mem://?shards=8"),
+// "rel://prov.db?durable=1", a sharded composite — the server is agnostic.
+func NewServer(inner provstore.Backend) *Server {
+	s := &Server{
+		inner: inner,
+		mux:   http.NewServeMux(),
+		stats: serverStats{byEndpoint: make(map[string]*atomic.Int64, len(endpoints))},
+	}
+	for _, e := range endpoints {
+		s.stats.byEndpoint[e] = new(atomic.Int64)
+	}
+	s.mux.HandleFunc("POST /v1/append", s.handleAppend)
+	s.mux.HandleFunc("GET /v1/lookup", s.pointHandler("lookup", s.inner.Lookup))
+	s.mux.HandleFunc("GET /v1/ancestor", s.pointHandler("ancestor", s.inner.NearestAncestor))
+	s.mux.HandleFunc("GET /v1/scan/tid", s.handleScanTid)
+	s.mux.HandleFunc("GET /v1/scan/loc", s.scanHandler("scan/loc", "loc", s.inner.ScanLoc))
+	s.mux.HandleFunc("GET /v1/scan/prefix", s.scanHandler("scan/prefix", "prefix", s.inner.ScanLocPrefix))
+	s.mux.HandleFunc("GET /v1/scan/ancestors", s.scanHandler("scan/ancestors", "loc", s.inner.ScanLocWithAncestors))
+	s.mux.HandleFunc("GET /v1/tids", s.handleTids)
+	s.mux.HandleFunc("GET /v1/maxtid", s.handleMaxTid)
+	s.mux.HandleFunc("GET /v1/count", s.handleCount)
+	s.mux.HandleFunc("GET /v1/bytes", s.handleBytes)
+	s.mux.HandleFunc("POST /v1/flush", s.handleFlush)
+	s.mux.HandleFunc("GET /v1/ping", s.handlePing)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.stats.requests.Add(1)
+	s.mux.ServeHTTP(w, r)
+}
+
+// Inner returns the published backend (the daemon closes it at shutdown).
+func (s *Server) Inner() provstore.Backend { return s.inner }
+
+// Stats returns a snapshot of the server's counters: total requests, errors,
+// records appended/streamed, and per-endpoint request counts.
+func (s *Server) Stats() map[string]int64 {
+	out := map[string]int64{
+		"requests":         s.stats.requests.Load(),
+		"errors":           s.stats.errors.Load(),
+		"records_appended": s.stats.recordsAppended.Load(),
+		"records_streamed": s.stats.recordsStreamed.Load(),
+	}
+	for e, c := range s.stats.byEndpoint {
+		out["endpoint."+e] = c.Load()
+	}
+	return out
+}
+
+// fail counts and writes an error response.
+func (s *Server) fail(w http.ResponseWriter, err error, status int) {
+	s.stats.errors.Add(1)
+	writeError(w, err, status)
+}
+
+func (s *Server) count(endpoint string) {
+	s.stats.byEndpoint[endpoint].Add(1)
+}
+
+// pathParam parses the named query parameter as a path ("" is the forest
+// root, as everywhere else).
+func pathParam(r *http.Request, name string) (path.Path, error) {
+	p, err := path.Parse(r.URL.Query().Get(name))
+	if err != nil {
+		return path.Path{}, fmt.Errorf("provhttp: bad %s parameter: %w", name, err)
+	}
+	return p, nil
+}
+
+// tidParam parses the required tid query parameter.
+func tidParam(r *http.Request) (int64, error) {
+	tid, err := strconv.ParseInt(r.URL.Query().Get("tid"), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("provhttp: bad tid parameter %q", r.URL.Query().Get("tid"))
+	}
+	return tid, nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+// handleAppend decodes one NDJSON batch and appends it in one store call —
+// the wire protocol's batched write: one round trip per Append, however many
+// records it carries.
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	s.count("append")
+	dec := json.NewDecoder(r.Body)
+	var recs []provstore.Record
+	for {
+		var wr wireRecord
+		if err := dec.Decode(&wr); err == io.EOF {
+			break
+		} else if err != nil {
+			s.fail(w, fmt.Errorf("provhttp: bad append body: %w", err), http.StatusBadRequest)
+			return
+		}
+		rec, err := wr.record()
+		if err != nil {
+			s.fail(w, err, http.StatusBadRequest)
+			return
+		}
+		recs = append(recs, rec)
+	}
+	if err := s.inner.Append(r.Context(), recs); err != nil {
+		s.fail(w, err, http.StatusInternalServerError)
+		return
+	}
+	s.stats.recordsAppended.Add(int64(len(recs)))
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// pointHandler serves Lookup and NearestAncestor: both take (tid, loc) and
+// answer with at most one record.
+func (s *Server) pointHandler(endpoint string, q func(context.Context, int64, path.Path) (provstore.Record, bool, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.count(endpoint)
+		tid, err := tidParam(r)
+		if err != nil {
+			s.fail(w, err, http.StatusBadRequest)
+			return
+		}
+		loc, err := pathParam(r, "loc")
+		if err != nil {
+			s.fail(w, err, http.StatusBadRequest)
+			return
+		}
+		rec, found, err := q(r.Context(), tid, loc)
+		if err != nil {
+			s.fail(w, err, http.StatusInternalServerError)
+			return
+		}
+		resp := foundResponse{Found: found}
+		if found {
+			wr := toWire(rec)
+			resp.R = &wr
+		}
+		writeJSON(w, resp)
+	}
+}
+
+// streamRecords writes a scan result as an NDJSON stream with the eof
+// terminator, flushing chunks as it goes and aborting between chunks if the
+// client went away.
+func (s *Server) streamRecords(w http.ResponseWriter, r *http.Request, recs []provstore.Record) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	for i := range recs {
+		wr := toWire(recs[i])
+		if err := enc.Encode(scanLine{R: &wr}); err != nil {
+			return // client hung up; the connection carries the truncation
+		}
+		if (i+1)%streamFlushEvery == 0 {
+			if flusher != nil {
+				flusher.Flush()
+			}
+			if r.Context().Err() != nil {
+				return
+			}
+		}
+	}
+	enc.Encode(scanLine{EOF: true, N: len(recs)}) //nolint:errcheck // stream end
+	s.stats.recordsStreamed.Add(int64(len(recs)))
+}
+
+// scanHandler serves the single-path scans (ScanLoc, ScanLocPrefix,
+// ScanLocWithAncestors) as NDJSON streams.
+func (s *Server) scanHandler(endpoint, param string, q func(context.Context, path.Path) ([]provstore.Record, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.count(endpoint)
+		p, err := pathParam(r, param)
+		if err != nil {
+			s.fail(w, err, http.StatusBadRequest)
+			return
+		}
+		recs, err := q(r.Context(), p)
+		if err != nil {
+			s.fail(w, err, http.StatusInternalServerError)
+			return
+		}
+		s.streamRecords(w, r, recs)
+	}
+}
+
+// handleScanTid streams all records of one transaction.
+func (s *Server) handleScanTid(w http.ResponseWriter, r *http.Request) {
+	s.count("scan/tid")
+	tid, err := tidParam(r)
+	if err != nil {
+		s.fail(w, err, http.StatusBadRequest)
+		return
+	}
+	recs, err := s.inner.ScanTid(r.Context(), tid)
+	if err != nil {
+		s.fail(w, err, http.StatusInternalServerError)
+		return
+	}
+	s.streamRecords(w, r, recs)
+}
+
+func (s *Server) handleTids(w http.ResponseWriter, r *http.Request) {
+	s.count("tids")
+	tids, err := s.inner.Tids(r.Context())
+	if err != nil {
+		s.fail(w, err, http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, map[string][]int64{"tids": tids})
+}
+
+func (s *Server) handleMaxTid(w http.ResponseWriter, r *http.Request) {
+	s.count("maxtid")
+	t, err := s.inner.MaxTid(r.Context())
+	if err != nil {
+		s.fail(w, err, http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, map[string]int64{"maxTid": t})
+}
+
+func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
+	s.count("count")
+	n, err := s.inner.Count(r.Context())
+	if err != nil {
+		s.fail(w, err, http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, map[string]int{"count": n})
+}
+
+func (s *Server) handleBytes(w http.ResponseWriter, r *http.Request) {
+	s.count("bytes")
+	n, err := s.inner.Bytes(r.Context())
+	if err != nil {
+		s.fail(w, err, http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, map[string]int64{"bytes": n})
+}
+
+// handleFlush pushes the inner backend's buffered group commits down — the
+// durability half of a remote Session.Close. It is a no-op for write-through
+// backends.
+func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	s.count("flush")
+	if err := provstore.Flush(s.inner); err != nil {
+		s.fail(w, err, http.StatusInternalServerError)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handlePing(w http.ResponseWriter, r *http.Request) {
+	s.count("ping")
+	writeJSON(w, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.count("stats")
+	writeJSON(w, s.Stats())
+}

@@ -1,0 +1,153 @@
+// Package provhttp exposes the full provstore.Backend interface over HTTP:
+// a Server that publishes any inner backend (opened by DSN) as a network
+// provenance service, and a Client that implements provstore.Backend against
+// such a service, self-registering the cpdb:// DSN scheme.
+//
+// The paper's architecture (Figure 2) treats the provenance database P as a
+// service reached over the network — the original deployment spoke JDBC to
+// MySQL and SOAP to Timber. This package is the real-network counterpart of
+// internal/provnet's simulated connections: the wire protocol maps each
+// Backend method to exactly one HTTP round trip, so the paper's cost model
+// (and provnet's per-call accounting, when it wraps a Client) carries over
+// unchanged to a deployed service.
+//
+// Protocol (version 1, all paths under /v1/):
+//
+//	POST /v1/append                  NDJSON records in, 204 out (batched)
+//	GET  /v1/lookup?tid=&loc=        {"found":bool,"r":record}
+//	GET  /v1/ancestor?tid=&loc=      {"found":bool,"r":record}
+//	GET  /v1/scan/tid?tid=           NDJSON stream: {"r":record}… then
+//	GET  /v1/scan/loc?loc=             {"eof":true,"n":count}; a stream
+//	GET  /v1/scan/prefix?prefix=       without the terminator line was
+//	GET  /v1/scan/ancestors?loc=       truncated and is an error
+//	GET  /v1/tids                    {"tids":[…]}
+//	GET  /v1/maxtid                  {"maxTid":N}
+//	GET  /v1/count                   {"count":N}
+//	GET  /v1/bytes                   {"bytes":N}
+//	POST /v1/flush                   pushes the server backend's buffered
+//	                                 group commits down, 204
+//	GET  /v1/ping                    {"ok":true} (readiness)
+//	GET  /v1/stats                   expvar-style request/record counters
+//
+// Records travel as JSON objects whose Loc/Src fields are canonical path
+// strings ("T/c1/y") — lossless, because labels cannot contain '/'. Errors
+// travel as JSON bodies with an HTTP status; the {Tid, Loc} key violation is
+// tagged so the client can rebuild the typed *provstore.DupKeyError the rest
+// of the system matches on.
+package provhttp
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/path"
+	"repro/internal/provstore"
+)
+
+// wireRecord is the JSON form of one Prov row.
+type wireRecord struct {
+	Tid int64  `json:"tid"`
+	Op  string `json:"op"`
+	Loc string `json:"loc"`
+	Src string `json:"src,omitempty"` // absent for the paper's ⊥
+}
+
+// toWire converts a record for transmission.
+func toWire(r provstore.Record) wireRecord {
+	w := wireRecord{Tid: r.Tid, Op: r.Op.String(), Loc: r.Loc.String()}
+	if r.Op == provstore.OpCopy {
+		w.Src = r.Src.String()
+	}
+	return w
+}
+
+// record parses and validates a received record.
+func (w wireRecord) record() (provstore.Record, error) {
+	if len(w.Op) != 1 {
+		return provstore.Record{}, fmt.Errorf("provhttp: bad op %q", w.Op)
+	}
+	r := provstore.Record{Tid: w.Tid, Op: provstore.OpKind(w.Op[0])}
+	var err error
+	if r.Loc, err = path.Parse(w.Loc); err != nil {
+		return provstore.Record{}, fmt.Errorf("provhttp: bad loc %q: %w", w.Loc, err)
+	}
+	if r.Src, err = path.Parse(w.Src); err != nil {
+		return provstore.Record{}, fmt.Errorf("provhttp: bad src %q: %w", w.Src, err)
+	}
+	if err := r.Validate(); err != nil {
+		return provstore.Record{}, err
+	}
+	return r, nil
+}
+
+// scanLine is one NDJSON line of a scan stream: a record, or the terminator
+// carrying the total count. The terminator lets the client distinguish a
+// complete short result from a stream cut off by a dying server or
+// connection — without it, truncation would silently read as "fewer rows".
+type scanLine struct {
+	R   *wireRecord `json:"r,omitempty"`
+	EOF bool        `json:"eof,omitempty"`
+	N   int         `json:"n,omitempty"`
+}
+
+// foundResponse answers the point queries (Lookup, NearestAncestor).
+type foundResponse struct {
+	Found bool        `json:"found"`
+	R     *wireRecord `json:"r,omitempty"`
+}
+
+// wireError is the JSON body of a non-2xx response.
+type wireError struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind,omitempty"` // "dupkey" for *provstore.DupKeyError
+	Tid   int64  `json:"tid,omitempty"`
+	Loc   string `json:"loc,omitempty"`
+}
+
+const kindDupKey = "dupkey"
+
+// writeError maps a backend error onto a status code and JSON body.
+func writeError(w http.ResponseWriter, err error, status int) {
+	we := wireError{Error: err.Error()}
+	var dup *provstore.DupKeyError
+	if errors.As(err, &dup) {
+		status = http.StatusConflict
+		we.Kind = kindDupKey
+		we.Tid = dup.Tid
+		we.Loc = dup.Loc.String()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(we) //nolint:errcheck // nothing left to report to
+}
+
+// A RemoteError is a non-2xx response from the provenance service that does
+// not decode to a typed store error.
+type RemoteError struct {
+	Status int    // HTTP status code
+	Msg    string // server-reported message (or raw body)
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("provhttp: server error (HTTP %d): %s", e.Status, e.Msg)
+}
+
+// decodeError rebuilds the error of a non-2xx response, restoring the typed
+// *provstore.DupKeyError where the server tagged one.
+func decodeError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var we wireError
+	if json.Unmarshal(body, &we) == nil && we.Error != "" {
+		if we.Kind == kindDupKey {
+			loc, err := path.Parse(we.Loc)
+			if err == nil {
+				return &provstore.DupKeyError{Tid: we.Tid, Loc: loc}
+			}
+		}
+		return &RemoteError{Status: resp.StatusCode, Msg: we.Error}
+	}
+	return &RemoteError{Status: resp.StatusCode, Msg: string(body)}
+}

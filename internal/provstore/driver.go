@@ -3,6 +3,7 @@ package provstore
 import (
 	"errors"
 	"fmt"
+	"net"
 	"net/url"
 	"sort"
 	"strconv"
@@ -143,6 +144,25 @@ func validScheme(s string) bool {
 		}
 	}
 	return true
+}
+
+// HostPort interprets the DSN's path as a network authority "host:port" —
+// the form used by network-backed schemes like cpdb://10.0.0.5:7070. IPv6
+// literals use the usual bracketed form (cpdb://[::1]:7070). A numeric port
+// is required: a provenance service has no well-known default, and demanding
+// it keeps the failure at parse time rather than dial time.
+func (d DSN) HostPort() (host, port string, err error) {
+	host, port, err = net.SplitHostPort(d.Path)
+	if err != nil {
+		return "", "", fmt.Errorf("provstore: dsn %s: path %q is not host:port: %v", d.raw, d.Path, err)
+	}
+	if host == "" || port == "" {
+		return "", "", fmt.Errorf("provstore: dsn %s: authority %q needs both host and port", d.raw, d.Path)
+	}
+	if _, perr := strconv.ParseUint(port, 10, 16); perr != nil {
+		return "", "", fmt.Errorf("provstore: dsn %s: port %q is not a number in 0-65535", d.raw, port)
+	}
+	return host, port, nil
 }
 
 // EscapeDSNPath escapes a file path for embedding in a DSN, so paths

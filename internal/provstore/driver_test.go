@@ -3,7 +3,9 @@ package provstore
 import (
 	"context"
 	"errors"
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/path"
@@ -26,6 +28,12 @@ func TestParseDSNTable(t *testing.T) {
 		{in: "sharded://?shards=4&each=mem://", scheme: "sharded",
 			params: map[string]string{"shards": "4", "each": "mem://"}},
 		{in: "x-test+v1.0://anything", scheme: "x-test+v1.0", path: "anything"},
+		// Network authority forms: host:port travels as the DSN path.
+		{in: "cpdb://10.0.0.5:7070", scheme: "cpdb", path: "10.0.0.5:7070"},
+		{in: "cpdb://curation.example.org:7070?timeout=5s", scheme: "cpdb",
+			path: "curation.example.org:7070", params: map[string]string{"timeout": "5s"}},
+		{in: "cpdb://[::1]:7070", scheme: "cpdb", path: "[::1]:7070"},
+		{in: "cpdb://[2001:db8::42]:443", scheme: "cpdb", path: "[2001:db8::42]:443"},
 		// Bad inputs.
 		{in: "", bad: true},
 		{in: "mem", bad: true},            // no ://
@@ -62,6 +70,116 @@ func TestParseDSNTable(t *testing.T) {
 		}
 		if dsn.String() != c.in {
 			t.Errorf("ParseDSN(%q).String() = %q", c.in, dsn.String())
+		}
+	}
+}
+
+func TestDSNHostPort(t *testing.T) {
+	cases := []struct {
+		in         string
+		host, port string
+		bad        bool
+	}{
+		{in: "cpdb://host:7070", host: "host", port: "7070"},
+		{in: "cpdb://10.0.0.5:7070", host: "10.0.0.5", port: "7070"},
+		{in: "cpdb://[::1]:7070", host: "::1", port: "7070"},
+		{in: "cpdb://[2001:db8::42]:443", host: "2001:db8::42", port: "443"},
+		{in: "cpdb://localhost:0", host: "localhost", port: "0"},
+		// Bad authorities.
+		{in: "cpdb://", bad: true},           // empty
+		{in: "cpdb://hostonly", bad: true},   // no port
+		{in: "cpdb://host:", bad: true},      // empty port
+		{in: "cpdb://:7070", bad: true},      // empty host
+		{in: "cpdb://::1:7070", bad: true},   // unbracketed IPv6
+		{in: "cpdb://h:70/extra", bad: true}, // trailing path
+		{in: "cpdb://h:70:71", bad: true},    // two colons
+		{in: "cpdb://[::1]", bad: true},      // bracketed host, no port
+	}
+	for _, c := range cases {
+		dsn, err := ParseDSN(c.in)
+		if err != nil {
+			t.Errorf("ParseDSN(%q): %v", c.in, err)
+			continue
+		}
+		host, port, err := dsn.HostPort()
+		if c.bad {
+			if err == nil {
+				t.Errorf("HostPort(%q) = %q,%q; want error", c.in, host, port)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("HostPort(%q): %v", c.in, err)
+			continue
+		}
+		if host != c.host || port != c.port {
+			t.Errorf("HostPort(%q) = %q,%q; want %q,%q", c.in, host, port, c.host, c.port)
+		}
+	}
+}
+
+// TestRegisterDriverPanics: the registry must reject nil drivers, malformed
+// schemes, and duplicate registrations loudly, like database/sql.Register.
+func TestRegisterDriverPanics(t *testing.T) {
+	ok := DriverFunc(func(DSN) (Backend, error) { return NewMemBackend(), nil })
+	RegisterDriver("panictest", ok) // taken: the duplicate case below trips on it
+	cases := []struct {
+		name   string
+		scheme string
+		d      Driver
+	}{
+		{"nil driver", "panictest-nil", nil},
+		{"empty scheme", "", ok},
+		{"digit-led scheme", "1mem", ok},
+		{"scheme with space", "me m", ok},
+		{"scheme with slash", "me/m", ok},
+		{"duplicate scheme", "panictest", ok},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("RegisterDriver(%q) did not panic", c.scheme)
+				}
+			}()
+			RegisterDriver(c.scheme, c.d)
+		})
+	}
+}
+
+// TestRegisterDriverConcurrent registers many schemes from concurrent
+// goroutines while readers resolve and enumerate — the registry must be
+// race-free (this test is load-bearing under -race) and lose nothing.
+func TestRegisterDriverConcurrent(t *testing.T) {
+	const n = 16
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			RegisterDriver(fmt.Sprintf("conctest%d", i),
+				DriverFunc(func(DSN) (Backend, error) { return NewMemBackend(), nil }))
+		}(i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			Drivers()               // concurrent enumeration
+			OpenDSN("mem://")       //nolint:errcheck // concurrent resolution
+			OpenDSN("conctest0://") //nolint:errcheck // may or may not exist yet
+		}()
+	}
+	wg.Wait()
+	registered := make(map[string]bool)
+	for _, s := range Drivers() {
+		registered[s] = true
+	}
+	for i := 0; i < n; i++ {
+		scheme := fmt.Sprintf("conctest%d", i)
+		if !registered[scheme] {
+			t.Errorf("scheme %s lost in concurrent registration", scheme)
+		}
+		if _, err := OpenDSN(scheme + "://"); err != nil {
+			t.Errorf("OpenDSN(%s://): %v", scheme, err)
 		}
 	}
 }
