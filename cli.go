@@ -1,6 +1,7 @@
 package cpdb
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -155,11 +156,12 @@ func RunCLI(cfg CLIConfig, w io.Writer) error {
 
 	if cfg.Dump {
 		fmt.Fprintf(w, "-- provenance table (%s) --\n", method)
-		recs, err := s.Records()
-		if err != nil {
-			return err
-		}
-		for _, r := range recs {
+		// Stream the table row by row off the backend cursor — the dump of
+		// a huge (or remote) store never materializes the relation.
+		for r, err := range s.Query().Records(context.Background()) {
+			if err != nil {
+				return err
+			}
 			fmt.Fprintln(w, r)
 		}
 		fmt.Fprintf(w, "-- target %s --\n%s\n", s.TargetName(), s.View())

@@ -107,11 +107,15 @@ func run(addr, backendDSN string, shutdownTimeout time.Duration) error {
 	return nil
 }
 
-// logStats prints the final counter snapshot in a stable order.
+// logStats prints the final counter snapshot in a stable order. Zero
+// counters are elided except the cursor rows: cursors_open is the leak
+// gauge (anything but 0 at shutdown means a scan stream never finished),
+// and endpoint.scan/all records whether clients used the streaming
+// whole-table cursor — both are worth seeing even, especially, at zero.
 func logStats(stats map[string]int64) {
 	keys := make([]string, 0, len(stats))
 	for k := range stats {
-		if stats[k] != 0 {
+		if stats[k] != 0 || k == "cursors_open" || k == "endpoint.scan/all" {
 			keys = append(keys, k)
 		}
 	}

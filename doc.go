@@ -53,6 +53,16 @@
 //	mods, err := s.Query(cpdb.WithContext(ctx)).Mod(p)  // cancellable scatter-gather
 //	for rec, err := range s.Query().Records(ctx) { … }  // streamed Figure 5 table
 //
+// Records rides the store's streaming scan path end to end: every backend
+// scan is a pull-based cursor (iter.Seq2[Record, error]), so a full-table
+// drain never materializes the relation — file-backed and remote stores
+// stream a page/chunk at a time; the in-memory store sorts an index
+// permutation (one int per record, no record copies). On a cpdb:// service
+// it costs a single scan round trip (the server-side /v1/scan-all cursor,
+// plus one MaxTid read pinning the horizon), and it stops promptly —
+// releasing locks, connections and server-side work — when the consumer
+// breaks out of the loop or cancels ctx.
+//
 // # Deprecated-but-stable constructors
 //
 // The original backend constructors — NewMemBackend, NewShardedMemBackend,

@@ -99,7 +99,7 @@ func main() {
 		astore.CannotComeFrom(tid, loc, cpdb.MustParsePath("Bib/ref{42}/title")))
 
 	// Soundness check against the exact store, record by record.
-	recs, _ := exact.Backend().ScanTid(context.Background(), tid)
+	recs, _ := provstore.CollectScan(exact.Backend().ScanTid(context.Background(), tid))
 	excluded := 0
 	for _, r := range recs {
 		if astore.CannotComeFrom(tid, r.Loc, r.Src) {

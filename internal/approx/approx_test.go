@@ -176,7 +176,7 @@ func TestApproxIsSound(t *testing.T) {
 
 	// Soundness: every exact copy link is admitted by the approximation.
 	for _, tid := range tids {
-		recs, _ := exact.Backend().ScanTid(context.Background(), tid)
+		recs, _ := provstore.CollectScan(exact.Backend().ScanTid(context.Background(), tid))
 		for _, r := range recs {
 			if r.Op != provstore.OpCopy {
 				continue

@@ -196,35 +196,31 @@ func Reconstruct(ctx context.Context, lost string, witnesses []Witness) (*Recons
 	}
 	conflict := make(map[string]bool)
 	for _, w := range witnesses {
-		tids, err := w.Backend.Tids(ctx)
-		if err != nil {
-			return nil, err
-		}
-		for _, tid := range tids {
-			recs, err := w.Backend.ScanTid(ctx, tid)
+		// One ScanAll cursor per witness streams its whole provenance
+		// relation in (Tid, Loc) order — the same order the per-transaction
+		// walk produced, in one round trip instead of one per transaction.
+		for r, err := range w.Backend.ScanAll(ctx) {
 			if err != nil {
 				return nil, err
 			}
-			for _, r := range recs {
-				if r.Op != provstore.OpCopy || r.Src.DB() != lost {
-					continue
-				}
-				// The copied data as the witness holds it now.
-				rel, err := r.Loc.TrimPrefix(path.New(r.Loc.DB()))
-				if err != nil {
-					continue
-				}
-				node, err := w.State.Get(rel)
-				if err != nil {
-					continue // since deleted in the witness
-				}
-				srcRel, err := r.Src.TrimPrefix(path.New(lost))
-				if err != nil || srcRel.IsRoot() {
-					continue
-				}
-				if err := place(res, conflict, srcRel, node, w.DB); err != nil {
-					return nil, err
-				}
+			if r.Op != provstore.OpCopy || r.Src.DB() != lost {
+				continue
+			}
+			// The copied data as the witness holds it now.
+			rel, err := r.Loc.TrimPrefix(path.New(r.Loc.DB()))
+			if err != nil {
+				continue
+			}
+			node, err := w.State.Get(rel)
+			if err != nil {
+				continue // since deleted in the witness
+			}
+			srcRel, err := r.Src.TrimPrefix(path.New(lost))
+			if err != nil || srcRel.IsRoot() {
+				continue
+			}
+			if err := place(res, conflict, srcRel, node, w.DB); err != nil {
+				return nil, err
 			}
 		}
 	}

@@ -3,6 +3,7 @@ package bench
 import (
 	"context"
 	"fmt"
+	"iter"
 	"math/rand"
 	"time"
 
@@ -425,24 +426,29 @@ func (q *queryPriced) NearestAncestor(ctx context.Context, tid int64, loc path.P
 	return q.Backend.NearestAncestor(ctx, tid, loc)
 }
 
-func (q *queryPriced) ScanTid(ctx context.Context, tid int64) ([]provstore.Record, error) {
+func (q *queryPriced) ScanTid(ctx context.Context, tid int64) iter.Seq2[provstore.Record, error] {
 	q.charge()
 	return q.Backend.ScanTid(ctx, tid)
 }
 
-func (q *queryPriced) ScanLoc(ctx context.Context, loc path.Path) ([]provstore.Record, error) {
+func (q *queryPriced) ScanLoc(ctx context.Context, loc path.Path) iter.Seq2[provstore.Record, error] {
 	q.charge()
 	return q.Backend.ScanLoc(ctx, loc)
 }
 
-func (q *queryPriced) ScanLocPrefix(ctx context.Context, prefix path.Path) ([]provstore.Record, error) {
+func (q *queryPriced) ScanLocPrefix(ctx context.Context, prefix path.Path) iter.Seq2[provstore.Record, error] {
 	q.charge()
 	return q.Backend.ScanLocPrefix(ctx, prefix)
 }
 
-func (q *queryPriced) ScanLocWithAncestors(ctx context.Context, loc path.Path) ([]provstore.Record, error) {
+func (q *queryPriced) ScanLocWithAncestors(ctx context.Context, loc path.Path) iter.Seq2[provstore.Record, error] {
 	q.charge()
 	return q.Backend.ScanLocWithAncestors(ctx, loc)
+}
+
+func (q *queryPriced) ScanAll(ctx context.Context) iter.Seq2[provstore.Record, error] {
+	q.charge()
+	return q.Backend.ScanAll(ctx)
 }
 
 // Fig13 reruns the query experiment: average getSrc/getMod/getHist times on

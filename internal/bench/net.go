@@ -3,8 +3,10 @@ package bench
 import (
 	"context"
 	"fmt"
+	"iter"
 	"net"
 	"net/http"
+	"runtime"
 	"time"
 
 	"repro/internal/path"
@@ -113,12 +115,10 @@ func NetSweep(rc RunConfig) ([]*Table, error) {
 			return err
 		}},
 		{fmt.Sprintf("ScanTid (%d rows)", cfg.PerTid), cfg.PerTid, func(b provstore.Backend, _ int) error {
-			_, err := b.ScanTid(ctx, probeTid)
-			return err
+			return drainScan(b.ScanTid(ctx, probeTid))
 		}},
 		{fmt.Sprintf("ScanLocPrefix (%d rows)", cfg.PerTid), cfg.PerTid, func(b provstore.Backend, _ int) error {
-			_, err := b.ScanLocPrefix(ctx, probePrefix)
-			return err
+			return drainScan(b.ScanLocPrefix(ctx, probePrefix))
 		}},
 		{"MaxTid", 0, func(b provstore.Backend, _ int) error {
 			_, err := b.MaxTid(ctx)
@@ -158,7 +158,111 @@ func NetSweep(rc RunConfig) ([]*Table, error) {
 	}
 	t.Note("real wall-clock loopback HTTP round trips — the deployed counterpart of the virtual-time Figure 9/10 cost model (netsim prices round trips; this measures them)")
 	t.Note("one round trip per Backend method: Append ships its batch in one POST, scans stream back as NDJSON")
-	return []*Table{t}, nil
+
+	st, err := streamTable(cfg, mem, remote)
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{t, st}, nil
+}
+
+// streamTable measures a whole-table Records drain two ways against the
+// same stores: through the streaming ScanAll cursor (the post-refactor
+// Query.Records path — on cpdb:// one GET /v1/scan-all round trip), and
+// through the pre-cursor materialized path (Tids, then one ScanTid round
+// trip per transaction, the whole table gathered into a slice). The
+// allocation columns are the point: the streamed drain's bytes stay flat in
+// store size while the materialized path's grow with it.
+func streamTable(cfg NetSweepConfig, mem, remote provstore.Backend) (*Table, error) {
+	ctx := context.Background()
+	total := 0
+	if n, err := mem.Count(ctx); err == nil {
+		total = n
+	}
+	iters := cfg.Iters / 4
+	if iters < 4 {
+		iters = 4
+	}
+
+	streamed := func(b provstore.Backend) (int, error) {
+		n := 0
+		for _, err := range b.ScanAll(ctx) {
+			if err != nil {
+				return 0, err
+			}
+			n++
+		}
+		return n, nil
+	}
+	// The pre-cursor Records path, reproduced for comparison: one scan
+	// round trip per transaction, everything materialized.
+	materialized := func(b provstore.Backend) (int, error) {
+		tids, err := b.Tids(ctx)
+		if err != nil {
+			return 0, err
+		}
+		var out []provstore.Record
+		for _, tid := range tids {
+			recs, err := provstore.CollectScan(b.ScanTid(ctx, tid))
+			if err != nil {
+				return 0, err
+			}
+			out = append(out, recs...)
+		}
+		return len(out), nil
+	}
+
+	t := &Table{
+		ID:    "netstream",
+		Title: fmt.Sprintf("Whole-table Records drain (%d rows, %d iterations): streamed ScanAll cursor vs materialized per-tid path", total, iters),
+	}
+	t.Header = []string{"backend", "streamed µs/op", "streamed KB/op", "materialized µs/op", "materialized KB/op"}
+	for _, bk := range []struct {
+		name string
+		b    provstore.Backend
+	}{{"mem:// (in-process)", mem}, {"cpdb:// (loopback)", remote}} {
+		sd, skb, err := measureDrain(bk.b, iters, streamed)
+		if err != nil {
+			return nil, fmt.Errorf("bench: netstream %s (streamed): %w", bk.name, err)
+		}
+		md, mkb, err := measureDrain(bk.b, iters, materialized)
+		if err != nil {
+			return nil, fmt.Errorf("bench: netstream %s (materialized): %w", bk.name, err)
+		}
+		t.AddRow(bk.name, us(sd), fmt.Sprintf("%.0f", skb), us(md), fmt.Sprintf("%.0f", mkb))
+	}
+	t.Note("streamed = the Query.Records path after the cursor refactor: one scan-all round trip, O(page) memory; materialized = the pre-refactor path: one ScanTid round trip per transaction, O(store) memory")
+	return t, nil
+}
+
+// measureDrain times drain and reports per-iteration wall clock and
+// allocated KB (from the runtime's cumulative allocation counter).
+func measureDrain(b provstore.Backend, iters int, drain func(provstore.Backend) (int, error)) (time.Duration, float64, error) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	before := ms.TotalAlloc
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := drain(b); err != nil {
+			return 0, 0, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms)
+	kb := float64(ms.TotalAlloc-before) / float64(iters) / 1024
+	return elapsed / time.Duration(iters), kb, nil
+}
+
+// drainScan pulls a cursor to its end, discarding records — scans no
+// longer materialize, so the benchmark must consume the stream to measure
+// the full round trip.
+func drainScan(scan iter.Seq2[provstore.Record, error]) error {
+	for _, err := range scan {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // us formats a duration in microseconds for the net table.

@@ -159,7 +159,7 @@ func TestEditorCopyWithinTarget(t *testing.T) {
 	if !target.Has(path.MustParse("T/c9/x")) {
 		t.Error("intra-target copy missing")
 	}
-	recs, _ := ed.Tracker().Backend().ScanTid(context.Background(), figures.FirstTid)
+	recs, _ := provstore.CollectScan(ed.Tracker().Backend().ScanTid(context.Background(), figures.FirstTid))
 	if len(recs) != 3 || recs[0].Src.DB() != "T" {
 		t.Errorf("intra-target provenance: %v", recs)
 	}

@@ -137,7 +137,7 @@ func TestFullStackDiskBacked(t *testing.T) {
 	tids, _ := backend2.Tids(context.Background())
 	traced := 0
 	for _, tid := range tids {
-		recs, _ := backend2.ScanTid(context.Background(), tid)
+		recs, _ := provstore.CollectScan(backend2.ScanTid(context.Background(), tid))
 		for _, r := range recs {
 			if r.Op != provstore.OpCopy || !r.Src.IsRoot() && r.Src.DB() != "OrganelleDB" {
 				continue

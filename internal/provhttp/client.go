@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"iter"
 	"net"
 	"net/http"
 	"net/url"
@@ -167,64 +168,103 @@ func (c *Client) NearestAncestor(ctx context.Context, tid int64, loc path.Path) 
 	return c.point(ctx, "/v1/ancestor", tid, loc)
 }
 
-// scan issues one streaming scan round trip and decodes the NDJSON stream
-// incrementally, so cancellation takes effect mid-stream and a truncated
-// stream (server died, connection cut) is detected by the missing eof
-// terminator rather than silently read as a short result.
-func (c *Client) scan(ctx context.Context, p string, q url.Values) ([]provstore.Record, error) {
-	resp, err := c.do(ctx, http.MethodGet, p, q, nil, http.StatusOK)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	dec := json.NewDecoder(resp.Body)
-	var out []provstore.Record
-	for {
-		var line scanLine
-		if err := dec.Decode(&line); err != nil {
-			if cerr := ctx.Err(); cerr != nil {
-				return nil, cerr
-			}
-			if err == io.EOF {
-				return nil, fmt.Errorf("provhttp: scan %s: stream truncated after %d records (missing eof terminator)", p, len(out))
-			}
-			return nil, fmt.Errorf("provhttp: scan %s: %w", p, err)
-		}
-		if line.EOF {
-			if line.N != len(out) {
-				return nil, fmt.Errorf("provhttp: scan %s: stream carried %d records, terminator says %d", p, len(out), line.N)
-			}
-			return out, nil
-		}
-		if line.R == nil {
-			return nil, fmt.Errorf("provhttp: scan %s: blank stream line", p)
-		}
-		rec, err := line.R.record()
+// scan issues one streaming scan round trip and decodes the NDJSON reply
+// as the consumer pulls: each record is yielded as its line is decoded, so
+// a scan holds one record in memory however large the result. Cancellation
+// takes effect mid-stream, a truncated stream (server died, connection cut)
+// is detected by the missing eof terminator rather than silently read as a
+// short result, and breaking out of the loop closes the response body —
+// which tears down the connection and cancels the server-side cursor.
+func (c *Client) scan(ctx context.Context, p string, q url.Values) iter.Seq2[provstore.Record, error] {
+	return func(yield func(provstore.Record, error) bool) {
+		resp, err := c.do(ctx, http.MethodGet, p, q, nil, http.StatusOK)
 		if err != nil {
-			return nil, err
+			yield(provstore.Record{}, err)
+			return
 		}
-		out = append(out, rec)
+		defer resp.Body.Close()
+		dec := json.NewDecoder(resp.Body)
+		n := 0
+		for {
+			var line scanLine
+			if err := dec.Decode(&line); err != nil {
+				if cerr := ctx.Err(); cerr != nil {
+					yield(provstore.Record{}, cerr)
+					return
+				}
+				if err == io.EOF {
+					yield(provstore.Record{}, fmt.Errorf("provhttp: scan %s: stream truncated after %d records (missing eof terminator)", p, n))
+					return
+				}
+				yield(provstore.Record{}, fmt.Errorf("provhttp: scan %s: %w", p, err))
+				return
+			}
+			switch {
+			case line.Err != "":
+				// An in-band error line: the store failed after the 200
+				// header went out, so there is no HTTP status to carry —
+				// not a RemoteError, whose Status means a non-2xx reply.
+				yield(provstore.Record{}, fmt.Errorf("provhttp: scan %s: server error mid-stream: %s", p, line.Err))
+				return
+			case line.EOF:
+				if line.N != n {
+					yield(provstore.Record{}, fmt.Errorf("provhttp: scan %s: stream carried %d records, terminator says %d", p, n, line.N))
+				}
+				return
+			case line.R == nil:
+				yield(provstore.Record{}, fmt.Errorf("provhttp: scan %s: blank stream line", p))
+				return
+			}
+			rec, err := line.R.record()
+			if err != nil {
+				yield(provstore.Record{}, err)
+				return
+			}
+			n++
+			if !yield(rec, nil) {
+				return
+			}
+		}
 	}
 }
 
 // ScanTid implements Backend.
-func (c *Client) ScanTid(ctx context.Context, tid int64) ([]provstore.Record, error) {
+func (c *Client) ScanTid(ctx context.Context, tid int64) iter.Seq2[provstore.Record, error] {
 	return c.scan(ctx, "/v1/scan/tid", url.Values{"tid": {strconv.FormatInt(tid, 10)}})
 }
 
 // ScanLoc implements Backend.
-func (c *Client) ScanLoc(ctx context.Context, loc path.Path) ([]provstore.Record, error) {
+func (c *Client) ScanLoc(ctx context.Context, loc path.Path) iter.Seq2[provstore.Record, error] {
 	return c.scan(ctx, "/v1/scan/loc", url.Values{"loc": {loc.String()}})
 }
 
 // ScanLocPrefix implements Backend.
-func (c *Client) ScanLocPrefix(ctx context.Context, prefix path.Path) ([]provstore.Record, error) {
+func (c *Client) ScanLocPrefix(ctx context.Context, prefix path.Path) iter.Seq2[provstore.Record, error] {
 	return c.scan(ctx, "/v1/scan/prefix", url.Values{"prefix": {prefix.String()}})
 }
 
 // ScanLocWithAncestors implements Backend.
-func (c *Client) ScanLocWithAncestors(ctx context.Context, loc path.Path) ([]provstore.Record, error) {
+func (c *Client) ScanLocWithAncestors(ctx context.Context, loc path.Path) iter.Seq2[provstore.Record, error] {
 	return c.scan(ctx, "/v1/scan/ancestors", url.Values{"loc": {loc.String()}})
+}
+
+// ScanAll implements Backend: the server-side whole-table cursor — one
+// GET /v1/scan-all round trip streaming the (Tid, Loc)-ordered relation,
+// however many transactions it spans (where the pre-cursor client issued
+// one scan round trip per transaction). ScanAllAfter resumes a cursor.
+func (c *Client) ScanAll(ctx context.Context) iter.Seq2[provstore.Record, error] {
+	return c.scan(ctx, "/v1/scan-all", nil)
+}
+
+// ScanAllAfter resumes the whole-table cursor strictly after the keyset
+// position (tid, loc) — the recovery path when a previous ScanAll stream
+// was truncated: re-issue from the last key that arrived intact instead of
+// re-streaming the whole table.
+func (c *Client) ScanAllAfter(ctx context.Context, tid int64, loc path.Path) iter.Seq2[provstore.Record, error] {
+	return c.scan(ctx, "/v1/scan-all", url.Values{
+		"after_tid": {strconv.FormatInt(tid, 10)},
+		"after_loc": {loc.String()},
+	})
 }
 
 // Tids implements Backend.

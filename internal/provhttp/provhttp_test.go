@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"iter"
 	"net/http"
 	"net/http/httptest"
 	"runtime"
@@ -99,17 +100,27 @@ func TestClientBackendRoundTrip(t *testing.T) {
 		viaCli   func() ([]provstore.Record, error)
 		viaInner func() ([]provstore.Record, error)
 	}{
-		{"ScanTid", func() ([]provstore.Record, error) { return cli.ScanTid(ctx, 2) },
-			func() ([]provstore.Record, error) { return inner.ScanTid(ctx, 2) }},
-		{"ScanLoc", func() ([]provstore.Record, error) { return cli.ScanLoc(ctx, path.MustParse("T/c2/x")) },
-			func() ([]provstore.Record, error) { return inner.ScanLoc(ctx, path.MustParse("T/c2/x")) }},
-		{"ScanLocPrefix", func() ([]provstore.Record, error) { return cli.ScanLocPrefix(ctx, path.MustParse("T/c2")) },
-			func() ([]provstore.Record, error) { return inner.ScanLocPrefix(ctx, path.MustParse("T/c2")) }},
+		{"ScanTid", func() ([]provstore.Record, error) { return provstore.CollectScan(cli.ScanTid(ctx, 2)) },
+			func() ([]provstore.Record, error) { return provstore.CollectScan(inner.ScanTid(ctx, 2)) }},
+		{"ScanLoc", func() ([]provstore.Record, error) {
+			return provstore.CollectScan(cli.ScanLoc(ctx, path.MustParse("T/c2/x")))
+		},
+			func() ([]provstore.Record, error) {
+				return provstore.CollectScan(inner.ScanLoc(ctx, path.MustParse("T/c2/x")))
+			}},
+		{"ScanLocPrefix", func() ([]provstore.Record, error) {
+			return provstore.CollectScan(cli.ScanLocPrefix(ctx, path.MustParse("T/c2")))
+		},
+			func() ([]provstore.Record, error) {
+				return provstore.CollectScan(inner.ScanLocPrefix(ctx, path.MustParse("T/c2")))
+			}},
 		{"ScanLocWithAncestors", func() ([]provstore.Record, error) {
-			return cli.ScanLocWithAncestors(ctx, path.MustParse("T/c2/x/deep"))
+			return provstore.CollectScan(cli.ScanLocWithAncestors(ctx, path.MustParse("T/c2/x/deep")))
 		}, func() ([]provstore.Record, error) {
-			return inner.ScanLocWithAncestors(ctx, path.MustParse("T/c2/x/deep"))
+			return provstore.CollectScan(inner.ScanLocWithAncestors(ctx, path.MustParse("T/c2/x/deep")))
 		}},
+		{"ScanAll", func() ([]provstore.Record, error) { return provstore.CollectScan(cli.ScanAll(ctx)) },
+			func() ([]provstore.Record, error) { return provstore.CollectScan(inner.ScanAll(ctx)) }},
 	}
 	for _, sc := range scans {
 		gotRecs, err := sc.viaCli()
@@ -202,11 +213,13 @@ type blockingBackend struct {
 	exited  chan struct{}
 }
 
-func (b *blockingBackend) ScanLocPrefix(ctx context.Context, prefix path.Path) ([]provstore.Record, error) {
-	b.entered <- struct{}{}
-	<-ctx.Done()
-	b.exited <- struct{}{}
-	return nil, ctx.Err()
+func (b *blockingBackend) ScanLocPrefix(ctx context.Context, prefix path.Path) iter.Seq2[provstore.Record, error] {
+	return func(yield func(provstore.Record, error) bool) {
+		b.entered <- struct{}{}
+		<-ctx.Done()
+		b.exited <- struct{}{}
+		yield(provstore.Record{}, ctx.Err())
+	}
 }
 
 // TestCancelMidScanAbortsServerWork cancels a client context while the
@@ -230,7 +243,7 @@ func TestCancelMidScanAbortsServerWork(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() {
-		_, err := cli.ScanLocPrefix(ctx, path.MustParse("T"))
+		_, err := provstore.CollectScan(cli.ScanLocPrefix(ctx, path.MustParse("T")))
 		done <- err
 	}()
 
@@ -281,7 +294,7 @@ func TestTruncatedStreamDetected(t *testing.T) {
 	defer fake.Close()
 	cli := provhttp.NewClient(fake.Listener.Addr().String())
 	defer cli.Close()
-	_, err := cli.ScanTid(context.Background(), 1)
+	_, err := provstore.CollectScan(cli.ScanTid(context.Background(), 1))
 	if err == nil || !strings.Contains(err.Error(), "truncated") {
 		t.Fatalf("truncated stream returned %v, want truncation error", err)
 	}
@@ -342,7 +355,7 @@ func TestConcurrentClients(t *testing.T) {
 					errs[i] = err
 					return
 				}
-				if _, err := cli.ScanLocPrefix(ctx, path.MustParse(fmt.Sprintf("T/w%d", i))); err != nil {
+				if _, err := provstore.CollectScan(cli.ScanLocPrefix(ctx, path.MustParse(fmt.Sprintf("T/w%d", i)))); err != nil {
 					errs[i] = err
 					return
 				}
@@ -367,7 +380,7 @@ func TestServerStats(t *testing.T) {
 	if err := cli.Append(ctx, []provstore.Record{rec(1, provstore.OpInsert, "T/a", "")}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cli.ScanTid(ctx, 1); err != nil {
+	if _, err := provstore.CollectScan(cli.ScanTid(ctx, 1)); err != nil {
 		t.Fatal(err)
 	}
 	st := srv.Stats()
@@ -403,7 +416,7 @@ func TestRemoteErrors(t *testing.T) {
 	cli, _ := serve(t, provstore.NewMemBackend())
 
 	// Bad tid parameter → 400.
-	_, err := cli.ScanTid(ctx, 1)
+	_, err := provstore.CollectScan(cli.ScanTid(ctx, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -454,5 +467,237 @@ func TestDriverDSNForms(t *testing.T) {
 	}
 	if !found {
 		t.Errorf("cpdb scheme not registered: %v", provstore.Drivers())
+	}
+}
+
+// TestScanAllEndpointSingleRoundTrip: the client's ScanAll must stream the
+// whole (Tid, Loc)-ordered table in exactly one /v1/scan-all round trip,
+// matching the inner store's cursor byte for byte.
+func TestScanAllEndpointSingleRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	inner := provstore.NewMemBackend()
+	cli, srv := serve(t, inner)
+	for tid := int64(1); tid <= 4; tid++ {
+		if err := cli.Append(ctx, []provstore.Record{
+			rec(tid, provstore.OpInsert, fmt.Sprintf("T/b%d", tid), ""),
+			rec(tid, provstore.OpInsert, fmt.Sprintf("T/a%d", tid), ""),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := provstore.CollectScan(cli.ScanAll(ctx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := provstore.CollectScan(inner.ScanAll(ctx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("ScanAll via cpdb://\n%v\nvs inner\n%v", got, want)
+	}
+	st := srv.Stats()
+	if st["endpoint.scan/all"] != 1 {
+		t.Errorf("scan/all counter = %d, want 1 (stats %v)", st["endpoint.scan/all"], st)
+	}
+	if st["cursors_open"] != 0 {
+		t.Errorf("cursors_open = %d after a drained scan", st["cursors_open"])
+	}
+}
+
+// TestScanAllKeysetPagination drives the resumable server cursor manually:
+// limit= pages the stream, "more":true marks a cut, and after_tid/after_loc
+// resumes exactly after the last delivered key; the concatenated pages must
+// equal the unpaginated stream.
+func TestScanAllKeysetPagination(t *testing.T) {
+	ctx := context.Background()
+	inner := provstore.NewMemBackend()
+	cli, _ := serve(t, inner)
+	for tid := int64(1); tid <= 3; tid++ {
+		for i := 0; i < 3; i++ {
+			if err := cli.Append(ctx, []provstore.Record{
+				rec(tid, provstore.OpInsert, fmt.Sprintf("T/t%d/n%d", tid, i), ""),
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	want, err := provstore.CollectScan(inner.ScanAll(ctx))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	page := func(afterTid int64, afterLoc string, limit int) (recs []provstore.Record, n int, more bool) {
+		t.Helper()
+		u := fmt.Sprintf("http://%s/v1/scan-all?limit=%d", cli.Addr(), limit)
+		if afterLoc != "" {
+			u += fmt.Sprintf("&after_tid=%d&after_loc=%s", afterTid, afterLoc)
+		}
+		resp, err := http.Get(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("scan-all page: HTTP %d", resp.StatusCode)
+		}
+		dec := json.NewDecoder(resp.Body)
+		for {
+			var line struct {
+				R *struct {
+					Tid          int64
+					Op, Loc, Src string
+				} `json:"r"`
+				EOF  bool `json:"eof"`
+				N    int  `json:"n"`
+				More bool `json:"more"`
+			}
+			if err := dec.Decode(&line); err != nil {
+				t.Fatalf("page decode: %v", err)
+			}
+			if line.EOF {
+				return recs, line.N, line.More
+			}
+			if line.R == nil {
+				t.Fatal("blank line in page")
+			}
+			recs = append(recs, rec(line.R.Tid, provstore.OpKind(line.R.Op[0]), line.R.Loc, line.R.Src))
+		}
+	}
+
+	var all []provstore.Record
+	afterTid, afterLoc := int64(0), ""
+	pages := 0
+	for {
+		recs, n, more := page(afterTid, afterLoc, 4)
+		if n != len(recs) {
+			t.Fatalf("terminator n=%d for %d records", n, len(recs))
+		}
+		all = append(all, recs...)
+		pages++
+		if !more {
+			break
+		}
+		if len(recs) == 0 {
+			t.Fatal("more=true with an empty page")
+		}
+		last := recs[len(recs)-1]
+		afterTid, afterLoc = last.Tid, last.Loc.String()
+	}
+	if pages != 3 { // 9 records in pages of 4 → 4+4+1
+		t.Errorf("pagination took %d pages, want 3", pages)
+	}
+	if fmt.Sprint(all) != fmt.Sprint(want) {
+		t.Errorf("paginated concatenation differs:\n%v\nwant\n%v", all, want)
+	}
+}
+
+// TestScanAllTruncationDetected: a scan-all cursor whose stream dies before
+// the terminator must yield a truncation error, not end as a short result.
+func TestScanAllTruncationDetected(t *testing.T) {
+	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fmt.Fprintln(w, `{"r":{"tid":1,"op":"I","loc":"T/a"}}`)
+		fmt.Fprintln(w, `{"r":{"tid":2,"op":"I","loc":"T/b"}}`)
+		// No terminator: the connection just ends.
+	}))
+	defer fake.Close()
+	cli := provhttp.NewClient(fake.Listener.Addr().String())
+	defer cli.Close()
+	n := 0
+	var got error
+	for _, err := range cli.ScanAll(context.Background()) {
+		if err != nil {
+			got = err
+			break
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("decoded %d records before truncation, want 2", n)
+	}
+	if got == nil || !strings.Contains(got.Error(), "truncated") {
+		t.Fatalf("truncated cursor yielded %v, want truncation error", got)
+	}
+}
+
+// TestClientEarlyBreakReleasesServerCursor: breaking out of a client-side
+// cursor mid-stream must close the connection, which cancels the server's
+// request context and releases the server-side cursor — observed through
+// the cursors_open gauge returning to zero.
+func TestClientEarlyBreakReleasesServerCursor(t *testing.T) {
+	ctx := context.Background()
+	inner := provstore.NewMemBackend()
+	cli, srv := serve(t, inner)
+	var recs []provstore.Record
+	for i := 0; i < 1500; i++ {
+		recs = append(recs, rec(1, provstore.OpInsert, fmt.Sprintf("T/n%04d", i), ""))
+	}
+	if err := cli.Append(ctx, recs); err != nil {
+		t.Fatal(err)
+	}
+	base := runtime.NumGoroutine()
+	n := 0
+	for _, err := range cli.ScanAll(ctx) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+		if n == 5 {
+			break // closes the response body; the server must notice
+		}
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if srv.Stats()["cursors_open"] == 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if open := srv.Stats()["cursors_open"]; open != 0 {
+		t.Fatalf("server cursor still open %d after client break", open)
+	}
+	waitGoroutines(t, base)
+}
+
+// TestScanAllAfterResumes: the client-side truncation-recovery path —
+// break a ScanAll drain, then resume with ScanAllAfter from the last key
+// that arrived; the two pieces must concatenate to the full table.
+func TestScanAllAfterResumes(t *testing.T) {
+	ctx := context.Background()
+	inner := provstore.NewMemBackend()
+	cli, _ := serve(t, inner)
+	for tid := int64(1); tid <= 3; tid++ {
+		for i := 0; i < 3; i++ {
+			if err := cli.Append(ctx, []provstore.Record{
+				rec(tid, provstore.OpInsert, fmt.Sprintf("T/t%d/n%d", tid, i), ""),
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	want, err := provstore.CollectScan(inner.ScanAll(ctx))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var head []provstore.Record
+	for r, err := range cli.ScanAll(ctx) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		head = append(head, r)
+		if len(head) == 4 {
+			break // simulate a consumer losing its stream mid-table
+		}
+	}
+	last := head[len(head)-1]
+	tail, err := provstore.CollectScan(cli.ScanAllAfter(ctx, last.Tid, last.Loc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := append(head, tail...)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("resumed drain differs:\n%v\nwant\n%v", got, want)
 	}
 }

@@ -3,8 +3,10 @@ package provhttp
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"iter"
 	"net/http"
 	"strconv"
 	"sync/atomic"
@@ -37,19 +39,23 @@ type Server struct {
 	stats serverStats
 }
 
-// serverStats holds expvar-style monotonic counters.
+// serverStats holds expvar-style monotonic counters, plus the one gauge:
+// cursorsOpen counts scan streams currently being written (a scan cursor
+// held open by a slow or stalled client shows up here, and a non-zero value
+// at shutdown means a cursor leaked).
 type serverStats struct {
 	requests        atomic.Int64
 	errors          atomic.Int64
 	recordsAppended atomic.Int64
 	recordsStreamed atomic.Int64
+	cursorsOpen     atomic.Int64
 	byEndpoint      map[string]*atomic.Int64 // fixed key set, values atomic
 }
 
 // endpoints is the fixed counter key set (one per Backend method + control).
 var endpoints = []string{
 	"append", "lookup", "ancestor",
-	"scan/tid", "scan/loc", "scan/prefix", "scan/ancestors",
+	"scan/tid", "scan/loc", "scan/prefix", "scan/ancestors", "scan/all",
 	"tids", "maxtid", "count", "bytes",
 	"flush", "ping", "stats",
 }
@@ -73,6 +79,7 @@ func NewServer(inner provstore.Backend) *Server {
 	s.mux.HandleFunc("GET /v1/scan/loc", s.scanHandler("scan/loc", "loc", s.inner.ScanLoc))
 	s.mux.HandleFunc("GET /v1/scan/prefix", s.scanHandler("scan/prefix", "prefix", s.inner.ScanLocPrefix))
 	s.mux.HandleFunc("GET /v1/scan/ancestors", s.scanHandler("scan/ancestors", "loc", s.inner.ScanLocWithAncestors))
+	s.mux.HandleFunc("GET /v1/scan-all", s.handleScanAll)
 	s.mux.HandleFunc("GET /v1/tids", s.handleTids)
 	s.mux.HandleFunc("GET /v1/maxtid", s.handleMaxTid)
 	s.mux.HandleFunc("GET /v1/count", s.handleCount)
@@ -100,6 +107,7 @@ func (s *Server) Stats() map[string]int64 {
 		"errors":           s.stats.errors.Load(),
 		"records_appended": s.stats.recordsAppended.Load(),
 		"records_streamed": s.stats.recordsStreamed.Load(),
+		"cursors_open":     s.stats.cursorsOpen.Load(),
 	}
 	for e, c := range s.stats.byEndpoint {
 		out["endpoint."+e] = c.Load()
@@ -200,19 +208,44 @@ func (s *Server) pointHandler(endpoint string, q func(context.Context, int64, pa
 	}
 }
 
-// streamRecords writes a scan result as an NDJSON stream with the eof
-// terminator, flushing chunks as it goes and aborting between chunks if the
-// client went away.
-func (s *Server) streamRecords(w http.ResponseWriter, r *http.Request, recs []provstore.Record) {
-	w.Header().Set("Content-Type", "application/x-ndjson")
+// streamScan pipes a backend cursor to the client as an NDJSON stream with
+// the eof terminator: each record is encoded as the cursor yields it — the
+// server never materializes a scan — with periodic flushes so the client
+// can start decoding (and cancelling) long streams. Breaking out of the
+// cursor loop on client hang-up releases the backend cursor's resources;
+// the request context cancels any store work still pending. A store error
+// surfacing before the first record still gets a proper HTTP status; one
+// surfacing mid-stream is reported as an in-band error line (the 200 header
+// is already on the wire). A non-nil more is consulted for the
+// terminator's "more" flag (keyset pagination: the stream was cut by an
+// explicit limit, resume after the last key).
+func (s *Server) streamScan(w http.ResponseWriter, r *http.Request, scan iter.Seq2[provstore.Record, error], more func() bool) {
+	s.stats.cursorsOpen.Add(1)
+	defer s.stats.cursorsOpen.Add(-1)
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
-	for i := range recs {
-		wr := toWire(recs[i])
+	n := 0
+	started := false
+	for rec, err := range scan {
+		if err != nil {
+			if !started {
+				s.fail(w, err, http.StatusInternalServerError)
+			} else {
+				s.stats.errors.Add(1)
+				enc.Encode(scanLine{Err: err.Error()}) //nolint:errcheck // stream end
+			}
+			return
+		}
+		if !started {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			started = true
+		}
+		wr := toWire(rec)
 		if err := enc.Encode(scanLine{R: &wr}); err != nil {
 			return // client hung up; the connection carries the truncation
 		}
-		if (i+1)%streamFlushEvery == 0 {
+		n++
+		if n%streamFlushEvery == 0 {
 			if flusher != nil {
 				flusher.Flush()
 			}
@@ -221,13 +254,20 @@ func (s *Server) streamRecords(w http.ResponseWriter, r *http.Request, recs []pr
 			}
 		}
 	}
-	enc.Encode(scanLine{EOF: true, N: len(recs)}) //nolint:errcheck // stream end
-	s.stats.recordsStreamed.Add(int64(len(recs)))
+	if !started {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	line := scanLine{EOF: true, N: n}
+	if more != nil {
+		line.More = more()
+	}
+	enc.Encode(line) //nolint:errcheck // stream end
+	s.stats.recordsStreamed.Add(int64(n))
 }
 
 // scanHandler serves the single-path scans (ScanLoc, ScanLocPrefix,
-// ScanLocWithAncestors) as NDJSON streams.
-func (s *Server) scanHandler(endpoint, param string, q func(context.Context, path.Path) ([]provstore.Record, error)) http.HandlerFunc {
+// ScanLocWithAncestors) as NDJSON cursor streams.
+func (s *Server) scanHandler(endpoint, param string, q func(context.Context, path.Path) iter.Seq2[provstore.Record, error]) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.count(endpoint)
 		p, err := pathParam(r, param)
@@ -235,12 +275,7 @@ func (s *Server) scanHandler(endpoint, param string, q func(context.Context, pat
 			s.fail(w, err, http.StatusBadRequest)
 			return
 		}
-		recs, err := q(r.Context(), p)
-		if err != nil {
-			s.fail(w, err, http.StatusInternalServerError)
-			return
-		}
-		s.streamRecords(w, r, recs)
+		s.streamScan(w, r, q(r.Context(), p), nil)
 	}
 }
 
@@ -252,12 +287,72 @@ func (s *Server) handleScanTid(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err, http.StatusBadRequest)
 		return
 	}
-	recs, err := s.inner.ScanTid(r.Context(), tid)
-	if err != nil {
-		s.fail(w, err, http.StatusInternalServerError)
+	s.streamScan(w, r, s.inner.ScanTid(r.Context(), tid), nil)
+}
+
+// handleScanAll serves the whole-table server cursor: the (Tid, Loc)-ordered
+// provenance relation as one NDJSON stream. With no parameters it streams
+// the entire table — the single round trip under a remote Query.Records.
+// The keyset parameters make the cursor resumable: after_tid/after_loc skip
+// every record up to and including that key (the last key a previous,
+// possibly truncated, stream delivered), and limit ends the stream after N
+// records with a "more":true terminator when records remain.
+func (s *Server) handleScanAll(w http.ResponseWriter, r *http.Request) {
+	s.count("scan/all")
+	q := r.URL.Query()
+	afterTid := int64(0)
+	var afterLoc path.Path
+	hasAfter := false
+	if v := q.Get("after_tid"); v != "" {
+		t, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			s.fail(w, fmt.Errorf("provhttp: bad after_tid parameter %q", v), http.StatusBadRequest)
+			return
+		}
+		loc, err := pathParam(r, "after_loc")
+		if err != nil {
+			s.fail(w, err, http.StatusBadRequest)
+			return
+		}
+		afterTid, afterLoc, hasAfter = t, loc, true
+	} else if q.Get("after_loc") != "" {
+		s.fail(w, errors.New("provhttp: after_loc requires after_tid"), http.StatusBadRequest)
 		return
 	}
-	s.streamRecords(w, r, recs)
+	limit := 0
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			s.fail(w, fmt.Errorf("provhttp: limit %q is not a positive integer", v), http.StatusBadRequest)
+			return
+		}
+		limit = n
+	}
+
+	// The keyset window as a cursor over the inner ScanAll: skip keys at or
+	// before the resume point, cut at limit. The skip walks the store
+	// cursor from its start (the Backend has no seek yet — see ROADMAP,
+	// "seekable backend cursors"), so resume bounds the bytes re-sent, not
+	// the server-side walk.
+	cut := false
+	window := func(yield func(provstore.Record, error) bool) {
+		n := 0
+		for rec, err := range s.inner.ScanAll(r.Context()) {
+			if err == nil && hasAfter &&
+				(rec.Tid < afterTid || (rec.Tid == afterTid && rec.Loc.Compare(afterLoc) <= 0)) {
+				continue
+			}
+			if err == nil && limit > 0 && n == limit {
+				cut = true // this record exists beyond the page: more to come
+				return
+			}
+			n++
+			if !yield(rec, err) || err != nil {
+				return
+			}
+		}
+	}
+	s.streamScan(w, r, window, func() bool { return cut })
 }
 
 func (s *Server) handleTids(w http.ResponseWriter, r *http.Request) {

@@ -20,6 +20,12 @@
 //	GET  /v1/scan/loc?loc=             {"eof":true,"n":count}; a stream
 //	GET  /v1/scan/prefix?prefix=       without the terminator line was
 //	GET  /v1/scan/ancestors?loc=       truncated and is an error
+//	GET  /v1/scan-all                NDJSON server cursor over the whole
+//	     [?after_tid=&after_loc=]      (Tid, Loc)-ordered table; the
+//	     [&limit=]                     optional keyset parameters resume
+//	                                   after a key / bound one page, and
+//	                                   the terminator carries "more":true
+//	                                   when a limit cut the stream short
 //	GET  /v1/tids                    {"tids":[…]}
 //	GET  /v1/maxtid                  {"maxTid":N}
 //	GET  /v1/count                   {"count":N}
@@ -83,14 +89,20 @@ func (w wireRecord) record() (provstore.Record, error) {
 	return r, nil
 }
 
-// scanLine is one NDJSON line of a scan stream: a record, or the terminator
-// carrying the total count. The terminator lets the client distinguish a
-// complete short result from a stream cut off by a dying server or
-// connection — without it, truncation would silently read as "fewer rows".
+// scanLine is one NDJSON line of a scan stream: a record, the terminator
+// carrying the total count, or a mid-stream error. The terminator lets the
+// client distinguish a complete short result from a stream cut off by a
+// dying server or connection — without it, truncation would silently read
+// as "fewer rows". An error line reports a store failure discovered after
+// the 200 header already went out (a streaming cursor cannot retract its
+// status code); More marks a terminator produced by an explicit limit=,
+// telling a paging client to resume after the last key it saw.
 type scanLine struct {
-	R   *wireRecord `json:"r,omitempty"`
-	EOF bool        `json:"eof,omitempty"`
-	N   int         `json:"n,omitempty"`
+	R    *wireRecord `json:"r,omitempty"`
+	EOF  bool        `json:"eof,omitempty"`
+	N    int         `json:"n,omitempty"`
+	More bool        `json:"more,omitempty"`
+	Err  string      `json:"err,omitempty"`
 }
 
 // foundResponse answers the point queries (Lookup, NearestAncestor).

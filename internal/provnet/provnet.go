@@ -7,6 +7,7 @@ package provnet
 
 import (
 	"context"
+	"iter"
 
 	"repro/internal/path"
 	"repro/internal/provstore"
@@ -83,53 +84,56 @@ func (b *ChargedBackend) NearestAncestor(ctx context.Context, tid int64, loc pat
 	return b.inner.NearestAncestor(ctx, tid, loc)
 }
 
+// chargedScan prices one scan round trip: the inner cursor is drained
+// first — the simulated wire ships the whole result set in one reply, and
+// its cost depends on how many records that is — then the round trip is
+// charged and the records replayed to the consumer. Materializing here is
+// deliberate: this wrapper exists to account simulated network cost, not to
+// bound memory, and pricing must match the paper's per-reply model.
+func (b *ChargedBackend) chargedScan(scan iter.Seq2[provstore.Record, error]) iter.Seq2[provstore.Record, error] {
+	return func(yield func(provstore.Record, error) bool) {
+		recs, err := provstore.CollectScan(scan)
+		if err != nil {
+			yield(provstore.Record{}, err)
+			return
+		}
+		if err := b.read.Call(len(recs), recordsBytes(recs)); err != nil {
+			yield(provstore.Record{}, err)
+			return
+		}
+		for _, r := range recs {
+			if !yield(r, nil) {
+				return
+			}
+		}
+	}
+}
+
 // ScanTid implements provstore.Backend: one read round trip shipping the
 // result set back.
-func (b *ChargedBackend) ScanTid(ctx context.Context, tid int64) ([]provstore.Record, error) {
-	recs, err := b.inner.ScanTid(ctx, tid)
-	if err != nil {
-		return nil, err
-	}
-	if err := b.read.Call(len(recs), recordsBytes(recs)); err != nil {
-		return nil, err
-	}
-	return recs, nil
+func (b *ChargedBackend) ScanTid(ctx context.Context, tid int64) iter.Seq2[provstore.Record, error] {
+	return b.chargedScan(b.inner.ScanTid(ctx, tid))
 }
 
 // ScanLoc implements provstore.Backend.
-func (b *ChargedBackend) ScanLoc(ctx context.Context, loc path.Path) ([]provstore.Record, error) {
-	recs, err := b.inner.ScanLoc(ctx, loc)
-	if err != nil {
-		return nil, err
-	}
-	if err := b.read.Call(len(recs), recordsBytes(recs)); err != nil {
-		return nil, err
-	}
-	return recs, nil
+func (b *ChargedBackend) ScanLoc(ctx context.Context, loc path.Path) iter.Seq2[provstore.Record, error] {
+	return b.chargedScan(b.inner.ScanLoc(ctx, loc))
 }
 
 // ScanLocPrefix implements provstore.Backend.
-func (b *ChargedBackend) ScanLocPrefix(ctx context.Context, prefix path.Path) ([]provstore.Record, error) {
-	recs, err := b.inner.ScanLocPrefix(ctx, prefix)
-	if err != nil {
-		return nil, err
-	}
-	if err := b.read.Call(len(recs), recordsBytes(recs)); err != nil {
-		return nil, err
-	}
-	return recs, nil
+func (b *ChargedBackend) ScanLocPrefix(ctx context.Context, prefix path.Path) iter.Seq2[provstore.Record, error] {
+	return b.chargedScan(b.inner.ScanLocPrefix(ctx, prefix))
 }
 
 // ScanLocWithAncestors implements provstore.Backend: one read round trip.
-func (b *ChargedBackend) ScanLocWithAncestors(ctx context.Context, loc path.Path) ([]provstore.Record, error) {
-	recs, err := b.inner.ScanLocWithAncestors(ctx, loc)
-	if err != nil {
-		return nil, err
-	}
-	if err := b.read.Call(len(recs), recordsBytes(recs)); err != nil {
-		return nil, err
-	}
-	return recs, nil
+func (b *ChargedBackend) ScanLocWithAncestors(ctx context.Context, loc path.Path) iter.Seq2[provstore.Record, error] {
+	return b.chargedScan(b.inner.ScanLocWithAncestors(ctx, loc))
+}
+
+// ScanAll implements provstore.Backend: one read round trip shipping the
+// whole relation.
+func (b *ChargedBackend) ScanAll(ctx context.Context) iter.Seq2[provstore.Record, error] {
+	return b.chargedScan(b.inner.ScanAll(ctx))
 }
 
 // Tids implements provstore.Backend.

@@ -54,13 +54,13 @@ func TestChargesReads(t *testing.T) {
 	if _, _, err := b.NearestAncestor(context.Background(), 1, path.MustParse("T/a/b")); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := b.ScanTid(context.Background(), 1); err != nil {
+	if _, err := provstore.CollectScan(b.ScanTid(context.Background(), 1)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := b.ScanLoc(context.Background(), path.MustParse("T/a")); err != nil {
+	if _, err := provstore.CollectScan(b.ScanLoc(context.Background(), path.MustParse("T/a"))); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := b.ScanLocPrefix(context.Background(), path.MustParse("T")); err != nil {
+	if _, err := provstore.CollectScan(b.ScanLocPrefix(context.Background(), path.MustParse("T"))); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := b.Tids(context.Background()); err != nil {
@@ -105,16 +105,16 @@ func TestFaultAbortsBeforeWrite(t *testing.T) {
 	if _, _, err := b.NearestAncestor(context.Background(), 1, path.MustParse("T/a/b")); !errors.Is(err, netsim.ErrNetwork) {
 		t.Errorf("ancestor fault: %v", err)
 	}
-	if _, err := b.ScanTid(context.Background(), 1); !errors.Is(err, netsim.ErrNetwork) {
+	if _, err := provstore.CollectScan(b.ScanTid(context.Background(), 1)); !errors.Is(err, netsim.ErrNetwork) {
 		t.Errorf("scan fault: %v", err)
 	}
-	if _, err := b.ScanLoc(context.Background(), path.MustParse("T/a")); !errors.Is(err, netsim.ErrNetwork) {
+	if _, err := provstore.CollectScan(b.ScanLoc(context.Background(), path.MustParse("T/a"))); !errors.Is(err, netsim.ErrNetwork) {
 		t.Errorf("scanloc fault: %v", err)
 	}
-	if _, err := b.ScanLocPrefix(context.Background(), path.MustParse("T")); !errors.Is(err, netsim.ErrNetwork) {
+	if _, err := provstore.CollectScan(b.ScanLocPrefix(context.Background(), path.MustParse("T"))); !errors.Is(err, netsim.ErrNetwork) {
 		t.Errorf("scanprefix fault: %v", err)
 	}
-	if _, err := b.ScanLocWithAncestors(context.Background(), path.MustParse("T/a")); !errors.Is(err, netsim.ErrNetwork) {
+	if _, err := provstore.CollectScan(b.ScanLocWithAncestors(context.Background(), path.MustParse("T/a"))); !errors.Is(err, netsim.ErrNetwork) {
 		t.Errorf("scanancestors fault: %v", err)
 	}
 	if _, err := b.Tids(context.Background()); !errors.Is(err, netsim.ErrNetwork) {
@@ -136,7 +136,7 @@ func TestChargedScanWithAncestors(t *testing.T) {
 	b, _, read, _ := charged(t)
 	b.Append(context.Background(), []provstore.Record{rec(1, "T/a"), rec(2, "T/a")})
 	before := read.Stats()
-	recs, err := b.ScanLocWithAncestors(context.Background(), path.MustParse("T/a/deep"))
+	recs, err := provstore.CollectScan(b.ScanLocWithAncestors(context.Background(), path.MustParse("T/a/deep")))
 	if err != nil || len(recs) != 2 {
 		t.Fatalf("ScanLocWithAncestors = %v, %v", recs, err)
 	}

@@ -3,6 +3,7 @@ package provquery
 import (
 	"context"
 	"errors"
+	"iter"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -21,13 +22,13 @@ type cancelOnScan struct {
 	scans  atomic.Int64
 }
 
-func (c *cancelOnScan) ScanLocPrefix(ctx context.Context, prefix path.Path) ([]provstore.Record, error) {
+func (c *cancelOnScan) ScanLocPrefix(ctx context.Context, prefix path.Path) iter.Seq2[provstore.Record, error] {
 	c.scans.Add(1)
 	c.cancel()
 	return c.Backend.ScanLocPrefix(ctx, prefix)
 }
 
-func (c *cancelOnScan) ScanLocWithAncestors(ctx context.Context, loc path.Path) ([]provstore.Record, error) {
+func (c *cancelOnScan) ScanLocWithAncestors(ctx context.Context, loc path.Path) iter.Seq2[provstore.Record, error] {
 	c.scans.Add(1)
 	return c.Backend.ScanLocWithAncestors(ctx, loc)
 }

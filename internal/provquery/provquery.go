@@ -104,14 +104,14 @@ func (o Origin) String() string {
 // effectiveAt resolves the effective record for loc in every transaction,
 // client-side, from one ScanLocWithAncestors round trip: for each
 // transaction the record with the longest Loc (nearest ancestor-or-self)
-// governs.
+// governs. The cursor streams; only the winning record per transaction is
+// retained, so memory is O(transactions touching loc), not O(records).
 func (e *Engine) effectiveAt(ctx context.Context, loc path.Path) (map[int64]provstore.Record, error) {
-	recs, err := e.backend.ScanLocWithAncestors(ctx, loc)
-	if err != nil {
-		return nil, err
-	}
 	out := make(map[int64]provstore.Record)
-	for _, r := range recs {
+	for r, err := range e.backend.ScanLocWithAncestors(ctx, loc) {
+		if err != nil {
+			return nil, err
+		}
 		if prev, ok := out[r.Tid]; ok && prev.Loc.Len() >= r.Loc.Len() {
 			continue
 		}
@@ -364,14 +364,17 @@ type regionScan struct {
 	above  []provstore.Record
 }
 
-// run issues the region's two scans concurrently.
+// run issues the region's two scan cursors concurrently, draining each —
+// the wave's shadow/seen bookkeeping needs the region's records sorted
+// newest-first, so a region is materialized (it is O(region), never
+// O(store)) while the wave's regions still overlap in flight.
 func (s *regionScan) run(ctx context.Context, b provstore.Backend, prefix path.Path) error {
 	return fanout(ctx, 2, func(j int) error {
 		var err error
 		if j == 0 {
-			s.inside, err = b.ScanLocPrefix(ctx, prefix)
+			s.inside, err = provstore.CollectScan(b.ScanLocPrefix(ctx, prefix))
 		} else {
-			s.above, err = b.ScanLocWithAncestors(ctx, prefix)
+			s.above, err = provstore.CollectScan(b.ScanLocWithAncestors(ctx, prefix))
 		}
 		return err
 	})

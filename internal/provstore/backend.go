@@ -2,6 +2,7 @@ package provstore
 
 import (
 	"context"
+	"iter"
 	"sort"
 	"sync"
 
@@ -23,6 +24,13 @@ import (
 // {Tid, Loc} is a key; Append rejects duplicates within a batch or against
 // stored rows, enforcing the paper's constraint that "for each transaction,
 // each location has either been inserted, deleted, or copied".
+//
+// The Scan* methods return pull-based cursors rather than materialized
+// slices: records stream to the consumer one at a time, errors are yielded
+// in-stream as the final pair, and breaking out of the loop releases the
+// cursor's resources promptly (see the cursor contract in scan.go). A scan
+// still costs one logical round trip — the cursor is the stream of that one
+// round trip's reply, not a round trip per record.
 type Backend interface {
 	// Append stores a batch of records in one round trip.
 	Append(ctx context.Context, recs []Record) error
@@ -34,20 +42,27 @@ type Backend interface {
 	// insert record (paper §4.2: hierarchical inserts are slower because
 	// "we must first query the provenance database").
 	NearestAncestor(ctx context.Context, tid int64, loc path.Path) (Record, bool, error)
-	// ScanTid returns all records of a transaction, ordered by Loc.
-	ScanTid(ctx context.Context, tid int64) ([]Record, error)
-	// ScanLoc returns all records (any transaction) whose Loc equals loc,
+	// ScanTid streams all records of a transaction, ordered by Loc.
+	ScanTid(ctx context.Context, tid int64) iter.Seq2[Record, error]
+	// ScanLoc streams all records (any transaction) whose Loc equals loc,
 	// ordered by Tid.
-	ScanLoc(ctx context.Context, loc path.Path) ([]Record, error)
-	// ScanLocPrefix returns all records whose Loc has the given prefix,
+	ScanLoc(ctx context.Context, loc path.Path) iter.Seq2[Record, error]
+	// ScanLocPrefix streams all records whose Loc has the given prefix,
 	// ordered by (Loc, Tid). Used by the Mod query.
-	ScanLocPrefix(ctx context.Context, prefix path.Path) ([]Record, error)
-	// ScanLocWithAncestors returns all records (any transaction) whose
+	ScanLocPrefix(ctx context.Context, prefix path.Path) iter.Seq2[Record, error]
+	// ScanLocWithAncestors streams all records (any transaction) whose
 	// Loc equals loc or is a strict prefix of it, ordered by (Tid, Loc).
 	// This single round trip gives a query everything needed to resolve
 	// the effective provenance of loc in every transaction, including
 	// hierarchical inference.
-	ScanLocWithAncestors(ctx context.Context, loc path.Path) ([]Record, error)
+	ScanLocWithAncestors(ctx context.Context, loc path.Path) iter.Seq2[Record, error]
+	// ScanAll streams the entire provenance relation ordered by
+	// (Tid, Loc) — the paper's Figure 5 table as one cursor. It is the
+	// bounded-memory path under Query.Records: one round trip however
+	// large the store, never materializing the records (file-backed and
+	// remote stores hold a page/chunk; the in-memory store sorts an
+	// index permutation, one int per record).
+	ScanAll(ctx context.Context) iter.Seq2[Record, error]
 	// Tids returns all transaction identifiers in ascending order.
 	Tids(ctx context.Context) ([]int64, error)
 	// MaxTid returns the largest transaction identifier stored, or 0.
@@ -150,81 +165,97 @@ func (b *MemBackend) NearestAncestor(ctx context.Context, tid int64, loc path.Pa
 	return Record{}, false, nil
 }
 
-// ScanTid implements Backend.
-func (b *MemBackend) ScanTid(ctx context.Context, tid int64) ([]Record, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
+// snapshot captures a stable view of the stored records under the read
+// lock. The record log is append-only and records are immutable, so the
+// captured slice header stays valid (and invisible to later appends) after
+// the lock is released — a concurrent scan iterates its own snapshot, the
+// store's equivalent of snapshot isolation.
+func (b *MemBackend) snapshot() []Record {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
-	idxs := b.byTid[tid]
-	out := make([]Record, 0, len(idxs))
+	return b.recs[:len(b.recs):len(b.recs)]
+}
+
+// yieldIdxs streams recs[idxs[0]], recs[idxs[1]], … observing ctx between
+// records.
+func yieldIdxs(ctx context.Context, recs []Record, idxs []int, yield func(Record, error) bool) {
 	for _, i := range idxs {
-		out = append(out, b.recs[i])
+		if err := ctx.Err(); err != nil {
+			yield(Record{}, err)
+			return
+		}
+		if !yield(recs[i], nil) {
+			return
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Loc.Compare(out[j].Loc) < 0 })
-	return out, nil
+}
+
+// ScanTid implements Backend: a snapshot of the transaction's index entries
+// is sorted by Loc (indexes only — no record is copied) and streamed.
+func (b *MemBackend) ScanTid(ctx context.Context, tid int64) iter.Seq2[Record, error] {
+	return func(yield func(Record, error) bool) {
+		if err := ctx.Err(); err != nil {
+			yield(Record{}, err)
+			return
+		}
+		b.mu.RLock()
+		recs := b.recs[:len(b.recs):len(b.recs)]
+		idxs := append([]int(nil), b.byTid[tid]...)
+		b.mu.RUnlock()
+		sort.Slice(idxs, func(i, j int) bool { return recs[idxs[i]].Loc.Compare(recs[idxs[j]].Loc) < 0 })
+		yieldIdxs(ctx, recs, idxs, yield)
+	}
+}
+
+// scanFiltered streams the snapshot's records matching keep, ordered by
+// less over snapshot indexes — the shared body of the location scans.
+func (b *MemBackend) scanFiltered(ctx context.Context, keep func(Record) bool, less func(a, c Record) bool) iter.Seq2[Record, error] {
+	return func(yield func(Record, error) bool) {
+		if err := ctx.Err(); err != nil {
+			yield(Record{}, err)
+			return
+		}
+		recs := b.snapshot()
+		var idxs []int
+		for i, r := range recs {
+			if keep(r) {
+				idxs = append(idxs, i)
+			}
+		}
+		sort.Slice(idxs, func(i, j int) bool { return less(recs[idxs[i]], recs[idxs[j]]) })
+		yieldIdxs(ctx, recs, idxs, yield)
+	}
 }
 
 // ScanLoc implements Backend.
-func (b *MemBackend) ScanLoc(ctx context.Context, loc path.Path) ([]Record, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	var out []Record
-	for _, r := range b.recs {
-		if r.Loc.Equal(loc) {
-			out = append(out, r)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Tid < out[j].Tid })
-	return out, nil
+func (b *MemBackend) ScanLoc(ctx context.Context, loc path.Path) iter.Seq2[Record, error] {
+	return b.scanFiltered(ctx,
+		func(r Record) bool { return r.Loc.Equal(loc) },
+		func(a, c Record) bool { return a.Tid < c.Tid })
 }
 
 // ScanLocPrefix implements Backend.
-func (b *MemBackend) ScanLocPrefix(ctx context.Context, prefix path.Path) ([]Record, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	var out []Record
-	for _, r := range b.recs {
-		if prefix.IsPrefixOf(r.Loc) {
-			out = append(out, r)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if c := out[i].Loc.Compare(out[j].Loc); c != 0 {
-			return c < 0
-		}
-		return out[i].Tid < out[j].Tid
-	})
-	return out, nil
+func (b *MemBackend) ScanLocPrefix(ctx context.Context, prefix path.Path) iter.Seq2[Record, error] {
+	return b.scanFiltered(ctx,
+		func(r Record) bool { return prefix.IsPrefixOf(r.Loc) },
+		func(a, c Record) bool { return CompareLocTid(a, c) < 0 })
 }
 
 // ScanLocWithAncestors implements Backend.
-func (b *MemBackend) ScanLocWithAncestors(ctx context.Context, loc path.Path) ([]Record, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	var out []Record
-	for _, r := range b.recs {
-		if r.Loc.IsPrefixOf(loc) {
-			out = append(out, r)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Tid != out[j].Tid {
-			return out[i].Tid < out[j].Tid
-		}
-		return out[i].Loc.Compare(out[j].Loc) < 0
-	})
-	return out, nil
+func (b *MemBackend) ScanLocWithAncestors(ctx context.Context, loc path.Path) iter.Seq2[Record, error] {
+	return b.scanFiltered(ctx,
+		func(r Record) bool { return r.Loc.IsPrefixOf(loc) },
+		func(a, c Record) bool { return CompareTidLoc(a, c) < 0 })
+}
+
+// ScanAll implements Backend: the whole table in (Tid, Loc) order. The heap
+// is unordered, so an index permutation is sorted (one int per record — no
+// record values are copied or retained beyond the snapshot the store
+// already holds).
+func (b *MemBackend) ScanAll(ctx context.Context) iter.Seq2[Record, error] {
+	return b.scanFiltered(ctx,
+		func(Record) bool { return true },
+		func(a, c Record) bool { return CompareTidLoc(a, c) < 0 })
 }
 
 // Tids implements Backend.

@@ -103,7 +103,7 @@ func TestMemBackendScans(t *testing.T) {
 		rec(3, OpDelete, "T/a/x/y", ""),
 		rec(1, OpInsert, "T/ab", ""),
 	})
-	recs, err := b.ScanTid(context.Background(), 1)
+	recs, err := CollectScan(b.ScanTid(context.Background(), 1))
 	if err != nil || len(recs) != 3 {
 		t.Fatalf("ScanTid(1) = %v, %v", recs, err)
 	}
@@ -111,11 +111,11 @@ func TestMemBackendScans(t *testing.T) {
 	if recs[0].Loc.String() != "T/a/x" || recs[1].Loc.String() != "T/ab" || recs[2].Loc.String() != "T/b" {
 		t.Errorf("ScanTid order: %v", recs)
 	}
-	byLoc, err := b.ScanLoc(context.Background(), path.MustParse("T/b"))
+	byLoc, err := CollectScan(b.ScanLoc(context.Background(), path.MustParse("T/b")))
 	if err != nil || len(byLoc) != 2 || byLoc[0].Tid != 1 || byLoc[1].Tid != 2 {
 		t.Fatalf("ScanLoc = %v, %v", byLoc, err)
 	}
-	pre, err := b.ScanLocPrefix(context.Background(), path.MustParse("T/a"))
+	pre, err := CollectScan(b.ScanLocPrefix(context.Background(), path.MustParse("T/a")))
 	if err != nil || len(pre) != 2 {
 		t.Fatalf("ScanLocPrefix = %v, %v", pre, err)
 	}

@@ -3,6 +3,8 @@ package provstore
 import (
 	"context"
 	"io"
+	"iter"
+	"slices"
 	"sync"
 
 	"repro/internal/path"
@@ -53,10 +55,12 @@ func Close(b Backend) error {
 }
 
 // A BatchingBackend wraps a Backend and buffers appended batches until
-// BatchSize records accumulate, then flushes them as one group commit. Any
-// read flushes first (read-through), so queries always see every
-// acknowledged append; what batching defers is only the store round trip
-// and its durability cost.
+// BatchSize records accumulate, then flushes them as one group commit.
+// Reads are read-through, so queries always see every acknowledged append:
+// point reads and whole-store accessors flush first and delegate, while
+// scans stream an ordered merge of the pending buffer and the inner store's
+// cursor without forcing a flush. What batching defers is only the store
+// round trip and its durability cost.
 //
 // Records are validated when enqueued — structural checks plus the
 // {Tid, Loc} key constraint against both the pending buffer and the store —
@@ -193,7 +197,15 @@ func (b *BatchingBackend) flushLocked() error {
 	return nil
 }
 
-// --- read-through: every read flushes, then delegates ----------------------
+// --- read-through ----------------------------------------------------------
+//
+// Point reads and the whole-store accessors flush first, then delegate —
+// their single answer must reflect the buffer, and a flush is the cheapest
+// way to guarantee it. Scans do better: they stream a merge of a buffer
+// snapshot and the inner store's cursor, so a scan costs no durability
+// round trip and the buffer keeps accumulating toward a full group. The
+// merge collapses {Tid, Loc} duplicates, so a scan racing the buffer's own
+// flush never sees a record twice.
 
 // Lookup implements Backend.
 func (b *BatchingBackend) Lookup(ctx context.Context, tid int64, loc path.Path) (Record, bool, error) {
@@ -211,36 +223,66 @@ func (b *BatchingBackend) NearestAncestor(ctx context.Context, tid int64, loc pa
 	return b.inner.NearestAncestor(ctx, tid, loc)
 }
 
-// ScanTid implements Backend.
-func (b *BatchingBackend) ScanTid(ctx context.Context, tid int64) ([]Record, error) {
-	if err := b.Flush(); err != nil {
-		return nil, err
+// buffered snapshots the buffered records matching keep, sorted by cmp —
+// the buffer's half of a scan's read-through merge.
+func (b *BatchingBackend) buffered(keep func(Record) bool, cmp func(a, c Record) int) []Record {
+	b.mu.Lock()
+	var out []Record
+	for _, batch := range b.batches {
+		for _, r := range batch {
+			if keep(r) {
+				out = append(out, r)
+			}
+		}
 	}
-	return b.inner.ScanTid(ctx, tid)
+	b.mu.Unlock()
+	slices.SortFunc(out, cmp)
+	return out
+}
+
+// scanThrough merges the matching buffered records with the inner store's
+// cursor, both ordered by cmp. The buffer half of the merge cannot observe
+// ctx itself, so the merged cursor re-checks it per record.
+func (b *BatchingBackend) scanThrough(ctx context.Context, keep func(Record) bool, cmp func(a, c Record) int, inner iter.Seq2[Record, error]) iter.Seq2[Record, error] {
+	if b.size <= 1 {
+		return inner
+	}
+	return ctxChecked(ctx, MergeScans(cmp, ScanSlice(b.buffered(keep, cmp)), inner))
+}
+
+// ScanTid implements Backend.
+func (b *BatchingBackend) ScanTid(ctx context.Context, tid int64) iter.Seq2[Record, error] {
+	return b.scanThrough(ctx,
+		func(r Record) bool { return r.Tid == tid },
+		CompareLocTid, b.inner.ScanTid(ctx, tid))
 }
 
 // ScanLoc implements Backend.
-func (b *BatchingBackend) ScanLoc(ctx context.Context, loc path.Path) ([]Record, error) {
-	if err := b.Flush(); err != nil {
-		return nil, err
-	}
-	return b.inner.ScanLoc(ctx, loc)
+func (b *BatchingBackend) ScanLoc(ctx context.Context, loc path.Path) iter.Seq2[Record, error] {
+	return b.scanThrough(ctx,
+		func(r Record) bool { return r.Loc.Equal(loc) },
+		CompareTidLoc, b.inner.ScanLoc(ctx, loc))
 }
 
 // ScanLocPrefix implements Backend.
-func (b *BatchingBackend) ScanLocPrefix(ctx context.Context, prefix path.Path) ([]Record, error) {
-	if err := b.Flush(); err != nil {
-		return nil, err
-	}
-	return b.inner.ScanLocPrefix(ctx, prefix)
+func (b *BatchingBackend) ScanLocPrefix(ctx context.Context, prefix path.Path) iter.Seq2[Record, error] {
+	return b.scanThrough(ctx,
+		func(r Record) bool { return prefix.IsPrefixOf(r.Loc) },
+		CompareLocTid, b.inner.ScanLocPrefix(ctx, prefix))
 }
 
 // ScanLocWithAncestors implements Backend.
-func (b *BatchingBackend) ScanLocWithAncestors(ctx context.Context, loc path.Path) ([]Record, error) {
-	if err := b.Flush(); err != nil {
-		return nil, err
-	}
-	return b.inner.ScanLocWithAncestors(ctx, loc)
+func (b *BatchingBackend) ScanLocWithAncestors(ctx context.Context, loc path.Path) iter.Seq2[Record, error] {
+	return b.scanThrough(ctx,
+		func(r Record) bool { return r.Loc.IsPrefixOf(loc) },
+		CompareTidLoc, b.inner.ScanLocWithAncestors(ctx, loc))
+}
+
+// ScanAll implements Backend.
+func (b *BatchingBackend) ScanAll(ctx context.Context) iter.Seq2[Record, error] {
+	return b.scanThrough(ctx,
+		func(Record) bool { return true },
+		CompareTidLoc, b.inner.ScanAll(ctx))
 }
 
 // Tids implements Backend.

@@ -42,8 +42,8 @@ func TestMemBackendConcurrent(t *testing.T) {
 				loc := path.New("T", fmt.Sprintf("w%d", r), fmt.Sprintf("n%d", i%perWriter))
 				b.Lookup(context.Background(), int64(i+1), loc)
 				b.NearestAncestor(context.Background(), int64(i+1), loc.Child("deep"))
-				b.ScanTid(context.Background(), int64(i+1))
-				b.ScanLocWithAncestors(context.Background(), loc)
+				CollectScan(b.ScanTid(context.Background(), int64(i+1)))
+				CollectScan(b.ScanLocWithAncestors(context.Background(), loc))
 				b.Count(context.Background())
 				b.MaxTid(context.Background())
 			}
@@ -93,10 +93,10 @@ func TestShardedBackendConcurrent(t *testing.T) {
 				loc := path.New("T", fmt.Sprintf("w%d", r), fmt.Sprintf("n%d", i%perWriter))
 				b.Lookup(context.Background(), int64(i+1), loc)
 				b.NearestAncestor(context.Background(), int64(i+1), loc.Child("deep"))
-				b.ScanTid(context.Background(), int64(i+1))
-				b.ScanLoc(context.Background(), loc)
-				b.ScanLocPrefix(context.Background(), path.New("T", fmt.Sprintf("w%d", r)))
-				b.ScanLocWithAncestors(context.Background(), loc)
+				CollectScan(b.ScanTid(context.Background(), int64(i+1)))
+				CollectScan(b.ScanLoc(context.Background(), loc))
+				CollectScan(b.ScanLocPrefix(context.Background(), path.New("T", fmt.Sprintf("w%d", r))))
+				CollectScan(b.ScanLocWithAncestors(context.Background(), loc))
 				b.Tids(context.Background())
 				b.Count(context.Background())
 				b.MaxTid(context.Background())
@@ -157,7 +157,7 @@ func TestShardedIngestConcurrent(t *testing.T) {
 					for i := 0; i < 100; i++ {
 						backend.MaxTid(context.Background())
 						backend.Count(context.Background())
-						backend.ScanLocPrefix(context.Background(), path.New("T"))
+						CollectScan(backend.ScanLocPrefix(context.Background(), path.New("T")))
 					}
 				}()
 			}
@@ -174,7 +174,7 @@ func TestShardedIngestConcurrent(t *testing.T) {
 			}
 			// Every record must be findable at its own location.
 			for w := 0; w < workers; w++ {
-				recs, err := backend.ScanLocPrefix(context.Background(), path.New("T", fmt.Sprintf("w%d", w)))
+				recs, err := CollectScan(backend.ScanLocPrefix(context.Background(), path.New("T", fmt.Sprintf("w%d", w))))
 				if err != nil || len(recs) != perWorker {
 					t.Fatalf("worker %d subtree has %d records, %v; want %d", w, len(recs), err, perWorker)
 				}

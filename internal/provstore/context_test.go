@@ -3,6 +3,7 @@ package provstore
 import (
 	"context"
 	"errors"
+	"iter"
 	"runtime"
 	"testing"
 	"time"
@@ -10,23 +11,28 @@ import (
 	"repro/internal/path"
 )
 
-// blockingBackend wraps a Backend; scans park until the context is
-// cancelled, then return ctx.Err() — a stand-in for a slow remote shard.
+// blockingBackend wraps a Backend; scan cursors park on first pull until
+// the context is cancelled, then yield ctx.Err() — a stand-in for a slow
+// remote shard.
 type blockingBackend struct {
 	Backend
 	entered chan struct{} // one send per blocked scan
 }
 
-func (b *blockingBackend) ScanTid(ctx context.Context, tid int64) ([]Record, error) {
-	b.entered <- struct{}{}
-	<-ctx.Done()
-	return nil, ctx.Err()
+func (b *blockingBackend) blockedScan(ctx context.Context) iter.Seq2[Record, error] {
+	return func(yield func(Record, error) bool) {
+		b.entered <- struct{}{}
+		<-ctx.Done()
+		yield(Record{}, ctx.Err())
+	}
 }
 
-func (b *blockingBackend) ScanLocPrefix(ctx context.Context, prefix path.Path) ([]Record, error) {
-	b.entered <- struct{}{}
-	<-ctx.Done()
-	return nil, ctx.Err()
+func (b *blockingBackend) ScanTid(ctx context.Context, tid int64) iter.Seq2[Record, error] {
+	return b.blockedScan(ctx)
+}
+
+func (b *blockingBackend) ScanLocPrefix(ctx context.Context, prefix path.Path) iter.Seq2[Record, error] {
+	return b.blockedScan(ctx)
 }
 
 // waitGoroutines polls until the goroutine count drops back to at most
@@ -44,10 +50,12 @@ func waitGoroutines(t *testing.T, base int) {
 	t.Fatalf("goroutines leaked: %d now vs %d before cancellation", runtime.NumGoroutine(), base)
 }
 
-// TestShardedQueryCancelMidScatter cancels a scatter-gather while every
-// shard's scan is parked: the query must return context.Canceled (via
-// errors.Is) and all fan-out goroutines must exit.
-func TestShardedQueryCancelMidScatter(t *testing.T) {
+// TestShardedQueryCancelMidMerge cancels a streaming merge while a shard's
+// cursor is parked mid-pull: the merged cursor must yield context.Canceled
+// (via errors.Is) and every Pull2 coroutine behind the merge must be
+// released — the cursor-path equivalent of the old scatter-gather
+// cancellation guarantee.
+func TestShardedQueryCancelMidMerge(t *testing.T) {
 	const shards = 8
 	entered := make(chan struct{}, shards)
 	parts := make([]Backend, shards)
@@ -63,22 +71,20 @@ func TestShardedQueryCancelMidScatter(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() {
-		_, err := sb.ScanTid(ctx, 1)
+		_, err := CollectScan(sb.ScanTid(ctx, 1))
 		done <- err
 	}()
-	// Wait until every shard goroutine is parked inside its scan, then pull
-	// the rug.
-	for i := 0; i < shards; i++ {
-		<-entered
-	}
+	// The merge pulls shard cursors lazily; wait until the first one is
+	// parked inside its scan, then pull the rug.
+	<-entered
 	cancel()
 	select {
 	case err := <-done:
 		if !errors.Is(err, context.Canceled) {
-			t.Fatalf("cancelled scatter returned %v, want context.Canceled", err)
+			t.Fatalf("cancelled merge returned %v, want context.Canceled", err)
 		}
 	case <-time.After(3 * time.Second):
-		t.Fatal("cancelled scatter never returned")
+		t.Fatal("cancelled merge never returned")
 	}
 	waitGoroutines(t, base)
 }
@@ -101,8 +107,11 @@ func TestCancelledContextShortCircuits(t *testing.T) {
 		if _, _, err := b.Lookup(ctx, 1, rec.Loc); !errors.Is(err, context.Canceled) {
 			t.Errorf("%s: Lookup under cancelled ctx: %v", name, err)
 		}
-		if _, err := b.ScanLocPrefix(ctx, path.MustParse("T")); !errors.Is(err, context.Canceled) {
+		if _, err := CollectScan(b.ScanLocPrefix(ctx, path.MustParse("T"))); !errors.Is(err, context.Canceled) {
 			t.Errorf("%s: ScanLocPrefix under cancelled ctx: %v", name, err)
+		}
+		if _, err := CollectScan(b.ScanAll(ctx)); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: ScanAll under cancelled ctx: %v", name, err)
 		}
 		if _, err := b.MaxTid(ctx); !errors.Is(err, context.Canceled) {
 			t.Errorf("%s: MaxTid under cancelled ctx: %v", name, err)

@@ -147,7 +147,7 @@ func TestFigure5cExpandsTo5a(t *testing.T) {
 	tr, vs := runFigure3(t, provstore.Hierarchical, true)
 	var full []provstore.Record
 	for i := 1; i < len(vs); i++ {
-		recs, err := tr.Backend().ScanTid(context.Background(), vs[i].Tid)
+		recs, err := provstore.CollectScan(tr.Backend().ScanTid(context.Background(), vs[i].Tid))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,240 @@
+package provstore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+	"runtime"
+	"sort"
+	"testing"
+
+	"repro/internal/path"
+)
+
+// scanFixture loads a deterministic record set spanning several
+// transactions, locations and shards into b.
+func scanFixture(t *testing.T, b Backend) []Record {
+	t.Helper()
+	var recs []Record
+	for tid := int64(1); tid <= 5; tid++ {
+		for i := 0; i < 7; i++ {
+			recs = append(recs, Record{
+				Tid: tid,
+				Op:  OpInsert,
+				Loc: path.New("T", fmt.Sprintf("s%d", i%3), fmt.Sprintf("n%d-%d", tid, i)),
+			})
+		}
+	}
+	if err := b.Append(context.Background(), recs); err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+// scanStores builds one instance of every composable in-memory store shape.
+func scanStores() map[string]Backend {
+	return map[string]Backend{
+		"mem":              NewMemBackend(),
+		"sharded":          NewShardedMem(4),
+		"batching":         NewBatching(NewMemBackend(), 8),
+		"batching+sharded": NewBatching(NewShardedMem(4), 8),
+	}
+}
+
+// TestScanAllOrderAndEquivalence: every store shape must stream the whole
+// relation in (Tid, Loc) order, with identical content across shapes.
+func TestScanAllOrderAndEquivalence(t *testing.T) {
+	ctx := context.Background()
+	var want []Record
+	for name, b := range scanStores() {
+		recs := scanFixture(t, b)
+		got, err := CollectScan(b.ScanAll(ctx))
+		if err != nil {
+			t.Fatalf("%s: ScanAll: %v", name, err)
+		}
+		if len(got) != len(recs) {
+			t.Fatalf("%s: ScanAll yielded %d records, want %d", name, len(got), len(recs))
+		}
+		for i := 1; i < len(got); i++ {
+			if CompareTidLoc(got[i-1], got[i]) >= 0 {
+				t.Fatalf("%s: ScanAll out of order at %d: %v !< %v", name, i, got[i-1], got[i])
+			}
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("%s: ScanAll differs from mem:\n%v\n%v", name, got, want)
+		}
+	}
+}
+
+// TestMergeScansDedupAndErrors covers the merge's key collapse and error
+// propagation.
+func TestMergeScansDedupAndErrors(t *testing.T) {
+	r := func(tid int64, loc string) Record {
+		return Record{Tid: tid, Op: OpInsert, Loc: path.MustParse(loc)}
+	}
+	a := []Record{r(1, "T/a"), r(2, "T/b"), r(4, "T/d")}
+	b := []Record{r(2, "T/b"), r(3, "T/c")} // duplicate key (2, T/b)
+	got, err := CollectScan(MergeScans(CompareTidLoc, ScanSlice(a), ScanSlice(b)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != fmt.Sprint([]Record{r(1, "T/a"), r(2, "T/b"), r(3, "T/c"), r(4, "T/d")}) {
+		t.Errorf("merge with duplicate = %v", got)
+	}
+
+	boom := errors.New("boom")
+	if _, err := CollectScan(MergeScans(CompareTidLoc, ScanSlice(a), ScanError(boom))); !errors.Is(err, boom) {
+		t.Errorf("merge with failing input: %v", err)
+	}
+	if got, err := CollectScan(MergeScans(CompareTidLoc)); err != nil || len(got) != 0 {
+		t.Errorf("empty merge = %v, %v", got, err)
+	}
+}
+
+// TestCursorEarlyBreakReleases: breaking out of a scan loop after one
+// record must release everything the cursor holds — the Pull2 coroutines
+// behind sharded/batching merges, and any lock, proven by a write
+// succeeding immediately afterwards. Runs under -race in CI.
+func TestCursorEarlyBreakReleases(t *testing.T) {
+	ctx := context.Background()
+	for name, b := range scanStores() {
+		t.Run(name, func(t *testing.T) {
+			scanFixture(t, b)
+			base := runtime.NumGoroutine()
+			scans := map[string]iter.Seq2[Record, error]{
+				"ScanAll":              b.ScanAll(ctx),
+				"ScanTid":              b.ScanTid(ctx, 2),
+				"ScanLocPrefix":        b.ScanLocPrefix(ctx, path.MustParse("T/s1")),
+				"ScanLocWithAncestors": b.ScanLocWithAncestors(ctx, path.MustParse("T/s1/n1-1")),
+			}
+			for sname, scan := range scans {
+				n := 0
+				for _, err := range scan {
+					if err != nil {
+						t.Fatalf("%s: %v", sname, err)
+					}
+					n++
+					if n == 1 {
+						break
+					}
+				}
+				if n != 1 {
+					t.Fatalf("%s yielded %d records before break", sname, n)
+				}
+			}
+			// No coroutine/goroutine behind any broken cursor may survive.
+			waitGoroutines(t, base)
+			// And no lock is still held: a write proceeds.
+			if err := b.Append(ctx, []Record{{Tid: 9, Op: OpInsert, Loc: path.MustParse("T/after-break")}}); err != nil {
+				t.Fatalf("append after broken scans: %v", err)
+			}
+		})
+	}
+}
+
+// TestCursorCancelMidStream: cancelling the context between yields must end
+// the stream with context.Canceled on every store shape.
+func TestCursorCancelMidStream(t *testing.T) {
+	for name, b := range scanStores() {
+		t.Run(name, func(t *testing.T) {
+			scanFixture(t, b)
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			n := 0
+			var got error
+			for _, err := range b.ScanAll(ctx) {
+				if err != nil {
+					got = err
+					break
+				}
+				n++
+				if n == 3 {
+					cancel()
+				}
+			}
+			if !errors.Is(got, context.Canceled) {
+				t.Fatalf("cancel mid-stream after %d records yielded %v, want context.Canceled", n, got)
+			}
+		})
+	}
+}
+
+// TestBatchingScanReadsThroughWithoutFlush: scans must see buffered records
+// merged in order with the store — without forcing the flush the old
+// read-through paid, and without duplicates when the buffer flushes midway.
+func TestBatchingScanReadsThroughWithoutFlush(t *testing.T) {
+	ctx := context.Background()
+	inner := NewMemBackend()
+	b := NewBatching(inner, 100)
+	if err := b.Append(ctx, []Record{
+		{Tid: 2, Op: OpInsert, Loc: path.MustParse("T/b")},
+		{Tid: 1, Op: OpInsert, Loc: path.MustParse("T/a")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := CollectScan(b.ScanAll(ctx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Tid != 1 || got[1].Tid != 2 {
+		t.Fatalf("buffered scan = %v", got)
+	}
+	if b.Pending() != 2 {
+		t.Fatalf("scan flushed the buffer (pending=%d, want 2)", b.Pending())
+	}
+	if n, _ := inner.Count(ctx); n != 0 {
+		t.Fatalf("scan pushed %d records to the store", n)
+	}
+
+	// A flush between cursor construction and consumption must not
+	// duplicate records: the merge collapses equal keys.
+	cur := b.ScanAll(ctx)
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err = CollectScan(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("scan racing flush yielded %d records, want 2: %v", len(got), got)
+	}
+}
+
+// TestScanSnapshotIsolation: a mem cursor opened before an append streams
+// the store as it was — appends during iteration are invisible.
+func TestScanSnapshotIsolation(t *testing.T) {
+	ctx := context.Background()
+	b := NewMemBackend()
+	if err := b.Append(ctx, []Record{
+		{Tid: 1, Op: OpInsert, Loc: path.MustParse("T/a")},
+		{Tid: 1, Op: OpInsert, Loc: path.MustParse("T/b")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var got []Record
+	for r, err := range b.ScanAll(ctx) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, r)
+		if len(got) == 1 {
+			// Mid-iteration append: must not appear in this cursor.
+			if err := b.Append(ctx, []Record{{Tid: 5, Op: OpInsert, Loc: path.MustParse("T/late")}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if len(got) != 2 {
+		t.Fatalf("snapshot leaked a concurrent append: %v", got)
+	}
+	sort.Slice(got, func(i, j int) bool { return CompareTidLoc(got[i], got[j]) < 0 })
+	if got[0].Loc.String() != "T/a" || got[1].Loc.String() != "T/b" {
+		t.Fatalf("snapshot contents: %v", got)
+	}
+}

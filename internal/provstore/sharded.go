@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"iter"
 	"sort"
 	"sync"
 
@@ -260,88 +261,56 @@ func (b *ShardedBackend) NearestAncestor(ctx context.Context, tid int64, loc pat
 	return Record{}, false, nil
 }
 
-// scatter runs one scan against every shard in parallel and returns the
-// per-shard results.
-func (b *ShardedBackend) scatter(ctx context.Context, scan func(Backend) ([]Record, error)) ([]Record, error) {
+// merged builds the streaming k-way ordered merge over one cursor per
+// shard: each shard's scan is pulled lazily, one record at a time, and the
+// merge restores the documented global ordering — no shard's result is ever
+// gathered wholesale, so a scan over a sharded store stays O(shards) in
+// memory. Construction is lazy; nothing runs until the cursor is ranged.
+func (b *ShardedBackend) merged(cmp func(a, c Record) int, scan func(Backend) iter.Seq2[Record, error]) iter.Seq2[Record, error] {
 	if len(b.shards) == 1 {
 		return scan(b.shards[0])
 	}
-	parts := make([][]Record, len(b.shards))
-	err := Fanout(ctx, len(b.shards), func(i int) error {
-		recs, serr := scan(b.shards[i])
-		parts[i] = recs
-		return serr
-	})
-	if err != nil {
-		return nil, err
+	cursors := make([]iter.Seq2[Record, error], len(b.shards))
+	for i, s := range b.shards {
+		cursors[i] = scan(s)
 	}
-	var n int
-	for _, p := range parts {
-		n += len(p)
-	}
-	out := make([]Record, 0, n)
-	for _, p := range parts {
-		out = append(out, p...)
-	}
-	return out, nil
+	return MergeScans(cmp, cursors...)
 }
 
-// ScanTid implements Backend: scatter-gather with a merge by Loc.
-func (b *ShardedBackend) ScanTid(ctx context.Context, tid int64) ([]Record, error) {
-	out, err := b.scatter(ctx, func(s Backend) ([]Record, error) { return s.ScanTid(ctx, tid) })
-	if err != nil {
-		return nil, err
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Loc.Compare(out[j].Loc) < 0 })
-	return out, nil
+// ScanTid implements Backend: a streaming merge by Loc over per-shard
+// cursors.
+func (b *ShardedBackend) ScanTid(ctx context.Context, tid int64) iter.Seq2[Record, error] {
+	return b.merged(CompareLocTid, func(s Backend) iter.Seq2[Record, error] { return s.ScanTid(ctx, tid) })
 }
 
 // ScanLoc implements Backend: a single-shard read (one location, one shard).
-func (b *ShardedBackend) ScanLoc(ctx context.Context, loc path.Path) ([]Record, error) {
+func (b *ShardedBackend) ScanLoc(ctx context.Context, loc path.Path) iter.Seq2[Record, error] {
 	return b.shardFor(loc).ScanLoc(ctx, loc)
 }
 
 // ScanLocPrefix implements Backend: descendants of prefix hash anywhere, so
-// the scan scatters and the merge restores (Loc, Tid) order.
-func (b *ShardedBackend) ScanLocPrefix(ctx context.Context, prefix path.Path) ([]Record, error) {
-	out, err := b.scatter(ctx, func(s Backend) ([]Record, error) { return s.ScanLocPrefix(ctx, prefix) })
-	if err != nil {
-		return nil, err
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if c := out[i].Loc.Compare(out[j].Loc); c != 0 {
-			return c < 0
-		}
-		return out[i].Tid < out[j].Tid
-	})
-	return out, nil
+// one cursor per shard merges back into (Loc, Tid) order.
+func (b *ShardedBackend) ScanLocPrefix(ctx context.Context, prefix path.Path) iter.Seq2[Record, error] {
+	return b.merged(CompareLocTid, func(s Backend) iter.Seq2[Record, error] { return s.ScanLocPrefix(ctx, prefix) })
 }
 
 // ScanLocWithAncestors implements Backend: loc and each of its ancestors
-// route to single shards, so the probes fan out one per ancestor and the
-// merge restores (Tid, Loc) order.
-func (b *ShardedBackend) ScanLocWithAncestors(ctx context.Context, loc path.Path) ([]Record, error) {
+// route to single shards, so one ScanLoc cursor per ancestor merges into
+// (Tid, Loc) order (each probe's cursor is Tid-ordered at a single
+// location, so the merge's output is exactly the documented ordering).
+func (b *ShardedBackend) ScanLocWithAncestors(ctx context.Context, loc path.Path) iter.Seq2[Record, error] {
 	probes := append(loc.Ancestors(), loc)
-	parts := make([][]Record, len(probes))
-	err := Fanout(ctx, len(probes), func(i int) error {
-		recs, serr := b.shardFor(probes[i]).ScanLoc(ctx, probes[i])
-		parts[i] = recs
-		return serr
-	})
-	if err != nil {
-		return nil, err
+	cursors := make([]iter.Seq2[Record, error], len(probes))
+	for i, p := range probes {
+		cursors[i] = b.shardFor(p).ScanLoc(ctx, p)
 	}
-	var out []Record
-	for _, p := range parts {
-		out = append(out, p...)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Tid != out[j].Tid {
-			return out[i].Tid < out[j].Tid
-		}
-		return out[i].Loc.Compare(out[j].Loc) < 0
-	})
-	return out, nil
+	return MergeScans(CompareTidLoc, cursors...)
+}
+
+// ScanAll implements Backend: the full (Tid, Loc)-ordered table as a
+// streaming merge of every shard's ScanAll cursor.
+func (b *ShardedBackend) ScanAll(ctx context.Context) iter.Seq2[Record, error] {
+	return b.merged(CompareTidLoc, func(s Backend) iter.Seq2[Record, error] { return s.ScanAll(ctx) })
 }
 
 // Tids implements Backend: the sorted union of all shards' transactions.

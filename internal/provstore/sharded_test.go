@@ -128,17 +128,17 @@ func TestShardedBackendQueryEquivalence(t *testing.T) {
 		t.Fatalf("Tids = %v (err %v), want %v", stids, err, tids)
 	}
 	for _, tid := range tids {
-		got, err1 := sh.ScanTid(context.Background(), tid)
-		want, err2 := mem.ScanTid(context.Background(), tid)
+		got, err1 := provstore.CollectScan(sh.ScanTid(context.Background(), tid))
+		want, err2 := provstore.CollectScan(mem.ScanTid(context.Background(), tid))
 		check(fmt.Sprintf("ScanTid(%d)", tid), got, want, err1, err2)
 	}
 	for _, r := range recs {
-		got, err1 := sh.ScanLoc(context.Background(), r.Loc)
-		want, err2 := mem.ScanLoc(context.Background(), r.Loc)
+		got, err1 := provstore.CollectScan(sh.ScanLoc(context.Background(), r.Loc))
+		want, err2 := provstore.CollectScan(mem.ScanLoc(context.Background(), r.Loc))
 		check("ScanLoc "+r.Loc.String(), got, want, err1, err2)
 
-		got, err1 = sh.ScanLocWithAncestors(context.Background(), r.Loc)
-		want, err2 = mem.ScanLocWithAncestors(context.Background(), r.Loc)
+		got, err1 = provstore.CollectScan(sh.ScanLocWithAncestors(context.Background(), r.Loc))
+		want, err2 = provstore.CollectScan(mem.ScanLocWithAncestors(context.Background(), r.Loc))
 		check("ScanLocWithAncestors "+r.Loc.String(), got, want, err1, err2)
 
 		grec, gok, err1 := sh.Lookup(context.Background(), r.Tid, r.Loc)
@@ -155,8 +155,8 @@ func TestShardedBackendQueryEquivalence(t *testing.T) {
 		}
 	}
 	for _, prefix := range []path.Path{path.New("T"), path.New("T", "c2")} {
-		got, err1 := sh.ScanLocPrefix(context.Background(), prefix)
-		want, err2 := mem.ScanLocPrefix(context.Background(), prefix)
+		got, err1 := provstore.CollectScan(sh.ScanLocPrefix(context.Background(), prefix))
+		want, err2 := provstore.CollectScan(mem.ScanLocPrefix(context.Background(), prefix))
 		check("ScanLocPrefix "+prefix.String(), got, want, err1, err2)
 	}
 	gc, err1 := sh.Count(context.Background())

@@ -427,7 +427,7 @@ func TestNetEffectInvariants(t *testing.T) {
 			}
 			for i := 1; i < len(vs); i++ {
 				pre, post := locSet(vs[i-1].Forest), locSet(vs[i].Forest)
-				recs, err := tr.Backend().ScanTid(context.Background(), vs[i].Tid)
+				recs, err := provstore.CollectScan(tr.Backend().ScanTid(context.Background(), vs[i].Tid))
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -520,12 +520,12 @@ func TestHTExpandsToT(t *testing.T) {
 			t.Fatalf("seed %d: version count mismatch", seed)
 		}
 		for i := 1; i < len(vsH); i++ {
-			hrecs, _ := trH.Backend().ScanTid(context.Background(), vsH[i].Tid)
+			hrecs, _ := provstore.CollectScan(trH.Backend().ScanTid(context.Background(), vsH[i].Tid))
 			expanded, err := provstore.ExpandTxn(hrecs, vsH[i-1].Forest, vsH[i].Forest)
 			if err != nil {
 				t.Fatalf("seed %d txn %d: %v", seed, i, err)
 			}
-			trecs, _ := trT.Backend().ScanTid(context.Background(), vsT[i].Tid)
+			trecs, _ := provstore.CollectScan(trT.Backend().ScanTid(context.Background(), vsT[i].Tid))
 			if got, want := renderSet(expanded), renderSet(trecs); got != want {
 				t.Errorf("seed %d txn %d:\nHT expanded:\n%s\nT stored:\n%s", seed, i, got, want)
 			}
@@ -571,7 +571,7 @@ func TestHExpandsToN(t *testing.T) {
 		}
 		var expanded []provstore.Record
 		for i := 1; i < len(vsH); i++ {
-			hrecs, _ := trH.Backend().ScanTid(context.Background(), vsH[i].Tid)
+			hrecs, _ := provstore.CollectScan(trH.Backend().ScanTid(context.Background(), vsH[i].Tid))
 			ex, err := provstore.ExpandTxn(hrecs, vsH[i-1].Forest, vsH[i].Forest)
 			if err != nil {
 				t.Fatalf("seed %d op %d: %v", seed, i, err)
@@ -608,8 +608,8 @@ func TestStorageBoundHT(t *testing.T) {
 			t.Fatal(err)
 		}
 		for i := 1; i < len(vsHT); i++ {
-			ht, _ := trHT.Backend().ScanTid(context.Background(), vsHT[i].Tid)
-			tt, _ := trT.Backend().ScanTid(context.Background(), vsT[i].Tid)
+			ht, _ := provstore.CollectScan(trHT.Backend().ScanTid(context.Background(), vsHT[i].Tid))
+			tt, _ := provstore.CollectScan(trT.Backend().ScanTid(context.Background(), vsT[i].Tid))
 			opsInTxn := 5
 			if len(ht) > opsInTxn {
 				t.Errorf("seed %d txn %d: |HT|=%d > |U|=%d", seed, i, len(ht), opsInTxn)

@@ -109,20 +109,7 @@ func applyOne(tr provstore.Tracker, f *tree.Forest, op update.Op) error {
 }
 
 // AllSorted returns every record in the backend ordered by (Tid, Loc), the
-// display order of the paper's Figure 5.
+// display order of the paper's Figure 5 — a drain of the ScanAll cursor.
 func AllSorted(b provstore.Backend) ([]provstore.Record, error) {
-	ctx := context.Background()
-	tids, err := b.Tids(ctx)
-	if err != nil {
-		return nil, err
-	}
-	var out []provstore.Record
-	for _, t := range tids {
-		recs, err := b.ScanTid(ctx, t)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, recs...)
-	}
-	return out, nil
+	return provstore.CollectScan(b.ScanAll(context.Background()))
 }

@@ -6,10 +6,11 @@
 package relprov
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
-	"sort"
+	"iter"
 	"sync"
 
 	"repro/internal/path"
@@ -260,129 +261,177 @@ func (b *Backend) NearestAncestor(ctx context.Context, tid int64, loc path.Path)
 	return provstore.Record{}, false, nil
 }
 
-// ScanTid implements provstore.Backend.
-func (b *Backend) ScanTid(ctx context.Context, tid int64) ([]provstore.Record, error) {
+// --- cursors ----------------------------------------------------------------
+//
+// Scans stream off the relational engine's pager in bounded chunks: the
+// read lock is held only while one chunk of rows is gathered off the
+// B-tree, then released before the chunk's records are yielded. The next
+// chunk resumes strictly after the last key of the previous one (the key
+// codec is order-preserving, so key‖0x00 seeks the successor). A scan
+// therefore holds O(chunk) rows in memory, never the relation, and —
+// crucially — no lock while the consumer runs: a consumer may issue point
+// reads (or even appends) from inside its own scan loop, and a slow
+// consumer never blocks writers, where holding the RLock across yields
+// would deadlock against Go's writer-preferring RWMutex.
+//
+// Consistency: records are immutable and append-only, so a chunked cursor
+// yields every row present when it was opened, each exactly once, in key
+// order; rows appended concurrently appear iff they sort after the
+// cursor's current position.
+
+// scanChunk is the number of rows gathered per lock window.
+const scanChunk = 256
+
+// chunkedScan drives one cursor: scan must invoke fn with rows whose
+// encoded key is ≥ its from argument, in key order (ScanKeyFrom or
+// ScanIndexFrom under the hood); prefix bounds the walk (nil = whole
+// tree); keep filters decoded records (nil = all); yield is the consumer.
+// The chunk buffer and resume key are reused across windows, so a full
+// drain allocates per window, not per row.
+func (b *Backend) chunkedScan(ctx context.Context, scan func(from []byte, fn func(key []byte, row relstore.Row) bool) error, prefix []byte, keep func(provstore.Record) bool, yield func(provstore.Record, error) bool) {
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		yield(provstore.Record{}, err)
+		return
 	}
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	prefix, err := b.tbl.KeyPrefix(tid)
-	if err != nil {
-		return nil, err
-	}
-	var out []provstore.Record
-	var derr error
-	err = b.tbl.ScanKeyPrefix(prefix, func(row relstore.Row) bool {
-		rec, err := fromRow(row)
-		if err != nil {
+	from := prefix
+	chunk := make([]provstore.Record, 0, scanChunk)
+	var lastKey []byte
+	for {
+		chunk = chunk[:0]
+		var derr error
+		b.mu.RLock()
+		err := scan(from, func(key []byte, row relstore.Row) bool {
+			if !bytes.HasPrefix(key, prefix) {
+				return false
+			}
+			rec, e := fromRow(row)
+			if e != nil {
+				derr = e
+				return false
+			}
+			lastKey = append(lastKey[:0], key...)
+			chunk = append(chunk, rec)
+			return len(chunk) < scanChunk
+		})
+		b.mu.RUnlock()
+		if derr == nil {
 			derr = err
-			return false
 		}
-		out = append(out, rec)
-		return true
-	})
-	if derr != nil {
-		return nil, derr
+		for _, rec := range chunk {
+			if cerr := ctx.Err(); cerr != nil {
+				yield(provstore.Record{}, cerr)
+				return
+			}
+			if keep != nil && !keep(rec) {
+				continue
+			}
+			if !yield(rec, nil) {
+				return
+			}
+		}
+		if derr != nil {
+			yield(provstore.Record{}, derr)
+			return
+		}
+		if len(chunk) < scanChunk {
+			return // the walk ended inside this window
+		}
+		// Resume strictly after the last key of the window: key‖0x00 is its
+		// immediate successor in bytewise order. Copied, so the reused
+		// lastKey buffer cannot alias the seek key of the next window.
+		from = append(append(make([]byte, 0, len(lastKey)+1), lastKey...), 0)
 	}
-	return out, err
+}
+
+// keyFrom adapts the primary tree to chunkedScan's resumable-scan shape.
+func (b *Backend) keyFrom(from []byte, fn func(key []byte, row relstore.Row) bool) error {
+	return b.tbl.ScanKeyFrom(from, fn)
+}
+
+// indexFrom adapts the by_loc index likewise.
+func (b *Backend) indexFrom(from []byte, fn func(key []byte, row relstore.Row) bool) error {
+	return b.tbl.ScanIndexFrom("by_loc", from, fn)
+}
+
+// ScanTid implements provstore.Backend: a primary-key prefix walk, already
+// in Loc order.
+func (b *Backend) ScanTid(ctx context.Context, tid int64) iter.Seq2[provstore.Record, error] {
+	return func(yield func(provstore.Record, error) bool) {
+		prefix, err := b.tbl.KeyPrefix(tid)
+		if err != nil {
+			yield(provstore.Record{}, err)
+			return
+		}
+		b.chunkedScan(ctx, b.keyFrom, prefix, nil, yield)
+	}
+}
+
+// scanLocCursor streams the records at exactly loc in Tid order via the
+// location index.
+func (b *Backend) scanLocCursor(ctx context.Context, loc path.Path) iter.Seq2[provstore.Record, error] {
+	return func(yield func(provstore.Record, error) bool) {
+		prefix, err := b.tbl.IndexPrefix("by_loc", loc.AppendBinary(nil))
+		if err != nil {
+			yield(provstore.Record{}, err)
+			return
+		}
+		b.chunkedScan(ctx, b.indexFrom, prefix,
+			func(r provstore.Record) bool { return r.Loc.Equal(loc) }, yield)
+	}
 }
 
 // ScanLoc implements provstore.Backend.
-func (b *Backend) ScanLoc(ctx context.Context, loc path.Path) ([]provstore.Record, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	return b.scanLocLocked(loc)
-}
-
-func (b *Backend) scanLocLocked(loc path.Path) ([]provstore.Record, error) {
-	prefix, err := b.tbl.IndexPrefix("by_loc", loc.AppendBinary(nil))
-	if err != nil {
-		return nil, err
-	}
-	return b.scanIndex(prefix, func(r provstore.Record) bool { return r.Loc.Equal(loc) })
+func (b *Backend) ScanLoc(ctx context.Context, loc path.Path) iter.Seq2[provstore.Record, error] {
+	return b.scanLocCursor(ctx, loc)
 }
 
 // ScanLocPrefix implements provstore.Backend: records whose Loc lies at or
 // under prefix, in (Loc, Tid) order. The path binary encoding is
 // prefix-preserving, so a label-wise path prefix is a byte prefix of the
-// index key.
-func (b *Backend) ScanLocPrefix(ctx context.Context, prefix path.Path) ([]provstore.Record, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	// Escape the loc bytes exactly as the index key codec does, but
-	// without the terminator, so descendants (longer keys) match too.
-	full, err := b.tbl.IndexPrefix("by_loc", prefix.AppendBinary(nil))
-	if err != nil {
-		return nil, err
-	}
-	raw := full[:len(full)-1] // strip the 0x00 terminator
-	return b.scanIndex(raw, func(r provstore.Record) bool { return prefix.IsPrefixOf(r.Loc) })
-}
-
-func (b *Backend) scanIndex(prefix []byte, keep func(provstore.Record) bool) ([]provstore.Record, error) {
-	var out []provstore.Record
-	var derr error
-	err := b.tbl.ScanIndexPrefix("by_loc", prefix, func(row relstore.Row) bool {
-		rec, err := fromRow(row)
+// index key and the index walk already yields the documented order.
+func (b *Backend) ScanLocPrefix(ctx context.Context, prefix path.Path) iter.Seq2[provstore.Record, error] {
+	return func(yield func(provstore.Record, error) bool) {
+		// Escape the loc bytes exactly as the index key codec does, but
+		// without the terminator, so descendants (longer keys) match too.
+		full, err := b.tbl.IndexPrefix("by_loc", prefix.AppendBinary(nil))
 		if err != nil {
-			derr = err
-			return false
+			yield(provstore.Record{}, err)
+			return
 		}
-		if keep(rec) {
-			out = append(out, rec)
-		}
-		return true
-	})
-	if derr != nil {
-		return nil, derr
+		raw := full[:len(full)-1] // strip the 0x00 terminator
+		b.chunkedScan(ctx, b.indexFrom, raw,
+			func(r provstore.Record) bool { return prefix.IsPrefixOf(r.Loc) }, yield)
 	}
-	return out, err
 }
 
 // ScanLocWithAncestors implements provstore.Backend: records at loc or any
 // strict ancestor of it, across all transactions, via the location index
-// (server-side this is one pass, i.e. one logical round trip).
-func (b *Backend) ScanLocWithAncestors(ctx context.Context, loc path.Path) ([]provstore.Record, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	var out []provstore.Record
-	probe := func(p path.Path) error {
-		recs, err := b.scanLocLocked(p)
-		if err != nil {
-			return err
+// (server-side this is one pass, i.e. one logical round trip). One
+// Tid-ordered index cursor per ancestor merges into (Tid, Loc) order; each
+// probe acquires the read lock only per chunk, so the merge holds no lock
+// between pulls.
+func (b *Backend) ScanLocWithAncestors(ctx context.Context, loc path.Path) iter.Seq2[provstore.Record, error] {
+	return func(yield func(provstore.Record, error) bool) {
+		probes := append(loc.Ancestors(), loc)
+		cursors := make([]iter.Seq2[provstore.Record, error], len(probes))
+		for i, p := range probes {
+			cursors[i] = b.scanLocCursor(ctx, p)
 		}
-		out = append(out, recs...)
-		return nil
-	}
-	for _, anc := range loc.Ancestors() {
-		if err := probe(anc); err != nil {
-			return nil, err
+		for r, err := range provstore.MergeScans(provstore.CompareTidLoc, cursors...) {
+			if !yield(r, err) || err != nil {
+				return
+			}
 		}
 	}
-	if err := probe(loc); err != nil {
-		return nil, err
-	}
-	sortRecs(out)
-	return out, nil
 }
 
-func sortRecs(recs []provstore.Record) {
-	sort.Slice(recs, func(i, j int) bool {
-		if recs[i].Tid != recs[j].Tid {
-			return recs[i].Tid < recs[j].Tid
-		}
-		return recs[i].Loc.Compare(recs[j].Loc) < 0
-	})
+// ScanAll implements provstore.Backend: a full primary-key walk — the key
+// is {tid, loc}, so the pager's own order is exactly the (Tid, Loc) cursor
+// order, chunk by chunk.
+func (b *Backend) ScanAll(ctx context.Context) iter.Seq2[provstore.Record, error] {
+	return func(yield func(provstore.Record, error) bool) {
+		b.chunkedScan(ctx, b.keyFrom, nil, nil, yield)
+	}
 }
 
 // Tids implements provstore.Backend (a full scan; rarely used online).

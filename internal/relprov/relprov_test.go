@@ -4,9 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"iter"
 	"math/rand"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"repro/internal/figures"
 	"repro/internal/path"
@@ -61,15 +63,15 @@ func TestRelProvBasics(t *testing.T) {
 	if _, ok, _ := b.NearestAncestor(context.Background(), 1, path.MustParse("T/a")); ok {
 		t.Error("self must not be its own ancestor")
 	}
-	recs, err := b.ScanTid(context.Background(), 1)
+	recs, err := provstore.CollectScan(b.ScanTid(context.Background(), 1))
 	if err != nil || len(recs) != 2 {
 		t.Fatalf("ScanTid = %v %v", recs, err)
 	}
-	byLoc, err := b.ScanLoc(context.Background(), path.MustParse("T/a"))
+	byLoc, err := provstore.CollectScan(b.ScanLoc(context.Background(), path.MustParse("T/a")))
 	if err != nil || len(byLoc) != 2 || byLoc[0].Tid != 1 || byLoc[1].Tid != 2 {
 		t.Fatalf("ScanLoc = %v %v", byLoc, err)
 	}
-	pre, err := b.ScanLocPrefix(context.Background(), path.MustParse("T/a"))
+	pre, err := provstore.CollectScan(b.ScanLocPrefix(context.Background(), path.MustParse("T/a")))
 	if err != nil || len(pre) != 3 {
 		t.Fatalf("ScanLocPrefix = %v %v", pre, err)
 	}
@@ -204,7 +206,7 @@ func TestRelProvLabelwisePrefix(t *testing.T) {
 		rec(1, provstore.OpInsert, "T/a/x", ""),
 		rec(1, provstore.OpInsert, "T/ab", ""),
 	})
-	got, err := b.ScanLocPrefix(context.Background(), path.MustParse("T/a"))
+	got, err := provstore.CollectScan(b.ScanLocPrefix(context.Background(), path.MustParse("T/a")))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -301,8 +303,8 @@ func TestRelProvMatchesMemBackend(t *testing.T) {
 	}
 	// Compare every read surface.
 	for tid := int64(0); tid <= 41; tid++ {
-		rr, _ := rb.ScanTid(context.Background(), tid)
-		mr, _ := mb.ScanTid(context.Background(), tid)
+		rr, _ := provstore.CollectScan(rb.ScanTid(context.Background(), tid))
+		mr, _ := provstore.CollectScan(mb.ScanTid(context.Background(), tid))
 		if fmt.Sprint(rr) != fmt.Sprint(mr) {
 			t.Errorf("ScanTid(%d): rel=%v mem=%v", tid, rr, mr)
 		}
@@ -322,13 +324,13 @@ func TestRelProvMatchesMemBackend(t *testing.T) {
 	}
 	for _, loc := range append(locs, "T", "T/zz") {
 		p := path.MustParse(loc)
-		r1, _ := rb.ScanLoc(context.Background(), p)
-		r2, _ := mb.ScanLoc(context.Background(), p)
+		r1, _ := provstore.CollectScan(rb.ScanLoc(context.Background(), p))
+		r2, _ := provstore.CollectScan(mb.ScanLoc(context.Background(), p))
 		if fmt.Sprint(r1) != fmt.Sprint(r2) {
 			t.Errorf("ScanLoc(%s): rel=%v mem=%v", loc, r1, r2)
 		}
-		p1, _ := rb.ScanLocPrefix(context.Background(), p)
-		p2, _ := mb.ScanLocPrefix(context.Background(), p)
+		p1, _ := provstore.CollectScan(rb.ScanLocPrefix(context.Background(), p))
+		p2, _ := provstore.CollectScan(mb.ScanLocPrefix(context.Background(), p))
 		if fmt.Sprint(p1) != fmt.Sprint(p2) {
 			t.Errorf("ScanLocPrefix(%s):\nrel=%v\nmem=%v", loc, p1, p2)
 		}
@@ -377,4 +379,159 @@ func TestRelProvFigure5(t *testing.T) {
 			t.Errorf("unexpected row %v", g)
 		}
 	}
+}
+
+// TestRelScanAllStreamsInKeyOrder: ScanAll must stream the table in
+// (Tid, Loc) order — the primary key's own order, page at a time.
+func TestRelScanAllStreamsInKeyOrder(t *testing.T) {
+	b := newBackend(t)
+	var want []provstore.Record
+	for tid := int64(1); tid <= 4; tid++ {
+		batch := []provstore.Record{
+			rec(tid, provstore.OpInsert, fmt.Sprintf("T/b%d", tid), ""),
+			rec(tid, provstore.OpInsert, fmt.Sprintf("T/a%d", tid), ""),
+		}
+		if err := b.Append(context.Background(), batch); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, batch[1], batch[0]) // (Tid, Loc) order
+	}
+	got, err := provstore.CollectScan(b.ScanAll(context.Background()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("ScanAll:\ngot  %v\nwant %v", got, want)
+	}
+}
+
+// TestRelCursorEarlyBreakReleasesLock: a consumer breaking out of a scan
+// must release the backend's read lock promptly — a write issued right
+// after the break succeeds instead of deadlocking on a leaked RLock.
+func TestRelCursorEarlyBreakReleasesLock(t *testing.T) {
+	b := newBackend(t)
+	if err := b.Append(context.Background(), []provstore.Record{
+		rec(1, provstore.OpInsert, "T/a", ""),
+		rec(1, provstore.OpInsert, "T/b", ""),
+		rec(2, provstore.OpInsert, "T/a/x", ""),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, scan := range []iter.Seq2[provstore.Record, error]{
+		b.ScanAll(context.Background()),
+		b.ScanTid(context.Background(), 1),
+		b.ScanLocPrefix(context.Background(), path.MustParse("T/a")),
+		b.ScanLocWithAncestors(context.Background(), path.MustParse("T/a/x")),
+	} {
+		for _, err := range scan {
+			if err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- b.Append(context.Background(), []provstore.Record{rec(9, provstore.OpInsert, "T/late", "")})
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("append after broken cursors: %v", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("append blocked: a broken cursor leaked the read lock")
+	}
+}
+
+// TestRelCursorCancelMidStream: cancelling between yields ends the stream
+// with context.Canceled.
+func TestRelCursorCancelMidStream(t *testing.T) {
+	b := newBackend(t)
+	for i := 0; i < 10; i++ {
+		if err := b.Append(context.Background(), []provstore.Record{
+			rec(1, provstore.OpInsert, fmt.Sprintf("T/n%02d", i), ""),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	n := 0
+	var got error
+	for _, err := range b.ScanAll(ctx) {
+		if err != nil {
+			got = err
+			break
+		}
+		n++
+		if n == 3 {
+			cancel()
+		}
+	}
+	if !errors.Is(got, context.Canceled) {
+		t.Fatalf("cancel mid-stream after %d records yielded %v, want context.Canceled", n, got)
+	}
+}
+
+// TestRelCursorReadInLoopWithConcurrentWriter locks in the chunked-window
+// locking fix: a consumer issuing point reads from inside its own scan
+// loop while another goroutine appends must make progress. (Holding the
+// read lock across yields would deadlock here: the writer's pending Lock
+// makes Go's RWMutex block the consumer's in-loop RLock.)
+func TestRelCursorReadInLoopWithConcurrentWriter(t *testing.T) {
+	b := newBackend(t)
+	for i := 0; i < 600; i++ { // several chunks' worth
+		if err := b.Append(context.Background(), []provstore.Record{
+			rec(1, provstore.OpInsert, fmt.Sprintf("T/n%04d", i), ""),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop := make(chan struct{})
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := b.Append(context.Background(), []provstore.Record{
+				rec(2, provstore.OpInsert, fmt.Sprintf("T/w%04d", i), ""),
+			}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	done := make(chan int, 1)
+	go func() {
+		n := 0
+		for r, err := range b.ScanAll(context.Background()) {
+			if err != nil {
+				t.Error(err)
+				break
+			}
+			if r.Tid == 1 {
+				if _, ok, err := b.Lookup(context.Background(), r.Tid, r.Loc); err != nil || !ok {
+					t.Errorf("in-loop Lookup(%v) = %v %v", r.Loc, ok, err)
+					break
+				}
+				n++
+			}
+		}
+		done <- n
+	}()
+	select {
+	case n := <-done:
+		if n != 600 {
+			t.Fatalf("scan with in-loop reads saw %d of 600 preloaded records", n)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("scan with in-loop point reads deadlocked against a concurrent writer")
+	}
+	close(stop)
+	<-writerDone
 }

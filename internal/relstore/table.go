@@ -355,6 +355,55 @@ func (t *Table) ScanKeyPrefix(prefix []byte, fn func(Row) bool) error {
 	return err
 }
 
+// ScanKeyFrom calls fn for every row whose encoded primary key is ≥ from,
+// in key order, until fn returns false. fn receives the encoded key along
+// with the row, so a caller iterating in bounded chunks can record where a
+// chunk ended and resume strictly after it (key‖0x00 is the immediate
+// successor of key in bytewise order).
+func (t *Table) ScanKeyFrom(from []byte, fn func(key []byte, row Row) bool) error {
+	var derr error
+	err := t.primary.ScanRange(from, nil, func(key, val []byte) bool {
+		row, err := DecodeRow(t.types, val)
+		if err != nil {
+			derr = err
+			return false
+		}
+		return fn(key, row)
+	})
+	if derr != nil {
+		return derr
+	}
+	return err
+}
+
+// ScanIndexFrom is ScanKeyFrom over a secondary index: fn sees the encoded
+// index entry key (index columns followed by the primary key) and the row
+// fetched through the primary tree.
+func (t *Table) ScanIndexFrom(index string, from []byte, fn func(key []byte, row Row) bool) error {
+	ixi := t.findIndex(index)
+	if ixi < 0 {
+		return fmt.Errorf("%w: %q", ErrNoSuchIndex, index)
+	}
+	var derr error
+	err := t.seconds[ixi].ScanRange(from, nil, func(key, pk []byte) bool {
+		enc, err := t.primary.Get(pk)
+		if err != nil {
+			derr = err
+			return false
+		}
+		row, err := DecodeRow(t.types, enc)
+		if err != nil {
+			derr = err
+			return false
+		}
+		return fn(key, row)
+	})
+	if derr != nil {
+		return derr
+	}
+	return err
+}
+
 // ScanIndexPrefix calls fn for every row matching a secondary-index prefix
 // (as built by IndexPrefix), in index order, fetching each row through the
 // primary tree.

@@ -119,12 +119,20 @@ func (q *Query) Mod(p Path) ([]int64, error) {
 }
 
 // Records streams every stored provenance record up to the query's horizon,
-// ordered by (Tid, Loc) — the session's Figure 5 table — one transaction's
-// batch at a time, so a large store is never materialized wholesale. The
+// ordered by (Tid, Loc) — the session's Figure 5 table — through the
+// backend's ScanAll cursor: one scan round trip however many transactions
+// the store holds (on a cpdb:// store, a single GET /v1/scan-all where the
+// pre-cursor implementation issued one scan per transaction), with memory
+// bounded by a page/chunk rather than the store. The horizon is pinned when
+// iteration starts — AsOf's transaction, or the store's MaxTid at that
+// moment — and ends the stream at the first newer transaction; the cursor
+// is (Tid, Loc)-ordered, so nothing past the horizon is even pulled off
+// the wire, and a transaction committing mid-drain cannot appear torn. The
 // context is taken per call (not from WithContext) because iteration can
-// long outlive the Query's construction; it is observed between
-// transactions, and cancellation (or any store error) is yielded as the
-// final pair's error, after which iteration stops.
+// long outlive the Query's construction; cancellation (or any store error)
+// is yielded as the final pair's error, after which iteration stops.
+// Breaking out of the loop releases the cursor (and cancels server-side
+// work on a remote store).
 //
 //	for rec, err := range s.Query().Records(ctx) {
 //		if err != nil {
@@ -142,28 +150,16 @@ func (q *Query) Records(ctx context.Context) iter.Seq2[Record, error] {
 			yield(Record{}, err)
 			return
 		}
-		tids, err := q.s.backend.Tids(ctx)
-		if err != nil {
-			yield(Record{}, err)
-			return
-		}
-		for _, t := range tids {
-			if t > tnow {
-				return // Tids is ascending: everything after is newer
-			}
-			if err := ctx.Err(); err != nil {
-				yield(Record{}, err)
-				return
-			}
-			recs, err := q.s.backend.ScanTid(ctx, t)
+		for r, err := range q.s.backend.ScanAll(ctx) {
 			if err != nil {
 				yield(Record{}, err)
 				return
 			}
-			for _, r := range recs {
-				if !yield(r, nil) {
-					return
-				}
+			if r.Tid > tnow {
+				return // ScanAll is Tid-ascending: everything after is newer
+			}
+			if !yield(r, nil) {
+				return
 			}
 		}
 	}
