@@ -8,7 +8,7 @@ package cpdb_test
 // experiments at full paper scale.
 //
 // The Ablation* benchmarks measure the design choices called out in
-// DESIGN.md §4 (A1–A4).
+// DESIGN.md §5 (A1–A4).
 
 import (
 	"context"

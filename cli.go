@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"repro/internal/figures"
+	"repro/internal/provrepl"
 	"repro/internal/provstore"
 	"repro/internal/tree"
 )
@@ -165,6 +166,15 @@ func RunCLI(cfg CLIConfig, w io.Writer) error {
 			fmt.Fprintln(w, r)
 		}
 		fmt.Fprintf(w, "-- target %s --\n%s\n", s.TargetName(), s.View())
+		// A replicated:// backend under read=any with a lag allowance may
+		// have served reads (including the dump above) from a replica that
+		// trailed the primary; say so rather than let a short table pass as
+		// the whole story. Under lag=0 this cannot happen and stays silent.
+		if rb, ok := backend.(*provrepl.ReplicatedBackend); ok {
+			if n := rb.LaggedReads(); n > 0 {
+				fmt.Fprintf(w, "note: %d read(s) served by a replica lagging the primary (read=any, lag=%d); the dump may trail the latest commits\n", n, rb.LagBound())
+			}
+		}
 	}
 	return nil
 }

@@ -22,7 +22,14 @@
 //
 // Because the cpdb:// driver itself is linked in, -backend may name another
 // daemon (cpdb://other:7070), chaining services — useful for fronting a
-// remote store with a local batching tier.
+// remote store with a local batching tier. The replicated:// driver is
+// linked in too, so one daemon can serve a replicated store —
+//
+//	cpdbd -addr :7070 -backend "replicated://?primary=rel%3A%2F%2Fprov.db%3Fcreate%3D1%26durable%3D1&replica=mem://&read=any"
+//
+// — with per-replica lag and applied-tid gauges (repl.lag.<i>,
+// repl.applied_tid.<i>) merged into /v1/stats and always printed by the
+// shutdown dump, zero or not.
 package main
 
 import (
@@ -36,10 +43,12 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/provhttp"
+	_ "repro/internal/provrepl" // registers the replicated:// backend driver
 	"repro/internal/provstore"
 	_ "repro/internal/relprov" // registers the rel:// backend driver
 )
@@ -108,14 +117,16 @@ func run(addr, backendDSN string, shutdownTimeout time.Duration) error {
 }
 
 // logStats prints the final counter snapshot in a stable order. Zero
-// counters are elided except the cursor rows: cursors_open is the leak
+// counters are elided except the cursor rows — cursors_open is the leak
 // gauge (anything but 0 at shutdown means a scan stream never finished),
 // and endpoint.scan/all records whether clients used the streaming
-// whole-table cursor — both are worth seeing even, especially, at zero.
+// whole-table cursor — and the repl.* replication gauges, where zero is
+// exactly the interesting value (repl.lag.<i>=0 at shutdown means every
+// replica drained; a non-zero value names the replica left behind).
 func logStats(stats map[string]int64) {
 	keys := make([]string, 0, len(stats))
 	for k := range stats {
-		if stats[k] != 0 || k == "cursors_open" || k == "endpoint.scan/all" {
+		if stats[k] != 0 || k == "cursors_open" || k == "endpoint.scan/all" || strings.HasPrefix(k, "repl.") {
 			keys = append(keys, k)
 		}
 	}

@@ -141,6 +141,15 @@ func NewRelSource(name string, db *relstore.DB, tables ...string) Source {
 //	                                    network (one HTTP round trip per
 //	                                    store call; see cmd/cpdbd)
 //	cpdb://[::1]:7070?timeout=5s        IPv6 authority, bounded round trips
+//	replicated://?primary=DSN&replica=DSN&replica=DSN
+//	                                    replicated store: synchronous writes
+//	                                    to the primary, asynchronous
+//	                                    log-shipping to each replica
+//	                                    (&read=any fans reads across
+//	                                    caught-up replicas with failover;
+//	                                    &lag=N allows N tids of staleness;
+//	                                    URL-escape nested DSNs carrying
+//	                                    their own ?params)
 //
 // Backends holding files (rel, sharded-over-rel) are released by
 // Session.Close, or directly by type-asserting to io.Closer. For cpdb://

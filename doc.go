@@ -26,11 +26,17 @@
 //
 // The provenance database is picked by configuration: OpenBackend resolves
 // a DSN ("mem://", "mem://?shards=8", "rel://prov.db?create=1&durable=1",
-// "sharded://?…", "cpdb://host:7070") through a driver registry modeled on
-// database/sql, and RegisterDriver adds third-party schemes. The cpdb://
-// scheme speaks to a cpdbd daemon: the same sessions, queries and
-// equivalence guarantees, with the provenance database running as a shared
-// network service (one HTTP round trip per store call).
+// "sharded://?…", "cpdb://host:7070", "replicated://?primary=…&replica=…")
+// through a driver registry modeled on database/sql, and RegisterDriver
+// adds third-party schemes. The cpdb:// scheme speaks to a cpdbd daemon:
+// the same sessions, queries and equivalence guarantees, with the
+// provenance database running as a shared network service (one HTTP round
+// trip per store call). The replicated:// scheme composes any of the
+// others into a replicated store: writes are acknowledged by the primary
+// synchronously and log-shipped to each replica asynchronously (resuming
+// after a crash from the replica's high-water {Tid, Loc} mark), and
+// read=any fans reads across caught-up replicas with automatic failover
+// back to the primary (DESIGN.md §4).
 //
 //	backend, err := cpdb.OpenBackend("rel://prov.db?create=1&durable=1")
 //	s, err := cpdb.New(cpdb.Config{

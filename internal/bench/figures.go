@@ -99,6 +99,7 @@ func All() []Experiment {
 		{"ablation", "Design-choice ablations (A1–A4)", Ablations},
 		{"shard", "Sharded concurrent ingest and group-commit sweep (beyond the paper)", ShardSweep},
 		{"net", "Loopback cpdb:// vs in-process mem:// per-operation latency (beyond the paper)", NetSweep},
+		{"repl", "Replicated store: ingest + read fan-out vs replica count (beyond the paper)", ReplSweep},
 	}
 }
 
@@ -449,6 +450,11 @@ func (q *queryPriced) ScanLocWithAncestors(ctx context.Context, loc path.Path) i
 func (q *queryPriced) ScanAll(ctx context.Context) iter.Seq2[provstore.Record, error] {
 	q.charge()
 	return q.Backend.ScanAll(ctx)
+}
+
+func (q *queryPriced) ScanAllAfter(ctx context.Context, tid int64, loc path.Path) iter.Seq2[provstore.Record, error] {
+	q.charge()
+	return q.Backend.ScanAllAfter(ctx, tid, loc)
 }
 
 // Fig13 reruns the query experiment: average getSrc/getMod/getHist times on

@@ -17,6 +17,7 @@ import (
 	"repro/internal/figures"
 	"repro/internal/path"
 	"repro/internal/provhttp"
+	"repro/internal/provrepl"
 	"repro/internal/provstore"
 	"repro/internal/provtest"
 )
@@ -699,5 +700,53 @@ func TestScanAllAfterResumes(t *testing.T) {
 	got := append(head, tail...)
 	if fmt.Sprint(got) != fmt.Sprint(want) {
 		t.Errorf("resumed drain differs:\n%v\nwant\n%v", got, want)
+	}
+}
+
+// TestStatsMergeReplicationGauges: a replicated backend behind the server
+// surfaces its per-replica lag/applied-tid gauges through /v1/stats — the
+// operator watches one endpoint for the whole composite store's health.
+func TestStatsMergeReplicationGauges(t *testing.T) {
+	ctx := context.Background()
+	inner, err := provstore.OpenDSN("replicated://?primary=mem://&replica=mem://&replica=mem://&poll=5ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb := inner.(*provrepl.ReplicatedBackend)
+	cli, srv := serve(t, rb)
+	defer rb.Close()
+	if err := cli.Append(ctx, []provstore.Record{rec(7, provstore.OpInsert, "T/a", "")}); err != nil {
+		t.Fatal(err)
+	}
+	wctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if err := rb.WaitForReplicas(wctx); err != nil {
+		t.Fatal(err)
+	}
+	st := srv.Stats()
+	if st["repl.replicas"] != 2 || st["repl.shipped_tid"] != 7 {
+		t.Errorf("replication gauges missing from stats: %v", st)
+	}
+	for _, k := range []string{"repl.applied_tid.0", "repl.applied_tid.1"} {
+		if st[k] != 7 {
+			t.Errorf("%s = %d, want 7 (stats: %v)", k, st[k], st)
+		}
+	}
+	if st["repl.lag.0"] != 0 || st["repl.lag.1"] != 0 {
+		t.Errorf("caught-up replicas report lag: %v", st)
+	}
+
+	// And over the wire, where cpdbd's SIGTERM dump reads them.
+	resp, err := http.Get("http://" + cli.Addr() + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var served map[string]int64
+	if err := json.NewDecoder(resp.Body).Decode(&served); err != nil {
+		t.Fatal(err)
+	}
+	if served["repl.replicas"] != 2 {
+		t.Errorf("served stats lack replication gauges: %v", served)
 	}
 }

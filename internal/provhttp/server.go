@@ -99,8 +99,11 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // Inner returns the published backend (the daemon closes it at shutdown).
 func (s *Server) Inner() provstore.Backend { return s.inner }
 
-// Stats returns a snapshot of the server's counters: total requests, errors,
-// records appended/streamed, and per-endpoint request counts.
+// Stats returns a snapshot of the server's counters — total requests,
+// errors, records appended/streamed, per-endpoint request counts — merged
+// with the inner backend's own gauges when it exposes any (a replicated
+// store's per-replica repl.lag.<i> / repl.applied_tid.<i>, say), so a
+// daemon's /v1/stats is the one place to watch a composite store's health.
 func (s *Server) Stats() map[string]int64 {
 	out := map[string]int64{
 		"requests":         s.stats.requests.Load(),
@@ -111,6 +114,11 @@ func (s *Server) Stats() map[string]int64 {
 	}
 	for e, c := range s.stats.byEndpoint {
 		out["endpoint."+e] = c.Load()
+	}
+	if g, ok := s.inner.(provstore.Gauger); ok {
+		for k, v := range g.Gauges() {
+			out[k] = v
+		}
 	}
 	return out
 }
@@ -329,19 +337,22 @@ func (s *Server) handleScanAll(w http.ResponseWriter, r *http.Request) {
 		limit = n
 	}
 
-	// The keyset window as a cursor over the inner ScanAll: skip keys at or
-	// before the resume point, cut at limit. The skip walks the store
-	// cursor from its start (the Backend has no seek yet — see ROADMAP,
-	// "seekable backend cursors"), so resume bounds the bytes re-sent, not
-	// the server-side walk.
+	// The keyset window over a seeked cursor: ScanAllAfter positions the
+	// store directly on the successor of the resume key (a B-tree descent,
+	// a binary search — not a walk over everything already streamed), and
+	// the window only has to cut at limit. Construct only the cursor that
+	// will be consumed: a composite store may do routing work (and count
+	// it) at construction time.
+	var inner iter.Seq2[provstore.Record, error]
+	if hasAfter {
+		inner = s.inner.ScanAllAfter(r.Context(), afterTid, afterLoc)
+	} else {
+		inner = s.inner.ScanAll(r.Context())
+	}
 	cut := false
 	window := func(yield func(provstore.Record, error) bool) {
 		n := 0
-		for rec, err := range s.inner.ScanAll(r.Context()) {
-			if err == nil && hasAfter &&
-				(rec.Tid < afterTid || (rec.Tid == afterTid && rec.Loc.Compare(afterLoc) <= 0)) {
-				continue
-			}
+		for rec, err := range inner {
 			if err == nil && limit > 0 && n == limit {
 				cut = true // this record exists beyond the page: more to come
 				return

@@ -136,6 +136,12 @@ func (b *ChargedBackend) ScanAll(ctx context.Context) iter.Seq2[provstore.Record
 	return b.chargedScan(b.inner.ScanAll(ctx))
 }
 
+// ScanAllAfter implements provstore.Backend: one read round trip shipping
+// the relation's tail after the keyset position.
+func (b *ChargedBackend) ScanAllAfter(ctx context.Context, tid int64, loc path.Path) iter.Seq2[provstore.Record, error] {
+	return b.chargedScan(b.inner.ScanAllAfter(ctx, tid, loc))
+}
+
 // Tids implements provstore.Backend.
 func (b *ChargedBackend) Tids(ctx context.Context) ([]int64, error) {
 	tids, err := b.inner.Tids(ctx)

@@ -1,0 +1,194 @@
+package provrepl
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/path"
+	"repro/internal/provstore"
+)
+
+// A replica is one replica store plus its applier's state. The hw* fields
+// are the applier goroutine's alone; everything the router or Gauges reads
+// crosses goroutines through the atomics.
+type replica struct {
+	idx   int
+	store provstore.Backend
+	wake  chan struct{} // capacity 1; kick() never blocks
+
+	healthy      atomic.Bool  // in the read rotation; restored by a clean pass
+	synced       atomic.Int64 // shipped version this replica has fully applied
+	appliedTid   atomic.Int64 // high-water transaction id (gauge)
+	appliedRecs  atomic.Int64 // records shipped by this handle's applier (gauge)
+	demotedUntil atomic.Int64 // unix nanos; out of the read rotation until then
+
+	// rewindTo, when non-zero, tells the applier an out-of-order commit
+	// landed at or above this tid behind the high-water mark; the next
+	// pass re-ships from that tid, skipping records the replica already
+	// holds. Writers set it (keeping the minimum), the applier consumes it.
+	rewindTo atomic.Int64
+
+	// High-water mark: the largest {Tid, Loc} key the replica holds. Owned
+	// by the applier goroutine; recomputed from the replica itself at
+	// startup and after any apply error (the crash-restart path).
+	hwTid   int64
+	hwLoc   path.Path
+	hwValid bool
+}
+
+// setRewind requests a rewind to tid, keeping the smallest pending target.
+func (r *replica) setRewind(tid int64) {
+	for {
+		cur := r.rewindTo.Load()
+		if cur != 0 && cur <= tid {
+			return
+		}
+		if r.rewindTo.CompareAndSwap(cur, tid) {
+			return
+		}
+	}
+}
+
+// kick nudges the applier without blocking; a nudge during a pass stays
+// buffered so the pass is immediately followed by another.
+func (r *replica) kick() {
+	select {
+	case r.wake <- struct{}{}:
+	default:
+	}
+}
+
+// applier is the per-replica shipping loop: each pass drains the primary's
+// seeked ScanAllAfter cursor from the replica's high-water mark into the
+// replica, then the loop parks until an append kicks it, the poll interval
+// expires (records written to the primary outside this handle), or the
+// backend closes. An error marks the replica unhealthy, invalidates the
+// high-water mark (it is recomputed from the replica — the same code path a
+// process restart takes), and retries after a poll-interval backoff.
+func (b *ReplicatedBackend) applier(r *replica) {
+	defer b.wg.Done()
+	for {
+		shippedBefore := b.shipped.Load()
+		if err := b.applyPass(r); err != nil {
+			if b.ctx.Err() != nil {
+				return
+			}
+			r.healthy.Store(false)
+			r.hwValid = false
+			select {
+			case <-b.ctx.Done():
+				return
+			case <-time.After(b.opts.Poll):
+			}
+			continue
+		}
+		// The pass drained everything visible when it started, so the
+		// replica holds at least every append acknowledged before it.
+		r.synced.Store(shippedBefore)
+		r.healthy.Store(true)
+		select {
+		case <-b.ctx.Done():
+			return
+		case <-r.wake:
+		case <-time.After(b.opts.Poll):
+		}
+	}
+}
+
+// applyPass ships everything the primary holds beyond the replica's
+// high-water mark, in (Tid, Loc) order, chunked at ApplyBatch but cut only
+// at transaction boundaries — so the replica's content stays
+// transaction-atomic whenever the primary's appends are.
+//
+// A pending rewind (an out-of-order commit landed behind the high-water
+// mark) restarts the walk at the rewound tid instead: records up to the old
+// high-water key are probed on the replica first and skipped when already
+// present, so the repair ships only what is missing, and the high-water
+// mark never regresses. If the rewound pass fails, the rewind target is
+// restored so the retry repeats the repair.
+func (b *ReplicatedBackend) applyPass(r *replica) (err error) {
+	if !r.hwValid {
+		if err := b.recoverHighWater(r); err != nil {
+			return err
+		}
+	}
+	fromTid, fromLoc := r.hwTid, r.hwLoc
+	var dedupUpTo *provstore.Record // old high-water key during a rewind
+	if rw := r.rewindTo.Swap(0); rw > 0 && rw <= r.hwTid {
+		old := provstore.Record{Tid: r.hwTid, Loc: r.hwLoc}
+		dedupUpTo = &old
+		// Strictly after (rw, forest root) is every record of tid rw and
+		// beyond — record locations are never the root.
+		fromTid, fromLoc = rw, path.Path{}
+		defer func() {
+			if err != nil {
+				r.setRewind(rw) // the repair did not finish; retry it
+			}
+		}()
+	}
+	buf := make([]provstore.Record, 0, b.opts.ApplyBatch)
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		if err := r.store.Append(b.ctx, buf); err != nil {
+			return err
+		}
+		last := buf[len(buf)-1]
+		if last.Tid > r.hwTid || (last.Tid == r.hwTid && r.hwLoc.Compare(last.Loc) < 0) {
+			r.hwTid, r.hwLoc = last.Tid, last.Loc
+			r.appliedTid.Store(last.Tid)
+		}
+		r.appliedRecs.Add(int64(len(buf)))
+		buf = buf[:0]
+		return nil
+	}
+	for rec, serr := range b.primary.ScanAllAfter(b.ctx, fromTid, fromLoc) {
+		if serr != nil {
+			return serr
+		}
+		if dedupUpTo != nil {
+			if provstore.CompareTidLoc(rec, *dedupUpTo) <= 0 {
+				if _, ok, lerr := r.store.Lookup(b.ctx, rec.Tid, rec.Loc); lerr != nil {
+					return lerr
+				} else if ok {
+					continue // the replica already holds it
+				}
+			} else {
+				dedupUpTo = nil // past the old high water: back to pure append
+			}
+		}
+		if len(buf) >= b.opts.ApplyBatch && rec.Tid != buf[len(buf)-1].Tid {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+		buf = append(buf, rec)
+	}
+	return flush()
+}
+
+// recoverHighWater computes the replica's high-water {Tid, Loc} mark from
+// the replica itself: its largest transaction id, and the largest location
+// within it (ScanTid streams in Loc order, so the last record carries it).
+// This is what makes restart resume O(log n): the next applyPass seeks the
+// primary to this key instead of re-reading (or re-shipping) the prefix the
+// replica already holds.
+func (b *ReplicatedBackend) recoverHighWater(r *replica) error {
+	maxTid, err := r.store.MaxTid(b.ctx)
+	if err != nil {
+		return err
+	}
+	r.hwTid, r.hwLoc = 0, path.Path{}
+	if maxTid > 0 {
+		for rec, err := range r.store.ScanTid(b.ctx, maxTid) {
+			if err != nil {
+				return err
+			}
+			r.hwTid, r.hwLoc = rec.Tid, rec.Loc
+		}
+	}
+	r.appliedTid.Store(r.hwTid)
+	r.hwValid = true
+	return nil
+}

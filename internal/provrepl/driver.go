@@ -1,0 +1,92 @@
+package provrepl
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/provstore"
+)
+
+// The replicated:// composite driver. The primary and each replica are
+// themselves DSNs (URL-escape them when they carry their own ?params), so
+// replication composes with every registered scheme: a durable rel://
+// primary with mem:// read replicas, a cpdb:// network primary with a local
+// standby, even replicated-over-sharded.
+//
+//	replicated://?primary=DSN&replica=DSN[&replica=DSN…]
+//	             [&read=primary|any]   read routing (default primary)
+//	             [&lag=N]              ReadAny staleness bound in tids (default 0:
+//	                                   only fully caught-up replicas serve reads)
+//	             [&poll=500ms]         applier idle poll / error backoff
+func init() {
+	provstore.RegisterDriver("replicated", provstore.DriverFunc(openDSN))
+}
+
+func openDSN(dsn provstore.DSN) (provstore.Backend, error) {
+	if dsn.Path != "" {
+		return nil, fmt.Errorf("provstore: dsn %s: replicated stores have no path; name stores via ?primary=…&replica=…", dsn)
+	}
+	if err := dsn.RejectUnknownParams("primary", "replica", "read", "lag", "poll"); err != nil {
+		return nil, err
+	}
+	primaryDSN := dsn.Param("primary")
+	if primaryDSN == "" {
+		return nil, fmt.Errorf("provstore: dsn %s: replicated:// needs a primary=DSN parameter", dsn)
+	}
+	replicaDSNs := dsn.Params["replica"]
+	if len(replicaDSNs) == 0 {
+		return nil, fmt.Errorf("provstore: dsn %s: replicated:// needs at least one replica=DSN parameter", dsn)
+	}
+
+	var opts Options
+	switch dsn.Param("read") {
+	case "", "primary":
+		opts.Read = ReadPrimary
+	case "any":
+		opts.Read = ReadAny
+	default:
+		return nil, fmt.Errorf("provstore: dsn %s: read=%q is not primary or any", dsn, dsn.Param("read"))
+	}
+	lag, err := dsn.IntParam("lag", 0)
+	if err != nil {
+		return nil, err
+	}
+	if lag < 0 {
+		return nil, fmt.Errorf("provstore: dsn %s: lag must be >= 0", dsn)
+	}
+	opts.LagBound = int64(lag)
+	if v := dsn.Param("poll"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			return nil, fmt.Errorf("provstore: dsn %s: poll %q is not a positive duration", dsn, v)
+		}
+		opts.Poll = d
+	}
+
+	var opened []provstore.Backend
+	fail := func(err error) (provstore.Backend, error) {
+		for _, s := range opened {
+			provstore.Close(s) //nolint:errcheck // already failing; release what opened
+		}
+		return nil, err
+	}
+	primary, err := provstore.OpenDSN(primaryDSN)
+	if err != nil {
+		return fail(fmt.Errorf("provstore: dsn %s: primary: %w", dsn, err))
+	}
+	opened = append(opened, primary)
+	replicas := make([]provstore.Backend, 0, len(replicaDSNs))
+	for i, rd := range replicaDSNs {
+		r, err := provstore.OpenDSN(rd)
+		if err != nil {
+			return fail(fmt.Errorf("provstore: dsn %s: replica %d: %w", dsn, i, err))
+		}
+		opened = append(opened, r)
+		replicas = append(replicas, r)
+	}
+	rb, err := New(primary, replicas, opts)
+	if err != nil {
+		return fail(err)
+	}
+	return rb, nil
+}

@@ -1,0 +1,83 @@
+package provrepl
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/path"
+	"repro/internal/provstore"
+)
+
+// TestDriverOpen: the replicated:// scheme composes nested DSNs and carries
+// the routing options through.
+func TestDriverOpen(t *testing.T) {
+	b, err := provstore.OpenDSN("replicated://?primary=mem://&replica=mem://&replica=mem://&read=any&lag=2&poll=20ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, ok := b.(*ReplicatedBackend)
+	if !ok {
+		t.Fatalf("OpenDSN returned %T, want *ReplicatedBackend", b)
+	}
+	defer rb.Close()
+	if rb.NumReplicas() != 2 {
+		t.Errorf("NumReplicas = %d, want 2", rb.NumReplicas())
+	}
+	if rb.ReadPolicy() != ReadAny {
+		t.Errorf("ReadPolicy = %v, want any", rb.ReadPolicy())
+	}
+	if rb.LagBound() != 2 {
+		t.Errorf("LagBound = %d, want 2", rb.LagBound())
+	}
+	ctx := context.Background()
+	if err := rb.Append(ctx, []provstore.Record{{Tid: 1, Op: provstore.OpInsert, Loc: path.New("T", "x")}}); err != nil {
+		t.Fatal(err)
+	}
+	waitCaughtUp(t, rb)
+	for i := 0; i < rb.NumReplicas(); i++ {
+		n, err := rb.Replica(i).Count(ctx)
+		if err != nil || n != 1 {
+			t.Errorf("replica %d count = %d, %v; want 1", i, n, err)
+		}
+	}
+}
+
+// TestDriverOpenSharded: a nested DSN carrying its own parameters
+// (URL-escaped) opens correctly — replication over a sharded store.
+func TestDriverOpenSharded(t *testing.T) {
+	b, err := provstore.OpenDSN("replicated://?primary=mem%3A%2F%2F%3Fshards%3D4&replica=mem://")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb := b.(*ReplicatedBackend)
+	defer rb.Close()
+	if _, ok := rb.Primary().(*provstore.ShardedBackend); !ok {
+		t.Fatalf("primary is %T, want *ShardedBackend", rb.Primary())
+	}
+}
+
+// TestDriverErrors: malformed replicated:// DSNs fail at open time with a
+// message naming the problem.
+func TestDriverErrors(t *testing.T) {
+	cases := []struct {
+		dsn  string
+		want string
+	}{
+		{"replicated://x?primary=mem://&replica=mem://", "have no path"},
+		{"replicated://?replica=mem://", "needs a primary"},
+		{"replicated://?primary=mem://", "at least one replica"},
+		{"replicated://?primary=mem://&replica=mem://&read=sometimes", "not primary or any"},
+		{"replicated://?primary=mem://&replica=mem://&lag=-1", "lag must be >= 0"},
+		{"replicated://?primary=mem://&replica=mem://&poll=fast", "not a positive duration"},
+		{"replicated://?primary=mem://&replica=mem://&bogus=1", "unknown parameter"},
+		{"replicated://?primary=nosuch://&replica=mem://", "primary"},
+		{"replicated://?primary=mem://&replica=nosuch://", "replica 0"},
+	}
+	for _, c := range cases {
+		_, err := provstore.OpenDSN(c.dsn)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("OpenDSN(%s) = %v, want error containing %q", c.dsn, err, c.want)
+		}
+	}
+}

@@ -1,0 +1,622 @@
+// Package provrepl implements the replicated provenance store: a composite
+// backend that writes synchronously to a primary and ships committed records
+// asynchronously to any number of replicas, each driven by its own applier
+// goroutine resuming from the replica's high-water {Tid, Loc} mark via the
+// seekable ScanAllAfter cursor.
+//
+// The paper's provenance relation (Figure 5) is append-only and immutable,
+// keyed by {Tid, Loc} — which makes asynchronous log-shipping replication
+// unusually easy to reason about: a replica is always a prefix of the
+// primary's (Tid, Loc)-ordered ScanAll stream, and catching up after a crash
+// or a lag spike is one seeked cursor from the last key the replica holds.
+// There is no log to maintain beyond the relation itself.
+//
+// Reads route by policy: ReadPrimary sends everything to the primary
+// (replicas are pure standbys for failover and offline analytics);
+// ReadAny fans reads out round-robin across replicas whose staleness is
+// within the configured LagBound, falling back to the primary when no
+// replica qualifies or a replica read fails mid-flight. With LagBound 0 a
+// replica serves reads only while fully caught up with everything this
+// handle has acknowledged, so fan-out reads are indistinguishable from
+// primary reads.
+//
+// Ordering contract: log-shipping by keyset resume assumes the primary's
+// records become visible in (Tid, Loc) order — true for the session ingest
+// path, where transaction ids are allocated and committed monotonically.
+// Commits that arrive out of tid order *through this handle* (sessions with
+// partitioned tid ranges sharing one backend, racing tracker lanes) are
+// detected at acknowledgement time and repaired: the appliers rewind to the
+// out-of-order tid and re-ship from there, skipping records the replica
+// already holds. What the handle cannot see it cannot repair: a writer
+// committing an old tid directly to the primary outside this handle, or a
+// crash between acknowledging an out-of-order commit and shipping it,
+// leaves that tid stranded behind the replicas' high-water marks — route
+// writers through the replicated handle, or rebuild the replica. See
+// DESIGN.md §4.
+package provrepl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"iter"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/path"
+	"repro/internal/provstore"
+)
+
+// ReadPolicy selects where a replicated backend serves reads from.
+type ReadPolicy int
+
+const (
+	// ReadPrimary routes every read to the primary; replicas are pure
+	// standbys. This is the default: replication adds durability and
+	// failover without changing any observable behavior.
+	ReadPrimary ReadPolicy = iota
+	// ReadAny fans reads out round-robin across replicas within LagBound,
+	// failing over to the primary when none qualifies or a replica errors.
+	ReadAny
+)
+
+// String returns the DSN spelling of the policy.
+func (p ReadPolicy) String() string {
+	if p == ReadAny {
+		return "any"
+	}
+	return "primary"
+}
+
+// Options configures a replicated backend.
+type Options struct {
+	// Read selects the read routing policy (default ReadPrimary).
+	Read ReadPolicy
+	// LagBound is the maximum transaction-id staleness a replica may show
+	// and still serve ReadAny reads. 0 (the default) means a replica only
+	// serves reads while fully caught up with every append this handle has
+	// acknowledged — fan-out reads then never observe a torn or stale
+	// prefix.
+	LagBound int64
+	// Poll is how often an idle applier re-checks the primary for records
+	// that arrived outside this handle (another client writing to the same
+	// cpdbd primary, say), and the floor of the retry backoff after an
+	// apply error. Default 500ms.
+	Poll time.Duration
+	// ApplyBatch caps how many records an applier ships to its replica in
+	// one Append during catch-up. Chunks are cut only at transaction
+	// boundaries, so a replica's content stays transaction-atomic whenever
+	// the primary's appends are (a single oversized transaction ships as
+	// one chunk). Default 512.
+	ApplyBatch int
+	// CloseTimeout bounds the final catch-up drain Close performs so
+	// acknowledged records reach the replicas before the appliers stop. A
+	// dead replica cannot wedge shutdown past this. Default 30s.
+	CloseTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Poll <= 0 {
+		o.Poll = 500 * time.Millisecond
+	}
+	if o.ApplyBatch <= 0 {
+		o.ApplyBatch = 512
+	}
+	if o.CloseTimeout <= 0 {
+		o.CloseTimeout = 30 * time.Second
+	}
+	return o
+}
+
+// A ReplicatedBackend is a provstore.Backend over one primary and N replica
+// stores: writes go to the primary synchronously and are acknowledged once
+// the primary has them; per-replica applier goroutines ship committed
+// records to the replicas asynchronously; reads route by Options.Read. It
+// is safe for concurrent use.
+//
+// Lifecycle: Flush pushes the primary's buffered writes down and nudges the
+// appliers; Close flushes, drains the appliers (bounded by CloseTimeout),
+// stops them, and closes every store that holds external resources.
+type ReplicatedBackend struct {
+	primary  provstore.Backend
+	replicas []*replica
+	opts     Options
+
+	// shipped is the write version: it increments on every acknowledged
+	// append through this handle. A replica whose synced version has
+	// reached it holds everything acknowledged so far.
+	shipped    atomic.Int64
+	shippedTid atomic.Int64 // max acknowledged transaction id
+	shipMu     sync.Mutex   // serializes noteShipped's read-then-update
+
+	laggedReads atomic.Int64 // ReadAny reads served by a stale replica
+	rr          atomic.Uint64
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	closed atomic.Bool
+}
+
+var (
+	_ provstore.Backend        = (*ReplicatedBackend)(nil)
+	_ provstore.GroupCommitter = (*ReplicatedBackend)(nil)
+	_ provstore.Flusher        = (*ReplicatedBackend)(nil)
+	_ provstore.Gauger         = (*ReplicatedBackend)(nil)
+	_ io.Closer                = (*ReplicatedBackend)(nil)
+)
+
+// errClosed reports use of a closed replicated backend.
+var errClosed = errors.New("provrepl: backend is closed")
+
+// New builds a replicated backend over the given primary and replica stores
+// and starts one applier goroutine per replica. Replica stores must be
+// dedicated to this backend (the appliers assume nothing else writes them).
+func New(primary provstore.Backend, replicas []provstore.Backend, opts Options) (*ReplicatedBackend, error) {
+	if primary == nil {
+		return nil, errors.New("provrepl: New requires a primary")
+	}
+	if len(replicas) == 0 {
+		return nil, errors.New("provrepl: New requires at least one replica")
+	}
+	for i, r := range replicas {
+		if r == nil {
+			return nil, fmt.Errorf("provrepl: New replica %d is nil", i)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	b := &ReplicatedBackend{
+		primary: primary,
+		opts:    opts.withDefaults(),
+		ctx:     ctx,
+		cancel:  cancel,
+	}
+	for i, store := range replicas {
+		r := &replica{idx: i, store: store, wake: make(chan struct{}, 1)}
+		r.synced.Store(-1) // behind until the first full drain
+		b.replicas = append(b.replicas, r)
+		b.wg.Add(1)
+		go b.applier(r)
+	}
+	return b, nil
+}
+
+// Primary exposes the primary store (for tests and size accounting).
+func (b *ReplicatedBackend) Primary() provstore.Backend { return b.primary }
+
+// NumReplicas returns the number of replicas.
+func (b *ReplicatedBackend) NumReplicas() int { return len(b.replicas) }
+
+// Replica exposes one replica store (for tests and verification dumps).
+func (b *ReplicatedBackend) Replica(i int) provstore.Backend { return b.replicas[i].store }
+
+// ReadPolicy returns the configured read routing policy.
+func (b *ReplicatedBackend) ReadPolicy() ReadPolicy { return b.opts.Read }
+
+// LagBound returns the configured staleness bound.
+func (b *ReplicatedBackend) LagBound() int64 { return b.opts.LagBound }
+
+// LaggedReads returns how many ReadAny reads were served by a replica that
+// trailed the primary's acknowledged transaction id (possible only with
+// LagBound > 0). The CLI surfaces a note after -dump when this is non-zero.
+func (b *ReplicatedBackend) LaggedReads() int64 { return b.laggedReads.Load() }
+
+// --- writes ------------------------------------------------------------------
+
+// Append implements Backend: the batch is appended to the primary
+// synchronously and acknowledged as soon as the primary has it; shipping to
+// replicas happens asynchronously.
+func (b *ReplicatedBackend) Append(ctx context.Context, recs []provstore.Record) error {
+	if b.closed.Load() {
+		return errClosed
+	}
+	if err := b.primary.Append(ctx, recs); err != nil {
+		return err
+	}
+	b.noteShipped(tidRangeOf(recs))
+	return nil
+}
+
+// AppendBatch implements GroupCommitter: the whole group reaches the
+// primary with one durability round trip when it supports that.
+func (b *ReplicatedBackend) AppendBatch(ctx context.Context, batches ...[]provstore.Record) error {
+	if b.closed.Load() {
+		return errClosed
+	}
+	if gc, ok := b.primary.(provstore.GroupCommitter); ok {
+		if err := gc.AppendBatch(ctx, batches...); err != nil {
+			return err
+		}
+	} else {
+		for _, batch := range batches {
+			if err := b.primary.Append(ctx, batch); err != nil {
+				return err
+			}
+		}
+	}
+	var minTid, maxTid int64
+	for _, batch := range batches {
+		lo, hi := tidRangeOf(batch)
+		if lo > 0 && (minTid == 0 || lo < minTid) {
+			minTid = lo
+		}
+		if hi > maxTid {
+			maxTid = hi
+		}
+	}
+	b.noteShipped(minTid, maxTid)
+	return nil
+}
+
+func tidRangeOf(recs []provstore.Record) (minTid, maxTid int64) {
+	for _, r := range recs {
+		if minTid == 0 || r.Tid < minTid {
+			minTid = r.Tid
+		}
+		if r.Tid > maxTid {
+			maxTid = r.Tid
+		}
+	}
+	return minTid, maxTid
+}
+
+// noteShipped records an acknowledged append and nudges the appliers. A
+// batch whose smallest tid does not exceed the largest tid already
+// acknowledged arrived out of tid order — the keyset appliers would skip
+// past it — so every replica is told to rewind to that tid and re-ship
+// from there (skipping what it already holds). The in-order fast path
+// (every session) never takes the branch.
+func (b *ReplicatedBackend) noteShipped(minTid, maxTid int64) {
+	b.shipMu.Lock()
+	prev := b.shippedTid.Load()
+	if maxTid > prev {
+		b.shippedTid.Store(maxTid)
+	}
+	if minTid > 0 && minTid <= prev {
+		for _, r := range b.replicas {
+			r.setRewind(minTid)
+		}
+	}
+	b.shipped.Add(1)
+	b.shipMu.Unlock()
+	b.wakeAll()
+}
+
+func (b *ReplicatedBackend) wakeAll() {
+	for _, r := range b.replicas {
+		r.kick()
+	}
+}
+
+// --- read routing ------------------------------------------------------------
+
+// pickReplica chooses the next eligible replica under the read policy, or
+// nil when reads belong on the primary. Eligibility: the applier is healthy
+// and the replica's staleness is within LagBound (with bound 0, the replica
+// must hold everything acknowledged so far).
+func (b *ReplicatedBackend) pickReplica() *replica {
+	if b.opts.Read != ReadAny {
+		return nil
+	}
+	shipped := b.shipped.Load()
+	shippedTid := b.shippedTid.Load()
+	start := int(b.rr.Add(1))
+	now := time.Now().UnixNano()
+	for i := 0; i < len(b.replicas); i++ {
+		r := b.replicas[(start+i)%len(b.replicas)]
+		if !r.healthy.Load() || now < r.demotedUntil.Load() {
+			continue
+		}
+		if b.opts.LagBound <= 0 {
+			if r.synced.Load() >= shipped {
+				return r
+			}
+			continue
+		}
+		if shippedTid-r.appliedTid.Load() <= b.opts.LagBound {
+			if r.appliedTid.Load() < shippedTid {
+				b.laggedReads.Add(1)
+			}
+			return r
+		}
+	}
+	return nil
+}
+
+// demote takes a replica out of the read rotation after a failed read and
+// wakes its applier. A clean apply pass restores the healthy flag, but the
+// rotation holds the replica out for a poll interval regardless — a store
+// whose reads fail while its appends still succeed would otherwise flap in
+// and out of rotation on every applier pass.
+func (b *ReplicatedBackend) demote(r *replica) {
+	r.healthy.Store(false)
+	r.demotedUntil.Store(time.Now().Add(b.opts.Poll).UnixNano())
+	r.kick()
+}
+
+// Lookup implements Backend, failing over to the primary when the chosen
+// replica errors (caller cancellation is returned, not failed over).
+func (b *ReplicatedBackend) Lookup(ctx context.Context, tid int64, loc path.Path) (provstore.Record, bool, error) {
+	if r := b.pickReplica(); r != nil {
+		rec, ok, err := r.store.Lookup(ctx, tid, loc)
+		if err == nil || ctx.Err() != nil {
+			return rec, ok, err
+		}
+		b.demote(r)
+	}
+	return b.primary.Lookup(ctx, tid, loc)
+}
+
+// NearestAncestor implements Backend.
+func (b *ReplicatedBackend) NearestAncestor(ctx context.Context, tid int64, loc path.Path) (provstore.Record, bool, error) {
+	if r := b.pickReplica(); r != nil {
+		rec, ok, err := r.store.NearestAncestor(ctx, tid, loc)
+		if err == nil || ctx.Err() != nil {
+			return rec, ok, err
+		}
+		b.demote(r)
+	}
+	return b.primary.NearestAncestor(ctx, tid, loc)
+}
+
+// routedScan serves a scan from an eligible replica, restarting on the
+// primary if the replica's cursor fails before yielding anything. A failure
+// after records have been yielded is terminal (the cursor contract), since
+// an unordered scan cannot be resumed without replaying what was delivered;
+// the (Tid, Loc)-ordered ScanAll family resumes instead (scanAllRouted).
+func (b *ReplicatedBackend) routedScan(ctx context.Context, scan func(provstore.Backend) iter.Seq2[provstore.Record, error]) iter.Seq2[provstore.Record, error] {
+	r := b.pickReplica()
+	if r == nil {
+		return scan(b.primary)
+	}
+	return func(yield func(provstore.Record, error) bool) {
+		emitted := false
+		for rec, err := range scan(r.store) {
+			if err != nil {
+				if ctx.Err() != nil {
+					yield(provstore.Record{}, err)
+					return
+				}
+				b.demote(r)
+				if emitted {
+					yield(provstore.Record{}, err)
+					return
+				}
+				for rec2, err2 := range scan(b.primary) {
+					if !yield(rec2, err2) || err2 != nil {
+						return
+					}
+				}
+				return
+			}
+			emitted = true
+			if !yield(rec, nil) {
+				return
+			}
+		}
+	}
+}
+
+// ScanTid implements Backend.
+func (b *ReplicatedBackend) ScanTid(ctx context.Context, tid int64) iter.Seq2[provstore.Record, error] {
+	return b.routedScan(ctx, func(s provstore.Backend) iter.Seq2[provstore.Record, error] { return s.ScanTid(ctx, tid) })
+}
+
+// ScanLoc implements Backend.
+func (b *ReplicatedBackend) ScanLoc(ctx context.Context, loc path.Path) iter.Seq2[provstore.Record, error] {
+	return b.routedScan(ctx, func(s provstore.Backend) iter.Seq2[provstore.Record, error] { return s.ScanLoc(ctx, loc) })
+}
+
+// ScanLocPrefix implements Backend.
+func (b *ReplicatedBackend) ScanLocPrefix(ctx context.Context, prefix path.Path) iter.Seq2[provstore.Record, error] {
+	return b.routedScan(ctx, func(s provstore.Backend) iter.Seq2[provstore.Record, error] { return s.ScanLocPrefix(ctx, prefix) })
+}
+
+// ScanLocWithAncestors implements Backend.
+func (b *ReplicatedBackend) ScanLocWithAncestors(ctx context.Context, loc path.Path) iter.Seq2[provstore.Record, error] {
+	return b.routedScan(ctx, func(s provstore.Backend) iter.Seq2[provstore.Record, error] { return s.ScanLocWithAncestors(ctx, loc) })
+}
+
+// scanAllRouted serves the (Tid, Loc)-ordered table from an eligible
+// replica with full failover: a replica cursor failing mid-stream resumes
+// on the primary via ScanAllAfter from the last key already delivered, so
+// the consumer sees one uninterrupted ordered stream across the switch.
+func (b *ReplicatedBackend) scanAllRouted(ctx context.Context, hasAfter bool, tid int64, loc path.Path) iter.Seq2[provstore.Record, error] {
+	start := func(s provstore.Backend) iter.Seq2[provstore.Record, error] {
+		if hasAfter {
+			return s.ScanAllAfter(ctx, tid, loc)
+		}
+		return s.ScanAll(ctx)
+	}
+	r := b.pickReplica()
+	if r == nil {
+		return start(b.primary)
+	}
+	return func(yield func(provstore.Record, error) bool) {
+		var last provstore.Record
+		emitted := false
+		for rec, err := range start(r.store) {
+			if err != nil {
+				if ctx.Err() != nil {
+					yield(provstore.Record{}, err)
+					return
+				}
+				b.demote(r)
+				resume := start(b.primary)
+				if emitted {
+					resume = b.primary.ScanAllAfter(ctx, last.Tid, last.Loc)
+				}
+				for rec2, err2 := range resume {
+					if !yield(rec2, err2) || err2 != nil {
+						return
+					}
+				}
+				return
+			}
+			last, emitted = rec, true
+			if !yield(rec, nil) {
+				return
+			}
+		}
+	}
+}
+
+// ScanAll implements Backend.
+func (b *ReplicatedBackend) ScanAll(ctx context.Context) iter.Seq2[provstore.Record, error] {
+	return b.scanAllRouted(ctx, false, 0, path.Path{})
+}
+
+// ScanAllAfter implements Backend.
+func (b *ReplicatedBackend) ScanAllAfter(ctx context.Context, tid int64, loc path.Path) iter.Seq2[provstore.Record, error] {
+	return b.scanAllRouted(ctx, true, tid, loc)
+}
+
+// Tids implements Backend.
+func (b *ReplicatedBackend) Tids(ctx context.Context) ([]int64, error) {
+	if r := b.pickReplica(); r != nil {
+		tids, err := r.store.Tids(ctx)
+		if err == nil || ctx.Err() != nil {
+			return tids, err
+		}
+		b.demote(r)
+	}
+	return b.primary.Tids(ctx)
+}
+
+// MaxTid implements Backend.
+func (b *ReplicatedBackend) MaxTid(ctx context.Context) (int64, error) {
+	if r := b.pickReplica(); r != nil {
+		t, err := r.store.MaxTid(ctx)
+		if err == nil || ctx.Err() != nil {
+			return t, err
+		}
+		b.demote(r)
+	}
+	return b.primary.MaxTid(ctx)
+}
+
+// Count implements Backend.
+func (b *ReplicatedBackend) Count(ctx context.Context) (int, error) {
+	if r := b.pickReplica(); r != nil {
+		n, err := r.store.Count(ctx)
+		if err == nil || ctx.Err() != nil {
+			return n, err
+		}
+		b.demote(r)
+	}
+	return b.primary.Count(ctx)
+}
+
+// Bytes implements Backend.
+func (b *ReplicatedBackend) Bytes(ctx context.Context) (int64, error) {
+	if r := b.pickReplica(); r != nil {
+		n, err := r.store.Bytes(ctx)
+		if err == nil || ctx.Err() != nil {
+			return n, err
+		}
+		b.demote(r)
+	}
+	return b.primary.Bytes(ctx)
+}
+
+// --- lifecycle ---------------------------------------------------------------
+
+// Flush implements Flusher: it pushes the primary's buffered writes down
+// and nudges the appliers. It does not wait for the replicas — shipping
+// stays asynchronous; use WaitForReplicas for a barrier.
+func (b *ReplicatedBackend) Flush() error {
+	err := provstore.Flush(b.primary)
+	b.wakeAll()
+	return err
+}
+
+// WaitForReplicas blocks until every replica has applied everything
+// acknowledged before the call, or ctx expires. A replica stuck on a
+// persistent apply error holds the wait until the deadline.
+func (b *ReplicatedBackend) WaitForReplicas(ctx context.Context) error {
+	target := b.shipped.Load()
+	b.wakeAll()
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		done := true
+		for _, r := range b.replicas {
+			if r.synced.Load() < target {
+				done = false
+				break
+			}
+		}
+		if done {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// Close implements io.Closer: the primary's buffers flush, the appliers get
+// a bounded final drain so acknowledged records reach the replicas, then
+// they stop and every store holding external resources is closed. The first
+// error wins, flush errors foremost (acknowledged records that could not be
+// persisted matter more than a failed file release).
+func (b *ReplicatedBackend) Close() error {
+	if !b.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	err := provstore.Flush(b.primary)
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), b.opts.CloseTimeout)
+	b.WaitForReplicas(drainCtx) //nolint:errcheck // best effort: a dead replica must not wedge shutdown
+	cancelDrain()
+	b.cancel()
+	b.wg.Wait()
+	for _, r := range b.replicas {
+		if cerr := provstore.Close(r.store); err == nil {
+			err = cerr
+		}
+	}
+	if c, ok := b.primary.(io.Closer); ok {
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Gauges implements provstore.Gauger: per-replica staleness and progress,
+// surfaced through /v1/stats when a replicated backend sits behind cpdbd.
+//
+//	repl.replicas          configured replica count
+//	repl.shipped_tid       max transaction id acknowledged on the primary
+//	repl.lagged_reads      ReadAny reads served by a stale replica
+//	repl.applied_tid.<i>   replica i's high-water transaction id
+//	repl.lag.<i>           repl.shipped_tid - repl.applied_tid.<i>, floored at 0
+//	repl.healthy.<i>       1 while replica i's applier is caught up and erroring-free
+func (b *ReplicatedBackend) Gauges() map[string]int64 {
+	shippedTid := b.shippedTid.Load()
+	out := map[string]int64{
+		"repl.replicas":     int64(len(b.replicas)),
+		"repl.shipped_tid":  shippedTid,
+		"repl.lagged_reads": b.laggedReads.Load(),
+	}
+	for _, r := range b.replicas {
+		applied := r.appliedTid.Load()
+		lag := shippedTid - applied
+		if lag < 0 {
+			lag = 0
+		}
+		i := fmt.Sprint(r.idx)
+		out["repl.applied_tid."+i] = applied
+		out["repl.lag."+i] = lag
+		healthy := int64(0)
+		if r.healthy.Load() {
+			healthy = 1
+		}
+		out["repl.healthy."+i] = healthy
+	}
+	return out
+}

@@ -63,6 +63,14 @@ type Backend interface {
 	// remote stores hold a page/chunk; the in-memory store sorts an
 	// index permutation, one int per record).
 	ScanAll(ctx context.Context) iter.Seq2[Record, error]
+	// ScanAllAfter streams the (Tid, Loc)-ordered relation strictly after
+	// the key (tid, loc) — the seekable form of ScanAll. It is the resume
+	// path of keyset cursors (a truncated /v1/scan-all stream, a replica
+	// applier catching up from its high-water mark): implementations seek —
+	// a B-tree positions on the successor key, the in-memory store
+	// binary-searches its sorted index — so resuming costs O(log n), not
+	// O(records skipped).
+	ScanAllAfter(ctx context.Context, tid int64, loc path.Path) iter.Seq2[Record, error]
 	// Tids returns all transaction identifiers in ascending order.
 	Tids(ctx context.Context) ([]int64, error)
 	// MaxTid returns the largest transaction identifier stored, or 0.
@@ -248,14 +256,49 @@ func (b *MemBackend) ScanLocWithAncestors(ctx context.Context, loc path.Path) it
 		func(a, c Record) bool { return CompareTidLoc(a, c) < 0 })
 }
 
+// sortedAll snapshots the store and returns the snapshot with an index
+// permutation sorted by (Tid, Loc) — the whole table in cursor order, one
+// int per record, no record values copied. Shared by ScanAll and
+// ScanAllAfter.
+func (b *MemBackend) sortedAll() ([]Record, []int) {
+	recs := b.snapshot()
+	idxs := make([]int, len(recs))
+	for i := range idxs {
+		idxs[i] = i
+	}
+	sort.Slice(idxs, func(i, j int) bool { return CompareTidLoc(recs[idxs[i]], recs[idxs[j]]) < 0 })
+	return recs, idxs
+}
+
 // ScanAll implements Backend: the whole table in (Tid, Loc) order. The heap
 // is unordered, so an index permutation is sorted (one int per record — no
 // record values are copied or retained beyond the snapshot the store
 // already holds).
 func (b *MemBackend) ScanAll(ctx context.Context) iter.Seq2[Record, error] {
-	return b.scanFiltered(ctx,
-		func(Record) bool { return true },
-		func(a, c Record) bool { return CompareTidLoc(a, c) < 0 })
+	return func(yield func(Record, error) bool) {
+		if err := ctx.Err(); err != nil {
+			yield(Record{}, err)
+			return
+		}
+		recs, idxs := b.sortedAll()
+		yieldIdxs(ctx, recs, idxs, yield)
+	}
+}
+
+// ScanAllAfter implements Backend: the sorted index permutation is built as
+// for ScanAll, then the resume position is found with one binary search —
+// no record before the key is compared against a filter, let alone yielded.
+func (b *MemBackend) ScanAllAfter(ctx context.Context, tid int64, loc path.Path) iter.Seq2[Record, error] {
+	return func(yield func(Record, error) bool) {
+		if err := ctx.Err(); err != nil {
+			yield(Record{}, err)
+			return
+		}
+		recs, idxs := b.sortedAll()
+		after := Record{Tid: tid, Loc: loc}
+		start := sort.Search(len(idxs), func(i int) bool { return CompareTidLoc(recs[idxs[i]], after) > 0 })
+		yieldIdxs(ctx, recs, idxs[start:], yield)
+	}
 }
 
 // Tids implements Backend.

@@ -31,6 +31,14 @@ type GroupCommitter interface {
 	AppendBatch(ctx context.Context, batches ...[]Record) error
 }
 
+// A Gauger is a backend exposing point-in-time operational gauges (replica
+// lag, applied transaction ids, …) keyed by dotted metric names. The
+// provhttp server merges a Gauger backend's gauges into /v1/stats, so a
+// composite store's health is visible wherever its daemon's counters are.
+type Gauger interface {
+	Gauges() map[string]int64
+}
+
 // Flush pushes buffered writes down if b buffers any; it is a no-op for
 // write-through backends.
 func Flush(b Backend) error {
@@ -283,6 +291,16 @@ func (b *BatchingBackend) ScanAll(ctx context.Context) iter.Seq2[Record, error] 
 	return b.scanThrough(ctx,
 		func(Record) bool { return true },
 		CompareTidLoc, b.inner.ScanAll(ctx))
+}
+
+// ScanAllAfter implements Backend: the pending buffer's records after the
+// key merge with the inner store's seeked cursor — resume never forces a
+// flush, and the buffer half is filtered before it is sorted.
+func (b *BatchingBackend) ScanAllAfter(ctx context.Context, tid int64, loc path.Path) iter.Seq2[Record, error] {
+	after := Record{Tid: tid, Loc: loc}
+	return b.scanThrough(ctx,
+		func(r Record) bool { return CompareTidLoc(r, after) > 0 },
+		CompareTidLoc, b.inner.ScanAllAfter(ctx, tid, loc))
 }
 
 // Tids implements Backend.

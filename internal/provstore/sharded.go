@@ -313,6 +313,12 @@ func (b *ShardedBackend) ScanAll(ctx context.Context) iter.Seq2[Record, error] {
 	return b.merged(CompareTidLoc, func(s Backend) iter.Seq2[Record, error] { return s.ScanAll(ctx) })
 }
 
+// ScanAllAfter implements Backend: each shard seeks to its own successor of
+// the key, and the streaming merge restores the global (Tid, Loc) order.
+func (b *ShardedBackend) ScanAllAfter(ctx context.Context, tid int64, loc path.Path) iter.Seq2[Record, error] {
+	return b.merged(CompareTidLoc, func(s Backend) iter.Seq2[Record, error] { return s.ScanAllAfter(ctx, tid, loc) })
+}
+
 // Tids implements Backend: the sorted union of all shards' transactions.
 func (b *ShardedBackend) Tids(ctx context.Context) ([]int64, error) {
 	parts := make([][]int64, len(b.shards))

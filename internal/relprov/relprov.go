@@ -289,11 +289,17 @@ const scanChunk = 256
 // The chunk buffer and resume key are reused across windows, so a full
 // drain allocates per window, not per row.
 func (b *Backend) chunkedScan(ctx context.Context, scan func(from []byte, fn func(key []byte, row relstore.Row) bool) error, prefix []byte, keep func(provstore.Record) bool, yield func(provstore.Record, error) bool) {
+	b.chunkedScanFrom(ctx, scan, prefix, prefix, keep, yield)
+}
+
+// chunkedScanFrom is chunkedScan with an independent start position: the
+// walk seeks to from (which may lie strictly inside the prefix range — the
+// keyset-resume case) while prefix still bounds where it ends.
+func (b *Backend) chunkedScanFrom(ctx context.Context, scan func(from []byte, fn func(key []byte, row relstore.Row) bool) error, from, prefix []byte, keep func(provstore.Record) bool, yield func(provstore.Record, error) bool) {
 	if err := ctx.Err(); err != nil {
 		yield(provstore.Record{}, err)
 		return
 	}
-	from := prefix
 	chunk := make([]provstore.Record, 0, scanChunk)
 	var lastKey []byte
 	for {
@@ -431,6 +437,21 @@ func (b *Backend) ScanLocWithAncestors(ctx context.Context, loc path.Path) iter.
 func (b *Backend) ScanAll(ctx context.Context) iter.Seq2[provstore.Record, error] {
 	return func(yield func(provstore.Record, error) bool) {
 		b.chunkedScan(ctx, b.keyFrom, nil, nil, yield)
+	}
+}
+
+// ScanAllAfter implements provstore.Backend: the pager seeks straight to
+// the successor of the encoded {tid, loc} primary key (the key codec is
+// order-preserving, so key‖0x00 is the next possible key) and walks from
+// there — resume costs one B-tree descent, not a scan of what came before.
+func (b *Backend) ScanAllAfter(ctx context.Context, tid int64, loc path.Path) iter.Seq2[provstore.Record, error] {
+	return func(yield func(provstore.Record, error) bool) {
+		key, err := b.tbl.KeyPrefix(tid, loc.AppendBinary(nil))
+		if err != nil {
+			yield(provstore.Record{}, err)
+			return
+		}
+		b.chunkedScanFrom(ctx, b.keyFrom, append(key, 0), nil, nil, yield)
 	}
 }
 

@@ -535,3 +535,42 @@ func TestRelCursorReadInLoopWithConcurrentWriter(t *testing.T) {
 	close(stop)
 	<-writerDone
 }
+
+// TestRelScanAllAfterSeeks: ScanAllAfter resumes the primary-key walk
+// strictly after any {tid, loc} key — stored or absent — via a B-tree seek,
+// matching the ScanAll suffix exactly.
+func TestRelScanAllAfterSeeks(t *testing.T) {
+	b := newBackend(t)
+	ctx := context.Background()
+	for tid := int64(1); tid <= 5; tid++ {
+		batch := []provstore.Record{
+			rec(tid, provstore.OpInsert, fmt.Sprintf("T/a%d", tid), ""),
+			rec(tid, provstore.OpInsert, fmt.Sprintf("T/b%d/x", tid), ""),
+			rec(tid, provstore.OpInsert, fmt.Sprintf("T/c%d", tid), ""),
+		}
+		if err := b.Append(ctx, batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full, err := provstore.CollectScan(b.ScanAll(ctx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, r := range full {
+		got, err := provstore.CollectScan(b.ScanAllAfter(ctx, r.Tid, r.Loc))
+		if err != nil {
+			t.Fatalf("ScanAllAfter(%d, %s): %v", r.Tid, r.Loc, err)
+		}
+		if fmt.Sprint(got) != fmt.Sprint(full[k+1:]) {
+			t.Fatalf("ScanAllAfter(%d, %s) = %v, want suffix %v", r.Tid, r.Loc, got, full[k+1:])
+		}
+	}
+	// Absent key between tids: lands on tid 3's first record.
+	got, err := provstore.CollectScan(b.ScanAllAfter(ctx, 2, path.MustParse("T/zzz")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 9 || got[0].Tid != 3 {
+		t.Fatalf("ScanAllAfter(2, T/zzz) = %d records starting at tid %d, want 9 starting at 3", len(got), got[0].Tid)
+	}
+}
