@@ -48,7 +48,9 @@ type CLIConfig struct {
 	Shards int
 	// BatchSize groups provenance appends (see Config.BatchSize).
 	BatchSize int
-	// Queries are provenance queries: "src|hist|mod|trace PATH".
+	// Queries are provenance queries: "src|hist|mod|trace PATH", or
+	// "plan QUERY" with a declarative query in the plan grammar
+	// ("plan select where loc>=T/c2 and op=C order loc-tid").
 	Queries StringList
 	// Dump prints the provenance table and final target tree.
 	Dump bool
@@ -182,7 +184,10 @@ func RunCLI(cfg CLIConfig, w io.Writer) error {
 func runQuery(s *Session, q string, w io.Writer) error {
 	kind, rest, ok := strings.Cut(strings.TrimSpace(q), " ")
 	if !ok {
-		return fmt.Errorf("cpdb: query %q is not 'src|hist|mod|trace PATH'", q)
+		return fmt.Errorf("cpdb: query %q is not 'src|hist|mod|trace PATH' or 'plan QUERY'", q)
+	}
+	if strings.EqualFold(kind, "plan") {
+		return runPlan(s, rest, w)
 	}
 	p, err := ParsePath(strings.TrimSpace(rest))
 	if err != nil {
@@ -225,6 +230,46 @@ func runQuery(s *Session, q string, w io.Writer) error {
 		}
 	default:
 		return fmt.Errorf("cpdb: unknown query kind %q", kind)
+	}
+	return nil
+}
+
+// runPlan parses, runs and prints one declarative plan query. Against a
+// cpdb:// backend the whole query is one round trip to the daemon.
+func runPlan(s *Session, text string, w io.Writer) error {
+	pq, err := ParsePlanQuery(text)
+	if err != nil {
+		return err
+	}
+	res, err := s.Query().PlanQuery(pq)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "plan %s:\n", pq)
+	switch {
+	case pq.Op == "trace":
+		fmt.Fprintf(w, "  origin: %s\n", res.Trace.Origin)
+		for _, ev := range res.Trace.Events {
+			fmt.Fprintf(w, "  %s\n", ev)
+		}
+		if res.Trace.Origin == OriginExternal {
+			fmt.Fprintf(w, "  chain leaves the database at %s\n", res.Trace.External)
+		}
+	case pq.Op == "src" || pq.Agg != "":
+		if res.Found {
+			fmt.Fprintf(w, "  %d\n", res.Value)
+		} else if pq.Op == "src" {
+			fmt.Fprintf(w, "  unknown (external or pre-existing)\n")
+		} else {
+			fmt.Fprintf(w, "  none\n")
+		}
+	case pq.Op == "mod" || pq.Op == "hist":
+		fmt.Fprintf(w, "  txns %v\n", res.Tids)
+	default:
+		for _, r := range res.Records {
+			fmt.Fprintf(w, "  %s\n", r)
+		}
+		fmt.Fprintf(w, "  (%d records)\n", len(res.Records))
 	}
 	return nil
 }

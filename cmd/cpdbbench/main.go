@@ -1,7 +1,8 @@
 // Command cpdbbench reruns the evaluation of Buneman, Chapman & Cheney
 // (SIGMOD 2006): every table and figure of §4, plus the design-choice
 // ablations and the sharded-ingest/group-commit, loopback
-// network-service, and replication sweeps that go beyond the paper,
+// network-service, replication, and declarative-query sweeps that go
+// beyond the paper,
 // printing the rows/series behind each artifact. See EXPERIMENTS.md for the experiment ↔ figure
 // mapping and how to read the output.
 //
@@ -12,6 +13,7 @@
 //	cpdbbench -exp shard       # sharding × batching ingest throughput
 //	cpdbbench -exp net         # loopback cpdb:// vs in-process mem://
 //	cpdbbench -exp repl        # replicated:// ingest + read fan-out sweep
+//	cpdbbench -exp query       # declarative plans: pushdown + 1-RT remote execution
 //	cpdbbench -quick           # scaled-down sizes (seconds, for smoke runs)
 //	cpdbbench -json out.json   # also write machine-readable results
 //	cpdbbench -list            # list experiment ids

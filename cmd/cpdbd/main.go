@@ -14,7 +14,14 @@
 //	cpdb -demo -backend cpdb://127.0.0.1:7070 -query "hist T/c2/y"
 //
 // The daemon answers one HTTP round trip per Backend method (see
-// internal/provhttp for the wire contract), exposes expvar-style counters at
+// internal/provhttp for the wire contract), and executes whole declarative
+// queries server-side at POST /v1/query — a client's Session.Plan, or the
+// classic Trace/Src/Hist/Mod methods, ship one plan and stream the rows
+// back, so a multi-step trace over the network costs one round trip:
+//
+//	cpdb -demo -backend cpdb://127.0.0.1:7070 -query "plan select where loc>=T/c2 and op=C"
+//
+// It exposes expvar-style counters at
 // /v1/stats and a readiness probe at /v1/ping, and shuts down gracefully on
 // SIGINT/SIGTERM: the listener stops accepting, in-flight requests drain
 // (bounded by -shutdown-timeout), and the store's group-commit buffers are

@@ -8,6 +8,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/path"
 	_ "repro/internal/provhttp" // registers the cpdb:// network driver
+	"repro/internal/provplan"
 	"repro/internal/provquery"
 	"repro/internal/provstore"
 	_ "repro/internal/relprov" // registers the rel:// backend driver
@@ -53,6 +54,13 @@ type (
 	Federation = provquery.Federation
 	// Meter accumulates virtual time per operation category.
 	Meter = netsim.Meter
+	// PlanQuery is one declarative provenance query — the AST Session.Plan
+	// compiles, and the JSON body of the daemon's POST /v1/query.
+	PlanQuery = provplan.Query
+	// PlanResult is a drained plan result, decoded by query kind.
+	PlanResult = provplan.Result
+	// PlanRow is one element of a streaming plan result (Query.PlanRows).
+	PlanRow = provplan.Row
 )
 
 // The four storage methods, in the paper's order.
@@ -72,6 +80,12 @@ const (
 
 // ParsePath parses the textual form of a path.
 func ParsePath(s string) (Path, error) { return path.Parse(s) }
+
+// ParsePlanQuery parses the textual form of a declarative provenance query
+// ("select where loc>=T/c2 and op=C order loc-tid limit 10", "trace T/c3
+// asof 5", …); see internal/provplan for the full grammar. The parsed query
+// runs via Session.Plan / Query.PlanQuery.
+func ParsePlanQuery(s string) (*PlanQuery, error) { return provplan.Parse(s) }
 
 // MustParsePath is ParsePath for known-good literals; it panics on error.
 func MustParsePath(s string) Path { return path.MustParse(s) }

@@ -77,6 +77,72 @@ func TestCLIEquivalenceOverNetwork(t *testing.T) {
 	}
 }
 
+// TestSessionPlanSingleRoundTrip pins the declarative layer's headline
+// property at the public API: a Session over cpdb:// answers a whole
+// remote Trace or Mod — every chain step, every BFS wave — in exactly one
+// POST /v1/query, with no scan, point or maxtid round trips behind it.
+func TestSessionPlanSingleRoundTrip(t *testing.T) {
+	inner, err := cpdb.OpenBackend("mem://")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := provhttp.NewServer(inner)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln) //nolint:errcheck // reports ErrServerClosed at teardown
+	t.Cleanup(func() { hs.Close() })
+
+	backend, err := cpdb.OpenBackend("cpdb://" + ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := cpdb.New(cpdb.Config{
+		Target:  cpdb.NewMemTarget("T", figures.T0()),
+		Sources: []cpdb.Source{cpdb.NewMemSource("S1", figures.S1()), cpdb.NewMemSource("S2", figures.S2())},
+		Method:  cpdb.HierTrans,
+		Backend: backend,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Run(figures.Script); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		text string
+		run  func() error
+	}{
+		{"trace T/c1/y", func() error { _, err := s.Plan("trace T/c1/y"); return err }},
+		{"mod T", func() error { _, err := s.Plan("mod T"); return err }},
+		{"method Trace", func() error { _, err := s.Trace(cpdb.MustParsePath("T/c1/y")); return err }},
+		{"method Mod", func() error { _, err := s.Mod(cpdb.MustParsePath("T")); return err }},
+		{"select", func() error { _, err := s.Plan("select where loc>=T/c2 and op=C"); return err }},
+	} {
+		before := srv.Stats()
+		if err := tc.run(); err != nil {
+			t.Fatalf("%s: %v", tc.text, err)
+		}
+		after := srv.Stats()
+		if d := after["requests"] - before["requests"]; d != 1 {
+			t.Errorf("%s cost %d round trips, want exactly 1", tc.text, d)
+		}
+		if d := after["endpoint.query"] - before["endpoint.query"]; d != 1 {
+			t.Errorf("%s: endpoint.query delta = %d, want 1", tc.text, d)
+		}
+		if d := after["endpoint.maxtid"] - before["endpoint.maxtid"]; d != 0 {
+			t.Errorf("%s: endpoint.maxtid delta = %d, want 0 (horizon resolves server-side)", tc.text, d)
+		}
+	}
+}
+
 // TestSessionCloseFlushesOverNetwork: a Session over cpdb:// with client-side
 // batching must push everything to the service by Close, so a second session
 // (a different curator) sees the records.

@@ -59,6 +59,19 @@
 //	mods, err := s.Query(cpdb.WithContext(ctx)).Mod(p)  // cancellable scatter-gather
 //	for rec, err := range s.Query().Records(ctx) { … }  // streamed Figure 5 table
 //
+// Queries can also be posed declaratively: Session.Plan (and Query.Plan /
+// Query.PlanRows on the handle) parses a small query language over the
+// provenance relation — selects with filters, semi-joins, ordering, limits
+// and aggregates, plus the ancestry queries as language forms — and runs it
+// as a compiled streaming plan with predicate pushdown into the store's
+// index access paths (DESIGN.md §7). On a cpdb:// store the whole query
+// ships to the daemon (POST /v1/query) and executes next to the data, so a
+// multi-step trace or a mod BFS costs exactly one HTTP round trip:
+//
+//	res, err := s.Plan("select where loc>=MyDB/ABC1 and op=C limit 25")
+//	res, err  = s.Plan("trace MyDB/ABC1/entry asof 3")
+//	for row, err := range s.Query().PlanRows("select where loc>=MyDB") { … }
+//
 // Records rides the store's streaming scan path end to end: every backend
 // scan is a pull-based cursor (iter.Seq2[Record, error]), so a full-table
 // drain never materializes the relation — file-backed and remote stores

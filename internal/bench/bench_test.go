@@ -427,3 +427,41 @@ func TestMakeSequenceDeterministic(t *testing.T) {
 		t.Error("sequence generation not deterministic")
 	}
 }
+
+// TestQuerySweepShape: the declarative sweep produces both tables, the
+// pushdown table's scanned counts never exceed the full scan's, and every
+// remote plan row costs exactly one round trip.
+func TestQuerySweepShape(t *testing.T) {
+	tabs, err := QuerySweep(quick(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 2 || tabs[0].ID != "query" || tabs[1].ID != "queryrt" {
+		t.Fatalf("want tables query, queryrt, got %v", tabs)
+	}
+	push := tabs[0]
+	if len(push.Rows) < 5 {
+		t.Fatalf("pushdown table too small:\n%s", push)
+	}
+	for r := range push.Rows {
+		down, full := numCell(t, push, r, 2), numCell(t, push, r, 4)
+		if down > full {
+			t.Errorf("row %d: pushdown scanned %v > full scan %v:\n%s", r, down, full, push)
+		}
+		if full <= 0 {
+			t.Errorf("row %d: full scan scanned nothing:\n%s", r, push)
+		}
+	}
+	rt := tabs[1]
+	if len(rt.Rows) != 3 {
+		t.Fatalf("round-trip table malformed:\n%s", rt)
+	}
+	for r := range rt.Rows {
+		if got := numCell(t, rt, r, 2); got != 1 {
+			t.Errorf("row %d: plan cost %v round trips, want exactly 1:\n%s", r, got, rt)
+		}
+		if legacy := numCell(t, rt, r, 4); legacy <= 1 {
+			t.Errorf("row %d: legacy path cost %v round trips, want >1:\n%s", r, legacy, rt)
+		}
+	}
+}

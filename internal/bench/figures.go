@@ -100,6 +100,7 @@ func All() []Experiment {
 		{"shard", "Sharded concurrent ingest and group-commit sweep (beyond the paper)", ShardSweep},
 		{"net", "Loopback cpdb:// vs in-process mem:// per-operation latency (beyond the paper)", NetSweep},
 		{"repl", "Replicated store: ingest + read fan-out vs replica count (beyond the paper)", ReplSweep},
+		{"query", "Declarative plans: pushdown vs full scan, 1-RT remote plans vs legacy (beyond the paper)", QuerySweep},
 	}
 }
 

@@ -1,0 +1,267 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/path"
+	"repro/internal/provhttp"
+	"repro/internal/provplan"
+	"repro/internal/provquery"
+	"repro/internal/provstore"
+)
+
+// This file is the declarative-query sweep: what the provplan planner buys.
+// Two claims are measured. First, predicate pushdown — the same queries run
+// with the planner's access-path selection and again as full scans with a
+// client-side residual filter, comparing wall clock and the Scanned work
+// counter. Second, server-side plan execution — remote Trace/Mod answered
+// by one shipped plan (POST /v1/query) versus the legacy client-orchestrated
+// path whose every chain step and BFS wave is its own round trip.
+
+// QuerySweepConfig sizes the sweep.
+type QuerySweepConfig struct {
+	Tids   int // preloaded transactions
+	PerTid int // records per preloaded transaction
+	Iters  int // timed iterations per query
+}
+
+// DefaultQuerySweep returns the standard sizes.
+func DefaultQuerySweep() QuerySweepConfig {
+	return QuerySweepConfig{Tids: 60, PerTid: 60, Iters: 60}
+}
+
+// quickQuerySweep shrinks the sweep for tests.
+func quickQuerySweep() QuerySweepConfig {
+	return QuerySweepConfig{Tids: 12, PerTid: 20, Iters: 10}
+}
+
+// preloadQuery fills b with a deterministic relation whose predicates have
+// teeth: nested locations, all three op kinds, and transaction-deep copy
+// chains — transaction t copies its subtree from transaction t-1's
+// (T/ct ← T/c(t-1), back to S at t=1) — so tracing the newest data walks
+// one chain step per transaction, the worst case for per-step round trips.
+func preloadQuery(cfg QuerySweepConfig, b provstore.Backend) error {
+	ctx := context.Background()
+	for t := 1; t <= cfg.Tids; t++ {
+		recs := make([]provstore.Record, 0, cfg.PerTid)
+		chain := fmt.Sprintf("c%d", t)
+		prev := path.New("S", "p0")
+		if t > 1 {
+			prev = path.New("T", fmt.Sprintf("c%d", t-1))
+		}
+		recs = append(recs, provstore.Record{
+			Tid: int64(t), Op: provstore.OpCopy,
+			Loc: path.New("T", chain),
+			Src: prev,
+		})
+		for i := 1; i < cfg.PerTid; i++ {
+			r := provstore.Record{
+				Tid: int64(t),
+				Loc: path.New("T", chain, fmt.Sprintf("n%d", i)),
+			}
+			switch i % 3 {
+			case 0:
+				r.Op = provstore.OpInsert
+			case 1:
+				r.Op = provstore.OpCopy
+				r.Src = prev.Child(fmt.Sprintf("n%d", i))
+			case 2:
+				r.Op = provstore.OpDelete
+			}
+			recs = append(recs, r)
+		}
+		if err := b.Append(ctx, recs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// QuerySweep measures the declarative layer: pushdown vs full scan on an
+// in-process store, and one-round-trip remote plans vs the legacy
+// orchestrated path over a loopback cpdb:// service.
+func QuerySweep(rc RunConfig) ([]*Table, error) {
+	cfg := DefaultQuerySweep()
+	if rc.StepsShort < 3500 { // Quick() and test configs run a small sweep
+		cfg = quickQuerySweep()
+	}
+	push, err := pushdownTable(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := roundTripTable(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{push, rt}, nil
+}
+
+// pushdownTable runs each query twice against the same store — planner on,
+// planner off — and reports time and records pulled from cursors.
+func pushdownTable(cfg QuerySweepConfig) (*Table, error) {
+	ctx := context.Background()
+	b := provstore.NewMemBackend()
+	if err := preloadQuery(cfg, b); err != nil {
+		return nil, err
+	}
+	total := cfg.Tids * cfg.PerTid
+	midTid := cfg.Tids / 2
+	queries := []string{
+		fmt.Sprintf("select count where tid=%d", midTid),
+		fmt.Sprintf("select where tid>=%d and tid<=%d", midTid, midTid+2),
+		fmt.Sprintf("select where loc>=T/c%d", midTid),
+		fmt.Sprintf("select where loc=T/c%d/n1", midTid),
+		fmt.Sprintf("select where tid<=%d and op=C limit 20", cfg.Tids/4),
+		"select max-tid",
+	}
+
+	t := &Table{
+		ID: "query",
+		Title: fmt.Sprintf("Predicate pushdown vs full scan (%d-record store, %d iterations)",
+			total, cfg.Iters),
+	}
+	t.Header = []string{"query", "pushdown µs/op", "scanned", "full-scan µs/op", "scanned", "scan reduction"}
+	for _, text := range queries {
+		q, err := provplan.Parse(text)
+		if err != nil {
+			return nil, fmt.Errorf("bench: query %q: %w", text, err)
+		}
+		down, err := provplan.Compile(b, q)
+		if err != nil {
+			return nil, err
+		}
+		full, err := provplan.CompileWith(b, q, provplan.Options{NoPushdown: true})
+		if err != nil {
+			return nil, err
+		}
+		measure := func(pl *provplan.Plan) (time.Duration, int64, error) {
+			var scanned int64
+			start := time.Now()
+			for i := 0; i < cfg.Iters; i++ {
+				res, err := pl.Collect(ctx)
+				if err != nil {
+					return 0, 0, err
+				}
+				scanned = res.Scanned
+			}
+			return time.Since(start) / time.Duration(cfg.Iters), scanned, nil
+		}
+		dd, ds, err := measure(down)
+		if err != nil {
+			return nil, fmt.Errorf("bench: query %q (pushdown): %w", text, err)
+		}
+		fd, fs, err := measure(full)
+		if err != nil {
+			return nil, fmt.Errorf("bench: query %q (full scan): %w", text, err)
+		}
+		reduction := "1x"
+		if ds > 0 {
+			reduction = fmt.Sprintf("%.0fx", float64(fs)/float64(ds))
+		} else if fs > 0 {
+			reduction = fmt.Sprintf("%dx (to zero)", fs)
+		}
+		t.AddRow(text, us(dd), fmt.Sprint(ds), us(fd), fmt.Sprint(fs), reduction)
+	}
+	t.Note("scanned = records pulled from backend cursors per execution (Result.Scanned); pushdown turns predicates into index access paths, keyset seeks and early stops, full-scan filters every record client-side")
+	return t, nil
+}
+
+// roundTripTable answers the same ancestry queries over a loopback cpdb://
+// service two ways — plan shipped to POST /v1/query versus the legacy
+// client-orchestrated code path — and counts actual HTTP round trips via
+// the server's own /v1/stats counters.
+func roundTripTable(cfg QuerySweepConfig) (*Table, error) {
+	ctx := context.Background()
+	inner := provstore.NewMemBackend()
+	if err := preloadQuery(cfg, inner); err != nil {
+		return nil, err
+	}
+	srv := provhttp.NewServer(inner)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln) //nolint:errcheck // reports ErrServerClosed at teardown
+	defer hs.Close()
+	remote, err := provstore.OpenDSN("cpdb://" + ln.Addr().String())
+	if err != nil {
+		return nil, err
+	}
+	defer provstore.Close(remote) //nolint:errcheck // loopback teardown
+
+	e := provquery.New(remote)
+	tnow := int64(cfg.Tids)
+	midTid := cfg.Tids / 2
+	tracePath := path.New("T", fmt.Sprintf("c%d", midTid), "n1")
+	modPath := path.New("T")
+	iters := cfg.Iters / 2
+	if iters < 4 {
+		iters = 4
+	}
+
+	requests := func() int64 { return srv.Stats()["requests"] }
+	ops := []struct {
+		name   string
+		plan   func() error
+		legacy func() error
+	}{
+		{fmt.Sprintf("Trace %s", tracePath), func() error {
+			_, err := e.Trace(ctx, tracePath, tnow)
+			return err
+		}, func() error {
+			_, err := e.LegacyTrace(ctx, tracePath, tnow)
+			return err
+		}},
+		{fmt.Sprintf("Hist %s", tracePath), func() error {
+			_, err := e.Hist(ctx, tracePath, tnow)
+			return err
+		}, func() error {
+			_, err := e.LegacyHist(ctx, tracePath, tnow)
+			return err
+		}},
+		{fmt.Sprintf("Mod %s (subtree of %d records)", modPath, cfg.Tids*cfg.PerTid), func() error {
+			_, err := e.Mod(ctx, modPath, tnow)
+			return err
+		}, func() error {
+			_, err := e.LegacyMod(ctx, modPath, tnow)
+			return err
+		}},
+	}
+
+	t := &Table{
+		ID: "queryrt",
+		Title: fmt.Sprintf("Remote ancestry queries over loopback cpdb:// (%d iterations): shipped plan vs client-orchestrated",
+			iters),
+	}
+	t.Header = []string{"query", "plan µs/op", "plan RTs", "legacy µs/op", "legacy RTs"}
+	measure := func(run func() error) (time.Duration, int64, error) {
+		before := requests()
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if err := run(); err != nil {
+				return 0, 0, err
+			}
+		}
+		elapsed := time.Since(start) / time.Duration(iters)
+		rts := (requests() - before) / int64(iters)
+		return elapsed, rts, nil
+	}
+	for _, op := range ops {
+		pd, prt, err := measure(op.plan)
+		if err != nil {
+			return nil, fmt.Errorf("bench: queryrt %s (plan): %w", op.name, err)
+		}
+		ld, lrt, err := measure(op.legacy)
+		if err != nil {
+			return nil, fmt.Errorf("bench: queryrt %s (legacy): %w", op.name, err)
+		}
+		t.AddRow(op.name, us(pd), fmt.Sprint(prt), us(ld), fmt.Sprint(lrt))
+	}
+	t.Note("RTs = HTTP requests per query, counted by the server's own /v1/stats; a shipped plan is one POST /v1/query regardless of chain depth or BFS width, the legacy path pays one round trip per step")
+	return t, nil
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/path"
+	"repro/internal/provplan"
 	"repro/internal/provstore"
 )
 
@@ -44,6 +45,7 @@ const flushTimeout = 30 * time.Second
 var (
 	_ provstore.Backend = (*Client)(nil)
 	_ provstore.Flusher = (*Client)(nil)
+	_ provplan.Executor = (*Client)(nil)
 	_ io.Closer         = (*Client)(nil)
 )
 
@@ -265,6 +267,66 @@ func (c *Client) ScanAllAfter(ctx context.Context, tid int64, loc path.Path) ite
 		"after_tid": {strconv.FormatInt(tid, 10)},
 		"after_loc": {loc.String()},
 	})
+}
+
+// ExecPlan implements provplan.Executor: the whole declarative query ships
+// to the server's POST /v1/query as JSON and executes there, next to the
+// data — one round trip for an entire trace chain or mod BFS, where the
+// method-per-round-trip Backend surface would pay one per scan. The result
+// rows stream back under the same cursor contract as scans: decoded as the
+// consumer pulls, in-band mid-stream errors, truncation detected by the
+// missing terminator, and breaking out closes the body (cancelling the
+// server-side plan).
+func (c *Client) ExecPlan(ctx context.Context, q *provplan.Query) iter.Seq2[provplan.Row, error] {
+	return func(yield func(provplan.Row, error) bool) {
+		body, err := json.Marshal(q)
+		if err != nil {
+			yield(provplan.Row{}, err)
+			return
+		}
+		resp, err := c.do(ctx, http.MethodPost, "/v1/query", nil, bytes.NewReader(body), http.StatusOK)
+		if err != nil {
+			yield(provplan.Row{}, err)
+			return
+		}
+		defer resp.Body.Close()
+		dec := json.NewDecoder(resp.Body)
+		n := 0
+		for {
+			var line queryLine
+			if err := dec.Decode(&line); err != nil {
+				if cerr := ctx.Err(); cerr != nil {
+					yield(provplan.Row{}, cerr)
+					return
+				}
+				if err == io.EOF {
+					yield(provplan.Row{}, fmt.Errorf("provhttp: query: stream truncated after %d rows (missing eof terminator)", n))
+					return
+				}
+				yield(provplan.Row{}, fmt.Errorf("provhttp: query: %w", err))
+				return
+			}
+			switch {
+			case line.Err != "":
+				yield(provplan.Row{}, fmt.Errorf("provhttp: query: server error mid-stream: %s", line.Err))
+				return
+			case line.EOF:
+				if line.N != n {
+					yield(provplan.Row{}, fmt.Errorf("provhttp: query: stream carried %d rows, terminator says %d", n, line.N))
+				}
+				return
+			}
+			row, err := line.row()
+			if err != nil {
+				yield(provplan.Row{}, err)
+				return
+			}
+			n++
+			if !yield(row, nil) {
+				return
+			}
+		}
+	}
 }
 
 // Tids implements Backend.

@@ -1,0 +1,20 @@
+package provhttp_test
+
+import (
+	"testing"
+
+	"repro/internal/provstore"
+	"repro/internal/provtest"
+)
+
+// TestConformance runs the shared backend conformance suite
+// (internal/provtest) through the full production network path — the
+// cpdb:// driver, a live loopback HTTP server, and the NDJSON streaming
+// cursors — so the remote Backend is held to exactly the same cursor
+// contract as the in-process stores it proxies.
+func TestConformance(t *testing.T) {
+	provtest.Conformance(t, func(t *testing.T) provstore.Backend {
+		cli, _ := serve(t, provstore.NewMemBackend())
+		return cli
+	})
+}

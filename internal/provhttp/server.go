@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/path"
+	"repro/internal/provplan"
 	"repro/internal/provstore"
 )
 
@@ -56,6 +57,7 @@ type serverStats struct {
 var endpoints = []string{
 	"append", "lookup", "ancestor",
 	"scan/tid", "scan/loc", "scan/prefix", "scan/ancestors", "scan/all",
+	"query",
 	"tids", "maxtid", "count", "bytes",
 	"flush", "ping", "stats",
 }
@@ -80,6 +82,7 @@ func NewServer(inner provstore.Backend) *Server {
 	s.mux.HandleFunc("GET /v1/scan/prefix", s.scanHandler("scan/prefix", "prefix", s.inner.ScanLocPrefix))
 	s.mux.HandleFunc("GET /v1/scan/ancestors", s.scanHandler("scan/ancestors", "loc", s.inner.ScanLocWithAncestors))
 	s.mux.HandleFunc("GET /v1/scan-all", s.handleScanAll)
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("GET /v1/tids", s.handleTids)
 	s.mux.HandleFunc("GET /v1/maxtid", s.handleMaxTid)
 	s.mux.HandleFunc("GET /v1/count", s.handleCount)
@@ -364,6 +367,68 @@ func (s *Server) handleScanAll(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.streamScan(w, r, window, func() bool { return cut })
+}
+
+// handleQuery executes a whole declarative plan server-side, next to the
+// data: the JSON body is a provplan.Query, compiled against the inner
+// backend (a sharded inner store scatter-gathers its subplans here, in the
+// daemon), and the result rows stream back as one NDJSON cursor. This is
+// what makes a remote trace or mod one round trip — the chain steps and
+// BFS waves that used to be client round trips run entirely in this
+// handler. Compile errors are 400s; execution errors surface before the
+// first row as a 500, after it as an in-band error line, like every other
+// stream.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.count("query")
+	var q provplan.Query
+	if err := json.NewDecoder(r.Body).Decode(&q); err != nil {
+		s.fail(w, fmt.Errorf("provhttp: bad query body: %w", err), http.StatusBadRequest)
+		return
+	}
+	pl, err := provplan.Compile(s.inner, &q)
+	if err != nil {
+		s.fail(w, err, http.StatusBadRequest)
+		return
+	}
+
+	s.stats.cursorsOpen.Add(1)
+	defer s.stats.cursorsOpen.Add(-1)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	n := 0
+	started := false
+	for row, err := range pl.Rows(r.Context()) {
+		if err != nil {
+			if !started {
+				s.fail(w, err, http.StatusInternalServerError)
+			} else {
+				s.stats.errors.Add(1)
+				enc.Encode(queryLine{Err: err.Error()}) //nolint:errcheck // stream end
+			}
+			return
+		}
+		if !started {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			started = true
+		}
+		if err := enc.Encode(toWireRow(row)); err != nil {
+			return // client hung up; the connection carries the truncation
+		}
+		n++
+		if n%streamFlushEvery == 0 {
+			if flusher != nil {
+				flusher.Flush()
+			}
+			if r.Context().Err() != nil {
+				return
+			}
+		}
+	}
+	if !started {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	enc.Encode(queryLine{EOF: true, N: n}) //nolint:errcheck // stream end
+	s.stats.recordsStreamed.Add(int64(n))
 }
 
 func (s *Server) handleTids(w http.ResponseWriter, r *http.Request) {

@@ -26,6 +26,13 @@
 //	                                   after a key / bound one page, and
 //	                                   the terminator carries "more":true
 //	                                   when a limit cut the stream short
+//	POST /v1/query                   declarative provplan.Query as the JSON
+//	                                 body; the whole plan executes
+//	                                 server-side, next to the data, and the
+//	                                 result streams back as one NDJSON
+//	                                 cursor of tagged rows (see queryLine) —
+//	                                 a multi-step trace or mod costs one
+//	                                 round trip instead of one per scan
 //	GET  /v1/tids                    {"tids":[…]}
 //	GET  /v1/maxtid                  {"maxTid":N}
 //	GET  /v1/count                   {"count":N}
@@ -50,6 +57,7 @@ import (
 	"net/http"
 
 	"repro/internal/path"
+	"repro/internal/provplan"
 	"repro/internal/provstore"
 )
 
@@ -103,6 +111,126 @@ type scanLine struct {
 	N    int         `json:"n,omitempty"`
 	More bool        `json:"more,omitempty"`
 	Err  string      `json:"err,omitempty"`
+}
+
+// queryLine is one NDJSON line of a /v1/query result stream — the wire form
+// of one provplan.Row, plus the same terminator/error lines scan streams
+// carry. Exactly one of the variant fields is set per line:
+//
+//	{"r":record}                      select row
+//	{"tid":N}                         mod/hist row
+//	{"v":{"val":N,"found":bool}}      aggregate or src answer
+//	{"ev":{"tid":N,"op":"C","loc":…}} trace step
+//	{"end":{"origin":…,"external":…}} trace terminator row
+//	{"eof":true,"n":N}                stream terminator (always last)
+//	{"err":…}                         server failed mid-stream
+type queryLine struct {
+	R   *wireRecord `json:"r,omitempty"`
+	Tid int64       `json:"tid,omitempty"` // transaction ids are >= 1
+	V   *wireValue  `json:"v,omitempty"`
+	Ev  *wireEvent  `json:"ev,omitempty"`
+	End *wireEnd    `json:"end,omitempty"`
+	EOF bool        `json:"eof,omitempty"`
+	N   int         `json:"n,omitempty"`
+	Err string      `json:"err,omitempty"`
+}
+
+// wireValue is a scalar answer with its existence bit (min/max of an empty
+// result, src of external data: found=false).
+type wireValue struct {
+	Val   int64 `json:"val"`
+	Found bool  `json:"found"`
+}
+
+// wireEvent is one trace step on the wire.
+type wireEvent struct {
+	Tid int64  `json:"tid"`
+	Op  string `json:"op"`
+	Loc string `json:"loc"`
+	Src string `json:"src,omitempty"`
+}
+
+// wireEnd is the trace terminator row: the origin classification by name
+// ("inserted", "external", "preexisting") and, for external chains, the
+// first out-of-database location reached.
+type wireEnd struct {
+	Origin   string `json:"origin"`
+	External string `json:"external,omitempty"`
+}
+
+// origins maps wire origin names back to the enum.
+var origins = map[string]provplan.Origin{
+	provplan.OriginInserted.String():    provplan.OriginInserted,
+	provplan.OriginExternal.String():    provplan.OriginExternal,
+	provplan.OriginPreexisting.String(): provplan.OriginPreexisting,
+}
+
+// toWireRow converts one result row for transmission.
+func toWireRow(row provplan.Row) queryLine {
+	switch row.Kind {
+	case provplan.RowRecord:
+		wr := toWire(row.Rec)
+		return queryLine{R: &wr}
+	case provplan.RowTid:
+		return queryLine{Tid: row.Tid}
+	case provplan.RowValue:
+		return queryLine{V: &wireValue{Val: row.Val, Found: row.Found}}
+	case provplan.RowEvent:
+		ev := wireEvent{Tid: row.Event.Tid, Op: row.Event.Op.String(), Loc: row.Event.Loc.String()}
+		if row.Event.Op == provstore.OpCopy {
+			ev.Src = row.Event.Src.String()
+		}
+		return queryLine{Ev: &ev}
+	default: // provplan.RowEnd
+		end := wireEnd{Origin: row.Origin.String()}
+		if row.Origin == provplan.OriginExternal {
+			end.External = row.External.String()
+		}
+		return queryLine{End: &end}
+	}
+}
+
+// row parses a received result line back into a provplan.Row. The
+// terminator and error variants are handled by the caller; this sees only
+// data lines.
+func (l queryLine) row() (provplan.Row, error) {
+	switch {
+	case l.R != nil:
+		rec, err := l.R.record()
+		if err != nil {
+			return provplan.Row{}, err
+		}
+		return provplan.Row{Kind: provplan.RowRecord, Rec: rec}, nil
+	case l.Tid != 0:
+		return provplan.Row{Kind: provplan.RowTid, Tid: l.Tid}, nil
+	case l.V != nil:
+		return provplan.Row{Kind: provplan.RowValue, Val: l.V.Val, Found: l.V.Found}, nil
+	case l.Ev != nil:
+		if len(l.Ev.Op) != 1 {
+			return provplan.Row{}, fmt.Errorf("provhttp: bad event op %q", l.Ev.Op)
+		}
+		ev := provplan.Event{Tid: l.Ev.Tid, Op: provstore.OpKind(l.Ev.Op[0])}
+		var err error
+		if ev.Loc, err = path.Parse(l.Ev.Loc); err != nil {
+			return provplan.Row{}, fmt.Errorf("provhttp: bad event loc %q: %w", l.Ev.Loc, err)
+		}
+		if ev.Src, err = path.Parse(l.Ev.Src); err != nil {
+			return provplan.Row{}, fmt.Errorf("provhttp: bad event src %q: %w", l.Ev.Src, err)
+		}
+		return provplan.Row{Kind: provplan.RowEvent, Event: ev}, nil
+	case l.End != nil:
+		origin, ok := origins[l.End.Origin]
+		if !ok {
+			return provplan.Row{}, fmt.Errorf("provhttp: unknown trace origin %q", l.End.Origin)
+		}
+		ext, err := path.Parse(l.End.External)
+		if err != nil {
+			return provplan.Row{}, fmt.Errorf("provhttp: bad external path %q: %w", l.End.External, err)
+		}
+		return provplan.Row{Kind: provplan.RowEnd, Origin: origin, External: ext}, nil
+	default:
+		return provplan.Row{}, errors.New("provhttp: blank query stream line")
+	}
 }
 
 // foundResponse answers the point queries (Lookup, NearestAncestor).

@@ -1,0 +1,93 @@
+package provplan
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseCanonical(t *testing.T) {
+	// in parses; out is its canonical String (== in when already canonical).
+	cases := []struct{ in, out string }{
+		{"select", "select"},
+		{"select where tid>=3", "select where tid>=3"},
+		{"select where tid<=4 and tid>=2", "select where tid>=2 and tid<=4"},
+		{"select where tid=3..3", "select where tid=3"},
+		{"select where tid=2..6", "select where tid>=2 and tid<=6"},
+		{"select where tid>=1 and tid>=2", "select where tid>=2"}, // bounds intersect
+
+		{"select where op=c,i", "select where op=I,C"},
+		{"select where loc=a/b and op=D", "select where op=D and loc=a/b"},
+		{"select where loc<=a/b/c", "select where loc<=a/b/c"},
+		{"select where loc>=a and src>=b", "select where loc>=a and src>=b"},
+		{"select where src=a/*", "select where src=a/*"},
+		{"select count where tid>=2", "select count where tid>=2"},
+		{"select min-tid", "select min-tid"},
+		{"select order loc-tid desc limit 5", "select order loc-tid desc limit 5"},
+		{"select order tid-loc", "select"}, // default order is implicit
+		{"select where op=C join tid (select where op=D)", "select where op=C join tid (select where op=D)"},
+		{"select join src-loc (select limit 1)", "select join src-loc (select limit 1)"},
+		{"trace a/b", "trace a/b"},
+		{"trace a/b asof 7", "trace a/b asof 7"},
+		{"mod x", "mod x"},
+		{"hist x/y asof 2", "hist x/y asof 2"},
+		{"src q/r", "src q/r"},
+	}
+	for _, tc := range cases {
+		q, err := Parse(tc.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tc.in, err)
+			continue
+		}
+		if got := q.String(); got != tc.out {
+			t.Errorf("Parse(%q).String() = %q, want %q", tc.in, got, tc.out)
+		}
+		// Canonical text re-parses to the same canonical text.
+		q2, err := Parse(q.String())
+		if err != nil {
+			t.Errorf("reparse(%q): %v", q.String(), err)
+			continue
+		}
+		if q2.String() != q.String() {
+			t.Errorf("reparse(%q) = %q", q.String(), q2.String())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"explode",
+		"select where",
+		"select where tid>=x",
+		"select where tid>=0",
+		"select where bogus=1",
+		"select where loc<=a and loc<=b",
+		"select where src<=a", // src has no ancestor clause
+		"select limit 0",
+		"select limit -1",
+		"select order sideways",
+		"select count count",
+		"select join tid select", // missing parens
+		"select join tid (select",
+		"select join tid (trace x)",
+		"select join bogus (select)",
+		"trace",
+		"trace a b",
+		"trace a asof",
+		"trace a asof -1",
+		"mod a extra",
+		"select trailing",
+	}
+	for _, in := range bad {
+		if q, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) = %q, want error", in, q.String())
+		}
+	}
+}
+
+func TestParseErrorsMentionToken(t *testing.T) {
+	_, err := Parse("select where frob=1")
+	if err == nil || !strings.Contains(err.Error(), "frob") {
+		t.Errorf("error should name the offending clause, got %v", err)
+	}
+}

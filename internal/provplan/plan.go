@@ -1,0 +1,722 @@
+package provplan
+
+import (
+	"context"
+	"fmt"
+	"iter"
+	"slices"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/path"
+	"repro/internal/provstore"
+)
+
+// This file is the compiler: Compile turns a declarative Query into a Plan
+// — an access-path choice plus a pipeline of composable cursor operators
+// (filter, semi-join, early-stop, order, limit, aggregate), each an
+// iter.Seq2[Record, error] transformer honoring the cursor contract of
+// provstore/scan.go. Execution is lazy; nothing touches the backend until
+// the plan's cursor is ranged.
+
+// An accessKind names the index access path a select compiles to.
+type accessKind int
+
+const (
+	accessAll          accessKind = iota // ScanAll: (Tid, Loc) order
+	accessAllAfter                       // ScanAllAfter keyset seek: (Tid, Loc) order
+	accessTid                            // ScanTid: (Loc, Tid) order at one tid
+	accessLoc                            // ScanLoc: Tid order at one loc (both orders hold)
+	accessLocPrefix                      // ScanLocPrefix: (Loc, Tid) order
+	accessLocAncestors                   // ScanLocWithAncestors: (Tid, Loc) order
+)
+
+func (a accessKind) String() string {
+	switch a {
+	case accessAll:
+		return "scan-all"
+	case accessAllAfter:
+		return "scan-all-after"
+	case accessTid:
+		return "scan-tid"
+	case accessLoc:
+		return "scan-loc"
+	case accessLocPrefix:
+		return "scan-loc-prefix"
+	case accessLocAncestors:
+		return "scan-loc-ancestors"
+	default:
+		return fmt.Sprintf("access(%d)", int(a))
+	}
+}
+
+// compiledPred is a Pred with its textual paths and patterns resolved.
+type compiledPred struct {
+	tidMin, tidMax int64
+	ops            string
+	locPat         *path.Pattern
+	locUnder       *path.Path
+	locAbove       *path.Path
+	srcPat         *path.Pattern
+	srcUnder       *path.Path
+}
+
+// match is the full predicate — always applied as the residual filter, so
+// access-path selection can never change results, only work.
+func (p *compiledPred) match(r provstore.Record) bool {
+	if p.tidMin > 0 && r.Tid < p.tidMin {
+		return false
+	}
+	if p.tidMax > 0 && r.Tid > p.tidMax {
+		return false
+	}
+	if p.ops != "" && !strings.ContainsRune(p.ops, rune(r.Op)) {
+		return false
+	}
+	if p.locPat != nil && !p.locPat.Matches(r.Loc) {
+		return false
+	}
+	if p.locUnder != nil && !p.locUnder.IsPrefixOf(r.Loc) {
+		return false
+	}
+	if p.locAbove != nil && !r.Loc.IsPrefixOf(*p.locAbove) {
+		return false
+	}
+	if p.srcPat != nil && (r.Src.IsRoot() || !p.srcPat.Matches(r.Src)) {
+		return false
+	}
+	if p.srcUnder != nil && (r.Src.IsRoot() || !p.srcUnder.IsPrefixOf(r.Src)) {
+		return false
+	}
+	return true
+}
+
+func compilePred(w Pred) (compiledPred, error) {
+	var cp compiledPred
+	if w.TidMin < 0 || w.TidMax < 0 {
+		return cp, badQuery("tid bounds must be positive")
+	}
+	cp.tidMin, cp.tidMax = w.TidMin, w.TidMax
+	if cp.tidMin > 0 && cp.tidMax > 0 && cp.tidMin > cp.tidMax {
+		return cp, badQuery("empty tid range %d..%d", cp.tidMin, cp.tidMax)
+	}
+	if w.Ops != "" {
+		cp.ops = canonicalOps(w.Ops)
+		for _, k := range cp.ops {
+			if !provstore.OpKind(k).Valid() {
+				return cp, badQuery("unknown op %q (want I, C or D)", string(k))
+			}
+		}
+	}
+	if w.Loc != "" {
+		pat, err := path.ParsePattern(w.Loc)
+		if err != nil {
+			return cp, badQuery("loc pattern: %v", err)
+		}
+		cp.locPat = &pat
+	}
+	if w.LocUnder != "" {
+		p, err := parsePathArg("loc>=", w.LocUnder)
+		if err != nil {
+			return cp, err
+		}
+		cp.locUnder = &p
+	}
+	if w.LocAbove != "" {
+		p, err := parsePathArg("loc<=", w.LocAbove)
+		if err != nil {
+			return cp, err
+		}
+		cp.locAbove = &p
+	}
+	if w.Src != "" {
+		pat, err := path.ParsePattern(w.Src)
+		if err != nil {
+			return cp, badQuery("src pattern: %v", err)
+		}
+		cp.srcPat = &pat
+	}
+	if w.SrcUnder != "" {
+		p, err := parsePathArg("src>=", w.SrcUnder)
+		if err != nil {
+			return cp, err
+		}
+		cp.srcUnder = &p
+	}
+	return cp, nil
+}
+
+// A Plan is a compiled Query bound to a backend, ready to execute. Plans
+// are immutable and safe for concurrent use; each Rows call is an
+// independent execution.
+type Plan struct {
+	b provstore.Backend
+	q *Query
+
+	// select compilation
+	pred      compiledPred
+	join      *compiledJoin
+	access    accessKind
+	accessLoc path.Path                 // argument of the loc-based access paths
+	accessTid int64                     // argument of accessTid / seek key of accessAllAfter
+	stopTid   int64                     // >0: cut a Tid-ascending stream after this tid
+	order     string                    // resolved result order
+	streamed  bool                      // access order satisfies the requested order
+	shards    *provstore.ShardedBackend // non-nil: scatter below the merge
+
+	// ancestry compilation
+	path path.Path
+	asOf int64
+
+	explain []string
+}
+
+// compiledJoin is a Join with its subquery compiled.
+type compiledJoin struct {
+	on  string
+	sub *Plan
+}
+
+// Options tune compilation. The zero value is the default planner.
+type Options struct {
+	// NoPushdown disables access-path selection, early stopping and
+	// shard scatter: every select runs as a full ScanAll with a
+	// client-side residual filter — the baseline the bench sweep
+	// compares the planner against.
+	NoPushdown bool
+}
+
+// Compile validates q and builds its plan over b.
+func Compile(b provstore.Backend, q *Query) (*Plan, error) {
+	return CompileWith(b, q, Options{})
+}
+
+// CompileWith is Compile with explicit Options.
+func CompileWith(b provstore.Backend, q *Query, opts Options) (*Plan, error) {
+	if q == nil {
+		return nil, badQuery("nil query")
+	}
+	switch q.Op {
+	case OpSelect:
+		return compileSelect(b, q, opts)
+	case OpTrace, OpHist, OpMod, OpSrc:
+		if q.AsOf < 0 {
+			return nil, badQuery("asof must be positive")
+		}
+		p, err := parsePathArg("path", q.Path)
+		if err != nil {
+			return nil, err
+		}
+		pl := &Plan{b: b, q: q, path: p, asOf: q.AsOf}
+		pl.explain = []string{fmt.Sprintf("%s(%s) via iterated selects", q.Op, p)}
+		return pl, nil
+	default:
+		return nil, badQuery("unknown query kind %q", q.Op)
+	}
+}
+
+func compileSelect(b provstore.Backend, q *Query, opts Options) (*Plan, error) {
+	pl := &Plan{b: b, q: q}
+	var err error
+	if pl.pred, err = compilePred(q.Where); err != nil {
+		return nil, err
+	}
+	switch q.Agg {
+	case "", AggCount, AggMinTid, AggMaxTid:
+	default:
+		return nil, badQuery("unknown aggregate %q", q.Agg)
+	}
+	if q.Agg != "" && (q.Order != "" || q.Desc || q.Limit > 0) {
+		return nil, badQuery("aggregate cannot combine with order/desc/limit")
+	}
+	if q.Limit < 0 {
+		return nil, badQuery("limit must be positive")
+	}
+	pl.order = q.Order
+	switch pl.order {
+	case "":
+		pl.order = OrderTidLoc
+	case OrderTidLoc, OrderLocTid:
+	default:
+		return nil, badQuery("unknown order %q", q.Order)
+	}
+	if q.Join != nil {
+		on := q.Join.On
+		if on == "" {
+			on = JoinTid
+		}
+		switch on {
+		case JoinTid, JoinSrcLoc, JoinLocSrc:
+		default:
+			return nil, badQuery("unknown join variable %q", q.Join.On)
+		}
+		if q.Join.Sub == nil {
+			return nil, badQuery("join without subquery")
+		}
+		if q.Join.Sub.Op != OpSelect {
+			return nil, badQuery("join subquery must be a select, not %q", q.Join.Sub.Op)
+		}
+		if q.Join.Sub.Agg != "" {
+			return nil, badQuery("join subquery cannot aggregate")
+		}
+		sub, err := CompileWith(b, q.Join.Sub, opts)
+		if err != nil {
+			return nil, fmt.Errorf("join subquery: %w", err)
+		}
+		pl.join = &compiledJoin{on: on, sub: sub}
+	}
+
+	if opts.NoPushdown {
+		pl.access = accessAll
+		pl.streamed = pl.order == OrderTidLoc && !q.Desc
+		pl.buildExplain("full-scan (pushdown disabled)")
+		return pl, nil
+	}
+	pl.chooseAccess()
+
+	// A Tid-ascending access stream can stop at the first record past the
+	// upper tid bound — the rest of the cursor is never pulled.
+	if pl.pred.tidMax > 0 {
+		switch pl.access {
+		case accessAll, accessAllAfter, accessLocAncestors, accessLoc:
+			pl.stopTid = pl.pred.tidMax
+		}
+	}
+	switch pl.access {
+	case accessAll, accessAllAfter, accessLocAncestors:
+		pl.streamed = pl.order == OrderTidLoc
+	case accessTid, accessLocPrefix:
+		pl.streamed = pl.order == OrderLocTid
+	case accessLoc:
+		pl.streamed = true // a single location satisfies both orders
+	}
+	if q.Desc {
+		pl.streamed = false
+	}
+
+	// Scatter paths on a sharded store push the residual filter (or the
+	// whole aggregate) below the k-way merge, one subplan per shard.
+	if sb, ok := b.(*provstore.ShardedBackend); ok && sb.NumShards() > 1 {
+		switch pl.access {
+		case accessAll, accessAllAfter, accessTid, accessLocPrefix:
+			pl.shards = sb
+		}
+	}
+	pl.buildExplain("")
+	return pl, nil
+}
+
+// chooseAccess picks the most selective access path the predicate admits.
+// The full predicate is always re-applied as the residual filter, so the
+// choice affects only how many records are pulled, never which are kept.
+func (pl *Plan) chooseAccess() {
+	p := &pl.pred
+	if p.locAbove != nil {
+		pl.access, pl.accessLoc = accessLocAncestors, *p.locAbove
+		return
+	}
+	if p.locPat != nil && p.locPat.IsExact() {
+		loc, _ := p.locPat.AsPath()
+		pl.access, pl.accessLoc = accessLoc, loc
+		return
+	}
+	// The deepest concrete location prefix the loc predicates agree on:
+	// an explicit loc>=P bound, or the concrete leading labels of a
+	// wildcard pattern (every match of "T/a/*/b" lies under "T/a").
+	var prefix path.Path
+	if p.locUnder != nil {
+		prefix = *p.locUnder
+	}
+	if p.locPat != nil {
+		if cp := concretePrefix(*p.locPat); cp.Len() > prefix.Len() {
+			prefix = cp
+		}
+	}
+	if prefix.Len() > 0 {
+		pl.access, pl.accessLoc = accessLocPrefix, prefix
+		return
+	}
+	if p.tidMin > 0 && p.tidMin == p.tidMax {
+		pl.access, pl.accessTid = accessTid, p.tidMin
+		return
+	}
+	if p.tidMin > 0 {
+		// Every stored location is strictly greater than path.Root, so
+		// the keys strictly after (tidMin, Root) are exactly the records
+		// with Tid >= tidMin (pinned by TestSeekKeyForTidRange).
+		pl.access, pl.accessTid = accessAllAfter, p.tidMin
+		return
+	}
+	pl.access = accessAll
+}
+
+// concretePrefix returns the longest leading run of non-wildcard components
+// of a pattern as a path.
+func concretePrefix(pat path.Pattern) path.Path {
+	s := pat.String()
+	if s == "" {
+		return path.Root
+	}
+	labels := strings.Split(s, "/")
+	n := 0
+	for n < len(labels) && labels[n] != path.Wildcard {
+		n++
+	}
+	p, err := path.TryNew(labels[:n]...)
+	if err != nil {
+		return path.Root
+	}
+	return p
+}
+
+func (pl *Plan) buildExplain(note string) {
+	var parts []string
+	switch pl.access {
+	case accessAll:
+		parts = append(parts, "access=scan-all")
+	case accessAllAfter:
+		parts = append(parts, fmt.Sprintf("access=scan-all-after(%d, ε)", pl.accessTid))
+	case accessTid:
+		parts = append(parts, fmt.Sprintf("access=scan-tid(%d)", pl.accessTid))
+	default:
+		parts = append(parts, fmt.Sprintf("access=%s(%s)", pl.access, pl.accessLoc))
+	}
+	if pl.stopTid > 0 {
+		parts = append(parts, fmt.Sprintf("stop=tid>%d", pl.stopTid))
+	}
+	if pl.q.Agg != "" {
+		parts = append(parts, "agg="+pl.q.Agg)
+	} else {
+		mode := "sort"
+		if pl.streamed {
+			mode = "stream"
+		}
+		parts = append(parts, fmt.Sprintf("order=%s (%s)", pl.order, mode))
+		if pl.q.Limit > 0 {
+			parts = append(parts, fmt.Sprintf("limit=%d", pl.q.Limit))
+		}
+	}
+	if pl.shards != nil {
+		parts = append(parts, fmt.Sprintf("parallel=shards(%d)", pl.shards.NumShards()))
+	}
+	if pl.join != nil {
+		parts = append(parts, "semi-join="+pl.join.on)
+	}
+	if note != "" {
+		parts = append(parts, note)
+	}
+	pl.explain = []string{strings.Join(parts, " ")}
+	if pl.join != nil {
+		for _, line := range pl.join.sub.Explain() {
+			pl.explain = append(pl.explain, "  sub: "+line)
+		}
+	}
+}
+
+// Explain describes the chosen access path, stream cuts and parallelism,
+// one line per plan node.
+func (pl *Plan) Explain() []string { return slices.Clone(pl.explain) }
+
+// --- execution --------------------------------------------------------------
+
+// accessScan opens the plan's access cursor on one backend (a shard, or the
+// whole store), counting pulled records into scanned.
+func (pl *Plan) accessScan(ctx context.Context, b provstore.Backend, scanned *atomic.Int64) iter.Seq2[provstore.Record, error] {
+	var scan iter.Seq2[provstore.Record, error]
+	switch pl.access {
+	case accessAll:
+		scan = b.ScanAll(ctx)
+	case accessAllAfter:
+		scan = b.ScanAllAfter(ctx, pl.accessTid, path.Root)
+	case accessTid:
+		scan = b.ScanTid(ctx, pl.accessTid)
+	case accessLoc:
+		scan = b.ScanLoc(ctx, pl.accessLoc)
+	case accessLocPrefix:
+		scan = b.ScanLocPrefix(ctx, pl.accessLoc)
+	case accessLocAncestors:
+		scan = b.ScanLocWithAncestors(ctx, pl.accessLoc)
+	default:
+		return provstore.ScanError(badQuery("unplanned access %v", pl.access))
+	}
+	return counted(scan, scanned)
+}
+
+// counted wraps a cursor to count records pulled from it.
+func counted(scan iter.Seq2[provstore.Record, error], scanned *atomic.Int64) iter.Seq2[provstore.Record, error] {
+	if scanned == nil {
+		return scan
+	}
+	return func(yield func(provstore.Record, error) bool) {
+		for r, err := range scan {
+			if err == nil {
+				scanned.Add(1)
+			}
+			if !yield(r, err) {
+				return
+			}
+		}
+	}
+}
+
+// filtered applies the residual predicate, the optional join key filter and
+// the early tid stop on one access stream.
+func (pl *Plan) filtered(scan iter.Seq2[provstore.Record, error], keys *joinKeys) iter.Seq2[provstore.Record, error] {
+	return func(yield func(provstore.Record, error) bool) {
+		for r, err := range scan {
+			if err != nil {
+				yield(provstore.Record{}, err)
+				return
+			}
+			if pl.stopTid > 0 && r.Tid > pl.stopTid {
+				return // Tid-ascending stream: nothing later matches
+			}
+			if !pl.pred.match(r) {
+				continue
+			}
+			if keys != nil && !keys.match(r) {
+				continue
+			}
+			if !yield(r, nil) {
+				return
+			}
+		}
+	}
+}
+
+// joinKeys is a materialized semi-join key set.
+type joinKeys struct {
+	on   string
+	tids map[int64]struct{}
+	locs map[string]struct{} // binary-encoded paths
+}
+
+func (k *joinKeys) match(r provstore.Record) bool {
+	switch k.on {
+	case JoinTid:
+		_, ok := k.tids[r.Tid]
+		return ok
+	case JoinSrcLoc:
+		if r.Src.IsRoot() {
+			return false
+		}
+		_, ok := k.locs[string(r.Src.AppendBinary(nil))]
+		return ok
+	default: // JoinLocSrc
+		_, ok := k.locs[string(r.Loc.AppendBinary(nil))]
+		return ok
+	}
+}
+
+// buildJoinKeys runs the subquery and materializes the join key set.
+func (pl *Plan) buildJoinKeys(ctx context.Context, scanned *atomic.Int64) (*joinKeys, error) {
+	if pl.join == nil {
+		return nil, nil
+	}
+	keys := &joinKeys{on: pl.join.on}
+	switch pl.join.on {
+	case JoinTid:
+		keys.tids = make(map[int64]struct{})
+	default:
+		keys.locs = make(map[string]struct{})
+	}
+	for r, err := range pl.join.sub.records(ctx, scanned) {
+		if err != nil {
+			return nil, fmt.Errorf("join subquery: %w", err)
+		}
+		switch pl.join.on {
+		case JoinTid:
+			keys.tids[r.Tid] = struct{}{}
+		case JoinSrcLoc:
+			keys.locs[string(r.Loc.AppendBinary(nil))] = struct{}{}
+		default: // JoinLocSrc
+			if !r.Src.IsRoot() {
+				keys.locs[string(r.Src.AppendBinary(nil))] = struct{}{}
+			}
+		}
+	}
+	return keys, nil
+}
+
+// matched is the ordered-by-access, filtered record stream — the plan body
+// shared by the row and aggregate paths. The semi-join key set must already
+// be built.
+func (pl *Plan) matched(ctx context.Context, keys *joinKeys, scanned *atomic.Int64) iter.Seq2[provstore.Record, error] {
+	if pl.shards == nil {
+		return pl.filtered(pl.accessScan(ctx, pl.b, scanned), keys)
+	}
+	// Scatter: one filtered subplan per shard, merged back into the
+	// access order. Each shard's stream is cut and filtered independently
+	// (below the merge), so the merge only ever sees matching records.
+	cmp := provstore.CompareTidLoc
+	if pl.access == accessTid || pl.access == accessLocPrefix {
+		cmp = provstore.CompareLocTid
+	}
+	cursors := make([]iter.Seq2[provstore.Record, error], pl.shards.NumShards())
+	for i := range cursors {
+		cursors[i] = pl.filtered(pl.accessScan(ctx, pl.shards.Shard(i), scanned), keys)
+	}
+	return provstore.MergeScans(cmp, cursors...)
+}
+
+// records executes a select plan as a record cursor in the requested order,
+// applying limit. The cursor follows the provstore cursor contract.
+func (pl *Plan) records(ctx context.Context, scanned *atomic.Int64) iter.Seq2[provstore.Record, error] {
+	if pl.q.Op != OpSelect || pl.q.Agg != "" {
+		return provstore.ScanError(badQuery("%s plan has no record stream", pl.q.Op))
+	}
+	return func(yield func(provstore.Record, error) bool) {
+		keys, err := pl.buildJoinKeys(ctx, scanned)
+		if err != nil {
+			yield(provstore.Record{}, err)
+			return
+		}
+		stream := pl.matched(ctx, keys, scanned)
+		if !pl.streamed {
+			recs, err := provstore.CollectScan(stream)
+			if err != nil {
+				yield(provstore.Record{}, err)
+				return
+			}
+			cmp := provstore.CompareTidLoc
+			if pl.order == OrderLocTid {
+				cmp = provstore.CompareLocTid
+			}
+			sort.SliceStable(recs, func(i, j int) bool { return cmp(recs[i], recs[j]) < 0 })
+			if pl.q.Desc {
+				slices.Reverse(recs)
+			}
+			stream = provstore.ScanSlice(recs)
+		}
+		n := 0
+		for r, err := range stream {
+			if err != nil {
+				yield(provstore.Record{}, err)
+				return
+			}
+			if !yield(r, nil) {
+				return
+			}
+			n++
+			if pl.q.Limit > 0 && n >= pl.q.Limit {
+				return
+			}
+		}
+	}
+}
+
+// Records executes a select plan and materializes its records.
+func (pl *Plan) Records(ctx context.Context) ([]provstore.Record, error) {
+	return provstore.CollectScan(pl.records(ctx, nil))
+}
+
+// aggPartial is one stream's aggregate contribution.
+type aggPartial struct {
+	count int64
+	min   int64
+	max   int64
+	found bool
+}
+
+func (a *aggPartial) add(r provstore.Record) {
+	a.count++
+	if !a.found || r.Tid < a.min {
+		a.min = r.Tid
+	}
+	if !a.found || r.Tid > a.max {
+		a.max = r.Tid
+	}
+	a.found = true
+}
+
+func (a *aggPartial) merge(b aggPartial) {
+	if !b.found {
+		return
+	}
+	a.count += b.count
+	if !a.found || b.min < a.min {
+		a.min = b.min
+	}
+	if !a.found || b.max > a.max {
+		a.max = b.max
+	}
+	a.found = true
+}
+
+// aggregate executes an aggregating select. On a sharded store the whole
+// aggregate runs once per shard concurrently (no merge at all) and the
+// partials combine.
+func (pl *Plan) aggregate(ctx context.Context, scanned *atomic.Int64) (val int64, found bool, err error) {
+	keys, err := pl.buildJoinKeys(ctx, scanned)
+	if err != nil {
+		return 0, false, err
+	}
+	var total aggPartial
+	if pl.shards != nil {
+		partials := make([]aggPartial, pl.shards.NumShards())
+		err := provstore.Fanout(ctx, pl.shards.NumShards(), func(i int) error {
+			for r, err := range pl.filtered(pl.accessScan(ctx, pl.shards.Shard(i), scanned), keys) {
+				if err != nil {
+					return err
+				}
+				partials[i].add(r)
+			}
+			return nil
+		})
+		if err != nil {
+			return 0, false, err
+		}
+		for _, p := range partials {
+			total.merge(p)
+		}
+	} else {
+		for r, err := range pl.filtered(pl.accessScan(ctx, pl.b, scanned), keys) {
+			if err != nil {
+				return 0, false, err
+			}
+			total.add(r)
+		}
+	}
+	switch pl.q.Agg {
+	case AggCount:
+		return total.count, true, nil
+	case AggMinTid:
+		return total.min, total.found, nil
+	default: // AggMaxTid
+		return total.max, total.found, nil
+	}
+}
+
+// RunAll compiles and executes several select queries against b
+// concurrently, materializing each result — the planner's parallel subplan
+// primitive. It powers the shard scatter internally and replaces the
+// bespoke goroutine fan-out provquery's Mod wave scatter used to carry:
+// callers hand the wave's region queries to the planner and get the
+// region record sets back, each fetched through whatever access path its
+// predicate admits. Results are positional; a compile error on any query
+// fails the whole call before anything runs.
+func RunAll(ctx context.Context, b provstore.Backend, qs ...*Query) ([][]provstore.Record, error) {
+	return runAll(ctx, b, qs, nil)
+}
+
+func runAll(ctx context.Context, b provstore.Backend, qs []*Query, scanned *atomic.Int64) ([][]provstore.Record, error) {
+	plans := make([]*Plan, len(qs))
+	for i, q := range qs {
+		pl, err := Compile(b, q)
+		if err != nil {
+			return nil, err
+		}
+		plans[i] = pl
+	}
+	out := make([][]provstore.Record, len(qs))
+	err := provstore.Fanout(ctx, len(plans), func(i int) error {
+		recs, rerr := provstore.CollectScan(plans[i].records(ctx, scanned))
+		out[i] = recs
+		return rerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

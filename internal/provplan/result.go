@@ -1,0 +1,224 @@
+package provplan
+
+import (
+	"context"
+	"iter"
+	"sync/atomic"
+
+	"repro/internal/path"
+	"repro/internal/provstore"
+)
+
+// A RowKind discriminates the variants of a result Row.
+type RowKind int
+
+const (
+	// RowRecord carries one matching record (select).
+	RowRecord RowKind = iota
+	// RowTid carries one transaction id (mod, hist).
+	RowTid
+	// RowValue carries one scalar answer (aggregates, src). Found is
+	// false when the answer does not exist (min/max of an empty result,
+	// src of external or pre-existing data).
+	RowValue
+	// RowEvent carries one trace step.
+	RowEvent
+	// RowEnd terminates a trace with its origin classification.
+	RowEnd
+)
+
+// A Row is one element of a query's result stream — the tagged union the
+// /v1/query NDJSON cursor carries. Which variants appear, and in what
+// shape, depends on the query kind:
+//
+//	select        RowRecord*               (in the requested order)
+//	select w/ agg RowValue
+//	src           RowValue
+//	mod, hist     RowTid*
+//	trace         RowEvent* RowEnd
+type Row struct {
+	Kind RowKind
+
+	Rec      provstore.Record // RowRecord
+	Tid      int64            // RowTid
+	Val      int64            // RowValue
+	Found    bool             // RowValue
+	Event    Event            // RowEvent
+	Origin   Origin           // RowEnd
+	External path.Path        // RowEnd (when Origin == OriginExternal)
+}
+
+// A Result is a drained row stream, decoded by query kind; see Collect.
+type Result struct {
+	// Records holds a select's matching records.
+	Records []provstore.Record
+	// Tids holds a mod or hist answer.
+	Tids []int64
+	// Value/Found hold an aggregate or src answer.
+	Value int64
+	Found bool
+	// Trace holds a trace answer.
+	Trace TraceResult
+	// Scanned counts records pulled from backend cursors during local
+	// execution — the work metric pushdown minimizes. It is 0 when the
+	// plan was delegated to a remote executor.
+	Scanned int64
+}
+
+// An Executor is a backend that can execute a whole declarative plan
+// itself — the cpdb:// client implements it by shipping the Query to the
+// server's POST /v1/query, so the entire query (every chain step of a
+// trace, every BFS wave of a mod) costs one round trip. Run prefers an
+// Executor over local compilation.
+type Executor interface {
+	ExecPlan(ctx context.Context, q *Query) iter.Seq2[Row, error]
+}
+
+// Run executes q against b and streams the result rows: delegated wholesale
+// when the backend is an Executor, compiled and run locally otherwise. The
+// returned cursor follows the provstore cursor contract (in-stream errors,
+// prompt release on break, cancellation between rows).
+func Run(ctx context.Context, b provstore.Backend, q *Query) iter.Seq2[Row, error] {
+	if ex, ok := b.(Executor); ok {
+		return ex.ExecPlan(ctx, q)
+	}
+	pl, err := Compile(b, q)
+	if err != nil {
+		return rowError(err)
+	}
+	return pl.Rows(ctx)
+}
+
+// Collect executes q against b (delegating like Run) and drains the row
+// stream into a Result.
+func Collect(ctx context.Context, b provstore.Backend, q *Query) (*Result, error) {
+	if ex, ok := b.(Executor); ok {
+		return CollectRows(ex.ExecPlan(ctx, q))
+	}
+	pl, err := Compile(b, q)
+	if err != nil {
+		return nil, err
+	}
+	return pl.Collect(ctx)
+}
+
+// CollectRows drains a row stream into a Result.
+func CollectRows(rows iter.Seq2[Row, error]) (*Result, error) {
+	res := &Result{}
+	for row, err := range rows {
+		if err != nil {
+			return nil, err
+		}
+		switch row.Kind {
+		case RowRecord:
+			res.Records = append(res.Records, row.Rec)
+		case RowTid:
+			res.Tids = append(res.Tids, row.Tid)
+		case RowValue:
+			res.Value, res.Found = row.Val, row.Found
+		case RowEvent:
+			res.Trace.Events = append(res.Trace.Events, row.Event)
+		case RowEnd:
+			res.Trace.Origin, res.Trace.External = row.Origin, row.External
+		}
+	}
+	return res, nil
+}
+
+// rowError is a row cursor that yields nothing but err.
+func rowError(err error) iter.Seq2[Row, error] {
+	return func(yield func(Row, error) bool) {
+		yield(Row{}, err)
+	}
+}
+
+// Rows executes the plan and streams its result rows (see Row for the
+// per-kind stream shapes).
+func (pl *Plan) Rows(ctx context.Context) iter.Seq2[Row, error] {
+	return pl.rows(ctx, nil)
+}
+
+// Collect executes the plan and drains its rows into a Result, including
+// the Scanned work counter — the instrumented form of Rows, and the way to
+// measure what a plan compiled with explicit Options (say, NoPushdown)
+// actually pulled from the store.
+func (pl *Plan) Collect(ctx context.Context) (*Result, error) {
+	var scanned atomic.Int64
+	res, err := CollectRows(pl.rows(ctx, &scanned))
+	if err != nil {
+		return nil, err
+	}
+	res.Scanned = scanned.Load()
+	return res, nil
+}
+
+func (pl *Plan) rows(ctx context.Context, scanned *atomic.Int64) iter.Seq2[Row, error] {
+	switch pl.q.Op {
+	case OpSelect:
+		if pl.q.Agg != "" {
+			return func(yield func(Row, error) bool) {
+				v, found, err := pl.aggregate(ctx, scanned)
+				if err != nil {
+					yield(Row{}, err)
+					return
+				}
+				yield(Row{Kind: RowValue, Val: v, Found: found}, nil)
+			}
+		}
+		return func(yield func(Row, error) bool) {
+			for r, err := range pl.records(ctx, scanned) {
+				if err != nil {
+					yield(Row{}, err)
+					return
+				}
+				if !yield(Row{Kind: RowRecord, Rec: r}, nil) {
+					return
+				}
+			}
+		}
+	case OpTrace:
+		return func(yield func(Row, error) bool) {
+			tr, err := pl.runTrace(ctx, scanned)
+			if err != nil {
+				yield(Row{}, err)
+				return
+			}
+			for _, ev := range tr.Events {
+				if !yield(Row{Kind: RowEvent, Event: ev}, nil) {
+					return
+				}
+			}
+			yield(Row{Kind: RowEnd, Origin: tr.Origin, External: tr.External}, nil)
+		}
+	case OpSrc:
+		return func(yield func(Row, error) bool) {
+			tid, ok, err := pl.runSrc(ctx, scanned)
+			if err != nil {
+				yield(Row{}, err)
+				return
+			}
+			yield(Row{Kind: RowValue, Val: tid, Found: ok}, nil)
+		}
+	case OpHist, OpMod:
+		return func(yield func(Row, error) bool) {
+			var tids []int64
+			var err error
+			if pl.q.Op == OpHist {
+				tids, err = pl.runHist(ctx, scanned)
+			} else {
+				tids, err = pl.runMod(ctx, scanned)
+			}
+			if err != nil {
+				yield(Row{}, err)
+				return
+			}
+			for _, t := range tids {
+				if !yield(Row{Kind: RowTid, Tid: t}, nil) {
+					return
+				}
+			}
+		}
+	default:
+		return rowError(badQuery("unknown query kind %q", pl.q.Op))
+	}
+}

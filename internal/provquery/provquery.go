@@ -10,21 +10,46 @@
 // methods: hierarchical inference is resolved on the fly, as in the paper's
 // implementation ("we query the provenance store directly and compute the
 // appropriate provenance links on-the-fly").
+//
+// Since the declarative query layer landed, the Engine methods compile to
+// provplan plans: each query ships whole to wherever plans execute — the
+// local planner, or one POST /v1/query round trip when the backend is a
+// cpdb:// client. The pre-planner client-orchestrated implementations are
+// preserved as the Legacy* methods; the equivalence property tests hold the
+// two answer-identical on every backend, and the bench sweep uses Legacy*
+// as the N-round-trip baseline.
 package provquery
 
 import (
 	"context"
-	"errors"
-	"fmt"
-	"sort"
 
 	"repro/internal/path"
+	"repro/internal/provplan"
 	"repro/internal/provstore"
 )
 
 // ErrBadTrace reports an inconsistent provenance store (a trace reached a
 // location a transaction deleted).
-var ErrBadTrace = errors.New("provquery: trace reached deleted data; provenance store is inconsistent")
+var ErrBadTrace = provplan.ErrBadTrace
+
+// The trace result model lives in provplan (the layer that computes it,
+// on either side of a network connection); provquery re-exports it.
+type (
+	// An Event is one step of a data item's history, in reverse
+	// chronological order.
+	Event = provplan.Event
+	// A TraceResult is the full backward history of one location.
+	TraceResult = provplan.TraceResult
+	// Origin classifies how a trace ended.
+	Origin = provplan.Origin
+)
+
+// Trace chain endings.
+const (
+	OriginInserted    = provplan.OriginInserted
+	OriginExternal    = provplan.OriginExternal
+	OriginPreexisting = provplan.OriginPreexisting
+)
 
 // An Engine answers provenance queries against one provenance store.
 type Engine struct {
@@ -37,102 +62,10 @@ func New(b provstore.Backend) *Engine { return &Engine{backend: b} }
 // Backend returns the engine's backend.
 func (e *Engine) Backend() provstore.Backend { return e.backend }
 
-// An Event is one step of a data item's history, in reverse chronological
-// order: at the end of transaction Tid the data was at Loc; if Op is OpCopy
-// it had just been copied from Src, if OpInsert it had just been created.
-type Event struct {
-	Tid int64
-	Op  provstore.OpKind
-	Loc path.Path
-	Src path.Path // for copies
-}
-
-// String renders the event for human consumption.
-func (ev Event) String() string {
-	switch ev.Op {
-	case provstore.OpCopy:
-		return fmt.Sprintf("txn %d: copied %s ← %s", ev.Tid, ev.Loc, ev.Src)
-	case provstore.OpInsert:
-		return fmt.Sprintf("txn %d: inserted %s", ev.Tid, ev.Loc)
-	default:
-		return fmt.Sprintf("txn %d: %s %s", ev.Tid, ev.Op, ev.Loc)
-	}
-}
-
-// A TraceResult is the full backward history of one location.
-type TraceResult struct {
-	// Events lists copy/insert steps, most recent first.
-	Events []Event
-	// Origin is how the chain ended.
-	Origin Origin
-	// External is the first location outside the traced database the
-	// chain reached (set when Origin == OriginExternal).
-	External path.Path
-}
-
-// Origin classifies how a trace ended.
-type Origin int
-
-// Trace chain endings.
-const (
-	// OriginInserted: the chain reached the transaction that inserted
-	// the data.
-	OriginInserted Origin = iota
-	// OriginExternal: the chain left the traced database (the data was
-	// copied from an external source whose provenance this store cannot
-	// see — the paper's "partial answer").
-	OriginExternal
-	// OriginPreexisting: the chain ran past the oldest recorded
-	// transaction; the data predates provenance tracking.
-	OriginPreexisting
-)
-
-// String names the origin.
-func (o Origin) String() string {
-	switch o {
-	case OriginInserted:
-		return "inserted"
-	case OriginExternal:
-		return "external"
-	case OriginPreexisting:
-		return "preexisting"
-	default:
-		return fmt.Sprintf("Origin(%d)", int(o))
-	}
-}
-
-// effectiveAt resolves the effective record for loc in every transaction,
-// client-side, from one ScanLocWithAncestors round trip: for each
-// transaction the record with the longest Loc (nearest ancestor-or-self)
-// governs. The cursor streams; only the winning record per transaction is
-// retained, so memory is O(transactions touching loc), not O(records).
-func (e *Engine) effectiveAt(ctx context.Context, loc path.Path) (map[int64]provstore.Record, error) {
-	out := make(map[int64]provstore.Record)
-	for r, err := range e.backend.ScanLocWithAncestors(ctx, loc) {
-		if err != nil {
-			return nil, err
-		}
-		if prev, ok := out[r.Tid]; ok && prev.Loc.Len() >= r.Loc.Len() {
-			continue
-		}
-		out[r.Tid] = r
-	}
-	// Materialize inference: rebase copies, retarget inserts/deletes.
-	for tid, r := range out {
-		if r.Loc.Equal(loc) {
-			continue
-		}
-		inf := provstore.Record{Tid: tid, Op: r.Op, Loc: loc}
-		if r.Op == provstore.OpCopy {
-			src, err := loc.Rebase(r.Loc, r.Src)
-			if err != nil {
-				return nil, err
-			}
-			inf.Src = src
-		}
-		out[tid] = inf
-	}
-	return out, nil
+// run executes one ancestry query kind through the plan layer (delegated
+// to the backend when it executes plans itself).
+func (e *Engine) run(ctx context.Context, kind string, p path.Path, tnow int64) (*provplan.Result, error) {
+	return provplan.Collect(ctx, e.backend, &provplan.Query{Op: kind, Path: p.String(), AsOf: tnow})
 }
 
 // Trace computes the backward history of the data at location p as of the
@@ -140,101 +73,44 @@ func (e *Engine) effectiveAt(ctx context.Context, loc path.Path) (map[int64]prov
 // is observed between chain steps, so a trace over a slow or remote store
 // can be cancelled.
 func (e *Engine) Trace(ctx context.Context, p path.Path, tnow int64) (TraceResult, error) {
-	var res TraceResult
-	cur := p
-	eff, err := e.effectiveAt(ctx, cur)
+	if tnow <= 0 {
+		return TraceResult{Origin: OriginPreexisting}, nil
+	}
+	res, err := e.run(ctx, provplan.OpTrace, p, tnow)
 	if err != nil {
-		return res, err
+		return TraceResult{}, err
 	}
-	for t := tnow; t >= 1; t-- {
-		rec, ok := eff[t]
-		if !ok {
-			continue // Unch(t, cur)
-		}
-		switch rec.Op {
-		case provstore.OpInsert:
-			res.Events = append(res.Events, Event{Tid: t, Op: provstore.OpInsert, Loc: cur})
-			res.Origin = OriginInserted
-			return res, nil
-		case provstore.OpCopy:
-			res.Events = append(res.Events, Event{Tid: t, Op: provstore.OpCopy, Loc: cur, Src: rec.Src})
-			cur = rec.Src
-			if cur.DB() != p.DB() {
-				// The chain leaves this database; without the source's
-				// own provenance store the answer is necessarily
-				// partial (§2.2).
-				res.Origin = OriginExternal
-				res.External = cur
-				return res, nil
-			}
-			if eff, err = e.effectiveAt(ctx, cur); err != nil {
-				return res, err
-			}
-		case provstore.OpDelete:
-			// Live data cannot trace through its own deletion.
-			return res, fmt.Errorf("%w: %s deleted in txn %d", ErrBadTrace, cur, t)
-		}
-	}
-	res.Origin = OriginPreexisting
-	return res, nil
+	return res.Trace, nil
 }
 
 // Src answers: which transaction first created (inserted) the data now at
 // p? ok is false when the origin is external or pre-existing — the partial
 // answers the paper discusses.
 func (e *Engine) Src(ctx context.Context, p path.Path, tnow int64) (int64, bool, error) {
-	tr, err := e.Trace(ctx, p, tnow)
-	if err != nil {
-		return 0, false, err
-	}
-	if tr.Origin != OriginInserted {
+	if tnow <= 0 {
 		return 0, false, nil
 	}
-	last := tr.Events[len(tr.Events)-1]
-	// Verify the insertion row against the store, as the paper's getSrc
-	// stored procedure does (this extra probe is why getSrc runs a bit
-	// slower than getHist in Figure 13). Hierarchical stores may record
-	// the insert at an ancestor, so absence of an exact row is fine as
-	// long as the effective record agrees.
-	rec, ok, err := provstore.Effective(ctx, e.backend, last.Tid, last.Loc)
+	res, err := e.run(ctx, provplan.OpSrc, p, tnow)
 	if err != nil {
 		return 0, false, err
 	}
-	if !ok || rec.Op != provstore.OpInsert {
-		return 0, false, fmt.Errorf("provquery: Src verification failed for %s at txn %d", last.Loc, last.Tid)
+	if !res.Found {
+		return 0, false, nil
 	}
-	return last.Tid, true, nil
+	return res.Value, true, nil
 }
 
 // Hist answers: the sequence of all transactions that copied the data now
 // at p to its current position, most recent first.
 func (e *Engine) Hist(ctx context.Context, p path.Path, tnow int64) ([]int64, error) {
-	tr, err := e.Trace(ctx, p, tnow)
+	if tnow <= 0 {
+		return nil, nil
+	}
+	res, err := e.run(ctx, provplan.OpHist, p, tnow)
 	if err != nil {
 		return nil, err
 	}
-	var out []int64
-	for _, ev := range tr.Events {
-		if ev.Op == provstore.OpCopy {
-			out = append(out, ev.Tid)
-		}
-	}
-	return out, nil
-}
-
-// region is a traced subtree with an upper transaction bound: records in
-// the region count toward Mod only up to Bound (data copied into the main
-// region at transaction t came from the source region as of t-1; later
-// changes to the source are irrelevant).
-type region struct {
-	prefix path.Path
-	bound  int64
-	key    string // binary encoding of prefix, computed once on enqueue
-}
-
-// newRegion builds a region, stamping its dedup key.
-func newRegion(prefix path.Path, bound int64) region {
-	return region{prefix: prefix, bound: bound, key: string(prefix.AppendBinary(nil))}
+	return res.Tids, nil
 }
 
 // Mod answers: every transaction that created, modified or deleted data in
@@ -242,148 +118,18 @@ func newRegion(prefix path.Path, bound int64) region {
 // answer is computed from the provenance store alone, without inspecting
 // the target database, and is finite even though infinitely many paths
 // extend p.
-//
-// The implementation walks records backwards per traced region with
-// per-location shadowing: the newest record at a location breaks the Unch
-// chain through it, making older records at the same location unreachable
-// (so, e.g., a placeholder inserted and immediately overwritten by a copy
-// does not appear in Mod — matching the formal Trace semantics). Copies
-// whose destination intersects the region spawn source regions bounded by
-// the copying transaction. Inserts at strict ancestors create only empty
-// nodes and contribute no rows at paths extending p, so they do not count.
-//
-// Regions are processed in BFS waves: every region of the current wave runs
-// its two backend scans concurrently (an errgroup-style scatter), then the
-// wave's results merge sequentially in queue order, so the answer is
-// identical to the sequential walk while a store sharded across N shards
-// sees wave-regions × 2 scans × N shard scans in flight at once.
 func (e *Engine) Mod(ctx context.Context, p path.Path, tnow int64) ([]int64, error) {
-	result := make(map[int64]struct{})
-	seen := make(map[string]int64) // region prefix -> highest bound processed
-	queue := []region{newRegion(p, tnow)}
-	for len(queue) > 0 {
-		// Cancellation is observed between BFS waves: an in-flight wave
-		// completes (its goroutines are joined by the scatter), then the
-		// walk stops before the next one launches.
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		// Drop regions an earlier wave already covered with a bound at
-		// least as high (seen bounds only ever grow, so this pre-filter
-		// agrees with the authoritative gather-time check below), then
-		// collect the unique prefixes — a prefix re-enqueued with several
-		// bounds needs only one pair of scans.
-		wave := queue[:0:0]
-		for _, g := range queue {
-			if prev, ok := seen[g.key]; ok && prev >= g.bound {
-				continue
-			}
-			wave = append(wave, g)
-		}
-		queue = nil
-		prefixes := make([]path.Path, 0, len(wave))
-		scanIdx := make(map[string]int, len(wave))
-		for _, g := range wave {
-			if _, ok := scanIdx[g.key]; !ok {
-				scanIdx[g.key] = len(prefixes)
-				prefixes = append(prefixes, g.prefix)
-			}
-		}
-
-		// Scatter: prefetch both scans of every unique prefix in the wave.
-		scans := make([]regionScan, len(prefixes))
-		err := fanout(ctx, len(prefixes), func(i int) error {
-			return scans[i].run(ctx, e.backend, prefixes[i])
-		})
-		if err != nil {
-			return nil, err
-		}
-
-		// Gather: merge sequentially in queue order (the shadow and seen
-		// bookkeeping is order-sensitive).
-		for _, g := range wave {
-			if prev, ok := seen[g.key]; ok && prev >= g.bound {
-				continue
-			}
-			seen[g.key] = g.bound
-
-			sc := scans[scanIdx[g.key]]
-			recs := make([]provstore.Record, 0, len(sc.inside)+len(sc.above))
-			recs = append(recs, sc.inside...)
-			for _, r := range sc.above {
-				if !r.Loc.Equal(g.prefix) { // exact-loc records are in `inside`
-					recs = append(recs, r)
-				}
-			}
-			// Newest first; shadowed locations drop older records.
-			sort.Slice(recs, func(i, j int) bool { return recs[i].Tid > recs[j].Tid })
-			shadow := make(map[string]struct{})
-			for _, r := range recs {
-				if r.Tid > g.bound {
-					continue
-				}
-				lk := string(r.Loc.AppendBinary(nil))
-				if _, dead := shadow[lk]; dead {
-					continue
-				}
-				shadow[lk] = struct{}{}
-				ancestor := r.Loc.IsStrictPrefixOf(g.prefix)
-				if ancestor && r.Op == provstore.OpInsert {
-					// An insert at an ancestor creates an empty node: no
-					// data at paths extending the region's prefix.
-					continue
-				}
-				result[r.Tid] = struct{}{}
-				if r.Op != provstore.OpCopy {
-					continue
-				}
-				if ancestor {
-					src, rerr := g.prefix.Rebase(r.Loc, r.Src)
-					if rerr != nil {
-						return nil, rerr
-					}
-					queue = append(queue, newRegion(src, r.Tid-1))
-				} else {
-					queue = append(queue, newRegion(r.Src, r.Tid-1))
-				}
-			}
-		}
+	if tnow <= 0 {
+		return []int64{}, nil
 	}
-	out := make([]int64, 0, len(result))
-	for t := range result {
-		out = append(out, t)
+	res, err := e.run(ctx, provplan.OpMod, p, tnow)
+	if err != nil {
+		return nil, err
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out, nil
-}
-
-// regionScan holds the two prefetched scans of one region: records inside
-// the region and records at or above its prefix.
-type regionScan struct {
-	inside []provstore.Record
-	above  []provstore.Record
-}
-
-// run issues the region's two scan cursors concurrently, draining each —
-// the wave's shadow/seen bookkeeping needs the region's records sorted
-// newest-first, so a region is materialized (it is O(region), never
-// O(store)) while the wave's regions still overlap in flight.
-func (s *regionScan) run(ctx context.Context, b provstore.Backend, prefix path.Path) error {
-	return fanout(ctx, 2, func(j int) error {
-		var err error
-		if j == 0 {
-			s.inside, err = provstore.CollectScan(b.ScanLocPrefix(ctx, prefix))
-		} else {
-			s.above, err = provstore.CollectScan(b.ScanLocWithAncestors(ctx, prefix))
-		}
-		return err
-	})
-}
-
-// fanout is provstore.Fanout under a local name: run f(0..n-1) concurrently
-// and join the errors.
-func fanout(ctx context.Context, n int, f func(int) error) error {
-	return provstore.Fanout(ctx, n, f)
+	if res.Tids == nil {
+		return []int64{}, nil
+	}
+	return res.Tids, nil
 }
 
 // MaxTid returns the newest transaction id in the store (the paper's tnow).

@@ -1,0 +1,46 @@
+package provstore_test
+
+import (
+	"testing"
+
+	"repro/internal/provstore"
+	"repro/internal/provtest"
+)
+
+// The in-memory store shapes run the shared backend conformance suite
+// (internal/provtest), which replaces the per-package copies of the cursor
+// contract checks: scan ordering, ScanAllAfter seek equivalence, early-break
+// release, and cancellation before and between records.
+
+func TestConformanceMem(t *testing.T) {
+	provtest.Conformance(t, func(t *testing.T) provstore.Backend {
+		return provstore.NewMemBackend()
+	})
+}
+
+func TestConformanceSharded(t *testing.T) {
+	provtest.Conformance(t, func(t *testing.T) provstore.Backend {
+		return provstore.NewShardedMem(4)
+	})
+}
+
+func TestConformanceBatching(t *testing.T) {
+	provtest.Conformance(t, func(t *testing.T) provstore.Backend {
+		return provstore.NewBatching(provstore.NewMemBackend(), 8)
+	})
+}
+
+func TestConformanceBatchingSharded(t *testing.T) {
+	provtest.Conformance(t, func(t *testing.T) provstore.Backend {
+		return provstore.NewBatching(provstore.NewShardedMem(4), 8)
+	})
+}
+
+// A batching tier whose threshold is never reached: every read must serve
+// from the unflushed buffer merged with the (empty) inner store, so the
+// whole cursor contract holds against buffered-only data too.
+func TestConformanceBatchingPending(t *testing.T) {
+	provtest.Conformance(t, func(t *testing.T) provstore.Backend {
+		return provstore.NewBatching(provstore.NewMemBackend(), 1<<20)
+	})
+}

@@ -1,0 +1,61 @@
+package provstore
+
+import (
+	"testing"
+)
+
+// FuzzParseDSN hammers the shared DSN grammar behind every backend driver:
+// ParseDSN must never panic, any DSN it accepts must carry a scheme the
+// registry would accept, the raw form must round-trip, and a path embedded
+// with EscapeDSNPath must decode back to itself — the invariant that lets
+// file paths containing "?", "%" or "#" ride inside rel:// DSNs.
+//
+// Run with: go test -fuzz FuzzParseDSN -fuzztime 10s ./internal/provstore
+func FuzzParseDSN(f *testing.F) {
+	// Every documented DSN form (README and driver docs) plus near-misses.
+	for _, seed := range []string{
+		"mem://",
+		"mem://?shards=8",
+		"rel://prov.db?create=1",
+		"rel://prov.db?create=1&durable=1",
+		"rel://dir/with%3Fmark/prov.db?durable=1",
+		"sharded://?shard=mem://&shard=mem://",
+		"sharded://?shards=4&each=mem://",
+		"sharded://?shards=2&each=rel://shard-%d.db?create=1",
+		"cpdb://127.0.0.1:7070",
+		"cpdb://[::1]:7070",
+		"replicated://?primary=mem://&replica=mem://&read=any&lag=2&poll=20ms",
+		"replicated://?primary=rel%3A%2F%2Fprov.db%3Fcreate%3D1&replica=mem://",
+		"",
+		"mem",
+		"://nope",
+		"99bad://x",
+		"mem://?a=%zz",
+		"mem://%zz",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		d, err := ParseDSN(s)
+		if err == nil {
+			if !validScheme(d.Scheme) {
+				t.Fatalf("ParseDSN(%q) accepted invalid scheme %q", s, d.Scheme)
+			}
+			if d.String() != s {
+				t.Fatalf("ParseDSN(%q).String() = %q", s, d.String())
+			}
+			if d.Params == nil {
+				t.Fatalf("ParseDSN(%q) returned nil Params", s)
+			}
+		}
+		// Any string — DSN or not — must survive embedding as a DSN path.
+		embedded := "rel://" + EscapeDSNPath(s)
+		d2, err := ParseDSN(embedded)
+		if err != nil {
+			t.Fatalf("ParseDSN(%q) rejected an escaped path: %v", embedded, err)
+		}
+		if d2.Path != s {
+			t.Fatalf("EscapeDSNPath round trip: %q -> %q -> path %q", s, embedded, d2.Path)
+		}
+	})
+}

@@ -137,33 +137,6 @@ func TestCursorEarlyBreakReleases(t *testing.T) {
 	}
 }
 
-// TestCursorCancelMidStream: cancelling the context between yields must end
-// the stream with context.Canceled on every store shape.
-func TestCursorCancelMidStream(t *testing.T) {
-	for name, b := range scanStores() {
-		t.Run(name, func(t *testing.T) {
-			scanFixture(t, b)
-			ctx, cancel := context.WithCancel(context.Background())
-			defer cancel()
-			n := 0
-			var got error
-			for _, err := range b.ScanAll(ctx) {
-				if err != nil {
-					got = err
-					break
-				}
-				n++
-				if n == 3 {
-					cancel()
-				}
-			}
-			if !errors.Is(got, context.Canceled) {
-				t.Fatalf("cancel mid-stream after %d records yielded %v, want context.Canceled", n, got)
-			}
-		})
-	}
-}
-
 // TestBatchingScanReadsThroughWithoutFlush: scans must see buffered records
 // merged in order with the store — without forcing the flush the old
 // read-through paid, and without duplicates when the buffer flushes midway.
@@ -239,63 +212,7 @@ func TestScanSnapshotIsolation(t *testing.T) {
 	}
 }
 
-// TestScanAllAfterSeeksEverywhere: for every store shape (including one
-// whose batching buffer is still unflushed), resuming with ScanAllAfter at
-// every key of the relation yields exactly the ScanAll suffix strictly
-// after that key — including resume-at-end (empty), resume-before-start
-// (everything) and resume at a key that does not exist.
-func TestScanAllAfterSeeksEverywhere(t *testing.T) {
-	ctx := context.Background()
-	stores := scanStores()
-	stores["batching-pending"] = NewBatching(NewMemBackend(), 1_000_000) // nothing ever flushes
-	for name, b := range stores {
-		scanFixture(t, b)
-		full, err := CollectScan(b.ScanAll(ctx))
-		if err != nil {
-			t.Fatalf("%s: ScanAll: %v", name, err)
-		}
-		if bb, ok := b.(*BatchingBackend); ok && name == "batching-pending" && bb.Pending() == 0 {
-			t.Fatalf("%s: fixture flushed; the pending-buffer path is not exercised", name)
-		}
-		for k, rec := range full {
-			got, err := CollectScan(b.ScanAllAfter(ctx, rec.Tid, rec.Loc))
-			if err != nil {
-				t.Fatalf("%s: ScanAllAfter(%d, %s): %v", name, rec.Tid, rec.Loc, err)
-			}
-			if fmt.Sprint(got) != fmt.Sprint(full[k+1:]) {
-				t.Fatalf("%s: ScanAllAfter(%d, %s) = %d records, want the %d-record suffix", name, rec.Tid, rec.Loc, len(got), len(full[k+1:]))
-			}
-		}
-		if got, err := CollectScan(b.ScanAllAfter(ctx, 0, path.Path{})); err != nil || fmt.Sprint(got) != fmt.Sprint(full) {
-			t.Errorf("%s: ScanAllAfter before the start: %d records, %v; want the full table", name, len(got), err)
-		}
-		// A key between two stored keys: resume lands on its successor.
-		if got, err := CollectScan(b.ScanAllAfter(ctx, 2, path.New("T"))); err != nil {
-			t.Errorf("%s: ScanAllAfter at absent key: %v", name, err)
-		} else {
-			var want []Record
-			after := Record{Tid: 2, Loc: path.New("T")}
-			for _, r := range full {
-				if CompareTidLoc(r, after) > 0 {
-					want = append(want, r)
-				}
-			}
-			if fmt.Sprint(got) != fmt.Sprint(want) {
-				t.Errorf("%s: ScanAllAfter at absent key yielded %d records, want %d", name, len(got), len(want))
-			}
-		}
-	}
-}
-
-// TestScanAllAfterCancelled: an already-cancelled context surfaces as the
-// cursor's terminal error.
-func TestScanAllAfterCancelled(t *testing.T) {
-	for name, b := range scanStores() {
-		scanFixture(t, b)
-		ctx, cancel := context.WithCancel(context.Background())
-		cancel()
-		if _, err := CollectScan(b.ScanAllAfter(ctx, 1, path.New("T"))); !errors.Is(err, context.Canceled) {
-			t.Errorf("%s: ScanAllAfter on cancelled ctx = %v, want context.Canceled", name, err)
-		}
-	}
-}
+// ScanAllAfter seek equivalence (every key, synthetic keys, the unflushed
+// batching buffer) and cancellation — mid-stream and pre-cancelled — are
+// pinned for every store shape by the shared conformance suite
+// (TestConformance* in conformance_test.go).

@@ -1,0 +1,333 @@
+package provtest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"slices"
+	"testing"
+
+	"repro/internal/path"
+	"repro/internal/provstore"
+)
+
+// This file is the backend conformance suite: one set of cursor-contract
+// checks every Backend implementation runs instead of each package keeping
+// its own copy-pasted variants. A backend passes when every scan kind
+// streams the documented membership in the documented order, ScanAllAfter
+// is exactly a keyset seek into the ScanAll order, breaking out of a cursor
+// releases its resources (proven by the store remaining fully usable), and
+// cancellation surfaces as the in-stream terminal error — before the first
+// record for a pre-cancelled context, between records otherwise.
+//
+// Packages run it against their own store shape:
+//
+//	func TestConformance(t *testing.T) {
+//		provtest.Conformance(t, func(t *testing.T) provstore.Backend {
+//			return openMyBackend(t)
+//		})
+//	}
+
+// conformanceFixture is the record set the suite loads: three databases,
+// nested locations (so prefix and ancestor scans have real work), all three
+// op kinds, several records per transaction, and one transaction gap.
+func conformanceFixture() []provstore.Record {
+	rec := func(tid int64, op provstore.OpKind, loc, src string) provstore.Record {
+		r := provstore.Record{Tid: tid, Op: op, Loc: path.MustParse(loc)}
+		if src != "" {
+			r.Src = path.MustParse(src)
+		}
+		return r
+	}
+	return []provstore.Record{
+		rec(1, provstore.OpInsert, "S/a", ""),
+		rec(1, provstore.OpInsert, "S/a/x", ""),
+		rec(1, provstore.OpInsert, "S/a/x/deep", ""),
+		rec(1, provstore.OpInsert, "S/b", ""),
+		rec(2, provstore.OpCopy, "T/c1", "S/a"),
+		rec(2, provstore.OpCopy, "T/c1/x", "S/a/x"),
+		rec(2, provstore.OpInsert, "T/c2", ""),
+		rec(3, provstore.OpCopy, "T/c2/y", "T/c1/x"),
+		rec(3, provstore.OpDelete, "S/b", ""),
+		rec(3, provstore.OpInsert, "T/c1/z", ""),
+		rec(4, provstore.OpCopy, "U/m", "T/c2"),
+		rec(4, provstore.OpCopy, "U/m/y", "T/c2/y"),
+		rec(4, provstore.OpInsert, "T/c1/x", ""),
+		rec(6, provstore.OpDelete, "T/c1/z", ""),
+		rec(6, provstore.OpCopy, "T/c3", "U/m"),
+		rec(6, provstore.OpInsert, "T/c3/w", ""),
+	}
+}
+
+// Conformance runs the cursor-contract conformance suite. open must return
+// a fresh, empty backend each call (each subtest loads its own fixture);
+// cleanup belongs to open via t.Cleanup.
+func Conformance(t *testing.T, open func(t *testing.T) provstore.Backend) {
+	t.Run("ScanOrdering", func(t *testing.T) { conformScanOrdering(t, open(t)) })
+	t.Run("SeekEquivalence", func(t *testing.T) { conformSeek(t, open(t)) })
+	t.Run("EarlyBreakReleases", func(t *testing.T) { conformEarlyBreak(t, open(t)) })
+	t.Run("CancelMidStream", func(t *testing.T) { conformCancelMidStream(t, open(t)) })
+	t.Run("PreCancelledContext", func(t *testing.T) { conformPreCancelled(t, open(t)) })
+}
+
+func loadConformanceFixture(t *testing.T, b provstore.Backend) []provstore.Record {
+	t.Helper()
+	recs := conformanceFixture()
+	if err := b.Append(context.Background(), recs); err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	return recs
+}
+
+// sameSeq fails unless got and want hold the same records in the same
+// order (keys, ops and sources all compared).
+func sameSeq(t *testing.T, what string, got, want []provstore.Record) {
+	t.Helper()
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("%s:\n got  %v\nwant %v", what, got, want)
+	}
+}
+
+// conformScanOrdering drains every scan kind and checks membership and
+// order against the documented contract, computed independently from the
+// fixture slice.
+func conformScanOrdering(t *testing.T, b provstore.Backend) {
+	ctx := context.Background()
+	recs := loadConformanceFixture(t, b)
+
+	filtered := func(keep func(provstore.Record) bool, cmp func(a, b provstore.Record) int) []provstore.Record {
+		var out []provstore.Record
+		for _, r := range recs {
+			if keep(r) {
+				out = append(out, r)
+			}
+		}
+		slices.SortFunc(out, cmp)
+		return out
+	}
+
+	// ScanAll: the whole relation in strictly increasing (Tid, Loc) order —
+	// strict, because {Tid, Loc} is a key.
+	all, err := provstore.CollectScan(b.ScanAll(ctx))
+	if err != nil {
+		t.Fatalf("ScanAll: %v", err)
+	}
+	sameSeq(t, "ScanAll", all, filtered(func(provstore.Record) bool { return true }, provstore.CompareTidLoc))
+	for i := 1; i < len(all); i++ {
+		if provstore.CompareTidLoc(all[i-1], all[i]) >= 0 {
+			t.Fatalf("ScanAll not strictly (Tid, Loc)-increasing at %d: %v !< %v", i, all[i-1], all[i])
+		}
+	}
+
+	// ScanTid: one transaction's records, ordered by Loc. Probe every tid
+	// plus one absent (5) and one past the end.
+	for _, tid := range []int64{1, 2, 3, 4, 5, 6, 99} {
+		got, err := provstore.CollectScan(b.ScanTid(ctx, tid))
+		if err != nil {
+			t.Fatalf("ScanTid(%d): %v", tid, err)
+		}
+		sameSeq(t, fmt.Sprintf("ScanTid(%d)", tid), got,
+			filtered(func(r provstore.Record) bool { return r.Tid == tid }, provstore.CompareLocTid))
+	}
+
+	// ScanLoc: every record at exactly loc, ordered by Tid.
+	for _, loc := range []string{"T/c1/x", "S/b", "T/c1", "T/absent"} {
+		p := path.MustParse(loc)
+		got, err := provstore.CollectScan(b.ScanLoc(ctx, p))
+		if err != nil {
+			t.Fatalf("ScanLoc(%s): %v", loc, err)
+		}
+		sameSeq(t, fmt.Sprintf("ScanLoc(%s)", loc), got,
+			filtered(func(r provstore.Record) bool { return r.Loc.Equal(p) },
+				func(a, b provstore.Record) int { return int(a.Tid - b.Tid) }))
+	}
+
+	// ScanLocPrefix: the subtree at prefix (inclusive), ordered (Loc, Tid).
+	for _, prefix := range []string{"T/c1", "S", "U/m", "T/c2/y", "X"} {
+		p := path.MustParse(prefix)
+		got, err := provstore.CollectScan(b.ScanLocPrefix(ctx, p))
+		if err != nil {
+			t.Fatalf("ScanLocPrefix(%s): %v", prefix, err)
+		}
+		sameSeq(t, fmt.Sprintf("ScanLocPrefix(%s)", prefix), got,
+			filtered(func(r provstore.Record) bool { return p.IsPrefixOf(r.Loc) }, provstore.CompareLocTid))
+	}
+
+	// ScanLocWithAncestors: records at loc or any strict ancestor, ordered
+	// (Tid, Loc) — the one-round-trip feed of hierarchical inference.
+	for _, loc := range []string{"T/c1/x", "S/a/x/deep", "T/c3/w", "U/m/y"} {
+		p := path.MustParse(loc)
+		got, err := provstore.CollectScan(b.ScanLocWithAncestors(ctx, p))
+		if err != nil {
+			t.Fatalf("ScanLocWithAncestors(%s): %v", loc, err)
+		}
+		sameSeq(t, fmt.Sprintf("ScanLocWithAncestors(%s)", loc), got,
+			filtered(func(r provstore.Record) bool { return r.Loc.IsPrefixOf(p) }, provstore.CompareTidLoc))
+	}
+
+	// The scalar views agree with the drained relation.
+	tids, err := b.Tids(ctx)
+	if err != nil {
+		t.Fatalf("Tids: %v", err)
+	}
+	if want := []int64{1, 2, 3, 4, 6}; fmt.Sprint(tids) != fmt.Sprint(want) {
+		t.Errorf("Tids = %v, want %v", tids, want)
+	}
+	if maxT, err := b.MaxTid(ctx); err != nil || maxT != 6 {
+		t.Errorf("MaxTid = %d, %v; want 6", maxT, err)
+	}
+	if n, err := b.Count(ctx); err != nil || n != len(recs) {
+		t.Errorf("Count = %d, %v; want %d", n, err, len(recs))
+	}
+}
+
+// conformSeek pins ScanAllAfter as a pure keyset seek: at every stored key
+// it yields exactly the ScanAll suffix strictly after that key, and at
+// synthetic keys (before the start, between stored keys, past the end) it
+// lands on the successor.
+func conformSeek(t *testing.T, b provstore.Backend) {
+	ctx := context.Background()
+	loadConformanceFixture(t, b)
+	full, err := provstore.CollectScan(b.ScanAll(ctx))
+	if err != nil {
+		t.Fatalf("ScanAll: %v", err)
+	}
+	for k, rec := range full {
+		got, err := provstore.CollectScan(b.ScanAllAfter(ctx, rec.Tid, rec.Loc))
+		if err != nil {
+			t.Fatalf("ScanAllAfter(%d, %s): %v", rec.Tid, rec.Loc, err)
+		}
+		sameSeq(t, fmt.Sprintf("ScanAllAfter(%d, %s)", rec.Tid, rec.Loc), got, full[k+1:])
+	}
+	synthetic := []struct {
+		tid int64
+		loc string
+	}{
+		{0, ""},         // before the start: the full table
+		{1, ""},         // the tid-range seek key: everything with Tid >= 1
+		{3, ""},         // everything with Tid >= 3 (root sorts below every stored loc)
+		{2, "T/c1/q"},   // between stored keys of one transaction
+		{5, "anything"}, // inside the transaction gap
+		{99, ""},        // past the end: empty
+	}
+	for _, s := range synthetic {
+		after := provstore.Record{Tid: s.tid, Loc: path.MustParse(s.loc)}
+		var want []provstore.Record
+		for _, r := range full {
+			if provstore.CompareTidLoc(r, after) > 0 {
+				want = append(want, r)
+			}
+		}
+		got, err := provstore.CollectScan(b.ScanAllAfter(ctx, after.Tid, after.Loc))
+		if err != nil {
+			t.Fatalf("ScanAllAfter(%d, %q): %v", s.tid, s.loc, err)
+		}
+		sameSeq(t, fmt.Sprintf("ScanAllAfter(%d, %q)", s.tid, s.loc), got, want)
+	}
+}
+
+// conformEarlyBreak breaks out of every scan kind after one record and then
+// proves the store is fully usable — a write proceeds (no lock is still
+// held) and a full drain still works (no cursor state leaked into the
+// store).
+func conformEarlyBreak(t *testing.T, b provstore.Backend) {
+	ctx := context.Background()
+	loadConformanceFixture(t, b)
+	scans := map[string]func() func(func(provstore.Record, error) bool){
+		"ScanAll":       func() func(func(provstore.Record, error) bool) { return b.ScanAll(ctx) },
+		"ScanAllAfter":  func() func(func(provstore.Record, error) bool) { return b.ScanAllAfter(ctx, 2, path.Path{}) },
+		"ScanTid":       func() func(func(provstore.Record, error) bool) { return b.ScanTid(ctx, 2) },
+		"ScanLoc":       func() func(func(provstore.Record, error) bool) { return b.ScanLoc(ctx, path.MustParse("T/c1/x")) },
+		"ScanLocPrefix": func() func(func(provstore.Record, error) bool) { return b.ScanLocPrefix(ctx, path.MustParse("T/c1")) },
+		"ScanLocWithAncestors": func() func(func(provstore.Record, error) bool) {
+			return b.ScanLocWithAncestors(ctx, path.MustParse("T/c1/x"))
+		},
+	}
+	for name, mk := range scans {
+		n := 0
+		for _, err := range mk() {
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			n++
+			break
+		}
+		if n != 1 {
+			t.Fatalf("%s yielded %d records before break, want 1", name, n)
+		}
+	}
+	// No broken cursor may still hold a lock or poison the store.
+	if err := b.Append(ctx, []provstore.Record{{Tid: 9, Op: provstore.OpInsert, Loc: path.MustParse("T/after-break")}}); err != nil {
+		t.Fatalf("append after broken cursors: %v", err)
+	}
+	got, err := provstore.CollectScan(b.ScanAll(ctx))
+	if err != nil {
+		t.Fatalf("full drain after broken cursors: %v", err)
+	}
+	if len(got) != len(conformanceFixture())+1 {
+		t.Fatalf("drain after broken cursors yielded %d records, want %d", len(got), len(conformanceFixture())+1)
+	}
+}
+
+// conformCancelMidStream cancels the context between yields. The contract:
+// iteration terminates promptly, and a stream that does not run to its
+// natural end must surface the cancellation as its in-stream terminal
+// error — never a silent truncation. (A remote cursor whose remaining
+// bytes were already in flight may legitimately complete instead.)
+func conformCancelMidStream(t *testing.T, b provstore.Backend) {
+	recs := loadConformanceFixture(t, b)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	n := 0
+	var terminal error
+	for _, err := range b.ScanAll(ctx) {
+		if err != nil {
+			terminal = err
+			break
+		}
+		n++
+		if n == 3 {
+			cancel()
+		}
+	}
+	switch {
+	case terminal != nil:
+		if !errors.Is(terminal, context.Canceled) {
+			t.Fatalf("cancel mid-stream yielded %v, want context.Canceled", terminal)
+		}
+	case n < len(recs):
+		t.Fatalf("stream ended silently after %d of %d records with no error", n, len(recs))
+	}
+}
+
+// conformPreCancelled runs every scan kind (and the scalar reads) under an
+// already-cancelled context: exactly one yielded pair carrying the
+// cancellation, zero records.
+func conformPreCancelled(t *testing.T, b provstore.Backend) {
+	loadConformanceFixture(t, b)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	scans := map[string]func(func(provstore.Record, error) bool){
+		"ScanAll":              b.ScanAll(ctx),
+		"ScanAllAfter":         b.ScanAllAfter(ctx, 1, path.Path{}),
+		"ScanTid":              b.ScanTid(ctx, 2),
+		"ScanLoc":              b.ScanLoc(ctx, path.MustParse("T/c1/x")),
+		"ScanLocPrefix":        b.ScanLocPrefix(ctx, path.MustParse("T/c1")),
+		"ScanLocWithAncestors": b.ScanLocWithAncestors(ctx, path.MustParse("T/c1/x")),
+	}
+	for name, scan := range scans {
+		recs, err := provstore.CollectScan(scan)
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s on cancelled ctx = %v, want context.Canceled", name, err)
+		}
+		if len(recs) != 0 {
+			t.Errorf("%s on cancelled ctx yielded %d records", name, len(recs))
+		}
+	}
+	if _, err := b.MaxTid(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("MaxTid on cancelled ctx = %v, want context.Canceled", err)
+	}
+	if _, _, err := b.Lookup(ctx, 1, path.MustParse("S/a")); !errors.Is(err, context.Canceled) {
+		t.Errorf("Lookup on cancelled ctx = %v, want context.Canceled", err)
+	}
+}

@@ -2,6 +2,12 @@
 // trackers with update sequences and recording version snapshots. It is the
 // reference driver the real editor (internal/core) is cross-checked against,
 // and is also used by query and benchmark tests.
+//
+// It also hosts the cross-backend cursor conformance suite (Conformance,
+// conformance.go): one table of contract subtests — scan ordering, seek
+// equivalence, early-break resource release, mid-stream and pre-issued
+// cancellation — that every Backend implementation runs against its own
+// constructor.
 package provtest
 
 import (

@@ -1,0 +1,18 @@
+package relprov_test
+
+import (
+	"testing"
+
+	"repro/internal/provstore"
+	"repro/internal/provtest"
+)
+
+// TestConformance runs the shared backend conformance suite
+// (internal/provtest) against a fresh relational store per subtest — the
+// same cursor contract the in-memory shapes pin, proven over the
+// file-backed page heap and its index scans.
+func TestConformance(t *testing.T) {
+	provtest.Conformance(t, func(t *testing.T) provstore.Backend {
+		return newBackend(t)
+	})
+}

@@ -383,27 +383,10 @@ func TestRelProvFigure5(t *testing.T) {
 
 // TestRelScanAllStreamsInKeyOrder: ScanAll must stream the table in
 // (Tid, Loc) order — the primary key's own order, page at a time.
-func TestRelScanAllStreamsInKeyOrder(t *testing.T) {
-	b := newBackend(t)
-	var want []provstore.Record
-	for tid := int64(1); tid <= 4; tid++ {
-		batch := []provstore.Record{
-			rec(tid, provstore.OpInsert, fmt.Sprintf("T/b%d", tid), ""),
-			rec(tid, provstore.OpInsert, fmt.Sprintf("T/a%d", tid), ""),
-		}
-		if err := b.Append(context.Background(), batch); err != nil {
-			t.Fatal(err)
-		}
-		want = append(want, batch[1], batch[0]) // (Tid, Loc) order
-	}
-	got, err := provstore.CollectScan(b.ScanAll(context.Background()))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if fmt.Sprint(got) != fmt.Sprint(want) {
-		t.Errorf("ScanAll:\ngot  %v\nwant %v", got, want)
-	}
-}
+// Scan ordering, cancellation between records and ScanAllAfter seek
+// equivalence are pinned by the shared conformance suite (TestConformance
+// in conformance_test.go); only the rel-specific lock-release and
+// chunked-window tests remain here.
 
 // TestRelCursorEarlyBreakReleasesLock: a consumer breaking out of a scan
 // must release the backend's read lock promptly — a write issued right
@@ -441,36 +424,6 @@ func TestRelCursorEarlyBreakReleasesLock(t *testing.T) {
 		}
 	case <-time.After(3 * time.Second):
 		t.Fatal("append blocked: a broken cursor leaked the read lock")
-	}
-}
-
-// TestRelCursorCancelMidStream: cancelling between yields ends the stream
-// with context.Canceled.
-func TestRelCursorCancelMidStream(t *testing.T) {
-	b := newBackend(t)
-	for i := 0; i < 10; i++ {
-		if err := b.Append(context.Background(), []provstore.Record{
-			rec(1, provstore.OpInsert, fmt.Sprintf("T/n%02d", i), ""),
-		}); err != nil {
-			t.Fatal(err)
-		}
-	}
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
-	n := 0
-	var got error
-	for _, err := range b.ScanAll(ctx) {
-		if err != nil {
-			got = err
-			break
-		}
-		n++
-		if n == 3 {
-			cancel()
-		}
-	}
-	if !errors.Is(got, context.Canceled) {
-		t.Fatalf("cancel mid-stream after %d records yielded %v, want context.Canceled", n, got)
 	}
 }
 
@@ -534,43 +487,4 @@ func TestRelCursorReadInLoopWithConcurrentWriter(t *testing.T) {
 	}
 	close(stop)
 	<-writerDone
-}
-
-// TestRelScanAllAfterSeeks: ScanAllAfter resumes the primary-key walk
-// strictly after any {tid, loc} key — stored or absent — via a B-tree seek,
-// matching the ScanAll suffix exactly.
-func TestRelScanAllAfterSeeks(t *testing.T) {
-	b := newBackend(t)
-	ctx := context.Background()
-	for tid := int64(1); tid <= 5; tid++ {
-		batch := []provstore.Record{
-			rec(tid, provstore.OpInsert, fmt.Sprintf("T/a%d", tid), ""),
-			rec(tid, provstore.OpInsert, fmt.Sprintf("T/b%d/x", tid), ""),
-			rec(tid, provstore.OpInsert, fmt.Sprintf("T/c%d", tid), ""),
-		}
-		if err := b.Append(ctx, batch); err != nil {
-			t.Fatal(err)
-		}
-	}
-	full, err := provstore.CollectScan(b.ScanAll(ctx))
-	if err != nil {
-		t.Fatal(err)
-	}
-	for k, r := range full {
-		got, err := provstore.CollectScan(b.ScanAllAfter(ctx, r.Tid, r.Loc))
-		if err != nil {
-			t.Fatalf("ScanAllAfter(%d, %s): %v", r.Tid, r.Loc, err)
-		}
-		if fmt.Sprint(got) != fmt.Sprint(full[k+1:]) {
-			t.Fatalf("ScanAllAfter(%d, %s) = %v, want suffix %v", r.Tid, r.Loc, got, full[k+1:])
-		}
-	}
-	// Absent key between tids: lands on tid 3's first record.
-	got, err := provstore.CollectScan(b.ScanAllAfter(ctx, 2, path.MustParse("T/zzz")))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(got) != 9 || got[0].Tid != 3 {
-		t.Fatalf("ScanAllAfter(2, T/zzz) = %d records starting at tid %d, want 9 starting at 3", len(got), got[0].Tid)
-	}
 }

@@ -1,0 +1,162 @@
+package cpdb_test
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"strings"
+	"testing"
+
+	cpdb "repro"
+	"repro/internal/figures"
+)
+
+func planSession(t *testing.T) *cpdb.Session {
+	t.Helper()
+	s, err := cpdb.New(cpdb.Config{
+		Target:  cpdb.NewMemTarget("T", figures.T0()),
+		Sources: []cpdb.Source{cpdb.NewMemSource("S1", figures.S1()), cpdb.NewMemSource("S2", figures.S2())},
+		Method:  cpdb.HierTrans,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(figures.Script); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestSessionPlanKinds drives each query kind through the public Plan
+// surface and cross-checks against the classic methods.
+func TestSessionPlanKinds(t *testing.T) {
+	s := planSession(t)
+
+	res, err := s.Plan("select count")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.RecordCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != int64(n) {
+		t.Errorf("select count = %d, RecordCount = %d", res.Value, n)
+	}
+
+	res, err = s.Plan("trace T/c1/y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := s.Trace(cpdb.MustParsePath("T/c1/y"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace.Origin != tr.Origin || len(res.Trace.Events) != len(tr.Events) {
+		t.Errorf("plan trace %+v != method trace %+v", res.Trace, tr)
+	}
+
+	res, err = s.Plan("mod T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := s.Mod(cpdb.MustParsePath("T"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tids) != len(mod) {
+		t.Errorf("plan mod %v != method mod %v", res.Tids, mod)
+	}
+}
+
+// TestQueryPlanAsOfPinning: a handle's AsOf horizon applies to plan queries
+// that do not carry their own bound — selects get tid<=asof, ancestry kinds
+// get asof — while explicit bounds in the text win.
+func TestQueryPlanAsOfPinning(t *testing.T) {
+	s := planSession(t)
+	ctx := context.Background()
+
+	want := 0
+	for r, err := range s.Query().Records(ctx) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Tid <= 2 {
+			want++
+		}
+	}
+	res, err := s.Query(cpdb.AsOf(2)).Plan("select count")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != int64(want) {
+		t.Errorf("AsOf(2) select count = %d, want %d", res.Value, want)
+	}
+
+	// An explicit bound in the text wins over the handle's horizon.
+	res, err = s.Query(cpdb.AsOf(1)).Plan("select count where tid<=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != int64(want) {
+		t.Errorf("explicit tid<=2 under AsOf(1) counted %d, want %d", res.Value, want)
+	}
+
+	// Ancestry kinds: AsOf pins the trace horizon exactly like the classic
+	// method under the same option.
+	p := cpdb.MustParsePath("T/c1/y")
+	for asOf := int64(1); asOf <= 5; asOf++ {
+		viaPlan, err := s.Query(cpdb.AsOf(asOf)).Plan("hist " + p.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaMethod, err := s.Query(cpdb.AsOf(asOf)).Hist(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(viaPlan.Tids) != len(viaMethod) {
+			t.Errorf("asof %d: plan hist %v != method hist %v", asOf, viaPlan.Tids, viaMethod)
+		}
+	}
+}
+
+// TestCLIPlanVerb: the -query "plan …" verb parses, runs and prints a
+// declarative query alongside the classic verbs.
+func TestCLIPlanVerb(t *testing.T) {
+	var out bytes.Buffer
+	cfg := cpdb.CLIConfig{
+		Demo:        true,
+		Script:      writeTempScript(t),
+		Method:      "HT",
+		CommitEvery: 5,
+		Queries: cpdb.StringList{
+			"plan select count",
+			"plan select where op=C order loc-tid limit 3",
+			"plan trace T/c1",
+		},
+	}
+	if err := cpdb.RunCLI(cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"plan select count:", "plan select where op=C order loc-tid limit 3:", "plan trace T/c1:", "origin:"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("CLI output missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "(0 records)") {
+		t.Errorf("plan select matched nothing:\n%s", text)
+	}
+}
+
+func writeTempScript(t *testing.T) string {
+	t.Helper()
+	f := t.TempDir() + "/fig3.cpdb"
+	if err := os.WriteFile(f, []byte(figures.Script), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}

@@ -3,6 +3,8 @@ package cpdb
 import (
 	"context"
 	"iter"
+
+	"repro/internal/provplan"
 )
 
 // A Query is a configured handle onto a session's provenance store: the
@@ -77,45 +79,134 @@ func (q *Query) horizon(ctx context.Context) (int64, error) {
 	return q.s.backend.MaxTid(ctx)
 }
 
+// run executes one ancestry query kind through the plan layer. The pinned
+// AsOf travels inside the query (0 = "now"), so the horizon resolves
+// wherever the plan executes — on the daemon for a cpdb:// store, which is
+// why a remote Trace costs one round trip, not a MaxTid probe plus one per
+// chain step.
+func (q *Query) run(kind string, p Path) (*provplan.Result, error) {
+	return provplan.Collect(q.ctx, q.s.backend, &provplan.Query{Op: kind, Path: p.String(), AsOf: q.asOf})
+}
+
 // Trace returns the backward history of the data at p as of the query's
 // horizon.
 func (q *Query) Trace(p Path) (TraceResult, error) {
-	tnow, err := q.horizon(q.ctx)
+	res, err := q.run(provplan.OpTrace, p)
 	if err != nil {
 		return TraceResult{}, err
 	}
-	return q.s.engine.Trace(q.ctx, p, tnow)
+	return res.Trace, nil
 }
 
 // Src answers which transaction first created the data at p as of the
 // query's horizon; ok is false when the data pre-exists tracking or came
 // from an external source.
 func (q *Query) Src(p Path) (tid int64, ok bool, err error) {
-	tnow, err := q.horizon(q.ctx)
+	res, err := q.run(provplan.OpSrc, p)
 	if err != nil {
 		return 0, false, err
 	}
-	return q.s.engine.Src(q.ctx, p, tnow)
+	return res.Value, res.Found, nil
 }
 
 // Hist returns every transaction that copied the data at p as of the
 // query's horizon, most recent first.
 func (q *Query) Hist(p Path) ([]int64, error) {
-	tnow, err := q.horizon(q.ctx)
+	res, err := q.run(provplan.OpHist, p)
 	if err != nil {
 		return nil, err
 	}
-	return q.s.engine.Hist(q.ctx, p, tnow)
+	return res.Tids, nil
 }
 
 // Mod returns every transaction up to the query's horizon that created,
 // modified or deleted data in the subtree at p.
 func (q *Query) Mod(p Path) ([]int64, error) {
-	tnow, err := q.horizon(q.ctx)
+	res, err := q.run(provplan.OpMod, p)
 	if err != nil {
 		return nil, err
 	}
-	return q.s.engine.Mod(q.ctx, p, tnow)
+	if res.Tids == nil {
+		return []int64{}, nil
+	}
+	return res.Tids, nil
+}
+
+// Plan parses and runs one declarative provenance query — the textual form
+// of the plan algebra (see ParsePlanQuery for the grammar):
+//
+//	res, err := s.Query().Plan("select where loc>=T/c2 and op=C order loc-tid")
+//	res, err := s.Query().Plan("trace T/c3")
+//
+// The whole query compiles to one plan over the store's cursors; against a
+// cpdb:// store the plan ships to the daemon and executes next to the data,
+// so any query — a filtered select, a multi-step trace, a mod BFS — costs
+// exactly one round trip. A pinned AsOf horizon applies to the parsed query
+// when it does not set its own (an explicit "asof N" in the text, or a tid
+// bound in a select, wins).
+func (q *Query) Plan(text string) (*PlanResult, error) {
+	pq, err := provplan.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return q.PlanQuery(pq)
+}
+
+// PlanQuery runs one declarative query built programmatically (or parsed by
+// ParsePlanQuery). See Plan.
+func (q *Query) PlanQuery(pq *PlanQuery) (*PlanResult, error) {
+	return provplan.Collect(q.ctx, q.s.backend, q.pin(pq))
+}
+
+// PlanRows runs one declarative query and streams its result rows under the
+// cursor contract (in-stream errors, prompt release on break) — the
+// bounded-memory form of Plan for large selects.
+func (q *Query) PlanRows(text string) iter.Seq2[PlanRow, error] {
+	pq, err := provplan.Parse(text)
+	if err != nil {
+		return func(yield func(PlanRow, error) bool) { yield(PlanRow{}, err) }
+	}
+	return provplan.Run(q.ctx, q.s.backend, q.pin(pq))
+}
+
+// pin applies the handle's AsOf horizon to a plan query that does not carry
+// its own: ancestry kinds get AsOf, selects get an upper tid bound — so
+// s.Query(AsOf(5)).Plan("select") time-travels like every other method on
+// the handle. The caller's query is never mutated.
+func (q *Query) pin(pq *PlanQuery) *PlanQuery {
+	if q.asOf <= 0 || pq == nil {
+		return pq
+	}
+	if pq.Op == provplan.OpSelect {
+		return pinSelect(pq, q.asOf)
+	}
+	if pq.AsOf == 0 {
+		cp := *pq
+		cp.AsOf = q.asOf
+		return &cp
+	}
+	return pq
+}
+
+// pinSelect bounds a select (and any join sub-select) at the horizon,
+// copying only what it changes.
+func pinSelect(pq *PlanQuery, asOf int64) *PlanQuery {
+	cp := *pq
+	changed := false
+	if cp.Where.TidMax == 0 {
+		cp.Where.TidMax = asOf
+		changed = true
+	}
+	if cp.Join != nil && cp.Join.Sub != nil {
+		if sub := pinSelect(cp.Join.Sub, asOf); sub != cp.Join.Sub {
+			cp.Join = &provplan.Join{On: cp.Join.On, Sub: sub}
+			changed = true
+		}
+	}
+	if !changed {
+		return pq
+	}
+	return &cp
 }
 
 // Records streams every stored provenance record up to the query's horizon,

@@ -5,7 +5,6 @@ import (
 	"errors"
 
 	"repro/internal/core"
-	"repro/internal/provquery"
 	"repro/internal/provstore"
 	"repro/internal/update"
 )
@@ -56,7 +55,6 @@ type Config struct {
 // provenance-aware editor plus its query interface.
 type Session struct {
 	editor  *core.Editor
-	engine  *provquery.Engine
 	backend Backend
 	method  Method
 }
@@ -100,7 +98,6 @@ func New(cfg Config) (*Session, error) {
 	}
 	return &Session{
 		editor:  ed,
-		engine:  provquery.New(backend),
 		backend: backend,
 		method:  cfg.Method,
 	}, nil
@@ -199,6 +196,13 @@ func (s *Session) Hist(p Path) ([]int64, error) {
 // the subtree at p.
 func (s *Session) Mod(p Path) ([]int64, error) {
 	return s.Query().Mod(p)
+}
+
+// Plan parses and runs one declarative provenance query against the
+// session's store — s.Plan(text) ≡ s.Query().Plan(text); see Query.Plan
+// for the grammar and the one-round-trip execution on remote stores.
+func (s *Session) Plan(text string) (*PlanResult, error) {
+	return s.Query().Plan(text)
 }
 
 // Records returns every stored provenance record ordered by (Tid, Loc) —
