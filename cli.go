@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/figures"
+	"repro/internal/provauth"
 	"repro/internal/provrepl"
 	"repro/internal/provstore"
 	"repro/internal/tree"
@@ -51,6 +53,10 @@ type CLIConfig struct {
 	// Queries are provenance queries: "src|hist|mod|trace PATH", or
 	// "plan QUERY" with a declarative query in the plan grammar
 	// ("plan select where loc>=T/c2 and op=C order loc-tid").
+	// Against an authenticated store (verified:// or a cpdb:// daemon
+	// serving one) three more verbs work: "root" prints the signed-off
+	// Merkle root, "prove TID LOC" fetches and checks one inclusion
+	// proof, and "verify" re-checks every stored record against the root.
 	Queries StringList
 	// Dump prints the provenance table and final target tree.
 	Dump bool
@@ -183,8 +189,12 @@ func RunCLI(cfg CLIConfig, w io.Writer) error {
 
 func runQuery(s *Session, q string, w io.Writer) error {
 	kind, rest, ok := strings.Cut(strings.TrimSpace(q), " ")
+	switch strings.ToLower(kind) {
+	case "root", "prove", "verify":
+		return runAuthQuery(s, strings.ToLower(kind), strings.TrimSpace(rest), w)
+	}
 	if !ok {
-		return fmt.Errorf("cpdb: query %q is not 'src|hist|mod|trace PATH' or 'plan QUERY'", q)
+		return fmt.Errorf("cpdb: query %q is not 'src|hist|mod|trace PATH', 'plan QUERY', 'root', 'prove TID LOC' or 'verify'", q)
 	}
 	if strings.EqualFold(kind, "plan") {
 		return runPlan(s, rest, w)
@@ -270,6 +280,111 @@ func runPlan(s *Session, text string, w io.Writer) error {
 			fmt.Fprintf(w, "  %s\n", r)
 		}
 		fmt.Fprintf(w, "  (%d records)\n", len(res.Records))
+	}
+	return nil
+}
+
+// sessionAuthority unwraps the session's backend chain (batching layers,
+// size-charging wrappers) to the first store that serves Merkle proofs: a
+// local verified:// AuthBackend, or a cpdb:// client whose daemon does.
+func sessionAuthority(s *Session) (provauth.Authority, error) {
+	var b Backend = s.BackendStore()
+	for b != nil {
+		if a, ok := b.(provauth.Authority); ok {
+			return a, nil
+		}
+		u, ok := b.(interface{ Inner() provstore.Backend })
+		if !ok {
+			break
+		}
+		b = u.Inner()
+	}
+	return nil, errors.New("cpdb: this store serves no proofs; open it via -backend 'verified://?inner=DSN' (or cpdb:// to a daemon that does)")
+}
+
+// runAuthQuery serves the authenticated-store verbs. All three answer about
+// committed state, so buffered writes are pushed down and the open
+// transaction sealed first — otherwise a half-flushed transaction would
+// read as tampering.
+func runAuthQuery(s *Session, kind, rest string, w io.Writer) error {
+	if err := s.Flush(); err != nil {
+		return err
+	}
+	auth, err := sessionAuthority(s)
+	if err != nil {
+		return err
+	}
+	// The session's Flush drains the batching layer into the authority;
+	// this one makes the authority seal the transaction those writes
+	// opened.
+	if f, ok := auth.(provstore.Flusher); ok {
+		if err := f.Flush(); err != nil {
+			return err
+		}
+	}
+	ctx := context.Background()
+	switch kind {
+	case "root":
+		if rest != "" {
+			return fmt.Errorf("cpdb: root takes no argument (got %q)", rest)
+		}
+		root, err := auth.Root(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "root %s\n", root)
+	case "prove":
+		fields := strings.Fields(rest)
+		if len(fields) != 2 {
+			return fmt.Errorf("cpdb: prove needs TID LOC (got %q)", rest)
+		}
+		tid, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return fmt.Errorf("cpdb: prove: %q is not a transaction id", fields[0])
+		}
+		loc, err := ParsePath(fields[1])
+		if err != nil {
+			return err
+		}
+		proof, root, err := auth.Prove(ctx, tid, loc)
+		if err != nil {
+			return err
+		}
+		rec, found, err := s.BackendStore().Lookup(ctx, tid, loc)
+		if err != nil {
+			return err
+		}
+		if !found {
+			return fmt.Errorf("cpdb: prove %d %s: the store proved a record it will not return", tid, loc)
+		}
+		if err := provauth.VerifyRecord(root, rec, proof); err != nil {
+			return fmt.Errorf("cpdb: prove %d %s: %w", tid, loc, err)
+		}
+		fmt.Fprintf(w, "prove %d %s: ok — leaf %d of %d under root %s\n", tid, loc, proof.LeafIndex, proof.TreeSize, root)
+	case "verify":
+		if rest != "" {
+			return fmt.Errorf("cpdb: verify takes no argument (got %q)", rest)
+		}
+		root, err := auth.Root(ctx)
+		if err != nil {
+			return err
+		}
+		var n uint64
+		for pr, err := range auth.ScanAllProven(ctx, 0, Path{}) {
+			if err != nil {
+				return fmt.Errorf("cpdb: verify: after %d record(s): %w", n, err)
+			}
+			if verr := pr.Verify(); verr != nil {
+				return fmt.Errorf("cpdb: verify: record %d %s: %w", pr.Rec.Tid, pr.Rec.Loc, verr)
+			}
+			n++
+		}
+		// Every yielded record checked out; now the count must match the
+		// root, or the store withheld records the log committed.
+		if n != root.Size {
+			return fmt.Errorf("cpdb: verify: store returned %d record(s) but the root covers %d", n, root.Size)
+		}
+		fmt.Fprintf(w, "verify: ok — %d record(s) match root %s\n", n, root)
 	}
 	return nil
 }

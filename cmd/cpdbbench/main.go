@@ -14,6 +14,7 @@
 //	cpdbbench -exp net         # loopback cpdb:// vs in-process mem://
 //	cpdbbench -exp repl        # replicated:// ingest + read fan-out sweep
 //	cpdbbench -exp query       # declarative plans: pushdown + 1-RT remote execution
+//	cpdbbench -exp auth        # verified:// Merkle-tree overhead + proof cost sweep
 //	cpdbbench -quick           # scaled-down sizes (seconds, for smoke runs)
 //	cpdbbench -json out.json   # also write machine-readable results
 //	cpdbbench -list            # list experiment ids

@@ -37,6 +37,14 @@
 // — with per-replica lag and applied-tid gauges (repl.lag.<i>,
 // repl.applied_tid.<i>) merged into /v1/stats and always printed by the
 // shutdown dump, zero or not.
+//
+// The verified:// driver is linked in as well: -backend
+// "verified://?inner=DSN" maintains a Merkle history tree over the store
+// and turns on the proof-serving endpoints (/v1/root, /v1/prove,
+// /v1/consistency, plus proofs=1 on the scan and query streams) that
+// ?verify=pin clients check answers against. Its auth.* gauges
+// (auth.root_tid, auth.proofs_served, auth.verify_failures) join the
+// shutdown dump the same way the repl.* gauges do, zero or not.
 package main
 
 import (
@@ -54,6 +62,7 @@ import (
 	"syscall"
 	"time"
 
+	_ "repro/internal/provauth" // registers the verified:// backend driver
 	"repro/internal/provhttp"
 	_ "repro/internal/provrepl" // registers the replicated:// backend driver
 	"repro/internal/provstore"
@@ -129,11 +138,14 @@ func run(addr, backendDSN string, shutdownTimeout time.Duration) error {
 // and endpoint.scan/all records whether clients used the streaming
 // whole-table cursor — and the repl.* replication gauges, where zero is
 // exactly the interesting value (repl.lag.<i>=0 at shutdown means every
-// replica drained; a non-zero value names the replica left behind).
+// replica drained; a non-zero value names the replica left behind). The
+// auth.* gauges of a verified:// store print the same way:
+// auth.verify_failures=0 at shutdown means no proof request ever named a
+// record outside the log.
 func logStats(stats map[string]int64) {
 	keys := make([]string, 0, len(stats))
 	for k := range stats {
-		if stats[k] != 0 || k == "cursors_open" || k == "endpoint.scan/all" || strings.HasPrefix(k, "repl.") {
+		if stats[k] != 0 || k == "cursors_open" || k == "endpoint.scan/all" || strings.HasPrefix(k, "repl.") || strings.HasPrefix(k, "auth.") {
 			keys = append(keys, k)
 		}
 	}

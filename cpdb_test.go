@@ -469,6 +469,54 @@ func TestCLIErrors(t *testing.T) {
 	}
 }
 
+// TestCLIAuthVerbs: root / prove / verify against a verified:// store —
+// the end-to-end CLI path for the authenticated-store surface.
+func TestCLIAuthVerbs(t *testing.T) {
+	dir := t.TempDir()
+	script := filepath.Join(dir, "s.cpdb")
+	writeFile(t, script, figures.Script)
+	var out strings.Builder
+	cfg := cpdb.CLIConfig{
+		Demo:        true,
+		Script:      script,
+		Method:      "HT",
+		CommitEvery: 1,
+		Backend:     "verified://?inner=mem://",
+		Queries:     cpdb.StringList{"root", "prove 6 T/c2/y", "verify"},
+	}
+	if err := cpdb.RunCLI(cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"root ", "prove 6 T/c2/y: ok", "verify: ok"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("CLI auth output missing %q:\n%s", want, s)
+		}
+	}
+
+	// Errors: proofs from an unauthenticated store, malformed verbs.
+	for _, tc := range []struct {
+		backend string
+		query   string
+	}{
+		{"", "root"},
+		{"verified://?inner=mem://", "root extra"},
+		{"verified://?inner=mem://", "prove notanumber T/c2/y"},
+		{"verified://?inner=mem://", "prove 6"},
+		{"verified://?inner=mem://", "verify extra"},
+		{"verified://?inner=mem://", "prove 99 T/nowhere"},
+	} {
+		out.Reset()
+		err := cpdb.RunCLI(cpdb.CLIConfig{
+			Demo: true, Method: "N", Backend: tc.backend,
+			Queries: cpdb.StringList{tc.query},
+		}, &out)
+		if err == nil {
+			t.Errorf("query %q on backend %q should error", tc.query, tc.backend)
+		}
+	}
+}
+
 // TestSessionErrorsAreSessionErrors: errors from invalid ops surface.
 func TestSessionErrors(t *testing.T) {
 	s := figureSession(t, cpdb.Naive)

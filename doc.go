@@ -36,7 +36,16 @@
 // synchronously and log-shipped to each replica asynchronously (resuming
 // after a crash from the replica's high-water {Tid, Loc} mark), and
 // read=any fans reads across caught-up replicas with automatic failover
-// back to the primary (DESIGN.md §4).
+// back to the primary (DESIGN.md §4). The verified:// scheme wraps any of
+// them in an RFC 6962-style Merkle history tree — a root hash per
+// committed transaction, logarithmic inclusion and consistency proofs —
+// making the provenance log tamper-evident: a cpdb:// client opened with
+// ?verify=pin&pin=FILE pins the root on first use and proof-checks every
+// record of every read against it, failing closed on any tampered,
+// rolled-back or rewritten history, and replicated://?verify=1 appliers
+// check shipped records the same way (DESIGN.md §8). The cpdb CLI's
+// root, "prove TID LOC" and verify query verbs expose the proofs
+// directly.
 //
 //	backend, err := cpdb.OpenBackend("rel://prov.db?create=1&durable=1")
 //	s, err := cpdb.New(cpdb.Config{

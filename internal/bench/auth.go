@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/path"
+	"repro/internal/provauth"
+	"repro/internal/provstore"
+)
+
+// This file is the authenticated-store sweep: what the Merkle history tree
+// costs at ingest, and what a proof costs to serve and check, as the
+// relation grows. The tree is incremental (O(log n) hashes per sealed
+// record), so ingest overhead should stay a roughly flat percentage while
+// proof size and verify latency grow logarithmically.
+
+// AuthSweepConfig sizes the sweep.
+type AuthSweepConfig struct {
+	Sizes  []int // relation sizes (records) to sweep
+	PerTid int   // records per transaction
+	Proofs int   // proofs served + verified per size
+}
+
+// DefaultAuthSweep returns the standard sizes.
+func DefaultAuthSweep() AuthSweepConfig {
+	return AuthSweepConfig{Sizes: []int{1000, 5000, 20000, 80000}, PerTid: 25, Proofs: 500}
+}
+
+// quickAuthSweep shrinks the sweep for tests and smoke runs.
+func quickAuthSweep() AuthSweepConfig {
+	return AuthSweepConfig{Sizes: []int{200, 1000}, PerTid: 10, Proofs: 50}
+}
+
+func authBatch(tid int64, perTid int) []provstore.Record {
+	recs := make([]provstore.Record, 0, perTid)
+	for i := 0; i < perTid; i++ {
+		recs = append(recs, provstore.Record{
+			Tid: tid,
+			Op:  provstore.OpInsert,
+			Loc: path.New("MiMI", fmt.Sprintf("p%d", tid), fmt.Sprintf("n%d", i)),
+		})
+	}
+	return recs
+}
+
+// ingestRate appends n records in perTid-sized transactions and returns
+// records per second.
+func ingestRate(ctx context.Context, b provstore.Backend, n, perTid int) (float64, error) {
+	start := time.Now()
+	for tid := int64(1); int(tid-1)*perTid < n; tid++ {
+		if err := b.Append(ctx, authBatch(tid, perTid)); err != nil {
+			return 0, err
+		}
+	}
+	if err := provstore.Flush(b); err != nil {
+		return 0, err
+	}
+	return float64(n) / time.Since(start).Seconds(), nil
+}
+
+// AuthSweep measures Merkle-tree ingest overhead, proof size and
+// prove+verify latency against relation size.
+func AuthSweep(rc RunConfig) ([]*Table, error) {
+	cfg := DefaultAuthSweep()
+	if rc.StepsShort < 3500 { // Quick() and test configs run a small sweep
+		cfg = quickAuthSweep()
+	}
+	ctx := context.Background()
+
+	t := &Table{
+		ID: "auth",
+		Title: fmt.Sprintf("Authenticated store: tree overhead and proof cost (%d records/txn, %d proofs/size)",
+			cfg.PerTid, cfg.Proofs),
+	}
+	t.Header = []string{"records", "plain recs/s", "verified recs/s", "overhead %",
+		"proof bytes", "prove+verify µs", "proven scan recs/s"}
+
+	for _, n := range cfg.Sizes {
+		plainRate, err := ingestRate(ctx, provstore.NewMemBackend(), n, cfg.PerTid)
+		if err != nil {
+			return nil, fmt.Errorf("bench: auth plain ingest: %w", err)
+		}
+
+		bk, err := provstore.OpenDSN("verified://?inner=mem://")
+		if err != nil {
+			return nil, fmt.Errorf("bench: auth: %w", err)
+		}
+		auth := bk.(*provauth.AuthBackend)
+		verifiedRate, err := ingestRate(ctx, auth, n, cfg.PerTid)
+		if err != nil {
+			return nil, fmt.Errorf("bench: auth verified ingest: %w", err)
+		}
+
+		// Serve + check proofs for records spread evenly over the relation.
+		root, err := auth.Root(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("bench: auth root: %w", err)
+		}
+		tids := n / cfg.PerTid
+		proofBytes := 0
+		pStart := time.Now()
+		for i := 0; i < cfg.Proofs; i++ {
+			tid := int64(i*tids/cfg.Proofs + 1)
+			loc := path.New("MiMI", fmt.Sprintf("p%d", tid), fmt.Sprintf("n%d", i%cfg.PerTid))
+			proof, proot, err := auth.Prove(ctx, tid, loc)
+			if err != nil {
+				return nil, fmt.Errorf("bench: auth prove %d %s: %w", tid, loc, err)
+			}
+			rec, found, err := auth.Lookup(ctx, tid, loc)
+			if err != nil || !found {
+				return nil, fmt.Errorf("bench: auth lookup %d %s: found=%v err=%v", tid, loc, found, err)
+			}
+			if err := provauth.VerifyRecord(proot, rec, proof); err != nil {
+				return nil, fmt.Errorf("bench: auth verify %d %s: %w", tid, loc, err)
+			}
+			proofBytes += len(proof.AppendBinary(nil))
+		}
+		proveDur := time.Since(pStart)
+
+		// Drain the proven whole-table stream, checking every record — the
+		// replica-shipping and client `verify` path.
+		sStart := time.Now()
+		var scanned uint64
+		for pr, err := range auth.ScanAllProven(ctx, 0, path.Path{}) {
+			if err != nil {
+				return nil, fmt.Errorf("bench: auth proven scan: %w", err)
+			}
+			if verr := pr.Verify(); verr != nil {
+				return nil, fmt.Errorf("bench: auth proven scan verify: %w", verr)
+			}
+			scanned++
+		}
+		scanDur := time.Since(sStart)
+		if scanned != root.Size {
+			return nil, fmt.Errorf("bench: auth proven scan returned %d records, root covers %d", scanned, root.Size)
+		}
+
+		t.AddRow(fmt.Sprint(n),
+			fmt.Sprintf("%.0f", plainRate),
+			fmt.Sprintf("%.0f", verifiedRate),
+			fmt.Sprintf("%.1f", (plainRate/verifiedRate-1)*100),
+			fmt.Sprintf("%.0f", float64(proofBytes)/float64(cfg.Proofs)),
+			fmt.Sprintf("%.1f", float64(proveDur.Microseconds())/float64(cfg.Proofs)),
+			fmt.Sprintf("%.0f", float64(scanned)/scanDur.Seconds()))
+	}
+	t.Note("overhead %% = plain/verified ingest ratio - 1; proof bytes and prove+verify µs are per-proof averages")
+	return []*Table{t}, nil
+}

@@ -465,3 +465,35 @@ func TestQuerySweepShape(t *testing.T) {
 		}
 	}
 }
+
+// TestAuthSweepShape: the authenticated-store sweep produces one row per
+// size with sane cells — proof sizes in the tens of hash-widths, not zero
+// or wild, and a positive proven-scan rate.
+func TestAuthSweepShape(t *testing.T) {
+	tabs, err := AuthSweep(quick(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 1 || tabs[0].ID != "auth" {
+		t.Fatalf("want one auth table, got %v", tabs)
+	}
+	tb := tabs[0]
+	if len(tb.Rows) != 2 {
+		t.Fatalf("quick sweep should have 2 rows:\n%s", tb)
+	}
+	for r := range tb.Rows {
+		if rate := numCell(t, tb, r, 2); rate <= 0 {
+			t.Errorf("row %d: verified ingest rate %v, want > 0:\n%s", r, rate, tb)
+		}
+		// A proof is ~log2(n) 32-byte hashes plus a few varints.
+		if pb := numCell(t, tb, r, 4); pb < 32 || pb > 64*32 {
+			t.Errorf("row %d: proof bytes %v outside [32, 2048]:\n%s", r, pb, tb)
+		}
+		if us := numCell(t, tb, r, 5); us <= 0 {
+			t.Errorf("row %d: prove+verify %v µs, want > 0:\n%s", r, us, tb)
+		}
+		if sr := numCell(t, tb, r, 6); sr <= 0 {
+			t.Errorf("row %d: proven scan rate %v, want > 0:\n%s", r, sr, tb)
+		}
+	}
+}

@@ -101,6 +101,7 @@ func All() []Experiment {
 		{"net", "Loopback cpdb:// vs in-process mem:// per-operation latency (beyond the paper)", NetSweep},
 		{"repl", "Replicated store: ingest + read fan-out vs replica count (beyond the paper)", ReplSweep},
 		{"query", "Declarative plans: pushdown vs full scan, 1-RT remote plans vs legacy (beyond the paper)", QuerySweep},
+		{"auth", "Authenticated store: Merkle-tree ingest overhead, proof size and verify latency (beyond the paper)", AuthSweep},
 	}
 }
 

@@ -1,0 +1,464 @@
+package provauth
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"iter"
+	"slices"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/path"
+	"repro/internal/provstore"
+)
+
+// Authority is the proof-serving surface an authenticated store exposes on
+// top of provstore.Backend. *AuthBackend implements it locally; the
+// provhttp.Client implements it over /v1/root, /v1/prove and
+// /v1/consistency, so a daemon chained onto another daemon still serves
+// proofs.
+type Authority interface {
+	// Root returns the current sealed tree head.
+	Root(ctx context.Context) (Root, error)
+	// RootAt returns the head as of transaction tid: the checkpoint of
+	// the largest sealed transaction <= tid (the empty root if none).
+	RootAt(ctx context.Context, tid int64) (Root, error)
+	// Prove returns an inclusion proof for the sealed record keyed
+	// {tid, loc} together with the root it is against, atomically — the
+	// tree may grow between calls, never between the pair.
+	Prove(ctx context.Context, tid int64, loc path.Path) (Proof, Root, error)
+	// ProveAt proves the record against the historical head at atSize
+	// leaves — what stamps every record of one stream against the single
+	// root in its header.
+	ProveAt(ctx context.Context, tid int64, loc path.Path, atSize uint64) (Proof, error)
+	// Consistency returns the audit hashes proving the head at oldSize
+	// leaves is a prefix of the head at newSize leaves.
+	Consistency(ctx context.Context, oldSize, newSize uint64) ([]Hash, error)
+	// ConsistencyTids resolves two transaction checkpoints and connects
+	// them: the proof that newTid's root extends oldTid's.
+	ConsistencyTids(ctx context.Context, oldTid, newTid int64) (ConsistencyProof, error)
+	// ScanAllProven streams the (Tid, Loc)-ordered relation strictly
+	// after the given key, each record carrying an inclusion proof
+	// against one root snapshotted at cursor construction. The stream
+	// answers "as of that root": records sealed later are not yielded
+	// (re-scan to pick them up), and a record the store returns that the
+	// log never admitted is an in-stream ErrNotInLog.
+	ScanAllProven(ctx context.Context, afterTid int64, afterLoc path.Path) iter.Seq2[ProvenRecord, error]
+}
+
+// An AuthBackend wraps any provstore.Backend with the Merkle history tree:
+// reads and scans delegate untouched, writes feed the tree, and the
+// Authority surface serves roots and proofs. Open one directly with New or
+// by DSN via verified://?inner=DSN.
+//
+// Sealing: records of the highest (open) transaction buffer until a
+// higher-tid append arrives or Flush/Close runs; sealing appends them to
+// the tree in Loc order and records the per-transaction checkpoint. The
+// leaf sequence is therefore exactly the store's (Tid, Loc) ScanAll order,
+// which is what lets New rebuild the tree from an existing store. The
+// price of an ordered log: appending at or below the last sealed
+// transaction fails with ErrSealed, and appends serialize through the
+// tree's lock (the bench's -exp auth sweep measures the overhead).
+type AuthBackend struct {
+	inner provstore.Backend
+
+	mu      sync.RWMutex // guards everything below; held across inner writes
+	tree    merkle
+	leaf    map[string]uint64 // recordKey -> leaf index
+	cps     []Root            // one checkpoint per sealed transaction, ascending
+	open    []provstore.Record
+	openTid int64 // 0 when no transaction is open
+
+	proofsServed   atomic.Int64
+	verifyFailures atomic.Int64
+}
+
+var (
+	_ provstore.Backend        = (*AuthBackend)(nil)
+	_ provstore.GroupCommitter = (*AuthBackend)(nil)
+	_ provstore.Flusher        = (*AuthBackend)(nil)
+	_ provstore.Gauger         = (*AuthBackend)(nil)
+	_ io.Closer                = (*AuthBackend)(nil)
+	_ Authority                = (*AuthBackend)(nil)
+)
+
+// New wraps inner with a history tree, rebuilding it from the store's
+// ScanAll stream — reopening verified:// over a populated rel:// file
+// recomputes the same roots the original process published, checkpoint per
+// transaction. Everything already in the store is sealed.
+func New(inner provstore.Backend) (*AuthBackend, error) {
+	a := &AuthBackend{inner: inner, leaf: make(map[string]uint64)}
+	for rec, err := range inner.ScanAll(context.Background()) {
+		if err != nil {
+			return nil, fmt.Errorf("provauth: rebuilding tree from store: %w", err)
+		}
+		if a.openTid != 0 && rec.Tid != a.openTid {
+			a.seal()
+		}
+		if a.openTid == 0 {
+			a.openTid = rec.Tid
+		}
+		a.open = append(a.open, rec)
+	}
+	if a.openTid != 0 {
+		a.seal()
+	}
+	return a, nil
+}
+
+// Inner returns the wrapped store (unwrap chains and size accounting).
+func (a *AuthBackend) Inner() provstore.Backend { return a.inner }
+
+// --- writes ------------------------------------------------------------------
+
+// Append implements Backend: the batch is admitted against the seal
+// ordering first (so a rejected batch never reaches the store), written to
+// the inner backend, then ingested into the tree — all under one lock, so
+// the tree's leaf order is the store's commit order.
+func (a *AuthBackend) Append(ctx context.Context, recs []provstore.Record) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if err := a.admit(recs); err != nil {
+		return err
+	}
+	if err := a.inner.Append(ctx, recs); err != nil {
+		return err
+	}
+	a.ingest(recs)
+	return nil
+}
+
+// AppendBatch implements GroupCommitter: the whole group keeps its one
+// durability round trip on stores that support it.
+func (a *AuthBackend) AppendBatch(ctx context.Context, batches ...[]provstore.Record) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, recs := range batches {
+		if err := a.admit(recs); err != nil {
+			return err
+		}
+	}
+	if gc, ok := a.inner.(provstore.GroupCommitter); ok {
+		if err := gc.AppendBatch(ctx, batches...); err != nil {
+			return err
+		}
+	} else {
+		for _, recs := range batches {
+			if err := a.inner.Append(ctx, recs); err != nil {
+				return err
+			}
+		}
+	}
+	for _, recs := range batches {
+		a.ingest(recs)
+	}
+	return nil
+}
+
+// admit rejects (under the lock, before any store write) records that
+// would land at or below a sealed transaction, or behind the open one —
+// the authenticated log cannot insert into the past.
+func (a *AuthBackend) admit(recs []provstore.Record) error {
+	sealed := a.sealedTidLocked()
+	for i := range recs {
+		t := recs[i].Tid
+		if t <= sealed {
+			return fmt.Errorf("provauth: append into transaction %d at or below sealed transaction %d: %w", t, sealed, ErrSealed)
+		}
+		if a.openTid != 0 && t < a.openTid {
+			return fmt.Errorf("provauth: append into transaction %d behind open transaction %d: %w", t, a.openTid, ErrSealed)
+		}
+	}
+	return nil
+}
+
+// ingest buffers the batch into the open transaction, sealing every
+// transaction a higher tid closes over. Caller holds the write lock and
+// has already admitted the batch.
+func (a *AuthBackend) ingest(recs []provstore.Record) {
+	if len(recs) == 0 {
+		return
+	}
+	tids := make([]int64, 0, 2)
+	for i := range recs {
+		if !slices.Contains(tids, recs[i].Tid) {
+			tids = append(tids, recs[i].Tid)
+		}
+	}
+	slices.Sort(tids)
+	for _, t := range tids {
+		if a.openTid != 0 && t > a.openTid {
+			a.seal()
+		}
+		if a.openTid == 0 {
+			a.openTid = t
+		}
+		for i := range recs {
+			if recs[i].Tid == t {
+				a.open = append(a.open, recs[i])
+			}
+		}
+	}
+}
+
+// seal closes the open transaction: its records enter the tree in Loc
+// order (matching ScanAll) and the checkpoint is published. Caller holds
+// the write lock; openTid != 0.
+func (a *AuthBackend) seal() {
+	slices.SortFunc(a.open, func(x, y provstore.Record) int { return x.Loc.Compare(y.Loc) })
+	for i := range a.open {
+		a.leaf[recordKey(a.open[i].Tid, a.open[i].Loc)] = a.tree.size()
+		a.tree.appendLeaf(RecordLeafHash(a.open[i]))
+	}
+	a.cps = append(a.cps, Root{Size: a.tree.size(), Tid: a.openTid, Hash: a.tree.rootAt(a.tree.size())})
+	a.open = nil
+	a.openTid = 0
+}
+
+func (a *AuthBackend) sealedTidLocked() int64 {
+	if len(a.cps) == 0 {
+		return 0
+	}
+	return a.cps[len(a.cps)-1].Tid
+}
+
+func (a *AuthBackend) rootLocked() Root {
+	if len(a.cps) == 0 {
+		return Root{Hash: emptyRoot()}
+	}
+	return a.cps[len(a.cps)-1]
+}
+
+// --- lifecycle ---------------------------------------------------------------
+
+// Flush implements Flusher: the open transaction seals (its records become
+// provable), then the inner store's buffers push down. A session's
+// Close/Flush is what publishes the root of its final transaction.
+func (a *AuthBackend) Flush() error {
+	a.mu.Lock()
+	if a.openTid != 0 {
+		a.seal()
+	}
+	a.mu.Unlock()
+	return provstore.Flush(a.inner)
+}
+
+// Close implements io.Closer: seal, then flush and close the inner store.
+func (a *AuthBackend) Close() error {
+	a.mu.Lock()
+	if a.openTid != 0 {
+		a.seal()
+	}
+	a.mu.Unlock()
+	return provstore.Close(a.inner)
+}
+
+// Gauges implements provstore.Gauger, surfaced through /v1/stats and the
+// cpdbd shutdown dump:
+//
+//	auth.root_tid         last sealed transaction id
+//	auth.root_size        leaves under the published root
+//	auth.proofs_served    inclusion + consistency proofs generated
+//	auth.verify_failures  fail-closed events this layer raised (a record
+//	                      served by the store that the log never admitted)
+//
+// Inner gauges (a replicated store's repl.*, say) merge through.
+func (a *AuthBackend) Gauges() map[string]int64 {
+	a.mu.RLock()
+	root := a.rootLocked()
+	a.mu.RUnlock()
+	out := map[string]int64{
+		"auth.root_tid":        root.Tid,
+		"auth.root_size":       int64(root.Size),
+		"auth.proofs_served":   a.proofsServed.Load(),
+		"auth.verify_failures": a.verifyFailures.Load(),
+	}
+	if g, ok := a.inner.(provstore.Gauger); ok {
+		for k, v := range g.Gauges() {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// --- the Authority surface -----------------------------------------------------
+
+// Root implements Authority.
+func (a *AuthBackend) Root(ctx context.Context) (Root, error) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.rootLocked(), nil
+}
+
+// RootAt implements Authority.
+func (a *AuthBackend) RootAt(ctx context.Context, tid int64) (Root, error) {
+	if tid < 0 {
+		return Root{}, fmt.Errorf("provauth: RootAt of negative tid %d", tid)
+	}
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	i := sort.Search(len(a.cps), func(i int) bool { return a.cps[i].Tid > tid })
+	if i == 0 {
+		return Root{Hash: emptyRoot()}, nil
+	}
+	return a.cps[i-1], nil
+}
+
+// proveLocked builds the inclusion proof for key {tid, loc} against the
+// head at atSize leaves. Caller holds at least the read lock.
+func (a *AuthBackend) proveLocked(tid int64, loc path.Path, atSize uint64) (Proof, error) {
+	idx, ok := a.leaf[recordKey(tid, loc)]
+	if !ok {
+		if tid == a.openTid {
+			return Proof{}, fmt.Errorf("provauth: record {%d, %s} is in the open transaction: %w", tid, loc, ErrUnsealed)
+		}
+		a.verifyFailures.Add(1)
+		return Proof{}, fmt.Errorf("provauth: record {%d, %s}: %w", tid, loc, ErrNotInLog)
+	}
+	if idx >= atSize {
+		return Proof{}, fmt.Errorf("provauth: record {%d, %s} sealed after the root at %d leaves: %w", tid, loc, atSize, ErrUnsealed)
+	}
+	a.proofsServed.Add(1)
+	return Proof{LeafIndex: idx, TreeSize: atSize, Audit: a.tree.inclusion(idx, atSize)}, nil
+}
+
+// Prove implements Authority.
+func (a *AuthBackend) Prove(ctx context.Context, tid int64, loc path.Path) (Proof, Root, error) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	root := a.rootLocked()
+	p, err := a.proveLocked(tid, loc, root.Size)
+	return p, root, err
+}
+
+// ProveAt implements Authority.
+func (a *AuthBackend) ProveAt(ctx context.Context, tid int64, loc path.Path, atSize uint64) (Proof, error) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if atSize > a.tree.size() {
+		return Proof{}, fmt.Errorf("provauth: no root at %d leaves (tree holds %d)", atSize, a.tree.size())
+	}
+	return a.proveLocked(tid, loc, atSize)
+}
+
+// Consistency implements Authority.
+func (a *AuthBackend) Consistency(ctx context.Context, oldSize, newSize uint64) ([]Hash, error) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if oldSize > newSize {
+		return nil, fmt.Errorf("provauth: consistency from %d to smaller %d", oldSize, newSize)
+	}
+	if newSize > a.tree.size() {
+		return nil, fmt.Errorf("provauth: no root at %d leaves (tree holds %d)", newSize, a.tree.size())
+	}
+	a.proofsServed.Add(1)
+	return a.tree.consistency(oldSize, newSize), nil
+}
+
+// ConsistencyTids implements Authority: the proof that newTid's checkpoint
+// extends oldTid's.
+func (a *AuthBackend) ConsistencyTids(ctx context.Context, oldTid, newTid int64) (ConsistencyProof, error) {
+	oldRoot, err := a.RootAt(ctx, oldTid)
+	if err != nil {
+		return ConsistencyProof{}, err
+	}
+	newRoot, err := a.RootAt(ctx, newTid)
+	if err != nil {
+		return ConsistencyProof{}, err
+	}
+	if oldRoot.Size > newRoot.Size {
+		return ConsistencyProof{}, fmt.Errorf("provauth: consistency from tid %d to earlier tid %d", oldTid, newTid)
+	}
+	audit, err := a.Consistency(ctx, oldRoot.Size, newRoot.Size)
+	if err != nil {
+		return ConsistencyProof{}, err
+	}
+	return ConsistencyProof{Old: oldRoot, New: newRoot, Audit: audit}, nil
+}
+
+// ScanAllProven implements Authority: the inner store's seeked cursor,
+// each record stamped with its proof against the root snapshotted when the
+// cursor started. Records sealed after that root end the stream (the scan
+// answers as of its root); a record the log never admitted is an in-stream
+// ErrNotInLog — the consumer must treat the stream as compromised.
+func (a *AuthBackend) ScanAllProven(ctx context.Context, afterTid int64, afterLoc path.Path) iter.Seq2[ProvenRecord, error] {
+	return func(yield func(ProvenRecord, error) bool) {
+		a.mu.RLock()
+		root := a.rootLocked()
+		a.mu.RUnlock()
+		for rec, err := range a.inner.ScanAllAfter(ctx, afterTid, afterLoc) {
+			if err != nil {
+				yield(ProvenRecord{}, err)
+				return
+			}
+			proof, err := a.ProveAt(ctx, rec.Tid, rec.Loc, root.Size)
+			if err != nil {
+				if errors.Is(err, ErrUnsealed) {
+					return // beyond the proven horizon; complete as of root
+				}
+				yield(ProvenRecord{}, err)
+				return
+			}
+			if !yield(ProvenRecord{Rec: rec, Proof: proof, Root: root}, nil) {
+				return
+			}
+		}
+	}
+}
+
+// --- delegated reads -----------------------------------------------------------
+
+// Lookup implements Backend.
+func (a *AuthBackend) Lookup(ctx context.Context, tid int64, loc path.Path) (provstore.Record, bool, error) {
+	return a.inner.Lookup(ctx, tid, loc)
+}
+
+// NearestAncestor implements Backend.
+func (a *AuthBackend) NearestAncestor(ctx context.Context, tid int64, loc path.Path) (provstore.Record, bool, error) {
+	return a.inner.NearestAncestor(ctx, tid, loc)
+}
+
+// ScanTid implements Backend.
+func (a *AuthBackend) ScanTid(ctx context.Context, tid int64) iter.Seq2[provstore.Record, error] {
+	return a.inner.ScanTid(ctx, tid)
+}
+
+// ScanLoc implements Backend.
+func (a *AuthBackend) ScanLoc(ctx context.Context, loc path.Path) iter.Seq2[provstore.Record, error] {
+	return a.inner.ScanLoc(ctx, loc)
+}
+
+// ScanLocPrefix implements Backend.
+func (a *AuthBackend) ScanLocPrefix(ctx context.Context, prefix path.Path) iter.Seq2[provstore.Record, error] {
+	return a.inner.ScanLocPrefix(ctx, prefix)
+}
+
+// ScanLocWithAncestors implements Backend.
+func (a *AuthBackend) ScanLocWithAncestors(ctx context.Context, loc path.Path) iter.Seq2[provstore.Record, error] {
+	return a.inner.ScanLocWithAncestors(ctx, loc)
+}
+
+// ScanAll implements Backend.
+func (a *AuthBackend) ScanAll(ctx context.Context) iter.Seq2[provstore.Record, error] {
+	return a.inner.ScanAll(ctx)
+}
+
+// ScanAllAfter implements Backend.
+func (a *AuthBackend) ScanAllAfter(ctx context.Context, tid int64, loc path.Path) iter.Seq2[provstore.Record, error] {
+	return a.inner.ScanAllAfter(ctx, tid, loc)
+}
+
+// Tids implements Backend.
+func (a *AuthBackend) Tids(ctx context.Context) ([]int64, error) { return a.inner.Tids(ctx) }
+
+// MaxTid implements Backend.
+func (a *AuthBackend) MaxTid(ctx context.Context) (int64, error) { return a.inner.MaxTid(ctx) }
+
+// Count implements Backend.
+func (a *AuthBackend) Count(ctx context.Context) (int, error) { return a.inner.Count(ctx) }
+
+// Bytes implements Backend.
+func (a *AuthBackend) Bytes(ctx context.Context) (int64, error) { return a.inner.Bytes(ctx) }

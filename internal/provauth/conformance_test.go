@@ -1,0 +1,65 @@
+package provauth_test
+
+import (
+	"net/url"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/provstore"
+	"repro/internal/provtest"
+
+	_ "repro/internal/relprov" // rel:// inner backend
+)
+
+// The shared cursor conformance suite over verified:// with every inner
+// backend family: the authenticated wrapper must be invisible to the read
+// contract — same orders, same seek equivalence, same cancellation
+// semantics — while the tree rides along on the write path.
+
+func openVerified(t *testing.T, innerDSN string) provstore.Backend {
+	t.Helper()
+	b, err := provstore.OpenDSN("verified://?inner=" + url.QueryEscape(innerDSN))
+	if err != nil {
+		t.Fatalf("OpenDSN: %v", err)
+	}
+	t.Cleanup(func() {
+		if err := provstore.Close(b); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
+	return b
+}
+
+func TestConformanceVerifiedMem(t *testing.T) {
+	provtest.Conformance(t, func(t *testing.T) provstore.Backend {
+		return openVerified(t, "mem://")
+	})
+}
+
+func TestConformanceVerifiedSharded(t *testing.T) {
+	provtest.Conformance(t, func(t *testing.T) provstore.Backend {
+		return openVerified(t, "mem://?shards=4")
+	})
+}
+
+func TestConformanceVerifiedRel(t *testing.T) {
+	provtest.Conformance(t, func(t *testing.T) provstore.Backend {
+		file := filepath.Join(t.TempDir(), "auth.db")
+		return openVerified(t, "rel://"+provstore.EscapeDSNPath(file)+"?create=1")
+	})
+}
+
+// TestDriverErrors pins the verified:// DSN surface.
+func TestDriverErrors(t *testing.T) {
+	for _, dsn := range []string{
+		"verified://",                      // missing inner
+		"verified://somepath?inner=mem://", // path where none belongs
+		"verified://?inner=mem://&bogus=1", // unknown param
+		"verified://?inner=nosuch://x",     // unknown inner scheme
+	} {
+		if b, err := provstore.OpenDSN(dsn); err == nil {
+			provstore.Close(b) //nolint:errcheck // test cleanup of an unexpected success
+			t.Errorf("OpenDSN(%q) succeeded", dsn)
+		}
+	}
+}

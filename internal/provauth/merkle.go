@@ -1,0 +1,123 @@
+package provauth
+
+import "math/bits"
+
+// merkle is the incremental history tree: levels[0] holds every leaf hash
+// in sequence order, levels[k][i] the hash of the complete subtree over
+// leaves [i·2^k, (i+1)·2^k). Only complete aligned subtrees are stored —
+// the ragged right edge of the tree is recomputed on demand from them, so
+// an append touches O(log n) nodes and any historical root, inclusion
+// proof, or consistency proof is derivable without storing old heads.
+//
+// The struct is not synchronized; AuthBackend guards it (appends under a
+// write lock, proof generation under read locks — levels only grow, and
+// the prefix a historical proof reads never mutates).
+type merkle struct {
+	levels [][]Hash
+}
+
+// size returns the number of leaves.
+func (t *merkle) size() uint64 {
+	if len(t.levels) == 0 {
+		return 0
+	}
+	return uint64(len(t.levels[0]))
+}
+
+// appendLeaf adds one leaf and eagerly merges every complete pair above
+// it — O(log n) hashes amortized O(1).
+func (t *merkle) appendLeaf(h Hash) {
+	if len(t.levels) == 0 {
+		t.levels = append(t.levels, nil)
+	}
+	t.levels[0] = append(t.levels[0], h)
+	i := uint64(len(t.levels[0]) - 1)
+	for k := 0; i%2 == 1; k++ {
+		if k+1 >= len(t.levels) {
+			t.levels = append(t.levels, nil)
+		}
+		t.levels[k+1] = append(t.levels[k+1], nodeHash(t.levels[k][i-1], t.levels[k][i]))
+		i /= 2
+	}
+}
+
+// split returns the largest power of two strictly less than n (n >= 2) —
+// the left-subtree width of RFC 6962's MTH recursion.
+func split(n uint64) uint64 {
+	return uint64(1) << (bits.Len64(n-1) - 1)
+}
+
+// subtree returns the hash over leaves [lo, hi), 0 <= lo < hi <= size.
+// Complete aligned ranges answer from storage; ragged ones recurse.
+func (t *merkle) subtree(lo, hi uint64) Hash {
+	n := hi - lo
+	if n == 1 {
+		return t.levels[0][lo]
+	}
+	if n&(n-1) == 0 && lo%n == 0 {
+		k := bits.TrailingZeros64(n)
+		return t.levels[k][lo>>k]
+	}
+	k := split(n)
+	return nodeHash(t.subtree(lo, lo+k), t.subtree(lo+k, hi))
+}
+
+// rootAt returns the root over the first n leaves — any historical head,
+// not just the current one. n must not exceed size.
+func (t *merkle) rootAt(n uint64) Hash {
+	if n == 0 {
+		return emptyRoot()
+	}
+	return t.subtree(0, n)
+}
+
+// inclusion returns the audit path for leaf m in the tree of the first n
+// leaves (RFC 6962 PATH(m, D[n])), bottom-up. m < n <= size.
+func (t *merkle) inclusion(m, n uint64) []Hash {
+	var audit []Hash
+	var walk func(m, lo, hi uint64)
+	walk = func(m, lo, hi uint64) {
+		if hi-lo == 1 {
+			return
+		}
+		k := split(hi - lo)
+		if m < lo+k {
+			walk(m, lo, lo+k)
+			audit = append(audit, t.subtree(lo+k, hi))
+		} else {
+			walk(m, lo+k, hi)
+			audit = append(audit, t.subtree(lo, lo+k))
+		}
+	}
+	walk(m, 0, n)
+	return audit
+}
+
+// consistency returns the proof that the tree of the first m leaves is a
+// prefix of the tree of the first n (RFC 6962 PROOF(m, D[n])).
+// 0 < m < n <= size; other shapes need no hashes (see VerifyConsistency).
+func (t *merkle) consistency(m, n uint64) []Hash {
+	if m == 0 || m >= n {
+		return nil
+	}
+	var proof []Hash
+	var sub func(m, lo, hi uint64, complete bool)
+	sub = func(m, lo, hi uint64, complete bool) {
+		if m == hi-lo {
+			if !complete {
+				proof = append(proof, t.subtree(lo, hi))
+			}
+			return
+		}
+		k := split(hi - lo)
+		if m <= k {
+			sub(m, lo, lo+k, complete)
+			proof = append(proof, t.subtree(lo+k, hi))
+		} else {
+			sub(m-k, lo+k, hi, false)
+			proof = append(proof, t.subtree(lo, lo+k))
+		}
+	}
+	sub(m, 0, n, true)
+	return proof
+}

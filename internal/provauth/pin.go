@@ -1,0 +1,52 @@
+package provauth
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// The pinned-root file: one line, the Root.String() form
+// ("size:tid:hexhash"). A verifying client trusts its pin on first use,
+// advances it only over verified consistency proofs, and persists every
+// advance — so across process restarts the client's trust is anchored to
+// the oldest root it ever accepted, and a store that rewrites or rolls
+// back history can never satisfy it again.
+
+// LoadPin reads a pinned root. A missing file is (Root{}, false, nil) —
+// the trust-on-first-use case, not an error.
+func LoadPin(file string) (Root, bool, error) {
+	data, err := os.ReadFile(file)
+	if os.IsNotExist(err) {
+		return Root{}, false, nil
+	}
+	if err != nil {
+		return Root{}, false, fmt.Errorf("provauth: reading pin %s: %w", file, err)
+	}
+	r, err := ParseRoot(string(data))
+	if err != nil {
+		return Root{}, false, fmt.Errorf("provauth: pin %s: %w", file, err)
+	}
+	return r, true, nil
+}
+
+// SavePin persists a pinned root atomically (temp file + rename), so a
+// crash mid-write can never leave a corrupt pin that bricks verification.
+func SavePin(file string, r Root) error {
+	tmp, err := os.CreateTemp(filepath.Dir(file), filepath.Base(file)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("provauth: writing pin %s: %w", file, err)
+	}
+	_, err = tmp.WriteString(r.String() + "\n")
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp.Name(), file)
+	}
+	if err != nil {
+		os.Remove(tmp.Name()) //nolint:errcheck // best-effort cleanup
+		return fmt.Errorf("provauth: writing pin %s: %w", file, err)
+	}
+	return nil
+}

@@ -1,0 +1,362 @@
+package provhttp_test
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/path"
+	"repro/internal/provauth"
+	"repro/internal/provhttp"
+	"repro/internal/provplan"
+	"repro/internal/provstore"
+	"repro/internal/provtest"
+)
+
+// The end-to-end authentication acceptance tests: a pinned cpdb:// client
+// over a live loopback daemon publishing a verified:// store whose inner
+// reads can be made to lie (provtest.TamperBackend). Point lookups,
+// streamed scans and server-side queries must all fail closed on tampered
+// answers; honest answers must verify, advance the pin, and connect across
+// committed transactions by consistency proofs.
+
+// serveAuth wires AuthBackend -> TamperBackend -> mem behind a loopback
+// server and opens a pinned verifying client against it.
+func serveAuth(t *testing.T, pinFile string) (*provhttp.Client, *provauth.AuthBackend, *provtest.TamperBackend) {
+	t.Helper()
+	tamper := provtest.NewTamper(provstore.NewMemBackend(), nil)
+	auth, err := provauth.New(tamper)
+	if err != nil {
+		t.Fatalf("provauth.New: %v", err)
+	}
+	hs := httptest.NewServer(provhttp.NewServer(auth))
+	t.Cleanup(hs.Close)
+	b, err := provstore.OpenDSN("cpdb://" + hs.Listener.Addr().String() + "?verify=pin&pin=" + provstore.EscapeDSNPath(pinFile))
+	if err != nil {
+		t.Fatalf("OpenDSN: %v", err)
+	}
+	cli := b.(*provhttp.Client)
+	t.Cleanup(func() { cli.Close() }) //nolint:errcheck // loopback teardown
+	return cli, auth, tamper
+}
+
+// ingest appends the shared two-transaction fixture through the client and
+// flushes, sealing both transactions.
+func ingest(t *testing.T, cli *provhttp.Client) []provstore.Record {
+	t.Helper()
+	ctx := context.Background()
+	recs := []provstore.Record{
+		rec(1, provstore.OpInsert, "S/a", ""),
+		rec(1, provstore.OpInsert, "S/a/x", ""),
+		rec(1, provstore.OpInsert, "S/b", ""),
+		rec(2, provstore.OpCopy, "T/c", "S/a"),
+		rec(2, provstore.OpCopy, "T/c/x", "S/a/x"),
+	}
+	if err := cli.Append(ctx, recs[:3]); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := cli.Append(ctx, recs[3:]); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := cli.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	return recs
+}
+
+// TestVerifiedLookupTamper: the ISSUE's headline acceptance — a pinned
+// client detects a tampered record on a point lookup.
+func TestVerifiedLookupTamper(t *testing.T) {
+	ctx := context.Background()
+	cli, _, tamper := serveAuth(t, filepath.Join(t.TempDir(), "root.pin"))
+	ingest(t, cli)
+
+	loc := path.MustParse("S/a")
+	if _, ok, err := cli.Lookup(ctx, 1, loc); err != nil || !ok {
+		t.Fatalf("honest Lookup: %v, %v", ok, err)
+	}
+	tamper.Arm(true)
+	if _, _, err := cli.Lookup(ctx, 1, loc); !errors.Is(err, provauth.ErrVerify) {
+		t.Fatalf("tampered Lookup: %v, want ErrVerify", err)
+	}
+	// NearestAncestor goes through the same proving path.
+	if _, _, err := cli.NearestAncestor(ctx, 1, path.MustParse("S/a/x/deep")); !errors.Is(err, provauth.ErrVerify) {
+		t.Fatalf("tampered NearestAncestor: %v, want ErrVerify", err)
+	}
+}
+
+// TestVerifiedScanTamper: a tampered record inside a streamed ScanAll is
+// detected mid-stream — the drain errors instead of quietly yielding lies.
+func TestVerifiedScanTamper(t *testing.T) {
+	ctx := context.Background()
+	cli, _, tamper := serveAuth(t, filepath.Join(t.TempDir(), "root.pin"))
+	recs := ingest(t, cli)
+
+	got, err := provstore.CollectScan(cli.ScanAll(ctx))
+	if err != nil {
+		t.Fatalf("honest ScanAll: %v", err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("honest ScanAll yielded %d records, want %d", len(got), len(recs))
+	}
+
+	tamper.Arm(true)
+	if _, err := provstore.CollectScan(cli.ScanAll(ctx)); !errors.Is(err, provauth.ErrVerify) {
+		t.Fatalf("tampered ScanAll: %v, want ErrVerify", err)
+	}
+	// The narrower scans are held to the same contract.
+	if _, err := provstore.CollectScan(cli.ScanTid(ctx, 1)); !errors.Is(err, provauth.ErrVerify) {
+		t.Fatalf("tampered ScanTid: %v, want ErrVerify", err)
+	}
+	if _, err := provstore.CollectScan(cli.ScanLocPrefix(ctx, path.MustParse("S"))); !errors.Is(err, provauth.ErrVerify) {
+		t.Fatalf("tampered ScanLocPrefix: %v, want ErrVerify", err)
+	}
+}
+
+// TestVerifiedQueryTamper: a server-side /v1/query select streams record
+// rows with proofs; tampering is detected there too.
+func TestVerifiedQueryTamper(t *testing.T) {
+	ctx := context.Background()
+	cli, _, tamper := serveAuth(t, filepath.Join(t.TempDir(), "root.pin"))
+	recs := ingest(t, cli)
+
+	q := &provplan.Query{Op: provplan.OpSelect}
+	res, err := provplan.Collect(ctx, cli, q)
+	if err != nil {
+		t.Fatalf("honest query: %v", err)
+	}
+	if len(res.Records) != len(recs) {
+		t.Fatalf("honest query yielded %d records, want %d", len(res.Records), len(recs))
+	}
+	tamper.Arm(true)
+	if _, err := provplan.Collect(ctx, cli, q); !errors.Is(err, provauth.ErrVerify) {
+		t.Fatalf("tampered query: %v, want ErrVerify", err)
+	}
+}
+
+// TestPinLifecycle: trust on first use persists the pin; later reads
+// advance it over verified consistency proofs; the Authority surface
+// connects two committed transactions end to end.
+func TestPinLifecycle(t *testing.T) {
+	ctx := context.Background()
+	pinFile := filepath.Join(t.TempDir(), "root.pin")
+	cli, auth, _ := serveAuth(t, pinFile)
+
+	// Seal transaction 1, read — the pin initializes to root(1).
+	if err := cli.Append(ctx, []provstore.Record{rec(1, provstore.OpInsert, "S/a", "")}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := cli.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if _, ok, err := cli.Lookup(ctx, 1, path.MustParse("S/a")); err != nil || !ok {
+		t.Fatalf("Lookup: %v, %v", ok, err)
+	}
+	pin1, have, err := provauth.LoadPin(pinFile)
+	if err != nil || !have {
+		t.Fatalf("pin after first read: %v, %v", have, err)
+	}
+	root1, _ := auth.Root(ctx)
+	if pin1 != root1 {
+		t.Fatalf("pin %v != server root %v", pin1, root1)
+	}
+
+	// Seal transaction 2; the next read must advance and persist the pin.
+	if err := cli.Append(ctx, []provstore.Record{rec(2, provstore.OpInsert, "T/b", "")}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := cli.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if _, err := provstore.CollectScan(cli.ScanAll(ctx)); err != nil {
+		t.Fatalf("ScanAll: %v", err)
+	}
+	pin2, _, err := provauth.LoadPin(pinFile)
+	if err != nil {
+		t.Fatalf("pin after advance: %v", err)
+	}
+	if pin2.Tid != 2 || pin2.Size != 2 {
+		t.Fatalf("pin did not advance: %+v", pin2)
+	}
+
+	// The remote Authority surface proves the two committed transactions
+	// are one history.
+	cp, err := cli.ConsistencyTids(ctx, 1, 2)
+	if err != nil {
+		t.Fatalf("ConsistencyTids: %v", err)
+	}
+	if err := cp.Verify(); err != nil {
+		t.Fatalf("consistency across transactions: %v", err)
+	}
+	if cp.Old != pin1 || cp.New != pin2 {
+		t.Fatalf("checkpoints %+v -> %+v, want %+v -> %+v", cp.Old, cp.New, pin1, pin2)
+	}
+
+	// And the proven stream verifies record by record against its root.
+	n := 0
+	for pr, err := range cli.ScanAllProven(ctx, 0, path.Path{}) {
+		if err != nil {
+			t.Fatalf("ScanAllProven: %v", err)
+		}
+		if err := pr.Verify(); err != nil {
+			t.Fatalf("proven record %v: %v", pr.Rec, err)
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("proven stream yielded %d records, want 2", n)
+	}
+}
+
+// TestRollbackDetected: a server that lost (or rewrote) history can never
+// satisfy a pin from before — the fresh-store-behind-the-same-address
+// scenario, which TOFU alone would miss.
+func TestRollbackDetected(t *testing.T) {
+	ctx := context.Background()
+	pinFile := filepath.Join(t.TempDir(), "root.pin")
+	cli, _, _ := serveAuth(t, pinFile)
+	ingest(t, cli) // pins root(2) on first read below
+	if _, err := provstore.CollectScan(cli.ScanAll(ctx)); err != nil {
+		t.Fatalf("ScanAll: %v", err)
+	}
+
+	// A second daemon, same pin file, emptier store: every verified read
+	// must fail, point and streamed alike.
+	cli2, _, _ := serveAuth(t, pinFile)
+	if err := cli2.Append(ctx, []provstore.Record{rec(1, provstore.OpInsert, "S/a", "")}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := cli2.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if _, _, err := cli2.Lookup(ctx, 1, path.MustParse("S/a")); err == nil {
+		t.Fatal("Lookup against a rolled-back server succeeded")
+	}
+	if _, err := provstore.CollectScan(cli2.ScanAll(ctx)); err == nil {
+		t.Fatal("ScanAll against a rolled-back server succeeded")
+	}
+	// The pin itself must not have regressed.
+	pin, _, err := provauth.LoadPin(pinFile)
+	if err != nil || pin.Size != 5 {
+		t.Fatalf("pin after rollback attempt: %+v, %v", pin, err)
+	}
+}
+
+// TestDivergedHistoryDetected: same sizes, different bytes — a server
+// whose store was corrupted and whose tree was rebuilt over the corrupted
+// records publishes roots that can never connect to the honest pin.
+func TestDivergedHistoryDetected(t *testing.T) {
+	ctx := context.Background()
+	pinFile := filepath.Join(t.TempDir(), "root.pin")
+	cli, _, _ := serveAuth(t, pinFile)
+	ingest(t, cli)
+	if _, err := provstore.CollectScan(cli.ScanAll(ctx)); err != nil {
+		t.Fatalf("ScanAll: %v", err)
+	}
+
+	// Second daemon: same records except one byte of history differs, tree
+	// honestly rebuilt over the lie (the post-tamper restart scenario).
+	cli2, _, _ := serveAuth(t, pinFile)
+	recs := []provstore.Record{
+		rec(1, provstore.OpInsert, "S/a", ""),
+		rec(1, provstore.OpInsert, "S/a/x", ""),
+		rec(1, provstore.OpDelete, "S/b", ""), // was OpInsert
+		rec(2, provstore.OpCopy, "T/c", "S/a"),
+		rec(2, provstore.OpCopy, "T/c/x", "S/a/x"),
+	}
+	if err := cli2.Append(ctx, recs[:3]); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := cli2.Append(ctx, recs[3:]); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := cli2.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if _, err := provstore.CollectScan(cli2.ScanAll(ctx)); !errors.Is(err, provauth.ErrVerify) {
+		t.Fatalf("scan of diverged history: %v, want ErrVerify", err)
+	}
+}
+
+// TestVerifiedHorizon: records of the still-open transaction are invisible
+// to verified reads until a flush seals them — a verified stream answers
+// exactly as of its root.
+func TestVerifiedHorizon(t *testing.T) {
+	ctx := context.Background()
+	cli, _, _ := serveAuth(t, filepath.Join(t.TempDir(), "root.pin"))
+	ingest(t, cli)
+	if err := cli.Append(ctx, []provstore.Record{rec(9, provstore.OpInsert, "S/open", "")}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+
+	got, err := provstore.CollectScan(cli.ScanAll(ctx))
+	if err != nil {
+		t.Fatalf("ScanAll: %v", err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("verified scan yielded %d records, want the 5 sealed ones", len(got))
+	}
+	if err := cli.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if got, err = provstore.CollectScan(cli.ScanAll(ctx)); err != nil || len(got) != 6 {
+		t.Fatalf("after flush: %d records, %v, want 6", len(got), err)
+	}
+}
+
+// TestProofsFromUnauthenticatedStore: asking a plain store for proofs is a
+// loud 400, never a silently unproven stream.
+func TestProofsFromUnauthenticatedStore(t *testing.T) {
+	ctx := context.Background()
+	hs := httptest.NewServer(provhttp.NewServer(provstore.NewMemBackend()))
+	t.Cleanup(hs.Close)
+	pin := filepath.Join(t.TempDir(), "root.pin")
+	b, err := provstore.OpenDSN("cpdb://" + hs.Listener.Addr().String() + "?verify=pin&pin=" + provstore.EscapeDSNPath(pin))
+	if err != nil {
+		t.Fatalf("OpenDSN: %v", err)
+	}
+	defer b.(*provhttp.Client).Close() //nolint:errcheck // loopback teardown
+
+	var re *provhttp.RemoteError
+	if _, _, err := b.Lookup(ctx, 1, path.MustParse("S/a")); !errors.As(err, &re) || re.Status != 400 {
+		t.Fatalf("verified Lookup against plain store: %v, want HTTP 400", err)
+	}
+}
+
+// TestVerifyDSNErrors pins the verify DSN parameter surface.
+func TestVerifyDSNErrors(t *testing.T) {
+	for _, dsn := range []string{
+		"cpdb://127.0.0.1:7070?verify=pin",          // missing pin file
+		"cpdb://127.0.0.1:7070?pin=/tmp/p",          // pin without verify
+		"cpdb://127.0.0.1:7070?verify=full&pin=/p",  // unknown mode
+		"cpdb://127.0.0.1:7070?verify=pin&pin=&p=1", // unknown param
+	} {
+		if b, err := provstore.OpenDSN(dsn); err == nil {
+			provstore.Close(b) //nolint:errcheck // unexpected success
+			t.Errorf("OpenDSN(%q) succeeded", dsn)
+		}
+	}
+}
+
+// TestPinFileFormat: the persisted pin is the one-line Root.String() form.
+func TestPinFileFormat(t *testing.T) {
+	ctx := context.Background()
+	pinFile := filepath.Join(t.TempDir(), "root.pin")
+	cli, auth, _ := serveAuth(t, pinFile)
+	ingest(t, cli)
+	if _, _, err := cli.Lookup(ctx, 1, path.MustParse("S/a")); err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	data, err := os.ReadFile(pinFile)
+	if err != nil {
+		t.Fatalf("reading pin: %v", err)
+	}
+	root, _ := auth.Root(ctx)
+	if strings.TrimSpace(string(data)) != root.String() {
+		t.Fatalf("pin file %q, want %q", data, root.String())
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"iter"
@@ -11,9 +12,11 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/path"
+	"repro/internal/provauth"
 	"repro/internal/provplan"
 	"repro/internal/provstore"
 )
@@ -32,9 +35,38 @@ import (
 // (the durability half of Session.Close, across the network); Close flushes,
 // then releases the client's idle connections. Close never closes the
 // server's store — the daemon owns that, and other clients may be writing.
+//
+// # Verified mode
+//
+// cpdb://host:port?verify=pin&pin=FILE turns on answer verification against
+// the server's Merkle history tree (the server must publish a verified://
+// store). The pin file holds the last root this client accepted: trusted on
+// first use, then advanced only over verified consistency proofs — a server
+// that rewrites or rolls back history can never satisfy the pin again. In
+// this mode Lookup and NearestAncestor travel as /v1/prove round trips and
+// every scan and query asks for proofs=1; each answered record is checked
+// against the response's root, and the root against the pin, before it
+// reaches the caller. Any mismatch fails the call — there is no unverified
+// fallback. Two caveats: absence is not authenticated (a not-found answer
+// carries no proof — the tree has no range proofs), and records of the
+// still-open transaction are invisible to verified reads until a Flush
+// seals them.
+//
+// The Client also implements provauth.Authority by forwarding to the
+// /v1/root, /v1/prove and /v1/consistency endpoints, so a local process —
+// or another daemon — can treat a remote authenticated store as its proof
+// source. The Authority methods are raw forwarders: they return what the
+// server said (the transport for a verifier), while the Backend read
+// methods above are the verifying consumers.
 type Client struct {
 	base string // "http://host:port"
 	hc   *http.Client
+
+	verify  bool
+	pinFile string
+	pinMu   sync.Mutex
+	pin     provauth.Root
+	pinSet  bool
 }
 
 // flushTimeout bounds the Flush/Close round trips, which take no caller
@@ -43,10 +75,11 @@ type Client struct {
 const flushTimeout = 30 * time.Second
 
 var (
-	_ provstore.Backend = (*Client)(nil)
-	_ provstore.Flusher = (*Client)(nil)
-	_ provplan.Executor = (*Client)(nil)
-	_ io.Closer         = (*Client)(nil)
+	_ provstore.Backend  = (*Client)(nil)
+	_ provstore.Flusher  = (*Client)(nil)
+	_ provplan.Executor  = (*Client)(nil)
+	_ io.Closer          = (*Client)(nil)
+	_ provauth.Authority = (*Client)(nil)
 )
 
 // A ClientOption configures a Client.
@@ -57,6 +90,12 @@ type ClientOption func(*Client)
 // cancellation mechanism.
 func WithTimeout(d time.Duration) ClientOption {
 	return func(c *Client) { c.hc.Timeout = d }
+}
+
+// WithVerifyPin turns on verified mode (see the Client doc) with the pinned
+// root persisted at file — the ?verify=pin&pin=FILE DSN form.
+func WithVerifyPin(file string) ClientOption {
+	return func(c *Client) { c.verify, c.pinFile = true, file }
 }
 
 // NewClient returns a Backend speaking to the provenance service at
@@ -160,14 +199,163 @@ func (c *Client) point(ctx context.Context, p string, tid int64, loc path.Path) 
 	return rec, true, nil
 }
 
-// Lookup implements Backend.
+// Lookup implements Backend. In verified mode it travels as /v1/prove and
+// the answer is checked against the pinned root before being returned.
 func (c *Client) Lookup(ctx context.Context, tid int64, loc path.Path) (provstore.Record, bool, error) {
+	if c.verify {
+		return c.provePoint(ctx, tid, loc, false)
+	}
 	return c.point(ctx, "/v1/lookup", tid, loc)
 }
 
-// NearestAncestor implements Backend.
+// NearestAncestor implements Backend (verified via /v1/prove?ancestor=1 in
+// verified mode — the resolved ancestor record carries its own proof).
 func (c *Client) NearestAncestor(ctx context.Context, tid int64, loc path.Path) (provstore.Record, bool, error) {
+	if c.verify {
+		return c.provePoint(ctx, tid, loc, true)
+	}
 	return c.point(ctx, "/v1/ancestor", tid, loc)
+}
+
+// --- the pinned root ----------------------------------------------------------
+
+// ensurePin loads (or trust-on-first-use initializes) the pinned root and
+// returns a snapshot of it — the "since" tree size this request resolves
+// its consistency path from.
+func (c *Client) ensurePin(ctx context.Context) (provauth.Root, error) {
+	c.pinMu.Lock()
+	defer c.pinMu.Unlock()
+	if c.pinSet {
+		return c.pin, nil
+	}
+	pin, have, err := provauth.LoadPin(c.pinFile)
+	if err != nil {
+		return provauth.Root{}, err
+	}
+	if !have {
+		// Trust on first use: adopt and persist the server's current root.
+		// Every later answer must extend it.
+		var rr rootResponse
+		if err := c.getJSON(ctx, "/v1/root", nil, &rr); err != nil {
+			return provauth.Root{}, err
+		}
+		if pin, err = provauth.ParseRoot(rr.Root); err != nil {
+			return provauth.Root{}, fmt.Errorf("provhttp: bad root from server: %w", err)
+		}
+		if err := provauth.SavePin(c.pinFile, pin); err != nil {
+			return provauth.Root{}, err
+		}
+	}
+	c.pin, c.pinSet = pin, true
+	return pin, nil
+}
+
+// adoptRoot verifies that root extends the since snapshot over audit and,
+// when the pin has not moved since that snapshot, advances and persists the
+// pin. Every verified read funnels through here; a root that does not
+// extend the pin — wrong hash, shrunk log, rewritten history — fails the
+// read (wrapping provauth.ErrVerify) and the data it covered is rejected.
+func (c *Client) adoptRoot(since, root provauth.Root, audit []provauth.Hash) error {
+	if err := provauth.VerifyConsistency(since, root, audit); err != nil {
+		return fmt.Errorf("provhttp: server root %v does not extend pinned root %v: %w", root, since, err)
+	}
+	c.pinMu.Lock()
+	defer c.pinMu.Unlock()
+	if c.pin == since && root.Size > c.pin.Size {
+		c.pin = root
+		if err := provauth.SavePin(c.pinFile, root); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// verifyParams adds the proofs=1 / since= parameters of a verified stream
+// request to q (allocating it if nil) and returns the pin snapshot they
+// were computed from.
+func (c *Client) verifyParams(ctx context.Context, q url.Values) (url.Values, provauth.Root, error) {
+	since, err := c.ensurePin(ctx)
+	if err != nil {
+		return nil, provauth.Root{}, err
+	}
+	if q == nil {
+		q = url.Values{}
+	}
+	q.Set("proofs", "1")
+	q.Set("since", strconv.FormatUint(since.Size, 10))
+	return q, since, nil
+}
+
+// rootFromHeaders parses the authentication headers of a proven response
+// and verifies them against the since snapshot, advancing the pin.
+func (c *Client) rootFromHeaders(resp *http.Response, since provauth.Root) (provauth.Root, error) {
+	root, err := provauth.ParseRoot(resp.Header.Get(headerAuthRoot))
+	if err != nil {
+		return provauth.Root{}, fmt.Errorf("provhttp: bad %s header: %w", headerAuthRoot, err)
+	}
+	audit, err := decodeAudit(resp.Header.Get(headerAuthConsistency))
+	if err != nil {
+		return provauth.Root{}, fmt.Errorf("provhttp: bad %s header: %w", headerAuthConsistency, err)
+	}
+	if err := c.adoptRoot(since, root, audit); err != nil {
+		return provauth.Root{}, err
+	}
+	return root, nil
+}
+
+// provePoint is the verified point lookup: one /v1/prove round trip whose
+// answered record must verify against the (pin-checked) response root.
+// Absence is not authenticated — a not-found answer still verifies the
+// root (so a rolled-back server cannot even say "not found" convincingly)
+// but carries no proof of absence.
+func (c *Client) provePoint(ctx context.Context, tid int64, loc path.Path, ancestor bool) (provstore.Record, bool, error) {
+	since, err := c.ensurePin(ctx)
+	if err != nil {
+		return provstore.Record{}, false, err
+	}
+	q := url.Values{
+		"tid":   {strconv.FormatInt(tid, 10)},
+		"loc":   {loc.String()},
+		"since": {strconv.FormatUint(since.Size, 10)},
+	}
+	if ancestor {
+		q.Set("ancestor", "1")
+	}
+	var fr foundResponse
+	if err := c.getJSON(ctx, "/v1/prove", q, &fr); err != nil {
+		return provstore.Record{}, false, err
+	}
+	root, err := provauth.ParseRoot(fr.Root)
+	if err != nil {
+		return provstore.Record{}, false, fmt.Errorf("provhttp: bad root from server: %w", err)
+	}
+	var audit []provauth.Hash
+	if fr.Audit != nil {
+		if audit, err = decodeAudit(*fr.Audit); err != nil {
+			return provstore.Record{}, false, err
+		}
+	}
+	if err := c.adoptRoot(since, root, audit); err != nil {
+		return provstore.Record{}, false, err
+	}
+	if !fr.Found {
+		return provstore.Record{}, false, nil
+	}
+	if fr.R == nil || fr.P == "" {
+		return provstore.Record{}, false, errors.New("provhttp: prove answer without record or proof")
+	}
+	rec, err := fr.R.record()
+	if err != nil {
+		return provstore.Record{}, false, err
+	}
+	proof, err := decodeProofHex(fr.P)
+	if err != nil {
+		return provstore.Record{}, false, err
+	}
+	if err := provauth.VerifyRecord(root, rec, proof); err != nil {
+		return provstore.Record{}, false, fmt.Errorf("provhttp: served record {%d, %s} failed verification: %w", tid, loc, err)
+	}
+	return rec, true, nil
 }
 
 // scan issues one streaming scan round trip and decodes the NDJSON reply
@@ -177,14 +365,33 @@ func (c *Client) NearestAncestor(ctx context.Context, tid int64, loc path.Path) 
 // is detected by the missing eof terminator rather than silently read as a
 // short result, and breaking out of the loop closes the response body —
 // which tears down the connection and cancels the server-side cursor.
+//
+// In verified mode every scan asks for proofs: the response root is checked
+// against the pin, and each record against that root, before it is yielded
+// — an unproven or wrongly proven record fails the stream.
 func (c *Client) scan(ctx context.Context, p string, q url.Values) iter.Seq2[provstore.Record, error] {
 	return func(yield func(provstore.Record, error) bool) {
+		var since provauth.Root
+		if c.verify {
+			var err error
+			if q, since, err = c.verifyParams(ctx, q); err != nil {
+				yield(provstore.Record{}, err)
+				return
+			}
+		}
 		resp, err := c.do(ctx, http.MethodGet, p, q, nil, http.StatusOK)
 		if err != nil {
 			yield(provstore.Record{}, err)
 			return
 		}
 		defer resp.Body.Close()
+		var root provauth.Root
+		if c.verify {
+			if root, err = c.rootFromHeaders(resp, since); err != nil {
+				yield(provstore.Record{}, err)
+				return
+			}
+		}
 		dec := json.NewDecoder(resp.Body)
 		n := 0
 		for {
@@ -222,12 +429,33 @@ func (c *Client) scan(ctx context.Context, p string, q url.Values) iter.Seq2[pro
 				yield(provstore.Record{}, err)
 				return
 			}
+			if c.verify {
+				if err := verifyLine(root, rec, line.P); err != nil {
+					yield(provstore.Record{}, fmt.Errorf("provhttp: scan %s: %w", p, err))
+					return
+				}
+			}
 			n++
 			if !yield(rec, nil) {
 				return
 			}
 		}
 	}
+}
+
+// verifyLine checks one proven stream record against the stream's root.
+func verifyLine(root provauth.Root, rec provstore.Record, proofHex string) (err error) {
+	if proofHex == "" {
+		return fmt.Errorf("provhttp: unproven record %v in verified stream: %w", rec, provauth.ErrVerify)
+	}
+	proof, err := decodeProofHex(proofHex)
+	if err != nil {
+		return err
+	}
+	if err := provauth.VerifyRecord(root, rec, proof); err != nil {
+		return fmt.Errorf("provhttp: streamed record %v failed verification: %w", rec, err)
+	}
+	return nil
 }
 
 // ScanTid implements Backend.
@@ -277,6 +505,10 @@ func (c *Client) ScanAllAfter(ctx context.Context, tid int64, loc path.Path) ite
 // consumer pulls, in-band mid-stream errors, truncation detected by the
 // missing terminator, and breaking out closes the body (cancelling the
 // server-side plan).
+// In verified mode the plan ships with proofs=1: record rows must verify
+// against the (pin-checked) response root; derived rows — tids,
+// aggregates, trace steps — are computed answers with no leaf to prove and
+// pass through under the root's cover of the relation they came from.
 func (c *Client) ExecPlan(ctx context.Context, q *provplan.Query) iter.Seq2[provplan.Row, error] {
 	return func(yield func(provplan.Row, error) bool) {
 		body, err := json.Marshal(q)
@@ -284,12 +516,27 @@ func (c *Client) ExecPlan(ctx context.Context, q *provplan.Query) iter.Seq2[prov
 			yield(provplan.Row{}, err)
 			return
 		}
-		resp, err := c.do(ctx, http.MethodPost, "/v1/query", nil, bytes.NewReader(body), http.StatusOK)
+		var params url.Values
+		var since provauth.Root
+		if c.verify {
+			if params, since, err = c.verifyParams(ctx, nil); err != nil {
+				yield(provplan.Row{}, err)
+				return
+			}
+		}
+		resp, err := c.do(ctx, http.MethodPost, "/v1/query", params, bytes.NewReader(body), http.StatusOK)
 		if err != nil {
 			yield(provplan.Row{}, err)
 			return
 		}
 		defer resp.Body.Close()
+		var root provauth.Root
+		if c.verify {
+			if root, err = c.rootFromHeaders(resp, since); err != nil {
+				yield(provplan.Row{}, err)
+				return
+			}
+		}
 		dec := json.NewDecoder(resp.Body)
 		n := 0
 		for {
@@ -321,8 +568,215 @@ func (c *Client) ExecPlan(ctx context.Context, q *provplan.Query) iter.Seq2[prov
 				yield(provplan.Row{}, err)
 				return
 			}
+			if c.verify && row.Kind == provplan.RowRecord {
+				if err := verifyLine(root, row.Rec, line.P); err != nil {
+					yield(provplan.Row{}, fmt.Errorf("provhttp: query: %w", err))
+					return
+				}
+			}
 			n++
 			if !yield(row, nil) {
+				return
+			}
+		}
+	}
+}
+
+// --- the remote Authority surface ----------------------------------------------
+
+// Root implements provauth.Authority: the server's current tree head, as
+// reported. In verified mode the answer is additionally checked against
+// (and advances) the pin before being returned.
+func (c *Client) Root(ctx context.Context) (provauth.Root, error) {
+	q := url.Values{}
+	var since provauth.Root
+	if c.verify {
+		var err error
+		if since, err = c.ensurePin(ctx); err != nil {
+			return provauth.Root{}, err
+		}
+		q.Set("since", strconv.FormatUint(since.Size, 10))
+	}
+	var rr rootResponse
+	if err := c.getJSON(ctx, "/v1/root", q, &rr); err != nil {
+		return provauth.Root{}, err
+	}
+	root, err := provauth.ParseRoot(rr.Root)
+	if err != nil {
+		return provauth.Root{}, fmt.Errorf("provhttp: bad root from server: %w", err)
+	}
+	if c.verify {
+		var audit []provauth.Hash
+		if rr.Audit != nil {
+			if audit, err = decodeAudit(*rr.Audit); err != nil {
+				return provauth.Root{}, err
+			}
+		}
+		if err := c.adoptRoot(since, root, audit); err != nil {
+			return provauth.Root{}, err
+		}
+	}
+	return root, nil
+}
+
+// RootAt implements provauth.Authority (raw: a historical checkpoint
+// cannot advance the pin — connect it yourself via Consistency).
+func (c *Client) RootAt(ctx context.Context, tid int64) (provauth.Root, error) {
+	var rr rootResponse
+	if err := c.getJSON(ctx, "/v1/root", url.Values{"tid": {strconv.FormatInt(tid, 10)}}, &rr); err != nil {
+		return provauth.Root{}, err
+	}
+	root, err := provauth.ParseRoot(rr.Root)
+	if err != nil {
+		return provauth.Root{}, fmt.Errorf("provhttp: bad root from server: %w", err)
+	}
+	return root, nil
+}
+
+// proveRaw fetches a proof from /v1/prove without interpreting it against
+// the pin — the transport under Prove and ProveAt.
+func (c *Client) proveRaw(ctx context.Context, q url.Values) (provauth.Proof, provauth.Root, error) {
+	var fr foundResponse
+	if err := c.getJSON(ctx, "/v1/prove", q, &fr); err != nil {
+		return provauth.Proof{}, provauth.Root{}, err
+	}
+	root, err := provauth.ParseRoot(fr.Root)
+	if err != nil {
+		return provauth.Proof{}, provauth.Root{}, fmt.Errorf("provhttp: bad root from server: %w", err)
+	}
+	if !fr.Found {
+		return provauth.Proof{}, provauth.Root{}, fmt.Errorf("provhttp: no record to prove: %w", provauth.ErrNotInLog)
+	}
+	if fr.P == "" {
+		return provauth.Proof{}, provauth.Root{}, errors.New("provhttp: prove answer without proof")
+	}
+	p, err := decodeProofHex(fr.P)
+	if err != nil {
+		return provauth.Proof{}, provauth.Root{}, err
+	}
+	return p, root, nil
+}
+
+// Prove implements provauth.Authority.
+func (c *Client) Prove(ctx context.Context, tid int64, loc path.Path) (provauth.Proof, provauth.Root, error) {
+	return c.proveRaw(ctx, url.Values{"tid": {strconv.FormatInt(tid, 10)}, "loc": {loc.String()}})
+}
+
+// ProveAt implements provauth.Authority.
+func (c *Client) ProveAt(ctx context.Context, tid int64, loc path.Path, atSize uint64) (provauth.Proof, error) {
+	p, _, err := c.proveRaw(ctx, url.Values{
+		"tid": {strconv.FormatInt(tid, 10)},
+		"loc": {loc.String()},
+		"at":  {strconv.FormatUint(atSize, 10)},
+	})
+	return p, err
+}
+
+// Consistency implements provauth.Authority.
+func (c *Client) Consistency(ctx context.Context, oldSize, newSize uint64) ([]provauth.Hash, error) {
+	var cr consistencyResponse
+	q := url.Values{
+		"old": {strconv.FormatUint(oldSize, 10)},
+		"new": {strconv.FormatUint(newSize, 10)},
+	}
+	if err := c.getJSON(ctx, "/v1/consistency", q, &cr); err != nil {
+		return nil, err
+	}
+	return decodeAudit(cr.Audit)
+}
+
+// ConsistencyTids implements provauth.Authority.
+func (c *Client) ConsistencyTids(ctx context.Context, oldTid, newTid int64) (provauth.ConsistencyProof, error) {
+	var cr consistencyResponse
+	q := url.Values{
+		"old_tid": {strconv.FormatInt(oldTid, 10)},
+		"new_tid": {strconv.FormatInt(newTid, 10)},
+	}
+	if err := c.getJSON(ctx, "/v1/consistency", q, &cr); err != nil {
+		return provauth.ConsistencyProof{}, err
+	}
+	var cp provauth.ConsistencyProof
+	var err error
+	if cp.Old, err = provauth.ParseRoot(cr.Old); err != nil {
+		return provauth.ConsistencyProof{}, fmt.Errorf("provhttp: bad old root from server: %w", err)
+	}
+	if cp.New, err = provauth.ParseRoot(cr.New); err != nil {
+		return provauth.ConsistencyProof{}, fmt.Errorf("provhttp: bad new root from server: %w", err)
+	}
+	if cp.Audit, err = decodeAudit(cr.Audit); err != nil {
+		return provauth.ConsistencyProof{}, err
+	}
+	return cp, nil
+}
+
+// ScanAllProven implements provauth.Authority: one proofs=1 server cursor,
+// each line's record and proof yielded with the header root — the shipped
+// form a verifying consumer (a replica applier, the CLI's verify verb)
+// checks record by record. The transport is raw: verification belongs to
+// the consumer, which is exactly what makes a chained daemon work — proofs
+// generated here pass through unreinterpreted.
+func (c *Client) ScanAllProven(ctx context.Context, afterTid int64, afterLoc path.Path) iter.Seq2[provauth.ProvenRecord, error] {
+	return func(yield func(provauth.ProvenRecord, error) bool) {
+		q := url.Values{"proofs": {"1"}}
+		if afterTid != 0 || !afterLoc.IsRoot() {
+			q.Set("after_tid", strconv.FormatInt(afterTid, 10))
+			q.Set("after_loc", afterLoc.String())
+		}
+		resp, err := c.do(ctx, http.MethodGet, "/v1/scan-all", q, nil, http.StatusOK)
+		if err != nil {
+			yield(provauth.ProvenRecord{}, err)
+			return
+		}
+		defer resp.Body.Close()
+		root, err := provauth.ParseRoot(resp.Header.Get(headerAuthRoot))
+		if err != nil {
+			yield(provauth.ProvenRecord{}, fmt.Errorf("provhttp: bad %s header: %w", headerAuthRoot, err))
+			return
+		}
+		dec := json.NewDecoder(resp.Body)
+		n := 0
+		for {
+			var line scanLine
+			if err := dec.Decode(&line); err != nil {
+				if cerr := ctx.Err(); cerr != nil {
+					yield(provauth.ProvenRecord{}, cerr)
+					return
+				}
+				if err == io.EOF {
+					yield(provauth.ProvenRecord{}, fmt.Errorf("provhttp: proven scan: stream truncated after %d records (missing eof terminator)", n))
+					return
+				}
+				yield(provauth.ProvenRecord{}, fmt.Errorf("provhttp: proven scan: %w", err))
+				return
+			}
+			switch {
+			case line.Err != "":
+				yield(provauth.ProvenRecord{}, fmt.Errorf("provhttp: proven scan: server error mid-stream: %s", line.Err))
+				return
+			case line.EOF:
+				if line.N != n {
+					yield(provauth.ProvenRecord{}, fmt.Errorf("provhttp: proven scan: stream carried %d records, terminator says %d", n, line.N))
+				}
+				return
+			case line.R == nil:
+				yield(provauth.ProvenRecord{}, errors.New("provhttp: proven scan: blank stream line"))
+				return
+			case line.P == "":
+				yield(provauth.ProvenRecord{}, fmt.Errorf("provhttp: proven scan: unproven record: %w", provauth.ErrVerify))
+				return
+			}
+			rec, err := line.R.record()
+			if err != nil {
+				yield(provauth.ProvenRecord{}, err)
+				return
+			}
+			proof, err := decodeProofHex(line.P)
+			if err != nil {
+				yield(provauth.ProvenRecord{}, err)
+				return
+			}
+			n++
+			if !yield(provauth.ProvenRecord{Rec: rec, Proof: proof, Root: root}, nil) {
 				return
 			}
 		}
@@ -418,10 +872,11 @@ func init() {
 	provstore.RegisterDriver("cpdb", provstore.DriverFunc(openDSN))
 }
 
-// openDSN opens cpdb://host:port[?timeout=5s]: a client backend speaking to
-// the cpdbd provenance service at that authority.
+// openDSN opens cpdb://host:port[?timeout=5s][&verify=pin&pin=FILE]: a
+// client backend speaking to the cpdbd provenance service at that
+// authority, verifying every answer against the pinned root when asked.
 func openDSN(dsn provstore.DSN) (provstore.Backend, error) {
-	if err := dsn.RejectUnknownParams("timeout"); err != nil {
+	if err := dsn.RejectUnknownParams("timeout", "verify", "pin"); err != nil {
 		return nil, err
 	}
 	host, port, err := dsn.HostPort()
@@ -435,6 +890,20 @@ func openDSN(dsn provstore.DSN) (provstore.Backend, error) {
 			return nil, fmt.Errorf("provstore: dsn %s: timeout %q is not a positive duration", dsn, v)
 		}
 		opts = append(opts, WithTimeout(d))
+	}
+	switch v := dsn.Param("verify"); v {
+	case "":
+		if dsn.Param("pin") != "" {
+			return nil, fmt.Errorf("provstore: dsn %s: pin requires verify=pin", dsn)
+		}
+	case "pin":
+		file := dsn.Param("pin")
+		if file == "" {
+			return nil, fmt.Errorf("provstore: dsn %s: verify=pin needs a pin=FILE parameter", dsn)
+		}
+		opts = append(opts, WithVerifyPin(file))
+	default:
+		return nil, fmt.Errorf("provstore: dsn %s: unknown verify mode %q (only \"pin\")", dsn, v)
 	}
 	return NewClient(net.JoinHostPort(host, port), opts...), nil
 }

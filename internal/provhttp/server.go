@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/path"
+	"repro/internal/provauth"
 	"repro/internal/provplan"
 	"repro/internal/provstore"
 )
@@ -36,6 +37,7 @@ const streamFlushEvery = 256
 // drained — other clients may still be writing.
 type Server struct {
 	inner provstore.Backend
+	auth  provauth.Authority // nil unless inner is an authenticated store
 	mux   *http.ServeMux
 	stats serverStats
 }
@@ -58,6 +60,7 @@ var endpoints = []string{
 	"append", "lookup", "ancestor",
 	"scan/tid", "scan/loc", "scan/prefix", "scan/ancestors", "scan/all",
 	"query",
+	"root", "prove", "consistency",
 	"tids", "maxtid", "count", "bytes",
 	"flush", "ping", "stats",
 }
@@ -66,8 +69,10 @@ var endpoints = []string{
 // however the deployment needs it — provstore.OpenDSN("mem://?shards=8"),
 // "rel://prov.db?durable=1", a sharded composite — the server is agnostic.
 func NewServer(inner provstore.Backend) *Server {
+	auth, _ := inner.(provauth.Authority)
 	s := &Server{
 		inner: inner,
+		auth:  auth,
 		mux:   http.NewServeMux(),
 		stats: serverStats{byEndpoint: make(map[string]*atomic.Int64, len(endpoints))},
 	}
@@ -83,6 +88,9 @@ func NewServer(inner provstore.Backend) *Server {
 	s.mux.HandleFunc("GET /v1/scan/ancestors", s.scanHandler("scan/ancestors", "loc", s.inner.ScanLocWithAncestors))
 	s.mux.HandleFunc("GET /v1/scan-all", s.handleScanAll)
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("GET /v1/root", s.handleRoot)
+	s.mux.HandleFunc("GET /v1/prove", s.handleProve)
+	s.mux.HandleFunc("GET /v1/consistency", s.handleConsistency)
 	s.mux.HandleFunc("GET /v1/tids", s.handleTids)
 	s.mux.HandleFunc("GET /v1/maxtid", s.handleMaxTid)
 	s.mux.HandleFunc("GET /v1/count", s.handleCount)
@@ -219,6 +227,77 @@ func (s *Server) pointHandler(endpoint string, q func(context.Context, int64, pa
 	}
 }
 
+// A proofStamper stamps each record of one stream with its inclusion proof
+// against the single root snapshotted when the stream began — the header
+// root every "p" field of the response verifies against.
+type proofStamper struct {
+	auth provauth.Authority
+	root provauth.Root
+}
+
+// authStamp interprets the proofs=1 / since=SIZE request parameters: it
+// snapshots the root and writes the authentication headers (including the
+// consistency path from since) before any body byte goes out. It returns
+// (nil, true) for a request that wants no proofs, and (nil, false) — with
+// the error response already written — for one that asked for what the
+// store cannot do: proofs from an unauthenticated store are a 400, never a
+// silently unproven stream, and a since= beyond the current tree (a client
+// pinned ahead of this server — a rollback) is a 400 too.
+func (s *Server) authStamp(w http.ResponseWriter, r *http.Request) (*proofStamper, bool) {
+	q := r.URL.Query()
+	switch q.Get("proofs") {
+	case "":
+		if q.Get("since") != "" {
+			s.fail(w, errors.New("provhttp: since requires proofs=1"), http.StatusBadRequest)
+			return nil, false
+		}
+		return nil, true
+	case "1":
+	default:
+		s.fail(w, fmt.Errorf("provhttp: bad proofs parameter %q", q.Get("proofs")), http.StatusBadRequest)
+		return nil, false
+	}
+	if s.auth == nil {
+		s.fail(w, errors.New("provhttp: proofs requested from an unauthenticated store (serve a verified:// DSN)"), http.StatusBadRequest)
+		return nil, false
+	}
+	root, err := s.auth.Root(r.Context())
+	if err != nil {
+		s.fail(w, err, http.StatusInternalServerError)
+		return nil, false
+	}
+	if v := q.Get("since"); v != "" {
+		since, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			s.fail(w, fmt.Errorf("provhttp: bad since parameter %q", v), http.StatusBadRequest)
+			return nil, false
+		}
+		audit, err := s.auth.Consistency(r.Context(), since, root.Size)
+		if err != nil {
+			s.fail(w, err, http.StatusBadRequest)
+			return nil, false
+		}
+		w.Header().Set(headerAuthConsistency, encodeAudit(audit))
+	}
+	w.Header().Set(headerAuthRoot, root.String())
+	return &proofStamper{auth: s.auth, root: root}, true
+}
+
+// prove stamps one record, answering (proof hex, beyond-horizon, error):
+// a record sealed after the stamper's root is not part of this stream's
+// answer (the stream is complete as of its root), and one the log never
+// admitted is a hard error.
+func (ps *proofStamper) prove(ctx context.Context, rec provstore.Record) (string, bool, error) {
+	p, err := ps.auth.ProveAt(ctx, rec.Tid, rec.Loc, ps.root.Size)
+	if err != nil {
+		if errors.Is(err, provauth.ErrUnsealed) {
+			return "", true, nil
+		}
+		return "", false, err
+	}
+	return encodeProof(p), false, nil
+}
+
 // streamScan pipes a backend cursor to the client as an NDJSON stream with
 // the eof terminator: each record is encoded as the cursor yields it — the
 // server never materializes a scan — with periodic flushes so the client
@@ -229,8 +308,10 @@ func (s *Server) pointHandler(endpoint string, q func(context.Context, int64, pa
 // surfacing mid-stream is reported as an in-band error line (the 200 header
 // is already on the wire). A non-nil more is consulted for the
 // terminator's "more" flag (keyset pagination: the stream was cut by an
-// explicit limit, resume after the last key).
-func (s *Server) streamScan(w http.ResponseWriter, r *http.Request, scan iter.Seq2[provstore.Record, error], more func() bool) {
+// explicit limit, resume after the last key). A non-nil stamp adds the "p"
+// proof to every record line; records beyond the stamp root's horizon end
+// the stream complete-as-of-root.
+func (s *Server) streamScan(w http.ResponseWriter, r *http.Request, scan iter.Seq2[provstore.Record, error], more func() bool, stamp *proofStamper) {
 	s.stats.cursorsOpen.Add(1)
 	defer s.stats.cursorsOpen.Add(-1)
 	enc := json.NewEncoder(w)
@@ -247,12 +328,30 @@ func (s *Server) streamScan(w http.ResponseWriter, r *http.Request, scan iter.Se
 			}
 			return
 		}
+		line := scanLine{}
+		if stamp != nil {
+			p, beyond, perr := stamp.prove(r.Context(), rec)
+			if beyond {
+				break // sealed after the snapshot root: complete as of it
+			}
+			if perr != nil {
+				if !started {
+					s.fail(w, perr, http.StatusInternalServerError)
+				} else {
+					s.stats.errors.Add(1)
+					enc.Encode(scanLine{Err: perr.Error()}) //nolint:errcheck // stream end
+				}
+				return
+			}
+			line.P = p
+		}
 		if !started {
 			w.Header().Set("Content-Type", "application/x-ndjson")
 			started = true
 		}
 		wr := toWire(rec)
-		if err := enc.Encode(scanLine{R: &wr}); err != nil {
+		line.R = &wr
+		if err := enc.Encode(line); err != nil {
 			return // client hung up; the connection carries the truncation
 		}
 		n++
@@ -286,7 +385,11 @@ func (s *Server) scanHandler(endpoint, param string, q func(context.Context, pat
 			s.fail(w, err, http.StatusBadRequest)
 			return
 		}
-		s.streamScan(w, r, q(r.Context(), p), nil)
+		stamp, ok := s.authStamp(w, r)
+		if !ok {
+			return
+		}
+		s.streamScan(w, r, q(r.Context(), p), nil, stamp)
 	}
 }
 
@@ -298,7 +401,11 @@ func (s *Server) handleScanTid(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err, http.StatusBadRequest)
 		return
 	}
-	s.streamScan(w, r, s.inner.ScanTid(r.Context(), tid), nil)
+	stamp, ok := s.authStamp(w, r)
+	if !ok {
+		return
+	}
+	s.streamScan(w, r, s.inner.ScanTid(r.Context(), tid), nil, stamp)
 }
 
 // handleScanAll serves the whole-table server cursor: the (Tid, Loc)-ordered
@@ -352,6 +459,10 @@ func (s *Server) handleScanAll(w http.ResponseWriter, r *http.Request) {
 	} else {
 		inner = s.inner.ScanAll(r.Context())
 	}
+	stamp, ok := s.authStamp(w, r)
+	if !ok {
+		return
+	}
 	cut := false
 	window := func(yield func(provstore.Record, error) bool) {
 		n := 0
@@ -366,7 +477,7 @@ func (s *Server) handleScanAll(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	s.streamScan(w, r, window, func() bool { return cut })
+	s.streamScan(w, r, window, func() bool { return cut }, stamp)
 }
 
 // handleQuery executes a whole declarative plan server-side, next to the
@@ -390,6 +501,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err, http.StatusBadRequest)
 		return
 	}
+	stamp, ok := s.authStamp(w, r)
+	if !ok {
+		return
+	}
 
 	s.stats.cursorsOpen.Add(1)
 	defer s.stats.cursorsOpen.Add(-1)
@@ -407,11 +522,32 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			}
 			return
 		}
+		line := toWireRow(row)
+		// Record rows of a proven stream carry their inclusion proof;
+		// derived rows (tids, aggregates, trace steps) are computed answers
+		// with no leaf to prove — the root header still covers the relation
+		// they were computed from.
+		if stamp != nil && line.R != nil {
+			p, beyond, perr := stamp.prove(r.Context(), row.Rec)
+			if beyond {
+				break // sealed after the snapshot root: complete as of it
+			}
+			if perr != nil {
+				if !started {
+					s.fail(w, perr, http.StatusInternalServerError)
+				} else {
+					s.stats.errors.Add(1)
+					enc.Encode(queryLine{Err: perr.Error()}) //nolint:errcheck // stream end
+				}
+				return
+			}
+			line.P = p
+		}
 		if !started {
 			w.Header().Set("Content-Type", "application/x-ndjson")
 			started = true
 		}
-		if err := enc.Encode(toWireRow(row)); err != nil {
+		if err := enc.Encode(line); err != nil {
 			return // client hung up; the connection carries the truncation
 		}
 		n++
@@ -429,6 +565,180 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	enc.Encode(queryLine{EOF: true, N: n}) //nolint:errcheck // stream end
 	s.stats.recordsStreamed.Add(int64(n))
+}
+
+// requireAuth writes the standard 400 for authentication endpoints hit on
+// an unauthenticated store.
+func (s *Server) requireAuth(w http.ResponseWriter) bool {
+	if s.auth == nil {
+		s.fail(w, errors.New("provhttp: not an authenticated store (serve a verified:// DSN)"), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+// sinceAudit resolves the optional since=SIZE parameter into the
+// consistency path from that tree size to root. The (nil, "", true) return
+// means no since was asked for.
+func (s *Server) sinceAudit(w http.ResponseWriter, r *http.Request, root provauth.Root) (audit *string, ok bool) {
+	v := r.URL.Query().Get("since")
+	if v == "" {
+		return nil, true
+	}
+	since, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		s.fail(w, fmt.Errorf("provhttp: bad since parameter %q", v), http.StatusBadRequest)
+		return nil, false
+	}
+	hashes, err := s.auth.Consistency(r.Context(), since, root.Size)
+	if err != nil {
+		s.fail(w, err, http.StatusBadRequest)
+		return nil, false
+	}
+	enc := encodeAudit(hashes)
+	return &enc, true
+}
+
+// handleRoot serves the tree head: current by default, the checkpoint as
+// of ?tid=N, with ?since=SIZE adding the consistency path a pinned client
+// advances over.
+func (s *Server) handleRoot(w http.ResponseWriter, r *http.Request) {
+	s.count("root")
+	if !s.requireAuth(w) {
+		return
+	}
+	var root provauth.Root
+	var err error
+	if v := r.URL.Query().Get("tid"); v != "" {
+		tid, perr := strconv.ParseInt(v, 10, 64)
+		if perr != nil {
+			s.fail(w, fmt.Errorf("provhttp: bad tid parameter %q", v), http.StatusBadRequest)
+			return
+		}
+		root, err = s.auth.RootAt(r.Context(), tid)
+	} else {
+		root, err = s.auth.Root(r.Context())
+	}
+	if err != nil {
+		s.fail(w, err, http.StatusInternalServerError)
+		return
+	}
+	resp := rootResponse{Root: root.String()}
+	var ok bool
+	if resp.Audit, ok = s.sinceAudit(w, r, root); !ok {
+		return
+	}
+	writeJSON(w, resp)
+}
+
+// handleProve answers the authenticated point query: the record (Lookup,
+// or NearestAncestor under ancestor=1) together with its inclusion proof
+// and the root it verifies against — one round trip for a verifying
+// client's Lookup. A found record of the still-open transaction has no
+// proof yet and is a 409 (flush to seal it); a not-found answer carries
+// the root but no proof — absence is not authenticated (the tree has no
+// range proofs), which verifying callers must treat accordingly.
+func (s *Server) handleProve(w http.ResponseWriter, r *http.Request) {
+	s.count("prove")
+	if !s.requireAuth(w) {
+		return
+	}
+	tid, err := tidParam(r)
+	if err != nil {
+		s.fail(w, err, http.StatusBadRequest)
+		return
+	}
+	loc, err := pathParam(r, "loc")
+	if err != nil {
+		s.fail(w, err, http.StatusBadRequest)
+		return
+	}
+	point := s.inner.Lookup
+	if r.URL.Query().Get("ancestor") == "1" {
+		point = s.inner.NearestAncestor
+	}
+	rec, found, err := point(r.Context(), tid, loc)
+	if err != nil {
+		s.fail(w, err, http.StatusInternalServerError)
+		return
+	}
+
+	resp := foundResponse{Found: found}
+	var root provauth.Root
+	if found {
+		var p provauth.Proof
+		if v := r.URL.Query().Get("at"); v != "" {
+			atSize, perr := strconv.ParseUint(v, 10, 64)
+			if perr != nil {
+				s.fail(w, fmt.Errorf("provhttp: bad at parameter %q", v), http.StatusBadRequest)
+				return
+			}
+			p, err = s.auth.ProveAt(r.Context(), rec.Tid, rec.Loc, atSize)
+			if err == nil {
+				root, err = s.auth.Root(r.Context())
+			}
+		} else {
+			p, root, err = s.auth.Prove(r.Context(), rec.Tid, rec.Loc)
+		}
+		switch {
+		case errors.Is(err, provauth.ErrUnsealed):
+			s.fail(w, err, http.StatusConflict)
+			return
+		case err != nil:
+			s.fail(w, err, http.StatusInternalServerError)
+			return
+		}
+		wr := toWire(rec)
+		resp.R = &wr
+		resp.P = encodeProof(p)
+	} else if root, err = s.auth.Root(r.Context()); err != nil {
+		s.fail(w, err, http.StatusInternalServerError)
+		return
+	}
+	resp.Root = root.String()
+	var ok bool
+	if resp.Audit, ok = s.sinceAudit(w, r, root); !ok {
+		return
+	}
+	writeJSON(w, resp)
+}
+
+// handleConsistency serves the proof that one tree head extends another:
+// by leaf counts (?old=&new=, the pin-advance path) or by transaction ids
+// (?old_tid=&new_tid=, which resolves both checkpoints and returns them).
+func (s *Server) handleConsistency(w http.ResponseWriter, r *http.Request) {
+	s.count("consistency")
+	if !s.requireAuth(w) {
+		return
+	}
+	q := r.URL.Query()
+	if q.Get("old_tid") != "" || q.Get("new_tid") != "" {
+		oldTid, err1 := strconv.ParseInt(q.Get("old_tid"), 10, 64)
+		newTid, err2 := strconv.ParseInt(q.Get("new_tid"), 10, 64)
+		if err1 != nil || err2 != nil {
+			s.fail(w, fmt.Errorf("provhttp: bad old_tid/new_tid parameters %q, %q", q.Get("old_tid"), q.Get("new_tid")), http.StatusBadRequest)
+			return
+		}
+		cp, err := s.auth.ConsistencyTids(r.Context(), oldTid, newTid)
+		if err != nil {
+			s.fail(w, err, http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, consistencyResponse{Old: cp.Old.String(), New: cp.New.String(), Audit: encodeAudit(cp.Audit)})
+		return
+	}
+	oldSize, err1 := strconv.ParseUint(q.Get("old"), 10, 64)
+	newSize, err2 := strconv.ParseUint(q.Get("new"), 10, 64)
+	if err1 != nil || err2 != nil {
+		s.fail(w, fmt.Errorf("provhttp: bad old/new parameters %q, %q", q.Get("old"), q.Get("new")), http.StatusBadRequest)
+		return
+	}
+	audit, err := s.auth.Consistency(r.Context(), oldSize, newSize)
+	if err != nil {
+		s.fail(w, err, http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, consistencyResponse{Audit: encodeAudit(audit)})
 }
 
 func (s *Server) handleTids(w http.ResponseWriter, r *http.Request) {

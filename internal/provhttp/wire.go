@@ -42,6 +42,30 @@
 //	GET  /v1/ping                    {"ok":true} (readiness)
 //	GET  /v1/stats                   expvar-style request/record counters
 //
+// When the published backend is authenticated (a provauth.AuthBackend, i.e.
+// a verified:// DSN), three more endpoints serve the Merkle tree:
+//
+//	GET  /v1/root                    {"root":"size:tid:hex"}; ?tid=N answers
+//	                                 RootAt, ?since=SIZE adds "audit", the
+//	                                 consistency path from that tree size
+//	GET  /v1/prove?tid=&loc=         the point lookup plus its inclusion
+//	     [&ancestor=1][&at=SIZE]       proof: {"found","r","p","root",
+//	     [&since=SIZE]                 "audit"}; ancestor=1 resolves
+//	                                   NearestAncestor first, at= proves
+//	                                   against a historical root
+//	GET  /v1/consistency?old=&new=   {"audit":[hex,…]} between tree sizes;
+//	     | ?old_tid=&new_tid=          the tid form resolves checkpoints and
+//	                                   returns {"old","new","audit"}
+//
+// and every scan or query accepts proofs=1 (400 on an unauthenticated
+// store): the response carries the snapshot root in the X-Cpdb-Auth-Root
+// header (plus X-Cpdb-Auth-Consistency when since=SIZE is given), and each
+// record line carries "p", its inclusion proof against that one root,
+// hex of the provauth.Proof binary encoding. A proven stream answers as of
+// its root: records of the still-open transaction are held back until a
+// flush seals them. The cpdb://?verify=pin&pin=FILE client drives all of
+// this automatically and fails closed on any mismatch.
+//
 // Records travel as JSON objects whose Loc/Src fields are canonical path
 // strings ("T/c1/y") — lossless, because labels cannot contain '/'. Errors
 // travel as JSON bodies with an HTTP status; the {Tid, Loc} key violation is
@@ -50,16 +74,76 @@
 package provhttp
 
 import (
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 
 	"repro/internal/path"
+	"repro/internal/provauth"
 	"repro/internal/provplan"
 	"repro/internal/provstore"
 )
+
+// Authentication headers on proven streams: the one root every "p" proof
+// of the response verifies against, and (when the request carried
+// since=SIZE) the consistency path connecting that older tree size to it.
+const (
+	headerAuthRoot        = "X-Cpdb-Auth-Root"
+	headerAuthConsistency = "X-Cpdb-Auth-Consistency"
+)
+
+// encodeProof renders an inclusion proof for the "p" field.
+func encodeProof(p provauth.Proof) string {
+	return hex.EncodeToString(p.AppendBinary(nil))
+}
+
+// decodeProofHex parses a "p" field.
+func decodeProofHex(s string) (provauth.Proof, error) {
+	raw, err := hex.DecodeString(s)
+	if err != nil {
+		return provauth.Proof{}, fmt.Errorf("provhttp: bad proof hex: %w", err)
+	}
+	p, n, err := provauth.DecodeProof(raw)
+	if err != nil {
+		return provauth.Proof{}, err
+	}
+	if n != len(raw) {
+		return provauth.Proof{}, fmt.Errorf("provhttp: %d trailing bytes after proof", len(raw)-n)
+	}
+	return p, nil
+}
+
+// encodeAudit renders a consistency path as comma-joined hex for the
+// header / JSON array form ("" for the empty path).
+func encodeAudit(audit []provauth.Hash) string {
+	parts := make([]string, len(audit))
+	for i, h := range audit {
+		parts[i] = h.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// decodeAudit parses a comma-joined consistency path ("" is the valid
+// empty path: equal sizes, or growth from the empty tree).
+func decodeAudit(s string) ([]provauth.Hash, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	audit := make([]provauth.Hash, len(parts))
+	for i, p := range parts {
+		h, err := provauth.ParseHash(p)
+		if err != nil {
+			return nil, fmt.Errorf("provhttp: bad consistency path: %w", err)
+		}
+		audit[i] = h
+	}
+	return audit, nil
+}
 
 // wireRecord is the JSON form of one Prov row.
 type wireRecord struct {
@@ -107,6 +191,7 @@ func (w wireRecord) record() (provstore.Record, error) {
 // telling a paging client to resume after the last key it saw.
 type scanLine struct {
 	R    *wireRecord `json:"r,omitempty"`
+	P    string      `json:"p,omitempty"` // inclusion proof (proofs=1 streams)
 	EOF  bool        `json:"eof,omitempty"`
 	N    int         `json:"n,omitempty"`
 	More bool        `json:"more,omitempty"`
@@ -126,6 +211,7 @@ type scanLine struct {
 //	{"err":…}                         server failed mid-stream
 type queryLine struct {
 	R   *wireRecord `json:"r,omitempty"`
+	P   string      `json:"p,omitempty"`   // inclusion proof (record rows, proofs=1)
 	Tid int64       `json:"tid,omitempty"` // transaction ids are >= 1
 	V   *wireValue  `json:"v,omitempty"`
 	Ev  *wireEvent  `json:"ev,omitempty"`
@@ -233,10 +319,30 @@ func (l queryLine) row() (provplan.Row, error) {
 	}
 }
 
-// foundResponse answers the point queries (Lookup, NearestAncestor).
+// foundResponse answers the point queries (Lookup, NearestAncestor) and,
+// with the authentication fields set, /v1/prove: the record, its inclusion
+// proof, the root it verifies against, and optionally the consistency path
+// from the client's since= tree size to that root.
 type foundResponse struct {
 	Found bool        `json:"found"`
 	R     *wireRecord `json:"r,omitempty"`
+	P     string      `json:"p,omitempty"`
+	Root  string      `json:"root,omitempty"`
+	Audit *string     `json:"audit,omitempty"` // pointer: "" is a valid (empty) path
+}
+
+// rootResponse answers /v1/root.
+type rootResponse struct {
+	Root  string  `json:"root"`
+	Audit *string `json:"audit,omitempty"` // set iff the request carried since=
+}
+
+// consistencyResponse answers /v1/consistency. Old/New are set by the
+// old_tid/new_tid form, which resolves the transaction checkpoints.
+type consistencyResponse struct {
+	Old   string `json:"old,omitempty"`
+	New   string `json:"new,omitempty"`
+	Audit string `json:"audit"`
 }
 
 // wireError is the JSON body of a non-2xx response.

@@ -1,10 +1,14 @@
 package provrepl
 
 import (
+	"context"
+	"fmt"
+	"iter"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/path"
+	"repro/internal/provauth"
 	"repro/internal/provstore"
 )
 
@@ -143,7 +147,11 @@ func (b *ReplicatedBackend) applyPass(r *replica) (err error) {
 		buf = buf[:0]
 		return nil
 	}
-	for rec, serr := range b.primary.ScanAllAfter(b.ctx, fromTid, fromLoc) {
+	scan := b.primary.ScanAllAfter
+	if b.opts.Verify {
+		scan = b.verifiedScanAfter
+	}
+	for rec, serr := range scan(b.ctx, fromTid, fromLoc) {
 		if serr != nil {
 			return serr
 		}
@@ -166,6 +174,34 @@ func (b *ReplicatedBackend) applyPass(r *replica) (err error) {
 		buf = append(buf, rec)
 	}
 	return flush()
+}
+
+// verifiedScanAfter adapts the primary's proven stream to the plain record
+// stream applyPass consumes: each record's inclusion proof is checked
+// against the primary's snapshot root before the record crosses to a
+// replica. A bad proof fails the pass, so a tampered primary blocks
+// shipping rather than propagating. Only sealed transactions appear in the
+// proven stream, so a verified replica trails the primary by any still-open
+// transaction until Flush seals it.
+func (b *ReplicatedBackend) verifiedScanAfter(ctx context.Context, afterTid int64, afterLoc path.Path) iter.Seq2[provstore.Record, error] {
+	auth := b.primary.(provauth.Authority) // checked in New
+	return func(yield func(provstore.Record, error) bool) {
+		for pr, err := range auth.ScanAllProven(ctx, afterTid, afterLoc) {
+			if err != nil {
+				yield(provstore.Record{}, err)
+				return
+			}
+			if verr := pr.Verify(); verr != nil {
+				b.verifyFailures.Add(1)
+				yield(provstore.Record{}, fmt.Errorf("provrepl: shipping %d %s: %w", pr.Rec.Tid, pr.Rec.Loc, verr))
+				return
+			}
+			b.verifiedRecs.Add(1)
+			if !yield(pr.Rec, nil) {
+				return
+			}
+		}
+	}
 }
 
 // recoverHighWater computes the replica's high-water {Tid, Loc} mark from

@@ -18,6 +18,9 @@ import (
 //	             [&lag=N]              ReadAny staleness bound in tids (default 0:
 //	                                   only fully caught-up replicas serve reads)
 //	             [&poll=500ms]         applier idle poll / error backoff
+//	             [&verify=1]           ship over the primary's authenticated
+//	                                   stream; the primary DSN must be a
+//	                                   verified:// store
 func init() {
 	provstore.RegisterDriver("replicated", provstore.DriverFunc(openDSN))
 }
@@ -26,7 +29,7 @@ func openDSN(dsn provstore.DSN) (provstore.Backend, error) {
 	if dsn.Path != "" {
 		return nil, fmt.Errorf("provstore: dsn %s: replicated stores have no path; name stores via ?primary=…&replica=…", dsn)
 	}
-	if err := dsn.RejectUnknownParams("primary", "replica", "read", "lag", "poll"); err != nil {
+	if err := dsn.RejectUnknownParams("primary", "replica", "read", "lag", "poll", "verify"); err != nil {
 		return nil, err
 	}
 	primaryDSN := dsn.Param("primary")
@@ -61,6 +64,13 @@ func openDSN(dsn provstore.DSN) (provstore.Backend, error) {
 			return nil, fmt.Errorf("provstore: dsn %s: poll %q is not a positive duration", dsn, v)
 		}
 		opts.Poll = d
+	}
+	switch dsn.Param("verify") {
+	case "", "0":
+	case "1":
+		opts.Verify = true
+	default:
+		return nil, fmt.Errorf("provstore: dsn %s: verify=%q is not 0 or 1", dsn, dsn.Param("verify"))
 	}
 
 	var opened []provstore.Backend

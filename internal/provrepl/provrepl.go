@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"repro/internal/path"
+	"repro/internal/provauth"
 	"repro/internal/provstore"
 )
 
@@ -95,6 +96,16 @@ type Options struct {
 	// acknowledged records reach the replicas before the appliers stop. A
 	// dead replica cannot wedge shutdown past this. Default 30s.
 	CloseTimeout time.Duration
+	// Verify makes the appliers ship over the primary's authenticated
+	// stream: every record crossing to a replica carries a Merkle inclusion
+	// proof, checked against the primary's signed-off root before the
+	// replica sees it. Requires a primary that implements
+	// provauth.Authority (open it via verified://). A proof failure fails
+	// the pass — the applier goes unhealthy and retries — so a tampered
+	// primary blocks shipping instead of propagating to replicas. Only
+	// sealed transactions appear in the proven stream, so verified replicas
+	// trail the primary by any still-open transaction until Flush.
+	Verify bool
 }
 
 func (o Options) withDefaults() Options {
@@ -134,6 +145,9 @@ type ReplicatedBackend struct {
 	laggedReads atomic.Int64 // ReadAny reads served by a stale replica
 	rr          atomic.Uint64
 
+	verifiedRecs   atomic.Int64 // records shipped with a verified proof (Verify mode)
+	verifyFailures atomic.Int64 // proof checks that failed during shipping (Verify mode)
+
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
@@ -164,6 +178,11 @@ func New(primary provstore.Backend, replicas []provstore.Backend, opts Options) 
 	for i, r := range replicas {
 		if r == nil {
 			return nil, fmt.Errorf("provrepl: New replica %d is nil", i)
+		}
+	}
+	if opts.Verify {
+		if _, ok := primary.(provauth.Authority); !ok {
+			return nil, errors.New("provrepl: Options.Verify needs a primary that serves proofs; open it via verified://")
 		}
 	}
 	ctx, cancel := context.WithCancel(context.Background())
@@ -596,12 +615,21 @@ func (b *ReplicatedBackend) Close() error {
 //	repl.applied_tid.<i>   replica i's high-water transaction id
 //	repl.lag.<i>           repl.shipped_tid - repl.applied_tid.<i>, floored at 0
 //	repl.healthy.<i>       1 while replica i's applier is caught up and erroring-free
+//
+// With Options.Verify on, two more gauges track the authenticated stream:
+//
+//	repl.verified_recs     records shipped after their inclusion proof checked out
+//	repl.verify_failures   proof checks that failed (shipping stalls while non-zero)
 func (b *ReplicatedBackend) Gauges() map[string]int64 {
 	shippedTid := b.shippedTid.Load()
 	out := map[string]int64{
 		"repl.replicas":     int64(len(b.replicas)),
 		"repl.shipped_tid":  shippedTid,
 		"repl.lagged_reads": b.laggedReads.Load(),
+	}
+	if b.opts.Verify {
+		out["repl.verified_recs"] = b.verifiedRecs.Load()
+		out["repl.verify_failures"] = b.verifyFailures.Load()
 	}
 	for _, r := range b.replicas {
 		applied := r.appliedTid.Load()

@@ -1,0 +1,188 @@
+package provrepl
+
+import (
+	"context"
+	"net/url"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/provauth"
+	"repro/internal/provstore"
+	"repro/internal/provtest"
+)
+
+func mustAuth(t *testing.T, inner provstore.Backend) *provauth.AuthBackend {
+	t.Helper()
+	a, err := provauth.New(inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// waitRecs polls until the store holds exactly n records. WaitForReplicas
+// is not the right barrier under Verify: a pass that ran between Append and
+// Flush legitimately saw nothing (the transaction was still open), so the
+// synced version can reach the shipped version before the records do.
+func waitRecs(t *testing.T, b provstore.Backend, n int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		got := len(collectAll(t, b))
+		if got == n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("store holds %d records, want %d", got, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestVerifyRequiresAuthority: Verify over a plain store is a construction
+// error, not a latent applier failure.
+func TestVerifyRequiresAuthority(t *testing.T) {
+	_, err := New(provstore.NewMemBackend(), []provstore.Backend{provstore.NewMemBackend()}, Options{Verify: true})
+	if err == nil || !strings.Contains(err.Error(), "verified://") {
+		t.Fatalf("New with Verify over a plain store: err = %v, want a verified:// hint", err)
+	}
+}
+
+// TestVerifiedShipping: with an honest authenticated primary, the proven
+// stream converges replicas exactly like the plain one, and the verified
+// gauges account for every shipped record.
+func TestVerifiedShipping(t *testing.T) {
+	ctx := context.Background()
+	primary := mustAuth(t, provstore.NewMemBackend())
+	rep := provstore.NewMemBackend()
+	b := mustNew(t, primary, []provstore.Backend{rep}, Options{Verify: true, ApplyBatch: 8})
+	defer b.Close()
+	for tid := int64(1); tid <= 5; tid++ {
+		if err := b.Append(ctx, tidBatch(tid, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Seal the last transaction: the proven stream carries only sealed
+	// transactions, so without this the replica would (correctly) trail by
+	// tid 5 forever.
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	waitRecs(t, rep, 20)
+	want := collectAll(t, primary)
+	got := collectAll(t, rep)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("replica diverged from primary:\n got %+v\nwant %+v", got, want)
+	}
+	g := b.Gauges()
+	if g["repl.verified_recs"] < 20 {
+		t.Errorf("repl.verified_recs = %d, want >= 20", g["repl.verified_recs"])
+	}
+	if g["repl.verify_failures"] != 0 {
+		t.Errorf("repl.verify_failures = %d, want 0", g["repl.verify_failures"])
+	}
+}
+
+// TestVerifiedShippingHorizon: an open transaction is invisible to the
+// proven stream, so a verified replica holds only the sealed prefix until
+// Flush seals the tail.
+func TestVerifiedShippingHorizon(t *testing.T) {
+	ctx := context.Background()
+	primary := mustAuth(t, provstore.NewMemBackend())
+	rep := provstore.NewMemBackend()
+	b := mustNew(t, primary, []provstore.Backend{rep}, Options{Verify: true})
+	defer b.Close()
+	if err := b.Append(ctx, tidBatch(1, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Append(ctx, tidBatch(2, 3)); err != nil { // seals tid 1, opens tid 2
+		t.Fatal(err)
+	}
+	waitRecs(t, rep, 3)
+	// Give the applier a few more passes: tid 2 must stay invisible.
+	time.Sleep(20 * time.Millisecond)
+	if n := len(collectAll(t, rep)); n != 3 {
+		t.Fatalf("replica holds %d records with tid 2 still open, want 3", n)
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	waitRecs(t, rep, 6)
+}
+
+// TestVerifiedShippingBlocksTamper: when the primary's stored bytes diverge
+// from its Merkle tree, proofs stop verifying and shipping stalls — the
+// corruption never reaches the replica, and the failure gauge records it.
+func TestVerifiedShippingBlocksTamper(t *testing.T) {
+	ctx := context.Background()
+	tamper := provtest.NewTamper(provstore.NewMemBackend(), nil)
+	primary := mustAuth(t, tamper)
+	rep := provstore.NewMemBackend()
+	b := mustNew(t, primary, []provstore.Backend{rep}, Options{Verify: true})
+	defer b.Close()
+	if err := b.Append(ctx, tidBatch(1, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	waitRecs(t, rep, 3)
+
+	tamper.Arm(true)
+	if err := b.Append(ctx, tidBatch(2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for b.Gauges()["repl.verify_failures"] == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("repl.verify_failures never rose with an armed tamper layer")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The bad records must not have crossed: the proven stream re-proves
+	// from the replica's high-water mark, and tid 2's first record fails.
+	if n := len(collectAll(t, rep)); n != 3 {
+		t.Fatalf("replica holds %d records under tamper, want the 3 shipped before", n)
+	}
+	if b.replicas[0].healthy.Load() {
+		t.Error("replica still marked healthy while shipping is blocked")
+	}
+
+	// Disarm: the retry loop repairs itself and shipping resumes.
+	tamper.Arm(false)
+	waitRecs(t, rep, 6)
+}
+
+// TestVerifyDSN: the composite driver's verify=1 plumbs through to Options
+// and demands a verified:// primary.
+func TestVerifyDSN(t *testing.T) {
+	good := "replicated://?primary=" + url.QueryEscape("verified://?inner=mem://") + "&replica=mem://&verify=1&poll=5ms"
+	bk, err := provstore.OpenDSN(good)
+	if err != nil {
+		t.Fatalf("OpenDSN(%s): %v", good, err)
+	}
+	rb := bk.(*ReplicatedBackend)
+	if !rb.opts.Verify {
+		t.Error("verify=1 did not set Options.Verify")
+	}
+	if _, ok := rb.Gauges()["repl.verify_failures"]; !ok {
+		t.Error("verified backend does not surface repl.verify_failures")
+	}
+	if err := rb.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, bad := range []string{
+		"replicated://?primary=mem://&replica=mem://&verify=1",
+		"replicated://?primary=mem://&replica=mem://&verify=yes",
+	} {
+		if _, err := provstore.OpenDSN(bad); err == nil {
+			t.Errorf("OpenDSN(%s) succeeded, want error", bad)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package provtest
+
+import (
+	"context"
+	"iter"
+	"sync/atomic"
+
+	"repro/internal/path"
+	"repro/internal/provstore"
+)
+
+// A TamperBackend simulates storage-level corruption: writes pass through
+// untouched, and while armed, every record leaving the store on a read
+// path goes through Mutate first. Sandwiching it under an authenticated
+// wrapper — provauth over Tamper over mem — gives tests a store whose
+// Merkle tree was built over honest data but whose reads lie, which is
+// exactly the scenario inclusion proofs must catch.
+type TamperBackend struct {
+	inner  provstore.Backend
+	armed  atomic.Bool
+	Mutate func(provstore.Record) provstore.Record
+}
+
+var _ provstore.Backend = (*TamperBackend)(nil)
+
+// NewTamper wraps inner. mutate alters records on read while the backend
+// is armed; nil defaults to flipping the record's Op byte — a single-byte
+// corruption that keeps the {Tid, Loc} key intact, so only a hash check
+// can notice it.
+func NewTamper(inner provstore.Backend, mutate func(provstore.Record) provstore.Record) *TamperBackend {
+	if mutate == nil {
+		mutate = func(r provstore.Record) provstore.Record {
+			if r.Op == provstore.OpInsert {
+				r.Op = provstore.OpDelete
+			} else {
+				r.Op = provstore.OpInsert
+				r.Src = path.Path{}
+			}
+			return r
+		}
+	}
+	return &TamperBackend{inner: inner, Mutate: mutate}
+}
+
+// Arm starts (or stops) corrupting reads.
+func (t *TamperBackend) Arm(on bool) { t.armed.Store(on) }
+
+func (t *TamperBackend) out(r provstore.Record) provstore.Record {
+	if t.armed.Load() {
+		return t.Mutate(r)
+	}
+	return r
+}
+
+func (t *TamperBackend) tampered(scan iter.Seq2[provstore.Record, error]) iter.Seq2[provstore.Record, error] {
+	return func(yield func(provstore.Record, error) bool) {
+		for rec, err := range scan {
+			if err != nil {
+				yield(provstore.Record{}, err)
+				return
+			}
+			if !yield(t.out(rec), nil) {
+				return
+			}
+		}
+	}
+}
+
+// Append implements Backend (writes are honest).
+func (t *TamperBackend) Append(ctx context.Context, recs []provstore.Record) error {
+	return t.inner.Append(ctx, recs)
+}
+
+// Lookup implements Backend.
+func (t *TamperBackend) Lookup(ctx context.Context, tid int64, loc path.Path) (provstore.Record, bool, error) {
+	rec, ok, err := t.inner.Lookup(ctx, tid, loc)
+	if ok && err == nil {
+		rec = t.out(rec)
+	}
+	return rec, ok, err
+}
+
+// NearestAncestor implements Backend.
+func (t *TamperBackend) NearestAncestor(ctx context.Context, tid int64, loc path.Path) (provstore.Record, bool, error) {
+	rec, ok, err := t.inner.NearestAncestor(ctx, tid, loc)
+	if ok && err == nil {
+		rec = t.out(rec)
+	}
+	return rec, ok, err
+}
+
+// ScanTid implements Backend.
+func (t *TamperBackend) ScanTid(ctx context.Context, tid int64) iter.Seq2[provstore.Record, error] {
+	return t.tampered(t.inner.ScanTid(ctx, tid))
+}
+
+// ScanLoc implements Backend.
+func (t *TamperBackend) ScanLoc(ctx context.Context, loc path.Path) iter.Seq2[provstore.Record, error] {
+	return t.tampered(t.inner.ScanLoc(ctx, loc))
+}
+
+// ScanLocPrefix implements Backend.
+func (t *TamperBackend) ScanLocPrefix(ctx context.Context, prefix path.Path) iter.Seq2[provstore.Record, error] {
+	return t.tampered(t.inner.ScanLocPrefix(ctx, prefix))
+}
+
+// ScanLocWithAncestors implements Backend.
+func (t *TamperBackend) ScanLocWithAncestors(ctx context.Context, loc path.Path) iter.Seq2[provstore.Record, error] {
+	return t.tampered(t.inner.ScanLocWithAncestors(ctx, loc))
+}
+
+// ScanAll implements Backend.
+func (t *TamperBackend) ScanAll(ctx context.Context) iter.Seq2[provstore.Record, error] {
+	return t.tampered(t.inner.ScanAll(ctx))
+}
+
+// ScanAllAfter implements Backend.
+func (t *TamperBackend) ScanAllAfter(ctx context.Context, tid int64, loc path.Path) iter.Seq2[provstore.Record, error] {
+	return t.tampered(t.inner.ScanAllAfter(ctx, tid, loc))
+}
+
+// Tids implements Backend.
+func (t *TamperBackend) Tids(ctx context.Context) ([]int64, error) { return t.inner.Tids(ctx) }
+
+// MaxTid implements Backend.
+func (t *TamperBackend) MaxTid(ctx context.Context) (int64, error) { return t.inner.MaxTid(ctx) }
+
+// Count implements Backend.
+func (t *TamperBackend) Count(ctx context.Context) (int, error) { return t.inner.Count(ctx) }
+
+// Bytes implements Backend.
+func (t *TamperBackend) Bytes(ctx context.Context) (int64, error) { return t.inner.Bytes(ctx) }
