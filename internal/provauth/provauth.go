@@ -111,9 +111,17 @@ func emptyRoot() Hash { return sha256.Sum256(nil) }
 // A Root is one published tree head: the root hash over the first Size
 // leaves, sealed as of transaction Tid (0 for the empty tree). Clients pin
 // one and advance it only over verified consistency proofs.
+//
+// Only Size and Hash are authenticated: inclusion and consistency proofs
+// bind a root's hash to its leaf count and nothing else. Tid is advisory —
+// a convenience label an honest server stamps from its checkpoint table,
+// which a dishonest one could set to anything. Verifiers must never let a
+// decision rest on Tid alone; the record tids that matter are inside the
+// leaves, covered by Hash. (Binding Tid would take a second commitment
+// over the (tid, size) checkpoint mapping — noted in DESIGN.md §8.)
 type Root struct {
-	Size uint64 // leaves covered (records sealed)
-	Tid  int64  // last sealed transaction id (0 if none)
+	Size uint64 // leaves covered (records sealed); authenticated
+	Tid  int64  // last sealed transaction id (0 if none); advisory, see above
 	Hash Hash
 }
 

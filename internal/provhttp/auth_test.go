@@ -3,10 +3,13 @@ package provhttp_test
 import (
 	"context"
 	"errors"
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/path"
@@ -305,6 +308,182 @@ func TestVerifiedHorizon(t *testing.T) {
 	}
 	if got, err = provstore.CollectScan(cli.ScanAll(ctx)); err != nil || len(got) != 6 {
 		t.Fatalf("after flush: %d records, %v, want 6", len(got), err)
+	}
+}
+
+// lyingProxy fronts an honest daemon and, while armed, rewrites selected
+// requests before forwarding them. This is the lying-server half of the
+// threat model, which TamperBackend (lying beneath the tree) cannot
+// exercise: everything the proxy relays back is legitimately in the log
+// with a valid proof — it just is not the answer to the question the
+// client asked.
+func lyingProxy(t *testing.T, upstream string, armed *atomic.Bool, rewrite func(*http.Request)) *httptest.Server {
+	t.Helper()
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if armed.Load() {
+			rewrite(r)
+		}
+		req, err := http.NewRequestWithContext(r.Context(), r.Method, upstream+r.URL.String(), r.Body)
+		if err != nil {
+			t.Errorf("proxy request: %v", err)
+			return
+		}
+		req.Header = r.Header.Clone()
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Errorf("proxy forward: %v", err)
+			return
+		}
+		defer resp.Body.Close() //nolint:errcheck // loopback teardown
+		for k, vs := range resp.Header {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body) //nolint:errcheck // test proxy
+	}))
+	t.Cleanup(hs.Close)
+	return hs
+}
+
+// serveAuthProxied opens a pinned client whose every request crosses a
+// lyingProxy on the way to an honest authenticated daemon.
+func serveAuthProxied(t *testing.T, armed *atomic.Bool, rewrite func(*http.Request)) *provhttp.Client {
+	t.Helper()
+	auth, err := provauth.New(provstore.NewMemBackend())
+	if err != nil {
+		t.Fatalf("provauth.New: %v", err)
+	}
+	hs := httptest.NewServer(provhttp.NewServer(auth))
+	t.Cleanup(hs.Close)
+	proxy := lyingProxy(t, hs.URL, armed, rewrite)
+	pin := filepath.Join(t.TempDir(), "root.pin")
+	b, err := provstore.OpenDSN("cpdb://" + proxy.Listener.Addr().String() + "?verify=pin&pin=" + provstore.EscapeDSNPath(pin))
+	if err != nil {
+		t.Fatalf("OpenDSN: %v", err)
+	}
+	cli := b.(*provhttp.Client)
+	t.Cleanup(func() { cli.Close() }) //nolint:errcheck // loopback teardown
+	return cli
+}
+
+// TestSubstitutedPointAnswerDetected: a lying server that answers a point
+// lookup with a different record — one genuinely in the log, with a valid
+// inclusion proof — is caught because the client binds the proven record
+// to the key it asked about, not just to the tree.
+func TestSubstitutedPointAnswerDetected(t *testing.T) {
+	ctx := context.Background()
+	var armed atomic.Bool
+	cli := serveAuthProxied(t, &armed, func(r *http.Request) {
+		if r.URL.Path != "/v1/prove" {
+			return
+		}
+		// Answer every question with the validly provable {1, S/b}.
+		q := r.URL.Query()
+		q.Set("tid", "1")
+		q.Set("loc", "S/b")
+		q.Del("ancestor")
+		r.URL.RawQuery = q.Encode()
+	})
+	ingest(t, cli)
+
+	loc := path.MustParse("S/a")
+	if _, ok, err := cli.Lookup(ctx, 1, loc); err != nil || !ok {
+		t.Fatalf("honest Lookup: %v, %v", ok, err)
+	}
+	armed.Store(true)
+	if _, _, err := cli.Lookup(ctx, 1, loc); !errors.Is(err, provauth.ErrVerify) {
+		t.Fatalf("substituted Lookup: %v, want ErrVerify", err)
+	}
+	// {1, S/b} is in the log but is no ancestor of S/a/x/deep: the
+	// ancestor binding (exact tid, strict prefix of the query) rejects it.
+	if _, _, err := cli.NearestAncestor(ctx, 1, path.MustParse("S/a/x/deep")); !errors.Is(err, provauth.ErrVerify) {
+		t.Fatalf("substituted NearestAncestor: %v, want ErrVerify", err)
+	}
+	armed.Store(false)
+	if _, ok, err := cli.Lookup(ctx, 1, loc); err != nil || !ok {
+		t.Fatalf("Lookup after disarm: %v, %v", ok, err)
+	}
+}
+
+// TestPaddedFilteredStreamDetected: a lying server that answers a filtered
+// scan with the whole table — every row in the log, every proof valid —
+// is caught because the client checks each verified record against the
+// filter it requested.
+func TestPaddedFilteredStreamDetected(t *testing.T) {
+	ctx := context.Background()
+	var armed atomic.Bool
+	cli := serveAuthProxied(t, &armed, func(r *http.Request) {
+		// Serve the full proven table for a tid-filtered scan; the server
+		// ignores the stray tid parameter.
+		if r.URL.Path == "/v1/scan/tid" {
+			r.URL.Path = "/v1/scan-all"
+		}
+	})
+	ingest(t, cli)
+
+	got, err := provstore.CollectScan(cli.ScanTid(ctx, 2))
+	if err != nil {
+		t.Fatalf("honest ScanTid: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("honest ScanTid yielded %d records, want 2", len(got))
+	}
+	armed.Store(true)
+	if _, err := provstore.CollectScan(cli.ScanTid(ctx, 2)); !errors.Is(err, provauth.ErrVerify) {
+		t.Fatalf("padded ScanTid: %v, want ErrVerify", err)
+	}
+}
+
+// TestOpenRecordMidStreamDoesNotTruncate: scan orderings other than
+// (Tid, Loc) can interleave an open transaction's records among sealed
+// ones, so a record beyond the snapshot root must be skipped, not treated
+// as a stream cut-off — a cut-off would silently drop sealed records.
+func TestOpenRecordMidStreamDoesNotTruncate(t *testing.T) {
+	ctx := context.Background()
+	cli, _, _ := serveAuth(t, filepath.Join(t.TempDir(), "root.pin"))
+	// Sealed: {1, S/a} and {1, S/b}. Open: {9, S/a/x}, which sorts
+	// between them in the (Loc, Tid) order ScanLocPrefix streams in.
+	if err := cli.Append(ctx, []provstore.Record{
+		rec(1, provstore.OpInsert, "S/a", ""),
+		rec(1, provstore.OpInsert, "S/b", ""),
+	}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := cli.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if err := cli.Append(ctx, []provstore.Record{rec(9, provstore.OpInsert, "S/a/x", "")}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+
+	got, err := provstore.CollectScan(cli.ScanLocPrefix(ctx, path.MustParse("S")))
+	if err != nil {
+		t.Fatalf("ScanLocPrefix: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("verified prefix scan yielded %d records, want both sealed ones", len(got))
+	}
+	for _, r := range got {
+		if r.Tid != 1 {
+			t.Fatalf("unsealed record %v leaked into the verified stream", r)
+		}
+	}
+
+	// Same shape through /v1/query: descending order puts the open record
+	// first, where a cut-off would drop the entire sealed answer.
+	res, err := provplan.Collect(ctx, cli, &provplan.Query{Op: provplan.OpSelect, Desc: true})
+	if err != nil {
+		t.Fatalf("descending query: %v", err)
+	}
+	if len(res.Records) != 2 {
+		t.Fatalf("descending verified query yielded %d records, want 2", len(res.Records))
+	}
+	for _, r := range res.Records {
+		if r.Tid != 1 {
+			t.Fatalf("unsealed record %v leaked into the verified query", r)
+		}
 	}
 }
 

@@ -45,11 +45,15 @@ import (
 // that rewrites or rolls back history can never satisfy the pin again. In
 // this mode Lookup and NearestAncestor travel as /v1/prove round trips and
 // every scan and query asks for proofs=1; each answered record is checked
-// against the response's root, and the root against the pin, before it
-// reaches the caller. Any mismatch fails the call — there is no unverified
-// fallback. Two caveats: absence is not authenticated (a not-found answer
-// carries no proof — the tree has no range proofs), and records of the
-// still-open transaction are invisible to verified reads until a Flush
+// against the response's root, the root against the pin, and the record
+// against the question that was asked (a point answer must carry the
+// requested key, a filtered scan's records must satisfy its filter — an
+// inclusion proof alone would let a server substitute any other record
+// legitimately in the log) before it reaches the caller. Any mismatch
+// fails the call — there is no unverified fallback. Two caveats: absence
+// and completeness are not authenticated (a not-found answer or an omitted
+// record carries no proof — the tree has no range proofs), and records of
+// the still-open transaction are invisible to verified reads until a Flush
 // seals them.
 //
 // The Client also implements provauth.Authority by forwarding to the
@@ -304,10 +308,18 @@ func (c *Client) rootFromHeaders(resp *http.Response, since provauth.Root) (prov
 }
 
 // provePoint is the verified point lookup: one /v1/prove round trip whose
-// answered record must verify against the (pin-checked) response root.
-// Absence is not authenticated — a not-found answer still verifies the
-// root (so a rolled-back server cannot even say "not found" convincingly)
-// but carries no proof of absence.
+// answered record must verify against the (pin-checked) response root AND
+// answer the question that was asked — an inclusion proof only shows the
+// record is somewhere in the log, so without the key check a malicious
+// server could answer any lookup with a different legitimately-logged
+// record and its valid proof. In lookup mode the answer must carry exactly
+// the requested {tid, loc}; in ancestor mode it must be a record of the
+// requested transaction at a strict prefix of loc (the NearestAncestor
+// contract). Absence is not authenticated — a not-found answer still
+// verifies the root (so a rolled-back server cannot even say "not found"
+// convincingly) but carries no proof of absence; likewise nearest-ness:
+// the proof shows the answer is *an* ancestor in the log, not that no
+// longer-prefix ancestor exists.
 func (c *Client) provePoint(ctx context.Context, tid int64, loc path.Path, ancestor bool) (provstore.Record, bool, error) {
 	since, err := c.ensurePin(ctx)
 	if err != nil {
@@ -348,6 +360,13 @@ func (c *Client) provePoint(ctx context.Context, tid int64, loc path.Path, ances
 	if err != nil {
 		return provstore.Record{}, false, err
 	}
+	if ancestor {
+		if rec.Tid != tid || !rec.Loc.IsStrictPrefixOf(loc) {
+			return provstore.Record{}, false, fmt.Errorf("provhttp: prove answered {%d, %s}, not an ancestor of the requested {%d, %s}: %w", rec.Tid, rec.Loc, tid, loc, provauth.ErrVerify)
+		}
+	} else if rec.Tid != tid || !rec.Loc.Equal(loc) {
+		return provstore.Record{}, false, fmt.Errorf("provhttp: prove answered {%d, %s} for the requested {%d, %s}: %w", rec.Tid, rec.Loc, tid, loc, provauth.ErrVerify)
+	}
 	proof, err := decodeProofHex(fr.P)
 	if err != nil {
 		return provstore.Record{}, false, err
@@ -368,8 +387,14 @@ func (c *Client) provePoint(ctx context.Context, tid int64, loc path.Path, ances
 //
 // In verified mode every scan asks for proofs: the response root is checked
 // against the pin, and each record against that root, before it is yielded
-// — an unproven or wrongly proven record fails the stream.
-func (c *Client) scan(ctx context.Context, p string, q url.Values) iter.Seq2[provstore.Record, error] {
+// — an unproven or wrongly proven record fails the stream. A non-nil match
+// is the request's own filter, re-checked client-side: an inclusion proof
+// shows a record is in the log, not that it belongs in *this* answer, so
+// without it a server could pad a filtered stream with arbitrary in-log
+// records. (Completeness is the dual gap and is not provable — the tree
+// has no range proofs — so a verified scan can still omit matching
+// records; it can never smuggle in non-matching or forged ones.)
+func (c *Client) scan(ctx context.Context, p string, q url.Values, match func(provstore.Record) bool) iter.Seq2[provstore.Record, error] {
 	return func(yield func(provstore.Record, error) bool) {
 		var since provauth.Root
 		if c.verify {
@@ -430,6 +455,10 @@ func (c *Client) scan(ctx context.Context, p string, q url.Values) iter.Seq2[pro
 				return
 			}
 			if c.verify {
+				if match != nil && !match(rec) {
+					yield(provstore.Record{}, fmt.Errorf("provhttp: scan %s: record {%d, %s} is outside the requested filter: %w", p, rec.Tid, rec.Loc, provauth.ErrVerify))
+					return
+				}
 				if err := verifyLine(root, rec, line.P); err != nil {
 					yield(provstore.Record{}, fmt.Errorf("provhttp: scan %s: %w", p, err))
 					return
@@ -460,22 +489,26 @@ func verifyLine(root provauth.Root, rec provstore.Record, proofHex string) (err 
 
 // ScanTid implements Backend.
 func (c *Client) ScanTid(ctx context.Context, tid int64) iter.Seq2[provstore.Record, error] {
-	return c.scan(ctx, "/v1/scan/tid", url.Values{"tid": {strconv.FormatInt(tid, 10)}})
+	return c.scan(ctx, "/v1/scan/tid", url.Values{"tid": {strconv.FormatInt(tid, 10)}},
+		func(r provstore.Record) bool { return r.Tid == tid })
 }
 
 // ScanLoc implements Backend.
 func (c *Client) ScanLoc(ctx context.Context, loc path.Path) iter.Seq2[provstore.Record, error] {
-	return c.scan(ctx, "/v1/scan/loc", url.Values{"loc": {loc.String()}})
+	return c.scan(ctx, "/v1/scan/loc", url.Values{"loc": {loc.String()}},
+		func(r provstore.Record) bool { return r.Loc.Equal(loc) })
 }
 
 // ScanLocPrefix implements Backend.
 func (c *Client) ScanLocPrefix(ctx context.Context, prefix path.Path) iter.Seq2[provstore.Record, error] {
-	return c.scan(ctx, "/v1/scan/prefix", url.Values{"prefix": {prefix.String()}})
+	return c.scan(ctx, "/v1/scan/prefix", url.Values{"prefix": {prefix.String()}},
+		func(r provstore.Record) bool { return prefix.IsPrefixOf(r.Loc) })
 }
 
 // ScanLocWithAncestors implements Backend.
 func (c *Client) ScanLocWithAncestors(ctx context.Context, loc path.Path) iter.Seq2[provstore.Record, error] {
-	return c.scan(ctx, "/v1/scan/ancestors", url.Values{"loc": {loc.String()}})
+	return c.scan(ctx, "/v1/scan/ancestors", url.Values{"loc": {loc.String()}},
+		func(r provstore.Record) bool { return r.Loc.IsPrefixOf(loc) })
 }
 
 // ScanAll implements Backend: the server-side whole-table cursor — one
@@ -483,7 +516,7 @@ func (c *Client) ScanLocWithAncestors(ctx context.Context, loc path.Path) iter.S
 // however many transactions it spans (where the pre-cursor client issued
 // one scan round trip per transaction). ScanAllAfter resumes a cursor.
 func (c *Client) ScanAll(ctx context.Context) iter.Seq2[provstore.Record, error] {
-	return c.scan(ctx, "/v1/scan-all", nil)
+	return c.scan(ctx, "/v1/scan-all", nil, nil)
 }
 
 // ScanAllAfter resumes the whole-table cursor strictly after the keyset
@@ -491,10 +524,11 @@ func (c *Client) ScanAll(ctx context.Context) iter.Seq2[provstore.Record, error]
 // was truncated: re-issue from the last key that arrived intact instead of
 // re-streaming the whole table.
 func (c *Client) ScanAllAfter(ctx context.Context, tid int64, loc path.Path) iter.Seq2[provstore.Record, error] {
+	after := provstore.Record{Tid: tid, Loc: loc}
 	return c.scan(ctx, "/v1/scan-all", url.Values{
 		"after_tid": {strconv.FormatInt(tid, 10)},
 		"after_loc": {loc.String()},
-	})
+	}, func(r provstore.Record) bool { return provstore.CompareTidLoc(r, after) > 0 })
 }
 
 // ExecPlan implements provplan.Executor: the whole declarative query ships
@@ -714,7 +748,11 @@ func (c *Client) ConsistencyTids(ctx context.Context, oldTid, newTid int64) (pro
 // form a verifying consumer (a replica applier, the CLI's verify verb)
 // checks record by record. The transport is raw: verification belongs to
 // the consumer, which is exactly what makes a chained daemon work — proofs
-// generated here pass through unreinterpreted.
+// generated here pass through unreinterpreted. That includes the header
+// root itself: it arrives exactly as the server claimed it, so a consumer
+// that wants more than self-consistency must anchor it — pin it, or
+// require it to extend a previously accepted root over a consistency
+// proof, as provrepl's verified appliers do.
 func (c *Client) ScanAllProven(ctx context.Context, afterTid int64, afterLoc path.Path) iter.Seq2[provauth.ProvenRecord, error] {
 	return func(yield func(provauth.ProvenRecord, error) bool) {
 		q := url.Values{"proofs": {"1"}}

@@ -309,8 +309,10 @@ func (ps *proofStamper) prove(ctx context.Context, rec provstore.Record) (string
 // is already on the wire). A non-nil more is consulted for the
 // terminator's "more" flag (keyset pagination: the stream was cut by an
 // explicit limit, resume after the last key). A non-nil stamp adds the "p"
-// proof to every record line; records beyond the stamp root's horizon end
-// the stream complete-as-of-root.
+// proof to every record line; records beyond the stamp root's horizon are
+// skipped — not a cut-off: cursors like ScanLocPrefix are (Loc, Tid)
+// ordered, so an open-transaction record can sit mid-stream with sealed,
+// provable records after it, and the stream stays complete-as-of-root.
 func (s *Server) streamScan(w http.ResponseWriter, r *http.Request, scan iter.Seq2[provstore.Record, error], more func() bool, stamp *proofStamper) {
 	s.stats.cursorsOpen.Add(1)
 	defer s.stats.cursorsOpen.Add(-1)
@@ -332,7 +334,7 @@ func (s *Server) streamScan(w http.ResponseWriter, r *http.Request, scan iter.Se
 		if stamp != nil {
 			p, beyond, perr := stamp.prove(r.Context(), rec)
 			if beyond {
-				break // sealed after the snapshot root: complete as of it
+				continue // not sealed under the snapshot root: skip, later records may be
 			}
 			if perr != nil {
 				if !started {
@@ -530,7 +532,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if stamp != nil && line.R != nil {
 			p, beyond, perr := stamp.prove(r.Context(), row.Rec)
 			if beyond {
-				break // sealed after the snapshot root: complete as of it
+				continue // not sealed under the snapshot root: skip, later rows may be (plans order rows arbitrarily)
 			}
 			if perr != nil {
 				if !started {

@@ -177,19 +177,30 @@ func (b *ReplicatedBackend) applyPass(r *replica) (err error) {
 }
 
 // verifiedScanAfter adapts the primary's proven stream to the plain record
-// stream applyPass consumes: each record's inclusion proof is checked
-// against the primary's snapshot root before the record crosses to a
-// replica. A bad proof fails the pass, so a tampered primary blocks
-// shipping rather than propagating. Only sealed transactions appear in the
-// proven stream, so a verified replica trails the primary by any still-open
-// transaction until Flush seals it.
+// stream applyPass consumes: the stream's root is anchored against the last
+// root a pass shipped under (anchorShipRoot), then each record's inclusion
+// proof is checked against it before the record crosses to a replica. A bad
+// proof or an unanchorable root fails the pass, so a tampered primary
+// blocks shipping rather than propagating. Only sealed transactions appear
+// in the proven stream, so a verified replica trails the primary by any
+// still-open transaction until Flush seals it.
 func (b *ReplicatedBackend) verifiedScanAfter(ctx context.Context, afterTid int64, afterLoc path.Path) iter.Seq2[provstore.Record, error] {
 	auth := b.primary.(provauth.Authority) // checked in New
 	return func(yield func(provstore.Record, error) bool) {
+		var root provauth.Root
+		anchored := false
 		for pr, err := range auth.ScanAllProven(ctx, afterTid, afterLoc) {
 			if err != nil {
 				yield(provstore.Record{}, err)
 				return
+			}
+			if !anchored || pr.Root != root {
+				if aerr := b.anchorShipRoot(ctx, auth, pr.Root); aerr != nil {
+					b.verifyFailures.Add(1)
+					yield(provstore.Record{}, aerr)
+					return
+				}
+				root, anchored = pr.Root, true
 			}
 			if verr := pr.Verify(); verr != nil {
 				b.verifyFailures.Add(1)
@@ -202,6 +213,42 @@ func (b *ReplicatedBackend) verifiedScanAfter(ctx context.Context, afterTid int6
 			}
 		}
 	}
+}
+
+// anchorShipRoot admits one pass's claimed root: the first root seen is
+// trusted (the handle-lifetime analogue of a pinned client's
+// trust-on-first-use), and every later root must extend the last accepted
+// one over a consistency proof fetched from — but verified against — the
+// primary. Without this, verified shipping from a remote primary would only
+// check each pass's self-consistency: a primary that rewrote history and
+// honestly re-proved everything against its regenerated tree would still
+// ship cleanly. The consistency proof is what a rewritten tree cannot
+// produce.
+func (b *ReplicatedBackend) anchorShipRoot(ctx context.Context, auth provauth.Authority, root provauth.Root) error {
+	b.shipRootMu.Lock()
+	defer b.shipRootMu.Unlock()
+	if !b.shipRootOk {
+		b.shipRoot, b.shipRootOk = root, true
+		return nil
+	}
+	last := b.shipRoot
+	if root == last {
+		return nil
+	}
+	var audit []provauth.Hash
+	if root.Size > last.Size {
+		var err error
+		if audit, err = auth.Consistency(ctx, last.Size, root.Size); err != nil {
+			return fmt.Errorf("provrepl: fetching consistency %d -> %d for the ship-root anchor: %w", last.Size, root.Size, err)
+		}
+	}
+	if err := provauth.VerifyConsistency(last, root, audit); err != nil {
+		return fmt.Errorf("provrepl: primary root %v does not extend the last shipped root %v: %w", root, last, err)
+	}
+	if root.Size > last.Size {
+		b.shipRoot = root
+	}
+	return nil
 }
 
 // recoverHighWater computes the replica's high-water {Tid, Loc} mark from

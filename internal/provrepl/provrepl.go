@@ -99,12 +99,16 @@ type Options struct {
 	// Verify makes the appliers ship over the primary's authenticated
 	// stream: every record crossing to a replica carries a Merkle inclusion
 	// proof, checked against the primary's signed-off root before the
-	// replica sees it. Requires a primary that implements
-	// provauth.Authority (open it via verified://). A proof failure fails
-	// the pass — the applier goes unhealthy and retries — so a tampered
-	// primary blocks shipping instead of propagating to replicas. Only
-	// sealed transactions appear in the proven stream, so verified replicas
-	// trail the primary by any still-open transaction until Flush.
+	// replica sees it, and each pass's root is anchored — the first root is
+	// trusted (for the handle's lifetime), every later one must extend it
+	// over a verified consistency proof, so a primary that rewrites history
+	// and regenerates its tree cannot re-prove the lie past the anchor.
+	// Requires a primary that implements provauth.Authority (open it via
+	// verified://). A proof or anchor failure fails the pass — the applier
+	// goes unhealthy and retries — so a tampered primary blocks shipping
+	// instead of propagating to replicas. Only sealed transactions appear
+	// in the proven stream, so verified replicas trail the primary by any
+	// still-open transaction until Flush.
 	Verify bool
 }
 
@@ -146,7 +150,17 @@ type ReplicatedBackend struct {
 	rr          atomic.Uint64
 
 	verifiedRecs   atomic.Int64 // records shipped with a verified proof (Verify mode)
-	verifyFailures atomic.Int64 // proof checks that failed during shipping (Verify mode)
+	verifyFailures atomic.Int64 // proof/root checks that failed during shipping (Verify mode)
+
+	// shipRoot is the last primary root a verified pass shipped under,
+	// trusted on first use and advanced only over verified consistency
+	// proofs — the anchor that stops a primary (in particular a remote
+	// cpdb:// one, whose roots arrive as unauthenticated claims) from
+	// rewriting history between passes and re-proving everything against
+	// the rewritten tree. Guarded by shipRootMu; shared by all appliers.
+	shipRootMu sync.Mutex
+	shipRoot   provauth.Root
+	shipRootOk bool
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -619,7 +633,8 @@ func (b *ReplicatedBackend) Close() error {
 // With Options.Verify on, two more gauges track the authenticated stream:
 //
 //	repl.verified_recs     records shipped after their inclusion proof checked out
-//	repl.verify_failures   proof checks that failed (shipping stalls while non-zero)
+//	repl.verify_failures   proof or root-anchor checks that failed (shipping
+//	                       stalls while non-zero)
 func (b *ReplicatedBackend) Gauges() map[string]int64 {
 	shippedTid := b.shippedTid.Load()
 	out := map[string]int64{

@@ -2,12 +2,15 @@ package provrepl
 
 import (
 	"context"
+	"iter"
 	"net/url"
 	"reflect"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"repro/internal/path"
 	"repro/internal/provauth"
 	"repro/internal/provstore"
 	"repro/internal/provtest"
@@ -156,6 +159,109 @@ func TestVerifiedShippingBlocksTamper(t *testing.T) {
 	// Disarm: the retry loop repairs itself and shipping resumes.
 	tamper.Arm(false)
 	waitRecs(t, rep, 6)
+}
+
+// swapAuth is a primary whose Authority can be swapped out from under the
+// appliers — the stand-in for a remote primary that rewrote history and
+// rebuilt its tree. Everything the swapped-in authority serves is
+// internally consistent: valid proofs against its own root. Only the
+// root-anchor consistency check can tell it is not the same log.
+type swapAuth struct {
+	provstore.Backend
+	cur atomic.Pointer[provauth.AuthBackend]
+}
+
+func newSwapAuth(a *provauth.AuthBackend) *swapAuth {
+	s := &swapAuth{Backend: a}
+	s.cur.Store(a)
+	return s
+}
+
+// Flush must forward explicitly: the embedded Backend interface hides the
+// optional Flusher surface.
+func (s *swapAuth) Flush() error { return s.cur.Load().Flush() }
+
+func (s *swapAuth) Root(ctx context.Context) (provauth.Root, error) {
+	return s.cur.Load().Root(ctx)
+}
+
+func (s *swapAuth) RootAt(ctx context.Context, tid int64) (provauth.Root, error) {
+	return s.cur.Load().RootAt(ctx, tid)
+}
+
+func (s *swapAuth) Prove(ctx context.Context, tid int64, loc path.Path) (provauth.Proof, provauth.Root, error) {
+	return s.cur.Load().Prove(ctx, tid, loc)
+}
+
+func (s *swapAuth) ProveAt(ctx context.Context, tid int64, loc path.Path, atSize uint64) (provauth.Proof, error) {
+	return s.cur.Load().ProveAt(ctx, tid, loc, atSize)
+}
+
+func (s *swapAuth) Consistency(ctx context.Context, oldSize, newSize uint64) ([]provauth.Hash, error) {
+	return s.cur.Load().Consistency(ctx, oldSize, newSize)
+}
+
+func (s *swapAuth) ConsistencyTids(ctx context.Context, oldTid, newTid int64) (provauth.ConsistencyProof, error) {
+	return s.cur.Load().ConsistencyTids(ctx, oldTid, newTid)
+}
+
+func (s *swapAuth) ScanAllProven(ctx context.Context, afterTid int64, afterLoc path.Path) iter.Seq2[provauth.ProvenRecord, error] {
+	return s.cur.Load().ScanAllProven(ctx, afterTid, afterLoc)
+}
+
+// TestRewrittenPrimaryBlocksShipping: a primary that rewrote history and
+// honestly re-proved everything against its regenerated tree passes every
+// per-record check — but its root cannot extend the root the first
+// verified pass anchored, so shipping stalls instead of propagating the
+// rewrite. This is what separates the ship-root anchor from per-pass
+// self-consistency.
+func TestRewrittenPrimaryBlocksShipping(t *testing.T) {
+	ctx := context.Background()
+	honest := mustAuth(t, provstore.NewMemBackend())
+	primary := newSwapAuth(honest)
+	rep := provstore.NewMemBackend()
+	b := mustNew(t, primary, []provstore.Backend{rep}, Options{Verify: true})
+	defer b.Close()
+	if err := b.Append(ctx, tidBatch(1, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	waitRecs(t, rep, 3) // the first verified pass anchors honest's root
+
+	// The rewrite: same transaction shape, one record's history changed,
+	// plus a fresh sealed tid 2 — its own tree, larger and internally
+	// consistent, proving every record it serves.
+	rewritten := mustAuth(t, provstore.NewMemBackend())
+	recs := tidBatch(1, 3)
+	recs[0].Op = provstore.OpDelete // history differs by one byte
+	if err := rewritten.Append(ctx, recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := rewritten.Append(ctx, tidBatch(2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := rewritten.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	primary.cur.Store(rewritten)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for b.Gauges()["repl.verify_failures"] == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("repl.verify_failures never rose against a rewritten primary")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Nothing from the rewritten tree crossed to the replica.
+	got, want := collectAll(t, rep), collectAll(t, honest)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("replica diverged under a rewritten primary:\n got %+v\nwant %+v", got, want)
+	}
+	if b.replicas[0].healthy.Load() {
+		t.Error("replica still marked healthy while shipping is blocked")
+	}
 }
 
 // TestVerifyDSN: the composite driver's verify=1 plumbs through to Options
