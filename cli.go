@@ -8,6 +8,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/figures"
 	"repro/internal/provauth"
@@ -58,6 +59,10 @@ type CLIConfig struct {
 	// Merkle root, "prove TID LOC" fetches and checks one inclusion
 	// proof, and "verify" re-checks every stored record against the root.
 	Queries StringList
+	// Analyze turns every "plan" query into EXPLAIN ANALYZE: per-operator
+	// rows-in/rows-out/time print after the result. A single query opts in
+	// with "plan -analyze QUERY".
+	Analyze bool
 	// Dump prints the provenance table and final target tree.
 	Dump bool
 }
@@ -158,7 +163,7 @@ func RunCLI(cfg CLIConfig, w io.Writer) error {
 	}
 
 	for _, q := range cfg.Queries {
-		if err := runQuery(s, q, w); err != nil {
+		if err := runQuery(s, q, w, cfg.Analyze); err != nil {
 			return err
 		}
 	}
@@ -187,7 +192,7 @@ func RunCLI(cfg CLIConfig, w io.Writer) error {
 	return nil
 }
 
-func runQuery(s *Session, q string, w io.Writer) error {
+func runQuery(s *Session, q string, w io.Writer, analyze bool) error {
 	kind, rest, ok := strings.Cut(strings.TrimSpace(q), " ")
 	switch strings.ToLower(kind) {
 	case "root", "prove", "verify":
@@ -197,7 +202,7 @@ func runQuery(s *Session, q string, w io.Writer) error {
 		return fmt.Errorf("cpdb: query %q is not 'src|hist|mod|trace PATH', 'plan QUERY', 'root', 'prove TID LOC' or 'verify'", q)
 	}
 	if strings.EqualFold(kind, "plan") {
-		return runPlan(s, rest, w)
+		return runPlan(s, rest, w, analyze)
 	}
 	p, err := ParsePath(strings.TrimSpace(rest))
 	if err != nil {
@@ -245,11 +250,22 @@ func runQuery(s *Session, q string, w io.Writer) error {
 }
 
 // runPlan parses, runs and prints one declarative plan query. Against a
-// cpdb:// backend the whole query is one round trip to the daemon.
-func runPlan(s *Session, text string, w io.Writer) error {
+// cpdb:// backend the whole query is one round trip to the daemon — with
+// analyze on, the per-operator stats ride back as the result stream's
+// trailer row, so it is still exactly one round trip.
+func runPlan(s *Session, text string, w io.Writer, analyze bool) error {
+	text = strings.TrimSpace(text)
+	if rest, ok := strings.CutPrefix(text, "-analyze "); ok {
+		analyze, text = true, rest
+	}
 	pq, err := ParsePlanQuery(text)
 	if err != nil {
 		return err
+	}
+	if analyze {
+		cp := *pq
+		cp.Analyze = true
+		pq = &cp
 	}
 	res, err := s.Query().PlanQuery(pq)
 	if err != nil {
@@ -280,6 +296,12 @@ func runPlan(s *Session, text string, w io.Writer) error {
 			fmt.Fprintf(w, "  %s\n", r)
 		}
 		fmt.Fprintf(w, "  (%d records)\n", len(res.Records))
+	}
+	if res.Analysis != nil {
+		fmt.Fprintf(w, "  analyze: %d records scanned\n", res.Analysis.Scanned)
+		for _, op := range res.Analysis.Ops {
+			fmt.Fprintf(w, "  op=%s in=%d out=%d time=%s\n", op.Op, op.In, op.Out, time.Duration(op.NS))
+		}
 	}
 	return nil
 }

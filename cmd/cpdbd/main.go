@@ -21,11 +21,20 @@
 //
 //	cpdb -demo -backend cpdb://127.0.0.1:7070 -query "plan select where loc>=T/c2 and op=C"
 //
-// It exposes expvar-style counters at
-// /v1/stats and a readiness probe at /v1/ping, and shuts down gracefully on
-// SIGINT/SIGTERM: the listener stops accepting, in-flight requests drain
-// (bounded by -shutdown-timeout), and the store's group-commit buffers are
-// flushed and its files released before exit.
+// Observability: expvar-style counters at /v1/stats, Prometheus text
+// exposition at GET /metrics (per-endpoint request and latency histograms,
+// stream sizes, and the repl.*/auth.* gauges of whatever chain -backend
+// names), a readiness probe at /v1/ping, and one structured log line per
+// request carrying the client-stamped X-Cpdb-Trace-Id — the same id a
+// failing client sees in its error, so one grep correlates both sides.
+// -slow-query logs the parsed query text of /v1/query requests over the
+// threshold; -pprof mounts the net/http/pprof handlers under /debug/pprof/.
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: the listener stops
+// accepting, in-flight requests drain (bounded by -shutdown-timeout), and
+// the store's group-commit buffers are flushed and its files released
+// before exit. The final stats dump asserts cursors_open is 0 — anything
+// else means a scan stream leaked past the drain.
 //
 // Because the cpdb:// driver itself is linked in, -backend may name another
 // daemon (cpdb://other:7070), chaining services — useful for fronting a
@@ -53,17 +62,18 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
-	"sort"
-	"strings"
 	"syscall"
 	"time"
 
 	_ "repro/internal/provauth" // registers the verified:// backend driver
 	"repro/internal/provhttp"
+	"repro/internal/provobs"
 	_ "repro/internal/provrepl" // registers the replicated:// backend driver
 	"repro/internal/provstore"
 	_ "repro/internal/relprov" // registers the rel:// backend driver
@@ -74,21 +84,40 @@ func main() {
 		addr            = flag.String("addr", "127.0.0.1:7070", "listen address (host:port)")
 		backendDSN      = flag.String("backend", "mem://", `provenance store DSN to serve, e.g. "mem://?shards=8" or "rel://prov.db?create=1&durable=1"`)
 		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "how long to drain in-flight requests at shutdown")
+		slowQuery       = flag.Duration("slow-query", 0, "log the query text of /v1/query requests slower than this (0 = off)")
+		pprofOn         = flag.Bool("pprof", false, "serve net/http/pprof profiles under /debug/pprof/")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *backendDSN, *shutdownTimeout); err != nil {
+	if err := run(*addr, *backendDSN, *shutdownTimeout, *slowQuery, *pprofOn); err != nil {
 		fmt.Fprintln(os.Stderr, "cpdbd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, backendDSN string, shutdownTimeout time.Duration) error {
+func run(addr, backendDSN string, shutdownTimeout, slowQuery time.Duration, pprofOn bool) error {
 	backend, err := provstore.OpenDSN(backendDSN)
 	if err != nil {
 		return err
 	}
-	srv := provhttp.NewServer(backend)
+	srv := provhttp.NewServer(backend,
+		provhttp.WithRequestLog(slog.New(slog.NewTextHandler(os.Stderr, nil))),
+		provhttp.WithSlowQuery(slowQuery),
+	)
+
+	var handler http.Handler = srv
+	if pprofOn {
+		// The profiling surface stays off the service mux: it only exists
+		// when asked for, under its standard prefix.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", srv)
+		handler = mux
+	}
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -96,8 +125,11 @@ func run(addr, backendDSN string, shutdownTimeout time.Duration) error {
 		return err
 	}
 	log.Printf("cpdbd: serving %s at cpdb://%s", backendDSN, ln.Addr())
+	if pprofOn {
+		log.Printf("cpdbd: pprof at http://%s/debug/pprof/", ln.Addr())
+	}
 
-	hs := &http.Server{Handler: srv}
+	hs := &http.Server{Handler: handler}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 
@@ -127,30 +159,27 @@ func run(addr, backendDSN string, shutdownTimeout time.Duration) error {
 	if err := provstore.Close(backend); err != nil {
 		return fmt.Errorf("flushing store at shutdown: %w", err)
 	}
-	logStats(srv.Stats())
+	stats := srv.Stats()
+	logStats(stats)
+	// After a full drain every scan stream must have finished; a cursor
+	// still open names a leak, not traffic.
+	if n := stats["cursors_open"]; n != 0 {
+		log.Printf("cpdbd: WARNING: gauge cursors_open=%d after drain — a scan stream leaked", n)
+	}
 	log.Printf("cpdbd: store flushed and closed")
 	return nil
 }
 
-// logStats prints the final counter snapshot in a stable order. Zero
-// counters are elided except the cursor rows — cursors_open is the leak
-// gauge (anything but 0 at shutdown means a scan stream never finished),
+// logStats prints the final counter snapshot in a stable order — the same
+// elision rules /v1/stats consumers rely on (see provobs.DumpLines): zero
+// counters drop except the cursor rows — cursors_open is the leak gauge,
 // and endpoint.scan/all records whether clients used the streaming
-// whole-table cursor — and the repl.* replication gauges, where zero is
-// exactly the interesting value (repl.lag.<i>=0 at shutdown means every
-// replica drained; a non-zero value names the replica left behind). The
-// auth.* gauges of a verified:// store print the same way:
-// auth.verify_failures=0 at shutdown means no proof request ever named a
-// record outside the log.
+// whole-table cursor — and the repl.*/auth.* gauges, where zero is exactly
+// the interesting value (repl.lag.<i>=0 at shutdown means every replica
+// drained; auth.verify_failures=0 means no proof request ever named a
+// record outside the log).
 func logStats(stats map[string]int64) {
-	keys := make([]string, 0, len(stats))
-	for k := range stats {
-		if stats[k] != 0 || k == "cursors_open" || k == "endpoint.scan/all" || strings.HasPrefix(k, "repl.") || strings.HasPrefix(k, "auth.") {
-			keys = append(keys, k)
-		}
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		log.Printf("cpdbd: stat %s=%d", k, stats[k])
+	for _, line := range provobs.DumpLines(stats) {
+		log.Printf("cpdbd: stat %s", line)
 	}
 }

@@ -81,6 +81,16 @@
 //	res, err  = s.Plan("trace MyDB/ABC1/entry asof 3")
 //	for row, err := range s.Query().PlanRows("select where loc>=MyDB") { … }
 //
+// Setting PlanQuery.Analyze (or the CLI's "plan -analyze QUERY") turns a
+// plan run into EXPLAIN ANALYZE: every operator reports rows in, rows out
+// and wall time in Result.Analysis, and on a cpdb:// store the analysis
+// rides back as the result stream's trailer row — still one round trip.
+// The deployment is observable end to end: the daemon serves Prometheus
+// metrics at GET /metrics (per-endpoint latency histograms, backend-chain
+// gauges, internal/provobs), logs one structured line per request under
+// the client-stamped X-Cpdb-Trace-Id — the same id a failing client's
+// error prints — and dumps its counters on SIGTERM (DESIGN.md §9).
+//
 // Records rides the store's streaming scan path end to end: every backend
 // scan is a pull-based cursor (iter.Seq2[Record, error]), so a full-table
 // drain never materializes the relation — file-backed and remote stores

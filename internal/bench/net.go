@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/path"
 	"repro/internal/provhttp"
+	"repro/internal/provobs"
 	"repro/internal/provstore"
 )
 
@@ -126,38 +127,50 @@ func NetSweep(rc RunConfig) ([]*Table, error) {
 		}},
 	}
 
-	measure := func(b provstore.Backend, run func(provstore.Backend, int) error) (time.Duration, error) {
+	// Each iteration lands in a log-bucketed histogram, so alongside the
+	// mean the table reports tail latency — the loopback path's p99 is
+	// where scheduler hiccups and TCP flushes show, and a mean alone would
+	// hide them.
+	measure := func(b provstore.Backend, run func(provstore.Backend, int) error) (time.Duration, *provobs.Histogram, error) {
+		h := provobs.NewHistogram()
 		start := time.Now()
 		for i := 0; i < cfg.Iters; i++ {
+			iterStart := time.Now()
 			if err := run(b, i); err != nil {
-				return 0, err
+				return 0, nil, err
 			}
+			h.Observe(time.Since(iterStart).Nanoseconds())
 		}
-		return time.Since(start) / time.Duration(cfg.Iters), nil
+		return time.Since(start) / time.Duration(cfg.Iters), h, nil
 	}
 
 	t := &Table{
 		ID:    "net",
 		Title: fmt.Sprintf("Per-operation latency, in-process mem:// vs loopback cpdb:// (%d iterations)", cfg.Iters),
 	}
-	t.Header = []string{"operation", "rows/op", "mem µs/op", "cpdb µs/op", "network multiple"}
+	t.Header = []string{"operation", "rows/op", "mem µs/op", "cpdb µs/op", "cpdb p50 µs", "cpdb p95 µs", "cpdb p99 µs", "network multiple"}
 	for _, op := range ops {
-		dm, err := measure(mem, op.run)
+		dm, _, err := measure(mem, op.run)
 		if err != nil {
 			return nil, fmt.Errorf("bench: net %s (mem): %w", op.name, err)
 		}
-		dn, err := measure(remote, op.run)
+		dn, hn, err := measure(remote, op.run)
 		if err != nil {
 			return nil, fmt.Errorf("bench: net %s (cpdb): %w", op.name, err)
 		}
 		if dm <= 0 {
 			dm = time.Nanosecond
 		}
+		sn := hn.Snapshot()
 		t.AddRow(op.name, fmt.Sprint(op.rows), us(dm), us(dn),
+			us(time.Duration(sn.Quantile(0.50))),
+			us(time.Duration(sn.Quantile(0.95))),
+			us(time.Duration(sn.Quantile(0.99))),
 			fmt.Sprintf("%.0fx", float64(dn)/float64(dm)))
 	}
 	t.Note("real wall-clock loopback HTTP round trips — the deployed counterpart of the virtual-time Figure 9/10 cost model (netsim prices round trips; this measures them)")
 	t.Note("one round trip per Backend method: Append ships its batch in one POST, scans stream back as NDJSON")
+	t.Note("percentiles from a provobs log-bucketed histogram (8 sub-buckets per octave): each reported value is the bucket upper bound, within about 9 percent above the true quantile")
 
 	st, err := streamTable(cfg, mem, remote)
 	if err != nil {

@@ -10,8 +10,10 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/path"
+	"repro/internal/provobs"
 	"repro/internal/provstore"
 )
 
@@ -74,6 +76,9 @@ type AuthBackend struct {
 
 	proofsServed   atomic.Int64
 	verifyFailures atomic.Int64
+
+	obs      *provobs.Registry
+	proveDur *provobs.Histogram
 }
 
 var (
@@ -90,7 +95,9 @@ var (
 // recomputes the same roots the original process published, checkpoint per
 // transaction. Everything already in the store is sealed.
 func New(inner provstore.Backend) (*AuthBackend, error) {
-	a := &AuthBackend{inner: inner, leaf: make(map[string]uint64)}
+	a := &AuthBackend{inner: inner, leaf: make(map[string]uint64), obs: provobs.NewRegistry()}
+	a.proveDur = a.obs.Histogram("cpdb_auth_prove_duration_seconds",
+		"Time to build one inclusion proof (lock wait included).", provobs.UnitSeconds)
 	for rec, err := range inner.ScanAll(context.Background()) {
 		if err != nil {
 			return nil, fmt.Errorf("provauth: rebuilding tree from store: %w", err)
@@ -284,6 +291,12 @@ func (a *AuthBackend) Gauges() map[string]int64 {
 	return out
 }
 
+// ObsRegistries implements provobs.Source: this layer's metrics (prove
+// latency) plus whatever the wrapped store exposes.
+func (a *AuthBackend) ObsRegistries() []*provobs.Registry {
+	return append([]*provobs.Registry{a.obs}, provobs.SourceRegistries(a.inner)...)
+}
+
 // --- the Authority surface -----------------------------------------------------
 
 // Root implements Authority.
@@ -327,21 +340,26 @@ func (a *AuthBackend) proveLocked(tid int64, loc path.Path, atSize uint64) (Proo
 
 // Prove implements Authority.
 func (a *AuthBackend) Prove(ctx context.Context, tid int64, loc path.Path) (Proof, Root, error) {
+	start := time.Now()
 	a.mu.RLock()
 	defer a.mu.RUnlock()
 	root := a.rootLocked()
 	p, err := a.proveLocked(tid, loc, root.Size)
+	a.proveDur.Observe(time.Since(start).Nanoseconds())
 	return p, root, err
 }
 
 // ProveAt implements Authority.
 func (a *AuthBackend) ProveAt(ctx context.Context, tid int64, loc path.Path, atSize uint64) (Proof, error) {
+	start := time.Now()
 	a.mu.RLock()
 	defer a.mu.RUnlock()
 	if atSize > a.tree.size() {
 		return Proof{}, fmt.Errorf("provauth: no root at %d leaves (tree holds %d)", atSize, a.tree.size())
 	}
-	return a.proveLocked(tid, loc, atSize)
+	p, err := a.proveLocked(tid, loc, atSize)
+	a.proveDur.Observe(time.Since(start).Nanoseconds())
+	return p, err
 }
 
 // Consistency implements Authority.

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/path"
 	"repro/internal/provauth"
+	"repro/internal/provobs"
 	"repro/internal/provplan"
 	"repro/internal/provstore"
 )
@@ -124,7 +125,12 @@ func (c *Client) Addr() string { return c.base[len("http://"):] }
 // --- one round trip per Backend method --------------------------------------
 
 // do issues one request and fails on any non-expected status, restoring
-// typed store errors from the response body.
+// typed store errors from the response body. Every round trip is stamped
+// with a trace id — the context's, when the caller (a daemon relaying a
+// traced request down a backend chain) already carries one, else a fresh
+// one — and errors name that id, matching the server's request log line.
+// Context cancellation and typed store errors pass through bare: callers
+// match on them.
 func (c *Client) do(ctx context.Context, method, p string, q url.Values, body io.Reader, want int) (*http.Response, error) {
 	u := c.base + p
 	if len(q) > 0 {
@@ -134,6 +140,11 @@ func (c *Client) do(ctx context.Context, method, p string, q url.Values, body io
 	if err != nil {
 		return nil, err
 	}
+	trace := provobs.TraceID(ctx)
+	if trace == "" {
+		trace = provobs.NewTraceID()
+	}
+	req.Header.Set(headerTraceID, trace)
 	if body != nil {
 		req.Header.Set("Content-Type", "application/x-ndjson")
 	}
@@ -142,7 +153,7 @@ func (c *Client) do(ctx context.Context, method, p string, q url.Values, body io
 		if cerr := ctx.Err(); cerr != nil {
 			return nil, cerr
 		}
-		return nil, fmt.Errorf("provhttp: %s %s: %w", method, p, err)
+		return nil, fmt.Errorf("provhttp: %s %s [trace %s]: %w", method, p, trace, err)
 	}
 	if resp.StatusCode != want {
 		defer resp.Body.Close()

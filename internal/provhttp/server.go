@@ -7,12 +7,14 @@ import (
 	"fmt"
 	"io"
 	"iter"
+	"log/slog"
 	"net/http"
 	"strconv"
-	"sync/atomic"
+	"time"
 
 	"repro/internal/path"
 	"repro/internal/provauth"
+	"repro/internal/provobs"
 	"repro/internal/provplan"
 	"repro/internal/provstore"
 )
@@ -36,23 +38,48 @@ const streamFlushEvery = 256
 // store belongs to the daemon's shutdown step, after the listener has
 // drained — other clients may still be writing.
 type Server struct {
-	inner provstore.Backend
-	auth  provauth.Authority // nil unless inner is an authenticated store
-	mux   *http.ServeMux
-	stats serverStats
+	inner     provstore.Backend
+	auth      provauth.Authority // nil unless inner is an authenticated store
+	mux       *http.ServeMux
+	stats     serverStats
+	log       *slog.Logger  // nil: no request log
+	slowQuery time.Duration // 0: no slow-query logging
 }
 
-// serverStats holds expvar-style monotonic counters, plus the one gauge:
-// cursorsOpen counts scan streams currently being written (a scan cursor
-// held open by a slow or stalled client shows up here, and a non-zero value
-// at shutdown means a cursor leaked).
+// A ServerOption configures a Server at construction.
+type ServerOption func(*Server)
+
+// WithRequestLog makes the server emit one structured log line per request:
+// endpoint, trace id, status, records, bytes, duration, and the error for
+// failed requests.
+func WithRequestLog(log *slog.Logger) ServerOption {
+	return func(s *Server) { s.log = log }
+}
+
+// WithSlowQuery sets the threshold above which a /v1/query request is logged
+// at warning level with its parsed query text. Needs WithRequestLog.
+func WithSlowQuery(d time.Duration) ServerOption {
+	return func(s *Server) { s.slowQuery = d }
+}
+
+// serverStats holds the server's provobs metrics. Every counter and gauge
+// doubles, via its stat key, as one entry of the legacy /v1/stats map, so
+// that JSON stays byte-compatible with what it was before the typed
+// registry existed; the histograms (per-endpoint latency, per-stream record
+// counts) are new and only appear in the /metrics exposition. cursorsOpen
+// counts scan streams currently being written — a cursor held open by a
+// stalled client shows up here, and a non-zero value at shutdown means a
+// cursor leaked.
 type serverStats struct {
-	requests        atomic.Int64
-	errors          atomic.Int64
-	recordsAppended atomic.Int64
-	recordsStreamed atomic.Int64
-	cursorsOpen     atomic.Int64
-	byEndpoint      map[string]*atomic.Int64 // fixed key set, values atomic
+	reg             *provobs.Registry
+	requests        *provobs.Counter
+	errors          *provobs.Counter
+	recordsAppended *provobs.Counter
+	recordsStreamed *provobs.Counter
+	cursorsOpen     *provobs.Gauge
+	byEndpoint      map[string]*provobs.Counter
+	latency         map[string]*provobs.Histogram // request wall time, ns
+	streamed        map[string]*provobs.Histogram // records per stream response
 }
 
 // endpoints is the fixed counter key set (one per Backend method + control).
@@ -65,39 +92,80 @@ var endpoints = []string{
 	"flush", "ping", "stats",
 }
 
+// streamEndpoints are the endpoints that answer with a record stream; each
+// gets a records-per-response size histogram on top of its latency one.
+var streamEndpoints = []string{
+	"scan/tid", "scan/loc", "scan/prefix", "scan/ancestors", "scan/all", "query",
+}
+
 // NewServer returns a handler publishing inner. Compose the inner backend
 // however the deployment needs it — provstore.OpenDSN("mem://?shards=8"),
 // "rel://prov.db?durable=1", a sharded composite — the server is agnostic.
-func NewServer(inner provstore.Backend) *Server {
+func NewServer(inner provstore.Backend, opts ...ServerOption) *Server {
 	auth, _ := inner.(provauth.Authority)
+	reg := provobs.NewRegistry()
 	s := &Server{
 		inner: inner,
 		auth:  auth,
 		mux:   http.NewServeMux(),
-		stats: serverStats{byEndpoint: make(map[string]*atomic.Int64, len(endpoints))},
+		stats: serverStats{
+			reg: reg,
+			requests: reg.Counter("cpdb_http_requests_total",
+				"HTTP requests received.", provobs.WithStatKey("requests")),
+			errors: reg.Counter("cpdb_http_errors_total",
+				"Requests answered with an error status or in-stream error line.",
+				provobs.WithStatKey("errors")),
+			recordsAppended: reg.Counter("cpdb_http_records_appended_total",
+				"Records accepted by /v1/append.", provobs.WithStatKey("records_appended")),
+			recordsStreamed: reg.Counter("cpdb_http_records_streamed_total",
+				"Records and rows streamed to clients.", provobs.WithStatKey("records_streamed")),
+			cursorsOpen: reg.Gauge("cpdb_http_cursors_open",
+				"Scan and query streams currently being written.",
+				provobs.WithStatKey("cursors_open")),
+			byEndpoint: make(map[string]*provobs.Counter, len(endpoints)),
+			latency:    make(map[string]*provobs.Histogram, len(endpoints)),
+			streamed:   make(map[string]*provobs.Histogram, len(streamEndpoints)),
+		},
 	}
 	for _, e := range endpoints {
-		s.stats.byEndpoint[e] = new(atomic.Int64)
+		s.stats.byEndpoint[e] = reg.Counter("cpdb_http_endpoint_requests_total",
+			"HTTP requests by endpoint.",
+			provobs.WithLabel("endpoint", e), provobs.WithStatKey("endpoint."+e))
+		s.stats.latency[e] = reg.Histogram("cpdb_http_request_duration_seconds",
+			"Request wall time by endpoint.", provobs.UnitSeconds,
+			provobs.WithLabel("endpoint", e))
 	}
-	s.mux.HandleFunc("POST /v1/append", s.handleAppend)
-	s.mux.HandleFunc("GET /v1/lookup", s.pointHandler("lookup", s.inner.Lookup))
-	s.mux.HandleFunc("GET /v1/ancestor", s.pointHandler("ancestor", s.inner.NearestAncestor))
-	s.mux.HandleFunc("GET /v1/scan/tid", s.handleScanTid)
-	s.mux.HandleFunc("GET /v1/scan/loc", s.scanHandler("scan/loc", "loc", s.inner.ScanLoc))
-	s.mux.HandleFunc("GET /v1/scan/prefix", s.scanHandler("scan/prefix", "prefix", s.inner.ScanLocPrefix))
-	s.mux.HandleFunc("GET /v1/scan/ancestors", s.scanHandler("scan/ancestors", "loc", s.inner.ScanLocWithAncestors))
-	s.mux.HandleFunc("GET /v1/scan-all", s.handleScanAll)
-	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
-	s.mux.HandleFunc("GET /v1/root", s.handleRoot)
-	s.mux.HandleFunc("GET /v1/prove", s.handleProve)
-	s.mux.HandleFunc("GET /v1/consistency", s.handleConsistency)
-	s.mux.HandleFunc("GET /v1/tids", s.handleTids)
-	s.mux.HandleFunc("GET /v1/maxtid", s.handleMaxTid)
-	s.mux.HandleFunc("GET /v1/count", s.handleCount)
-	s.mux.HandleFunc("GET /v1/bytes", s.handleBytes)
-	s.mux.HandleFunc("POST /v1/flush", s.handleFlush)
-	s.mux.HandleFunc("GET /v1/ping", s.handlePing)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	for _, e := range streamEndpoints {
+		s.stats.streamed[e] = reg.Histogram("cpdb_http_stream_records",
+			"Records streamed per scan or query response.", provobs.UnitCount,
+			provobs.WithLabel("endpoint", e))
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	s.handle("POST /v1/append", "append", s.handleAppend)
+	s.handle("GET /v1/lookup", "lookup", s.pointHandler(s.inner.Lookup))
+	s.handle("GET /v1/ancestor", "ancestor", s.pointHandler(s.inner.NearestAncestor))
+	s.handle("GET /v1/scan/tid", "scan/tid", s.handleScanTid)
+	s.handle("GET /v1/scan/loc", "scan/loc", s.scanHandler("loc", s.inner.ScanLoc))
+	s.handle("GET /v1/scan/prefix", "scan/prefix", s.scanHandler("prefix", s.inner.ScanLocPrefix))
+	s.handle("GET /v1/scan/ancestors", "scan/ancestors", s.scanHandler("loc", s.inner.ScanLocWithAncestors))
+	s.handle("GET /v1/scan-all", "scan/all", s.handleScanAll)
+	s.handle("POST /v1/query", "query", s.handleQuery)
+	s.handle("GET /v1/root", "root", s.handleRoot)
+	s.handle("GET /v1/prove", "prove", s.handleProve)
+	s.handle("GET /v1/consistency", "consistency", s.handleConsistency)
+	s.handle("GET /v1/tids", "tids", s.handleTids)
+	s.handle("GET /v1/maxtid", "maxtid", s.handleMaxTid)
+	s.handle("GET /v1/count", "count", s.handleCount)
+	s.handle("GET /v1/bytes", "bytes", s.handleBytes)
+	s.handle("POST /v1/flush", "flush", s.handleFlush)
+	s.handle("GET /v1/ping", "ping", s.handlePing)
+	s.handle("GET /v1/stats", "stats", s.handleStats)
+	// /metrics bypasses s.handle on purpose: instrumenting it would add an
+	// endpoint.metrics key to /v1/stats (breaking byte-compatibility) and
+	// make every scrape observe itself.
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
 }
 
@@ -115,33 +183,155 @@ func (s *Server) Inner() provstore.Backend { return s.inner }
 // with the inner backend's own gauges when it exposes any (a replicated
 // store's per-replica repl.lag.<i> / repl.applied_tid.<i>, say), so a
 // daemon's /v1/stats is the one place to watch a composite store's health.
+// The same snapshot feeds the daemon's shutdown dump.
 func (s *Server) Stats() map[string]int64 {
-	out := map[string]int64{
-		"requests":         s.stats.requests.Load(),
-		"errors":           s.stats.errors.Load(),
-		"records_appended": s.stats.recordsAppended.Load(),
-		"records_streamed": s.stats.recordsStreamed.Load(),
-		"cursors_open":     s.stats.cursorsOpen.Load(),
-	}
-	for e, c := range s.stats.byEndpoint {
-		out["endpoint."+e] = c.Load()
-	}
+	var extra map[string]int64
 	if g, ok := s.inner.(provstore.Gauger); ok {
-		for k, v := range g.Gauges() {
-			out[k] = v
-		}
+		extra = g.Gauges()
 	}
-	return out
+	return s.stats.reg.StatsMap(extra)
+}
+
+// requestInfo is what a handler reports up to the instrumentation wrapper
+// through its obsWriter: how many records the response carried, the parsed
+// query text (for /v1/query slow-query logging), and the first error.
+type requestInfo struct {
+	records    int
+	hasRecords bool
+	query      string
+	err        error
+}
+
+// obsWriter wraps the response writer so the instrumentation wrapper can see
+// status, body bytes, and the handler's requestInfo without any handler
+// signature changing. It forwards Flush — scan streams depend on it.
+type obsWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+	info   requestInfo
+}
+
+func (w *obsWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *obsWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *obsWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// setRecords reports the response's record count to the wrapper.
+func setRecords(w http.ResponseWriter, n int) {
+	if ow, ok := w.(*obsWriter); ok {
+		ow.info.records = n
+		ow.info.hasRecords = true
+	}
+}
+
+// setQueryText reports the parsed query text for slow-query logging.
+func setQueryText(w http.ResponseWriter, q string) {
+	if ow, ok := w.(*obsWriter); ok {
+		ow.info.query = q
+	}
+}
+
+// noteErr reports the request's first error to the wrapper (later ones are
+// consequences of the first).
+func noteErr(w http.ResponseWriter, err error) {
+	if ow, ok := w.(*obsWriter); ok && ow.info.err == nil {
+		ow.info.err = err
+	}
+}
+
+// handle registers one instrumented endpoint: the wrapper counts the
+// request, threads the client's X-Cpdb-Trace-Id (or a fresh id) through the
+// request context into the backend chain, observes wall time and stream
+// size into the endpoint's histograms, and emits the structured request log
+// line.
+func (s *Server) handle(pattern, endpoint string, h http.HandlerFunc) {
+	ctr := s.stats.byEndpoint[endpoint]
+	lat := s.stats.latency[endpoint]
+	sh := s.stats.streamed[endpoint]
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		ctr.Add(1)
+		trace := r.Header.Get(headerTraceID)
+		if trace == "" {
+			trace = provobs.NewTraceID()
+		}
+		r = r.WithContext(provobs.WithTraceID(r.Context(), trace))
+		ow := &obsWriter{ResponseWriter: w}
+		start := time.Now()
+		h(ow, r)
+		dur := time.Since(start)
+		lat.Observe(dur.Nanoseconds())
+		if sh != nil && ow.info.hasRecords {
+			sh.Observe(int64(ow.info.records))
+		}
+		s.logRequest(endpoint, trace, ow, dur)
+	})
+}
+
+// logRequest emits the one structured line per request: errors and slow
+// queries at warning level (the latter with the parsed query text), the
+// rest at info.
+func (s *Server) logRequest(endpoint, trace string, ow *obsWriter, dur time.Duration) {
+	if s.log == nil {
+		return
+	}
+	status := ow.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	attrs := []any{
+		slog.String("endpoint", endpoint),
+		slog.String("trace", trace),
+		slog.Int("status", status),
+		slog.Int("records", ow.info.records),
+		slog.Int64("bytes", ow.bytes),
+		slog.Duration("dur", dur),
+	}
+	switch {
+	case ow.info.err != nil:
+		s.log.Warn("request failed", append(attrs, slog.String("err", ow.info.err.Error()))...)
+	case s.slowQuery > 0 && dur >= s.slowQuery && ow.info.query != "":
+		s.log.Warn("slow query", append(attrs, slog.String("query", ow.info.query))...)
+	default:
+		s.log.Info("request", attrs...)
+	}
+}
+
+// handleMetrics serves the Prometheus text exposition: the server's own
+// registry, every registry the backend chain exposes (provobs.Source), and
+// the legacy flat Gauger gauges as one labeled family.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", provobs.ContentType)
+	regs := append([]*provobs.Registry{s.stats.reg}, provobs.SourceRegistries(s.inner)...)
+	provobs.WritePrometheus(w, regs...)
+	if g, ok := s.inner.(provstore.Gauger); ok {
+		provobs.WriteGaugeFamily(w, "cpdb_backend_gauge",
+			"Backend chain gauges keyed by their flat /v1/stats name.", g.Gauges())
+	}
 }
 
 // fail counts and writes an error response.
 func (s *Server) fail(w http.ResponseWriter, err error, status int) {
 	s.stats.errors.Add(1)
+	noteErr(w, err)
 	writeError(w, err, status)
-}
-
-func (s *Server) count(endpoint string) {
-	s.stats.byEndpoint[endpoint].Add(1)
 }
 
 // pathParam parses the named query parameter as a path ("" is the forest
@@ -172,7 +362,6 @@ func writeJSON(w http.ResponseWriter, v any) {
 // the wire protocol's batched write: one round trip per Append, however many
 // records it carries.
 func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
-	s.count("append")
 	dec := json.NewDecoder(r.Body)
 	var recs []provstore.Record
 	for {
@@ -195,14 +384,14 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.stats.recordsAppended.Add(int64(len(recs)))
+	setRecords(w, len(recs))
 	w.WriteHeader(http.StatusNoContent)
 }
 
 // pointHandler serves Lookup and NearestAncestor: both take (tid, loc) and
 // answer with at most one record.
-func (s *Server) pointHandler(endpoint string, q func(context.Context, int64, path.Path) (provstore.Record, bool, error)) http.HandlerFunc {
+func (s *Server) pointHandler(q func(context.Context, int64, path.Path) (provstore.Record, bool, error)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		s.count(endpoint)
 		tid, err := tidParam(r)
 		if err != nil {
 			s.fail(w, err, http.StatusBadRequest)
@@ -326,6 +515,7 @@ func (s *Server) streamScan(w http.ResponseWriter, r *http.Request, scan iter.Se
 				s.fail(w, err, http.StatusInternalServerError)
 			} else {
 				s.stats.errors.Add(1)
+				noteErr(w, err)
 				enc.Encode(scanLine{Err: err.Error()}) //nolint:errcheck // stream end
 			}
 			return
@@ -341,6 +531,7 @@ func (s *Server) streamScan(w http.ResponseWriter, r *http.Request, scan iter.Se
 					s.fail(w, perr, http.StatusInternalServerError)
 				} else {
 					s.stats.errors.Add(1)
+					noteErr(w, perr)
 					enc.Encode(scanLine{Err: perr.Error()}) //nolint:errcheck // stream end
 				}
 				return
@@ -375,13 +566,13 @@ func (s *Server) streamScan(w http.ResponseWriter, r *http.Request, scan iter.Se
 	}
 	enc.Encode(line) //nolint:errcheck // stream end
 	s.stats.recordsStreamed.Add(int64(n))
+	setRecords(w, n)
 }
 
 // scanHandler serves the single-path scans (ScanLoc, ScanLocPrefix,
 // ScanLocWithAncestors) as NDJSON cursor streams.
-func (s *Server) scanHandler(endpoint, param string, q func(context.Context, path.Path) iter.Seq2[provstore.Record, error]) http.HandlerFunc {
+func (s *Server) scanHandler(param string, q func(context.Context, path.Path) iter.Seq2[provstore.Record, error]) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		s.count(endpoint)
 		p, err := pathParam(r, param)
 		if err != nil {
 			s.fail(w, err, http.StatusBadRequest)
@@ -397,7 +588,6 @@ func (s *Server) scanHandler(endpoint, param string, q func(context.Context, pat
 
 // handleScanTid streams all records of one transaction.
 func (s *Server) handleScanTid(w http.ResponseWriter, r *http.Request) {
-	s.count("scan/tid")
 	tid, err := tidParam(r)
 	if err != nil {
 		s.fail(w, err, http.StatusBadRequest)
@@ -418,7 +608,6 @@ func (s *Server) handleScanTid(w http.ResponseWriter, r *http.Request) {
 // possibly truncated, stream delivered), and limit ends the stream after N
 // records with a "more":true terminator when records remain.
 func (s *Server) handleScanAll(w http.ResponseWriter, r *http.Request) {
-	s.count("scan/all")
 	q := r.URL.Query()
 	afterTid := int64(0)
 	var afterLoc path.Path
@@ -492,7 +681,6 @@ func (s *Server) handleScanAll(w http.ResponseWriter, r *http.Request) {
 // first row as a 500, after it as an in-band error line, like every other
 // stream.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	s.count("query")
 	var q provplan.Query
 	if err := json.NewDecoder(r.Body).Decode(&q); err != nil {
 		s.fail(w, fmt.Errorf("provhttp: bad query body: %w", err), http.StatusBadRequest)
@@ -503,6 +691,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err, http.StatusBadRequest)
 		return
 	}
+	setQueryText(w, q.String())
 	stamp, ok := s.authStamp(w, r)
 	if !ok {
 		return
@@ -520,6 +709,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 				s.fail(w, err, http.StatusInternalServerError)
 			} else {
 				s.stats.errors.Add(1)
+				noteErr(w, err)
 				enc.Encode(queryLine{Err: err.Error()}) //nolint:errcheck // stream end
 			}
 			return
@@ -539,6 +729,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 					s.fail(w, perr, http.StatusInternalServerError)
 				} else {
 					s.stats.errors.Add(1)
+					noteErr(w, perr)
 					enc.Encode(queryLine{Err: perr.Error()}) //nolint:errcheck // stream end
 				}
 				return
@@ -567,6 +758,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	enc.Encode(queryLine{EOF: true, N: n}) //nolint:errcheck // stream end
 	s.stats.recordsStreamed.Add(int64(n))
+	setRecords(w, n)
 }
 
 // requireAuth writes the standard 400 for authentication endpoints hit on
@@ -605,7 +797,6 @@ func (s *Server) sinceAudit(w http.ResponseWriter, r *http.Request, root provaut
 // of ?tid=N, with ?since=SIZE adding the consistency path a pinned client
 // advances over.
 func (s *Server) handleRoot(w http.ResponseWriter, r *http.Request) {
-	s.count("root")
 	if !s.requireAuth(w) {
 		return
 	}
@@ -641,7 +832,6 @@ func (s *Server) handleRoot(w http.ResponseWriter, r *http.Request) {
 // the root but no proof — absence is not authenticated (the tree has no
 // range proofs), which verifying callers must treat accordingly.
 func (s *Server) handleProve(w http.ResponseWriter, r *http.Request) {
-	s.count("prove")
 	if !s.requireAuth(w) {
 		return
 	}
@@ -709,7 +899,6 @@ func (s *Server) handleProve(w http.ResponseWriter, r *http.Request) {
 // by leaf counts (?old=&new=, the pin-advance path) or by transaction ids
 // (?old_tid=&new_tid=, which resolves both checkpoints and returns them).
 func (s *Server) handleConsistency(w http.ResponseWriter, r *http.Request) {
-	s.count("consistency")
 	if !s.requireAuth(w) {
 		return
 	}
@@ -744,7 +933,6 @@ func (s *Server) handleConsistency(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleTids(w http.ResponseWriter, r *http.Request) {
-	s.count("tids")
 	tids, err := s.inner.Tids(r.Context())
 	if err != nil {
 		s.fail(w, err, http.StatusInternalServerError)
@@ -754,7 +942,6 @@ func (s *Server) handleTids(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMaxTid(w http.ResponseWriter, r *http.Request) {
-	s.count("maxtid")
 	t, err := s.inner.MaxTid(r.Context())
 	if err != nil {
 		s.fail(w, err, http.StatusInternalServerError)
@@ -764,7 +951,6 @@ func (s *Server) handleMaxTid(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
-	s.count("count")
 	n, err := s.inner.Count(r.Context())
 	if err != nil {
 		s.fail(w, err, http.StatusInternalServerError)
@@ -774,7 +960,6 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleBytes(w http.ResponseWriter, r *http.Request) {
-	s.count("bytes")
 	n, err := s.inner.Bytes(r.Context())
 	if err != nil {
 		s.fail(w, err, http.StatusInternalServerError)
@@ -787,7 +972,6 @@ func (s *Server) handleBytes(w http.ResponseWriter, r *http.Request) {
 // durability half of a remote Session.Close. It is a no-op for write-through
 // backends.
 func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
-	s.count("flush")
 	if err := provstore.Flush(s.inner); err != nil {
 		s.fail(w, err, http.StatusInternalServerError)
 		return
@@ -796,11 +980,9 @@ func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handlePing(w http.ResponseWriter, r *http.Request) {
-	s.count("ping")
 	writeJSON(w, map[string]bool{"ok": true})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.count("stats")
 	writeJSON(w, s.Stats())
 }

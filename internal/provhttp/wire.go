@@ -41,6 +41,20 @@
 //	                                 group commits down, 204
 //	GET  /v1/ping                    {"ok":true} (readiness)
 //	GET  /v1/stats                   expvar-style request/record counters
+//	GET  /metrics                    Prometheus text exposition: the same
+//	                                 counters plus per-endpoint latency and
+//	                                 stream-size histograms, and the
+//	                                 provobs registries of the backend
+//	                                 chain (DESIGN.md §9)
+//
+// Every request carries an X-Cpdb-Trace-Id header — stamped by the Client
+// per round trip (or taken from the caller's context) — which the server
+// threads through the request context and its one structured log line per
+// request; error responses echo it inside RemoteError, so a client-side
+// failure and its server-side log line share one grep key. A query with
+// Analyze set streams its per-operator measurements as a final tagged
+// {"az":…} row before the terminator — a remote EXPLAIN ANALYZE is still
+// exactly one round trip.
 //
 // When the published backend is authenticated (a provauth.AuthBackend, i.e.
 // a verified:// DSN), three more endpoints serve the Merkle tree:
@@ -95,6 +109,12 @@ const (
 	headerAuthRoot        = "X-Cpdb-Auth-Root"
 	headerAuthConsistency = "X-Cpdb-Auth-Consistency"
 )
+
+// headerTraceID carries the client-stamped request trace id. The server
+// threads it through the request context into the backend chain and its
+// request log line; the client folds it into transport and remote errors,
+// so one grep connects a failed call to the server-side line it produced.
+const headerTraceID = "X-Cpdb-Trace-Id"
 
 // encodeProof renders an inclusion proof for the "p" field.
 func encodeProof(p provauth.Proof) string {
@@ -207,18 +227,20 @@ type scanLine struct {
 //	{"v":{"val":N,"found":bool}}      aggregate or src answer
 //	{"ev":{"tid":N,"op":"C","loc":…}} trace step
 //	{"end":{"origin":…,"external":…}} trace terminator row
+//	{"az":{"ops":[…],"scanned":N}}    analyze trailer (analyze queries only)
 //	{"eof":true,"n":N}                stream terminator (always last)
 //	{"err":…}                         server failed mid-stream
 type queryLine struct {
-	R   *wireRecord `json:"r,omitempty"`
-	P   string      `json:"p,omitempty"`   // inclusion proof (record rows, proofs=1)
-	Tid int64       `json:"tid,omitempty"` // transaction ids are >= 1
-	V   *wireValue  `json:"v,omitempty"`
-	Ev  *wireEvent  `json:"ev,omitempty"`
-	End *wireEnd    `json:"end,omitempty"`
-	EOF bool        `json:"eof,omitempty"`
-	N   int         `json:"n,omitempty"`
-	Err string      `json:"err,omitempty"`
+	R   *wireRecord        `json:"r,omitempty"`
+	P   string             `json:"p,omitempty"`   // inclusion proof (record rows, proofs=1)
+	Tid int64              `json:"tid,omitempty"` // transaction ids are >= 1
+	V   *wireValue         `json:"v,omitempty"`
+	Ev  *wireEvent         `json:"ev,omitempty"`
+	End *wireEnd           `json:"end,omitempty"`
+	Az  *provplan.Analysis `json:"az,omitempty"`
+	EOF bool               `json:"eof,omitempty"`
+	N   int                `json:"n,omitempty"`
+	Err string             `json:"err,omitempty"`
 }
 
 // wireValue is a scalar answer with its existence bit (min/max of an empty
@@ -267,6 +289,8 @@ func toWireRow(row provplan.Row) queryLine {
 			ev.Src = row.Event.Src.String()
 		}
 		return queryLine{Ev: &ev}
+	case provplan.RowAnalyze:
+		return queryLine{Az: row.Analysis}
 	default: // provplan.RowEnd
 		end := wireEnd{Origin: row.Origin.String()}
 		if row.Origin == provplan.OriginExternal {
@@ -304,6 +328,8 @@ func (l queryLine) row() (provplan.Row, error) {
 			return provplan.Row{}, fmt.Errorf("provhttp: bad event src %q: %w", l.Ev.Src, err)
 		}
 		return provplan.Row{Kind: provplan.RowEvent, Event: ev}, nil
+	case l.Az != nil:
+		return provplan.Row{Kind: provplan.RowAnalyze, Analysis: l.Az}, nil
 	case l.End != nil:
 		origin, ok := origins[l.End.Origin]
 		if !ok {
@@ -371,19 +397,31 @@ func writeError(w http.ResponseWriter, err error, status int) {
 }
 
 // A RemoteError is a non-2xx response from the provenance service that does
-// not decode to a typed store error.
+// not decode to a typed store error. Trace is the id the failing request was
+// stamped with — the same id the server's request log line carries.
 type RemoteError struct {
 	Status int    // HTTP status code
 	Msg    string // server-reported message (or raw body)
+	Trace  string // request trace id ("" when the request carried none)
 }
 
 func (e *RemoteError) Error() string {
+	// The trace id sits before the server message, so wrappers that match
+	// on the underlying message as a suffix keep working.
+	if e.Trace != "" {
+		return fmt.Sprintf("provhttp: server error (HTTP %d) [trace %s]: %s", e.Status, e.Trace, e.Msg)
+	}
 	return fmt.Sprintf("provhttp: server error (HTTP %d): %s", e.Status, e.Msg)
 }
 
 // decodeError rebuilds the error of a non-2xx response, restoring the typed
-// *provstore.DupKeyError where the server tagged one.
+// *provstore.DupKeyError where the server tagged one (typed errors stay
+// unwrapped — callers match on them — so they carry no trace id).
 func decodeError(resp *http.Response) error {
+	trace := ""
+	if resp.Request != nil {
+		trace = resp.Request.Header.Get(headerTraceID)
+	}
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 	var we wireError
 	if json.Unmarshal(body, &we) == nil && we.Error != "" {
@@ -393,7 +431,7 @@ func decodeError(resp *http.Response) error {
 				return &provstore.DupKeyError{Tid: we.Tid, Loc: loc}
 			}
 		}
-		return &RemoteError{Status: resp.StatusCode, Msg: we.Error}
+		return &RemoteError{Status: resp.StatusCode, Msg: we.Error, Trace: trace}
 	}
-	return &RemoteError{Status: resp.StatusCode, Msg: string(body)}
+	return &RemoteError{Status: resp.StatusCode, Msg: string(body), Trace: trace}
 }

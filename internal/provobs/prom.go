@@ -1,0 +1,171 @@
+package provobs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file renders registries in the Prometheus text exposition format
+// (version 0.0.4): one HELP and one TYPE line per family, then one sample
+// line per series — counters and gauges as single samples, histograms as
+// cumulative _bucket series plus _sum and _count. Output is deterministic
+// (families and series sorted) so the CI lint can diff scrapes and the
+// tests can assert exact lines.
+
+// A Unit says how a histogram's raw int64 observations are scaled for
+// exposition.
+type Unit int
+
+const (
+	// UnitCount exposes raw observed values (records per stream).
+	UnitCount Unit = iota
+	// UnitSeconds exposes nanosecond observations as seconds — the
+	// Prometheus base unit for *_seconds histogram families.
+	UnitSeconds
+)
+
+// scale returns the exposition multiplier.
+func (u Unit) scale() float64 {
+	if u == UnitSeconds {
+		return 1e-9
+	}
+	return 1
+}
+
+// ContentType is the Content-Type of the text exposition format.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// labelString renders a label set as `k1="v1",k2="v2"` ("" when empty).
+func labelString(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = fmt.Sprintf("%s=%q", l.Key, escapeLabel(l.Value))
+	}
+	return strings.Join(parts, ",")
+}
+
+// sample renders one exposition line: name, optional label set, value.
+func sample(w io.Writer, name, labels, value string) {
+	if labels == "" {
+		fmt.Fprintf(w, "%s %s\n", name, value)
+		return
+	}
+	fmt.Fprintf(w, "%s{%s} %s\n", name, labels, value)
+}
+
+// formatFloat renders a float the shortest way that round-trips.
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// joinLabels appends an extra pair ("le") to a rendered label set.
+func joinLabels(base, extra string) string {
+	if base == "" {
+		return extra
+	}
+	return base + "," + extra
+}
+
+// WritePrometheus renders every family of every registry, families sorted
+// by name across registries and series sorted by label set within each
+// family. Families that appear in several registries with identical
+// help/kind merge into one block (HELP/TYPE emitted once).
+func WritePrometheus(w io.Writer, regs ...*Registry) {
+	merged := make(map[string]*family)
+	for _, r := range regs {
+		if r == nil {
+			continue
+		}
+		r.mu.Lock()
+		for name, f := range r.fams {
+			m := merged[name]
+			if m == nil {
+				m = &family{name: f.name, help: f.help, kind: f.kind, unit: f.unit}
+				merged[name] = m
+			}
+			m.ser = append(m.ser, f.ser...)
+		}
+		r.mu.Unlock()
+	}
+	names := make([]string, 0, len(merged))
+	for name := range merged {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		writeFamily(w, merged[name])
+	}
+}
+
+// writeFamily renders one HELP/TYPE block and its series.
+func writeFamily(w io.Writer, f *family) {
+	fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+	fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+	ser := make([]*series, len(f.ser))
+	copy(ser, f.ser)
+	sort.Slice(ser, func(i, j int) bool {
+		return labelString(ser[i].meta.labels) < labelString(ser[j].meta.labels)
+	})
+	for _, s := range ser {
+		labels := labelString(s.meta.labels)
+		if f.kind != kindHistogram {
+			sample(w, f.name, labels, strconv.FormatInt(s.load(), 10))
+			continue
+		}
+		writeHistogram(w, f, labels, s.h.Snapshot())
+	}
+}
+
+// writeHistogram renders one series' cumulative buckets, sum and count.
+// Bucket 0 is always emitted (so every series carries at least one finite
+// le even before its first observation), then every bucket that holds
+// observations; empty intermediate buckets add no information to a
+// cumulative histogram and are elided to keep the exposition small.
+func writeHistogram(w io.Writer, f *family, labels string, s HistSnapshot) {
+	scale := f.unit.scale()
+	cum := int64(0)
+	for i, c := range s.Bucket {
+		if c == 0 && i != 0 {
+			continue
+		}
+		cum += c
+		le := fmt.Sprintf("le=%q", formatFloat(upperBound(i)*scale))
+		sample(w, f.name+"_bucket", joinLabels(labels, le), strconv.FormatInt(cum, 10))
+	}
+	sample(w, f.name+"_bucket", joinLabels(labels, `le="+Inf"`), strconv.FormatInt(s.Count, 10))
+	sample(w, f.name+"_sum", labels, formatFloat(float64(s.Sum)*scale))
+	sample(w, f.name+"_count", labels, strconv.FormatInt(s.Count, 10))
+}
+
+// WriteGaugeFamily renders one gauge family from a flat name→value map,
+// each key becoming a name="…" label — how a backend chain's legacy
+// Gauger gauges (repl.lag.0, auth.proofs_served) join the /metrics
+// exposition without each layer registering typed series.
+func WriteGaugeFamily(w io.Writer, name, help string, values map[string]int64) {
+	if len(values) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(w, "# TYPE %s gauge\n", name)
+	keys := make([]string, 0, len(values))
+	for k := range values {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		sample(w, name, fmt.Sprintf("name=%q", escapeLabel(k)), strconv.FormatInt(values[k], 10))
+	}
+}

@@ -1,0 +1,279 @@
+// Package provobs is the observability layer under every other cpdb
+// component: a typed metrics registry (monotonic counters, gauges, and
+// lock-cheap log-bucketed histograms with quantile snapshots), Prometheus
+// text exposition over any set of registries, and the request trace-id
+// plumbing the HTTP layer threads through context.Context.
+//
+// The package subsumes the ad-hoc map[string]int64 plumbing that grew
+// around /v1/stats: a metric registered with a stats key (WithStatKey)
+// still appears under its legacy flat name in Registry.StatsMap, so the
+// /v1/stats JSON a fleet of dashboards may already scrape stays
+// byte-compatible, while the same metric additionally serves its typed
+// Prometheus family — with latency distributions, not just totals — at
+// GET /metrics.
+//
+// Design constraints, in order:
+//
+//   - Hot-path cost: Counter.Add, Gauge.Add/Set and Histogram.Observe are
+//     one or two atomic adds, no locks, no allocation — cheap enough to sit
+//     on every request and inside every plan operator.
+//   - One registry per component: the provhttp server, an authenticated
+//     store, a replicated store each own a Registry; anything that wraps a
+//     backend forwards the inner registries via the Source interface, so a
+//     composed chain (verified over sharded over rel) exposes every layer's
+//     metrics through the one daemon endpoint.
+//   - Exposition is a pure function of snapshots: WritePrometheus takes any
+//     number of registries and renders deterministic, lint-clean text — the
+//     CI scrape parses every line and rejects duplicates.
+package provobs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// A Label is one metric dimension ({Key="endpoint", Value="scan/all"}).
+// Label values are rendered into the exposition escaped; keys must be valid
+// Prometheus label names ([a-zA-Z_][a-zA-Z0-9_]*), which every caller in
+// this module uses literals for.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// A Counter is a monotonically increasing metric (requests served, records
+// appended). Add with a negative delta is a programming error; nothing
+// checks it, and the exposition would still render the decreased value.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// A Gauge is a point-in-time value that moves both ways (cursors currently
+// open, replication lag).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Add moves the gauge by n (use a negative n to decrement).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Set pins the gauge to v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// metricKind discriminates the families of a registry.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// metricMeta is the registration-time identity of one series.
+type metricMeta struct {
+	labels  []Label
+	statKey string
+}
+
+// A MetricOpt configures one series at registration.
+type MetricOpt func(*metricMeta)
+
+// WithLabel adds one label pair to the series.
+func WithLabel(key, value string) MetricOpt {
+	return func(m *metricMeta) { m.labels = append(m.labels, Label{key, value}) }
+}
+
+// WithStatKey also publishes the series (counters and gauges only) under
+// the given flat key in Registry.StatsMap — the legacy /v1/stats name the
+// typed metric subsumes.
+func WithStatKey(key string) MetricOpt {
+	return func(m *metricMeta) { m.statKey = key }
+}
+
+// series is one registered metric with its identity.
+type series struct {
+	meta metricMeta
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// load returns the scalar value of a counter/gauge series.
+func (s *series) load() int64 {
+	if s.c != nil {
+		return s.c.Load()
+	}
+	return s.g.Load()
+}
+
+// family groups the series of one metric name.
+type family struct {
+	name string
+	help string
+	kind metricKind
+	unit Unit // histograms only
+	ser  []*series
+}
+
+// A Registry holds one component's metrics. Registration (Counter, Gauge,
+// Histogram) is cheap but locked — do it once at construction; the returned
+// handles are the lock-free hot path. The zero Registry is not usable; call
+// NewRegistry.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// register adds one series under name, creating or extending its family.
+// Mismatched re-registration (same name, different kind or help) and
+// duplicate label sets panic: both are wiring bugs, caught at construction.
+func (r *Registry) register(name, help string, kind metricKind, unit Unit, s *series) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fams[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, unit: unit}
+		r.fams[name] = f
+	} else if f.kind != kind || f.help != help || f.unit != unit {
+		panic(fmt.Sprintf("provobs: metric %q re-registered as %s (was %s)", name, kind, f.kind))
+	}
+	key := labelString(s.meta.labels)
+	for _, prev := range f.ser {
+		if labelString(prev.meta.labels) == key {
+			panic(fmt.Sprintf("provobs: duplicate series %s{%s}", name, key))
+		}
+	}
+	f.ser = append(f.ser, s)
+}
+
+// Counter registers (and returns) a counter series. By Prometheus
+// convention the family name should end in _total.
+func (r *Registry) Counter(name, help string, opts ...MetricOpt) *Counter {
+	s := &series{c: &Counter{}}
+	for _, o := range opts {
+		o(&s.meta)
+	}
+	r.register(name, help, kindCounter, UnitCount, s)
+	return s.c
+}
+
+// Gauge registers (and returns) a gauge series.
+func (r *Registry) Gauge(name, help string, opts ...MetricOpt) *Gauge {
+	s := &series{g: &Gauge{}}
+	for _, o := range opts {
+		o(&s.meta)
+	}
+	r.register(name, help, kindGauge, UnitCount, s)
+	return s.g
+}
+
+// Histogram registers (and returns) a histogram series. unit says how
+// observed values are scaled in the exposition: UnitSeconds histograms
+// observe nanoseconds and expose seconds (name them *_seconds), UnitCount
+// histograms expose raw values.
+func (r *Registry) Histogram(name, help string, unit Unit, opts ...MetricOpt) *Histogram {
+	s := &series{h: NewHistogram()}
+	for _, o := range opts {
+		o(&s.meta)
+	}
+	r.register(name, help, kindHistogram, unit, s)
+	return s.h
+}
+
+// StatsMap snapshots every counter and gauge registered with a stat key
+// into the legacy flat map, merging any extra maps (a backend's Gauger
+// gauges) over it. This is the one snapshot function behind both the
+// /v1/stats endpoint and the daemon's shutdown dump.
+func (r *Registry) StatsMap(extra ...map[string]int64) map[string]int64 {
+	out := make(map[string]int64)
+	r.mu.Lock()
+	for _, f := range r.fams {
+		if f.kind == kindHistogram {
+			continue
+		}
+		for _, s := range f.ser {
+			if s.meta.statKey != "" {
+				out[s.meta.statKey] = s.load()
+			}
+		}
+	}
+	r.mu.Unlock()
+	for _, m := range extra {
+		for k, v := range m {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// DumpLines renders a stats snapshot as sorted "k=v" lines for a shutdown
+// dump. Zero values are elided, except the ones where zero is exactly the
+// interesting reading: cursors_open (the cursor-leak gauge), the
+// endpoint.scan/all counter (did clients use the streaming cursor), and
+// every repl.* / auth.* gauge (a zero lag or zero verify-failure count at
+// shutdown is the healthy sign-off being looked for).
+func DumpLines(stats map[string]int64) []string {
+	keys := make([]string, 0, len(stats))
+	for k := range stats {
+		if stats[k] != 0 || alwaysDumped(k) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	lines := make([]string, len(keys))
+	for i, k := range keys {
+		lines[i] = fmt.Sprintf("%s=%d", k, stats[k])
+	}
+	return lines
+}
+
+// alwaysDumped reports whether a stats key prints even at zero.
+func alwaysDumped(k string) bool {
+	if k == "cursors_open" || k == "endpoint.scan/all" {
+		return true
+	}
+	return len(k) > 5 && (k[:5] == "repl." || k[:5] == "auth.")
+}
+
+// A Source is a backend (or backend wrapper) that exposes provobs
+// registries. Wrappers forward their inner backend's registries after
+// their own, so the daemon's /metrics walks the whole chain.
+type Source interface {
+	ObsRegistries() []*Registry
+}
+
+// SourceRegistries returns v's registries when it is a Source, else nil —
+// the nil-tolerant unwrapping helper exposition sites use.
+func SourceRegistries(v any) []*Registry {
+	if s, ok := v.(Source); ok {
+		return s.ObsRegistries()
+	}
+	return nil
+}

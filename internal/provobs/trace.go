@@ -1,0 +1,39 @@
+package provobs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+)
+
+// Request tracing: the cpdb:// client stamps every round trip with a
+// 16-hex-character trace id (the X-Cpdb-Trace-Id header); the server puts
+// it into the request context, so it flows through the backend chain — a
+// chained daemon's outgoing client reuses it — and into the structured
+// request log on every hop. The id is correlation-only: random, unordered,
+// carrying no information beyond identity.
+
+// ctxKeyTraceID keys the trace id in a context.
+type ctxKeyTraceID struct{}
+
+// NewTraceID returns a fresh 16-hex-character request trace id.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is a broken platform; a constant id keeps
+		// requests flowing (correlation degrades, nothing else does).
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// WithTraceID returns ctx carrying the trace id.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxKeyTraceID{}, id)
+}
+
+// TraceID returns the context's trace id, or "" when none is set.
+func TraceID(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKeyTraceID{}).(string)
+	return id
+}

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/path"
 	"repro/internal/provstore"
@@ -421,8 +422,10 @@ func (pl *Plan) Explain() []string { return slices.Clone(pl.explain) }
 // --- execution --------------------------------------------------------------
 
 // accessScan opens the plan's access cursor on one backend (a shard, or the
-// whole store), counting pulled records into scanned.
-func (pl *Plan) accessScan(ctx context.Context, b provstore.Backend, scanned *atomic.Int64) iter.Seq2[provstore.Record, error] {
+// whole store), counting pulled records into the execution's Scanned
+// counter and, in analyze mode, its access operator tap (shared across
+// shards: the tap totals what the whole scatter pulled).
+func (pl *Plan) accessScan(ctx context.Context, b provstore.Backend, ex *exec) iter.Seq2[provstore.Record, error] {
 	var scan iter.Seq2[provstore.Record, error]
 	switch pl.access {
 	case accessAll:
@@ -440,7 +443,7 @@ func (pl *Plan) accessScan(ctx context.Context, b provstore.Backend, scanned *at
 	default:
 		return provstore.ScanError(badQuery("unplanned access %v", pl.access))
 	}
-	return counted(scan, scanned)
+	return ex.op("access:" + pl.access.String()).tap(counted(scan, ex.counter()))
 }
 
 // counted wraps a cursor to count records pulled from it.
@@ -461,10 +464,22 @@ func counted(scan iter.Seq2[provstore.Record, error], scanned *atomic.Int64) ite
 }
 
 // filtered applies the residual predicate, the optional join key filter and
-// the early tid stop on one access stream.
-func (pl *Plan) filtered(scan iter.Seq2[provstore.Record, error], keys *joinKeys) iter.Seq2[provstore.Record, error] {
+// the early tid stop on one access stream. The analyze tap t (nil outside
+// analyze mode) counts records in/out and the time spent waiting on the
+// upstream access cursor.
+func (pl *Plan) filtered(scan iter.Seq2[provstore.Record, error], keys *joinKeys, t *opStat) iter.Seq2[provstore.Record, error] {
 	return func(yield func(provstore.Record, error) bool) {
+		var start time.Time
+		if t != nil {
+			start = time.Now()
+		}
 		for r, err := range scan {
+			if t != nil {
+				t.ns.Add(time.Since(start).Nanoseconds())
+				if err == nil {
+					t.in.Add(1)
+				}
+			}
 			if err != nil {
 				yield(provstore.Record{}, err)
 				return
@@ -472,15 +487,18 @@ func (pl *Plan) filtered(scan iter.Seq2[provstore.Record, error], keys *joinKeys
 			if pl.stopTid > 0 && r.Tid > pl.stopTid {
 				return // Tid-ascending stream: nothing later matches
 			}
-			if !pl.pred.match(r) {
-				continue
+			if pl.pred.match(r) && (keys == nil || keys.match(r)) {
+				t.addOut()
+				if !yield(r, nil) {
+					return
+				}
 			}
-			if keys != nil && !keys.match(r) {
-				continue
+			if t != nil {
+				start = time.Now()
 			}
-			if !yield(r, nil) {
-				return
-			}
+		}
+		if t != nil {
+			t.ns.Add(time.Since(start).Nanoseconds())
 		}
 	}
 }
@@ -509,10 +527,17 @@ func (k *joinKeys) match(r provstore.Record) bool {
 	}
 }
 
-// buildJoinKeys runs the subquery and materializes the join key set.
-func (pl *Plan) buildJoinKeys(ctx context.Context, scanned *atomic.Int64) (*joinKeys, error) {
+// buildJoinKeys runs the subquery and materializes the join key set. In
+// analyze mode the subquery's operators run under the "sub:" prefix and the
+// materialization itself reports as "join-build" (out = distinct keys).
+func (pl *Plan) buildJoinKeys(ctx context.Context, ex *exec) (*joinKeys, error) {
 	if pl.join == nil {
 		return nil, nil
+	}
+	t := ex.op("join-build")
+	var start time.Time
+	if t != nil {
+		start = time.Now()
 	}
 	keys := &joinKeys{on: pl.join.on}
 	switch pl.join.on {
@@ -521,9 +546,12 @@ func (pl *Plan) buildJoinKeys(ctx context.Context, scanned *atomic.Int64) (*join
 	default:
 		keys.locs = make(map[string]struct{})
 	}
-	for r, err := range pl.join.sub.records(ctx, scanned) {
+	for r, err := range pl.join.sub.records(ctx, ex.sub("sub:")) {
 		if err != nil {
 			return nil, fmt.Errorf("join subquery: %w", err)
+		}
+		if t != nil {
+			t.in.Add(1)
 		}
 		switch pl.join.on {
 		case JoinTid:
@@ -536,44 +564,56 @@ func (pl *Plan) buildJoinKeys(ctx context.Context, scanned *atomic.Int64) (*join
 			}
 		}
 	}
+	if t != nil {
+		t.out.Add(int64(len(keys.tids) + len(keys.locs)))
+		t.ns.Add(time.Since(start).Nanoseconds())
+	}
 	return keys, nil
 }
 
 // matched is the ordered-by-access, filtered record stream — the plan body
 // shared by the row and aggregate paths. The semi-join key set must already
 // be built.
-func (pl *Plan) matched(ctx context.Context, keys *joinKeys, scanned *atomic.Int64) iter.Seq2[provstore.Record, error] {
+func (pl *Plan) matched(ctx context.Context, keys *joinKeys, ex *exec) iter.Seq2[provstore.Record, error] {
+	ft := ex.op("filter")
 	if pl.shards == nil {
-		return pl.filtered(pl.accessScan(ctx, pl.b, scanned), keys)
+		return pl.filtered(pl.accessScan(ctx, pl.b, ex), keys, ft)
 	}
 	// Scatter: one filtered subplan per shard, merged back into the
 	// access order. Each shard's stream is cut and filtered independently
 	// (below the merge), so the merge only ever sees matching records.
+	// All shards share the access and filter taps — the analysis reports
+	// scatter totals, not per-shard rows.
 	cmp := provstore.CompareTidLoc
 	if pl.access == accessTid || pl.access == accessLocPrefix {
 		cmp = provstore.CompareLocTid
 	}
 	cursors := make([]iter.Seq2[provstore.Record, error], pl.shards.NumShards())
 	for i := range cursors {
-		cursors[i] = pl.filtered(pl.accessScan(ctx, pl.shards.Shard(i), scanned), keys)
+		cursors[i] = pl.filtered(pl.accessScan(ctx, pl.shards.Shard(i), ex), keys, ft)
 	}
-	return provstore.MergeScans(cmp, cursors...)
+	return ex.op("merge").tap(provstore.MergeScans(cmp, cursors...))
 }
 
 // records executes a select plan as a record cursor in the requested order,
 // applying limit. The cursor follows the provstore cursor contract.
-func (pl *Plan) records(ctx context.Context, scanned *atomic.Int64) iter.Seq2[provstore.Record, error] {
+func (pl *Plan) records(ctx context.Context, ex *exec) iter.Seq2[provstore.Record, error] {
 	if pl.q.Op != OpSelect || pl.q.Agg != "" {
 		return provstore.ScanError(badQuery("%s plan has no record stream", pl.q.Op))
 	}
 	return func(yield func(provstore.Record, error) bool) {
-		keys, err := pl.buildJoinKeys(ctx, scanned)
+		keys, err := pl.buildJoinKeys(ctx, ex)
 		if err != nil {
 			yield(provstore.Record{}, err)
 			return
 		}
-		stream := pl.matched(ctx, keys, scanned)
+		stream := pl.matched(ctx, keys, ex)
 		if !pl.streamed {
+			t := ex.op("sort")
+			var start time.Time
+			if t != nil {
+				start = time.Now()
+			}
 			recs, err := provstore.CollectScan(stream)
 			if err != nil {
 				yield(provstore.Record{}, err)
@@ -587,7 +627,17 @@ func (pl *Plan) records(ctx context.Context, scanned *atomic.Int64) iter.Seq2[pr
 			if pl.q.Desc {
 				slices.Reverse(recs)
 			}
+			if t != nil {
+				t.in.Add(int64(len(recs)))
+				t.out.Add(int64(len(recs)))
+				t.ns.Add(time.Since(start).Nanoseconds())
+			}
 			stream = provstore.ScanSlice(recs)
+		}
+		out := ex.op("output")
+		var start time.Time
+		if out != nil {
+			start = time.Now()
 		}
 		n := 0
 		for r, err := range stream {
@@ -595,13 +645,24 @@ func (pl *Plan) records(ctx context.Context, scanned *atomic.Int64) iter.Seq2[pr
 				yield(provstore.Record{}, err)
 				return
 			}
+			if out != nil {
+				out.ns.Add(time.Since(start).Nanoseconds())
+				out.in.Add(1)
+				out.out.Add(1)
+			}
 			if !yield(r, nil) {
 				return
+			}
+			if out != nil {
+				start = time.Now()
 			}
 			n++
 			if pl.q.Limit > 0 && n >= pl.q.Limit {
 				return
 			}
+		}
+		if out != nil {
+			out.ns.Add(time.Since(start).Nanoseconds())
 		}
 	}
 }
@@ -646,17 +707,25 @@ func (a *aggPartial) merge(b aggPartial) {
 
 // aggregate executes an aggregating select. On a sharded store the whole
 // aggregate runs once per shard concurrently (no merge at all) and the
-// partials combine.
-func (pl *Plan) aggregate(ctx context.Context, scanned *atomic.Int64) (val int64, found bool, err error) {
-	keys, err := pl.buildJoinKeys(ctx, scanned)
+// partials combine. Taps are registered before the fan-out so the analysis
+// lists operators in wiring order regardless of shard scheduling.
+func (pl *Plan) aggregate(ctx context.Context, ex *exec) (val int64, found bool, err error) {
+	keys, err := pl.buildJoinKeys(ctx, ex)
 	if err != nil {
 		return 0, false, err
+	}
+	ex.op("access:" + pl.access.String())
+	ft := ex.op("filter")
+	at := ex.op("agg:" + pl.q.Agg)
+	var start time.Time
+	if at != nil {
+		start = time.Now()
 	}
 	var total aggPartial
 	if pl.shards != nil {
 		partials := make([]aggPartial, pl.shards.NumShards())
 		err := provstore.Fanout(ctx, pl.shards.NumShards(), func(i int) error {
-			for r, err := range pl.filtered(pl.accessScan(ctx, pl.shards.Shard(i), scanned), keys) {
+			for r, err := range pl.filtered(pl.accessScan(ctx, pl.shards.Shard(i), ex), keys, ft) {
 				if err != nil {
 					return err
 				}
@@ -671,12 +740,17 @@ func (pl *Plan) aggregate(ctx context.Context, scanned *atomic.Int64) (val int64
 			total.merge(p)
 		}
 	} else {
-		for r, err := range pl.filtered(pl.accessScan(ctx, pl.b, scanned), keys) {
+		for r, err := range pl.filtered(pl.accessScan(ctx, pl.b, ex), keys, ft) {
 			if err != nil {
 				return 0, false, err
 			}
 			total.add(r)
 		}
+	}
+	if at != nil {
+		at.in.Add(total.count)
+		at.out.Add(1)
+		at.ns.Add(time.Since(start).Nanoseconds())
 	}
 	switch pl.q.Agg {
 	case AggCount:
@@ -700,7 +774,7 @@ func RunAll(ctx context.Context, b provstore.Backend, qs ...*Query) ([][]provsto
 	return runAll(ctx, b, qs, nil)
 }
 
-func runAll(ctx context.Context, b provstore.Backend, qs []*Query, scanned *atomic.Int64) ([][]provstore.Record, error) {
+func runAll(ctx context.Context, b provstore.Backend, qs []*Query, ex *exec) ([][]provstore.Record, error) {
 	plans := make([]*Plan, len(qs))
 	for i, q := range qs {
 		pl, err := Compile(b, q)
@@ -711,7 +785,7 @@ func runAll(ctx context.Context, b provstore.Backend, qs []*Query, scanned *atom
 	}
 	out := make([][]provstore.Record, len(qs))
 	err := provstore.Fanout(ctx, len(plans), func(i int) error {
-		recs, rerr := provstore.CollectScan(plans[i].records(ctx, scanned))
+		recs, rerr := provstore.CollectScan(plans[i].records(ctx, ex))
 		out[i] = recs
 		return rerr
 	})

@@ -118,6 +118,13 @@ type Query struct {
 	// at execution time, resolved wherever the plan runs (server-side on
 	// a remote store — no extra client round trip).
 	AsOf int64 `json:"asof,omitempty"`
+
+	// Analyze enables EXPLAIN ANALYZE: execution is tapped per operator
+	// and the Rows stream appends one RowAnalyze trailer. Analyze is an
+	// execution mode, not part of the query language — it rides the JSON
+	// wire form but does not appear in the canonical text form
+	// (String/Parse round-trip the query without it).
+	Analyze bool `json:"analyze,omitempty"`
 }
 
 // A Join is a semi-join of the outer select against a subquery: outer

@@ -25,6 +25,9 @@ const (
 	RowEvent
 	// RowEnd terminates a trace with its origin classification.
 	RowEnd
+	// RowAnalyze carries the per-operator execution analysis — the final
+	// row of an analyze-mode stream, after every data row.
+	RowAnalyze
 )
 
 // A Row is one element of a query's result stream — the tagged union the
@@ -36,6 +39,9 @@ const (
 //	src           RowValue
 //	mod, hist     RowTid*
 //	trace         RowEvent* RowEnd
+//
+// A query with Analyze set appends one RowAnalyze after its data rows,
+// whatever its kind.
 type Row struct {
 	Kind RowKind
 
@@ -46,6 +52,7 @@ type Row struct {
 	Event    Event            // RowEvent
 	Origin   Origin           // RowEnd
 	External path.Path        // RowEnd (when Origin == OriginExternal)
+	Analysis *Analysis        // RowAnalyze
 }
 
 // A Result is a drained row stream, decoded by query kind; see Collect.
@@ -63,6 +70,9 @@ type Result struct {
 	// execution — the work metric pushdown minimizes. It is 0 when the
 	// plan was delegated to a remote executor.
 	Scanned int64
+	// Analysis holds the per-operator execution measurements of an
+	// analyze-mode query (local or delegated); nil otherwise.
+	Analysis *Analysis
 }
 
 // An Executor is a backend that can execute a whole declarative plan
@@ -120,6 +130,11 @@ func CollectRows(rows iter.Seq2[Row, error]) (*Result, error) {
 			res.Trace.Events = append(res.Trace.Events, row.Event)
 		case RowEnd:
 			res.Trace.Origin, res.Trace.External = row.Origin, row.External
+		case RowAnalyze:
+			res.Analysis = row.Analysis
+			if row.Analysis != nil {
+				res.Scanned = row.Analysis.Scanned
+			}
 		}
 	}
 	return res, nil
@@ -133,9 +148,25 @@ func rowError(err error) iter.Seq2[Row, error] {
 }
 
 // Rows executes the plan and streams its result rows (see Row for the
-// per-kind stream shapes).
+// per-kind stream shapes). With Query.Analyze set, execution is tapped
+// per operator and one RowAnalyze trailer follows the data rows — which is
+// what POST /v1/query streams back, keeping a remote analyze at exactly
+// one round trip.
 func (pl *Plan) Rows(ctx context.Context) iter.Seq2[Row, error] {
-	return pl.rows(ctx, nil)
+	if !pl.q.Analyze {
+		return pl.rows(ctx, nil)
+	}
+	var scanned atomic.Int64
+	ex := &exec{scanned: &scanned, az: newAnalyzer()}
+	inner := pl.rows(ctx, ex)
+	return func(yield func(Row, error) bool) {
+		for row, err := range inner {
+			if !yield(row, err) || err != nil {
+				return
+			}
+		}
+		yield(Row{Kind: RowAnalyze, Analysis: ex.az.analysis(scanned.Load())}, nil)
+	}
 }
 
 // Collect executes the plan and drains its rows into a Result, including
@@ -144,20 +175,27 @@ func (pl *Plan) Rows(ctx context.Context) iter.Seq2[Row, error] {
 // actually pulled from the store.
 func (pl *Plan) Collect(ctx context.Context) (*Result, error) {
 	var scanned atomic.Int64
-	res, err := CollectRows(pl.rows(ctx, &scanned))
+	ex := &exec{scanned: &scanned}
+	if pl.q.Analyze {
+		ex.az = newAnalyzer()
+	}
+	res, err := CollectRows(pl.rows(ctx, ex))
 	if err != nil {
 		return nil, err
 	}
 	res.Scanned = scanned.Load()
+	if ex.az != nil {
+		res.Analysis = ex.az.analysis(res.Scanned)
+	}
 	return res, nil
 }
 
-func (pl *Plan) rows(ctx context.Context, scanned *atomic.Int64) iter.Seq2[Row, error] {
+func (pl *Plan) rows(ctx context.Context, ex *exec) iter.Seq2[Row, error] {
 	switch pl.q.Op {
 	case OpSelect:
 		if pl.q.Agg != "" {
 			return func(yield func(Row, error) bool) {
-				v, found, err := pl.aggregate(ctx, scanned)
+				v, found, err := pl.aggregate(ctx, ex)
 				if err != nil {
 					yield(Row{}, err)
 					return
@@ -166,7 +204,7 @@ func (pl *Plan) rows(ctx context.Context, scanned *atomic.Int64) iter.Seq2[Row, 
 			}
 		}
 		return func(yield func(Row, error) bool) {
-			for r, err := range pl.records(ctx, scanned) {
+			for r, err := range pl.records(ctx, ex) {
 				if err != nil {
 					yield(Row{}, err)
 					return
@@ -178,7 +216,7 @@ func (pl *Plan) rows(ctx context.Context, scanned *atomic.Int64) iter.Seq2[Row, 
 		}
 	case OpTrace:
 		return func(yield func(Row, error) bool) {
-			tr, err := pl.runTrace(ctx, scanned)
+			tr, err := pl.runTrace(ctx, ex)
 			if err != nil {
 				yield(Row{}, err)
 				return
@@ -192,7 +230,7 @@ func (pl *Plan) rows(ctx context.Context, scanned *atomic.Int64) iter.Seq2[Row, 
 		}
 	case OpSrc:
 		return func(yield func(Row, error) bool) {
-			tid, ok, err := pl.runSrc(ctx, scanned)
+			tid, ok, err := pl.runSrc(ctx, ex)
 			if err != nil {
 				yield(Row{}, err)
 				return
@@ -204,9 +242,9 @@ func (pl *Plan) rows(ctx context.Context, scanned *atomic.Int64) iter.Seq2[Row, 
 			var tids []int64
 			var err error
 			if pl.q.Op == OpHist {
-				tids, err = pl.runHist(ctx, scanned)
+				tids, err = pl.runHist(ctx, ex)
 			} else {
-				tids, err = pl.runMod(ctx, scanned)
+				tids, err = pl.runMod(ctx, ex)
 			}
 			if err != nil {
 				yield(Row{}, err)

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"sort"
-	"sync/atomic"
 
 	"repro/internal/path"
 	"repro/internal/provstore"
@@ -103,14 +102,14 @@ func (pl *Plan) horizon(ctx context.Context) (int64, error) {
 // horizon, and for each transaction the record with the longest Loc
 // (nearest ancestor-or-self) governs. Hierarchical inference materializes
 // on the way out: copies rebase, inserts/deletes retarget.
-func effectiveAt(ctx context.Context, b provstore.Backend, loc path.Path, tnow int64, scanned *atomic.Int64) (map[int64]provstore.Record, error) {
+func effectiveAt(ctx context.Context, b provstore.Backend, loc path.Path, tnow int64, ex *exec) (map[int64]provstore.Record, error) {
 	q := &Query{Op: OpSelect, Where: Pred{LocAbove: loc.String(), TidMax: tnow}}
 	pl, err := Compile(b, q)
 	if err != nil {
 		return nil, err
 	}
 	out := make(map[int64]provstore.Record)
-	for r, err := range pl.records(ctx, scanned) {
+	for r, err := range pl.records(ctx, ex) {
 		if err != nil {
 			return nil, err
 		}
@@ -139,14 +138,14 @@ func effectiveAt(ctx context.Context, b provstore.Backend, loc path.Path, tnow i
 // runTrace computes the backward history of the plan's path as of its
 // horizon. The context is observed between chain steps (each step is one
 // select), so a trace over a slow or remote store can be cancelled.
-func (pl *Plan) runTrace(ctx context.Context, scanned *atomic.Int64) (TraceResult, error) {
+func (pl *Plan) runTrace(ctx context.Context, ex *exec) (TraceResult, error) {
 	var res TraceResult
 	tnow, err := pl.horizon(ctx)
 	if err != nil {
 		return res, err
 	}
 	cur := pl.path
-	eff, err := effectiveAt(ctx, pl.b, cur, tnow, scanned)
+	eff, err := effectiveAt(ctx, pl.b, cur, tnow, ex.sub("step:"))
 	if err != nil {
 		return res, err
 	}
@@ -171,7 +170,7 @@ func (pl *Plan) runTrace(ctx context.Context, scanned *atomic.Int64) (TraceResul
 				res.External = cur
 				return res, nil
 			}
-			if eff, err = effectiveAt(ctx, pl.b, cur, tnow, scanned); err != nil {
+			if eff, err = effectiveAt(ctx, pl.b, cur, tnow, ex.sub("step:")); err != nil {
 				return res, err
 			}
 		case provstore.OpDelete:
@@ -186,8 +185,8 @@ func (pl *Plan) runTrace(ctx context.Context, scanned *atomic.Int64) (TraceResul
 // runSrc answers which transaction first created the data at the plan's
 // path: a trace plus the paper's getSrc verification probe against the
 // store's effective record.
-func (pl *Plan) runSrc(ctx context.Context, scanned *atomic.Int64) (int64, bool, error) {
-	tr, err := pl.runTrace(ctx, scanned)
+func (pl *Plan) runSrc(ctx context.Context, ex *exec) (int64, bool, error) {
+	tr, err := pl.runTrace(ctx, ex)
 	if err != nil {
 		return 0, false, err
 	}
@@ -207,8 +206,8 @@ func (pl *Plan) runSrc(ctx context.Context, scanned *atomic.Int64) (int64, bool,
 
 // runHist answers every transaction that copied the data at the plan's
 // path, most recent first: the copy steps of the trace.
-func (pl *Plan) runHist(ctx context.Context, scanned *atomic.Int64) ([]int64, error) {
-	tr, err := pl.runTrace(ctx, scanned)
+func (pl *Plan) runHist(ctx context.Context, ex *exec) ([]int64, error) {
+	tr, err := pl.runTrace(ctx, ex)
 	if err != nil {
 		return nil, err
 	}
@@ -244,7 +243,7 @@ func newRegion(prefix path.Path, bound int64) region {
 // the region's tid bound pushed into the plan — executed through the
 // planner's parallel subplan path (runAll), so a wave over a sharded or
 // remote store overlaps all its scans without bespoke goroutine plumbing.
-func (pl *Plan) runMod(ctx context.Context, scanned *atomic.Int64) ([]int64, error) {
+func (pl *Plan) runMod(ctx context.Context, ex *exec) ([]int64, error) {
 	tnow, err := pl.horizon(ctx)
 	if err != nil {
 		return nil, err
@@ -298,7 +297,7 @@ func (pl *Plan) runMod(ctx context.Context, scanned *atomic.Int64) ([]int64, err
 				&Query{Op: OpSelect, Where: Pred{LocUnder: prefix.String(), TidMax: bounds[i]}, Order: OrderLocTid},
 				&Query{Op: OpSelect, Where: Pred{LocAbove: prefix.String(), TidMax: bounds[i]}})
 		}
-		scans, err := runAll(ctx, pl.b, qs, scanned)
+		scans, err := runAll(ctx, pl.b, qs, ex.sub("wave:"))
 		if err != nil {
 			return nil, err
 		}

@@ -135,9 +135,11 @@ func (b *ReplicatedBackend) applyPass(r *replica) (err error) {
 		if len(buf) == 0 {
 			return nil
 		}
+		start := time.Now()
 		if err := r.store.Append(b.ctx, buf); err != nil {
 			return err
 		}
+		b.applyDur.Observe(time.Since(start).Nanoseconds())
 		last := buf[len(buf)-1]
 		if last.Tid > r.hwTid || (last.Tid == r.hwTid && r.hwLoc.Compare(last.Loc) < 0) {
 			r.hwTid, r.hwLoc = last.Tid, last.Loc

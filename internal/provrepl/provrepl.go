@@ -47,6 +47,7 @@ import (
 
 	"repro/internal/path"
 	"repro/internal/provauth"
+	"repro/internal/provobs"
 	"repro/internal/provstore"
 )
 
@@ -162,6 +163,9 @@ type ReplicatedBackend struct {
 	shipRoot   provauth.Root
 	shipRootOk bool
 
+	obs      *provobs.Registry
+	applyDur *provobs.Histogram
+
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
@@ -203,9 +207,12 @@ func New(primary provstore.Backend, replicas []provstore.Backend, opts Options) 
 	b := &ReplicatedBackend{
 		primary: primary,
 		opts:    opts.withDefaults(),
+		obs:     provobs.NewRegistry(),
 		ctx:     ctx,
 		cancel:  cancel,
 	}
+	b.applyDur = b.obs.Histogram("cpdb_repl_apply_batch_duration_seconds",
+		"Time to apply one shipped record batch on a replica.", provobs.UnitSeconds)
 	for i, store := range replicas {
 		r := &replica{idx: i, store: store, wake: make(chan struct{}, 1)}
 		r.synced.Store(-1) // behind until the first full drain
@@ -214,6 +221,12 @@ func New(primary provstore.Backend, replicas []provstore.Backend, opts Options) 
 		go b.applier(r)
 	}
 	return b, nil
+}
+
+// ObsRegistries implements provobs.Source: this layer's metrics (apply
+// batch latency) plus whatever the primary exposes.
+func (b *ReplicatedBackend) ObsRegistries() []*provobs.Registry {
+	return append([]*provobs.Registry{b.obs}, provobs.SourceRegistries(b.primary)...)
 }
 
 // Primary exposes the primary store (for tests and size accounting).
