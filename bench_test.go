@@ -335,6 +335,7 @@ func BenchmarkShardedIngest(b *testing.B) {
 			kind = "disk"
 		}
 		b.Run(fmt.Sprintf("%s/shards=%d/batch=%d", kind, c.shards, c.batch), func(b *testing.B) {
+			b.ReportAllocs()
 			var rps float64
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
@@ -381,6 +382,7 @@ func BenchmarkShardedIngest(b *testing.B) {
 func BenchmarkTrackerOps(b *testing.B) {
 	for _, m := range provstore.AllMethods {
 		b.Run(m.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			tr := provstore.MustNew(m, provstore.Config{Backend: provstore.NewMemBackend()})
 			tr.Begin()
 			b.ResetTimer()
@@ -422,11 +424,13 @@ func BenchmarkQueries(b *testing.B) {
 		b.Fatal("no locations")
 	}
 	b.Run("src", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			eng.Src(context.Background(), locs[i%len(locs)], tnow)
 		}
 	})
 	b.Run("hist", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := eng.Hist(context.Background(), locs[i%len(locs)], tnow); err != nil {
 				b.Fatal(err)
@@ -434,6 +438,7 @@ func BenchmarkQueries(b *testing.B) {
 		}
 	})
 	b.Run("mod", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := eng.Mod(context.Background(), locs[i%len(locs)], tnow); err != nil {
 				b.Fatal(err)
@@ -453,6 +458,7 @@ func BenchmarkEditorPipeline(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := s.Insert(cpdb.MustParsePath("T"), fmt.Sprintf("b%d", i), nil); err != nil {
@@ -475,6 +481,7 @@ func BenchmarkBTree(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Run("insert", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			key := []byte(fmt.Sprintf("key-%09d", i))
 			if err := bt.Put(key, []byte("value")); err != nil {
@@ -483,6 +490,7 @@ func BenchmarkBTree(b *testing.B) {
 		}
 	})
 	b.Run("get", func(b *testing.B) {
+		b.ReportAllocs()
 		bt.Put([]byte("key-000000001"), []byte("value"))
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {

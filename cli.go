@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/figures"
 	"repro/internal/provauth"
+	"repro/internal/provhttp"
 	"repro/internal/provrepl"
 	"repro/internal/provstore"
 	"repro/internal/tree"
@@ -186,6 +187,15 @@ func RunCLI(cfg CLIConfig, w io.Writer) error {
 		if rb, ok := backend.(*provrepl.ReplicatedBackend); ok {
 			if n := rb.LaggedReads(); n > 0 {
 				fmt.Fprintf(w, "note: %d read(s) served by a replica lagging the primary (read=any, lag=%d); the dump may trail the latest commits\n", n, rb.LagBound())
+			}
+		}
+		// Likewise for a cpdb://…?cache= client: cached answers are only as
+		// fresh as the horizon the client last observed, so when any read in
+		// this run was answered locally, say so. With caching off (the
+		// default) this stays silent and the dump is byte-identical.
+		if cc, ok := backend.(*provhttp.Client); ok {
+			if hits, _ := cc.CacheStats(); hits > 0 {
+				fmt.Fprintf(w, "note: %d read(s) served from the client result cache (cache=, horizon-keyed); answers reflect the last observed MaxTid\n", hits)
 			}
 		}
 	}

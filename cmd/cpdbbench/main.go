@@ -1,8 +1,8 @@
 // Command cpdbbench reruns the evaluation of Buneman, Chapman & Cheney
 // (SIGMOD 2006): every table and figure of §4, plus the design-choice
 // ablations and the sharded-ingest/group-commit, loopback
-// network-service, replication, and declarative-query sweeps that go
-// beyond the paper,
+// network-service, replication, declarative-query, authenticated-store,
+// and read-path-caching sweeps that go beyond the paper,
 // printing the rows/series behind each artifact. See EXPERIMENTS.md for the experiment ↔ figure
 // mapping and how to read the output.
 //
@@ -15,6 +15,7 @@
 //	cpdbbench -exp repl        # replicated:// ingest + read fan-out sweep
 //	cpdbbench -exp query       # declarative plans: pushdown + 1-RT remote execution
 //	cpdbbench -exp auth        # verified:// Merkle-tree overhead + proof cost sweep
+//	cpdbbench -exp cache       # client/plan/page caches vs size and horizon churn
 //	cpdbbench -quick           # scaled-down sizes (seconds, for smoke runs)
 //	cpdbbench -json out.json   # also write machine-readable results
 //	cpdbbench -list            # list experiment ids

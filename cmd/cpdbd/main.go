@@ -30,6 +30,15 @@
 // -slow-query logs the parsed query text of /v1/query requests over the
 // threshold; -pprof mounts the net/http/pprof handlers under /debug/pprof/.
 //
+// Caching (off by default): -cache-bytes bounds a server-side page cache
+// over limit-bounded /v1/scan-all pages — validity is horizon-keyed, so an
+// append invalidates simply by moving MaxTid — and -plan-cache caches up
+// to N compiled /v1/query plans by canonical query text. Both report
+// cpdb_cache_{hits,misses,evictions}_total and cpdb_cache_{bytes,entries}
+// at /metrics and cache.page.*/cache.plan.* counters at /v1/stats and in
+// the shutdown dump. Clients opt into their own result cache per DSN with
+// cpdb://host:port?cache=SIZE (rejected together with verify=pin).
+//
 // The daemon shuts down gracefully on SIGINT/SIGTERM: the listener stops
 // accepting, in-flight requests drain (bounded by -shutdown-timeout), and
 // the store's group-commit buffers are flushed and its files released
@@ -86,16 +95,28 @@ func main() {
 		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "how long to drain in-flight requests at shutdown")
 		slowQuery       = flag.Duration("slow-query", 0, "log the query text of /v1/query requests slower than this (0 = off)")
 		pprofOn         = flag.Bool("pprof", false, "serve net/http/pprof profiles under /debug/pprof/")
+		cacheBytes      = flag.String("cache-bytes", "", `server-side scan page cache budget, e.g. "16mb" (empty or 0 = off)`)
+		planCache       = flag.Int("plan-cache", 0, "cache up to N compiled /v1/query plans (0 = off)")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *backendDSN, *shutdownTimeout, *slowQuery, *pprofOn); err != nil {
+	pageBytes := int64(0)
+	if *cacheBytes != "" && *cacheBytes != "0" {
+		n, err := provhttp.ParseSizeBytes(*cacheBytes)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpdbd: -cache-bytes:", err)
+			os.Exit(1)
+		}
+		pageBytes = n
+	}
+
+	if err := run(*addr, *backendDSN, *shutdownTimeout, *slowQuery, *pprofOn, pageBytes, *planCache); err != nil {
 		fmt.Fprintln(os.Stderr, "cpdbd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, backendDSN string, shutdownTimeout, slowQuery time.Duration, pprofOn bool) error {
+func run(addr, backendDSN string, shutdownTimeout, slowQuery time.Duration, pprofOn bool, pageBytes int64, planEntries int) error {
 	backend, err := provstore.OpenDSN(backendDSN)
 	if err != nil {
 		return err
@@ -103,6 +124,8 @@ func run(addr, backendDSN string, shutdownTimeout, slowQuery time.Duration, ppro
 	srv := provhttp.NewServer(backend,
 		provhttp.WithRequestLog(slog.New(slog.NewTextHandler(os.Stderr, nil))),
 		provhttp.WithSlowQuery(slowQuery),
+		provhttp.WithPageCache(pageBytes),
+		provhttp.WithPlanCache(planEntries),
 	)
 
 	var handler http.Handler = srv

@@ -91,6 +91,17 @@
 // the client-stamped X-Cpdb-Trace-Id — the same id a failing client's
 // error prints — and dumps its counters on SIGTERM (DESIGN.md §9).
 //
+// The read path caches adaptively, exploiting the store's append-only
+// order: an answer computed at a horizon stays correct until MaxTid
+// moves. A cpdb:// store opened with ?cache=SIZE memoizes whole read
+// results client-side, invalidated by the client's own appends and by
+// any observed horizon move (stale-until-observed; bit-exact replays
+// otherwise), and the daemon's -cache-bytes and -plan-cache flags cache
+// encoded scan pages and compiled plans server-side. All caches are off
+// by default, export cpdb_cache_* metrics, and are bypassed entirely by
+// verify=pin clients, whose answers must carry fresh proofs
+// (DESIGN.md §10).
+//
 // Records rides the store's streaming scan path end to end: every backend
 // scan is a pull-based cursor (iter.Seq2[Record, error]), so a full-table
 // drain never materializes the relation — file-backed and remote stores

@@ -497,3 +497,53 @@ func TestAuthSweepShape(t *testing.T) {
 		}
 	}
 }
+
+// TestCacheSweepShape: the caching sweep produces both tables; at a warm
+// 1mb cache with no churn, repeated remote reads must beat the uncached
+// path by at least 2x (the acceptance bar — in practice it is far more),
+// the hit ratio must be high, and the server-side caches must record hits.
+func TestCacheSweepShape(t *testing.T) {
+	tabs, err := CacheSweep(quick(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 2 || tabs[0].ID != "cache" || tabs[1].ID != "cachesrv" {
+		t.Fatalf("want tables cache, cachesrv, got %v", tabs)
+	}
+	tb := tabs[0]
+	if len(tb.Rows) != 6 {
+		t.Fatalf("cache table should have 3 sizes x 2 churn rates = 6 rows:\n%s", tb)
+	}
+	// Rows are (size, churn) in declaration order; row 4 is 1mb/no-churn.
+	warm := -1
+	for r := range tb.Rows {
+		if cell(t, tb, r, 0) == "1mb" && cell(t, tb, r, 1) == "none" {
+			warm = r
+		}
+	}
+	if warm < 0 {
+		t.Fatalf("no 1mb/none row:\n%s", tb)
+	}
+	speedup := strings.TrimSuffix(cell(t, tb, warm, 4), "x")
+	if v, err := strconv.ParseFloat(speedup, 64); err != nil || v < 2 {
+		t.Errorf("warm-cache speedup = %sx, want >= 2x:\n%s", speedup, tb)
+	}
+	if hit := numCell(t, tb, warm, 3); hit < 80 {
+		t.Errorf("warm-cache hit ratio = %v%%, want >= 80%%:\n%s", hit, tb)
+	}
+	// The off rows must report no hit ratio at all.
+	for r := range tb.Rows {
+		if cell(t, tb, r, 0) == "off" && cell(t, tb, r, 3) != "-" {
+			t.Errorf("row %d: uncached client reported a hit ratio:\n%s", r, tb)
+		}
+	}
+	srv := tabs[1]
+	if len(srv.Rows) != 2 {
+		t.Fatalf("cachesrv table should have 2 rows:\n%s", srv)
+	}
+	for r := range srv.Rows {
+		if hits := numCell(t, srv, r, 3); hits <= 0 {
+			t.Errorf("row %d: server cache recorded no hits:\n%s", r, srv)
+		}
+	}
+}

@@ -1,0 +1,280 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/path"
+	"repro/internal/provhttp"
+	"repro/internal/provplan"
+	"repro/internal/provstore"
+)
+
+// This file is the adaptive-caching sweep: the same repeated remote reads
+// against a live loopback cpdb:// service, with the layered read-path
+// caches on and off. The client result cache is swept across cache size and
+// horizon churn (every append moves MaxTid, and an observed move
+// invalidates the client's whole generation); the server-side plan and page
+// caches are measured on the /v1/query and paged /v1/scan-all wires. The
+// paper's workloads are read-heavy — curation happens in bursts, queries
+// run all day — which is exactly the regime where horizon-keyed caching
+// pays: an answer computed at a horizon is valid until the horizon moves.
+
+// cacheSweepSizes are the client cache budgets under test: off, a budget
+// deliberately too small for the working set (evictions and oversized plan
+// results show up as a depressed hit ratio), and one that holds everything.
+var cacheSweepSizes = []string{"off", "1kb", "1mb"}
+
+// CacheSweep measures repeated remote reads under the layered caches.
+func CacheSweep(rc RunConfig) ([]*Table, error) {
+	cfg := DefaultNetSweep()
+	if rc.StepsShort < 3500 { // Quick() and test configs run a small sweep
+		cfg = quickNetSweep()
+	}
+	ctx := context.Background()
+
+	inner := provstore.NewMemBackend()
+	for t := 1; t <= cfg.Tids; t++ {
+		recs := make([]provstore.Record, 0, cfg.PerTid)
+		for i := 0; i < cfg.PerTid; i++ {
+			recs = append(recs, provstore.Record{
+				Tid: int64(t),
+				Op:  provstore.OpInsert,
+				Loc: path.New("MiMI", fmt.Sprintf("p%d", t), fmt.Sprintf("n%d", i)),
+			})
+		}
+		if err := inner.Append(ctx, recs); err != nil {
+			return nil, err
+		}
+	}
+
+	// Two loopback services over the same store: one with the server-side
+	// caches on, one plain — the on/off comparison for the second table.
+	// The client-cache sweep runs against the cached server, the deployed
+	// configuration.
+	startServer := func(opts ...provhttp.ServerOption) (string, *provhttp.Server, func(), error) {
+		srv := provhttp.NewServer(inner, opts...)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return "", nil, nil, err
+		}
+		hs := &http.Server{Handler: srv}
+		go hs.Serve(ln)                                            //nolint:errcheck // reports ErrServerClosed at teardown
+		return ln.Addr().String(), srv, func() { hs.Close() }, nil //nolint:errcheck // teardown
+	}
+	cachedAddr, cachedSrv, stopCached, err := startServer(
+		provhttp.WithPageCache(1<<20), provhttp.WithPlanCache(64))
+	if err != nil {
+		return nil, err
+	}
+	defer stopCached()
+	plainAddr, _, stopPlain, err := startServer()
+	if err != nil {
+		return nil, err
+	}
+	defer stopPlain()
+
+	writer, err := provstore.OpenDSN("cpdb://" + cachedAddr)
+	if err != nil {
+		return nil, err
+	}
+	defer provstore.Close(writer) //nolint:errcheck // loopback teardown
+
+	// The repeated-read working set: a handful of point lookups and plan
+	// queries, cycled over and over — the shape of a dashboard or a
+	// curation tool polling the same provenance questions.
+	probeTid := func(k int) int64 { return int64(k%cfg.Tids + 1) }
+	probeLoc := func(k int) path.Path {
+		return path.New("MiMI", fmt.Sprintf("p%d", probeTid(k)), fmt.Sprintf("n%d", k%cfg.PerTid))
+	}
+	const pointProbes = 8
+	texts := []string{
+		fmt.Sprintf("select where loc>=MiMI/p%d order tid-loc", cfg.Tids/2),
+		"select count",
+		fmt.Sprintf("hist MiMI/p%d/n0 asof %d", cfg.Tids/2, cfg.Tids),
+		fmt.Sprintf("mod MiMI/p%d asof %d", cfg.Tids/3, cfg.Tids),
+	}
+	queries := make([]*provplan.Query, len(texts))
+	for i, text := range texts {
+		q, err := provplan.Parse(text)
+		if err != nil {
+			return nil, fmt.Errorf("bench: cache: %q: %w", text, err)
+		}
+		queries[i] = q
+	}
+
+	// One read of everything in the working set: 8 point lookups, 4 plans.
+	readAll := func(b provstore.Backend) error {
+		for k := 0; k < pointProbes; k++ {
+			if _, _, err := b.Lookup(ctx, probeTid(k), probeLoc(k)); err != nil {
+				return err
+			}
+		}
+		for _, q := range queries {
+			if _, err := provplan.Collect(ctx, b, q); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	t1 := &Table{
+		ID: "cache",
+		Title: fmt.Sprintf("Repeated remote reads vs client cache size and horizon churn (%d iterations × %d reads, loopback cpdb://)",
+			cfg.Iters, pointProbes+len(texts)),
+	}
+	t1.Header = []string{"cache", "churn", "µs/read", "hit ratio", "speedup vs off"}
+	churns := []int{0, 8}
+	baseline := map[int]time.Duration{}
+	var churnTid int64 = 100000
+	for _, size := range cacheSweepSizes {
+		for _, churn := range churns {
+			dsn := "cpdb://" + cachedAddr
+			if size != "off" {
+				dsn += "?cache=" + size
+			}
+			rb, err := provstore.OpenDSN(dsn)
+			if err != nil {
+				return nil, err
+			}
+			reader := rb.(*provhttp.Client)
+			// Warm pass: fill the cache (and the server's plan cache) so the
+			// timed loop measures the steady state, not the cold start.
+			if err := readAll(reader); err != nil {
+				return nil, err
+			}
+			h0, m0 := reader.CacheStats()
+			reads := 0
+			start := time.Now()
+			for i := 0; i < cfg.Iters; i++ {
+				if churn > 0 && i%churn == churn-1 {
+					// Horizon churn: a foreign writer appends, and the reader
+					// observes the moved horizon — invalidating its whole
+					// cached generation, the conservative coherence rule.
+					churnTid++
+					if err := writer.Append(ctx, []provstore.Record{{
+						Tid: churnTid, Op: provstore.OpInsert,
+						Loc: path.New("MiMI", "churn", fmt.Sprintf("c%d", churnTid)),
+					}}); err != nil {
+						return nil, err
+					}
+					if _, err := reader.MaxTid(ctx); err != nil {
+						return nil, err
+					}
+				}
+				if err := readAll(reader); err != nil {
+					return nil, err
+				}
+				reads += pointProbes + len(texts)
+			}
+			perRead := time.Since(start) / time.Duration(reads)
+			h1, m1 := reader.CacheStats()
+			hitRatio := "-"
+			if dh, dm := h1-h0, m1-m0; dh+dm > 0 {
+				hitRatio = fmt.Sprintf("%.0f%%", 100*float64(dh)/float64(dh+dm))
+			}
+			speedup := "1.0x"
+			if size == "off" {
+				baseline[churn] = perRead
+			} else if base := baseline[churn]; base > 0 && perRead > 0 {
+				speedup = fmt.Sprintf("%.1fx", float64(base)/float64(perRead))
+			}
+			churnLabel := "none"
+			if churn > 0 {
+				churnLabel = fmt.Sprintf("every %d iters", churn)
+			}
+			t1.AddRow(size, churnLabel, us(perRead), hitRatio, speedup)
+			provstore.Close(reader) //nolint:errcheck // loopback teardown
+		}
+	}
+	t1.Note("each read cycles a fixed working set (8 point lookups + 4 plan queries); churn = a foreign append followed by the reader observing the moved MaxTid, which invalidates its cached generation")
+	t1.Note("the 1kb budget cannot hold the plan results (oversized entries are never cached) — the depressed hit ratio is the eviction policy showing")
+	t1.Note("caching is horizon-keyed: a hit replays an answer proven valid at the last observed MaxTid; verify=pin clients always bypass")
+
+	// Table 2: the server-side caches, measured with cache-less clients so
+	// only the server's behavior differs.
+	t2 := &Table{
+		ID:    "cachesrv",
+		Title: fmt.Sprintf("Server-side plan and page caches, on vs off (%d iterations, loopback)", cfg.Iters),
+	}
+	t2.Header = []string{"wire", "off µs/op", "on µs/op", "server hits"}
+	openPlain := func(addr string) (provstore.Backend, error) {
+		return provstore.OpenDSN("cpdb://" + addr)
+	}
+	onB, err := openPlain(cachedAddr)
+	if err != nil {
+		return nil, err
+	}
+	defer provstore.Close(onB) //nolint:errcheck // loopback teardown
+	offB, err := openPlain(plainAddr)
+	if err != nil {
+		return nil, err
+	}
+	defer provstore.Close(offB) //nolint:errcheck // loopback teardown
+
+	execPlans := func(b provstore.Backend) error {
+		for _, q := range queries {
+			if _, err := provplan.Collect(ctx, b, q); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	timeIt := func(f func() error) (time.Duration, error) {
+		start := time.Now()
+		for i := 0; i < cfg.Iters; i++ {
+			if err := f(); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start) / time.Duration(cfg.Iters), nil
+	}
+	planHits0 := cachedSrv.Stats()["cache.plan.hits"]
+	offPlan, err := timeIt(func() error { return execPlans(offB) })
+	if err != nil {
+		return nil, err
+	}
+	onPlan, err := timeIt(func() error { return execPlans(onB) })
+	if err != nil {
+		return nil, err
+	}
+	t2.AddRow("/v1/query (4 plans)", us(offPlan), us(onPlan),
+		fmt.Sprint(cachedSrv.Stats()["cache.plan.hits"]-planHits0))
+
+	// The paged scan wire: one keyset page, the unit concurrent paging
+	// cursors share. Raw GETs, because the Backend surface drains scans
+	// unbounded (which deliberately bypasses the page cache).
+	getPage := func(addr string) error {
+		resp, err := http.Get(fmt.Sprintf("http://%s/v1/scan-all?limit=%d", addr, cfg.PerTid))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close() //nolint:errcheck // drained below
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("bench: cache: page GET: HTTP %d", resp.StatusCode)
+		}
+		return nil
+	}
+	pageHits0 := cachedSrv.Stats()["cache.page.hits"]
+	offPage, err := timeIt(func() error { return getPage(plainAddr) })
+	if err != nil {
+		return nil, err
+	}
+	onPage, err := timeIt(func() error { return getPage(cachedAddr) })
+	if err != nil {
+		return nil, err
+	}
+	t2.AddRow(fmt.Sprintf("/v1/scan-all?limit=%d", cfg.PerTid), us(offPage), us(onPage),
+		fmt.Sprint(cachedSrv.Stats()["cache.page.hits"]-pageHits0))
+	t2.Note("plan cache: one compilation serves every request with the same canonical query text; page cache: one store scan and one NDJSON encoding serve every cursor at the same horizon and keyset position")
+	t2.Note("clients here carry no result cache, so every request reaches the server — the delta is server-side work only; the wire time itself dominates, which is why the client result cache above wins much more")
+
+	return []*Table{t1, t2}, nil
+}

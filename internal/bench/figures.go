@@ -102,6 +102,7 @@ func All() []Experiment {
 		{"repl", "Replicated store: ingest + read fan-out vs replica count (beyond the paper)", ReplSweep},
 		{"query", "Declarative plans: pushdown vs full scan, 1-RT remote plans vs legacy (beyond the paper)", QuerySweep},
 		{"auth", "Authenticated store: Merkle-tree ingest overhead, proof size and verify latency (beyond the paper)", AuthSweep},
+		{"cache", "Adaptive read-path caching: client result cache vs size and horizon churn, server plan/page caches on vs off (beyond the paper)", CacheSweep},
 	}
 }
 

@@ -85,6 +85,27 @@ func Parse(s string) (Path, error) {
 	return TryNew(parts...)
 }
 
+// ParseWith is Parse with each parsed label passed through intern, which
+// should return a canonical shared copy of its argument (or the argument
+// itself). Decode hot paths use it to make repeated edge labels across
+// millions of records share one backing string instead of allocating one
+// per occurrence. Unlike TryNew, ParseWith keeps the split slice it
+// already owns, so a parse costs one slice allocation plus whatever
+// intern declines to share.
+func ParseWith(s string, intern func(string) string) (Path, error) {
+	if s == "" {
+		return Root, nil
+	}
+	parts := strings.Split(s, string(Separator))
+	for i, l := range parts {
+		if !ValidLabel(l) {
+			return Root, fmt.Errorf("%w: %q", ErrBadLabel, l)
+		}
+		parts[i] = intern(l)
+	}
+	return Path{elems: parts}, nil
+}
+
 // MustParse is Parse for known-good literals; it panics on error.
 func MustParse(s string) Path {
 	p, err := Parse(s)

@@ -12,11 +12,14 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/path"
 	"repro/internal/provauth"
+	"repro/internal/provcache"
 	"repro/internal/provobs"
 	"repro/internal/provplan"
 	"repro/internal/provstore"
@@ -72,6 +75,19 @@ type Client struct {
 	pinMu   sync.Mutex
 	pin     provauth.Root
 	pinSet  bool
+
+	// Result cache (cpdb://…?cache=SIZE; nil when off). Keys embed gen, the
+	// client's horizon generation: it advances when this client appends or
+	// observes a higher MaxTid, making every older entry unreachable — the
+	// coherence contract of DESIGN.md §10. Verified (verify=pin) clients
+	// never build a cache: a cached answer would bypass the per-read proof
+	// check, weakening the threat model for latency.
+	cacheBytes int64
+	cache      *provcache.Cache
+	cacheMet   *provcache.Metrics
+	cacheReg   *provobs.Registry
+	gen        atomic.Int64
+	obsTid     atomic.Int64
 }
 
 // flushTimeout bounds the Flush/Close round trips, which take no caller
@@ -82,9 +98,11 @@ const flushTimeout = 30 * time.Second
 var (
 	_ provstore.Backend  = (*Client)(nil)
 	_ provstore.Flusher  = (*Client)(nil)
+	_ provstore.Gauger   = (*Client)(nil)
 	_ provplan.Executor  = (*Client)(nil)
 	_ io.Closer          = (*Client)(nil)
 	_ provauth.Authority = (*Client)(nil)
+	_ provobs.Source     = (*Client)(nil)
 )
 
 // A ClientOption configures a Client.
@@ -103,6 +121,17 @@ func WithVerifyPin(file string) ClientOption {
 	return func(c *Client) { c.verify, c.pinFile = true, file }
 }
 
+// WithResultCache bounds a client-side result cache to maxBytes — the
+// ?cache=SIZE DSN form. Repeated Lookup/NearestAncestor calls and repeated
+// declarative queries (Trace, Mod, …, via ExecPlan) answer locally with
+// zero round trips until this client appends or observes a higher MaxTid.
+// Ignored (≤ 0, or combined with verified mode, whose reads must stay
+// individually proof-checked). MaxTid itself is never cached — it *is* the
+// horizon observation.
+func WithResultCache(maxBytes int64) ClientOption {
+	return func(c *Client) { c.cacheBytes = maxBytes }
+}
+
 // NewClient returns a Backend speaking to the provenance service at
 // hostport ("10.0.0.5:7070", "[::1]:7070"). It does not dial: like a
 // database/sql driver, connection errors surface on first use.
@@ -116,11 +145,106 @@ func NewClient(hostport string, opts ...ClientOption) *Client {
 	for _, o := range opts {
 		o(c)
 	}
+	if c.cacheBytes > 0 && !c.verify {
+		c.cacheReg = provobs.NewRegistry()
+		c.cacheMet = provcache.NewMetrics(c.cacheReg, "client")
+		c.cache = provcache.New(c.cacheBytes, c.cacheMet)
+	}
 	return c
 }
 
 // Addr returns the service authority the client was opened against.
 func (c *Client) Addr() string { return c.base[len("http://"):] }
+
+// --- the client result cache -------------------------------------------------
+
+// pointResult is a cached point answer (found=false entries cache misses
+// too: a not-found at this horizon generation stays not-found until the
+// client's view of the store moves).
+type pointResult struct {
+	rec   provstore.Record
+	found bool
+}
+
+// bumpGen advances the cache generation, making every cached entry
+// unreachable (they age out of the LRU).
+func (c *Client) bumpGen() {
+	if c.cache != nil {
+		c.gen.Add(1)
+	}
+}
+
+// observeMaxTid folds a MaxTid answer into the horizon observation: seeing
+// a higher horizon than any seen before invalidates the cache (bumps the
+// generation). Re-observing the same horizon keeps every entry live —
+// that is what makes repeated reads at a pinned horizon free.
+func (c *Client) observeMaxTid(t int64) {
+	if c.cache == nil {
+		return
+	}
+	for {
+		cur := c.obsTid.Load()
+		if t <= cur {
+			return
+		}
+		if c.obsTid.CompareAndSwap(cur, t) {
+			c.gen.Add(1)
+			return
+		}
+	}
+}
+
+// cacheKey builds a cache key: method tag, current generation, canonical
+// arguments.
+func (c *Client) cacheKey(kind byte, args string) string {
+	return string(kind) + "\x00" + strconv.FormatInt(c.gen.Load(), 10) + "\x00" + args
+}
+
+// recordFootprint approximates a cached record's resident bytes.
+func recordFootprint(r provstore.Record) int64 {
+	return 32 + 16*int64(r.Loc.Len()+r.Src.Len())
+}
+
+// rowFootprint approximates a cached query row's resident bytes.
+func rowFootprint(row provplan.Row) int64 {
+	switch row.Kind {
+	case provplan.RowRecord:
+		return 32 + recordFootprint(row.Rec)
+	case provplan.RowEvent:
+		return 64 + 16*int64(row.Event.Loc.Len()+row.Event.Src.Len())
+	default:
+		return 64
+	}
+}
+
+// CacheStats reports the result cache's hit/miss counters (zero when
+// caching is off) — the CLI's dump note and tests read it; /metrics and
+// /v1/stats carry the same numbers via the cache registry.
+func (c *Client) CacheStats() (hits, misses int64) {
+	if c.cacheMet == nil {
+		return 0, 0
+	}
+	return c.cacheMet.Hits(), c.cacheMet.Misses()
+}
+
+// ObsRegistries implements provobs.Source: the result cache's registry,
+// so a daemon chaining a cached client (or any /metrics exposition over
+// this backend) carries the cpdb_cache_*{cache="client"} series.
+func (c *Client) ObsRegistries() []*provobs.Registry {
+	if c.cacheReg == nil {
+		return nil
+	}
+	return []*provobs.Registry{c.cacheReg}
+}
+
+// Gauges implements provstore.Gauger with the cache's flat
+// cache.client.* keys, so a chaining daemon's /v1/stats shows them.
+func (c *Client) Gauges() map[string]int64 {
+	if c.cacheReg == nil {
+		return nil
+	}
+	return c.cacheReg.StatsMap()
+}
 
 // --- one round trip per Backend method --------------------------------------
 
@@ -178,19 +302,47 @@ func (c *Client) getJSON(ctx context.Context, p string, q url.Values, out any) e
 	return nil
 }
 
-// Append implements Backend: the whole batch travels as one NDJSON POST.
+// appendBufPool recycles the NDJSON encode buffers of Append round trips.
+// A buffer returns to the pool from pooledBody.Close — called by the
+// transport exactly when it is done reading the request body — never
+// earlier, so reuse cannot race a still-sending request.
+var appendBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// pooledBody is a request body over a pooled buffer; Close recycles it.
+type pooledBody struct {
+	*bytes.Reader
+	buf *bytes.Buffer
+}
+
+func (b *pooledBody) Close() error {
+	if b.buf != nil {
+		b.buf.Reset()
+		appendBufPool.Put(b.buf)
+		b.buf = nil
+	}
+	return nil
+}
+
+// Append implements Backend: the whole batch travels as one NDJSON POST,
+// encoded into a pooled, pre-sized buffer. A successful append moves this
+// client's view of the store, so it invalidates the result cache.
 func (c *Client) Append(ctx context.Context, recs []provstore.Record) error {
-	var buf bytes.Buffer
-	enc := json.NewEncoder(&buf)
+	buf := appendBufPool.Get().(*bytes.Buffer)
+	buf.Grow(64 * len(recs))
+	enc := json.NewEncoder(buf)
 	for i := range recs {
 		if err := enc.Encode(toWire(recs[i])); err != nil {
+			buf.Reset()
+			appendBufPool.Put(buf)
 			return err
 		}
 	}
-	resp, err := c.do(ctx, http.MethodPost, "/v1/append", nil, &buf, http.StatusNoContent)
+	body := &pooledBody{Reader: bytes.NewReader(buf.Bytes()), buf: buf}
+	resp, err := c.do(ctx, http.MethodPost, "/v1/append", nil, body, http.StatusNoContent)
 	if err != nil {
 		return err
 	}
+	c.bumpGen()
 	return resp.Body.Close()
 }
 
@@ -214,11 +366,30 @@ func (c *Client) point(ctx context.Context, p string, tid int64, loc path.Path) 
 	return rec, true, nil
 }
 
+// cachedPoint answers a point read from the result cache when possible,
+// filling it from one round trip otherwise. Not-found answers are cached
+// too — at an unchanged generation a miss stays a miss.
+func (c *Client) cachedPoint(ctx context.Context, kind byte, p string, tid int64, loc path.Path) (provstore.Record, bool, error) {
+	key := c.cacheKey(kind, strconv.FormatInt(tid, 10)+"\x00"+loc.String())
+	if v, ok := c.cache.Get(key); ok {
+		pr := v.(pointResult)
+		return pr.rec, pr.found, nil
+	}
+	rec, found, err := c.point(ctx, p, tid, loc)
+	if err == nil {
+		c.cache.Put(key, pointResult{rec, found}, int64(len(key))+recordFootprint(rec))
+	}
+	return rec, found, err
+}
+
 // Lookup implements Backend. In verified mode it travels as /v1/prove and
 // the answer is checked against the pinned root before being returned.
 func (c *Client) Lookup(ctx context.Context, tid int64, loc path.Path) (provstore.Record, bool, error) {
 	if c.verify {
 		return c.provePoint(ctx, tid, loc, false)
+	}
+	if c.cache != nil {
+		return c.cachedPoint(ctx, 'l', "/v1/lookup", tid, loc)
 	}
 	return c.point(ctx, "/v1/lookup", tid, loc)
 }
@@ -228,6 +399,9 @@ func (c *Client) Lookup(ctx context.Context, tid int64, loc path.Path) (provstor
 func (c *Client) NearestAncestor(ctx context.Context, tid int64, loc path.Path) (provstore.Record, bool, error) {
 	if c.verify {
 		return c.provePoint(ctx, tid, loc, true)
+	}
+	if c.cache != nil {
+		return c.cachedPoint(ctx, 'a', "/v1/ancestor", tid, loc)
 	}
 	return c.point(ctx, "/v1/ancestor", tid, loc)
 }
@@ -554,7 +728,53 @@ func (c *Client) ScanAllAfter(ctx context.Context, tid int64, loc path.Path) ite
 // against the (pin-checked) response root; derived rows — tids,
 // aggregates, trace steps — are computed answers with no leaf to prove and
 // pass through under the root's cover of the relation they came from.
+//
+// With a result cache, a repeated query at an unchanged generation replays
+// its materialized rows locally — zero round trips. Only fully drained,
+// error-free result streams are cached (a consumer that breaks early never
+// saw the tail, so there is nothing complete to keep); analyze queries
+// carry per-execution timings and bypass the cache, as does verified mode.
 func (c *Client) ExecPlan(ctx context.Context, q *provplan.Query) iter.Seq2[provplan.Row, error] {
+	if c.cache == nil || c.verify || q.Analyze {
+		return c.execPlan(ctx, q)
+	}
+	key := c.cacheKey('q', q.String())
+	if v, ok := c.cache.Get(key); ok {
+		rows := v.([]provplan.Row)
+		return func(yield func(provplan.Row, error) bool) {
+			for _, row := range rows {
+				if !yield(row, nil) {
+					return
+				}
+			}
+		}
+	}
+	return func(yield func(provplan.Row, error) bool) {
+		rows := make([]provplan.Row, 0, 16)
+		size := int64(len(key))
+		complete := true
+		c.execPlan(ctx, q)(func(row provplan.Row, err error) bool {
+			if err != nil {
+				complete = false
+				yield(provplan.Row{}, err)
+				return false
+			}
+			rows = append(rows, row)
+			size += rowFootprint(row)
+			if !yield(row, nil) {
+				complete = false
+				return false
+			}
+			return true
+		})
+		if complete {
+			c.cache.Put(key, rows, size)
+		}
+	}
+}
+
+// execPlan is the uncached /v1/query round trip under ExecPlan.
+func (c *Client) execPlan(ctx context.Context, q *provplan.Query) iter.Seq2[provplan.Row, error] {
 	return func(yield func(provplan.Row, error) bool) {
 		body, err := json.Marshal(q)
 		if err != nil {
@@ -843,7 +1063,9 @@ func (c *Client) Tids(ctx context.Context) ([]int64, error) {
 	return resp.Tids, nil
 }
 
-// MaxTid implements Backend.
+// MaxTid implements Backend. The answer is never cached — it *is* the
+// horizon observation: every call is a real round trip, and an answer
+// higher than any seen before invalidates the result cache.
 func (c *Client) MaxTid(ctx context.Context) (int64, error) {
 	var resp struct {
 		MaxTid int64 `json:"maxTid"`
@@ -851,6 +1073,7 @@ func (c *Client) MaxTid(ctx context.Context) (int64, error) {
 	if err := c.getJSON(ctx, "/v1/maxtid", nil, &resp); err != nil {
 		return 0, err
 	}
+	c.observeMaxTid(resp.MaxTid)
 	return resp.MaxTid, nil
 }
 
@@ -921,11 +1144,35 @@ func init() {
 	provstore.RegisterDriver("cpdb", provstore.DriverFunc(openDSN))
 }
 
-// openDSN opens cpdb://host:port[?timeout=5s][&verify=pin&pin=FILE]: a
-// client backend speaking to the cpdbd provenance service at that
-// authority, verifying every answer against the pinned root when asked.
+// ParseSizeBytes parses a human byte size: a plain integer byte count or
+// one with a kb/mb/gb suffix (powers of 1024, case-insensitive).
+func ParseSizeBytes(s string) (int64, error) {
+	mult := int64(1)
+	lower := strings.ToLower(s)
+	for _, u := range []struct {
+		suffix string
+		mult   int64
+	}{{"kb", 1 << 10}, {"mb", 1 << 20}, {"gb", 1 << 30}} {
+		if strings.HasSuffix(lower, u.suffix) {
+			mult, lower = u.mult, strings.TrimSuffix(lower, u.suffix)
+			break
+		}
+	}
+	n, err := strconv.ParseInt(lower, 10, 64)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("provhttp: %q is not a positive byte size (want N, Nkb, Nmb or Ngb)", s)
+	}
+	return n * mult, nil
+}
+
+// openDSN opens cpdb://host:port[?timeout=5s][&cache=SIZE]
+// [&verify=pin&pin=FILE]: a client backend speaking to the cpdbd
+// provenance service at that authority, caching read results locally
+// and/or verifying every answer against the pinned root when asked.
+// cache combined with verify=pin is rejected: verified reads are
+// individually proof-checked and must not answer from a local cache.
 func openDSN(dsn provstore.DSN) (provstore.Backend, error) {
-	if err := dsn.RejectUnknownParams("timeout", "verify", "pin"); err != nil {
+	if err := dsn.RejectUnknownParams("timeout", "verify", "pin", "cache"); err != nil {
 		return nil, err
 	}
 	host, port, err := dsn.HostPort()
@@ -939,6 +1186,16 @@ func openDSN(dsn provstore.DSN) (provstore.Backend, error) {
 			return nil, fmt.Errorf("provstore: dsn %s: timeout %q is not a positive duration", dsn, v)
 		}
 		opts = append(opts, WithTimeout(d))
+	}
+	if v := dsn.Param("cache"); v != "" {
+		if dsn.Param("verify") != "" {
+			return nil, fmt.Errorf("provstore: dsn %s: cache cannot be combined with verify=pin (verified reads are proof-checked per round trip, never served from a local cache)", dsn)
+		}
+		n, err := ParseSizeBytes(v)
+		if err != nil {
+			return nil, fmt.Errorf("provstore: dsn %s: bad cache size: %w", dsn, err)
+		}
+		opts = append(opts, WithResultCache(n))
 	}
 	switch v := dsn.Param("verify"); v {
 	case "":

@@ -1,6 +1,7 @@
 package provhttp
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -14,6 +15,7 @@ import (
 
 	"repro/internal/path"
 	"repro/internal/provauth"
+	"repro/internal/provcache"
 	"repro/internal/provobs"
 	"repro/internal/provplan"
 	"repro/internal/provstore"
@@ -44,6 +46,14 @@ type Server struct {
 	stats     serverStats
 	log       *slog.Logger  // nil: no request log
 	slowQuery time.Duration // 0: no slow-query logging
+
+	// pageCache shares encoded, limit-bounded /v1/scan-all pages across
+	// concurrent cursors at the same horizon and keyset position (nil: off).
+	// planCache shares compiled /v1/query plans by canonical query text
+	// (nil: off). Both register their cpdb_cache_* series on the server
+	// registry, so /v1/stats, /metrics and the shutdown dump carry them.
+	pageCache *provcache.Cache
+	planCache *provcache.Cache
 }
 
 // A ServerOption configures a Server at construction.
@@ -60,6 +70,36 @@ func WithRequestLog(log *slog.Logger) ServerOption {
 // at warning level with its parsed query text. Needs WithRequestLog.
 func WithSlowQuery(d time.Duration) ServerOption {
 	return func(s *Server) { s.slowQuery = d }
+}
+
+// WithPageCache bounds a server-side scan page cache to maxBytes (≤ 0:
+// off) — the -cache-bytes daemon flag. Limit-bounded /v1/scan-all pages
+// are cached as their encoded NDJSON bytes, keyed by (current MaxTid,
+// keyset position, limit): concurrent paging cursors at the same horizon
+// share one store scan and one encoding, and any append moves the horizon
+// so stale pages are simply never keyed again. Unbounded (no-limit)
+// drains and proofs=1 streams always bypass it.
+func WithPageCache(maxBytes int64) ServerOption {
+	return func(s *Server) {
+		if maxBytes > 0 {
+			s.pageCache = provcache.New(maxBytes, provcache.NewMetrics(s.stats.reg, "page"))
+		}
+	}
+}
+
+// WithPlanCache caches up to n compiled plans on the /v1/query path
+// (≤ 0: off) — the -plan-cache daemon flag. Plans are immutable and safe
+// for concurrent use (each Rows call is an independent execution), so one
+// compiled plan serves every request with the same canonical Query.String()
+// against this server's backend. Analyze queries bypass the cache: their
+// text form is the same as the plain query's, and they are diagnostics,
+// not a hot path.
+func WithPlanCache(n int) ServerOption {
+	return func(s *Server) {
+		if n > 0 {
+			s.planCache = provcache.New(int64(n), provcache.NewMetrics(s.stats.reg, "plan"))
+		}
+	}
 }
 
 // serverStats holds the server's provobs metrics. Every counter and gauge
@@ -638,6 +678,15 @@ func (s *Server) handleScanAll(w http.ResponseWriter, r *http.Request) {
 		limit = n
 	}
 
+	// A limit-bounded page with no proof stamping can be served from (and
+	// fill) the shared page cache. Unbounded drains stay streaming — their
+	// size is the whole relation — and proofs=1 responses are per-client
+	// (the snapshot root is negotiated per request), so both bypass it.
+	if s.pageCache != nil && limit > 0 && r.URL.Query().Get("proofs") == "" {
+		s.servePage(w, r, afterTid, afterLoc, hasAfter, limit)
+		return
+	}
+
 	// The keyset window over a seeked cursor: ScanAllAfter positions the
 	// store directly on the successor of the resume key (a B-tree descent,
 	// a binary search — not a walk over everything already streamed), and
@@ -671,6 +720,85 @@ func (s *Server) handleScanAll(w http.ResponseWriter, r *http.Request) {
 	s.streamScan(w, r, window, func() bool { return cut }, stamp)
 }
 
+// cachedPage is one encoded /v1/scan-all page: the exact NDJSON bytes the
+// streaming path would have produced (records plus terminator), with the
+// record count for the stats the streaming path would have counted.
+type cachedPage struct {
+	body []byte
+	n    int
+}
+
+// servePage serves a limit-bounded scan page through the page cache. The
+// key embeds the backend's current MaxTid, so validity is purely
+// horizon-keyed: the relation is append-only, which means a page at a given
+// keyset position and horizon is immutable — and any append moves the
+// horizon, after which stale pages are never keyed again and age out of the
+// LRU. A miss materializes the page into a buffer (bounded by limit, unlike
+// a full drain), stores it only if the scan terminated cleanly, and replies
+// with the same bytes either way.
+func (s *Server) servePage(w http.ResponseWriter, r *http.Request, afterTid int64, afterLoc path.Path, hasAfter bool, limit int) {
+	curMax, err := s.inner.MaxTid(r.Context())
+	if err != nil {
+		s.fail(w, err, http.StatusInternalServerError)
+		return
+	}
+	key := strconv.FormatInt(curMax, 10) + "\x00" +
+		strconv.FormatBool(hasAfter) + "\x00" +
+		strconv.FormatInt(afterTid, 10) + "\x00" +
+		afterLoc.String() + "\x00" +
+		strconv.Itoa(limit)
+	if v, ok := s.pageCache.Get(key); ok {
+		pg := v.(*cachedPage)
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Write(pg.body) //nolint:errcheck // stream end
+		s.stats.recordsStreamed.Add(int64(pg.n))
+		setRecords(w, pg.n)
+		return
+	}
+
+	var inner iter.Seq2[provstore.Record, error]
+	if hasAfter {
+		inner = s.inner.ScanAllAfter(r.Context(), afterTid, afterLoc)
+	} else {
+		inner = s.inner.ScanAll(r.Context())
+	}
+	var buf bytes.Buffer
+	buf.Grow(64 * limit)
+	enc := json.NewEncoder(&buf)
+	n := 0
+	cut := false
+	var scanErr error
+	for rec, err := range inner {
+		if err != nil {
+			scanErr = err
+			break
+		}
+		if n == limit {
+			cut = true // this record exists beyond the page: more to come
+			break
+		}
+		wr := toWire(rec)
+		if err := enc.Encode(scanLine{R: &wr}); err != nil {
+			scanErr = err
+			break
+		}
+		n++
+	}
+	if scanErr != nil {
+		// Nothing was written yet (the page buffers before the first byte),
+		// so a scan error still gets a proper status line.
+		s.fail(w, scanErr, http.StatusInternalServerError)
+		return
+	}
+	enc.Encode(scanLine{EOF: true, N: n, More: cut}) //nolint:errcheck // local buffer
+	pg := &cachedPage{body: bytes.Clone(buf.Bytes()), n: n}
+	s.pageCache.Put(key, pg, int64(len(key)+len(pg.body)))
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Write(pg.body) //nolint:errcheck // stream end
+	s.stats.recordsStreamed.Add(int64(n))
+	setRecords(w, n)
+}
+
 // handleQuery executes a whole declarative plan server-side, next to the
 // data: the JSON body is a provplan.Query, compiled against the inner
 // backend (a sharded inner store scatter-gathers its subplans here, in the
@@ -686,12 +814,29 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, fmt.Errorf("provhttp: bad query body: %w", err), http.StatusBadRequest)
 		return
 	}
-	pl, err := provplan.Compile(s.inner, &q)
-	if err != nil {
-		s.fail(w, err, http.StatusBadRequest)
-		return
+	text := q.String()
+	var pl *provplan.Plan
+	// Plans are immutable and safe for concurrent use, so one compilation
+	// serves every request with the same canonical text. Analyze queries
+	// bypass the cache: Analyze is not part of the canonical text, and a
+	// plan compiled under it answers with tracing rows.
+	if s.planCache != nil && !q.Analyze {
+		if v, ok := s.planCache.Get(text); ok {
+			pl = v.(*provplan.Plan)
+		}
 	}
-	setQueryText(w, q.String())
+	if pl == nil {
+		var err error
+		pl, err = provplan.Compile(s.inner, &q)
+		if err != nil {
+			s.fail(w, err, http.StatusBadRequest)
+			return
+		}
+		if s.planCache != nil && !q.Analyze {
+			s.planCache.Put(text, pl, 1)
+		}
+	}
+	setQueryText(w, text)
 	stamp, ok := s.authStamp(w, r)
 	if !ok {
 		return

@@ -98,9 +98,41 @@ import (
 
 	"repro/internal/path"
 	"repro/internal/provauth"
+	"repro/internal/provcache"
 	"repro/internal/provplan"
 	"repro/internal/provstore"
 )
+
+// The decode hot path of a drain parses one Loc (and often one Src) per
+// NDJSON line. Real provenance streams repeat a small vocabulary of
+// locations and edge labels millions of times, so two intern layers sit
+// under the codec: whole canonical strings map to their already-parsed
+// Path (zero parsing, zero allocation on a hit), and on a whole-path miss
+// the individual labels are interned so distinct paths still share label
+// storage. Reads are lock-free (provcache.Intern); the tables are capped,
+// and an unseen path past the cap simply parses the ordinary way.
+var (
+	wirePathIntern = provcache.NewIntern[path.Path](8192)
+	wireSegIntern  = provcache.NewIntern[string](4096)
+)
+
+// internSegment returns the canonical shared copy of one edge label.
+func internSegment(l string) string { return provcache.InternString(wireSegIntern, l) }
+
+// parseWirePath parses a canonical path string from the wire through the
+// intern layers. Parsed paths are immutable, so sharing one Path value
+// across records and goroutines is safe.
+func parseWirePath(s string) (path.Path, error) {
+	if p, ok := wirePathIntern.Get(s); ok {
+		return p, nil
+	}
+	p, err := path.ParseWith(s, internSegment)
+	if err != nil {
+		return path.Root, err
+	}
+	wirePathIntern.Put(s, p)
+	return p, nil
+}
 
 // Authentication headers on proven streams: the one root every "p" proof
 // of the response verifies against, and (when the request carried
@@ -189,10 +221,10 @@ func (w wireRecord) record() (provstore.Record, error) {
 	}
 	r := provstore.Record{Tid: w.Tid, Op: provstore.OpKind(w.Op[0])}
 	var err error
-	if r.Loc, err = path.Parse(w.Loc); err != nil {
+	if r.Loc, err = parseWirePath(w.Loc); err != nil {
 		return provstore.Record{}, fmt.Errorf("provhttp: bad loc %q: %w", w.Loc, err)
 	}
-	if r.Src, err = path.Parse(w.Src); err != nil {
+	if r.Src, err = parseWirePath(w.Src); err != nil {
 		return provstore.Record{}, fmt.Errorf("provhttp: bad src %q: %w", w.Src, err)
 	}
 	if err := r.Validate(); err != nil {
@@ -321,10 +353,10 @@ func (l queryLine) row() (provplan.Row, error) {
 		}
 		ev := provplan.Event{Tid: l.Ev.Tid, Op: provstore.OpKind(l.Ev.Op[0])}
 		var err error
-		if ev.Loc, err = path.Parse(l.Ev.Loc); err != nil {
+		if ev.Loc, err = parseWirePath(l.Ev.Loc); err != nil {
 			return provplan.Row{}, fmt.Errorf("provhttp: bad event loc %q: %w", l.Ev.Loc, err)
 		}
-		if ev.Src, err = path.Parse(l.Ev.Src); err != nil {
+		if ev.Src, err = parseWirePath(l.Ev.Src); err != nil {
 			return provplan.Row{}, fmt.Errorf("provhttp: bad event src %q: %w", l.Ev.Src, err)
 		}
 		return provplan.Row{Kind: provplan.RowEvent, Event: ev}, nil

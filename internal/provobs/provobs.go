@@ -236,9 +236,11 @@ func (r *Registry) StatsMap(extra ...map[string]int64) map[string]int64 {
 // DumpLines renders a stats snapshot as sorted "k=v" lines for a shutdown
 // dump. Zero values are elided, except the ones where zero is exactly the
 // interesting reading: cursors_open (the cursor-leak gauge), the
-// endpoint.scan/all counter (did clients use the streaming cursor), and
-// every repl.* / auth.* gauge (a zero lag or zero verify-failure count at
-// shutdown is the healthy sign-off being looked for).
+// endpoint.scan/all counter (did clients use the streaming cursor), every
+// repl.* / auth.* gauge (a zero lag or zero verify-failure count at
+// shutdown is the healthy sign-off being looked for), and every cache.*
+// counter (a cache that was enabled but never hit should say so, not
+// vanish).
 func DumpLines(stats map[string]int64) []string {
 	keys := make([]string, 0, len(stats))
 	for k := range stats {
@@ -257,6 +259,9 @@ func DumpLines(stats map[string]int64) []string {
 // alwaysDumped reports whether a stats key prints even at zero.
 func alwaysDumped(k string) bool {
 	if k == "cursors_open" || k == "endpoint.scan/all" {
+		return true
+	}
+	if len(k) > 6 && k[:6] == "cache." {
 		return true
 	}
 	return len(k) > 5 && (k[:5] == "repl." || k[:5] == "auth.")

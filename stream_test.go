@@ -109,7 +109,7 @@ func legacyRecords(ctx context.Context, b cpdb.Backend) ([]cpdb.Record, error) {
 
 // benchStore loads a store with many small transactions for drain
 // benchmarks.
-func benchStore(b *testing.B, backend cpdb.Backend) int {
+func benchStore(b testing.TB, backend cpdb.Backend) int {
 	b.Helper()
 	ctx := context.Background()
 	total := 0
@@ -128,6 +128,44 @@ func benchStore(b *testing.B, backend cpdb.Backend) int {
 		total += len(recs)
 	}
 	return total
+}
+
+// TestRemoteDrainAllocBound bounds the decode cost of the remote drain hot
+// path: draining the 4000-record bench store over a live cpdb:// connection
+// must stay under a loose per-record allocation budget. The NDJSON decoder
+// interns path strings and segments, so a warm drain re-uses one shared
+// Path per distinct location instead of reallocating labels per record; the
+// bound has generous headroom (JSON tokenizing allocates) and exists to
+// catch order-of-magnitude regressions, not to pin an exact count.
+func TestRemoteDrainAllocBound(t *testing.T) {
+	inner := provstore.NewMemBackend()
+	total := benchStore(t, inner)
+	dsn, _ := startStatService(t, inner)
+	backend, err := cpdb.OpenBackend(dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer provstore.Close(backend) //nolint:errcheck // loopback teardown
+	ctx := context.Background()
+	drain := func() {
+		n := 0
+		for _, err := range backend.ScanAll(ctx) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			n++
+		}
+		if n != total {
+			t.Fatalf("drained %d of %d", n, total)
+		}
+	}
+	drain() // warm the connection and the intern tables
+	perRecord := testing.AllocsPerRun(3, drain) / float64(total)
+	const maxAllocsPerRecord = 12
+	if perRecord > maxAllocsPerRecord {
+		t.Errorf("remote drain allocates %.1f objects/record, budget %d", perRecord, maxAllocsPerRecord)
+	}
+	t.Logf("remote drain: %.2f allocs/record over %d records", perRecord, total)
 }
 
 // BenchmarkScanAllStreamed drains the full store through the ScanAll
