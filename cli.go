@@ -15,6 +15,7 @@ import (
 	"repro/internal/provhttp"
 	"repro/internal/provrepl"
 	"repro/internal/provstore"
+	"repro/internal/provtrace"
 	"repro/internal/tree"
 )
 
@@ -64,6 +65,12 @@ type CLIConfig struct {
 	// rows-in/rows-out/time print after the result. A single query opts in
 	// with "plan -analyze QUERY".
 	Analyze bool
+	// Trace records a span trace across this invocation's queries and
+	// prints its id after they run. Against a cpdb:// backend every RPC
+	// stamps the open span's id, so the daemon (and any daemon it chains
+	// to) stores its half of the trace under the same id — inspect the
+	// merged tree afterwards with -query "traces ID".
+	Trace bool
 	// Dump prints the provenance table and final target tree.
 	Dump bool
 }
@@ -163,10 +170,19 @@ func RunCLI(cfg CLIConfig, w io.Writer) error {
 		fmt.Fprintf(w, "applied %d operations under method %s\n", s.TotalOps(), method)
 	}
 
+	qctx := context.Background()
+	var rec *provtrace.Recorder
+	if cfg.Trace {
+		rec = provtrace.NewRecorder("", "")
+		qctx = provtrace.WithRecorder(qctx, rec)
+	}
 	for _, q := range cfg.Queries {
-		if err := runQuery(s, q, w, cfg.Analyze); err != nil {
+		if err := runQuery(qctx, s, q, w, cfg.Analyze); err != nil {
 			return err
 		}
+	}
+	if rec != nil {
+		fmt.Fprintf(w, "trace %s\n", rec.TraceID())
 	}
 
 	if cfg.Dump {
@@ -202,17 +218,19 @@ func RunCLI(cfg CLIConfig, w io.Writer) error {
 	return nil
 }
 
-func runQuery(s *Session, q string, w io.Writer, analyze bool) error {
+func runQuery(ctx context.Context, s *Session, q string, w io.Writer, analyze bool) error {
 	kind, rest, ok := strings.Cut(strings.TrimSpace(q), " ")
 	switch strings.ToLower(kind) {
 	case "root", "prove", "verify":
-		return runAuthQuery(s, strings.ToLower(kind), strings.TrimSpace(rest), w)
+		return runAuthQuery(ctx, s, strings.ToLower(kind), strings.TrimSpace(rest), w)
+	case "traces":
+		return runTraces(ctx, s, strings.TrimSpace(rest), w)
 	}
 	if !ok {
-		return fmt.Errorf("cpdb: query %q is not 'src|hist|mod|trace PATH', 'plan QUERY', 'root', 'prove TID LOC' or 'verify'", q)
+		return fmt.Errorf("cpdb: query %q is not 'src|hist|mod|trace PATH', 'plan QUERY', 'root', 'prove TID LOC', 'verify' or 'traces [-slow DUR] [ID]'", q)
 	}
 	if strings.EqualFold(kind, "plan") {
-		return runPlan(s, rest, w, analyze)
+		return runPlan(ctx, s, rest, w, analyze)
 	}
 	p, err := ParsePath(strings.TrimSpace(rest))
 	if err != nil {
@@ -263,7 +281,7 @@ func runQuery(s *Session, q string, w io.Writer, analyze bool) error {
 // cpdb:// backend the whole query is one round trip to the daemon — with
 // analyze on, the per-operator stats ride back as the result stream's
 // trailer row, so it is still exactly one round trip.
-func runPlan(s *Session, text string, w io.Writer, analyze bool) error {
+func runPlan(ctx context.Context, s *Session, text string, w io.Writer, analyze bool) error {
 	text = strings.TrimSpace(text)
 	if rest, ok := strings.CutPrefix(text, "-analyze "); ok {
 		analyze, text = true, rest
@@ -277,7 +295,7 @@ func runPlan(s *Session, text string, w io.Writer, analyze bool) error {
 		cp.Analyze = true
 		pq = &cp
 	}
-	res, err := s.Query().PlanQuery(pq)
+	res, err := s.Query(WithContext(ctx)).PlanQuery(pq)
 	if err != nil {
 		return err
 	}
@@ -338,7 +356,7 @@ func sessionAuthority(s *Session) (provauth.Authority, error) {
 // committed state, so buffered writes are pushed down and the open
 // transaction sealed first — otherwise a half-flushed transaction would
 // read as tampering.
-func runAuthQuery(s *Session, kind, rest string, w io.Writer) error {
+func runAuthQuery(ctx context.Context, s *Session, kind, rest string, w io.Writer) error {
 	if err := s.Flush(); err != nil {
 		return err
 	}
@@ -349,12 +367,15 @@ func runAuthQuery(s *Session, kind, rest string, w io.Writer) error {
 	// The session's Flush drains the batching layer into the authority;
 	// this one makes the authority seal the transaction those writes
 	// opened.
-	if f, ok := auth.(provstore.Flusher); ok {
+	if f, ok := auth.(provstore.ContextFlusher); ok {
+		if err := f.FlushContext(ctx); err != nil {
+			return err
+		}
+	} else if f, ok := auth.(provstore.Flusher); ok {
 		if err := f.Flush(); err != nil {
 			return err
 		}
 	}
-	ctx := context.Background()
 	switch kind {
 	case "root":
 		if rest != "" {
@@ -417,6 +438,88 @@ func runAuthQuery(s *Session, kind, rest string, w io.Writer) error {
 			return fmt.Errorf("cpdb: verify: store returned %d record(s) but the root covers %d", n, root.Size)
 		}
 		fmt.Fprintf(w, "verify: ok — %d record(s) match root %s\n", n, root)
+	}
+	return nil
+}
+
+// sessionTraces unwraps the session's backend chain to the first cpdb://
+// client — traces live in a daemon's ring buffer, so the verb only works
+// against a remote backend.
+func sessionTraces(s *Session) (*provhttp.Client, error) {
+	var b Backend = s.BackendStore()
+	for b != nil {
+		if c, ok := b.(*provhttp.Client); ok {
+			return c, nil
+		}
+		u, ok := b.(interface{ Inner() provstore.Backend })
+		if !ok {
+			break
+		}
+		b = u.Inner()
+	}
+	return nil, errors.New("cpdb: traces live in a daemon's buffer; open the store via -backend cpdb://HOST:PORT (daemon started with -trace-buffer)")
+}
+
+// runTraces serves the "traces [-slow DUR] [ID]" verb: with an ID it fetches
+// that trace — the daemon merges in the halves recorded by any daemon it
+// chains to — and renders the span tree; without one it lists the daemon's
+// buffered traces, newest first, optionally filtered to roots at least
+// -slow long.
+func runTraces(ctx context.Context, s *Session, rest string, w io.Writer) error {
+	cli, err := sessionTraces(s)
+	if err != nil {
+		return err
+	}
+	var minDur time.Duration
+	var id string
+	fields := strings.Fields(rest)
+	for i := 0; i < len(fields); i++ {
+		switch {
+		case fields[i] == "-slow":
+			if i+1 >= len(fields) {
+				return errors.New("cpdb: traces -slow needs a duration")
+			}
+			i++
+			d, err := time.ParseDuration(fields[i])
+			if err != nil {
+				return fmt.Errorf("cpdb: traces -slow: %w", err)
+			}
+			minDur = d
+		case id == "":
+			id = fields[i]
+		default:
+			return fmt.Errorf("cpdb: traces takes [-slow DUR] [ID] (got %q)", rest)
+		}
+	}
+	if id != "" {
+		spans, err := cli.FetchTrace(ctx, id)
+		if err != nil {
+			return err
+		}
+		if len(spans) == 0 {
+			return fmt.Errorf("cpdb: no trace %q in the daemon's buffer (evicted, sampled away, or never recorded)", id)
+		}
+		fmt.Fprintf(w, "trace %s (%d spans):\n", id, len(spans))
+		provtrace.Render(w, provtrace.BuildTree(spans))
+		return nil
+	}
+	traces, err := cli.Traces(ctx, minDur, 0)
+	if err != nil {
+		return err
+	}
+	if len(traces) == 0 {
+		fmt.Fprintln(w, "traces: none buffered")
+		return nil
+	}
+	for _, t := range traces {
+		flags := ""
+		if t.Err {
+			flags += " ERR"
+		}
+		if t.Slow {
+			flags += " SLOW"
+		}
+		fmt.Fprintf(w, "trace %s  %-16s %s%s\n", t.TraceID, t.Root, t.Dur, flags)
 	}
 	return nil
 }

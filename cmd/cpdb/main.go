@@ -38,6 +38,7 @@ func main() {
 	flag.IntVar(&cfg.BatchSize, "batch", 1, "group-commit provenance appends in batches of N records")
 	flag.Var(&cfg.Queries, "query", `provenance query, e.g. "hist T/c2/y" (repeatable)`)
 	flag.BoolVar(&cfg.Analyze, "analyze", false, `EXPLAIN ANALYZE every "plan" query: print per-operator rows and timings`)
+	flag.BoolVar(&cfg.Trace, "trace", false, `span-trace the queries and print the trace id; inspect with -query "traces ID" against a -trace-buffer daemon`)
 	flag.BoolVar(&cfg.Dump, "dump", false, "dump the provenance table and final target")
 	flag.Parse()
 

@@ -39,6 +39,18 @@
 // the shutdown dump. Clients opt into their own result cache per DSN with
 // cpdb://host:port?cache=SIZE (rejected together with verify=pin).
 //
+// Tracing (off by default): -trace-buffer N keeps the last N request
+// traces in a ring, each a span tree covering every layer the request
+// crossed — server handler, plan operators, shard scatter legs, proof
+// builds, cache hits, downstream rpc hops. A request arriving with
+// X-Cpdb-Span-Id continues the caller's trace, so chained daemons yield
+// one tree, assembled at read time by GET /v1/traces/{id} on the
+// outermost daemon (GET /v1/traces lists summaries; ?min_dur filters).
+// -trace-sample R head-samples ordinary traces; slow, failed and
+// continued traces are always kept. Kept traces tag /metrics latency
+// buckets with {trace_id} exemplars, and -slow-query lines add the
+// top-3 spans by self time. Inspect with cpdb -query "traces [ID]".
+//
 // The daemon shuts down gracefully on SIGINT/SIGTERM: the listener stops
 // accepting, in-flight requests drain (bounded by -shutdown-timeout), and
 // the store's group-commit buffers are flushed and its files released
@@ -85,6 +97,7 @@ import (
 	"repro/internal/provobs"
 	_ "repro/internal/provrepl" // registers the replicated:// backend driver
 	"repro/internal/provstore"
+	"repro/internal/provtrace"
 	_ "repro/internal/relprov" // registers the rel:// backend driver
 )
 
@@ -97,6 +110,8 @@ func main() {
 		pprofOn         = flag.Bool("pprof", false, "serve net/http/pprof profiles under /debug/pprof/")
 		cacheBytes      = flag.String("cache-bytes", "", `server-side scan page cache budget, e.g. "16mb" (empty or 0 = off)`)
 		planCache       = flag.Int("plan-cache", 0, "cache up to N compiled /v1/query plans (0 = off)")
+		traceBuffer     = flag.Int("trace-buffer", 0, "keep the last N request traces in memory, served at /v1/traces (0 = tracing off)")
+		traceSample     = flag.Float64("trace-sample", 1.0, "head-sampling ratio for stored traces; slow, failed, and cross-process traces are always kept")
 	)
 	flag.Parse()
 
@@ -110,23 +125,35 @@ func main() {
 		pageBytes = n
 	}
 
-	if err := run(*addr, *backendDSN, *shutdownTimeout, *slowQuery, *pprofOn, pageBytes, *planCache); err != nil {
+	if err := run(*addr, *backendDSN, *shutdownTimeout, *slowQuery, *pprofOn, pageBytes, *planCache, *traceBuffer, *traceSample); err != nil {
 		fmt.Fprintln(os.Stderr, "cpdbd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, backendDSN string, shutdownTimeout, slowQuery time.Duration, pprofOn bool, pageBytes int64, planEntries int) error {
+func run(addr, backendDSN string, shutdownTimeout, slowQuery time.Duration, pprofOn bool, pageBytes int64, planEntries, traceBuffer int, traceSample float64) error {
+	// The trace store must exist before the backend opens: background work
+	// the backend starts at open time (a replicated store's appliers) roots
+	// its traces at the process-wide default sink.
+	var traces *provtrace.Store
+	if traceBuffer > 0 {
+		traces = provtrace.NewStore(traceBuffer, traceSample, slowQuery)
+		provtrace.SetDefault(traces)
+	}
 	backend, err := provstore.OpenDSN(backendDSN)
 	if err != nil {
 		return err
 	}
-	srv := provhttp.NewServer(backend,
+	opts := []provhttp.ServerOption{
 		provhttp.WithRequestLog(slog.New(slog.NewTextHandler(os.Stderr, nil))),
 		provhttp.WithSlowQuery(slowQuery),
 		provhttp.WithPageCache(pageBytes),
 		provhttp.WithPlanCache(planEntries),
-	)
+	}
+	if traces != nil {
+		opts = append(opts, provhttp.WithTracing(traces))
+	}
+	srv := provhttp.NewServer(backend, opts...)
 
 	var handler http.Handler = srv
 	if pprofOn {
@@ -150,6 +177,9 @@ func run(addr, backendDSN string, shutdownTimeout, slowQuery time.Duration, ppro
 	log.Printf("cpdbd: serving %s at cpdb://%s", backendDSN, ln.Addr())
 	if pprofOn {
 		log.Printf("cpdbd: pprof at http://%s/debug/pprof/", ln.Addr())
+	}
+	if traces != nil {
+		log.Printf("cpdbd: tracing last %d traces at http://%s/v1/traces (sample %g)", traceBuffer, ln.Addr(), traceSample)
 	}
 
 	hs := &http.Server{Handler: handler}

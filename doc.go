@@ -90,6 +90,13 @@
 // gauges, internal/provobs), logs one structured line per request under
 // the client-stamped X-Cpdb-Trace-Id — the same id a failing client's
 // error prints — and dumps its counters on SIGTERM (DESIGN.md §9).
+// With -trace-buffer the daemon also records distributed span traces
+// (internal/provtrace): every backend hop, shard leg, plan operator and
+// proof check becomes a span, chained daemons continue the caller's
+// trace across processes via X-Cpdb-Span-Id, and the assembled tree is
+// served at GET /v1/traces/{id}, rendered by the cpdb "traces" query
+// verb, and linked from /metrics latency buckets by trace-id exemplars
+// (DESIGN.md §11).
 //
 // The read path caches adaptively, exploiting the store's append-only
 // order: an answer computed at a horizon stays correct until MaxTid

@@ -103,6 +103,7 @@ func All() []Experiment {
 		{"query", "Declarative plans: pushdown vs full scan, 1-RT remote plans vs legacy (beyond the paper)", QuerySweep},
 		{"auth", "Authenticated store: Merkle-tree ingest overhead, proof size and verify latency (beyond the paper)", AuthSweep},
 		{"cache", "Adaptive read-path caching: client result cache vs size and horizon churn, server plan/page caches on vs off (beyond the paper)", CacheSweep},
+		{"trace", "Span tracing overhead: hot read wires with tracing off, armed and on (beyond the paper)", TraceSweep},
 	}
 }
 

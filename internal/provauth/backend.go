@@ -8,6 +8,7 @@ import (
 	"iter"
 	"slices"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/path"
 	"repro/internal/provobs"
 	"repro/internal/provstore"
+	"repro/internal/provtrace"
 )
 
 // Authority is the proof-serving surface an authenticated store exposes on
@@ -126,12 +128,19 @@ func (a *AuthBackend) Inner() provstore.Backend { return a.inner }
 // the inner backend, then ingested into the tree — all under one lock, so
 // the tree's leaf order is the store's commit order.
 func (a *AuthBackend) Append(ctx context.Context, recs []provstore.Record) error {
+	_, sp := provtrace.Start(ctx, "auth:ingest")
+	if sp != nil {
+		sp.SetAttr("records", strconv.Itoa(len(recs)))
+		defer sp.End()
+	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if err := a.admit(recs); err != nil {
+		sp.SetErr(err)
 		return err
 	}
 	if err := a.inner.Append(ctx, recs); err != nil {
+		sp.SetErr(err)
 		return err
 	}
 	a.ingest(recs)
@@ -245,12 +254,17 @@ func (a *AuthBackend) rootLocked() Root {
 // provable), then the inner store's buffers push down. A session's
 // Close/Flush is what publishes the root of its final transaction.
 func (a *AuthBackend) Flush() error {
+	return a.FlushContext(context.Background())
+}
+
+// FlushContext implements provstore.ContextFlusher.
+func (a *AuthBackend) FlushContext(ctx context.Context) error {
 	a.mu.Lock()
 	if a.openTid != 0 {
 		a.seal()
 	}
 	a.mu.Unlock()
-	return provstore.Flush(a.inner)
+	return provstore.FlushContext(ctx, a.inner)
 }
 
 // Close implements io.Closer: seal, then flush and close the inner store.
@@ -340,12 +354,15 @@ func (a *AuthBackend) proveLocked(tid int64, loc path.Path, atSize uint64) (Proo
 
 // Prove implements Authority.
 func (a *AuthBackend) Prove(ctx context.Context, tid int64, loc path.Path) (Proof, Root, error) {
+	_, sp := provtrace.Start(ctx, "auth:prove")
 	start := time.Now()
 	a.mu.RLock()
 	defer a.mu.RUnlock()
 	root := a.rootLocked()
 	p, err := a.proveLocked(tid, loc, root.Size)
 	a.proveDur.Observe(time.Since(start).Nanoseconds())
+	sp.SetErr(err)
+	sp.End()
 	return p, root, err
 }
 
@@ -364,6 +381,8 @@ func (a *AuthBackend) ProveAt(ctx context.Context, tid int64, loc path.Path, atS
 
 // Consistency implements Authority.
 func (a *AuthBackend) Consistency(ctx context.Context, oldSize, newSize uint64) ([]Hash, error) {
+	_, sp := provtrace.Start(ctx, "auth:consistency")
+	defer sp.End()
 	a.mu.RLock()
 	defer a.mu.RUnlock()
 	if oldSize > newSize {
@@ -404,11 +423,22 @@ func (a *AuthBackend) ConsistencyTids(ctx context.Context, oldTid, newTid int64)
 // ErrNotInLog — the consumer must treat the stream as compromised.
 func (a *AuthBackend) ScanAllProven(ctx context.Context, afterTid int64, afterLoc path.Path) iter.Seq2[ProvenRecord, error] {
 	return func(yield func(ProvenRecord, error) bool) {
+		// One span covers the whole proof-stamped stream (per-record spans
+		// would dwarf the trace); "proofs" counts the stamps built.
+		_, sp := provtrace.Start(ctx, "auth:prove-stream")
+		proofs := 0
+		if sp != nil {
+			defer func() {
+				sp.SetAttr("proofs", strconv.Itoa(proofs))
+				sp.End()
+			}()
+		}
 		a.mu.RLock()
 		root := a.rootLocked()
 		a.mu.RUnlock()
 		for rec, err := range a.inner.ScanAllAfter(ctx, afterTid, afterLoc) {
 			if err != nil {
+				sp.SetErr(err)
 				yield(ProvenRecord{}, err)
 				return
 			}
@@ -417,9 +447,11 @@ func (a *AuthBackend) ScanAllProven(ctx context.Context, afterTid int64, afterLo
 				if errors.Is(err, ErrUnsealed) {
 					return // beyond the proven horizon; complete as of root
 				}
+				sp.SetErr(err)
 				yield(ProvenRecord{}, err)
 				return
 			}
+			proofs++
 			if !yield(ProvenRecord{Rec: rec, Proof: proof, Root: root}, nil) {
 				return
 			}

@@ -23,6 +23,7 @@ import (
 	"repro/internal/provobs"
 	"repro/internal/provplan"
 	"repro/internal/provstore"
+	"repro/internal/provtrace"
 )
 
 // A Client implements provstore.Backend against a provhttp.Server — the
@@ -269,6 +270,12 @@ func (c *Client) do(ctx context.Context, method, p string, q url.Values, body io
 		trace = provobs.NewTraceID()
 	}
 	req.Header.Set(headerTraceID, trace)
+	// When a span is open on this context, stamp its id so the server
+	// continues this trace — its root span parents under the caller's and
+	// the whole chain renders as one cross-process tree.
+	if _, spanID := provtrace.IDs(ctx); spanID != "" {
+		req.Header.Set(headerSpanID, spanID)
+	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/x-ndjson")
 	}
@@ -286,8 +293,17 @@ func (c *Client) do(ctx context.Context, method, p string, q url.Values, body io
 	return resp, nil
 }
 
-// getJSON issues a GET and decodes the JSON body into out.
-func (c *Client) getJSON(ctx context.Context, p string, q url.Values, out any) error {
+// getJSON issues a GET and decodes the JSON body into out. Under tracing
+// the round trip is one "rpc:<endpoint>" span; the server's own spans hang
+// beneath it in the merged tree.
+func (c *Client) getJSON(ctx context.Context, p string, q url.Values, out any) (err error) {
+	ctx, sp := provtrace.Start(ctx, rpcName(p))
+	if sp != nil {
+		defer func() {
+			sp.SetErr(err)
+			sp.End()
+		}()
+	}
 	resp, err := c.do(ctx, http.MethodGet, p, q, nil, http.StatusOK)
 	if err != nil {
 		return err
@@ -300,6 +316,41 @@ func (c *Client) getJSON(ctx context.Context, p string, q url.Values, out any) e
 		return fmt.Errorf("provhttp: decoding %s response: %w", p, err)
 	}
 	return nil
+}
+
+// rpcName is the span name of one client round trip: "rpc:" plus the
+// endpoint path with the version prefix dropped.
+func rpcName(p string) string {
+	return "rpc:" + strings.TrimPrefix(p, "/v1/")
+}
+
+// tracedStream wraps a streaming round trip in an rpc span covering the
+// whole drain: build receives the context carrying the open span, so the
+// request it issues stamps that span's id and the server's subtree parents
+// correctly. With no recorder installed the inner stream is returned
+// unwrapped.
+func tracedStream[T any](ctx context.Context, name string, build func(context.Context) iter.Seq2[T, error]) iter.Seq2[T, error] {
+	if !provtrace.Active(ctx) {
+		return build(ctx)
+	}
+	return func(yield func(T, error) bool) {
+		sctx, sp := provtrace.Start(ctx, name)
+		n := 0
+		defer func() {
+			sp.SetAttr("records", strconv.Itoa(n))
+			sp.End()
+		}()
+		for v, err := range build(sctx) {
+			if err != nil {
+				sp.SetErr(err)
+			} else {
+				n++
+			}
+			if !yield(v, err) {
+				return
+			}
+		}
+	}
 }
 
 // appendBufPool recycles the NDJSON encode buffers of Append round trips.
@@ -326,7 +377,15 @@ func (b *pooledBody) Close() error {
 // Append implements Backend: the whole batch travels as one NDJSON POST,
 // encoded into a pooled, pre-sized buffer. A successful append moves this
 // client's view of the store, so it invalidates the result cache.
-func (c *Client) Append(ctx context.Context, recs []provstore.Record) error {
+func (c *Client) Append(ctx context.Context, recs []provstore.Record) (err error) {
+	ctx, sp := provtrace.Start(ctx, "rpc:append")
+	if sp != nil {
+		sp.SetAttr("records", strconv.Itoa(len(recs)))
+		defer func() {
+			sp.SetErr(err)
+			sp.End()
+		}()
+	}
 	buf := appendBufPool.Get().(*bytes.Buffer)
 	buf.Grow(64 * len(recs))
 	enc := json.NewEncoder(buf)
@@ -373,8 +432,10 @@ func (c *Client) cachedPoint(ctx context.Context, kind byte, p string, tid int64
 	key := c.cacheKey(kind, strconv.FormatInt(tid, 10)+"\x00"+loc.String())
 	if v, ok := c.cache.Get(key); ok {
 		pr := v.(pointResult)
+		provtrace.Mark(ctx, "cache:hit", provtrace.Attr{K: "cache", V: "client"}, provtrace.Attr{K: "wire", V: p})
 		return pr.rec, pr.found, nil
 	}
+	provtrace.Mark(ctx, "cache:miss", provtrace.Attr{K: "cache", V: "client"}, provtrace.Attr{K: "wire", V: p})
 	rec, found, err := c.point(ctx, p, tid, loc)
 	if err == nil {
 		c.cache.Put(key, pointResult{rec, found}, int64(len(key))+recordFootprint(rec))
@@ -580,6 +641,13 @@ func (c *Client) provePoint(ctx context.Context, tid int64, loc path.Path, ances
 // has no range proofs — so a verified scan can still omit matching
 // records; it can never smuggle in non-matching or forged ones.)
 func (c *Client) scan(ctx context.Context, p string, q url.Values, match func(provstore.Record) bool) iter.Seq2[provstore.Record, error] {
+	return tracedStream(ctx, rpcName(p), func(ctx context.Context) iter.Seq2[provstore.Record, error] {
+		return c.scanRaw(ctx, p, q, match)
+	})
+}
+
+// scanRaw is the untraced transport under scan.
+func (c *Client) scanRaw(ctx context.Context, p string, q url.Values, match func(provstore.Record) bool) iter.Seq2[provstore.Record, error] {
 	return func(yield func(provstore.Record, error) bool) {
 		var since provauth.Root
 		if c.verify {
@@ -741,6 +809,7 @@ func (c *Client) ExecPlan(ctx context.Context, q *provplan.Query) iter.Seq2[prov
 	key := c.cacheKey('q', q.String())
 	if v, ok := c.cache.Get(key); ok {
 		rows := v.([]provplan.Row)
+		provtrace.Mark(ctx, "cache:hit", provtrace.Attr{K: "cache", V: "client"}, provtrace.Attr{K: "wire", V: "/v1/query"})
 		return func(yield func(provplan.Row, error) bool) {
 			for _, row := range rows {
 				if !yield(row, nil) {
@@ -749,6 +818,7 @@ func (c *Client) ExecPlan(ctx context.Context, q *provplan.Query) iter.Seq2[prov
 			}
 		}
 	}
+	provtrace.Mark(ctx, "cache:miss", provtrace.Attr{K: "cache", V: "client"}, provtrace.Attr{K: "wire", V: "/v1/query"})
 	return func(yield func(provplan.Row, error) bool) {
 		rows := make([]provplan.Row, 0, 16)
 		size := int64(len(key))
@@ -775,6 +845,13 @@ func (c *Client) ExecPlan(ctx context.Context, q *provplan.Query) iter.Seq2[prov
 
 // execPlan is the uncached /v1/query round trip under ExecPlan.
 func (c *Client) execPlan(ctx context.Context, q *provplan.Query) iter.Seq2[provplan.Row, error] {
+	return tracedStream(ctx, "rpc:query", func(ctx context.Context) iter.Seq2[provplan.Row, error] {
+		return c.execPlanRaw(ctx, q)
+	})
+}
+
+// execPlanRaw is the untraced transport under execPlan.
+func (c *Client) execPlanRaw(ctx context.Context, q *provplan.Query) iter.Seq2[provplan.Row, error] {
 	return func(yield func(provplan.Row, error) bool) {
 		body, err := json.Marshal(q)
 		if err != nil {
@@ -985,6 +1062,13 @@ func (c *Client) ConsistencyTids(ctx context.Context, oldTid, newTid int64) (pro
 // require it to extend a previously accepted root over a consistency
 // proof, as provrepl's verified appliers do.
 func (c *Client) ScanAllProven(ctx context.Context, afterTid int64, afterLoc path.Path) iter.Seq2[provauth.ProvenRecord, error] {
+	return tracedStream(ctx, "rpc:scan-proven", func(ctx context.Context) iter.Seq2[provauth.ProvenRecord, error] {
+		return c.scanAllProvenRaw(ctx, afterTid, afterLoc)
+	})
+}
+
+// scanAllProvenRaw is the untraced transport under ScanAllProven.
+func (c *Client) scanAllProvenRaw(ctx context.Context, afterTid int64, afterLoc path.Path) iter.Seq2[provauth.ProvenRecord, error] {
 	return func(yield func(provauth.ProvenRecord, error) bool) {
 		q := url.Values{"proofs": {"1"}}
 		if afterTid != 0 || !afterLoc.IsRoot() {
@@ -1119,13 +1203,64 @@ func (c *Client) Ping(ctx context.Context) error {
 // interface takes no context, so the round trip is bounded by an internal
 // deadline instead of hanging a shutdown on an unreachable service.
 func (c *Client) Flush() error {
-	ctx, cancel := context.WithTimeout(context.Background(), flushTimeout)
+	return c.FlushContext(context.Background())
+}
+
+// FlushContext is Flush carrying the caller's context, so a flush issued
+// while serving a request propagates that request's trace and span ids —
+// a chained daemon's flush round trip joins the caller's trace instead of
+// minting a fresh id. The round trip still carries the internal deadline.
+func (c *Client) FlushContext(ctx context.Context) (err error) {
+	ctx, sp := provtrace.Start(ctx, "rpc:flush")
+	if sp != nil {
+		defer func() {
+			sp.SetErr(err)
+			sp.End()
+		}()
+	}
+	ctx, cancel := context.WithTimeout(ctx, flushTimeout)
 	defer cancel()
 	resp, err := c.do(ctx, http.MethodPost, "/v1/flush", nil, nil, http.StatusNoContent)
 	if err != nil {
 		return err
 	}
 	return resp.Body.Close()
+}
+
+// FetchTrace returns the spans the server's trace store holds for one trace
+// id, or nil with no error when the server has no trace endpoints (tracing
+// off, or an older daemon) or no such trace — absence is normal during
+// read-time merging across a chain, not a failure.
+func (c *Client) FetchTrace(ctx context.Context, id string) ([]provtrace.Span, error) {
+	var tr provtrace.Trace
+	if err := c.getJSON(ctx, "/v1/traces/"+url.PathEscape(id), nil, &tr); err != nil {
+		var re *RemoteError
+		if errors.As(err, &re) && (re.Status == http.StatusNotFound || re.Status == http.StatusMethodNotAllowed) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	return tr.Spans, nil
+}
+
+// Traces lists the server's buffered traces, newest first, without their
+// spans. minDur filters to traces at least that long; limit caps the count
+// (0 means the server default).
+func (c *Client) Traces(ctx context.Context, minDur time.Duration, limit int) ([]provtrace.Trace, error) {
+	q := url.Values{}
+	if minDur > 0 {
+		q.Set("min_dur", minDur.String())
+	}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	var lr struct {
+		Traces []provtrace.Trace `json:"traces"`
+	}
+	if err := c.getJSON(ctx, "/v1/traces", q, &lr); err != nil {
+		return nil, err
+	}
+	return lr.Traces, nil
 }
 
 // Close implements io.Closer: it flushes the server's buffers (so

@@ -19,6 +19,7 @@ import (
 	"repro/internal/provobs"
 	"repro/internal/provplan"
 	"repro/internal/provstore"
+	"repro/internal/provtrace"
 )
 
 // streamFlushEvery is the record interval at which scan streams flush the
@@ -54,6 +55,11 @@ type Server struct {
 	// registry, so /v1/stats, /metrics and the shutdown dump carry them.
 	pageCache *provcache.Cache
 	planCache *provcache.Cache
+
+	// traces is the in-daemon span store (nil: tracing off). When set, each
+	// request records a span tree — continued from the caller's trace when
+	// the request carries X-Cpdb-Span-Id — served back by /v1/traces.
+	traces *provtrace.Store
 }
 
 // A ServerOption configures a Server at construction.
@@ -100,6 +106,18 @@ func WithPlanCache(n int) ServerOption {
 			s.planCache = provcache.New(int64(n), provcache.NewMetrics(s.stats.reg, "plan"))
 		}
 	}
+}
+
+// WithTracing gives the server an in-daemon trace store — the -trace-buffer
+// daemon flag. Every request then records a span tree: the server's root
+// span, one span per backend hop beneath it, and (for /v1/query) the plan's
+// operator spans. Requests stamped with X-Cpdb-Span-Id continue the
+// caller's trace and are always stored; the rest go through the store's
+// head-sampling decision. Kept traces also tag the endpoint's latency
+// histogram bucket with a trace-id exemplar, so an outlier bucket on
+// /metrics links straight to a representative trace.
+func WithTracing(st *provtrace.Store) ServerOption {
+	return func(s *Server) { s.traces = st }
 }
 
 // serverStats holds the server's provobs metrics. Every counter and gauge
@@ -206,6 +224,13 @@ func NewServer(inner provstore.Backend, opts ...ServerOption) *Server {
 	// endpoint.metrics key to /v1/stats (breaking byte-compatibility) and
 	// make every scrape observe itself.
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.traces != nil {
+		// The trace endpoints exist only when tracing is on, and bypass
+		// s.handle for the same /v1/stats byte-compatibility reason as
+		// /metrics (and so inspecting traces never files new ones).
+		s.mux.HandleFunc("GET /v1/traces", s.handleTraces)
+		s.mux.HandleFunc("GET /v1/traces/{id}", s.handleTraceGet)
+	}
 	return s
 }
 
@@ -228,6 +253,18 @@ func (s *Server) Stats() map[string]int64 {
 	var extra map[string]int64
 	if g, ok := s.inner.(provstore.Gauger); ok {
 		extra = g.Gauges()
+	}
+	if s.traces != nil {
+		// trace.* keys join /v1/stats only when tracing is on, so the
+		// tracing-off response stays byte-identical.
+		merged := make(map[string]int64, len(extra)+4)
+		for k, v := range extra {
+			merged[k] = v
+		}
+		for k, v := range s.traces.Registry().StatsMap(nil) {
+			merged[k] = v
+		}
+		extra = merged
 	}
 	return s.stats.reg.StatsMap(extra)
 }
@@ -312,23 +349,58 @@ func (s *Server) handle(pattern, endpoint string, h http.HandlerFunc) {
 		if trace == "" {
 			trace = provobs.NewTraceID()
 		}
-		r = r.WithContext(provobs.WithTraceID(r.Context(), trace))
+		var rec *provtrace.Recorder
+		var rootSp *provtrace.Span
+		forced := false
+		if s.traces != nil {
+			// A caller-stamped span id means another process holds the other
+			// half of this trace: parent our root span under it and skip
+			// sampling — a sampled-away inner half would leave holes in every
+			// merged tree the outer daemon renders.
+			parent := r.Header.Get(headerSpanID)
+			forced = parent != ""
+			rec = provtrace.NewRecorder(trace, parent)
+			ctx := provtrace.WithRecorder(r.Context(), rec)
+			ctx, rootSp = provtrace.Start(ctx, "server:"+endpoint)
+			r = r.WithContext(ctx)
+		} else {
+			r = r.WithContext(provobs.WithTraceID(r.Context(), trace))
+		}
 		ow := &obsWriter{ResponseWriter: w}
 		start := time.Now()
 		h(ow, r)
 		dur := time.Since(start)
-		lat.Observe(dur.Nanoseconds())
+		if rec != nil {
+			if ow.info.hasRecords {
+				rootSp.SetAttr("records", strconv.Itoa(ow.info.records))
+			}
+			if ow.status != 0 && ow.status != http.StatusOK {
+				rootSp.SetAttr("status", strconv.Itoa(ow.status))
+			}
+			rootSp.SetErr(ow.info.err)
+			rootSp.End()
+			if s.traces.Finish(rec, forced) {
+				// The trace survived sampling: tag this request's latency
+				// bucket with it, so /metrics exemplars point at traces the
+				// store can actually serve back.
+				lat.ObserveExemplar(dur.Nanoseconds(), trace)
+			} else {
+				lat.Observe(dur.Nanoseconds())
+			}
+		} else {
+			lat.Observe(dur.Nanoseconds())
+		}
 		if sh != nil && ow.info.hasRecords {
 			sh.Observe(int64(ow.info.records))
 		}
-		s.logRequest(endpoint, trace, ow, dur)
+		s.logRequest(endpoint, trace, rec, ow, dur)
 	})
 }
 
 // logRequest emits the one structured line per request: errors and slow
 // queries at warning level (the latter with the parsed query text), the
 // rest at info.
-func (s *Server) logRequest(endpoint, trace string, ow *obsWriter, dur time.Duration) {
+func (s *Server) logRequest(endpoint, trace string, rec *provtrace.Recorder, ow *obsWriter, dur time.Duration) {
 	if s.log == nil {
 		return
 	}
@@ -348,6 +420,12 @@ func (s *Server) logRequest(endpoint, trace string, ow *obsWriter, dur time.Dura
 	case ow.info.err != nil:
 		s.log.Warn("request failed", append(attrs, slog.String("err", ow.info.err.Error()))...)
 	case s.slowQuery > 0 && dur >= s.slowQuery && ow.info.query != "":
+		if rec != nil {
+			// Tracing is on, so the slow-query line can say *where* the time
+			// went: the top spans by self-time, not just the total.
+			attrs = append(attrs, slog.String("spans",
+				provtrace.FormatTopSelf(provtrace.TopSelf(rec.Spans(), 3))))
+		}
 		s.log.Warn("slow query", append(attrs, slog.String("query", ow.info.query))...)
 	default:
 		s.log.Info("request", attrs...)
@@ -359,7 +437,11 @@ func (s *Server) logRequest(endpoint, trace string, ow *obsWriter, dur time.Dura
 // the legacy flat Gauger gauges as one labeled family.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", provobs.ContentType)
-	regs := append([]*provobs.Registry{s.stats.reg}, provobs.SourceRegistries(s.inner)...)
+	regs := []*provobs.Registry{s.stats.reg}
+	if s.traces != nil {
+		regs = append(regs, s.traces.Registry())
+	}
+	regs = append(regs, provobs.SourceRegistries(s.inner)...)
 	provobs.WritePrometheus(w, regs...)
 	if g, ok := s.inner.(provstore.Gauger); ok {
 		provobs.WriteGaugeFamily(w, "cpdb_backend_gauge",
@@ -749,6 +831,7 @@ func (s *Server) servePage(w http.ResponseWriter, r *http.Request, afterTid int6
 		strconv.Itoa(limit)
 	if v, ok := s.pageCache.Get(key); ok {
 		pg := v.(*cachedPage)
+		provtrace.Mark(r.Context(), "cache:hit", provtrace.Attr{K: "cache", V: "page"})
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		w.Write(pg.body) //nolint:errcheck // stream end
 		s.stats.recordsStreamed.Add(int64(pg.n))
@@ -756,6 +839,7 @@ func (s *Server) servePage(w http.ResponseWriter, r *http.Request, afterTid int6
 		return
 	}
 
+	provtrace.Mark(r.Context(), "cache:miss", provtrace.Attr{K: "cache", V: "page"})
 	var inner iter.Seq2[provstore.Record, error]
 	if hasAfter {
 		inner = s.inner.ScanAllAfter(r.Context(), afterTid, afterLoc)
@@ -823,6 +907,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if s.planCache != nil && !q.Analyze {
 		if v, ok := s.planCache.Get(text); ok {
 			pl = v.(*provplan.Plan)
+			provtrace.Mark(r.Context(), "cache:hit", provtrace.Attr{K: "cache", V: "plan"})
 		}
 	}
 	if pl == nil {
@@ -1117,7 +1202,7 @@ func (s *Server) handleBytes(w http.ResponseWriter, r *http.Request) {
 // durability half of a remote Session.Close. It is a no-op for write-through
 // backends.
 func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
-	if err := provstore.Flush(s.inner); err != nil {
+	if err := provstore.FlushContext(r.Context(), s.inner); err != nil {
 		s.fail(w, err, http.StatusInternalServerError)
 		return
 	}

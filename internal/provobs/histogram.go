@@ -25,6 +25,20 @@ type Histogram struct {
 	count  atomic.Int64
 	sum    atomic.Int64
 	bucket [histBuckets]atomic.Int64
+	ex     atomic.Pointer[exemplarSet] // allocated on first ObserveExemplar
+}
+
+// An Exemplar links one observation in a bucket to the trace that produced
+// it — how a p99 /metrics bucket points straight at a stored span tree.
+type Exemplar struct {
+	TraceID string
+	Value   int64 // the raw observed value
+}
+
+// exemplarSet holds the latest exemplar per bucket. It is allocated lazily
+// so histograms on untraced deployments pay one nil pointer, not 512.
+type exemplarSet struct {
+	slot [histBuckets]atomic.Pointer[Exemplar]
 }
 
 // NewHistogram returns an unregistered histogram.
@@ -65,6 +79,28 @@ func (h *Histogram) Observe(v int64) {
 	h.bucket[bucketIndex(v)].Add(1)
 }
 
+// ObserveExemplar records one value and, when traceID is non-empty, tags
+// the value's bucket with a {trace_id} exemplar (last writer wins — the
+// freshest trace is the most likely to still be in the ring buffer). With
+// an empty traceID it is exactly Observe.
+func (h *Histogram) ObserveExemplar(v int64, traceID string) {
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	es := h.ex.Load()
+	if es == nil {
+		es = new(exemplarSet)
+		if !h.ex.CompareAndSwap(nil, es) {
+			es = h.ex.Load()
+		}
+	}
+	es.slot[bucketIndex(v)].Store(&Exemplar{TraceID: traceID, Value: v})
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
@@ -78,9 +114,10 @@ func (h *Histogram) Sum() int64 { return h.sum.Load() }
 // monitoring (each bucket value is a real count that was current when
 // copied).
 type HistSnapshot struct {
-	Count  int64
-	Sum    int64
-	Bucket [histBuckets]int64
+	Count     int64
+	Sum       int64
+	Bucket    [histBuckets]int64
+	Exemplars []*Exemplar // per-bucket, nil when the series has none
 }
 
 // Snapshot copies the histogram's current state. Buckets load before
@@ -90,6 +127,12 @@ func (h *Histogram) Snapshot() HistSnapshot {
 	var s HistSnapshot
 	for i := range h.bucket {
 		s.Bucket[i] = h.bucket[i].Load()
+	}
+	if es := h.ex.Load(); es != nil {
+		s.Exemplars = make([]*Exemplar, histBuckets)
+		for i := range es.slot {
+			s.Exemplars[i] = es.slot[i].Load()
+		}
 	}
 	s.Sum = h.sum.Load()
 	s.Count = h.count.Load()

@@ -134,6 +134,12 @@ func writeFamily(w io.Writer, f *family) {
 // le even before its first observation), then every bucket that holds
 // observations; empty intermediate buckets add no information to a
 // cumulative histogram and are elided to keep the exposition small.
+// A bucket line whose native (non-cumulative) bucket holds an exemplar
+// gains an OpenMetrics-style suffix after the value:
+//
+//	name_bucket{le="0.001"} 17 # {trace_id="9f2c51e0a4b7d803"} 0.00083
+//
+// linking the bucket to a trace retrievable from GET /v1/traces/{id}.
 func writeHistogram(w io.Writer, f *family, labels string, s HistSnapshot) {
 	scale := f.unit.scale()
 	cum := int64(0)
@@ -143,7 +149,13 @@ func writeHistogram(w io.Writer, f *family, labels string, s HistSnapshot) {
 		}
 		cum += c
 		le := fmt.Sprintf("le=%q", formatFloat(upperBound(i)*scale))
-		sample(w, f.name+"_bucket", joinLabels(labels, le), strconv.FormatInt(cum, 10))
+		value := strconv.FormatInt(cum, 10)
+		if s.Exemplars != nil && s.Exemplars[i] != nil && c > 0 {
+			e := s.Exemplars[i]
+			value += fmt.Sprintf(" # {trace_id=%q} %s", escapeLabel(e.TraceID),
+				formatFloat(float64(e.Value)*scale))
+		}
+		sample(w, f.name+"_bucket", joinLabels(labels, le), value)
 	}
 	sample(w, f.name+"_bucket", joinLabels(labels, `le="+Inf"`), strconv.FormatInt(s.Count, 10))
 	sample(w, f.name+"_sum", labels, formatFloat(float64(s.Sum)*scale))

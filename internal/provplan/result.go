@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/path"
 	"repro/internal/provstore"
+	"repro/internal/provtrace"
 )
 
 // A RowKind discriminates the variants of a result Row.
@@ -153,19 +154,28 @@ func rowError(err error) iter.Seq2[Row, error] {
 // what POST /v1/query streams back, keeping a remote analyze at exactly
 // one round trip.
 func (pl *Plan) Rows(ctx context.Context) iter.Seq2[Row, error] {
-	if !pl.q.Analyze {
+	if !pl.q.Analyze && !provtrace.Active(ctx) {
 		return pl.rows(ctx, nil)
 	}
+	// Analyze mode and tracing share the analyzer taps; a traced
+	// non-analyze query measures operators but emits no RowAnalyze
+	// trailer, so its row stream is byte-identical to an untraced run.
 	var scanned atomic.Int64
 	ex := &exec{scanned: &scanned, az: newAnalyzer()}
-	inner := pl.rows(ctx, ex)
 	return func(yield func(Row, error) bool) {
-		for row, err := range inner {
+		spanCtx, sp := planSpan(ctx, string(pl.q.Op))
+		defer func() { finishPlanSpan(spanCtx, sp, ex.az, scanned.Load()) }()
+		for row, err := range pl.rows(spanCtx, ex) {
+			if err != nil {
+				sp.SetErr(err)
+			}
 			if !yield(row, err) || err != nil {
 				return
 			}
 		}
-		yield(Row{Kind: RowAnalyze, Analysis: ex.az.analysis(scanned.Load())}, nil)
+		if pl.q.Analyze {
+			yield(Row{Kind: RowAnalyze, Analysis: ex.az.analysis(scanned.Load())}, nil)
+		}
 	}
 }
 
@@ -176,15 +186,19 @@ func (pl *Plan) Rows(ctx context.Context) iter.Seq2[Row, error] {
 func (pl *Plan) Collect(ctx context.Context) (*Result, error) {
 	var scanned atomic.Int64
 	ex := &exec{scanned: &scanned}
-	if pl.q.Analyze {
+	spanCtx, sp := planSpan(ctx, string(pl.q.Op))
+	if pl.q.Analyze || sp != nil {
 		ex.az = newAnalyzer()
 	}
-	res, err := CollectRows(pl.rows(ctx, ex))
+	res, err := CollectRows(pl.rows(spanCtx, ex))
 	if err != nil {
+		sp.SetErr(err)
+		finishPlanSpan(spanCtx, sp, ex.az, scanned.Load())
 		return nil, err
 	}
+	finishPlanSpan(spanCtx, sp, ex.az, scanned.Load())
 	res.Scanned = scanned.Load()
-	if ex.az != nil {
+	if pl.q.Analyze && ex.az != nil {
 		res.Analysis = ex.az.analysis(res.Scanned)
 	}
 	return res, nil

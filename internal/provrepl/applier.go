@@ -4,12 +4,14 @@ import (
 	"context"
 	"fmt"
 	"iter"
+	"strconv"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/path"
 	"repro/internal/provauth"
 	"repro/internal/provstore"
+	"repro/internal/provtrace"
 )
 
 // A replica is one replica store plus its applier's state. The hw* fields
@@ -111,6 +113,26 @@ func (b *ReplicatedBackend) applier(r *replica) {
 // mark never regresses. If the rewound pass fails, the rewind target is
 // restored so the retry repeats the repair.
 func (b *ReplicatedBackend) applyPass(r *replica) (err error) {
+	// Apply passes run with no incoming request, so their traces root at
+	// the process-wide background sink (nil when tracing is off). Idle
+	// passes never call End, so only passes that shipped records or failed
+	// file a trace — the poll loop does not flood the ring buffer.
+	ctx := b.ctx
+	var sp *provtrace.Span
+	var appliedBefore int64
+	if st := provtrace.Default(); st != nil {
+		appliedBefore = r.appliedRecs.Load()
+		ctx, sp = st.StartRoot(b.ctx, "repl:apply")
+		defer func() {
+			n := r.appliedRecs.Load() - appliedBefore
+			if n == 0 && err == nil {
+				return
+			}
+			sp.SetAttr("records", strconv.FormatInt(n, 10))
+			sp.SetErr(err)
+			sp.End()
+		}()
+	}
 	if !r.hwValid {
 		if err := b.recoverHighWater(r); err != nil {
 			return err
@@ -136,7 +158,7 @@ func (b *ReplicatedBackend) applyPass(r *replica) (err error) {
 			return nil
 		}
 		start := time.Now()
-		if err := r.store.Append(b.ctx, buf); err != nil {
+		if err := r.store.Append(ctx, buf); err != nil {
 			return err
 		}
 		b.applyDur.Observe(time.Since(start).Nanoseconds())
@@ -153,13 +175,13 @@ func (b *ReplicatedBackend) applyPass(r *replica) (err error) {
 	if b.opts.Verify {
 		scan = b.verifiedScanAfter
 	}
-	for rec, serr := range scan(b.ctx, fromTid, fromLoc) {
+	for rec, serr := range scan(ctx, fromTid, fromLoc) {
 		if serr != nil {
 			return serr
 		}
 		if dedupUpTo != nil {
 			if provstore.CompareTidLoc(rec, *dedupUpTo) <= 0 {
-				if _, ok, lerr := r.store.Lookup(b.ctx, rec.Tid, rec.Loc); lerr != nil {
+				if _, ok, lerr := r.store.Lookup(ctx, rec.Tid, rec.Loc); lerr != nil {
 					return lerr
 				} else if ok {
 					continue // the replica already holds it

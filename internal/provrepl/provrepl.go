@@ -41,6 +41,7 @@ import (
 	"fmt"
 	"io"
 	"iter"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -49,6 +50,7 @@ import (
 	"repro/internal/provauth"
 	"repro/internal/provobs"
 	"repro/internal/provstore"
+	"repro/internal/provtrace"
 )
 
 // ReadPolicy selects where a replicated backend serves reads from.
@@ -258,7 +260,14 @@ func (b *ReplicatedBackend) Append(ctx context.Context, recs []provstore.Record)
 	if b.closed.Load() {
 		return errClosed
 	}
-	if err := b.primary.Append(ctx, recs); err != nil {
+	_, sp := provtrace.Start(ctx, "repl:append-primary")
+	if sp != nil {
+		sp.SetAttr("records", strconv.Itoa(len(recs)))
+	}
+	err := b.primary.Append(ctx, recs)
+	sp.SetErr(err)
+	sp.End()
+	if err != nil {
 		return err
 	}
 	b.noteShipped(tidRangeOf(recs))
@@ -415,9 +424,10 @@ func (b *ReplicatedBackend) NearestAncestor(ctx context.Context, tid int64, loc 
 func (b *ReplicatedBackend) routedScan(ctx context.Context, scan func(provstore.Backend) iter.Seq2[provstore.Record, error]) iter.Seq2[provstore.Record, error] {
 	r := b.pickReplica()
 	if r == nil {
-		return scan(b.primary)
+		return provtrace.Cursor(ctx, "repl:read", scan(b.primary),
+			provtrace.Attr{K: "source", V: "primary"})
 	}
-	return func(yield func(provstore.Record, error) bool) {
+	return provtrace.Cursor(ctx, "repl:read", func(yield func(provstore.Record, error) bool) {
 		emitted := false
 		for rec, err := range scan(r.store) {
 			if err != nil {
@@ -442,7 +452,7 @@ func (b *ReplicatedBackend) routedScan(ctx context.Context, scan func(provstore.
 				return
 			}
 		}
-	}
+	}, provtrace.Attr{K: "source", V: "replica"})
 }
 
 // ScanTid implements Backend.
@@ -478,9 +488,10 @@ func (b *ReplicatedBackend) scanAllRouted(ctx context.Context, hasAfter bool, ti
 	}
 	r := b.pickReplica()
 	if r == nil {
-		return start(b.primary)
+		return provtrace.Cursor(ctx, "repl:scan", start(b.primary),
+			provtrace.Attr{K: "source", V: "primary"})
 	}
-	return func(yield func(provstore.Record, error) bool) {
+	return provtrace.Cursor(ctx, "repl:scan", func(yield func(provstore.Record, error) bool) {
 		var last provstore.Record
 		emitted := false
 		for rec, err := range start(r.store) {
@@ -506,7 +517,7 @@ func (b *ReplicatedBackend) scanAllRouted(ctx context.Context, hasAfter bool, ti
 				return
 			}
 		}
-	}
+	}, provtrace.Attr{K: "source", V: "replica"})
 }
 
 // ScanAll implements Backend.
@@ -573,7 +584,12 @@ func (b *ReplicatedBackend) Bytes(ctx context.Context) (int64, error) {
 // and nudges the appliers. It does not wait for the replicas — shipping
 // stays asynchronous; use WaitForReplicas for a barrier.
 func (b *ReplicatedBackend) Flush() error {
-	err := provstore.Flush(b.primary)
+	return b.FlushContext(context.Background())
+}
+
+// FlushContext implements provstore.ContextFlusher.
+func (b *ReplicatedBackend) FlushContext(ctx context.Context) error {
+	err := provstore.FlushContext(ctx, b.primary)
 	b.wakeAll()
 	return err
 }

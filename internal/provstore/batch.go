@@ -5,9 +5,11 @@ import (
 	"io"
 	"iter"
 	"slices"
+	"strconv"
 	"sync"
 
 	"repro/internal/path"
+	"repro/internal/provtrace"
 )
 
 // This file implements the group-commit batching layer of the ingest
@@ -46,6 +48,24 @@ func Flush(b Backend) error {
 		return f.Flush()
 	}
 	return nil
+}
+
+// A ContextFlusher is a Flusher that can carry the caller's context through
+// the flush. The context changes no durability semantics — it exists so a
+// flush issued while serving a request keeps that request's identity: a
+// remote client's flush round trip propagates the caller's trace and span
+// ids instead of minting fresh ones, and local buffers attach their flush
+// spans to the in-flight trace.
+type ContextFlusher interface {
+	FlushContext(ctx context.Context) error
+}
+
+// FlushContext is Flush carrying ctx when b supports it.
+func FlushContext(ctx context.Context, b Backend) error {
+	if f, ok := b.(ContextFlusher); ok {
+		return f.FlushContext(ctx)
+	}
+	return Flush(b)
 }
 
 // Close flushes b if it buffers writes and closes it if it holds external
@@ -150,7 +170,7 @@ func (b *BatchingBackend) Append(ctx context.Context, recs []Record) error {
 		b.keys[k] = struct{}{}
 	}
 	if b.pending >= b.size {
-		return b.flushLocked()
+		return b.flushLockedTraced(ctx)
 	}
 	return nil
 }
@@ -164,9 +184,37 @@ func (b *BatchingBackend) Pending() int {
 
 // Flush pushes every buffered batch down as one group commit.
 func (b *BatchingBackend) Flush() error {
+	return b.flushCtx(context.Background())
+}
+
+// FlushContext implements ContextFlusher.
+func (b *BatchingBackend) FlushContext(ctx context.Context) error {
+	return b.flushCtx(ctx)
+}
+
+// flushCtx is Flush under a caller context — the context is used only to
+// attach the flush span to an in-flight trace; the group commit itself
+// still runs under context.Background (see flushLocked).
+func (b *BatchingBackend) flushCtx(ctx context.Context) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return b.flushLocked()
+	return b.flushLockedTraced(ctx)
+}
+
+// flushLockedTraced wraps a non-empty flush in a "batch:flush" span.
+func (b *BatchingBackend) flushLockedTraced(ctx context.Context) error {
+	if b.pending == 0 {
+		return nil
+	}
+	_, sp := provtrace.Start(ctx, "batch:flush")
+	if sp != nil {
+		sp.SetAttr("records", strconv.Itoa(b.pending))
+		sp.SetAttr("batches", strconv.Itoa(len(b.batches)))
+	}
+	err := b.flushLocked()
+	sp.SetErr(err)
+	sp.End()
+	return err
 }
 
 // Close flushes the buffer and closes the wrapped store if it holds
@@ -217,7 +265,7 @@ func (b *BatchingBackend) flushLocked() error {
 
 // Lookup implements Backend.
 func (b *BatchingBackend) Lookup(ctx context.Context, tid int64, loc path.Path) (Record, bool, error) {
-	if err := b.Flush(); err != nil {
+	if err := b.flushCtx(ctx); err != nil {
 		return Record{}, false, err
 	}
 	return b.inner.Lookup(ctx, tid, loc)
@@ -225,7 +273,7 @@ func (b *BatchingBackend) Lookup(ctx context.Context, tid int64, loc path.Path) 
 
 // NearestAncestor implements Backend.
 func (b *BatchingBackend) NearestAncestor(ctx context.Context, tid int64, loc path.Path) (Record, bool, error) {
-	if err := b.Flush(); err != nil {
+	if err := b.flushCtx(ctx); err != nil {
 		return Record{}, false, err
 	}
 	return b.inner.NearestAncestor(ctx, tid, loc)
@@ -305,7 +353,7 @@ func (b *BatchingBackend) ScanAllAfter(ctx context.Context, tid int64, loc path.
 
 // Tids implements Backend.
 func (b *BatchingBackend) Tids(ctx context.Context) ([]int64, error) {
-	if err := b.Flush(); err != nil {
+	if err := b.flushCtx(ctx); err != nil {
 		return nil, err
 	}
 	return b.inner.Tids(ctx)
@@ -313,7 +361,7 @@ func (b *BatchingBackend) Tids(ctx context.Context) ([]int64, error) {
 
 // MaxTid implements Backend.
 func (b *BatchingBackend) MaxTid(ctx context.Context) (int64, error) {
-	if err := b.Flush(); err != nil {
+	if err := b.flushCtx(ctx); err != nil {
 		return 0, err
 	}
 	return b.inner.MaxTid(ctx)
@@ -321,7 +369,7 @@ func (b *BatchingBackend) MaxTid(ctx context.Context) (int64, error) {
 
 // Count implements Backend.
 func (b *BatchingBackend) Count(ctx context.Context) (int, error) {
-	if err := b.Flush(); err != nil {
+	if err := b.flushCtx(ctx); err != nil {
 		return 0, err
 	}
 	return b.inner.Count(ctx)
@@ -329,7 +377,7 @@ func (b *BatchingBackend) Count(ctx context.Context) (int, error) {
 
 // Bytes implements Backend.
 func (b *BatchingBackend) Bytes(ctx context.Context) (int64, error) {
-	if err := b.Flush(); err != nil {
+	if err := b.flushCtx(ctx); err != nil {
 		return 0, err
 	}
 	return b.inner.Bytes(ctx)

@@ -8,9 +8,11 @@ import (
 	"io"
 	"iter"
 	"sort"
+	"strconv"
 	"sync"
 
 	"repro/internal/path"
+	"repro/internal/provtrace"
 	"repro/internal/update"
 )
 
@@ -176,7 +178,17 @@ func (b *ShardedBackend) Append(ctx context.Context, recs []Record) error {
 	if err != nil {
 		return err
 	}
-	return b.fanParts(ctx, parts, func(i int) error { return b.shards[i].Append(ctx, parts[i]) })
+	return b.fanParts(ctx, parts, func(i int) error {
+		_, sp := provtrace.Start(ctx, "shard:append")
+		if sp != nil {
+			sp.SetAttr("shard", strconv.Itoa(i))
+			sp.SetAttr("records", strconv.Itoa(len(parts[i])))
+		}
+		aerr := b.shards[i].Append(ctx, parts[i])
+		sp.SetErr(aerr)
+		sp.End()
+		return aerr
+	})
 }
 
 // fanParts runs f for every shard with a non-empty part, inline when only
@@ -266,13 +278,21 @@ func (b *ShardedBackend) NearestAncestor(ctx context.Context, tid int64, loc pat
 // merge restores the documented global ordering — no shard's result is ever
 // gathered wholesale, so a scan over a sharded store stays O(shards) in
 // memory. Construction is lazy; nothing runs until the cursor is ranged.
-func (b *ShardedBackend) merged(cmp func(a, c Record) int, scan func(Backend) iter.Seq2[Record, error]) iter.Seq2[Record, error] {
+// Under tracing, each shard's cursor drains inside its own "shard:<op>"
+// span (the scatter half of the scatter-gather), ended from the merge's
+// puller goroutines — all into one shared recorder.
+func (b *ShardedBackend) merged(ctx context.Context, op string, cmp func(a, c Record) int, scan func(Backend) iter.Seq2[Record, error]) iter.Seq2[Record, error] {
 	if len(b.shards) == 1 {
 		return scan(b.shards[0])
 	}
+	traced := provtrace.Active(ctx)
 	cursors := make([]iter.Seq2[Record, error], len(b.shards))
 	for i, s := range b.shards {
 		cursors[i] = scan(s)
+		if traced {
+			cursors[i] = provtrace.Cursor(ctx, "shard:"+op, cursors[i],
+				provtrace.Attr{K: "shard", V: strconv.Itoa(i)})
+		}
 	}
 	return MergeScans(cmp, cursors...)
 }
@@ -280,7 +300,7 @@ func (b *ShardedBackend) merged(cmp func(a, c Record) int, scan func(Backend) it
 // ScanTid implements Backend: a streaming merge by Loc over per-shard
 // cursors.
 func (b *ShardedBackend) ScanTid(ctx context.Context, tid int64) iter.Seq2[Record, error] {
-	return b.merged(CompareLocTid, func(s Backend) iter.Seq2[Record, error] { return s.ScanTid(ctx, tid) })
+	return b.merged(ctx, "scan-tid", CompareLocTid, func(s Backend) iter.Seq2[Record, error] { return s.ScanTid(ctx, tid) })
 }
 
 // ScanLoc implements Backend: a single-shard read (one location, one shard).
@@ -291,7 +311,7 @@ func (b *ShardedBackend) ScanLoc(ctx context.Context, loc path.Path) iter.Seq2[R
 // ScanLocPrefix implements Backend: descendants of prefix hash anywhere, so
 // one cursor per shard merges back into (Loc, Tid) order.
 func (b *ShardedBackend) ScanLocPrefix(ctx context.Context, prefix path.Path) iter.Seq2[Record, error] {
-	return b.merged(CompareLocTid, func(s Backend) iter.Seq2[Record, error] { return s.ScanLocPrefix(ctx, prefix) })
+	return b.merged(ctx, "scan-prefix", CompareLocTid, func(s Backend) iter.Seq2[Record, error] { return s.ScanLocPrefix(ctx, prefix) })
 }
 
 // ScanLocWithAncestors implements Backend: loc and each of its ancestors
@@ -310,13 +330,13 @@ func (b *ShardedBackend) ScanLocWithAncestors(ctx context.Context, loc path.Path
 // ScanAll implements Backend: the full (Tid, Loc)-ordered table as a
 // streaming merge of every shard's ScanAll cursor.
 func (b *ShardedBackend) ScanAll(ctx context.Context) iter.Seq2[Record, error] {
-	return b.merged(CompareTidLoc, func(s Backend) iter.Seq2[Record, error] { return s.ScanAll(ctx) })
+	return b.merged(ctx, "scan-all", CompareTidLoc, func(s Backend) iter.Seq2[Record, error] { return s.ScanAll(ctx) })
 }
 
 // ScanAllAfter implements Backend: each shard seeks to its own successor of
 // the key, and the streaming merge restores the global (Tid, Loc) order.
 func (b *ShardedBackend) ScanAllAfter(ctx context.Context, tid int64, loc path.Path) iter.Seq2[Record, error] {
-	return b.merged(CompareTidLoc, func(s Backend) iter.Seq2[Record, error] { return s.ScanAllAfter(ctx, tid, loc) })
+	return b.merged(ctx, "scan-after", CompareTidLoc, func(s Backend) iter.Seq2[Record, error] { return s.ScanAllAfter(ctx, tid, loc) })
 }
 
 // Tids implements Backend: the sorted union of all shards' transactions.
@@ -395,11 +415,14 @@ func (b *ShardedBackend) Bytes(ctx context.Context) (int64, error) {
 
 // Flush implements Flusher by flushing every shard that supports it.
 func (b *ShardedBackend) Flush() error {
-	return Fanout(context.Background(), len(b.shards), func(i int) error {
-		if f, ok := b.shards[i].(Flusher); ok {
-			return f.Flush()
-		}
-		return nil
+	return b.FlushContext(context.Background())
+}
+
+// FlushContext implements ContextFlusher, handing ctx to every shard that
+// takes one — remote shards propagate the caller's trace.
+func (b *ShardedBackend) FlushContext(ctx context.Context) error {
+	return Fanout(ctx, len(b.shards), func(i int) error {
+		return FlushContext(ctx, b.shards[i])
 	})
 }
 

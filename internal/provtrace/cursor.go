@@ -1,0 +1,39 @@
+package provtrace
+
+import (
+	"context"
+	"iter"
+	"strconv"
+)
+
+// Cursor wraps a streaming cursor in a span covering its drain: the span
+// opens when iteration starts (not when the cursor is built — a
+// scatter-gather constructs cursors eagerly but pulls them later), closes
+// when the stream ends or the consumer breaks, counts clean records into a
+// "records" attribute and marks the span failed on an in-stream error.
+// When no recorder is installed on ctx the input cursor is returned
+// untouched, so the off cost is one context lookup per cursor.
+func Cursor[T any](ctx context.Context, name string, in iter.Seq2[T, error], attrs ...Attr) iter.Seq2[T, error] {
+	if !Active(ctx) {
+		return in
+	}
+	return func(yield func(T, error) bool) {
+		_, sp := Start(ctx, name)
+		sp.Attrs = append(sp.Attrs, attrs...)
+		n := 0
+		defer func() {
+			sp.SetAttr("records", strconv.Itoa(n))
+			sp.End()
+		}()
+		for v, err := range in {
+			if err != nil {
+				sp.SetErr(err)
+			} else {
+				n++
+			}
+			if !yield(v, err) {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package provtrace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// A Node is one span in an assembled trace tree. Self is the span's
+// self-time: its duration minus the duration of its children, clamped at
+// zero (children of a scatter-gather overlap, so the naive subtraction can
+// go negative).
+type Node struct {
+	Span     Span          `json:"span"`
+	Self     time.Duration `json:"self_ns"`
+	Children []*Node       `json:"children,omitempty"`
+}
+
+// BuildTree assembles flat spans (possibly merged from several processes)
+// into a forest. A span whose ParentID is empty or names no span in the
+// set becomes a root — the latter happens by construction in a chained
+// deployment when only the inner daemon's half of a trace is available.
+// Roots and children are ordered by start time; duplicate span ids (the
+// same half stored twice) are collapsed.
+func BuildTree(spans []Span) []*Node {
+	nodes := make(map[string]*Node, len(spans))
+	order := make([]*Node, 0, len(spans))
+	for i := range spans {
+		if _, dup := nodes[spans[i].SpanID]; dup {
+			continue
+		}
+		n := &Node{Span: spans[i]}
+		nodes[spans[i].SpanID] = n
+		order = append(order, n)
+	}
+	var roots []*Node
+	for _, n := range order {
+		if p, ok := nodes[n.Span.ParentID]; ok && p != n {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	byStart := func(ns []*Node) {
+		sort.SliceStable(ns, func(i, j int) bool { return ns[i].Span.Start.Before(ns[j].Span.Start) })
+	}
+	byStart(roots)
+	for _, n := range order {
+		byStart(n.Children)
+		self := n.Span.Dur
+		for _, c := range n.Children {
+			self -= c.Span.Dur
+		}
+		n.Self = max(self, 0)
+	}
+	return roots
+}
+
+// Render writes the forest as an indented tree, one span per line:
+//
+//	server:query                  412µs (self 12µs)  status=200
+//	  plan:trace                  389µs (self 41µs)
+//	    shard:scan                118µs  shard=0 records=37
+//
+// Durations are rounded for the eye; attributes print k=v in recorded
+// order; failed spans end with "ERR: <message>".
+func Render(w io.Writer, roots []*Node) {
+	for _, r := range roots {
+		renderNode(w, r, 0)
+	}
+}
+
+func renderNode(w io.Writer, n *Node, depth int) {
+	var b strings.Builder
+	b.WriteString(strings.Repeat("  ", depth))
+	b.WriteString(n.Span.Name)
+	fmt.Fprintf(&b, "  %s", fmtDur(n.Span.Dur))
+	if len(n.Children) > 0 {
+		fmt.Fprintf(&b, " (self %s)", fmtDur(n.Self))
+	}
+	for _, a := range n.Span.Attrs {
+		b.WriteString("  ")
+		b.WriteString(a.K)
+		b.WriteByte('=')
+		b.WriteString(a.V)
+	}
+	if n.Span.Err != "" {
+		b.WriteString("  ERR: ")
+		b.WriteString(n.Span.Err)
+	}
+	b.WriteByte('\n')
+	io.WriteString(w, b.String()) //nolint:errcheck // best-effort rendering
+	for _, c := range n.Children {
+		renderNode(w, c, depth+1)
+	}
+}
+
+// fmtDur rounds a duration to a readable precision.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(time.Microsecond).String()
+	default:
+		return d.Round(100 * time.Nanosecond).String()
+	}
+}
+
+// A SelfTime names one span and its self-time — the slow-query log's
+// breakdown unit.
+type SelfTime struct {
+	Name string
+	Self time.Duration
+}
+
+// TopSelf returns the k spans with the largest self-time, descending —
+// "where did the time actually go" for the slow-query log.
+func TopSelf(spans []Span, k int) []SelfTime {
+	var all []SelfTime
+	var walk func(ns []*Node)
+	walk = func(ns []*Node) {
+		for _, n := range ns {
+			all = append(all, SelfTime{Name: n.Span.Name, Self: n.Self})
+			walk(n.Children)
+		}
+	}
+	walk(BuildTree(spans))
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Self > all[j].Self })
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// FormatTopSelf renders TopSelf output for one log field:
+// "plan:trace=389µs,shard:scan=118µs,server:query=12µs".
+func FormatTopSelf(tops []SelfTime) string {
+	var b strings.Builder
+	for i, t := range tops {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(t.Name)
+		b.WriteByte('=')
+		b.WriteString(fmtDur(t.Self))
+	}
+	return b.String()
+}

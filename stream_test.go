@@ -18,6 +18,7 @@ import (
 	cpdb "repro"
 	"repro/internal/provhttp"
 	"repro/internal/provstore"
+	"repro/internal/provtrace"
 )
 
 // startStatService is startService, but keeps the Server handle so tests
@@ -192,6 +193,48 @@ func BenchmarkScanAllStreamed(b *testing.B) {
 		}
 	}
 }
+
+// benchDrainSharded is the shared body of the tracing-overhead benchmark
+// pair: a full drain of the bench store through the sharded scatter-gather
+// — the most instrumented local read path (a span per shard plus a cursor
+// wrap per shard stream when a recorder is present).
+func benchDrainSharded(b *testing.B, traced bool) {
+	backend, err := provstore.OpenDSN("mem://?shards=4")
+	if err != nil {
+		b.Fatal(err)
+	}
+	total := benchStore(b, backend)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dctx := ctx
+		if traced {
+			dctx = provtrace.WithRecorder(ctx, provtrace.NewRecorder("", ""))
+		}
+		n := 0
+		for _, err := range backend.ScanAll(dctx) {
+			if err != nil {
+				b.Fatal(err)
+			}
+			n++
+		}
+		if n != total {
+			b.Fatalf("drained %d of %d", n, total)
+		}
+	}
+}
+
+// BenchmarkScanAllStreamedSharded is the untraced baseline for the tracing
+// overhead pair; compare ns/op with BenchmarkScanAllStreamedTraced — the
+// traced drain must stay within a few percent, because span cost is per
+// shard stream, never per record.
+func BenchmarkScanAllStreamedSharded(b *testing.B) { benchDrainSharded(b, false) }
+
+// BenchmarkScanAllStreamedTraced is the same drain with a live span
+// recorder on the context (a fresh one per iteration, the real per-request
+// cost).
+func BenchmarkScanAllStreamedTraced(b *testing.B) { benchDrainSharded(b, true) }
 
 // BenchmarkScanAllMaterialized is the pre-refactor Records path (one
 // ScanTid per transaction, everything gathered into a slice), kept as the
